@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the MySQL-like baseline: page operations, buffer
+//! pool behaviour, full scans (cold and warm), and B+-tree ops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use uei_dbms::btree::BPlusTree;
+use uei_dbms::buffer::BufferPool;
+use uei_dbms::page::Page;
+use uei_dbms::table::Table;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+fn schema2() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", 0.0, 100.0).unwrap(),
+        AttributeDef::new("y", 0.0, 100.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn bench_page(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page");
+    group.bench_function("fill_with_24b_tuples", |b| {
+        let tuple = [7u8; 24];
+        b.iter(|| {
+            let mut p = Page::new(0);
+            let mut n = 0;
+            while p.insert(&tuple).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.bench_function("serialize_roundtrip", |b| {
+        let mut p = Page::new(1);
+        while p.insert(&[1u8; 64]).is_some() {}
+        b.iter(|| {
+            let bytes = p.to_bytes();
+            Page::from_bytes(1, &bytes).unwrap().num_slots()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("uei-bench-dbms-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = Rng::new(1);
+    let rows: Vec<DataPoint> = (0..50_000)
+        .map(|i| {
+            DataPoint::new(
+                i as u64,
+                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+            )
+        })
+        .collect();
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let table = Table::create(&dir, schema2(), &rows, &tracker).unwrap();
+
+    let mut group = c.benchmark_group("table_scan");
+    group.throughput(Throughput::Bytes(table.size_bytes()));
+    group.sample_size(20);
+    group.bench_function("cold_scan_tiny_pool", |b| {
+        // Pool of 1 page: every page read goes to the (real) file.
+        let mut pool = BufferPool::new(1, tracker.clone()).unwrap();
+        b.iter(|| {
+            let mut count = 0u64;
+            table.scan(&mut pool, |_| count += 1).unwrap();
+            count
+        })
+    });
+    group.bench_function("warm_scan_full_pool", |b| {
+        let mut pool =
+            BufferPool::new(table.num_pages() as usize + 1, tracker.clone()).unwrap();
+        table.scan(&mut pool, |_| {}).unwrap(); // warm it
+        b.iter(|| {
+            let mut count = 0u64;
+            table.scan(&mut pool, |_| count += 1).unwrap();
+            count
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_10k", |b| {
+        let mut rng = Rng::new(9);
+        let values: Vec<f64> = (0..10_000).map(|_| rng.range_f64(0.0, 1000.0)).collect();
+        b.iter(|| {
+            let mut t = BPlusTree::new(32).unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                t.insert(v, i as u64).unwrap();
+            }
+            t.len()
+        })
+    });
+    group.bench_function("range_1pct_of_100k", |b| {
+        let mut rng = Rng::new(10);
+        let mut t = BPlusTree::new(64).unwrap();
+        for i in 0..100_000u64 {
+            t.insert(rng.range_f64(0.0, 1000.0), i).unwrap();
+        }
+        b.iter(|| t.range(500.0, 510.0).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_page, bench_scan, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the Uncertainty Estimation Index itself: grid
+//! lookups, mapping construction, index-point rescoring (Algorithm 2 line
+//! 17 — runs on every iteration), and the full select-and-load step.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_index::config::UeiConfig;
+use uei_index::grid::Grid;
+use uei_index::mapping::ChunkMapping;
+use uei_index::points::IndexPoints;
+use uei_index::uei::UeiIndex;
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::Classifier;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{DataPoint, Rng, Schema};
+
+struct Sigmoid;
+impl Classifier for Sigmoid {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        1.0 / (1.0 + (-(x[0] - 1024.0) / 200.0).exp())
+    }
+    fn dims(&self) -> usize {
+        5
+    }
+}
+
+fn sdss_rows(n: usize) -> Vec<DataPoint> {
+    uei_explore::synth::generate_sdss_like(&uei_explore::synth::SynthConfig {
+        rows: n,
+        ..Default::default()
+    })
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let schema = Schema::sdss();
+    let grid = Grid::new(&schema, 5).unwrap();
+    let mut rng = Rng::new(1);
+    let points: Vec<Vec<f64>> = (0..1000)
+        .map(|_| {
+            schema
+                .attributes()
+                .iter()
+                .map(|a| rng.range_f64(a.min, a.max))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("grid");
+    group.bench_function("cell_of_1k_points", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|p| grid.cell_of(p).unwrap())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("cell_region_all_3125", |b| {
+        b.iter(|| {
+            grid.cell_ids()
+                .map(|id| grid.cell_region(id).unwrap().volume())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("uei-bench-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = sdss_rows(50_000);
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let store = Arc::new(
+        ColumnStore::create(
+            &dir,
+            Schema::sdss(),
+            &rows,
+            StoreConfig { chunk_target_bytes: 32 * 1024 },
+            tracker,
+        )
+        .unwrap(),
+    );
+
+    let mut group = c.benchmark_group("index");
+    group.bench_function("mapping_build_5x5", |b| {
+        let grid = Grid::new(store.schema(), 5).unwrap();
+        b.iter(|| ChunkMapping::build(&grid, store.manifest()).unwrap())
+    });
+    group.bench_function("update_uncertainty_3125_points", |b| {
+        let grid = Grid::new(store.schema(), 5).unwrap();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        b.iter(|| {
+            points.update(&Sigmoid, UncertaintyMeasure::LeastConfidence);
+            points.mean_uncertainty()
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("select_and_load", |b| {
+        let mut index = UeiIndex::build(
+            Arc::clone(&store),
+            UeiConfig { cells_per_dim: 5, ..UeiConfig::default() },
+        )
+        .unwrap();
+        index.update_uncertainty(&Sigmoid);
+        b.iter(|| index.select_and_load().unwrap().rows.len())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_grid, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! End-to-end benchmark of one exploration iteration per scheme — the
+//! quantity Figure 6 plots. Wall-clock here; the modeled response times
+//! are produced by the `experiments` binary.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_explore::backend::{DbmsBackend, ExplorationBackend, UeiBackend};
+use uei_explore::synth::{generate_sdss_like, SynthConfig};
+use uei_dbms::buffer::BufferPool;
+use uei_dbms::table::Table;
+use uei_index::config::UeiConfig;
+use uei_learn::dataset::LabeledSet;
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::{EstimatorKind, MinMaxScaler, ScaledClassifier};
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{Label, Rng, Schema};
+
+const ROWS: usize = 30_000;
+
+fn trained_model(rows_hint: &[(Vec<f64>, Label)]) -> ScaledClassifier {
+    ScaledClassifier::train(
+        EstimatorKind::Dwknn { k: 5 },
+        MinMaxScaler::from_schema(&Schema::sdss()),
+        rows_hint,
+    )
+    .unwrap()
+}
+
+fn examples() -> Vec<(Vec<f64>, Label)> {
+    let rows = generate_sdss_like(&SynthConfig { rows: 60, ..Default::default() });
+    rows.iter()
+        .map(|p| (p.values.clone(), Label::from_bool(p.values[2] < 180.0)))
+        .collect()
+}
+
+fn bench_uei_iteration(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("uei-bench-iter-u-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = generate_sdss_like(&SynthConfig { rows: ROWS, ..Default::default() });
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let store = Arc::new(
+        ColumnStore::create(
+            &dir,
+            Schema::sdss(),
+            &rows,
+            StoreConfig { chunk_target_bytes: 16 * 1024 },
+            tracker,
+        )
+        .unwrap(),
+    );
+    let mut rng = Rng::new(1);
+    let mut backend = UeiBackend::new(
+        store,
+        UeiConfig { cells_per_dim: 5, ..UeiConfig::default() },
+        UncertaintyMeasure::LeastConfidence,
+        1000,
+        &mut rng,
+    )
+    .unwrap();
+    let model = trained_model(&examples());
+    let labeled = LabeledSet::new();
+
+    let mut group = c.benchmark_group("iteration");
+    group.sample_size(20);
+    group.bench_function("uei_select_next_30k", |b| {
+        b.iter(|| backend.select_next(&model, &labeled).unwrap().map(|(p, _)| p.id))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_dbms_iteration(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("uei-bench-iter-d-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = generate_sdss_like(&SynthConfig { rows: ROWS, ..Default::default() });
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let table = Table::create(&dir, Schema::sdss(), &rows, &tracker).unwrap();
+    let pool = BufferPool::new(4, tracker).unwrap();
+    let mut backend = DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
+    let model = trained_model(&examples());
+    let labeled = LabeledSet::new();
+
+    let mut group = c.benchmark_group("iteration");
+    group.sample_size(10);
+    group.bench_function("dbms_exhaustive_scan_30k", |b| {
+        b.iter(|| backend.select_next(&model, &labeled).unwrap().map(|(p, _)| p.id))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_uei_iteration, bench_dbms_iteration);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the active-learning toolkit: kd-tree build/query,
+//! DWKNN training and prediction (the per-iteration costs of the
+//! uncertainty estimator), SVM training, and strategy selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_learn::kdtree::KdTree;
+use uei_learn::strategy::{QueryStrategy, UncertaintyMeasure, UncertaintySampling};
+use uei_learn::{Classifier, Dwknn, EstimatorKind, LinearSvm};
+use uei_types::{DataPoint, Label, Rng};
+
+fn labeled_examples(n: usize, seed: u64) -> Vec<(Vec<f64>, Label)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect();
+            let label = Label::from_bool(x.iter().sum::<f64>() > 2.5);
+            (x, label)
+        })
+        .collect()
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut rng = Rng::new(7);
+    let points: Vec<Vec<f64>> = (0..10_000)
+        .map(|_| (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect())
+        .collect();
+    let tree = KdTree::build(points.clone()).unwrap();
+
+    let mut group = c.benchmark_group("kdtree");
+    group.bench_function("build_10k_5d", |b| {
+        b.iter(|| KdTree::build(points.clone()).unwrap().len())
+    });
+    group.bench_function("knn5_query", |b| {
+        let mut qrng = Rng::new(8);
+        b.iter(|| {
+            let q: Vec<f64> = (0..5).map(|_| qrng.range_f64(0.0, 1.0)).collect();
+            tree.nearest(&q, 5).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dwknn(c: &mut Criterion) {
+    let examples = labeled_examples(200, 1);
+    let model = Dwknn::fit(5, &examples).unwrap();
+
+    let mut group = c.benchmark_group("dwknn");
+    group.bench_function("fit_200_examples", |b| {
+        b.iter(|| Dwknn::fit(5, &examples).unwrap().num_examples())
+    });
+    group.bench_function("predict_proba", |b| {
+        let mut qrng = Rng::new(2);
+        b.iter(|| {
+            let q: Vec<f64> = (0..5).map(|_| qrng.range_f64(0.0, 1.0)).collect();
+            model.predict_proba(&q)
+        })
+    });
+    // The dominant per-iteration CPU cost of the DBMS scheme: scoring a
+    // whole pool with the estimator.
+    group.bench_function("score_10k_pool", |b| {
+        let mut qrng = Rng::new(3);
+        let pool: Vec<Vec<f64>> = (0..10_000)
+            .map(|_| (0..5).map(|_| qrng.range_f64(0.0, 1.0)).collect())
+            .collect();
+        b.iter(|| pool.iter().map(|q| model.predict_proba(q)).sum::<f64>())
+    });
+    group.finish();
+}
+
+fn bench_svm_and_strategy(c: &mut Criterion) {
+    let examples = labeled_examples(500, 4);
+    let mut group = c.benchmark_group("svm_strategy");
+    group.sample_size(20);
+    group.bench_function("svm_fit_500x30epochs", |b| {
+        b.iter(|| LinearSvm::fit(&examples, 30, 1e-3, 1).unwrap().dims())
+    });
+    group.bench_function("uncertainty_select_2k_pool", |b| {
+        let model = EstimatorKind::Dwknn { k: 5 }.train(&examples).unwrap();
+        let mut rng = Rng::new(5);
+        let pool: Vec<DataPoint> = (0..2000)
+            .map(|i| {
+                DataPoint::new(
+                    i as u64,
+                    (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect(),
+                )
+            })
+            .collect();
+        let mut strategy = UncertaintySampling::new(UncertaintyMeasure::LeastConfidence);
+        b.iter(|| strategy.select(&model, &pool).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdtree, bench_dwknn, bench_svm_and_strategy);
+criterion_main!(benches);

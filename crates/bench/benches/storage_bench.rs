@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the inverted columnar store: chunk codec, store
+//! initialization (the paper's one-off index-initialization phase), row
+//! fetches, full scans, and subspace reconstruction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use uei_storage::chunk::{Chunk, ChunkId};
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::merge::reconstruct_region;
+use uei_storage::postings::PostingList;
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Region, Rng, Schema};
+
+fn schema3() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", 0.0, 100.0).unwrap(),
+        AttributeDef::new("y", 0.0, 100.0).unwrap(),
+        AttributeDef::new("z", 0.0, 100.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn random_rows(n: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            DataPoint::new(
+                i as u64,
+                vec![
+                    rng.range_f64(0.0, 100.0),
+                    rng.range_f64(0.0, 100.0),
+                    rng.range_f64(0.0, 100.0),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn sample_chunk(entries: usize) -> Chunk {
+    let postings: Vec<PostingList> = (0..entries)
+        .map(|i| PostingList::new(i as f64, vec![i as u64 * 3, i as u64 * 3 + 1]).unwrap())
+        .collect();
+    Chunk::new(ChunkId::new(0, 0), postings).unwrap()
+}
+
+fn bench_chunk_codec(c: &mut Criterion) {
+    let chunk = sample_chunk(2_000);
+    let encoded = chunk.encode();
+    let mut group = c.benchmark_group("chunk_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_2k_entries", |b| b.iter(|| chunk.encode()));
+    group.bench_function("decode_2k_entries", |b| {
+        b.iter(|| Chunk::decode(&encoded).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_store_init(c: &mut Criterion) {
+    let rows = random_rows(20_000, 1);
+    let mut group = c.benchmark_group("store_init");
+    group.sample_size(10);
+    group.bench_function("create_20k_rows", |b| {
+        let mut i = 0u32;
+        b.iter_batched(
+            || {
+                i += 1;
+                let dir =
+                    std::env::temp_dir().join(format!("uei-bench-init-{}-{i}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&dir);
+                dir
+            },
+            |dir| {
+                let tracker = DiskTracker::new(IoProfile::instant());
+                let store = ColumnStore::create(
+                    &dir,
+                    schema3(),
+                    &rows,
+                    StoreConfig { chunk_target_bytes: 32 * 1024 },
+                    tracker,
+                )
+                .unwrap();
+                let n = store.num_rows();
+                std::fs::remove_dir_all(&dir).ok();
+                n
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_store_reads(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("uei-bench-reads-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = random_rows(50_000, 2);
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let store = ColumnStore::create(
+        &dir,
+        schema3(),
+        &rows,
+        StoreConfig { chunk_target_bytes: 32 * 1024 },
+        tracker,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("store_reads");
+    group.bench_function("fetch_100_scattered_rows", |b| {
+        let mut rng = Rng::new(3);
+        b.iter(|| {
+            let mut ids: Vec<u64> =
+                (0..100).map(|_| rng.below(store.num_rows())).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            store.fetch_rows(&ids).unwrap()
+        })
+    });
+    group.bench_function("scan_all_50k", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            store.scan_all(|_| count += 1).unwrap();
+            count
+        })
+    });
+    group.bench_function("reconstruct_10pct_region", |b| {
+        let region = Region::new(
+            vec![20.0, 0.0, 0.0],
+            vec![30.0, 100.0, 100.0],
+        )
+        .unwrap();
+        b.iter(|| reconstruct_region(&store, &region, None).unwrap().0.len())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_chunk_codec, bench_store_init, bench_store_reads);
+criterion_main!(benches);

@@ -1,0 +1,329 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin experiments -- all
+//! cargo run -p uei-bench --release --bin experiments -- fig6 --quick
+//! cargo run -p uei-bench --release --bin experiments -- fig3 fig4 fig5
+//! ```
+//!
+//! Subcommands: `table1`, `fig3`, `fig4`, `fig5`, `fig6`, `complexity`,
+//! `ablation-grid`, `ablation-gamma`, `ablation-estimator`,
+//! `ablation-prefetch`, `ablation-chunk`, `all`.
+//! Flags: `--quick` (CI-size runs), `--rows N`, `--runs R`,
+//! `--out DIR` (default `results/`), `--data DIR` (fixture cache,
+//! default `target/uei-experiments`).
+
+use std::path::PathBuf;
+
+use uei_bench::experiments::{
+    ablation_chunk_size, ablation_estimator, ablation_gamma, ablation_grid,
+    ablation_batch, ablation_prefetch, ablation_regions, ablation_strategy, complexity, fig6_response_time, fig_accuracy, table1,
+    AccuracyFigure, ResponseTimeFigure,
+};
+use uei_bench::fixture::{ExperimentScale, Fixture};
+use uei_explore::workload::RegionSize;
+
+struct Options {
+    commands: Vec<String>,
+    quick: bool,
+    rows: Option<usize>,
+    runs: Option<usize>,
+    out: PathBuf,
+    data: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        commands: Vec::new(),
+        quick: false,
+        rows: None,
+        runs: None,
+        out: PathBuf::from("results"),
+        data: PathBuf::from("target/uei-experiments"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--rows" => {
+                opts.rows = args.next().and_then(|v| v.parse().ok());
+            }
+            "--runs" => {
+                opts.runs = args.next().and_then(|v| v.parse().ok());
+            }
+            "--out" => {
+                if let Some(v) = args.next() {
+                    opts.out = PathBuf::from(v);
+                }
+            }
+            "--data" => {
+                if let Some(v) = args.next() {
+                    opts.data = PathBuf::from(v);
+                }
+            }
+            other => opts.commands.push(other.to_string()),
+        }
+    }
+    if opts.commands.is_empty() {
+        opts.commands.push("all".to_string());
+    }
+    opts
+}
+
+fn apply_overrides(mut scale: ExperimentScale, opts: &Options) -> ExperimentScale {
+    if let Some(rows) = opts.rows {
+        scale.rows = rows;
+    }
+    if let Some(runs) = opts.runs {
+        scale.runs = runs;
+    }
+    scale
+}
+
+fn accuracy_scale(opts: &Options) -> ExperimentScale {
+    let base = if opts.quick { ExperimentScale::quick() } else { ExperimentScale::accuracy() };
+    apply_overrides(base, opts)
+}
+
+fn response_scale(opts: &Options) -> ExperimentScale {
+    let base =
+        if opts.quick { ExperimentScale::quick() } else { ExperimentScale::response_time() };
+    apply_overrides(base, opts)
+}
+
+fn save_json<T: serde::Serialize>(opts: &Options, name: &str, value: &T) {
+    std::fs::create_dir_all(&opts.out).expect("create results dir");
+    let path = opts.out.join(format!("{name}.json"));
+    let json = serde_json::to_vec_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results");
+    println!("  [saved {}]", path.display());
+}
+
+fn print_accuracy(fig: &AccuracyFigure) {
+    println!();
+    println!(
+        "=== {} — UEI Accuracy ({} target region, {:.3} % of data, {} runs) ===",
+        fig.figure,
+        fig.region_size,
+        fig.region_fraction_mean * 100.0,
+        fig.uei.runs
+    );
+    println!("{:>8} {:>12} {:>12}", "labels", "UEI F", "MySQL F");
+    let step = (fig.uei.series.len() / 20).max(1);
+    for point in fig.uei.series.iter().step_by(step) {
+        let dbms_f = fig
+            .dbms
+            .series
+            .iter()
+            .find(|p| p.labels == point.labels)
+            .map(|p| p.f_measure_mean)
+            .unwrap_or(f64::NAN);
+        println!("{:>8} {:>12.4} {:>12.4}", point.labels, point.f_measure_mean, dbms_f);
+    }
+    println!(
+        "final F (exact, full retrieval): UEI {:.4}  MySQL {:.4}",
+        fig.uei.final_f_measure_mean, fig.dbms.final_f_measure_mean
+    );
+    println!(
+        "labels to reach F>=0.8: UEI {:?}  MySQL {:?}",
+        fig.uei_labels_to_f80, fig.dbms_labels_to_f80
+    );
+}
+
+fn print_fig6(fig: &ResponseTimeFigure) {
+    println!();
+    println!("=== fig6 — UEI Response Time (modeled NVMe, 3.4 GB/s) ===");
+    println!(
+        "{:>12} {:>10} {:>16} {:>16} {:>20} {:>10}",
+        "scheme", "region", "mean resp (ms)", "p95 resp (ms)", "bytes/iter", "<500ms"
+    );
+    for row in &fig.rows {
+        println!(
+            "{:>12} {:>10} {:>16.2} {:>16.2} {:>20.0} {:>10}",
+            row.scheme,
+            row.region_size,
+            row.mean_response_ms,
+            row.p95_response_ms,
+            row.mean_bytes_per_iteration,
+            if row.sub_500ms { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "UEI speedup over MySQL-like: {:.1}x   (paper: >50x; dataset is {:.0}x the memory budget)",
+        fig.speedup, fig.data_over_memory
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    let started = std::time::Instant::now();
+
+    for command in opts.commands.clone() {
+        match command.as_str() {
+            "table1" => run_table1(&opts),
+            "fig3" => run_fig(&opts, RegionSize::Small),
+            "fig4" => run_fig(&opts, RegionSize::Medium),
+            "fig5" => run_fig(&opts, RegionSize::Large),
+            "fig6" => run_fig6(&opts),
+            "complexity" => run_complexity(&opts),
+            "ablation-grid" => run_ablation_grid(&opts),
+            "ablation-gamma" => run_ablation_gamma(&opts),
+            "ablation-estimator" => run_ablation_estimator(&opts),
+            "ablation-prefetch" => run_ablation_prefetch(&opts),
+            "ablation-batch" => run_ablation_batch(&opts),
+            "ablation-regions" => run_ablation_regions(&opts),
+            "ablation-strategy" => run_ablation_strategy(&opts),
+            "ablation-chunk" => run_ablation_chunk(&opts),
+            "all" => {
+                run_table1(&opts);
+                run_fig(&opts, RegionSize::Small);
+                run_fig(&opts, RegionSize::Medium);
+                run_fig(&opts, RegionSize::Large);
+                run_fig6(&opts);
+                run_complexity(&opts);
+                run_ablation_grid(&opts);
+                run_ablation_gamma(&opts);
+                run_ablation_estimator(&opts);
+                run_ablation_prefetch(&opts);
+                run_ablation_batch(&opts);
+                run_ablation_regions(&opts);
+                run_ablation_strategy(&opts);
+                run_ablation_chunk(&opts);
+            }
+            other => {
+                eprintln!("unknown command: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("\n(total {:.1}s)", started.elapsed().as_secs_f64());
+}
+
+fn run_table1(opts: &Options) {
+    let scale = accuracy_scale(opts);
+    println!("\n=== Table 1 — PARAMETERS ===");
+    for (k, v) in table1(&scale) {
+        println!("{k:<42} {v}");
+    }
+}
+
+fn run_fig(opts: &Options, size: RegionSize) {
+    let scale = accuracy_scale(opts);
+    let fixture = Fixture::build(&opts.data, scale).expect("fixture");
+    let fig = fig_accuracy(&fixture, size).expect("accuracy experiment");
+    print_accuracy(&fig);
+    save_json(opts, &fig.figure.clone(), &fig);
+}
+
+fn run_fig6(opts: &Options) {
+    let scale = response_scale(opts);
+    let fixture = Fixture::build(&opts.data, scale).expect("fixture");
+    let fig = fig6_response_time(&fixture).expect("response-time experiment");
+    print_fig6(&fig);
+    save_json(opts, "fig6", &fig);
+}
+
+fn run_complexity(opts: &Options) {
+    let scale = response_scale(opts);
+    let fixture = Fixture::build(&opts.data, scale).expect("fixture");
+    let report = complexity(&fixture).expect("complexity experiment");
+    println!("\n=== §3.3 complexity: O(kn) vs O(ke) ===");
+    println!("n (dataset rows):                  {}", report.n);
+    println!("DBMS tuples examined / iteration:  {:.0}", report.dbms_examined_mean);
+    println!("DBMS bytes / iteration:            {:.0}", report.dbms_bytes_mean);
+    println!("UEI region rows e / iteration:     {:.0}", report.uei_region_rows_mean);
+    println!("UEI bytes / iteration:             {:.0}", report.uei_bytes_mean);
+    println!("n / e:                             {:.1}", report.n_over_e);
+    println!("byte ratio (DBMS / UEI):           {:.1}", report.byte_ratio);
+    save_json(opts, "complexity", &report);
+}
+
+fn ablation_fixture(opts: &Options) -> Fixture {
+    let mut scale = accuracy_scale(opts);
+    // Ablations need fewer runs to stay fast but keep the shape.
+    scale.runs = scale.runs.min(3);
+    scale.max_labels = scale.max_labels.min(60);
+    Fixture::build(&opts.data, scale).expect("fixture")
+}
+
+fn print_ablation(ab: &uei_bench::experiments::Ablation) {
+    println!("\n=== ablation — {} ===", ab.parameter);
+    println!(
+        "{:>16} {:>16} {:>12} {:>18}",
+        "value", "mean resp (ms)", "final F", "bytes/iter"
+    );
+    for p in &ab.points {
+        println!(
+            "{:>16} {:>16.3} {:>12.4} {:>18.0}",
+            p.value, p.mean_response_ms, p.final_f_measure, p.bytes_per_iteration
+        );
+    }
+}
+
+fn run_ablation_grid(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let cells = if opts.quick { vec![2, 4] } else { vec![2, 3, 5, 8] };
+    let ab = ablation_grid(&fixture, &cells).expect("grid ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_grid", &ab);
+}
+
+fn run_ablation_gamma(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let gammas = if opts.quick { vec![200, 800] } else { vec![250, 500, 1000, 2000, 4000] };
+    let ab = ablation_gamma(&fixture, &gammas).expect("gamma ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_gamma", &ab);
+}
+
+fn run_ablation_estimator(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let ab = ablation_estimator(&fixture).expect("estimator ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_estimator", &ab);
+}
+
+fn run_ablation_prefetch(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let sigmas = if opts.quick { vec![0.5] } else { vec![0.1, 0.5, 1.0] };
+    let ab = ablation_prefetch(&fixture, &sigmas).expect("prefetch ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_prefetch", &ab);
+}
+
+fn run_ablation_batch(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let batches = if opts.quick { vec![1, 5] } else { vec![1, 3, 5, 10] };
+    let ab = ablation_batch(&fixture, &batches).expect("batch ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_batch", &ab);
+}
+
+fn run_ablation_regions(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let counts = if opts.quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    let ab = ablation_regions(&fixture, &counts).expect("regions ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_regions", &ab);
+}
+
+fn run_ablation_strategy(opts: &Options) {
+    let fixture = ablation_fixture(opts);
+    let ab = ablation_strategy(&fixture).expect("strategy ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_strategy", &ab);
+}
+
+fn run_ablation_chunk(opts: &Options) {
+    let mut scale = accuracy_scale(opts);
+    scale.runs = scale.runs.min(3);
+    scale.max_labels = scale.max_labels.min(60);
+    let sizes = if opts.quick {
+        vec![4 * 1024, 32 * 1024]
+    } else {
+        vec![2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024]
+    };
+    let ab = ablation_chunk_size(&opts.data, &scale, &sizes).expect("chunk ablation");
+    print_ablation(&ab);
+    save_json(opts, "ablation_chunk", &ab);
+}

@@ -1,0 +1,326 @@
+//! An in-memory B+-tree for single-attribute secondary indexes.
+//!
+//! The baseline DBMS indexes individual attributes the way MySQL would;
+//! the oracle uses such indexes for its ground-truth range queries. The
+//! exploration scan itself cannot use them — "as the exploration could
+//! occur on any subset of the attributes, it is nearly impossible to apply
+//! any typical indexing in advance" (paper §1) — which is exactly the
+//! paper's motivation for UEI.
+//!
+//! Keys are `(value, row-id)` pairs so duplicate attribute values are
+//! naturally supported. Nodes live in an arena; leaves are chained for
+//! range scans.
+
+use uei_types::{Result, UeiError};
+
+/// A key in the tree: the attribute value plus the row id (making every
+/// key unique).
+type Key = (f64, u64);
+
+#[derive(Debug)]
+enum Node {
+    Internal {
+        /// `keys[i]` is the smallest key reachable under `children[i + 1]`.
+        keys: Vec<Key>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        entries: Vec<Key>,
+        next: Option<usize>,
+    },
+}
+
+/// An in-memory B+-tree mapping attribute values to row ids.
+///
+/// ```
+/// use uei_dbms::BPlusTree;
+///
+/// let mut index = BPlusTree::new(16).unwrap();
+/// for (row, value) in [(0u64, 3.5), (1, 1.25), (2, 9.0), (3, 1.25)] {
+///     index.insert(value, row).unwrap();
+/// }
+/// // Duplicate values are fine; ranges are inclusive and ordered.
+/// assert_eq!(index.range(1.0, 4.0), vec![1, 3, 0]);
+/// ```
+#[derive(Debug)]
+pub struct BPlusTree {
+    /// Maximum entries per node before splitting.
+    order: usize,
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree. `order` is the max entries per node (≥ 3).
+    pub fn new(order: usize) -> Result<BPlusTree> {
+        if order < 3 {
+            return Err(UeiError::invalid_config("B+-tree order must be >= 3"));
+        }
+        Ok(BPlusTree {
+            order,
+            nodes: vec![Node::Leaf { entries: Vec::new(), next: None }],
+            root: 0,
+            len: 0,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = just a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    idx = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Inserts a `(value, row-id)` entry. `value` must not be NaN.
+    pub fn insert(&mut self, value: f64, row: u64) -> Result<()> {
+        if value.is_nan() {
+            return Err(UeiError::invalid_config("cannot index NaN"));
+        }
+        let key = (value, row);
+        if let Some((split_key, new_node)) = self.insert_into(self.root, key) {
+            let old_root = self.root;
+            self.nodes.push(Node::Internal {
+                keys: vec![split_key],
+                children: vec![old_root, new_node],
+            });
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Recursive insert; returns `(separator key, right sibling)` when the
+    /// child split.
+    fn insert_into(&mut self, idx: usize, key: Key) -> Option<(Key, usize)> {
+        match &mut self.nodes[idx] {
+            Node::Leaf { entries, .. } => {
+                let pos = entries.partition_point(|e| cmp_key(e, &key).is_lt());
+                entries.insert(pos, key);
+                if entries.len() <= self.order {
+                    return None;
+                }
+                // Split the leaf: the right half inherits the old `next`,
+                // and the left half points at the new right sibling.
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let split_key = right_entries[0];
+                let inherited_next = match &mut self.nodes[idx] {
+                    Node::Leaf { next, .. } => next.take(),
+                    _ => unreachable!("idx is a leaf"),
+                };
+                self.nodes.push(Node::Leaf { entries: right_entries, next: inherited_next });
+                let right_idx = self.nodes.len() - 1;
+                if let Node::Leaf { next, .. } = &mut self.nodes[idx] {
+                    *next = Some(right_idx);
+                }
+                Some((split_key, right_idx))
+            }
+            Node::Internal { keys, children } => {
+                let pos = keys.partition_point(|k| cmp_key(k, &key).is_le());
+                let child = children[pos];
+                let split = self.insert_into(child, key);
+                let (split_key, new_child) = split?;
+                if let Node::Internal { keys, children } = &mut self.nodes[idx] {
+                    keys.insert(pos, split_key);
+                    children.insert(pos + 1, new_child);
+                    if keys.len() <= self.order {
+                        return None;
+                    }
+                    // Split the internal node: middle key moves up.
+                    let mid = keys.len() / 2;
+                    let up_key = keys[mid];
+                    let right_keys = keys.split_off(mid + 1);
+                    keys.pop(); // remove up_key from the left node
+                    let right_children = children.split_off(mid + 1);
+                    self.nodes.push(Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    });
+                    return Some((up_key, self.nodes.len() - 1));
+                }
+                unreachable!("node kind cannot change mid-insert");
+            }
+        }
+    }
+
+    /// Row ids whose indexed value lies in `[lo, hi]` (inclusive), in
+    /// ascending `(value, row-id)` order.
+    pub fn range(&self, lo: f64, hi: f64) -> Vec<u64> {
+        self.range_entries(lo, hi).into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// `(value, row-id)` pairs in `[lo, hi]`, ascending.
+    pub fn range_entries(&self, lo: f64, hi: f64) -> Vec<Key> {
+        if self.len == 0 || lo > hi {
+            return Vec::new();
+        }
+        let start_key = (lo, 0u64);
+        // Descend to the leaf that may contain `lo`.
+        let mut idx = self.root;
+        while let Node::Internal { keys, children } = &self.nodes[idx] {
+            let pos = keys.partition_point(|k| cmp_key(k, &start_key).is_le());
+            idx = children[pos];
+        }
+        let mut out = Vec::new();
+        let mut leaf = Some(idx);
+        #[allow(clippy::while_let_loop)]
+        while let Some(li) = leaf {
+            let Node::Leaf { entries, next } = &self.nodes[li] else {
+                unreachable!("leaf chain only links leaves")
+            };
+            for &(v, r) in entries {
+                if v > hi {
+                    return out;
+                }
+                if v >= lo {
+                    out.push((v, r));
+                }
+            }
+            leaf = *next;
+        }
+        out
+    }
+
+    /// Every entry ascending — validates the leaf chain end to end.
+    pub fn iter_all(&self) -> Vec<Key> {
+        self.range_entries(f64::NEG_INFINITY, f64::INFINITY)
+    }
+}
+
+#[inline]
+fn cmp_key(a: &Key, b: &Key) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0).expect("no NaN keys").then(a.1.cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::Rng;
+
+    #[test]
+    fn insert_and_range_small() {
+        let mut t = BPlusTree::new(4).unwrap();
+        for (v, r) in [(5.0, 1), (1.0, 2), (3.0, 3), (9.0, 4), (7.0, 5)] {
+            t.insert(v, r).unwrap();
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.range(3.0, 7.0), vec![3, 1, 5]);
+        assert_eq!(t.range(0.0, 100.0).len(), 5);
+        assert_eq!(t.range(10.0, 20.0), Vec::<u64>::new());
+        assert_eq!(t.range(5.0, 3.0), Vec::<u64>::new(), "inverted range is empty");
+    }
+
+    #[test]
+    fn bulk_insert_matches_sorted_reference() {
+        let mut t = BPlusTree::new(8).unwrap();
+        let mut rng = Rng::new(17);
+        let mut reference: Vec<Key> = Vec::new();
+        for r in 0..5000u64 {
+            let v = (rng.range_f64(0.0, 1000.0) * 10.0).round() / 10.0; // force duplicates
+            t.insert(v, r).unwrap();
+            reference.push((v, r));
+        }
+        reference.sort_by(cmp_key);
+        assert_eq!(t.len(), 5000);
+        assert_eq!(t.iter_all(), reference, "leaf chain yields global order");
+        assert!(t.height() > 2, "5000 entries at order 8 should be deep");
+    }
+
+    #[test]
+    fn range_matches_filter_on_random_data() {
+        let mut t = BPlusTree::new(6).unwrap();
+        let mut rng = Rng::new(23);
+        let mut data: Vec<Key> = Vec::new();
+        for r in 0..2000u64 {
+            let v = rng.range_f64(-50.0, 50.0);
+            t.insert(v, r).unwrap();
+            data.push((v, r));
+        }
+        data.sort_by(cmp_key);
+        for (lo, hi) in [(-10.0, 10.0), (-50.0, -49.0), (49.9, 50.0), (0.0, 0.0)] {
+            let got = t.range_entries(lo, hi);
+            let want: Vec<Key> =
+                data.iter().filter(|(v, _)| *v >= lo && *v <= hi).copied().collect();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_all_returned() {
+        let mut t = BPlusTree::new(3).unwrap();
+        for r in 0..100 {
+            t.insert(42.0, r).unwrap();
+        }
+        let got = t.range(42.0, 42.0);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(t.range(41.9, 41.99), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn ascending_and_descending_insert_orders() {
+        for order_mode in 0..2 {
+            let mut t = BPlusTree::new(4).unwrap();
+            let values: Vec<u64> = if order_mode == 0 {
+                (0..500).collect()
+            } else {
+                (0..500).rev().collect()
+            };
+            for &r in &values {
+                t.insert(r as f64, r).unwrap();
+            }
+            let all = t.iter_all();
+            assert_eq!(all.len(), 500);
+            for w in all.windows(2) {
+                assert!(cmp_key(&w[0], &w[1]).is_lt());
+            }
+        }
+    }
+
+    #[test]
+    fn validations() {
+        assert!(BPlusTree::new(2).is_err());
+        let mut t = BPlusTree::new(4).unwrap();
+        assert!(t.insert(f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = BPlusTree::new(4).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.range(0.0, 1.0), Vec::<u64>::new());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn minimal_order_three_stays_correct() {
+        let mut t = BPlusTree::new(3).unwrap();
+        let mut rng = Rng::new(31);
+        let mut keys: Vec<Key> = Vec::new();
+        for r in 0..1000u64 {
+            let v = rng.range_f64(0.0, 10.0);
+            t.insert(v, r).unwrap();
+            keys.push((v, r));
+        }
+        keys.sort_by(cmp_key);
+        assert_eq!(t.iter_all(), keys);
+    }
+}

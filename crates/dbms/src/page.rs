@@ -1,0 +1,274 @@
+//! Fixed-size slotted pages.
+//!
+//! The classic layout: a header at the front, tuple payloads growing
+//! forward from the header, and a slot directory growing backward from the
+//! tail. The final four bytes hold a CRC-32 over the rest of the page,
+//! validated on every read from disk.
+//!
+//! ```text
+//! 0        4        8       10        12          free_off …
+//! [magic] [page_id] [nslots] [free_off] [payload →]   …  [← slot dir] [crc]
+//! ```
+//!
+//! Each slot-directory entry is `(offset: u16, len: u16)`.
+
+use uei_types::{Result, UeiError};
+use uei_storage::checksum::crc32;
+
+/// Page size in bytes. 8 KiB, a typical row-store page.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Page magic number ("UPG1").
+pub const PAGE_MAGIC: u32 = 0x5550_4731;
+
+const HEADER_LEN: usize = 12;
+const SLOT_LEN: usize = 4;
+const CRC_LEN: usize = 4;
+
+/// Identifies a page within a heap file.
+pub type PageId = u32;
+
+/// An in-memory slotted page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    id: PageId,
+    buf: Box<[u8; PAGE_SIZE]>,
+    num_slots: u16,
+    free_off: u16,
+}
+
+impl Page {
+    /// Creates an empty page.
+    pub fn new(id: PageId) -> Page {
+        Page {
+            id,
+            buf: Box::new([0u8; PAGE_SIZE]),
+            num_slots: 0,
+            free_off: HEADER_LEN as u16,
+        }
+    }
+
+    /// The page's id.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Number of tuples stored.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots as usize
+    }
+
+    /// Bytes still available for one more tuple (payload + its slot entry).
+    pub fn free_space(&self) -> usize {
+        let dir_start = PAGE_SIZE - CRC_LEN - self.num_slots as usize * SLOT_LEN;
+        dir_start.saturating_sub(self.free_off as usize).saturating_sub(SLOT_LEN)
+    }
+
+    /// Appends a tuple, returning its slot number, or `None` if it does
+    /// not fit.
+    pub fn insert(&mut self, tuple: &[u8]) -> Option<u16> {
+        if tuple.len() > u16::MAX as usize || tuple.len() > self.free_space() {
+            return None;
+        }
+        let off = self.free_off as usize;
+        self.buf[off..off + tuple.len()].copy_from_slice(tuple);
+        let slot = self.num_slots;
+        let dir_off = PAGE_SIZE - CRC_LEN - (slot as usize + 1) * SLOT_LEN;
+        self.buf[dir_off..dir_off + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        self.buf[dir_off + 2..dir_off + 4]
+            .copy_from_slice(&(tuple.len() as u16).to_le_bytes());
+        self.num_slots += 1;
+        self.free_off = (off + tuple.len()) as u16;
+        Some(slot)
+    }
+
+    /// The tuple bytes at `slot`.
+    pub fn get(&self, slot: u16) -> Result<&[u8]> {
+        if slot >= self.num_slots {
+            return Err(UeiError::not_found(format!(
+                "slot {slot} in page {} ({} slots)",
+                self.id, self.num_slots
+            )));
+        }
+        let dir_off = PAGE_SIZE - CRC_LEN - (slot as usize + 1) * SLOT_LEN;
+        let off = u16::from_le_bytes(self.buf[dir_off..dir_off + 2].try_into().expect("2b"))
+            as usize;
+        let len =
+            u16::from_le_bytes(self.buf[dir_off + 2..dir_off + 4].try_into().expect("2b"))
+                as usize;
+        if off + len > PAGE_SIZE - CRC_LEN {
+            return Err(UeiError::corrupt(format!(
+                "slot {slot} of page {} points outside the page",
+                self.id
+            )));
+        }
+        Ok(&self.buf[off..off + len])
+    }
+
+    /// Iterates every tuple in slot order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.num_slots).map(move |s| self.get(s).expect("slot in range"))
+    }
+
+    /// Serializes the page (header + payload + directory + CRC).
+    pub fn to_bytes(&self) -> [u8; PAGE_SIZE] {
+        let mut out = *self.buf;
+        out[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+        out[4..8].copy_from_slice(&self.id.to_le_bytes());
+        out[8..10].copy_from_slice(&self.num_slots.to_le_bytes());
+        out[10..12].copy_from_slice(&self.free_off.to_le_bytes());
+        let crc = crc32(&out[..PAGE_SIZE - CRC_LEN]);
+        out[PAGE_SIZE - CRC_LEN..].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a page image.
+    pub fn from_bytes(expected_id: PageId, bytes: &[u8]) -> Result<Page> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(UeiError::corrupt(format!(
+                "page image is {} bytes, expected {PAGE_SIZE}",
+                bytes.len()
+            )));
+        }
+        let stored_crc = u32::from_le_bytes(
+            bytes[PAGE_SIZE - CRC_LEN..].try_into().expect("4b"),
+        );
+        let actual = crc32(&bytes[..PAGE_SIZE - CRC_LEN]);
+        if stored_crc != actual {
+            return Err(UeiError::corrupt(format!(
+                "page {expected_id} crc mismatch"
+            )));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4b"));
+        if magic != PAGE_MAGIC {
+            return Err(UeiError::corrupt(format!("page {expected_id} bad magic")));
+        }
+        let id = u32::from_le_bytes(bytes[4..8].try_into().expect("4b"));
+        if id != expected_id {
+            return Err(UeiError::corrupt(format!(
+                "page claims id {id}, expected {expected_id}"
+            )));
+        }
+        let num_slots = u16::from_le_bytes(bytes[8..10].try_into().expect("2b"));
+        let free_off = u16::from_le_bytes(bytes[10..12].try_into().expect("2b"));
+        if (free_off as usize) < HEADER_LEN
+            || free_off as usize + num_slots as usize * SLOT_LEN > PAGE_SIZE - CRC_LEN
+        {
+            return Err(UeiError::corrupt(format!(
+                "page {expected_id} header inconsistent"
+            )));
+        }
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        buf.copy_from_slice(bytes);
+        Ok(Page { id, buf, num_slots, free_off })
+    }
+
+    /// Approximate in-memory footprint of a buffered page (used by the
+    /// experiment harness to express the buffer-pool budget in bytes).
+    pub const fn memory_footprint() -> usize {
+        PAGE_SIZE + std::mem::size_of::<Page>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new(3);
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(p.get(0).unwrap(), b"hello");
+        assert_eq!(p.get(1).unwrap(), b"world!");
+        assert!(p.get(2).is_err());
+        assert_eq!(p.num_slots(), 2);
+    }
+
+    #[test]
+    fn fills_until_capacity() {
+        let mut p = Page::new(0);
+        let tuple = [0xABu8; 100];
+        let mut count = 0;
+        while p.insert(&tuple).is_some() {
+            count += 1;
+        }
+        // 100-byte payload + 4-byte slot: ~78 tuples in 8 KiB.
+        let expected = (PAGE_SIZE - HEADER_LEN - CRC_LEN) / (100 + SLOT_LEN);
+        assert_eq!(count, expected);
+        // And they are all readable.
+        for s in 0..count {
+            assert_eq!(p.get(s as u16).unwrap(), &tuple);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_tuple() {
+        let mut p = Page::new(0);
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+        assert_eq!(p.num_slots(), 0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut p = Page::new(7);
+        p.insert(b"alpha").unwrap();
+        p.insert(b"beta").unwrap();
+        let bytes = p.to_bytes();
+        let q = Page::from_bytes(7, &bytes).unwrap();
+        assert_eq!(q.num_slots(), 2);
+        assert_eq!(q.get(0).unwrap(), b"alpha");
+        assert_eq!(q.get(1).unwrap(), b"beta");
+        assert_eq!(q.id(), 7);
+    }
+
+    #[test]
+    fn from_bytes_validates() {
+        let p = Page::new(1);
+        let bytes = p.to_bytes();
+        // Wrong expected id.
+        assert!(Page::from_bytes(2, &bytes).is_err());
+        // Wrong length.
+        assert!(Page::from_bytes(1, &bytes[..100]).is_err());
+        // Bit flip.
+        for pos in [0usize, 5, 11, 100, PAGE_SIZE - 1] {
+            let mut copy = bytes;
+            copy[pos] ^= 1;
+            assert!(Page::from_bytes(1, &copy).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn tuples_iterator_order() {
+        let mut p = Page::new(0);
+        for i in 0..10u8 {
+            p.insert(&[i; 8]).unwrap();
+        }
+        let collected: Vec<Vec<u8>> = p.tuples().map(|t| t.to_vec()).collect();
+        for (i, t) in collected.iter().enumerate() {
+            assert_eq!(t, &vec![i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn empty_page_round_trips() {
+        let p = Page::new(9);
+        let q = Page::from_bytes(9, &p.to_bytes()).unwrap();
+        assert_eq!(q.num_slots(), 0);
+        assert_eq!(q.free_space(), PAGE_SIZE - HEADER_LEN - CRC_LEN - SLOT_LEN);
+    }
+
+    #[test]
+    fn free_space_decreases_monotonically() {
+        let mut p = Page::new(0);
+        let mut last = p.free_space();
+        for _ in 0..20 {
+            p.insert(&[0u8; 50]).unwrap();
+            let now = p.free_space();
+            assert!(now < last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Exploration backends: the two storage schemes under comparison.
+//!
+//! The paper evaluates one IDE system (REQUEST) "with two schemes, one
+//! incorporating UEI, and one utilizing MySQL" (§4). The
+//! [`ExplorationBackend`] trait is the seam between the shared exploration
+//! loop and those schemes:
+//!
+//! - [`UeiBackend`] — Algorithm 2: keeps a uniform sample `U` in memory,
+//!   asks the Uncertainty Estimation Index for the most uncertain subspace
+//!   each iteration, and selects the next example from `U ∪ g*`;
+//! - [`DbmsBackend`] — Algorithm 1 over the MySQL-like row store: each
+//!   iteration performs the exhaustive uncertainty scan over the whole
+//!   table through a restricted buffer pool.
+
+use std::sync::Arc;
+
+use uei_dbms::buffer::BufferPool;
+use uei_dbms::scan::exhaustive_most_uncertain;
+use uei_dbms::table::Table;
+use uei_index::config::UeiConfig;
+use uei_index::uei::{LoadSource, UeiIndex};
+use uei_learn::dataset::{LabeledSet, UnlabeledPool};
+use uei_learn::strategy::{QueryStrategy, RandomSampling, UncertaintyMeasure, UncertaintySampling};
+use uei_learn::Classifier;
+use uei_storage::store::ColumnStore;
+use uei_types::{DataPoint, Result, Rng, RowId, Schema, UeiError};
+
+/// Per-selection diagnostics reported by a backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SelectionInfo {
+    /// UEI: the chosen cell id.
+    pub cell: Option<usize>,
+    /// UEI: rows in the loaded region.
+    pub region_rows: Option<usize>,
+    /// UEI: whether the region came from the prefetcher.
+    pub prefetched: bool,
+    /// UEI: current candidate-pool size.
+    pub pool_size: Option<usize>,
+    /// DBMS: tuples examined by the exhaustive scan.
+    pub examined: Option<u64>,
+}
+
+/// A storage scheme the exploration loop can run on.
+pub trait ExplorationBackend {
+    /// Scheme name for reports ("uei" / "dbms").
+    fn name(&self) -> &'static str;
+
+    /// Dataset schema.
+    fn schema(&self) -> &Schema;
+
+    /// Number of rows in the dataset.
+    fn num_rows(&self) -> u64;
+
+    /// Uniformly samples `k` rows (used for bootstrap and for the
+    /// harness's evaluation sample). Charged to the shared I/O model.
+    fn sample_rows(&mut self, k: usize, rng: &mut Rng) -> Result<Vec<DataPoint>>;
+
+    /// Fetches specific rows by id (the substitute for REQUEST's
+    /// data-reduction stage when bootstrap sampling finds no positive).
+    fn fetch_rows(&mut self, ids: &[u64]) -> Result<Vec<DataPoint>>;
+
+    /// Selects the next example to present for labeling, given the current
+    /// model. Must never return an already-labeled row.
+    fn select_next(
+        &mut self,
+        model: &dyn Classifier,
+        labeled: &LabeledSet,
+    ) -> Result<Option<(DataPoint, SelectionInfo)>>;
+
+    /// Informs the backend that `id` has been labeled (leaves any pools).
+    fn mark_labeled(&mut self, id: RowId);
+
+    /// Final result retrieval (Algorithm 2 line 26): row ids the model
+    /// classifies positive, ascending, via a full pass over the dataset.
+    fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>>;
+}
+
+// ---------------------------------------------------------------------------
+// UEI scheme
+// ---------------------------------------------------------------------------
+
+/// The UEI scheme (Algorithm 2).
+pub struct UeiBackend {
+    index: UeiIndex,
+    pool: UnlabeledPool,
+    strategy: Box<dyn QueryStrategy + Send>,
+    gamma: usize,
+}
+
+impl UeiBackend {
+    /// Builds the scheme over an initialized column store: constructs the
+    /// index (lines 7–11) and fills the unlabeled cache `U` with a uniform
+    /// sample of `gamma` rows (line 12).
+    pub fn new(
+        store: Arc<ColumnStore>,
+        config: UeiConfig,
+        measure: UncertaintyMeasure,
+        gamma: usize,
+        rng: &mut Rng,
+    ) -> Result<UeiBackend> {
+        let regions_in_memory = config.regions_in_memory;
+        let index = UeiIndex::build_with_measure(store, config, measure)?;
+        let sample = index.sample_unlabeled(gamma, rng)?;
+        Ok(UeiBackend {
+            index,
+            pool: UnlabeledPool::with_region_capacity(sample, regions_in_memory),
+            strategy: Box::new(UncertaintySampling::new(measure)),
+            gamma,
+        })
+    }
+
+    /// Replaces the example-selection strategy (default: uncertainty
+    /// sampling). [`RandomSampling`] gives the classic "is active learning
+    /// worth it" baseline; query-by-committee plugs in the same way.
+    pub fn set_strategy(&mut self, strategy: Box<dyn QueryStrategy + Send>) {
+        self.strategy = strategy;
+    }
+
+    /// Convenience: switch to uniform random selection with a seed.
+    pub fn use_random_strategy(&mut self, seed: u64) {
+        self.strategy = Box::new(RandomSampling::new(seed));
+    }
+
+    /// The underlying index (diagnostics).
+    pub fn index(&self) -> &UeiIndex {
+        &self.index
+    }
+
+    /// The configured uniform-sample size γ.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+}
+
+impl ExplorationBackend for UeiBackend {
+    fn name(&self) -> &'static str {
+        "uei"
+    }
+
+    fn schema(&self) -> &Schema {
+        self.index.store().schema()
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.index.store().num_rows()
+    }
+
+    fn sample_rows(&mut self, k: usize, rng: &mut Rng) -> Result<Vec<DataPoint>> {
+        self.index.store().sample_rows(k, rng)
+    }
+
+    fn fetch_rows(&mut self, ids: &[u64]) -> Result<Vec<DataPoint>> {
+        self.index.store().fetch_rows(ids)
+    }
+
+    fn select_next(
+        &mut self,
+        model: &dyn Classifier,
+        labeled: &LabeledSet,
+    ) -> Result<Option<(DataPoint, SelectionInfo)>> {
+        // Lines 15–20: rescore index points, load the most uncertain
+        // region, swap it into U. A `Retained` load means the deferral
+        // logic kept the previous region current — it is already in the
+        // pool, so nothing is swapped.
+        self.index.update_uncertainty(model);
+        let load = self.index.select_and_load()?;
+        let region_rows =
+            if load.source == LoadSource::Retained { self.pool.region_len() } else { load.rows.len() };
+        if load.source != LoadSource::Retained {
+            let fresh: Vec<DataPoint> =
+                load.rows.into_iter().filter(|p| !labeled.contains(p.id)).collect();
+            self.pool.swap_region(fresh);
+        }
+
+        // Line 21: uncertainty sampling over U.
+        let candidates = self.pool.candidates();
+        let info = SelectionInfo {
+            cell: Some(load.cell),
+            region_rows: Some(region_rows),
+            prefetched: load.source == LoadSource::Prefetched,
+            pool_size: Some(candidates.len()),
+            examined: None,
+        };
+        match self.strategy.select(model, &candidates) {
+            Some(idx) => {
+                let point = candidates[idx].clone();
+                self.pool.remove(point.id);
+                Ok(Some((point, info)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn mark_labeled(&mut self, id: RowId) {
+        self.pool.remove(id);
+    }
+
+    fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.index.store().scan_all(|p| {
+            if model.predict(&p.values).is_positive() {
+                out.push(p.id.as_u64());
+            }
+        })?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DBMS scheme
+// ---------------------------------------------------------------------------
+
+/// The MySQL-like scheme (Algorithm 1 over the row store).
+pub struct DbmsBackend {
+    table: Table,
+    pool: BufferPool,
+    measure: UncertaintyMeasure,
+}
+
+impl DbmsBackend {
+    /// Opens the scheme over a table with a buffer pool of
+    /// `buffer_pool_pages` pages charged to `tracker` — the experiment
+    /// harness sizes the pool to the paper's ~1 % memory restriction.
+    pub fn new(
+        table: Table,
+        buffer_pool_pages: usize,
+        tracker: uei_storage::DiskTracker,
+        measure: UncertaintyMeasure,
+    ) -> Result<DbmsBackend> {
+        Ok(DbmsBackend { pool: BufferPool::new(buffer_pool_pages, tracker)?, table, measure })
+    }
+
+    /// Builds the scheme with an explicit buffer pool (the pool carries the
+    /// shared [`uei_storage::DiskTracker`]).
+    pub fn with_pool(table: Table, pool: BufferPool, measure: UncertaintyMeasure) -> DbmsBackend {
+        DbmsBackend { table, pool, measure }
+    }
+
+    /// The table (diagnostics).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Buffer-pool statistics.
+    pub fn buffer_stats(&self) -> uei_dbms::buffer::BufferStats {
+        self.pool.stats()
+    }
+}
+
+impl ExplorationBackend for DbmsBackend {
+    fn name(&self) -> &'static str {
+        "dbms"
+    }
+
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.table.num_rows()
+    }
+
+    fn sample_rows(&mut self, k: usize, rng: &mut Rng) -> Result<Vec<DataPoint>> {
+        // `SELECT … ORDER BY RAND() LIMIT k`: a full scan with reservoir
+        // sampling.
+        let mut reservoir: Vec<DataPoint> = Vec::with_capacity(k);
+        let mut seen = 0usize;
+        self.table.scan(&mut self.pool, |p| {
+            seen += 1;
+            if reservoir.len() < k {
+                reservoir.push(p);
+            } else {
+                let j = rng.below_usize(seen);
+                if j < k {
+                    reservoir[j] = p;
+                }
+            }
+        })?;
+        Ok(reservoir)
+    }
+
+    fn fetch_rows(&mut self, ids: &[u64]) -> Result<Vec<DataPoint>> {
+        // No row-id index on the heap: a full scan with an id filter.
+        let want: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let rows = self.table.filter(&mut self.pool, |p| want.contains(&p.id.as_u64()))?;
+        if rows.len() != want.len() {
+            return Err(UeiError::not_found(format!(
+                "{} of {} requested rows missing",
+                want.len() - rows.len(),
+                want.len()
+            )));
+        }
+        Ok(rows)
+    }
+
+    fn select_next(
+        &mut self,
+        model: &dyn Classifier,
+        labeled: &LabeledSet,
+    ) -> Result<Option<(DataPoint, SelectionInfo)>> {
+        let outcome = exhaustive_most_uncertain(
+            &self.table,
+            &mut self.pool,
+            model,
+            self.measure,
+            |id| labeled.contains(id),
+        )?;
+        let info = SelectionInfo {
+            examined: Some(outcome.examined),
+            ..SelectionInfo::default()
+        };
+        Ok(outcome.best.map(|p| (p, info)))
+    }
+
+    fn mark_labeled(&mut self, _id: RowId) {
+        // Nothing cached per-row; the scan filter handles labeled rows.
+    }
+
+    fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.table.scan(&mut self.pool, |p| {
+            if model.predict(&p.values).is_positive() {
+                out.push(p.id.as_u64());
+            }
+        })?;
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::StoreConfig;
+    use uei_types::Label;
+
+    fn sdss_rows(n: usize) -> Vec<DataPoint> {
+        crate::synth::generate_sdss_like(&crate::synth::SynthConfig {
+            rows: n,
+            ..Default::default()
+        })
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-backend-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn uei_backend(tag: &str, n: usize) -> (UeiBackend, DiskTracker, PathBuf) {
+        let dir = temp_dir(tag);
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            dir.join("store"),
+            uei_types::Schema::sdss(),
+            &sdss_rows(n),
+            StoreConfig { chunk_target_bytes: 4096 },
+            tracker.clone(),
+        )
+        .unwrap();
+        let mut rng = Rng::new(3);
+        let backend = UeiBackend::new(
+            Arc::new(store),
+            UeiConfig { cells_per_dim: 3, ..UeiConfig::default() },
+            UncertaintyMeasure::LeastConfidence,
+            200,
+            &mut rng,
+        )
+        .unwrap();
+        (backend, tracker, dir)
+    }
+
+    fn dbms_backend(tag: &str, n: usize) -> (DbmsBackend, DiskTracker, PathBuf) {
+        let dir = temp_dir(tag);
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let table =
+            Table::create(dir.join("table"), uei_types::Schema::sdss(), &sdss_rows(n), &tracker)
+                .unwrap();
+        let pool = BufferPool::new(4, tracker.clone()).unwrap();
+        let backend =
+            DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
+        (backend, tracker, dir)
+    }
+
+    fn trained_model(backend: &mut dyn ExplorationBackend) -> impl Classifier {
+        let mut rng = Rng::new(9);
+        let sample = backend.sample_rows(50, &mut rng).unwrap();
+        // Arbitrary but consistent teacher: ra < 180 is positive.
+        let examples: Vec<(Vec<f64>, Label)> = sample
+            .iter()
+            .map(|p| (p.values.clone(), Label::from_bool(p.values[2] < 180.0)))
+            .collect();
+        uei_learn::ScaledClassifier::train(
+            uei_learn::EstimatorKind::Dwknn { k: 5 },
+            uei_learn::MinMaxScaler::from_schema(backend.schema()),
+            &examples,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uei_backend_selects_unlabeled_points() {
+        let (mut backend, _, dir) = uei_backend("select", 3000);
+        let model = trained_model(&mut backend);
+        let labeled = LabeledSet::new();
+        let (point, info) = backend.select_next(&model, &labeled).unwrap().unwrap();
+        assert_eq!(point.dims(), 5);
+        assert!(info.cell.is_some());
+        assert!(info.region_rows.is_some());
+        assert!(info.pool_size.unwrap() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uei_backend_never_reselects_labeled() {
+        let (mut backend, _, dir) = uei_backend("noreselect", 2000);
+        let model = trained_model(&mut backend);
+        let mut labeled = LabeledSet::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let (point, _) = backend.select_next(&model, &labeled).unwrap().unwrap();
+            assert!(seen.insert(point.id), "row {} selected twice", point.id);
+            labeled.add(point.clone(), Label::Positive).unwrap();
+            backend.mark_labeled(point.id);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn random_strategy_differs_from_uncertainty() {
+        let (mut backend, _, dir) = uei_backend("strategy", 2000);
+        let model = trained_model(&mut backend);
+        let labeled = LabeledSet::new();
+        // Uncertainty sampling picks the argmax (and removes it from the
+        // pool, so successive calls walk down the ranking).
+        let (uncertain_pick, _) = backend.select_next(&model, &labeled).unwrap().unwrap();
+        let u_first = model.uncertainty(&uncertain_pick.values);
+        let (runner_up, _) = backend.select_next(&model, &labeled).unwrap().unwrap();
+        assert!(model.uncertainty(&runner_up.values) <= u_first + 1e-12);
+
+        backend.use_random_strategy(7);
+        let mut random_ids = std::collections::HashSet::new();
+        for _ in 0..5 {
+            let (p, _) = backend.select_next(&model, &labeled).unwrap().unwrap();
+            random_ids.insert(p.id);
+        }
+        assert!(random_ids.len() > 1, "random selection varies across draws");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dbms_backend_scans_whole_table_per_selection() {
+        let (mut backend, tracker, dir) = dbms_backend("scanall", 3000);
+        let model = trained_model(&mut backend);
+        let labeled = LabeledSet::new();
+        let before = tracker.snapshot();
+        let (_, info) = backend.select_next(&model, &labeled).unwrap().unwrap();
+        assert_eq!(info.examined, Some(3000));
+        assert_eq!(
+            tracker.delta(&before).stats.bytes_read,
+            backend.table().size_bytes(),
+            "exhaustive scan reads the full table"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uei_selection_reads_less_than_dbms_selection() {
+        // The core claim, end to end: a UEI iteration touches a fraction
+        // of what the DBMS iteration reads.
+        let n = 4000;
+        let (mut uei, uei_tracker, d1) = uei_backend("cmp1", n);
+        let (mut dbms, dbms_tracker, d2) = dbms_backend("cmp2", n);
+        let model_u = trained_model(&mut uei);
+        let model_d = trained_model(&mut dbms);
+        let labeled = LabeledSet::new();
+
+        let before = uei_tracker.snapshot();
+        uei.select_next(&model_u, &labeled).unwrap().unwrap();
+        let uei_bytes = uei_tracker.delta(&before).stats.bytes_read;
+
+        let before = dbms_tracker.snapshot();
+        dbms.select_next(&model_d, &labeled).unwrap().unwrap();
+        let dbms_bytes = dbms_tracker.delta(&before).stats.bytes_read;
+
+        assert!(
+            uei_bytes * 3 < dbms_bytes,
+            "UEI read {uei_bytes} B vs DBMS {dbms_bytes} B"
+        );
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn both_backends_retrieve_consistent_results() {
+        let n = 2000;
+        let (mut uei, _, d1) = uei_backend("res1", n);
+        let (mut dbms, _, d2) = dbms_backend("res2", n);
+        let model = trained_model(&mut uei);
+        let from_uei = uei.retrieve_results(&model).unwrap();
+        let from_dbms = dbms.retrieve_results(&model).unwrap();
+        assert_eq!(from_uei, from_dbms, "same data + same model ⇒ same result set");
+        assert!(!from_uei.is_empty());
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn sample_and_fetch_round_trip() {
+        for which in 0..2 {
+            let (mut backend, dir): (Box<dyn ExplorationBackend>, PathBuf) = if which == 0 {
+                let (b, _, d) = uei_backend("rt1", 1000);
+                (Box::new(b), d)
+            } else {
+                let (b, _, d) = dbms_backend("rt2", 1000);
+                (Box::new(b), d)
+            };
+            let mut rng = Rng::new(5);
+            let sample = backend.sample_rows(20, &mut rng).unwrap();
+            assert_eq!(sample.len(), 20);
+            let ids: Vec<u64> = sample.iter().map(|p| p.id.as_u64()).collect();
+            let fetched = backend.fetch_rows(&ids).unwrap();
+            assert_eq!(fetched.len(), 20);
+            let mut fetched_sorted = fetched.clone();
+            fetched_sorted.sort_by_key(|p| p.id);
+            let mut sample_sorted = sample.clone();
+            sample_sorted.sort_by_key(|p| p.id);
+            assert_eq!(fetched_sorted, sample_sorted);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

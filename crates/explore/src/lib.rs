@@ -1,0 +1,44 @@
+//! # uei-explore
+//!
+//! The interactive-data-exploration system of the reproduction: a
+//! REQUEST-like exploration loop (the paper's evaluation vehicle, §4.1)
+//! that can run over either storage scheme, plus everything the evaluation
+//! needs around it:
+//!
+//! - [`synth`] — an SDSS-like synthetic dataset generator (the paper uses
+//!   40 GB of Sloan Digital Sky Survey `PhotoObjAll`; see DESIGN.md for
+//!   the substitution argument);
+//! - [`workload`] — target-interest-region generation calibrated to the
+//!   paper's small/medium/large cardinalities (0.1 % / 0.4 % / 0.8 %);
+//! - [`oracle`] — the simulated user: an oracle range query defines the
+//!   ground-truth relevant set and labels examples by the maximum relative
+//!   distance of Eq. 4;
+//! - [`backend`] — the [`backend::ExplorationBackend`] trait with its two
+//!   implementations: [`backend::UeiBackend`] (Algorithm 2) and
+//!   [`backend::DbmsBackend`] (Algorithm 1 over the MySQL-like row store);
+//! - [`session`] — the iteration loop, response-time measurement, and
+//!   per-iteration F-measure traces;
+//! - [`report`] — multi-run averaging and serializable results.
+
+#![warn(missing_docs)]
+// Lint policy: `!(a <= b)` comparisons are deliberate — they reject NaN as
+// well as inverted bounds, which `a > b` would silently accept. Indexed
+// loops that clippy flags as `needless_range_loop` walk several parallel
+// arrays by dimension; the index form keeps that symmetry readable.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod backend;
+pub mod oracle;
+pub mod report;
+pub mod session;
+pub mod synth;
+pub mod workload;
+
+pub use backend::{DbmsBackend, ExplorationBackend, UeiBackend};
+pub use oracle::Oracle;
+pub use report::{average_traces, AveragedIteration, RunSummary};
+pub use session::{ExplorationSession, IterationTrace, SessionConfig, SessionResult};
+pub use synth::{generate_sdss_like, SynthConfig};
+pub use workload::{generate_target_region, generate_target_region_fraction, RegionSize, TargetRegion};

@@ -1,0 +1,157 @@
+//! The simulated user (paper §4.1, "User Simulation").
+//!
+//! "For each target interest region, we simulate the user by executing the
+//! corresponding range query to collect the exact target set of relevant
+//! tuples. We rely on this 'oracle' set to assign confidence score p to
+//! the tuples we extract in each iteration based on their location in the
+//! data space against the target region."
+//!
+//! The membership measure is the maximum relative distance of Eq. 4:
+//! `d = max_i |x_i − c_i| / w_i` — a point is relevant exactly when
+//! `d ≤ 1`, and `1 − min(d, something)` grades confidence near the border.
+
+use std::collections::HashSet;
+
+use uei_types::{DataPoint, Label, Region, Result};
+
+use crate::workload::TargetRegion;
+
+/// The simulated user.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    target: TargetRegion,
+    relevant: HashSet<u64>,
+}
+
+impl Oracle {
+    /// Builds the oracle from a generated target region (whose ground
+    /// truth came from the oracle range query at workload-generation time).
+    pub fn new(target: TargetRegion) -> Oracle {
+        let relevant = target.relevant_ids.iter().copied().collect();
+        Oracle { target, relevant }
+    }
+
+    /// The target region.
+    pub fn region(&self) -> &Region {
+        &self.target.region
+    }
+
+    /// The target region descriptor.
+    pub fn target(&self) -> &TargetRegion {
+        &self.target
+    }
+
+    /// Ground-truth relevant row ids, ascending.
+    pub fn relevant_ids(&self) -> &[u64] {
+        &self.target.relevant_ids
+    }
+
+    /// Number of relevant tuples.
+    pub fn num_relevant(&self) -> usize {
+        self.target.relevant_ids.len()
+    }
+
+    /// Eq. 4: the maximum relative distance of `point` from the region
+    /// center (`<= 1` inside the region).
+    pub fn relative_distance(&self, point: &[f64]) -> Result<f64> {
+        self.target.region.max_relative_distance(point)
+    }
+
+    /// Labels one example the way the simulated user would.
+    pub fn label(&self, point: &DataPoint) -> Result<Label> {
+        Ok(Label::from_bool(self.relative_distance(&point.values)? <= 1.0))
+    }
+
+    /// Confidence that the point is relevant, graded by Eq. 4's distance:
+    /// 1 at the center, 0.5 at the region border, decaying outside. Useful
+    /// for soft-label extensions; the binary experiments use [`Self::label`].
+    pub fn confidence(&self, point: &[f64]) -> Result<f64> {
+        let d = self.relative_distance(point)?;
+        Ok(1.0 / (1.0 + d * d))
+    }
+
+    /// Ground-truth membership by row id (exact oracle set).
+    pub fn is_relevant_id(&self, id: u64) -> bool {
+        self.relevant.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_sdss_like, SynthConfig};
+    use crate::workload::{generate_target_region, RegionSize};
+    use uei_types::{Rng, Schema};
+
+    fn oracle_fixture() -> (Oracle, Vec<DataPoint>) {
+        let rows = generate_sdss_like(&SynthConfig { rows: 5_000, ..Default::default() });
+        let schema = Schema::sdss();
+        let mut rng = Rng::new(21);
+        let target =
+            generate_target_region(&rows, &schema, RegionSize::Large, &mut rng).unwrap();
+        (Oracle::new(target), rows)
+    }
+
+    #[test]
+    fn labels_agree_with_region_membership() {
+        let (oracle, rows) = oracle_fixture();
+        for r in &rows {
+            let inside = oracle.region().contains(&r.values).unwrap();
+            let label = oracle.label(r).unwrap();
+            assert_eq!(label.is_positive(), inside, "row {}", r.id);
+            assert_eq!(oracle.is_relevant_id(r.id.as_u64()), inside);
+        }
+    }
+
+    #[test]
+    fn eq4_distance_is_one_on_the_border() {
+        let (oracle, _) = oracle_fixture();
+        let t = oracle.target();
+        // A point exactly on the border in dimension 0.
+        let mut edge = t.center.clone();
+        edge[0] += t.half_widths[0];
+        let d = oracle.relative_distance(&edge).unwrap();
+        assert!((d - 1.0).abs() < 1e-9, "border distance {d}");
+        // Just inside the border (exact border can round to 1 + ε in f64).
+        let mut inside = t.center.clone();
+        inside[0] += t.half_widths[0] * (1.0 - 1e-9);
+        assert!(oracle.label(&DataPoint::new(0u64, inside)).unwrap().is_positive());
+    }
+
+    #[test]
+    fn center_has_distance_zero_and_max_confidence() {
+        let (oracle, _) = oracle_fixture();
+        let c = oracle.target().center.clone();
+        assert_eq!(oracle.relative_distance(&c).unwrap(), 0.0);
+        assert_eq!(oracle.confidence(&c).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn confidence_decays_monotonically() {
+        let (oracle, _) = oracle_fixture();
+        let t = oracle.target().clone();
+        let mut last = f64::INFINITY;
+        for k in [0.0, 0.5, 1.0, 1.5, 3.0] {
+            let mut p = t.center.clone();
+            p[0] += k * t.half_widths[0];
+            let conf = oracle.confidence(&p).unwrap();
+            assert!(conf <= last, "confidence must decay with distance");
+            last = conf;
+        }
+        // Border confidence is exactly 0.5.
+        let mut border = t.center.clone();
+        border[0] += t.half_widths[0];
+        assert!((oracle.confidence(&border).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relevant_count_matches_ids() {
+        let (oracle, rows) = oracle_fixture();
+        let brute = rows
+            .iter()
+            .filter(|r| oracle.region().contains(&r.values).unwrap())
+            .count();
+        assert_eq!(oracle.num_relevant(), brute);
+        assert_eq!(oracle.relevant_ids().len(), brute);
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-run aggregation of session results.
+//!
+//! The paper reports every figure as the average of 10 complete runs
+//! (Table 1). [`average_traces`] aligns the per-iteration traces of
+//! repeated sessions by label count and averages F-measure and response
+//! time across runs.
+
+use serde::{Deserialize, Serialize};
+use uei_types::stats::Welford;
+
+use crate::session::SessionResult;
+
+/// One averaged point of a figure: all runs' measurements at a given
+/// number of labeled examples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AveragedIteration {
+    /// Number of labeled examples the model was trained on.
+    pub labels: usize,
+    /// Mean F-measure across runs (of runs that evaluated at this point).
+    pub f_measure_mean: f64,
+    /// Standard deviation of the F-measure.
+    pub f_measure_std: f64,
+    /// Mean modeled response time (ms).
+    pub response_virtual_ms_mean: f64,
+    /// Mean wall response time (ms).
+    pub response_wall_ms_mean: f64,
+    /// Mean bytes read per iteration.
+    pub bytes_read_mean: f64,
+    /// Number of runs contributing to this point.
+    pub runs: usize,
+}
+
+/// A whole experiment series (one backend, one region size).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Backend name.
+    pub backend: String,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// The averaged per-label-count series.
+    pub series: Vec<AveragedIteration>,
+    /// Mean of the runs' exact final F-measures.
+    pub final_f_measure_mean: f64,
+    /// Mean modeled response time over all iterations of all runs (ms).
+    pub overall_response_virtual_ms: f64,
+    /// 95th-percentile modeled response time (ms).
+    pub p95_response_virtual_ms: f64,
+}
+
+/// Averages repeated sessions into one series.
+///
+/// Traces are aligned on `labels` (the number of labeled examples at
+/// training time); iterations that did not evaluate F-measure contribute
+/// only to the timing averages.
+pub fn average_traces(results: &[SessionResult]) -> RunSummary {
+    assert!(!results.is_empty(), "average_traces needs at least one run");
+    let backend = results[0].backend.clone();
+    let max_labels =
+        results.iter().flat_map(|r| r.traces.iter().map(|t| t.labels)).max().unwrap_or(0);
+    let min_labels =
+        results.iter().flat_map(|r| r.traces.iter().map(|t| t.labels)).min().unwrap_or(0);
+
+    let mut series = Vec::new();
+    for labels in min_labels..=max_labels {
+        let mut f = Welford::new();
+        let mut virt = Welford::new();
+        let mut wall = Welford::new();
+        let mut bytes = Welford::new();
+        let mut runs = 0usize;
+        for r in results {
+            if let Some(t) = r.traces.iter().find(|t| t.labels == labels) {
+                runs += 1;
+                virt.push(t.response_virtual_ms);
+                wall.push(t.response_wall_ms);
+                bytes.push(t.bytes_read as f64);
+                if let Some(fm) = t.f_measure {
+                    f.push(fm);
+                }
+            }
+        }
+        if runs == 0 {
+            continue;
+        }
+        series.push(AveragedIteration {
+            labels,
+            f_measure_mean: f.mean(),
+            f_measure_std: f.std_dev(),
+            response_virtual_ms_mean: virt.mean(),
+            response_wall_ms_mean: wall.mean(),
+            bytes_read_mean: bytes.mean(),
+            runs,
+        });
+    }
+
+    let mut all_virtual: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.traces.iter().map(|t| t.response_virtual_ms))
+        .collect();
+    all_virtual.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let overall = if all_virtual.is_empty() {
+        0.0
+    } else {
+        all_virtual.iter().sum::<f64>() / all_virtual.len() as f64
+    };
+    let p95 = if all_virtual.is_empty() {
+        0.0
+    } else {
+        uei_types::stats::percentile_sorted(&all_virtual, 95.0)
+    };
+
+    RunSummary {
+        backend,
+        runs: results.len(),
+        final_f_measure_mean: results.iter().map(|r| r.final_f_measure).sum::<f64>()
+            / results.len() as f64,
+        series,
+        overall_response_virtual_ms: overall,
+        p95_response_virtual_ms: p95,
+    }
+}
+
+/// The number of labels needed to first reach an F-measure threshold
+/// (compares convergence speed between schemes, Figures 3–5).
+pub fn labels_to_reach(summary: &RunSummary, f_threshold: f64) -> Option<usize> {
+    summary
+        .series
+        .iter()
+        .find(|p| p.f_measure_mean >= f_threshold)
+        .map(|p| p.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::IterationTrace;
+
+    fn trace(labels: usize, f: Option<f64>, virt: f64) -> IterationTrace {
+        IterationTrace {
+            iteration: labels,
+            labels,
+            f_measure: f,
+            response_virtual_ms: virt,
+            response_wall_ms: virt * 2.0,
+            bytes_read: 1000,
+            seeks: 1,
+            label_positive: true,
+            region_rows: None,
+            prefetched: false,
+            examined: None,
+        }
+    }
+
+    fn result(traces: Vec<IterationTrace>, final_f: f64) -> SessionResult {
+        SessionResult {
+            backend: "uei".into(),
+            total_virtual_secs: 0.0,
+            total_wall_secs: 0.0,
+            labels_used: traces.len(),
+            final_f_measure: final_f,
+            traces,
+        }
+    }
+
+    #[test]
+    fn averages_across_runs() {
+        let r1 = result(vec![trace(2, Some(0.2), 10.0), trace(3, Some(0.4), 20.0)], 0.5);
+        let r2 = result(vec![trace(2, Some(0.4), 30.0), trace(3, Some(0.6), 40.0)], 0.7);
+        let summary = average_traces(&[r1, r2]);
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.series.len(), 2);
+        let p2 = &summary.series[0];
+        assert_eq!(p2.labels, 2);
+        assert!((p2.f_measure_mean - 0.3).abs() < 1e-12);
+        assert!((p2.response_virtual_ms_mean - 20.0).abs() < 1e-12);
+        assert_eq!(p2.runs, 2);
+        assert!((summary.final_f_measure_mean - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_missing_evaluations() {
+        let r = result(vec![trace(2, None, 10.0), trace(3, Some(0.5), 20.0)], 0.5);
+        let summary = average_traces(&[r]);
+        assert_eq!(summary.series[0].f_measure_mean, 0.0, "no eval contributes 0 runs");
+        assert!((summary.series[1].f_measure_mean - 0.5).abs() < 1e-12);
+        // Timing still averaged for the unevaluated iteration.
+        assert!((summary.series[0].response_virtual_ms_mean - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_runs_align_on_labels() {
+        let r1 = result(vec![trace(2, Some(0.1), 1.0)], 0.2);
+        let r2 = result(
+            vec![trace(2, Some(0.3), 3.0), trace(3, Some(0.5), 5.0)],
+            0.6,
+        );
+        let summary = average_traces(&[r1, r2]);
+        assert_eq!(summary.series.len(), 2);
+        assert_eq!(summary.series[0].runs, 2);
+        assert_eq!(summary.series[1].runs, 1);
+    }
+
+    #[test]
+    fn labels_to_reach_threshold() {
+        let r = result(
+            vec![
+                trace(2, Some(0.3), 1.0),
+                trace(3, Some(0.6), 1.0),
+                trace(4, Some(0.9), 1.0),
+            ],
+            0.9,
+        );
+        let summary = average_traces(&[r]);
+        assert_eq!(labels_to_reach(&summary, 0.5), Some(3));
+        assert_eq!(labels_to_reach(&summary, 0.95), None);
+    }
+
+    #[test]
+    fn percentile_reporting() {
+        let traces: Vec<IterationTrace> =
+            (0..100).map(|i| trace(i + 2, None, i as f64)).collect();
+        let summary = average_traces(&[result(traces, 0.0)]);
+        assert!(summary.p95_response_virtual_ms >= 90.0);
+        assert!((summary.overall_response_virtual_ms - 49.5).abs() < 1e-9);
+    }
+}

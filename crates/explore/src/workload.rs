@@ -1,0 +1,256 @@
+//! Target-interest-region generation.
+//!
+//! The paper's exploration tasks each have one relevant region whose
+//! complexity is controlled by its data-space coverage: "Small regions
+//! have cardinality with an average of 0.1 % of the entire experimental
+//! dataset, medium regions a cardinality of 0.4 %, and large regions a
+//! cardinality of 0.8 %" (§4.1), with the region's dimensionality equal to
+//! the dataset's.
+//!
+//! A region is parameterized by a center and per-dimension widths (the
+//! form Eq. 4 needs). Generation picks a random data row as the center
+//! (so regions are never empty) and binary-searches a scale factor on the
+//! half-widths until the region's cardinality hits the requested fraction.
+
+use uei_learn::KdTree;
+use uei_types::{DataPoint, Region, Result, Rng, Schema, UeiError};
+
+/// The paper's three region-size classes (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionSize {
+    /// 0.1 % of the dataset.
+    Small,
+    /// 0.4 % of the dataset.
+    Medium,
+    /// 0.8 % of the dataset.
+    Large,
+}
+
+impl RegionSize {
+    /// The target cardinality as a fraction of the dataset.
+    pub fn fraction(self) -> f64 {
+        match self {
+            RegionSize::Small => 0.001,
+            RegionSize::Medium => 0.004,
+            RegionSize::Large => 0.008,
+        }
+    }
+
+    /// Display name used in reports ("S"/"M"/"L" in the paper's figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionSize::Small => "small",
+            RegionSize::Medium => "medium",
+            RegionSize::Large => "large",
+        }
+    }
+
+    /// All three classes, in figure order.
+    pub fn all() -> [RegionSize; 3] {
+        [RegionSize::Small, RegionSize::Medium, RegionSize::Large]
+    }
+}
+
+/// A generated target interest region with its ground truth.
+#[derive(Debug, Clone)]
+pub struct TargetRegion {
+    /// The closed region (center ± half-widths).
+    pub region: Region,
+    /// Region center (Eq. 4's `c`).
+    pub center: Vec<f64>,
+    /// Per-dimension half-widths (Eq. 4's `w`).
+    pub half_widths: Vec<f64>,
+    /// Row ids inside the region, ascending.
+    pub relevant_ids: Vec<u64>,
+    /// Achieved cardinality fraction.
+    pub fraction: f64,
+}
+
+/// Generates a target region of the requested size class over `rows`.
+///
+/// The achieved cardinality is within ±30 % of the class target (or the
+/// closest achievable for tiny datasets). Deterministic per `rng` state.
+pub fn generate_target_region(
+    rows: &[DataPoint],
+    schema: &Schema,
+    size: RegionSize,
+    rng: &mut Rng,
+) -> Result<TargetRegion> {
+    generate_target_region_fraction(rows, schema, size.fraction(), rng)
+}
+
+/// [`generate_target_region`] with an arbitrary cardinality fraction.
+pub fn generate_target_region_fraction(
+    rows: &[DataPoint],
+    schema: &Schema,
+    fraction: f64,
+    rng: &mut Rng,
+) -> Result<TargetRegion> {
+    if rows.is_empty() {
+        return Err(UeiError::invalid_config("cannot place a region in an empty dataset"));
+    }
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(UeiError::invalid_config(format!("bad target fraction {fraction}")));
+    }
+    let target = ((rows.len() as f64 * fraction).round() as usize).max(1);
+    let tree = KdTree::build(rows.iter().map(|r| r.values.clone()).collect())?;
+
+    // Base half-widths proportional to each attribute's domain, so the
+    // region has the same relative extent in every dimension (equal
+    // data-space coverage per dimension, like the paper's tasks).
+    let base: Vec<f64> =
+        schema.attributes().iter().map(|a| 0.5 * a.width().max(1e-12)).collect();
+
+    // Try a handful of centers; clustered data can make some centers
+    // unable to reach the target cardinality at reasonable scales.
+    let mut best: Option<TargetRegion> = None;
+    for _attempt in 0..8 {
+        let center = rng.choose(rows).values.clone();
+        // Binary search the scale s ∈ (0, 1]: half-widths = s · base.
+        let (mut lo, mut hi) = (1e-6f64, 1.0f64);
+        let mut best_here: Option<(f64, Vec<u64>)> = None;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let widths: Vec<f64> = base.iter().map(|b| b * mid).collect();
+            let region = Region::from_center(&center, &widths)?;
+            let count = tree.range_query(&region)?.len();
+            if count >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            let better = match &best_here {
+                None => true,
+                Some((s, ids)) => {
+                    (count as i64 - target as i64).abs()
+                        < (ids.len() as i64 - target as i64).abs()
+                        || ((count as i64 - target as i64).abs()
+                            == (ids.len() as i64 - target as i64).abs()
+                            && mid < *s)
+                }
+            };
+            if better {
+                let ids: Vec<u64> = tree
+                    .range_query(&Region::from_center(&center, &widths)?)?
+                    .into_iter()
+                    .map(|i| rows[i].id.as_u64())
+                    .collect();
+                best_here = Some((mid, ids));
+            }
+        }
+        if let Some((scale, mut ids)) = best_here {
+            ids.sort_unstable();
+            let achieved = ids.len() as f64 / rows.len() as f64;
+            let widths: Vec<f64> = base.iter().map(|b| b * scale).collect();
+            let candidate = TargetRegion {
+                region: Region::from_center(&center, &widths)?,
+                center,
+                half_widths: widths,
+                relevant_ids: ids,
+                fraction: achieved,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (candidate.fraction - fraction).abs() < (b.fraction - fraction).abs()
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+            // Good enough?
+            if let Some(b) = &best {
+                if (b.fraction - fraction).abs() <= 0.3 * fraction {
+                    break;
+                }
+            }
+        }
+    }
+    best.ok_or_else(|| UeiError::invalid_state("failed to place a target region"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_sdss_like, SynthConfig};
+    use uei_types::Schema;
+
+    #[test]
+    fn size_fractions_match_table_1() {
+        assert_eq!(RegionSize::Small.fraction(), 0.001);
+        assert_eq!(RegionSize::Medium.fraction(), 0.004);
+        assert_eq!(RegionSize::Large.fraction(), 0.008);
+        assert_eq!(RegionSize::all().len(), 3);
+        assert_eq!(RegionSize::Small.name(), "small");
+    }
+
+    #[test]
+    fn generated_region_hits_cardinality() {
+        let rows = generate_sdss_like(&SynthConfig { rows: 20_000, ..Default::default() });
+        let schema = Schema::sdss();
+        let mut rng = Rng::new(11);
+        for size in RegionSize::all() {
+            let target = generate_target_region(&rows, &schema, size, &mut rng).unwrap();
+            let want = size.fraction();
+            assert!(
+                (target.fraction - want).abs() <= 0.5 * want,
+                "{}: achieved {} vs target {want}",
+                size.name(),
+                target.fraction
+            );
+            assert!(!target.relevant_ids.is_empty());
+        }
+    }
+
+    #[test]
+    fn relevant_ids_match_region_membership() {
+        let rows = generate_sdss_like(&SynthConfig { rows: 5_000, ..Default::default() });
+        let schema = Schema::sdss();
+        let mut rng = Rng::new(3);
+        let target =
+            generate_target_region(&rows, &schema, RegionSize::Large, &mut rng).unwrap();
+        let brute: Vec<u64> = rows
+            .iter()
+            .filter(|r| target.region.contains(&r.values).unwrap())
+            .map(|r| r.id.as_u64())
+            .collect();
+        assert_eq!(target.relevant_ids, brute);
+    }
+
+    #[test]
+    fn center_is_inside_and_widths_positive() {
+        let rows = generate_sdss_like(&SynthConfig { rows: 3_000, ..Default::default() });
+        let schema = Schema::sdss();
+        let mut rng = Rng::new(9);
+        let t = generate_target_region(&rows, &schema, RegionSize::Medium, &mut rng).unwrap();
+        assert!(t.region.contains(&t.center).unwrap());
+        assert!(t.half_widths.iter().all(|&w| w > 0.0));
+        assert_eq!(t.half_widths.len(), 5);
+    }
+
+    #[test]
+    fn validations() {
+        let schema = Schema::sdss();
+        let mut rng = Rng::new(1);
+        assert!(generate_target_region(&[], &schema, RegionSize::Small, &mut rng).is_err());
+        let rows = generate_sdss_like(&SynthConfig { rows: 100, ..Default::default() });
+        assert!(
+            generate_target_region_fraction(&rows, &schema, 0.0, &mut rng).is_err()
+        );
+        assert!(
+            generate_target_region_fraction(&rows, &schema, 1.5, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_rng_seed() {
+        let rows = generate_sdss_like(&SynthConfig { rows: 2_000, ..Default::default() });
+        let schema = Schema::sdss();
+        let a = generate_target_region(&rows, &schema, RegionSize::Small, &mut Rng::new(5))
+            .unwrap();
+        let b = generate_target_region(&rows, &schema, RegionSize::Small, &mut Rng::new(5))
+            .unwrap();
+        assert_eq!(a.relevant_ids, b.relevant_ids);
+        assert_eq!(a.center, b.center);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the exploration layer: the Eq. 4 oracle, the
+//! workload generator, and synthetic-data invariants.
+
+use proptest::prelude::*;
+use uei_explore::oracle::Oracle;
+use uei_explore::synth::{generate_sdss_like, generate_uniform, SynthConfig};
+use uei_explore::workload::generate_target_region_fraction;
+use uei_types::{DataPoint, Rng, Schema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn oracle_labels_equal_region_membership_everywhere(
+        seed in any::<u64>(),
+        fraction in 0.005f64..0.1,
+    ) {
+        let rows = generate_sdss_like(&SynthConfig { rows: 1500, seed, ..Default::default() });
+        let mut rng = Rng::new(seed ^ 1);
+        let target = generate_target_region_fraction(
+            &rows, &Schema::sdss(), fraction, &mut rng).unwrap();
+        let oracle = Oracle::new(target);
+        for row in &rows {
+            let inside = oracle.region().contains(&row.values).unwrap();
+            prop_assert_eq!(oracle.label(row).unwrap().is_positive(), inside);
+            prop_assert_eq!(oracle.is_relevant_id(row.id.as_u64()), inside);
+            // Eq. 4 and membership agree (away from exact boundary).
+            let d = oracle.relative_distance(&row.values).unwrap();
+            if (d - 1.0).abs() > 1e-9 {
+                prop_assert_eq!(inside, d < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn target_regions_are_never_empty_and_centered_on_data(
+        seed in any::<u64>(),
+        fraction in 0.002f64..0.05,
+    ) {
+        let rows = generate_uniform(&Schema::sdss(), 2000, seed);
+        let mut rng = Rng::new(seed ^ 2);
+        let target = generate_target_region_fraction(
+            &rows, &Schema::sdss(), fraction, &mut rng).unwrap();
+        prop_assert!(!target.relevant_ids.is_empty());
+        prop_assert!(target.region.contains(&target.center).unwrap());
+        // Relevant ids ascend and are valid row ids.
+        for w in target.relevant_ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(target.relevant_ids.iter().all(|&id| id < 2000));
+        // Achieved fraction is in a sane band around the request (uniform
+        // data converges well; wide tolerance for small targets).
+        prop_assert!(target.fraction > 0.0 && target.fraction < fraction * 4.0 + 0.01);
+    }
+
+    #[test]
+    fn synthetic_rows_are_deterministic_and_in_domain(
+        seed in any::<u64>(),
+        n in 1usize..500,
+    ) {
+        let config = SynthConfig { rows: n, seed, ..Default::default() };
+        let a = generate_sdss_like(&config);
+        let b = generate_sdss_like(&config);
+        prop_assert_eq!(&a, &b);
+        let space = Schema::sdss().data_space();
+        for (i, row) in a.iter().enumerate() {
+            prop_assert_eq!(row.id.as_u64(), i as u64);
+            prop_assert!(space.contains(&row.values).unwrap());
+        }
+    }
+
+    #[test]
+    fn oracle_confidence_is_bounded_and_inverse_to_distance(
+        seed in any::<u64>(),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 5), 1..20),
+    ) {
+        let rows = generate_uniform(&Schema::sdss(), 800, seed);
+        let mut rng = Rng::new(seed ^ 3);
+        let target = generate_target_region_fraction(
+            &rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+        let oracle = Oracle::new(target);
+        let space = Schema::sdss();
+        for unit in &probes {
+            let point: Vec<f64> = space
+                .attributes()
+                .iter()
+                .zip(unit)
+                .map(|(a, t)| a.min + t * a.width())
+                .collect();
+            let c = oracle.confidence(&point).unwrap();
+            prop_assert!((0.0..=1.0).contains(&c) || !c.is_nan());
+            let d = oracle.relative_distance(&point).unwrap();
+            if d <= 1.0 {
+                prop_assert!(c >= 0.5 - 1e-9, "inside ⇒ confidence ≥ 0.5, got {c}");
+            } else {
+                prop_assert!(c < 0.5 + 1e-9, "outside ⇒ confidence < 0.5, got {c}");
+            }
+        }
+    }
+}
+
+/// Session determinism over random seeds, with real storage; kept as one
+/// deterministic case per run to stay fast.
+#[test]
+fn sessions_replay_bit_for_bit() {
+    use std::sync::Arc;
+    use uei_explore::backend::UeiBackend;
+    use uei_explore::session::{ExplorationSession, SessionConfig};
+    use uei_index::config::UeiConfig;
+    use uei_learn::strategy::UncertaintyMeasure;
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::{ColumnStore, StoreConfig};
+
+    let rows = generate_sdss_like(&SynthConfig { rows: 3000, seed: 5, ..Default::default() });
+    let mut rng = Rng::new(77);
+    let target =
+        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let oracle = Oracle::new(target);
+
+    let run = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-replay-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = Arc::new(
+            ColumnStore::create(
+                &dir,
+                Schema::sdss(),
+                &rows,
+                StoreConfig { chunk_target_bytes: 8192 },
+                tracker.clone(),
+            )
+            .unwrap(),
+        );
+        let mut rng = Rng::new(3);
+        let mut backend = UeiBackend::new(
+            store,
+            UeiConfig { cells_per_dim: 3, ..UeiConfig::default() },
+            UncertaintyMeasure::LeastConfidence,
+            300,
+            &mut rng,
+        )
+        .unwrap();
+        let config =
+            SessionConfig { max_labels: 20, eval_sample: 300, ..SessionConfig::default() };
+        let result =
+            ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    };
+
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a.final_f_measure, b.final_f_measure);
+    assert_eq!(a.labels_used, b.labels_used);
+    let fa: Vec<Option<f64>> = a.traces.iter().map(|t| t.f_measure).collect();
+    let fb: Vec<Option<f64>> = b.traces.iter().map(|t| t.f_measure).collect();
+    assert_eq!(fa, fb, "identical seeds replay identical sessions");
+}
+
+/// A DataPoint convenience check used by several strategies above.
+#[test]
+fn probe_points_have_expected_dims() {
+    let p = DataPoint::new(0u64, vec![1.0; 5]);
+    assert_eq!(p.dims(), Schema::sdss().dims());
+}

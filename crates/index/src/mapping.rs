@@ -1,0 +1,215 @@
+//! The mapping method `m : p → {chunks}`.
+//!
+//! "UEI employed a hash-based mapping method m that records for each
+//! symbolic index point p_i, the set of chunks that are needed to construct
+//! g_i" (§3.1). Because chunk key ranges are sorted and disjoint per
+//! dimension, the set of chunks a cell needs factorizes: it depends only on
+//! the cell's *slice index* along each dimension. The mapping therefore
+//! precomputes, for every dimension and every slice, the contiguous chunk
+//! range overlapping that slice — `dims × cells_per_dim` entries instead of
+//! `cells_per_dim^dims` — and materializes a cell's chunk set on demand.
+
+use uei_storage::chunk::ChunkId;
+use uei_storage::manifest::Manifest;
+use uei_types::{Result, UeiError};
+
+use crate::grid::{CellId, Grid};
+
+/// Precomputed chunk ranges per (dimension, grid slice).
+#[derive(Debug, Clone)]
+pub struct ChunkMapping {
+    /// `slices[d][s]` = the `seq` range of chunks of dimension `d`
+    /// overlapping grid slice `s` (start..end, possibly empty).
+    slices: Vec<Vec<(u32, u32)>>,
+    cells_per_dim: usize,
+}
+
+impl ChunkMapping {
+    /// Builds the mapping for a grid over a store manifest.
+    pub fn build(grid: &Grid, manifest: &Manifest) -> Result<ChunkMapping> {
+        if manifest.schema.dims() != grid.dims() {
+            return Err(UeiError::DimensionMismatch {
+                expected: grid.dims(),
+                actual: manifest.schema.dims(),
+            });
+        }
+        let mut slices = Vec::with_capacity(grid.dims());
+        for d in 0..grid.dims() {
+            let mut per_slice = Vec::with_capacity(grid.cells_per_dim());
+            for s in 0..grid.cells_per_dim() {
+                // The slice's key range along dimension d. Use a cell in
+                // this slice (coordinates 0 elsewhere) to get exact bounds.
+                let mut coords = vec![0usize; grid.dims()];
+                coords[d] = s;
+                let cell = grid.coords_to_id(&coords)?;
+                let region = grid.cell_region(cell)?;
+                let overlapping = manifest.chunks_overlapping(d, region.lo[d], region.hi[d])?;
+                let range = match (overlapping.first(), overlapping.last()) {
+                    (Some(first), Some(last)) => (first.seq, last.seq + 1),
+                    _ => (0, 0),
+                };
+                per_slice.push(range);
+            }
+            slices.push(per_slice);
+        }
+        Ok(ChunkMapping { slices, cells_per_dim: grid.cells_per_dim() })
+    }
+
+    /// The chunk ids needed to reconstruct cell `id`, grouped by dimension.
+    pub fn chunks_for_cell(&self, grid: &Grid, id: CellId) -> Result<Vec<Vec<ChunkId>>> {
+        let coords = grid.id_to_coords(id)?;
+        let mut out = Vec::with_capacity(coords.len());
+        for (d, &slice) in coords.iter().enumerate() {
+            let (start, end) = self.slices[d][slice];
+            out.push((start..end).map(|seq| ChunkId::new(d as u32, seq)).collect());
+        }
+        Ok(out)
+    }
+
+    /// Total number of chunk files a cell's reconstruction touches.
+    pub fn chunk_count_for_cell(&self, grid: &Grid, id: CellId) -> Result<usize> {
+        Ok(self.chunks_for_cell(grid, id)?.iter().map(|v| v.len()).sum())
+    }
+
+    /// The chunk `seq` range of dimension `d`, slice `s` (for diagnostics).
+    pub fn slice_range(&self, d: usize, s: usize) -> Result<(u32, u32)> {
+        self.slices
+            .get(d)
+            .and_then(|v| v.get(s))
+            .copied()
+            .ok_or_else(|| UeiError::not_found(format!("slice ({d}, {s})")))
+    }
+
+    /// Cells per dimension this mapping was built for.
+    pub fn cells_per_dim(&self) -> usize {
+        self.cells_per_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::{ColumnStore, StoreConfig};
+    use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+    fn build_store(tag: &str, n: usize) -> (ColumnStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-mapping-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 100.0).unwrap(),
+            AttributeDef::new("y", 0.0, 100.0).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = Rng::new(3);
+        let rows: Vec<DataPoint> = (0..n)
+            .map(|i| {
+                DataPoint::new(
+                    i as u64,
+                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+                )
+            })
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            &dir,
+            schema,
+            &rows,
+            StoreConfig { chunk_target_bytes: 256 },
+            tracker,
+        )
+        .unwrap();
+        (store, dir)
+    }
+
+    #[test]
+    fn mapping_covers_exactly_the_overlapping_chunks() {
+        let (store, dir) = build_store("cover", 1000);
+        let grid = Grid::new(store.schema(), 4).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        for cell in grid.cell_ids() {
+            let region = grid.cell_region(cell).unwrap();
+            let chunks = mapping.chunks_for_cell(&grid, cell).unwrap();
+            for d in 0..2 {
+                let expected: Vec<ChunkId> = store
+                    .manifest()
+                    .chunks_overlapping(d, region.lo[d], region.hi[d])
+                    .unwrap()
+                    .iter()
+                    .map(|m| m.id())
+                    .collect();
+                assert_eq!(chunks[d], expected, "cell {cell} dim {d}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_chunk_is_reachable_from_some_cell() {
+        let (store, dir) = build_store("reach", 800);
+        let grid = Grid::new(store.schema(), 3).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        let mut reachable = std::collections::HashSet::new();
+        for cell in grid.cell_ids() {
+            for ids in mapping.chunks_for_cell(&grid, cell).unwrap() {
+                reachable.extend(ids);
+            }
+        }
+        let total: usize = store.manifest().total_chunks();
+        assert_eq!(reachable.len(), total, "all chunks reachable through the mapping");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finer_grid_touches_fewer_chunks_per_cell() {
+        let (store, dir) = build_store("finer", 3000);
+        let coarse = Grid::new(store.schema(), 2).unwrap();
+        let fine = Grid::new(store.schema(), 8).unwrap();
+        let map_coarse = ChunkMapping::build(&coarse, store.manifest()).unwrap();
+        let map_fine = ChunkMapping::build(&fine, store.manifest()).unwrap();
+        let avg = |grid: &Grid, m: &ChunkMapping| -> f64 {
+            let total: usize = grid
+                .cell_ids()
+                .map(|c| m.chunk_count_for_cell(grid, c).unwrap())
+                .sum();
+            total as f64 / grid.num_cells() as f64
+        };
+        assert!(
+            avg(&fine, &map_fine) < avg(&coarse, &map_coarse),
+            "finer cells need fewer chunks each"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (store, dir) = build_store("mismatch", 100);
+        let other_schema = Schema::new(vec![
+            AttributeDef::new("a", 0.0, 1.0).unwrap(),
+            AttributeDef::new("b", 0.0, 1.0).unwrap(),
+            AttributeDef::new("c", 0.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let grid = Grid::new(&other_schema, 3).unwrap();
+        assert!(ChunkMapping::build(&grid, store.manifest()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slice_range_accessor() {
+        let (store, dir) = build_store("slice", 500);
+        let grid = Grid::new(store.schema(), 4).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        assert_eq!(mapping.cells_per_dim(), 4);
+        let (start, end) = mapping.slice_range(0, 0).unwrap();
+        assert!(end >= start);
+        assert!(mapping.slice_range(5, 0).is_err());
+        assert!(mapping.slice_range(0, 99).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

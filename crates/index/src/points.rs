@@ -1,0 +1,211 @@
+//! The symbolic index points and their uncertainty scores.
+//!
+//! "In each iteration, UEI updates the uncertainty of all index points
+//! p_i ∈ P based on the most recently trained predictive model M_{t−1},
+//! which serves as the uncertainty estimator. […] Then, the index point
+//! p*_i for which the current exploration model is most uncertain will be
+//! chosen" (§3.2, Eq. 3).
+
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::Classifier;
+use uei_types::{Result, UeiError};
+
+use crate::grid::{CellId, Grid};
+
+/// The index set `P`: one symbolic point (cell center) per grid cell, with
+/// the current uncertainty estimate of each.
+#[derive(Debug, Clone)]
+pub struct IndexPoints {
+    centers: Vec<Vec<f64>>,
+    uncertainty: Vec<f64>,
+    updated: bool,
+}
+
+impl IndexPoints {
+    /// Materializes the index points of a grid (Algorithm 2 lines 7–11).
+    pub fn from_grid(grid: &Grid) -> Result<IndexPoints> {
+        let mut centers = Vec::with_capacity(grid.num_cells());
+        for id in grid.cell_ids() {
+            centers.push(grid.cell_center(id)?);
+        }
+        let n = centers.len();
+        Ok(IndexPoints { centers, uncertainty: vec![0.0; n], updated: false })
+    }
+
+    /// Number of index points (`|P|`).
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Whether the set is empty (never true for a valid grid).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// The symbolic point of cell `id`.
+    pub fn center(&self, id: CellId) -> Result<&[f64]> {
+        self.centers
+            .get(id)
+            .map(|c| c.as_slice())
+            .ok_or_else(|| UeiError::not_found(format!("index point {id}")))
+    }
+
+    /// The last computed uncertainty of cell `id`.
+    pub fn uncertainty(&self, id: CellId) -> Result<f64> {
+        self.uncertainty
+            .get(id)
+            .copied()
+            .ok_or_else(|| UeiError::not_found(format!("index point {id}")))
+    }
+
+    /// Re-scores every index point with the current model
+    /// (`updateUncertainty(P, M)`, Algorithm 2 line 17).
+    pub fn update(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
+        for (i, center) in self.centers.iter().enumerate() {
+            self.uncertainty[i] = measure.score(model.predict_proba(center));
+        }
+        self.updated = true;
+    }
+
+    /// The most uncertain index point `p*` (Eq. 3); ties break toward the
+    /// lowest cell id. Errors if [`Self::update`] has never run.
+    pub fn most_uncertain(&self) -> Result<CellId> {
+        self.ranked_top(1).map(|v| v[0])
+    }
+
+    /// The `n` most uncertain cells, descending (ties toward lower ids).
+    /// Used by the prefetcher to pick the likely next region.
+    pub fn ranked_top(&self, n: usize) -> Result<Vec<CellId>> {
+        if !self.updated {
+            return Err(UeiError::invalid_state(
+                "index points have not been scored yet; call update() first",
+            ));
+        }
+        if self.centers.is_empty() || n == 0 {
+            return Err(UeiError::invalid_state("no index points to rank"));
+        }
+        let mut ids: Vec<CellId> = (0..self.len()).collect();
+        ids.sort_by(|&a, &b| {
+            self.uncertainty[b]
+                .partial_cmp(&self.uncertainty[a])
+                .expect("uncertainty scores are finite")
+                .then(a.cmp(&b))
+        });
+        ids.truncate(n);
+        Ok(ids)
+    }
+
+    /// Mean uncertainty across all points (a convergence diagnostic: it
+    /// shrinks as the model sharpens).
+    pub fn mean_uncertainty(&self) -> f64 {
+        if self.uncertainty.is_empty() {
+            0.0
+        } else {
+            self.uncertainty.iter().sum::<f64>() / self.uncertainty.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::{AttributeDef, Schema};
+
+    fn grid3() -> Grid {
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 3.0).unwrap(),
+            AttributeDef::new("y", 0.0, 3.0).unwrap(),
+        ])
+        .unwrap();
+        Grid::new(&schema, 3).unwrap()
+    }
+
+    /// Uncertainty peaks where x ≈ 1.5 (posterior crosses 0.5 there).
+    struct BoundaryAtX(f64);
+    impl Classifier for BoundaryAtX {
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            (1.0 / (1.0 + (-(x[0] - self.0) * 4.0).exp())).clamp(0.0, 1.0)
+        }
+        fn dims(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn centers_match_grid() {
+        let grid = grid3();
+        let points = IndexPoints::from_grid(&grid).unwrap();
+        assert_eq!(points.len(), 9);
+        for id in grid.cell_ids() {
+            assert_eq!(points.center(id).unwrap(), grid.cell_center(id).unwrap().as_slice());
+        }
+        assert!(points.center(9).is_err());
+    }
+
+    #[test]
+    fn must_update_before_ranking() {
+        let points = IndexPoints::from_grid(&grid3()).unwrap();
+        assert!(points.most_uncertain().is_err());
+    }
+
+    #[test]
+    fn most_uncertain_tracks_the_boundary() {
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        // Boundary at x = 1.5: middle column (cells with x-coord 1) has
+        // centers at x = 1.5 where p = 0.5.
+        points.update(&BoundaryAtX(1.5), UncertaintyMeasure::LeastConfidence);
+        let best = points.most_uncertain().unwrap();
+        let coords = grid.id_to_coords(best).unwrap();
+        assert_eq!(coords[0], 1, "most uncertain cell sits on the boundary column");
+        assert!((points.uncertainty(best).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        points.update(&BoundaryAtX(0.5), UncertaintyMeasure::LeastConfidence);
+        let top = points.ranked_top(9).unwrap();
+        assert_eq!(top.len(), 9);
+        for w in top.windows(2) {
+            let (a, b) =
+                (points.uncertainty(w[0]).unwrap(), points.uncertainty(w[1]).unwrap());
+            assert!(a > b || (a == b && w[0] < w[1]));
+        }
+        // Deterministic.
+        assert_eq!(points.ranked_top(3).unwrap(), points.ranked_top(9).unwrap()[..3]);
+    }
+
+    #[test]
+    fn boundary_moves_as_model_changes() {
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        points.update(&BoundaryAtX(0.5), UncertaintyMeasure::LeastConfidence);
+        let early = grid.id_to_coords(points.most_uncertain().unwrap()).unwrap()[0];
+        points.update(&BoundaryAtX(2.5), UncertaintyMeasure::LeastConfidence);
+        let late = grid.id_to_coords(points.most_uncertain().unwrap()).unwrap()[0];
+        assert_eq!(early, 0);
+        assert_eq!(late, 2, "re-scoring follows the moving decision boundary");
+    }
+
+    #[test]
+    fn mean_uncertainty_shrinks_with_confidence() {
+        struct Confident(f64);
+        impl Classifier for Confident {
+            fn predict_proba(&self, _: &[f64]) -> f64 {
+                self.0
+            }
+            fn dims(&self) -> usize {
+                2
+            }
+        }
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        points.update(&Confident(0.5), UncertaintyMeasure::LeastConfidence);
+        let vague = points.mean_uncertainty();
+        points.update(&Confident(0.99), UncertaintyMeasure::LeastConfidence);
+        let sharp = points.mean_uncertainty();
+        assert!(vague > sharp);
+    }
+}

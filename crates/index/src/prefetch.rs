@@ -1,0 +1,340 @@
+//! Background prefetching of the predicted next uncertain region.
+//!
+//! Paper §3.2, "Tuning Interactive Exploration": the user sets a response
+//! latency threshold σ; when loading a whole subspace within σ is not
+//! possible, "UEI would start fetching the corresponding data chunks that
+//! \[are\] associated with g*_{i+1} (in the background) θ iterations before
+//! g*_{i+1} is loaded into the memory", with θ = ⌈τ/σ⌉ derived from the
+//! average region load time τ.
+//!
+//! The prefetcher runs on its own thread with its **own** [`DiskTracker`]:
+//! background I/O overlaps the user's labeling think-time, so its modeled
+//! latency does not count against the iteration response time. Its bytes
+//! are still reported separately so experiments can account for total I/O.
+//!
+//! Prediction of "the next region" uses the uncertainty ranking: after the
+//! top cell is served, the runner-up cells (the θ next-most-uncertain) are
+//! queued, since the boundary — and therefore the ranking — moves slowly
+//! between consecutive iterations.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use uei_storage::io::{DiskTracker, IoProfile, IoStats};
+use uei_storage::merge::{reconstruct_region_with_chunks, MergeStats};
+use uei_storage::store::ColumnStore;
+use uei_types::{DataPoint, Result, UeiError};
+
+use crate::grid::{CellId, Grid};
+use crate::mapping::ChunkMapping;
+
+/// Prefetch horizon θ = ⌈τ/σ⌉ (at least 1 when τ > 0).
+pub fn horizon(tau_secs: f64, sigma_secs: f64) -> usize {
+    if !(sigma_secs > 0.0) || tau_secs <= 0.0 {
+        return 1;
+    }
+    (tau_secs / sigma_secs).ceil().max(1.0) as usize
+}
+
+enum Request {
+    Load(CellId),
+    Shutdown,
+}
+
+#[derive(Default)]
+struct Shared {
+    ready: HashMap<CellId, (Vec<DataPoint>, MergeStats)>,
+    pending: HashSet<CellId>,
+    failed: HashMap<CellId, String>,
+}
+
+/// A background region prefetcher.
+pub struct Prefetcher {
+    tx: Sender<Request>,
+    shared: Arc<(Mutex<Shared>, Condvar)>,
+    tracker: DiskTracker,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns the worker. It opens its own handle to the store directory
+    /// (same data, separate I/O accounting with `profile`).
+    pub fn spawn(
+        store_dir: &Path,
+        profile: IoProfile,
+        grid: Grid,
+        mapping: ChunkMapping,
+    ) -> Result<Prefetcher> {
+        let tracker = DiskTracker::new(profile);
+        let store = ColumnStore::open(store_dir, tracker.clone())?;
+        let shared: Arc<(Mutex<Shared>, Condvar)> = Arc::new(Default::default());
+        let (tx, rx) = unbounded::<Request>();
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("uei-prefetch".into())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    let cell = match req {
+                        Request::Shutdown => break,
+                        Request::Load(c) => c,
+                    };
+                    let outcome = load_cell_raw(&store, &grid, &mapping, cell);
+                    let (lock, cvar) = &*worker_shared;
+                    let mut s = lock.lock();
+                    s.pending.remove(&cell);
+                    match outcome {
+                        Ok(pair) => {
+                            s.ready.insert(cell, pair);
+                        }
+                        Err(e) => {
+                            s.failed.insert(cell, e.to_string());
+                        }
+                    }
+                    cvar.notify_all();
+                }
+            })
+            .map_err(|e| UeiError::invalid_state(format!("cannot spawn prefetcher: {e}")))?;
+        Ok(Prefetcher { tx, shared, tracker, handle: Some(handle) })
+    }
+
+    /// Queues a cell for background loading; a no-op if it is already
+    /// pending or ready.
+    pub fn request(&self, cell: CellId) {
+        {
+            let (lock, _) = &*self.shared;
+            let mut s = lock.lock();
+            if s.ready.contains_key(&cell) || !s.pending.insert(cell) {
+                return;
+            }
+            s.failed.remove(&cell);
+        }
+        // A send failure means the worker is gone; the caller falls back to
+        // the synchronous path, so it is safe to ignore.
+        let _ = self.tx.send(Request::Load(cell));
+    }
+
+    /// Takes a finished prefetch for `cell` without blocking.
+    pub fn take(&self, cell: CellId) -> Option<(Vec<DataPoint>, MergeStats)> {
+        let (lock, _) = &*self.shared;
+        lock.lock().ready.remove(&cell)
+    }
+
+    /// Waits up to `timeout` for `cell` to finish, then takes it.
+    pub fn take_blocking(
+        &self,
+        cell: CellId,
+        timeout: std::time::Duration,
+    ) -> Option<(Vec<DataPoint>, MergeStats)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let (lock, cvar) = &*self.shared;
+        let mut s = lock.lock();
+        loop {
+            if let Some(pair) = s.ready.remove(&cell) {
+                return Some(pair);
+            }
+            if !s.pending.contains(&cell) {
+                return None; // never requested, or failed
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            cvar.wait_for(&mut s, deadline - now);
+        }
+    }
+
+    /// Whether `cell` is queued or in flight.
+    pub fn is_pending(&self, cell: CellId) -> bool {
+        let (lock, _) = &*self.shared;
+        lock.lock().pending.contains(&cell)
+    }
+
+    /// Whether a completed result for `cell` is buffered (without taking it).
+    pub fn has_ready(&self, cell: CellId) -> bool {
+        let (lock, _) = &*self.shared;
+        lock.lock().ready.contains_key(&cell)
+    }
+
+    /// Error message of a failed background load, if any.
+    pub fn failure(&self, cell: CellId) -> Option<String> {
+        let (lock, _) = &*self.shared;
+        lock.lock().failed.get(&cell).cloned()
+    }
+
+    /// Drops every buffered result (regions go stale when the model moves).
+    pub fn clear_ready(&self) {
+        let (lock, _) = &*self.shared;
+        lock.lock().ready.clear();
+    }
+
+    /// Cumulative background I/O (reported separately from foreground).
+    pub fn background_io(&self) -> IoStats {
+        self.tracker.stats()
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn load_cell_raw(
+    store: &ColumnStore,
+    grid: &Grid,
+    mapping: &ChunkMapping,
+    cell: CellId,
+) -> Result<(Vec<DataPoint>, MergeStats)> {
+    let region = grid.cell_region(cell)?;
+    let chunks = mapping.chunks_for_cell(grid, cell)?;
+    // No cache: the background thread streams chunk-at-a-time.
+    reconstruct_region_with_chunks(store, &region, &chunks, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::time::Duration;
+    use uei_storage::store::StoreConfig;
+    use uei_types::{AttributeDef, Rng, Schema};
+
+    fn build(tag: &str, n: usize) -> (Arc<ColumnStore>, Grid, ChunkMapping, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prefetch-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 100.0).unwrap(),
+            AttributeDef::new("y", 0.0, 100.0).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = Rng::new(2);
+        let rows: Vec<DataPoint> = (0..n)
+            .map(|i| {
+                DataPoint::new(
+                    i as u64,
+                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+                )
+            })
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            &dir,
+            schema,
+            &rows,
+            StoreConfig { chunk_target_bytes: 512 },
+            tracker,
+        )
+        .unwrap();
+        let grid = Grid::new(store.schema(), 3).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        (Arc::new(store), grid, mapping, dir)
+    }
+
+    #[test]
+    fn horizon_formula() {
+        assert_eq!(horizon(1.0, 0.5), 2, "θ = ⌈τ/σ⌉");
+        assert_eq!(horizon(0.4, 0.5), 1);
+        assert_eq!(horizon(1.3, 0.5), 3);
+        assert_eq!(horizon(0.0, 0.5), 1);
+        assert_eq!(horizon(1.0, 0.0), 1);
+    }
+
+    #[test]
+    fn prefetch_matches_synchronous_load() {
+        let (store, grid, mapping, dir) = build("match", 1500);
+        let pre = Prefetcher::spawn(
+            store.dir(),
+            IoProfile::instant(),
+            grid.clone(),
+            mapping.clone(),
+        )
+        .unwrap();
+        pre.request(4);
+        let (rows, stats) = pre
+            .take_blocking(4, Duration::from_secs(10))
+            .expect("prefetch completes");
+        let (sync_rows, sync_stats) =
+            load_cell_raw(&store, &grid, &mapping, 4).unwrap();
+        assert_eq!(rows, sync_rows);
+        assert_eq!(stats.result_rows, sync_stats.result_rows);
+        assert!(stats.result_rows > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_io_is_tracked_separately() {
+        let (store, grid, mapping, dir) = build("separate", 1000);
+        let foreground_before = store.tracker().stats();
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        pre.request(0);
+        pre.take_blocking(0, Duration::from_secs(10)).unwrap();
+        assert!(pre.background_io().bytes_read > 0);
+        // Foreground tracker untouched by the background load.
+        assert_eq!(store.tracker().stats().bytes_read, foreground_before.bytes_read);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn take_is_one_shot_and_duplicate_requests_coalesce() {
+        let (store, grid, mapping, dir) = build("oneshot", 800);
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        pre.request(1);
+        pre.request(1);
+        pre.request(1);
+        assert!(pre.take_blocking(1, Duration::from_secs(10)).is_some());
+        assert!(pre.take(1).is_none(), "result consumed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn take_unrequested_cell_returns_none() {
+        let (store, grid, mapping, dir) = build("unreq", 500);
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        assert!(pre.take(7).is_none());
+        assert!(pre.take_blocking(7, Duration::from_millis(50)).is_none());
+        assert!(!pre.is_pending(7));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_ready_drops_stale_regions() {
+        let (store, grid, mapping, dir) = build("stale", 800);
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        pre.request(2);
+        // Wait for completion, then clear without taking.
+        while pre.is_pending(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pre.clear_ready();
+        assert!(pre.take(2).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_on_drop_is_clean() {
+        let (store, grid, mapping, dir) = build("drop", 300);
+        {
+            let pre =
+                Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping)
+                    .unwrap();
+            pre.request(0);
+            // Drop immediately; worker must exit without deadlock.
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

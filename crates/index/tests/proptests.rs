@@ -1,0 +1,138 @@
+//! Property-based tests for the index: grid partition invariants, mapping
+//! completeness, and region loads vs brute force.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uei_index::grid::Grid;
+use uei_index::loader::RegionLoader;
+use uei_index::mapping::ChunkMapping;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Schema};
+
+fn schema2(x_max: f64, y_max: f64) -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", 0.0, x_max).unwrap(),
+        AttributeDef::new("y", -y_max, y_max).unwrap(),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_is_a_partition(
+        cells in 1usize..8,
+        x_max in 1.0f64..1000.0,
+        y_max in 1.0f64..1000.0,
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..100),
+    ) {
+        let schema = schema2(x_max, y_max);
+        let grid = Grid::new(&schema, cells).unwrap();
+        prop_assert_eq!(grid.num_cells(), cells * cells);
+        for &(tx, ty) in &points {
+            let p = vec![tx * x_max, (2.0 * ty - 1.0) * y_max];
+            let cell = grid.cell_of(&p).unwrap();
+            // Exactly one region contains the point.
+            let mut containing = 0;
+            for id in grid.cell_ids() {
+                if grid.cell_region(id).unwrap().contains(&p).unwrap() {
+                    containing += 1;
+                    prop_assert_eq!(id, cell);
+                }
+            }
+            prop_assert_eq!(containing, 1, "point {:?}", p);
+        }
+    }
+
+    #[test]
+    fn grid_id_coordinate_bijection(cells in 1usize..10) {
+        let grid = Grid::new(&schema2(10.0, 10.0), cells).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for id in grid.cell_ids() {
+            let coords = grid.id_to_coords(id).unwrap();
+            prop_assert!(coords.iter().all(|&c| c < cells));
+            prop_assert_eq!(grid.coords_to_id(&coords).unwrap(), id);
+            prop_assert!(seen.insert(coords));
+        }
+        prop_assert_eq!(seen.len(), grid.num_cells());
+    }
+
+    #[test]
+    fn loader_population_partitions_dataset(
+        values in proptest::collection::vec((0.0f64..50.0, -25.0f64..25.0), 1..120),
+        cells in 1usize..5,
+        chunk_bytes in 128usize..2048,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-load-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = schema2(50.0, 25.0);
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DataPoint::new(i as u64, vec![x, y]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = Arc::new(ColumnStore::create(
+            &dir, schema, &rows,
+            StoreConfig { chunk_target_bytes: chunk_bytes }, tracker).unwrap());
+        let grid = Grid::new(store.schema(), cells).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        let mut loader = RegionLoader::new(Arc::clone(&store), 1 << 20);
+
+        let mut total = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for cell in grid.cell_ids() {
+            let (loaded, _) = loader.load_cell(&grid, &mapping, cell).unwrap();
+            // Every loaded row genuinely belongs to the cell.
+            let region = grid.cell_region(cell).unwrap();
+            for p in &loaded {
+                prop_assert!(region.contains(&p.values).unwrap());
+                prop_assert!(seen.insert(p.id), "row {} in two cells", p.id);
+                prop_assert_eq!(p, &rows[p.id.as_usize()]);
+            }
+            total += loaded.len();
+        }
+        prop_assert_eq!(total, rows.len(), "every row in exactly one cell");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapping_chunk_sets_match_manifest_lookup(
+        values in proptest::collection::vec((0.0f64..10.0, -5.0f64..5.0), 5..100),
+        cells in 1usize..6,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-map-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = schema2(10.0, 5.0);
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DataPoint::new(i as u64, vec![x, y]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            &dir, schema, &rows, StoreConfig { chunk_target_bytes: 256 }, tracker).unwrap();
+        let grid = Grid::new(store.schema(), cells).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        for cell in grid.cell_ids() {
+            let region = grid.cell_region(cell).unwrap();
+            let chunks = mapping.chunks_for_cell(&grid, cell).unwrap();
+            for (d, got) in chunks.iter().enumerate() {
+                let want: Vec<_> = store
+                    .manifest()
+                    .chunks_overlapping(d, region.lo[d], region.hi[d])
+                    .unwrap()
+                    .iter()
+                    .map(|m| m.id())
+                    .collect();
+                prop_assert_eq!(got, &want);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,375 @@
+//! Labeled and unlabeled pools used by the exploration loop.
+//!
+//! Algorithm 2 keeps a labeled set `L` (everything the user has judged) and
+//! an unlabeled cache `U` (the uniform sample plus the currently loaded
+//! uncertain region). These containers enforce the bookkeeping the
+//! pseudo-code implies: a point moves from `U` to `L` when labeled, never
+//! appears twice in `L`, and `U` can drop and re-admit region data without
+//! disturbing the uniform sample.
+
+use std::collections::HashMap;
+
+use uei_types::{DataPoint, Label, Result, RowId, UeiError};
+
+/// The labeled set `L`.
+#[derive(Debug, Default, Clone)]
+pub struct LabeledSet {
+    entries: Vec<(DataPoint, Label)>,
+    by_id: HashMap<RowId, usize>,
+}
+
+impl LabeledSet {
+    /// Creates an empty labeled set.
+    pub fn new() -> Self {
+        LabeledSet::default()
+    }
+
+    /// Number of labeled examples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no example has been labeled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a labeled example; re-labeling the same row id is rejected
+    /// (the simulated user is consistent, so a duplicate means the loop
+    /// presented an already-labeled point — a protocol bug).
+    pub fn add(&mut self, point: DataPoint, label: Label) -> Result<()> {
+        if self.by_id.contains_key(&point.id) {
+            return Err(UeiError::invalid_state(format!(
+                "row {} labeled twice",
+                point.id
+            )));
+        }
+        self.by_id.insert(point.id, self.entries.len());
+        self.entries.push((point, label));
+        Ok(())
+    }
+
+    /// Whether `id` has been labeled.
+    pub fn contains(&self, id: RowId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// The label previously assigned to `id`.
+    pub fn label_of(&self, id: RowId) -> Option<Label> {
+        self.by_id.get(&id).map(|&i| self.entries[i].1)
+    }
+
+    /// Whether both classes are represented — the precondition for
+    /// training the initial model (paper §3.2).
+    pub fn has_both_classes(&self) -> bool {
+        let mut pos = false;
+        let mut neg = false;
+        for (_, l) in &self.entries {
+            match l {
+                Label::Positive => pos = true,
+                Label::Negative => neg = true,
+            }
+            if pos && neg {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Count of positive labels.
+    pub fn num_positive(&self) -> usize {
+        self.entries.iter().filter(|(_, l)| l.is_positive()).count()
+    }
+
+    /// The examples in insertion order.
+    pub fn entries(&self) -> &[(DataPoint, Label)] {
+        &self.entries
+    }
+
+    /// Training view `(values, label)` — the shape classifier `fit`s take.
+    pub fn training_data(&self) -> Vec<(Vec<f64>, Label)> {
+        self.entries.iter().map(|(p, l)| (p.values.clone(), *l)).collect()
+    }
+
+    /// Training view with coordinates transformed by `f` (e.g. unit-cube
+    /// scaling).
+    pub fn training_data_mapped(
+        &self,
+        mut f: impl FnMut(&[f64]) -> Vec<f64>,
+    ) -> Vec<(Vec<f64>, Label)> {
+        self.entries.iter().map(|(p, l)| (f(&p.values), *l)).collect()
+    }
+
+    /// Row ids labeled positive, ascending.
+    pub fn positive_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, l)| l.is_positive())
+            .map(|(p, _)| p.id.as_u64())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The unlabeled cache `U`: a base uniform sample plus swappable regions.
+///
+/// UEI keeps "only one uncertain data region g* in the memory at any given
+/// time" **by default** (§3.2) and "drop\[s\] any previously loaded data
+/// regions from U" each iteration (Algorithm 2 line 15). The default is a
+/// memory/recall trade-off, so the pool generalizes it: it retains up to
+/// `region_capacity` recent regions (1 reproduces the paper exactly). The
+/// uniform sample is tracked separately so region swaps never disturb it.
+#[derive(Debug)]
+pub struct UnlabeledPool {
+    base: Vec<DataPoint>,
+    regions: std::collections::VecDeque<Vec<DataPoint>>,
+    region_capacity: usize,
+    removed: HashMap<RowId, ()>,
+}
+
+impl Default for UnlabeledPool {
+    fn default() -> Self {
+        UnlabeledPool::from_sample(Vec::new())
+    }
+}
+
+impl UnlabeledPool {
+    /// Creates a pool from the uniform sample (Algorithm 2 line 12), with
+    /// the paper's default of one resident region.
+    pub fn from_sample(sample: Vec<DataPoint>) -> Self {
+        UnlabeledPool::with_region_capacity(sample, 1)
+    }
+
+    /// Creates a pool keeping up to `region_capacity` recent regions
+    /// resident (must be ≥ 1).
+    pub fn with_region_capacity(sample: Vec<DataPoint>, region_capacity: usize) -> Self {
+        UnlabeledPool {
+            base: sample,
+            regions: std::collections::VecDeque::new(),
+            region_capacity: region_capacity.max(1),
+            removed: HashMap::new(),
+        }
+    }
+
+    /// Admits a freshly loaded region, evicting the oldest resident region
+    /// beyond capacity (lines 15 & 20). Rows already labeled or otherwise
+    /// removed are filtered out; rows already present in a resident region
+    /// are dropped to keep candidates unique.
+    pub fn swap_region(&mut self, region_rows: Vec<DataPoint>) {
+        let resident: std::collections::HashSet<RowId> = self
+            .regions
+            .iter()
+            .flatten()
+            .map(|p| p.id)
+            .collect();
+        let fresh: Vec<DataPoint> = region_rows
+            .into_iter()
+            .filter(|p| !self.removed.contains_key(&p.id) && !resident.contains(&p.id))
+            .collect();
+        self.regions.push_back(fresh);
+        while self.regions.len() > self.region_capacity {
+            self.regions.pop_front();
+        }
+    }
+
+    /// Removes a row everywhere (a labeled example leaves `U`, line 24).
+    /// The id stays blacklisted so a future region swap cannot re-admit it.
+    pub fn remove(&mut self, id: RowId) {
+        self.removed.insert(id, ());
+        self.base.retain(|p| p.id != id);
+        for region in &mut self.regions {
+            region.retain(|p| p.id != id);
+        }
+    }
+
+    /// Number of candidate points currently in the pool.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.regions.iter().map(|r| r.len()).sum::<usize>()
+    }
+
+    /// Whether the pool has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the uniform-sample part.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Total rows across resident regions.
+    pub fn region_len(&self) -> usize {
+        self.regions.iter().map(|r| r.len()).sum()
+    }
+
+    /// How many regions are currently resident.
+    pub fn resident_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The configured region capacity.
+    pub fn region_capacity(&self) -> usize {
+        self.region_capacity
+    }
+
+    /// A snapshot of every candidate (base sample first, then regions from
+    /// oldest to newest) for strategy selection.
+    pub fn candidates(&self) -> Vec<DataPoint> {
+        let mut all = Vec::with_capacity(self.len());
+        all.extend(self.base.iter().cloned());
+        for region in &self.regions {
+            all.extend(region.iter().cloned());
+        }
+        all
+    }
+
+    /// The candidate at `idx` of the [`Self::candidates`] ordering.
+    pub fn get(&self, idx: usize) -> Option<&DataPoint> {
+        if idx < self.base.len() {
+            return self.base.get(idx);
+        }
+        let mut rest = idx - self.base.len();
+        for region in &self.regions {
+            if rest < region.len() {
+                return region.get(rest);
+            }
+            rest -= region.len();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: u64, v: f64) -> DataPoint {
+        DataPoint::new(id, vec![v])
+    }
+
+    #[test]
+    fn labeled_set_basics() {
+        let mut l = LabeledSet::new();
+        assert!(l.is_empty());
+        assert!(!l.has_both_classes());
+        l.add(p(1, 0.5), Label::Positive).unwrap();
+        assert!(!l.has_both_classes());
+        l.add(p(2, 0.1), Label::Negative).unwrap();
+        assert!(l.has_both_classes());
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.num_positive(), 1);
+        assert!(l.contains(RowId(1)));
+        assert_eq!(l.label_of(RowId(2)), Some(Label::Negative));
+        assert_eq!(l.label_of(RowId(3)), None);
+        assert_eq!(l.positive_ids(), vec![1]);
+    }
+
+    #[test]
+    fn labeled_set_rejects_duplicates() {
+        let mut l = LabeledSet::new();
+        l.add(p(1, 0.5), Label::Positive).unwrap();
+        assert!(l.add(p(1, 0.5), Label::Negative).is_err());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn training_data_shapes() {
+        let mut l = LabeledSet::new();
+        l.add(p(1, 2.0), Label::Positive).unwrap();
+        l.add(p(2, 4.0), Label::Negative).unwrap();
+        let t = l.training_data();
+        assert_eq!(t[0], (vec![2.0], Label::Positive));
+        let mapped = l.training_data_mapped(|x| vec![x[0] / 2.0]);
+        assert_eq!(mapped[0].0, vec![1.0]);
+        assert_eq!(mapped[1].0, vec![2.0]);
+    }
+
+    #[test]
+    fn pool_swap_and_remove() {
+        let mut u = UnlabeledPool::from_sample(vec![p(0, 0.0), p(1, 0.1), p(2, 0.2)]);
+        assert_eq!(u.len(), 3);
+        u.swap_region(vec![p(10, 1.0), p(11, 1.1)]);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.base_len(), 3);
+        assert_eq!(u.region_len(), 2);
+
+        u.remove(RowId(1));
+        u.remove(RowId(10));
+        assert_eq!(u.len(), 3);
+
+        // Swapping in a region containing a removed id must not re-admit it.
+        u.swap_region(vec![p(10, 1.0), p(12, 1.2)]);
+        assert_eq!(u.region_len(), 1);
+        assert!(u.candidates().iter().all(|c| c.id != RowId(10)));
+    }
+
+    #[test]
+    fn pool_candidates_order_and_get() {
+        let mut u = UnlabeledPool::from_sample(vec![p(0, 0.0), p(1, 0.1)]);
+        u.swap_region(vec![p(5, 0.5)]);
+        let c = u.candidates();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].id, RowId(0));
+        assert_eq!(c[2].id, RowId(5));
+        assert_eq!(u.get(0).unwrap().id, RowId(0));
+        assert_eq!(u.get(2).unwrap().id, RowId(5));
+        assert!(u.get(3).is_none());
+    }
+
+    #[test]
+    fn region_swap_replaces_not_accumulates() {
+        let mut u = UnlabeledPool::from_sample(vec![]);
+        u.swap_region(vec![p(1, 0.1), p(2, 0.2)]);
+        assert_eq!(u.region_len(), 2);
+        u.swap_region(vec![p(3, 0.3)]);
+        assert_eq!(u.region_len(), 1, "old region dropped (Algorithm 2 line 15)");
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn multi_region_capacity_keeps_recent_regions() {
+        let mut u = UnlabeledPool::with_region_capacity(vec![p(0, 0.0)], 2);
+        assert_eq!(u.region_capacity(), 2);
+        u.swap_region(vec![p(1, 0.1)]);
+        u.swap_region(vec![p(2, 0.2)]);
+        assert_eq!(u.resident_regions(), 2);
+        assert_eq!(u.region_len(), 2);
+        // Third region evicts the oldest (row 1).
+        u.swap_region(vec![p(3, 0.3)]);
+        assert_eq!(u.resident_regions(), 2);
+        let ids: Vec<u64> = u.candidates().iter().map(|c| c.id.as_u64()).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn multi_region_deduplicates_overlapping_loads() {
+        // Adjacent cells share no rows, but reloading the same cell while
+        // an old copy is resident must not duplicate candidates.
+        let mut u = UnlabeledPool::with_region_capacity(vec![], 3);
+        u.swap_region(vec![p(1, 0.1), p(2, 0.2)]);
+        u.swap_region(vec![p(2, 0.2), p(3, 0.3)]);
+        let mut ids: Vec<u64> = u.candidates().iter().map(|c| c.id.as_u64()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "row 2 appears once");
+    }
+
+    #[test]
+    fn multi_region_get_indexes_across_regions() {
+        let mut u = UnlabeledPool::with_region_capacity(vec![p(0, 0.0)], 2);
+        u.swap_region(vec![p(1, 0.1)]);
+        u.swap_region(vec![p(2, 0.2), p(3, 0.3)]);
+        assert_eq!(u.get(0).unwrap().id, RowId(0));
+        assert_eq!(u.get(1).unwrap().id, RowId(1));
+        assert_eq!(u.get(2).unwrap().id, RowId(2));
+        assert_eq!(u.get(3).unwrap().id, RowId(3));
+        assert!(u.get(4).is_none());
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let u = UnlabeledPool::with_region_capacity(vec![], 0);
+        assert_eq!(u.region_capacity(), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! The dual weighted k-nearest-neighbour classifier (DWKNN).
+//!
+//! This is the uncertainty estimator the paper's evaluation uses (Table 1,
+//! citing Gou et al., "A new distance-weighted k-nearest neighbor
+//! classifier", J. Inf. Comput. Sci. 2012). DWKNN weights the i-th nearest
+//! neighbour by the *dual* weight
+//!
+//! ```text
+//! w_i = (d_k − d_i) / (d_k − d_1) × (d_k + d_1) / (d_k + d_i)
+//! ```
+//!
+//! (with `w_i = 1` when `d_k = d_1`), which both decays with distance and
+//! normalizes by the neighbourhood's span — nearer neighbours dominate, and
+//! the weight of the farthest neighbour is 0. The posterior for the
+//! positive class is the weight share of positive neighbours, which makes
+//! the classifier *probabilistic*, as uncertainty sampling requires.
+
+use uei_types::{Label, Result, UeiError};
+
+use crate::kdtree::KdTree;
+use crate::model::{check_two_classes, Classifier};
+
+/// A trained DWKNN classifier.
+///
+/// ```
+/// use uei_learn::{Classifier, Dwknn};
+/// use uei_types::Label;
+///
+/// let examples = vec![
+///     (vec![0.0, 0.0], Label::Negative),
+///     (vec![0.1, 0.1], Label::Negative),
+///     (vec![1.0, 1.0], Label::Positive),
+///     (vec![0.9, 1.1], Label::Positive),
+/// ];
+/// let model = Dwknn::fit(4, &examples).unwrap();
+/// assert_eq!(model.predict(&[0.95, 1.0]), Label::Positive);
+/// assert_eq!(model.predict(&[0.05, 0.0]), Label::Negative);
+/// // Between the clusters the posterior approaches 0.5: that is exactly
+/// // the point uncertainty sampling would pick next.
+/// assert!(model.uncertainty(&[0.5, 0.55]) > model.uncertainty(&[0.95, 1.0]));
+/// ```
+#[derive(Debug)]
+pub struct Dwknn {
+    k: usize,
+    tree: KdTree,
+    labels: Vec<Label>,
+    dims: usize,
+}
+
+impl Dwknn {
+    /// Fits DWKNN on `(point, label)` examples.
+    ///
+    /// "Fitting" stores the examples in a kd-tree; `k` is clamped to the
+    /// training-set size at query time. Requires both classes present.
+    pub fn fit(k: usize, examples: &[(Vec<f64>, Label)]) -> Result<Dwknn> {
+        if k == 0 {
+            return Err(UeiError::invalid_config("DWKNN requires k >= 1"));
+        }
+        check_two_classes(examples)?;
+        let dims = examples[0].0.len();
+        let points: Vec<Vec<f64>> = examples.iter().map(|(x, _)| x.clone()).collect();
+        let labels: Vec<Label> = examples.iter().map(|(_, l)| *l).collect();
+        let tree = KdTree::build(points)?;
+        Ok(Dwknn { k, tree, labels, dims })
+    }
+
+    /// The configured neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored training examples.
+    pub fn num_examples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The dual weights of Gou et al. for a sorted distance list
+    /// `d_1 <= … <= d_k`. Exposed for tests and for the committee.
+    pub fn dual_weights(distances: &[f64]) -> Vec<f64> {
+        let k = distances.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let d1 = distances[0];
+        let dk = distances[k - 1];
+        if dk == d1 {
+            // Degenerate neighbourhood (all equidistant): uniform weights.
+            return vec![1.0; k];
+        }
+        distances
+            .iter()
+            .map(|&di| (dk - di) / (dk - d1) * (dk + d1) / (dk + di))
+            .collect()
+    }
+}
+
+impl Classifier for Dwknn {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let neighbors = match self.tree.nearest(x, self.k) {
+            Ok(n) => n,
+            Err(_) => return 0.5, // dimension mismatch: maximally uncertain
+        };
+        if neighbors.is_empty() {
+            return 0.5;
+        }
+        // kd-tree returns squared distances; DWKNN weights use true distances.
+        let distances: Vec<f64> = neighbors.iter().map(|(d2, _)| d2.sqrt()).collect();
+        let weights = Dwknn::dual_weights(&distances);
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for (w, (_, idx)) in weights.iter().zip(&neighbors) {
+            total += w;
+            if self.labels[*idx].is_positive() {
+                pos += w;
+            }
+        }
+        if total <= 0.0 {
+            // All weight on the boundary (k = 1 gives w = [1.0], so this
+            // only happens when every weight degenerated to 0); fall back
+            // to an unweighted vote.
+            let votes =
+                neighbors.iter().filter(|(_, i)| self.labels[*i].is_positive()).count();
+            return votes as f64 / neighbors.len() as f64;
+        }
+        pos / total
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_examples() -> Vec<(Vec<f64>, Label)> {
+        let mut ex = Vec::new();
+        for i in 0..8 {
+            let t = i as f64 * 0.05;
+            ex.push((vec![1.0 + t, 1.0 - t], Label::Positive));
+            ex.push((vec![-1.0 - t, -1.0 + t], Label::Negative));
+        }
+        ex
+    }
+
+    #[test]
+    fn dual_weights_match_formula() {
+        let d = [1.0, 2.0, 3.0];
+        let w = Dwknn::dual_weights(&d);
+        // w_1 = (3-1)/(3-1) * (3+1)/(3+1) = 1.
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        // w_2 = (3-2)/(3-1) * (3+1)/(3+2) = 0.5 * 0.8 = 0.4.
+        assert!((w[1] - 0.4).abs() < 1e-12);
+        // Farthest neighbour always gets zero weight.
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    fn dual_weights_are_monotone_decreasing() {
+        let d = [0.5, 1.0, 1.5, 2.0, 4.0];
+        let w = Dwknn::dual_weights(&d);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1], "{w:?}");
+        }
+    }
+
+    #[test]
+    fn dual_weights_degenerate_all_equal() {
+        assert_eq!(Dwknn::dual_weights(&[2.0, 2.0, 2.0]), vec![1.0, 1.0, 1.0]);
+        assert_eq!(Dwknn::dual_weights(&[]), Vec::<f64>::new());
+        assert_eq!(Dwknn::dual_weights(&[3.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let model = Dwknn::fit(3, &cluster_examples()).unwrap();
+        assert_eq!(model.predict(&[1.1, 0.9]), Label::Positive);
+        assert_eq!(model.predict(&[-1.0, -1.0]), Label::Negative);
+        assert!(model.predict_proba(&[1.1, 0.9]) > 0.9);
+        assert!(model.predict_proba(&[-1.0, -1.0]) < 0.1);
+    }
+
+    #[test]
+    fn midpoint_is_uncertain() {
+        let model = Dwknn::fit(4, &cluster_examples()).unwrap();
+        let u = model.uncertainty(&[0.0, 0.0]);
+        assert!(u > 0.3, "midpoint uncertainty {u} should be high");
+        let u_deep = model.uncertainty(&[1.0, 1.0]);
+        assert!(u_deep < 0.1, "deep-in-cluster uncertainty {u_deep} should be low");
+    }
+
+    #[test]
+    fn probability_bounds_hold() {
+        let model = Dwknn::fit(5, &cluster_examples()).unwrap();
+        for x in [-3.0f64, -1.0, 0.0, 0.5, 2.0] {
+            for y in [-2.0f64, 0.0, 1.5] {
+                let p = model.predict_proba(&[x, y]);
+                assert!((0.0..=1.0).contains(&p), "p={p} at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let small = vec![
+            (vec![0.0, 0.0], Label::Negative),
+            (vec![1.0, 1.0], Label::Positive),
+        ];
+        let model = Dwknn::fit(50, &small).unwrap();
+        let p = model.predict_proba(&[1.0, 1.0]);
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn exact_match_dominates() {
+        let examples = vec![
+            (vec![0.0, 0.0], Label::Positive),
+            (vec![2.0, 2.0], Label::Negative),
+            (vec![3.0, 3.0], Label::Negative),
+        ];
+        let model = Dwknn::fit(3, &examples).unwrap();
+        // Query exactly on the positive example: d_1 = 0 gives it maximal
+        // dual weight.
+        assert_eq!(model.predict(&[0.0, 0.0]), Label::Positive);
+    }
+
+    #[test]
+    fn fit_validations() {
+        assert!(Dwknn::fit(0, &cluster_examples()).is_err());
+        assert!(Dwknn::fit(3, &[]).is_err());
+        let one_class = vec![(vec![0.0], Label::Positive), (vec![1.0], Label::Positive)];
+        assert!(Dwknn::fit(3, &one_class).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let model = Dwknn::fit(3, &cluster_examples()).unwrap();
+        assert_eq!(model.k(), 3);
+        assert_eq!(model.num_examples(), 16);
+        assert_eq!(model.dims(), 2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Expectation-based query strategies.
+//!
+//! The paper's background (§2.1) lists, alongside uncertainty sampling and
+//! query-by-committee, two more families of "informativeness" measures that
+//! active-learning IDE systems may swap in, noting that "these techniques
+//! are often interchangeable":
+//!
+//! - **Expected Error Reduction** (Roy & McCallum 2001; Zhang et al. 2017
+//!   in the paper's references): choose the candidate whose labeling —
+//!   averaged over the model's own posterior for that label — minimizes
+//!   the expected uncertainty of the retrained model over the pool.
+//! - **Expected Model Change** (Cai et al. 2013; Freytag et al. 2014):
+//!   choose the candidate whose labeling would change the model most;
+//!   for kNN-family models the natural surrogate is the total posterior
+//!   shift the new example induces on the pool.
+//!
+//! Both strategies retrain one model per (candidate, label) pair, so they
+//! cost O(|candidates| × |pool|) model evaluations per selection — exactly
+//! why the paper calls uncertainty sampling "the most commonly used
+//! because of its simplicity and efficiency". The implementations bound
+//! the candidate and evaluation sets by subsampling.
+
+use uei_types::{DataPoint, Label, Result, Rng, UeiError};
+
+use crate::model::{Classifier, EstimatorKind};
+use crate::strategy::QueryStrategy;
+
+/// Configuration shared by the expectation-based strategies.
+#[derive(Debug, Clone)]
+pub struct ExpectationConfig {
+    /// The estimator retrained for each hypothetical label.
+    pub estimator: EstimatorKind,
+    /// At most this many candidates are scored per selection (subsampled
+    /// uniformly from the pool).
+    pub max_candidates: usize,
+    /// At most this many pool points form the evaluation set.
+    pub max_evaluation: usize,
+    /// Seed for the subsampling.
+    pub seed: u64,
+}
+
+impl Default for ExpectationConfig {
+    fn default() -> Self {
+        ExpectationConfig {
+            estimator: EstimatorKind::Dwknn { k: 5 },
+            max_candidates: 32,
+            max_evaluation: 256,
+            seed: 0xE12E,
+        }
+    }
+}
+
+/// Expected Error Reduction: pick the candidate whose (posterior-weighted)
+/// labeling leaves the retrained model least uncertain about the pool.
+pub struct ExpectedErrorReduction {
+    config: ExpectationConfig,
+    labeled: Vec<(Vec<f64>, Label)>,
+    rng: Rng,
+}
+
+impl ExpectedErrorReduction {
+    /// Creates the strategy. `labeled` must be kept in sync with the
+    /// session's labeled set via [`Self::observe`].
+    pub fn new(config: ExpectationConfig, labeled: Vec<(Vec<f64>, Label)>) -> Self {
+        let rng = Rng::new(config.seed);
+        ExpectedErrorReduction { config, labeled, rng }
+    }
+
+    /// Records a freshly labeled example so future retrains include it.
+    pub fn observe(&mut self, x: Vec<f64>, label: Label) {
+        self.labeled.push((x, label));
+    }
+
+    /// Number of labeled examples the strategy knows about.
+    pub fn known_labels(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// Mean least-confidence uncertainty of `model` over `eval`.
+    fn expected_error(model: &dyn Classifier, eval: &[&DataPoint]) -> f64 {
+        if eval.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = eval.iter().map(|p| model.uncertainty(&p.values)).sum();
+        total / eval.len() as f64
+    }
+
+    fn subsample<'a>(
+        rng: &mut Rng,
+        pool: &'a [DataPoint],
+        k: usize,
+    ) -> Vec<&'a DataPoint> {
+        rng.sample_indices(pool.len(), k).into_iter().map(|i| &pool[i]).collect()
+    }
+
+    /// Scores candidate indices; exposed for tests. Lower is better.
+    pub fn score_candidates(
+        &mut self,
+        model: &dyn Classifier,
+        pool: &[DataPoint],
+    ) -> Result<Vec<(usize, f64)>> {
+        if self.labeled.is_empty() {
+            return Err(UeiError::invalid_state(
+                "ExpectedErrorReduction needs the current labeled set",
+            ));
+        }
+        let candidate_ix = self.rng.sample_indices(pool.len(), self.config.max_candidates);
+        let eval = Self::subsample(&mut self.rng, pool, self.config.max_evaluation);
+        let mut scored = Vec::with_capacity(candidate_ix.len());
+        for i in candidate_ix {
+            let candidate = &pool[i];
+            let p_pos = model.predict_proba(&candidate.values).clamp(0.0, 1.0);
+            let mut expected = 0.0;
+            for (label, weight) in
+                [(Label::Positive, p_pos), (Label::Negative, 1.0 - p_pos)]
+            {
+                if weight <= 0.0 {
+                    continue;
+                }
+                let mut hypothetical = self.labeled.clone();
+                hypothetical.push((candidate.values.clone(), label));
+                let retrained = self.config.estimator.train(&hypothetical)?;
+                expected += weight * Self::expected_error(&retrained, &eval);
+            }
+            scored.push((i, expected));
+        }
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite scores").then(a.0.cmp(&b.0))
+        });
+        Ok(scored)
+    }
+}
+
+impl QueryStrategy for ExpectedErrorReduction {
+    fn select(&mut self, model: &dyn Classifier, pool: &[DataPoint]) -> Option<usize> {
+        if pool.is_empty() {
+            return None;
+        }
+        match self.score_candidates(model, pool) {
+            Ok(scored) => scored.first().map(|&(i, _)| i),
+            Err(_) => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "expected-error-reduction"
+    }
+}
+
+/// Expected Model Change: pick the candidate whose labeling shifts the
+/// model's pool posteriors the most (posterior-weighted L1 shift).
+pub struct ExpectedModelChange {
+    config: ExpectationConfig,
+    labeled: Vec<(Vec<f64>, Label)>,
+    rng: Rng,
+}
+
+impl ExpectedModelChange {
+    /// Creates the strategy with the current labeled set.
+    pub fn new(config: ExpectationConfig, labeled: Vec<(Vec<f64>, Label)>) -> Self {
+        let rng = Rng::new(config.seed ^ 0x00C0_FFEE);
+        ExpectedModelChange { config, labeled, rng }
+    }
+
+    /// Records a freshly labeled example.
+    pub fn observe(&mut self, x: Vec<f64>, label: Label) {
+        self.labeled.push((x, label));
+    }
+
+    fn model_shift(
+        before: &dyn Classifier,
+        after: &dyn Classifier,
+        eval: &[&DataPoint],
+    ) -> f64 {
+        eval.iter()
+            .map(|p| {
+                (before.predict_proba(&p.values) - after.predict_proba(&p.values)).abs()
+            })
+            .sum()
+    }
+}
+
+impl QueryStrategy for ExpectedModelChange {
+    fn select(&mut self, model: &dyn Classifier, pool: &[DataPoint]) -> Option<usize> {
+        if pool.is_empty() || self.labeled.is_empty() {
+            return None;
+        }
+        let candidate_ix = self.rng.sample_indices(pool.len(), self.config.max_candidates);
+        let eval: Vec<&DataPoint> = self
+            .rng
+            .sample_indices(pool.len(), self.config.max_evaluation)
+            .into_iter()
+            .map(|i| &pool[i])
+            .collect();
+        let mut best: Option<(f64, usize)> = None;
+        for i in candidate_ix {
+            let candidate = &pool[i];
+            let p_pos = model.predict_proba(&candidate.values).clamp(0.0, 1.0);
+            let mut expected_change = 0.0;
+            for (label, weight) in
+                [(Label::Positive, p_pos), (Label::Negative, 1.0 - p_pos)]
+            {
+                if weight <= 0.0 {
+                    continue;
+                }
+                let mut hypothetical = self.labeled.clone();
+                hypothetical.push((candidate.values.clone(), label));
+                let Ok(retrained) = self.config.estimator.train(&hypothetical) else {
+                    continue;
+                };
+                expected_change += weight * Self::model_shift(model, &retrained, &eval);
+            }
+            let better = match best {
+                None => true,
+                Some((b, bi)) => {
+                    expected_change > b || (expected_change == b && i < bi)
+                }
+            };
+            if better {
+                best = Some((expected_change, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "expected-model-change"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_clusters() -> Vec<(Vec<f64>, Label)> {
+        vec![
+            (vec![0.0, 0.0], Label::Negative),
+            (vec![0.1, 0.1], Label::Negative),
+            (vec![1.0, 1.0], Label::Positive),
+            (vec![0.9, 0.9], Label::Positive),
+        ]
+    }
+
+    fn pool() -> Vec<DataPoint> {
+        // Index 1 sits on the decision boundary; 0 and 2 are deep inside
+        // the clusters.
+        vec![
+            DataPoint::new(0u64, vec![0.05, 0.05]),
+            DataPoint::new(1u64, vec![0.5, 0.5]),
+            DataPoint::new(2u64, vec![0.95, 0.95]),
+        ]
+    }
+
+    fn current_model() -> Box<dyn Classifier> {
+        EstimatorKind::Dwknn { k: 3 }.train(&labeled_clusters()).unwrap()
+    }
+
+    #[test]
+    fn eer_prefers_the_boundary_point() {
+        let config = ExpectationConfig {
+            max_candidates: 10,
+            max_evaluation: 10,
+            ..Default::default()
+        };
+        let mut eer = ExpectedErrorReduction::new(config, labeled_clusters());
+        let model = current_model();
+        let pick = eer.select(&model, &pool()).unwrap();
+        assert_eq!(pick, 1, "labeling the boundary point reduces expected error most");
+        assert_eq!(eer.name(), "expected-error-reduction");
+    }
+
+    #[test]
+    fn eer_scores_are_ordered_and_finite() {
+        let mut eer =
+            ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        let model = current_model();
+        let scored = eer.score_candidates(&model, &pool()).unwrap();
+        assert_eq!(scored.len(), 3);
+        for w in scored.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(scored.iter().all(|(_, s)| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn eer_requires_labeled_set_and_handles_empty_pool() {
+        let mut empty = ExpectedErrorReduction::new(ExpectationConfig::default(), vec![]);
+        let model = current_model();
+        assert!(empty.select(&model, &pool()).is_none());
+        let mut ok =
+            ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        assert!(ok.select(&model, &[]).is_none());
+    }
+
+    #[test]
+    fn eer_observe_grows_training_set() {
+        let mut eer =
+            ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        assert_eq!(eer.known_labels(), 4);
+        eer.observe(vec![0.5, 0.5], Label::Positive);
+        assert_eq!(eer.known_labels(), 5);
+    }
+
+    #[test]
+    fn emc_prefers_influential_points() {
+        let config = ExpectationConfig {
+            max_candidates: 10,
+            max_evaluation: 10,
+            ..Default::default()
+        };
+        let mut emc = ExpectedModelChange::new(config, labeled_clusters());
+        let model = current_model();
+        let pick = emc.select(&model, &pool()).unwrap();
+        // The boundary point flips nearby posteriors either way; the deep
+        // points change almost nothing.
+        assert_eq!(pick, 1);
+        assert_eq!(emc.name(), "expected-model-change");
+    }
+
+    #[test]
+    fn emc_empty_inputs() {
+        let mut emc = ExpectedModelChange::new(ExpectationConfig::default(), vec![]);
+        let model = current_model();
+        assert!(emc.select(&model, &pool()).is_none());
+        let mut ok = ExpectedModelChange::new(ExpectationConfig::default(), labeled_clusters());
+        assert!(ok.select(&model, &[]).is_none());
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let model = current_model();
+        let mut a = ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        let mut b = ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        assert_eq!(a.select(&model, &pool()), b.select(&model, &pool()));
+    }
+}

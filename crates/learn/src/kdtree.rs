@@ -1,0 +1,381 @@
+//! A static kd-tree for exact k-nearest-neighbour and range queries.
+//!
+//! The nearest-neighbour classifiers ([`crate::dwknn::Dwknn`],
+//! [`crate::knn::Knn`]) rebuild this tree each time the labeled set grows —
+//! labeled sets in interactive exploration are small (hundreds of points),
+//! so a fresh balanced build is cheaper and simpler than incremental
+//! maintenance. The oracle also uses [`KdTree::range_query`] for target
+//! region membership at scale.
+//!
+//! Nodes live in a flat arena indexed by `usize`; construction recursively
+//! median-splits along the dimension of largest spread.
+
+use std::collections::BinaryHeap;
+
+use uei_types::point::squared_distance;
+use uei_types::{Region, Result, UeiError};
+
+/// One arena node.
+#[derive(Debug)]
+struct Node {
+    /// Index into `points` of the splitting point.
+    point: u32,
+    /// Split dimension.
+    dim: u8,
+    /// Left child arena index (`u32::MAX` = none).
+    left: u32,
+    /// Right child arena index (`u32::MAX` = none).
+    right: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A static kd-tree over a set of points.
+///
+/// ```
+/// use uei_learn::KdTree;
+///
+/// let tree = KdTree::build(vec![
+///     vec![0.0, 0.0],
+///     vec![5.0, 5.0],
+///     vec![1.0, 1.0],
+/// ]).unwrap();
+/// let nearest = tree.nearest(&[0.9, 0.9], 2).unwrap();
+/// assert_eq!(nearest[0].1, 2); // index of [1.0, 1.0]
+/// assert_eq!(nearest[1].1, 0);
+/// ```
+#[derive(Debug)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: u32,
+    dims: usize,
+}
+
+/// A neighbour returned by [`KdTree::nearest`]: `(squared distance, index
+/// of the point in the build order)`.
+pub type Neighbor = (f64, usize);
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist2: f64,
+    index: usize,
+}
+
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by distance; ties broken by index for determinism.
+        self.dist2
+            .partial_cmp(&other.dist2)
+            .expect("distances are never NaN")
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl KdTree {
+    /// Builds a tree from points (all of equal dimensionality, no NaNs).
+    pub fn build(points: Vec<Vec<f64>>) -> Result<KdTree> {
+        let dims = match points.first() {
+            Some(p) => p.len(),
+            None => {
+                return Ok(KdTree { points, nodes: Vec::new(), root: NONE, dims: 0 });
+            }
+        };
+        if dims == 0 {
+            return Err(UeiError::invalid_config("kd-tree points need at least 1 dimension"));
+        }
+        for p in &points {
+            if p.len() != dims {
+                return Err(UeiError::DimensionMismatch { expected: dims, actual: p.len() });
+            }
+            if p.iter().any(|v| v.is_nan()) {
+                return Err(UeiError::invalid_config("kd-tree points must not contain NaN"));
+            }
+        }
+        let mut indices: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = build_recursive(&points, &mut indices[..], &mut nodes, dims);
+        Ok(KdTree { points, nodes, root, dims })
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point stored at build index `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i]
+    }
+
+    /// The `k` nearest neighbours of `query`, ascending by distance
+    /// (squared), ties broken by build index. Returns fewer when the tree
+    /// holds fewer than `k` points.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        if self.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        if query.len() != self.dims {
+            return Err(UeiError::DimensionMismatch { expected: self.dims, actual: query.len() });
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut heap);
+        let mut result: Vec<Neighbor> =
+            heap.into_iter().map(|e| (e.dist2, e.index)).collect();
+        result.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("no NaN distances").then(a.1.cmp(&b.1))
+        });
+        Ok(result)
+    }
+
+    fn search(&self, node_idx: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapEntry>) {
+        if node_idx == NONE {
+            return;
+        }
+        let node = &self.nodes[node_idx as usize];
+        let point = &self.points[node.point as usize];
+        let d2 = squared_distance(point, query).expect("dims validated");
+        if heap.len() < k {
+            heap.push(HeapEntry { dist2: d2, index: node.point as usize });
+        } else if let Some(top) = heap.peek() {
+            if d2 < top.dist2 || (d2 == top.dist2 && (node.point as usize) < top.index) {
+                heap.pop();
+                heap.push(HeapEntry { dist2: d2, index: node.point as usize });
+            }
+        }
+        let dim = node.dim as usize;
+        let diff = query[dim] - point[dim];
+        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        self.search(near, query, k, heap);
+        // Prune the far side unless the splitting plane is closer than the
+        // current k-th neighbour (or we have fewer than k).
+        let must_visit = heap.len() < k
+            || diff * diff <= heap.peek().expect("non-empty heap").dist2;
+        if must_visit {
+            self.search(far, query, k, heap);
+        }
+    }
+
+    /// Indices of every point inside `region`.
+    pub fn range_query(&self, region: &Region) -> Result<Vec<usize>> {
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        if region.dims() != self.dims {
+            return Err(UeiError::DimensionMismatch {
+                expected: self.dims,
+                actual: region.dims(),
+            });
+        }
+        let mut out = Vec::new();
+        self.range_recursive(self.root, region, &mut out)?;
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn range_recursive(&self, node_idx: u32, region: &Region, out: &mut Vec<usize>) -> Result<()> {
+        if node_idx == NONE {
+            return Ok(());
+        }
+        let node = &self.nodes[node_idx as usize];
+        let point = &self.points[node.point as usize];
+        if region.contains(point)? {
+            out.push(node.point as usize);
+        }
+        let dim = node.dim as usize;
+        let v = point[dim];
+        // Descend only into subtrees that can intersect the region along
+        // the split dimension. Duplicate coordinates may land on either
+        // side of the median, so both bounds are conservative (<=).
+        if region.lo[dim] <= v {
+            self.range_recursive(node.left, region, out)?;
+        }
+        if v <= region.hi[dim] {
+            self.range_recursive(node.right, region, out)?;
+        }
+        Ok(())
+    }
+}
+
+fn build_recursive(
+    points: &[Vec<f64>],
+    indices: &mut [u32],
+    nodes: &mut Vec<Node>,
+    dims: usize,
+) -> u32 {
+    if indices.is_empty() {
+        return NONE;
+    }
+    // Split along the dimension of largest spread for better balance on
+    // skewed data.
+    let mut best_dim = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    for d in 0..dims {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in indices.iter() {
+            let v = points[i as usize][d];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let spread = hi - lo;
+        if spread > best_spread {
+            best_spread = spread;
+            best_dim = d;
+        }
+    }
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        points[a as usize][best_dim]
+            .partial_cmp(&points[b as usize][best_dim])
+            .expect("no NaN")
+            .then(a.cmp(&b))
+    });
+    let point = indices[mid];
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node { point, dim: best_dim as u8, left: NONE, right: NONE });
+    let (left_slice, rest) = indices.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    let left = build_recursive(points, left_slice, nodes, dims);
+    let right = build_recursive(points, right_slice, nodes, dims);
+    nodes[node_idx as usize].left = left;
+    nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::Rng;
+
+    fn brute_force_knn(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (squared_distance(p, query).unwrap(), i))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.range_f64(-10.0, 10.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let points = random_points(500, 3, 42);
+        let tree = KdTree::build(points.clone()).unwrap();
+        let mut rng = Rng::new(7);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..3).map(|_| rng.range_f64(-12.0, 12.0)).collect();
+            for k in [1, 3, 10] {
+                let got = tree.nearest(&q, k).unwrap();
+                let want = brute_force_knn(&points, &q, k);
+                assert_eq!(got, want, "k={k} query={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_duplicates_and_exact_hits() {
+        let mut points = random_points(50, 2, 1);
+        points.push(points[0].clone());
+        points.push(points[0].clone());
+        let tree = KdTree::build(points.clone()).unwrap();
+        let got = tree.nearest(&points[0], 3).unwrap();
+        assert_eq!(got[0].0, 0.0);
+        assert_eq!(got[1].0, 0.0);
+        assert_eq!(got[2].0, 0.0);
+        let want = brute_force_knn(&points, &points[0], 3);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let points = random_points(5, 2, 3);
+        let tree = KdTree::build(points.clone()).unwrap();
+        let got = tree.nearest(&[0.0, 0.0], 100).unwrap();
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::build(vec![]).unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(tree.nearest(&[1.0], 3).unwrap(), vec![]);
+        let region = Region::new(vec![0.0], vec![1.0]).unwrap();
+        assert_eq!(tree.range_query(&region).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn build_rejects_bad_points() {
+        assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KdTree::build(vec![vec![f64::NAN]]).is_err());
+        assert!(KdTree::build(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn query_dim_mismatch() {
+        let tree = KdTree::build(random_points(10, 3, 5)).unwrap();
+        assert!(tree.nearest(&[0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let points = random_points(400, 2, 9);
+        let tree = KdTree::build(points.clone()).unwrap();
+        let region = Region::new(vec![-5.0, 0.0], vec![5.0, 8.0]).unwrap();
+        let got = tree.range_query(&region).unwrap();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| region.contains(p).unwrap())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_query_closed_region() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let tree = KdTree::build(points).unwrap();
+        let closed = Region::closed(vec![0.0], vec![1.0]).unwrap();
+        assert_eq!(tree.range_query(&closed).unwrap(), vec![0, 1]);
+        let open = Region::new(vec![0.0], vec![1.0]).unwrap();
+        assert_eq!(tree.range_query(&open).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn nearest_is_deterministic() {
+        let points = random_points(100, 4, 11);
+        let tree = KdTree::build(points).unwrap();
+        let q = vec![0.0; 4];
+        let a = tree.nearest(&q, 7).unwrap();
+        let b = tree.nearest(&q, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn high_dim_small_n() {
+        let points = random_points(20, 8, 13);
+        let tree = KdTree::build(points.clone()).unwrap();
+        let q = vec![1.0; 8];
+        assert_eq!(tree.nearest(&q, 5).unwrap(), brute_force_knn(&points, &q, 5));
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain k-nearest-neighbour classifier (majority vote / inverse-distance).
+//!
+//! Serves as the baseline DWKNN is compared against in the ablation
+//! benches; the probability is the (optionally weighted) share of positive
+//! neighbours.
+
+use uei_types::{Label, Result, UeiError};
+
+use crate::kdtree::KdTree;
+use crate::model::{check_two_classes, Classifier};
+
+/// Neighbour weighting for [`Knn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnWeighting {
+    /// Every neighbour counts 1.
+    Uniform,
+    /// Neighbours count `1 / (d + ε)`.
+    InverseDistance,
+}
+
+/// A trained kNN classifier.
+#[derive(Debug)]
+pub struct Knn {
+    k: usize,
+    weighting: KnnWeighting,
+    tree: KdTree,
+    labels: Vec<Label>,
+    dims: usize,
+}
+
+impl Knn {
+    /// Fits a uniform-vote kNN.
+    pub fn fit(k: usize, examples: &[(Vec<f64>, Label)]) -> Result<Knn> {
+        Knn::fit_weighted(k, KnnWeighting::Uniform, examples)
+    }
+
+    /// Fits a kNN with the given weighting.
+    pub fn fit_weighted(
+        k: usize,
+        weighting: KnnWeighting,
+        examples: &[(Vec<f64>, Label)],
+    ) -> Result<Knn> {
+        if k == 0 {
+            return Err(UeiError::invalid_config("kNN requires k >= 1"));
+        }
+        check_two_classes(examples)?;
+        let dims = examples[0].0.len();
+        let points: Vec<Vec<f64>> = examples.iter().map(|(x, _)| x.clone()).collect();
+        let labels: Vec<Label> = examples.iter().map(|(_, l)| *l).collect();
+        Ok(Knn { k, weighting, tree: KdTree::build(points)?, labels, dims })
+    }
+}
+
+impl Classifier for Knn {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let neighbors = match self.tree.nearest(x, self.k) {
+            Ok(n) => n,
+            Err(_) => return 0.5,
+        };
+        if neighbors.is_empty() {
+            return 0.5;
+        }
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for (d2, idx) in &neighbors {
+            let w = match self.weighting {
+                KnnWeighting::Uniform => 1.0,
+                KnnWeighting::InverseDistance => 1.0 / (d2.sqrt() + 1e-9),
+            };
+            total += w;
+            if self.labels[*idx].is_positive() {
+                pos += w;
+            }
+        }
+        pos / total
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<(Vec<f64>, Label)> {
+        vec![
+            (vec![0.0, 0.0], Label::Negative),
+            (vec![0.1, 0.0], Label::Negative),
+            (vec![0.0, 0.1], Label::Negative),
+            (vec![5.0, 5.0], Label::Positive),
+            (vec![5.1, 5.0], Label::Positive),
+            (vec![5.0, 5.1], Label::Positive),
+        ]
+    }
+
+    #[test]
+    fn majority_vote() {
+        let model = Knn::fit(3, &examples()).unwrap();
+        assert_eq!(model.predict_proba(&[5.0, 5.0]), 1.0);
+        assert_eq!(model.predict_proba(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn k1_nearest_label_wins() {
+        let model = Knn::fit(1, &examples()).unwrap();
+        assert_eq!(model.predict(&[4.0, 4.0]), Label::Positive);
+        assert_eq!(model.predict(&[1.0, 1.0]), Label::Negative);
+    }
+
+    #[test]
+    fn inverse_distance_breaks_ties() {
+        // k = 2 with one neighbour of each class: uniform vote gives 0.5,
+        // inverse distance leans toward the closer one.
+        let ex = vec![
+            (vec![0.0], Label::Negative),
+            (vec![10.0], Label::Positive),
+        ];
+        let uniform = Knn::fit(2, &ex).unwrap();
+        assert!((uniform.predict_proba(&[1.0]) - 0.5).abs() < 1e-9);
+        let weighted = Knn::fit_weighted(2, KnnWeighting::InverseDistance, &ex).unwrap();
+        assert!(weighted.predict_proba(&[1.0]) < 0.5, "closer to negative");
+        assert!(weighted.predict_proba(&[9.0]) > 0.5, "closer to positive");
+    }
+
+    #[test]
+    fn fit_validations() {
+        assert!(Knn::fit(0, &examples()).is_err());
+        assert!(Knn::fit(3, &[]).is_err());
+    }
+
+    #[test]
+    fn uncertainty_peaks_between_clusters() {
+        // With k = all and uniform weights every query ties at 0.5, so use
+        // inverse-distance weighting to expose the gradient.
+        let model =
+            Knn::fit_weighted(6, KnnWeighting::InverseDistance, &examples()).unwrap();
+        let between = model.uncertainty(&[2.5, 2.5]);
+        let inside = model.uncertainty(&[5.0, 5.05]);
+        assert!(between > inside, "between={between} inside={inside}");
+    }
+}

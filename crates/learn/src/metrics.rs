@@ -1,0 +1,216 @@
+//! Classification metrics.
+//!
+//! The paper measures exploration quality as the **F-measure** of the set
+//! the model classifies positive against the oracle's true relevant set
+//! (Table 1, Figures 3–5).
+
+use uei_types::Label;
+
+/// A 2×2 confusion matrix for binary classification.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Relevant, predicted relevant.
+    pub tp: u64,
+    /// Irrelevant, predicted relevant.
+    pub fp: u64,
+    /// Relevant, predicted irrelevant.
+    pub fn_: u64,
+    /// Irrelevant, predicted irrelevant.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground truth.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Label, Label)>) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for (truth, predicted) in pairs {
+            m.record(truth, predicted);
+        }
+        m
+    }
+
+    /// Records a single (truth, prediction) pair.
+    pub fn record(&mut self, truth: Label, predicted: Label) {
+        match (truth.is_positive(), predicted.is_positive()) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when nothing is truly positive.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Accuracy `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// F1: harmonic mean of precision and recall (the paper's F-measure).
+    pub fn f_measure(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+
+    /// Fβ measure.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        let b2 = beta * beta;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            (1.0 + b2) * p * r / (b2 * p + r)
+        }
+    }
+
+    /// All derived metrics at once.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            precision: self.precision(),
+            recall: self.recall(),
+            f_measure: self.f_measure(),
+            accuracy: self.accuracy(),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Derived classification metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f_measure: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+}
+
+/// F-measure of a predicted positive *set* against the true relevant set —
+/// the form the paper's user simulation uses (relevant tuples come from an
+/// oracle range query).
+///
+/// Both slices must be sorted ascending and duplicate-free.
+pub fn set_f_measure(predicted_sorted: &[u64], relevant_sorted: &[u64]) -> f64 {
+    debug_assert!(predicted_sorted.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(relevant_sorted.windows(2).all(|w| w[0] < w[1]));
+    let mut tp = 0u64;
+    let mut i = 0;
+    let mut j = 0;
+    while i < predicted_sorted.len() && j < relevant_sorted.len() {
+        match predicted_sorted[i].cmp(&relevant_sorted[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                tp += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let fp = predicted_sorted.len() as u64 - tp;
+    let fn_ = relevant_sorted.len() as u64 - tp;
+    let m = ConfusionMatrix { tp, fp, fn_, tn: 0 };
+    m.f_measure()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Label::{Negative as N, Positive as P};
+
+    #[test]
+    fn perfect_prediction() {
+        let m = ConfusionMatrix::from_pairs([(P, P), (P, P), (N, N)]);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f_measure(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn worked_example() {
+        // tp=3, fp=1, fn=2, tn=4.
+        let m = ConfusionMatrix { tp: 3, fp: 1, fn_: 2, tn: 4 };
+        assert_eq!(m.total(), 10);
+        assert!((m.precision() - 0.75).abs() < 1e-12);
+        assert!((m.recall() - 0.6).abs() < 1e-12);
+        // F1 = 2·0.75·0.6 / 1.35 = 2/3.
+        assert!((m.f_measure() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f_measure(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+
+        // Predicted nothing positive.
+        let m = ConfusionMatrix { tp: 0, fp: 0, fn_: 5, tn: 5 };
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f_measure(), 0.0);
+    }
+
+    #[test]
+    fn f_beta_weights_recall() {
+        let m = ConfusionMatrix { tp: 3, fp: 1, fn_: 2, tn: 4 };
+        // β=2 weights recall; recall (0.6) < precision (0.75) so F2 < F1.
+        assert!(m.f_beta(2.0) < m.f_measure());
+        assert!(m.f_beta(0.5) > m.f_measure());
+    }
+
+    #[test]
+    fn record_matches_from_pairs() {
+        let mut m = ConfusionMatrix::default();
+        m.record(P, P);
+        m.record(N, P);
+        m.record(P, N);
+        m.record(N, N);
+        assert_eq!(m, ConfusionMatrix { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(m.metrics().accuracy, 0.5);
+    }
+
+    #[test]
+    fn set_f_measure_matches_matrix() {
+        let predicted = [1u64, 2, 3, 10];
+        let relevant = [2u64, 3, 4, 5, 10];
+        // tp=3, fp=1, fn=2.
+        let f = set_f_measure(&predicted, &relevant);
+        let m = ConfusionMatrix { tp: 3, fp: 1, fn_: 2, tn: 0 };
+        assert!((f - m.f_measure()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_f_measure_edges() {
+        assert_eq!(set_f_measure(&[], &[]), 0.0);
+        assert_eq!(set_f_measure(&[1], &[]), 0.0);
+        assert_eq!(set_f_measure(&[], &[1]), 0.0);
+        assert_eq!(set_f_measure(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(set_f_measure(&[1], &[2]), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The classifier abstraction used by uncertainty sampling.
+//!
+//! Uncertainty sampling "can be used with any probability-based predictive
+//! model (e.g., Naive Bayes, SVM, etc.)" (paper §2.1); UEI likewise works
+//! "in conjunction with any probabilistic-based classifiers" (§3). The
+//! [`Classifier`] trait captures exactly what both need: a posterior
+//! `P(positive | x)` for binary labels.
+
+use uei_types::{Label, Result, UeiError};
+
+/// A trained binary probabilistic classifier.
+pub trait Classifier: Send + Sync {
+    /// Posterior probability that `x` is [`Label::Positive`], in `[0, 1]`.
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Hard prediction at the 0.5 threshold.
+    fn predict(&self, x: &[f64]) -> Label {
+        Label::from_bool(self.predict_proba(x) >= 0.5)
+    }
+
+    /// Least-confidence uncertainty `u(x) = 1 − P(ŷ | x)` (paper Eq. 1).
+    ///
+    /// For binary classification this is `1 − max(p, 1−p)`, maximal (0.5)
+    /// at `p = 0.5` — "the most uncertain example x is the one which can be
+    /// assigned to either class label with probability 0.5" (§2.1).
+    fn uncertainty(&self, x: &[f64]) -> f64 {
+        let p = self.predict_proba(x);
+        1.0 - p.max(1.0 - p)
+    }
+
+    /// Number of input dimensions the model expects.
+    fn dims(&self) -> usize;
+}
+
+impl<C: Classifier + ?Sized> Classifier for Box<C> {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        (**self).predict_proba(x)
+    }
+    fn predict(&self, x: &[f64]) -> Label {
+        (**self).predict(x)
+    }
+    fn uncertainty(&self, x: &[f64]) -> f64 {
+        (**self).uncertainty(x)
+    }
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+}
+
+/// Which probabilistic estimator to train — the tunable "Uncertainty
+/// Estimator" row of the paper's Table 1 (DWKNN in the evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorKind {
+    /// Dual weighted kNN (Gou et al. 2012) — the paper's choice.
+    Dwknn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+    /// Plain majority-vote kNN.
+    Knn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+    /// Gaussian Naive Bayes.
+    NaiveBayes,
+    /// Linear SVM (Pegasos) with Platt-calibrated probabilities.
+    LinearSvm {
+        /// Number of SGD epochs.
+        epochs: usize,
+        /// Regularization strength λ.
+        lambda: f64,
+    },
+}
+
+impl Default for EstimatorKind {
+    fn default() -> Self {
+        // Table 1: DWKNN; k = 5 is the usual small-neighbourhood default.
+        EstimatorKind::Dwknn { k: 5 }
+    }
+}
+
+impl EstimatorKind {
+    /// Trains a classifier of this kind on `(point, label)` examples.
+    ///
+    /// Requires at least one example of each class — the exploration loop
+    /// keeps sampling initial examples "until the set of initial examples
+    /// contains at least one positive example and one negative example"
+    /// (paper §3.2), so training on a single-class set is a protocol bug.
+    pub fn train(&self, examples: &[(Vec<f64>, Label)]) -> Result<Box<dyn Classifier>> {
+        check_two_classes(examples)?;
+        match *self {
+            EstimatorKind::Dwknn { k } => {
+                Ok(Box::new(crate::dwknn::Dwknn::fit(k, examples)?))
+            }
+            EstimatorKind::Knn { k } => Ok(Box::new(crate::knn::Knn::fit(k, examples)?)),
+            EstimatorKind::NaiveBayes => {
+                Ok(Box::new(crate::naive_bayes::GaussianNb::fit(examples)?))
+            }
+            EstimatorKind::LinearSvm { epochs, lambda } => Ok(Box::new(
+                crate::svm::LinearSvm::fit(examples, epochs, lambda, 0x5EED)?,
+            )),
+        }
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorKind::Dwknn { .. } => "DWKNN",
+            EstimatorKind::Knn { .. } => "KNN",
+            EstimatorKind::NaiveBayes => "GaussianNB",
+            EstimatorKind::LinearSvm { .. } => "LinearSVM",
+        }
+    }
+}
+
+/// Validates that a training set is non-empty, dimensionally consistent,
+/// and contains both classes.
+pub(crate) fn check_two_classes(examples: &[(Vec<f64>, Label)]) -> Result<()> {
+    let first = examples
+        .first()
+        .ok_or_else(|| UeiError::invalid_state("cannot train on an empty labeled set"))?;
+    let dims = first.0.len();
+    let mut pos = false;
+    let mut neg = false;
+    for (x, label) in examples {
+        if x.len() != dims {
+            return Err(UeiError::DimensionMismatch { expected: dims, actual: x.len() });
+        }
+        match label {
+            Label::Positive => pos = true,
+            Label::Negative => neg = true,
+        }
+    }
+    if !pos || !neg {
+        return Err(UeiError::invalid_state(
+            "training requires at least one positive and one negative example",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl Classifier for Constant {
+        fn predict_proba(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+        fn dims(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn default_predict_threshold() {
+        assert_eq!(Constant(0.7).predict(&[0.0]), Label::Positive);
+        assert_eq!(Constant(0.5).predict(&[0.0]), Label::Positive);
+        assert_eq!(Constant(0.49).predict(&[0.0]), Label::Negative);
+    }
+
+    #[test]
+    fn least_confidence_uncertainty() {
+        assert!((Constant(0.5).uncertainty(&[0.0]) - 0.5).abs() < 1e-12);
+        assert!((Constant(0.9).uncertainty(&[0.0]) - 0.1).abs() < 1e-12);
+        assert!((Constant(0.1).uncertainty(&[0.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(Constant(1.0).uncertainty(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn boxed_classifier_delegates() {
+        let boxed: Box<dyn Classifier> = Box::new(Constant(0.8));
+        assert_eq!(boxed.predict_proba(&[0.0]), 0.8);
+        assert_eq!(boxed.predict(&[0.0]), Label::Positive);
+        assert_eq!(boxed.dims(), 1);
+    }
+
+    fn xy(examples: &[(f64, f64, Label)]) -> Vec<(Vec<f64>, Label)> {
+        examples.iter().map(|&(a, b, l)| (vec![a, b], l)).collect()
+    }
+
+    #[test]
+    fn train_rejects_degenerate_sets() {
+        let kind = EstimatorKind::default();
+        assert!(kind.train(&[]).is_err());
+        let single = xy(&[(0.0, 0.0, Label::Positive), (1.0, 1.0, Label::Positive)]);
+        assert!(kind.train(&single).is_err());
+        let ragged = vec![
+            (vec![0.0, 0.0], Label::Positive),
+            (vec![1.0], Label::Negative),
+        ];
+        assert!(kind.train(&ragged).is_err());
+    }
+
+    #[test]
+    fn every_kind_trains_and_separates() {
+        // A linearly separable cloud: positives near (1, 1), negatives near (0, 0).
+        let mut examples = Vec::new();
+        for i in 0..10 {
+            let t = i as f64 / 10.0 * 0.2;
+            examples.push((vec![1.0 - t, 1.0 + t], Label::Positive));
+            examples.push((vec![0.0 + t, 0.0 - t], Label::Negative));
+        }
+        for kind in [
+            EstimatorKind::Dwknn { k: 3 },
+            EstimatorKind::Knn { k: 3 },
+            EstimatorKind::NaiveBayes,
+            EstimatorKind::LinearSvm { epochs: 50, lambda: 0.01 },
+        ] {
+            let model = kind.train(&examples).unwrap();
+            assert_eq!(model.dims(), 2, "{}", kind.name());
+            assert_eq!(model.predict(&[1.0, 1.0]), Label::Positive, "{}", kind.name());
+            assert_eq!(model.predict(&[0.0, 0.0]), Label::Negative, "{}", kind.name());
+            let p = model.predict_proba(&[0.5, 0.5]);
+            assert!((0.0..=1.0).contains(&p), "{}: {p}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EstimatorKind::default().name(), "DWKNN");
+        assert_eq!(EstimatorKind::NaiveBayes.name(), "GaussianNB");
+    }
+}

@@ -1,0 +1,183 @@
+//! Gaussian Naive Bayes.
+//!
+//! One of the "probability-based predictive models" the paper names as
+//! compatible with uncertainty sampling (§2.1). Per class, each feature is
+//! modeled as an independent Gaussian; the posterior follows from Bayes'
+//! rule in log space.
+
+use uei_types::{Label, Result};
+
+use crate::model::{check_two_classes, Classifier};
+
+/// Variance floor to keep degenerate (constant) features finite.
+const VAR_FLOOR: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct ClassStats {
+    log_prior: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+/// A trained Gaussian Naive Bayes classifier.
+#[derive(Debug)]
+pub struct GaussianNb {
+    pos: ClassStats,
+    neg: ClassStats,
+    dims: usize,
+}
+
+fn fit_class(points: &[&Vec<f64>], dims: usize, prior: f64) -> ClassStats {
+    let n = points.len() as f64;
+    let mut means = vec![0.0; dims];
+    for p in points {
+        for d in 0..dims {
+            means[d] += p[d];
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut vars = vec![0.0; dims];
+    for p in points {
+        for d in 0..dims {
+            let diff = p[d] - means[d];
+            vars[d] += diff * diff;
+        }
+    }
+    for v in &mut vars {
+        *v = (*v / n).max(VAR_FLOOR);
+    }
+    ClassStats { log_prior: prior.ln(), means, vars }
+}
+
+impl ClassStats {
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let mut ll = self.log_prior;
+        for d in 0..x.len() {
+            let var = self.vars[d];
+            let diff = x[d] - self.means[d];
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        ll
+    }
+}
+
+impl GaussianNb {
+    /// Fits Gaussian NB on `(point, label)` examples (both classes required).
+    pub fn fit(examples: &[(Vec<f64>, Label)]) -> Result<GaussianNb> {
+        check_two_classes(examples)?;
+        let dims = examples[0].0.len();
+        let pos_points: Vec<&Vec<f64>> =
+            examples.iter().filter(|(_, l)| l.is_positive()).map(|(x, _)| x).collect();
+        let neg_points: Vec<&Vec<f64>> =
+            examples.iter().filter(|(_, l)| !l.is_positive()).map(|(x, _)| x).collect();
+        let n = examples.len() as f64;
+        Ok(GaussianNb {
+            pos: fit_class(&pos_points, dims, pos_points.len() as f64 / n),
+            neg: fit_class(&neg_points, dims, neg_points.len() as f64 / n),
+            dims,
+        })
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if x.len() != self.dims {
+            return 0.5;
+        }
+        let lp = self.pos.log_likelihood(x);
+        let ln = self.neg.log_likelihood(x);
+        // Numerically stable sigmoid of the log-odds.
+        let log_odds = lp - ln;
+        if log_odds >= 0.0 {
+            1.0 / (1.0 + (-log_odds).exp())
+        } else {
+            let e = log_odds.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::Rng;
+
+    fn gaussian_clusters(seed: u64, n: usize) -> Vec<(Vec<f64>, Label)> {
+        let mut rng = Rng::new(seed);
+        let mut ex = Vec::new();
+        for _ in 0..n {
+            ex.push((
+                vec![rng.normal(3.0, 0.5), rng.normal(3.0, 0.5)],
+                Label::Positive,
+            ));
+            ex.push((
+                vec![rng.normal(-3.0, 0.5), rng.normal(-3.0, 0.5)],
+                Label::Negative,
+            ));
+        }
+        ex
+    }
+
+    #[test]
+    fn separates_gaussian_clusters() {
+        let model = GaussianNb::fit(&gaussian_clusters(1, 100)).unwrap();
+        assert!(model.predict_proba(&[3.0, 3.0]) > 0.99);
+        assert!(model.predict_proba(&[-3.0, -3.0]) < 0.01);
+        let mid = model.predict_proba(&[0.0, 0.0]);
+        assert!((0.05..=0.95).contains(&mid), "midpoint proba {mid}");
+    }
+
+    #[test]
+    fn probability_bounds_under_extreme_inputs() {
+        let model = GaussianNb::fit(&gaussian_clusters(2, 50)).unwrap();
+        for x in [-1e6, -10.0, 0.0, 10.0, 1e6] {
+            let p = model.predict_proba(&[x, x]);
+            assert!((0.0..=1.0).contains(&p), "p={p} at {x}");
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let ex = vec![
+            (vec![1.0, 5.0], Label::Positive),
+            (vec![2.0, 5.0], Label::Positive),
+            (vec![-1.0, 5.0], Label::Negative),
+            (vec![-2.0, 5.0], Label::Negative),
+        ];
+        let model = GaussianNb::fit(&ex).unwrap();
+        let p = model.predict_proba(&[1.5, 5.0]);
+        assert!(p.is_finite() && p > 0.5);
+    }
+
+    #[test]
+    fn priors_shift_the_boundary() {
+        // 9:1 positive prior pushes ambiguous points positive.
+        let mut ex = Vec::new();
+        for i in 0..9 {
+            ex.push((vec![1.0 + 0.1 * i as f64], Label::Positive));
+        }
+        ex.push((vec![-1.0], Label::Negative));
+        let model = GaussianNb::fit(&ex).unwrap();
+        assert!(model.predict_proba(&[0.3]) > 0.5);
+    }
+
+    #[test]
+    fn wrong_dims_returns_maximal_uncertainty() {
+        let model = GaussianNb::fit(&gaussian_clusters(3, 10)).unwrap();
+        assert_eq!(model.predict_proba(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn fit_requires_two_classes() {
+        let one = vec![(vec![0.0], Label::Positive)];
+        assert!(GaussianNb::fit(&one).is_err());
+        assert!(GaussianNb::fit(&[]).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Platt scaling: calibrating a margin score into a probability.
+//!
+//! A raw SVM decision value is not a probability; uncertainty sampling
+//! needs `P(y | x)`. Platt scaling fits a sigmoid `P(y=1|s) =
+//! 1/(1+exp(A·s+B))` to `(score, label)` pairs by regularized maximum
+//! likelihood. This implementation follows the robust Newton method of
+//! Lin, Lin & Weng, "A note on Platt's probabilistic outputs for support
+//! vector machines" (2007).
+
+use uei_types::Label;
+
+/// A fitted sigmoid calibration `P(y=1|s) = 1/(1+exp(A·s+B))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaler {
+    /// Slope (negative for sensible calibrations: larger score ⇒ larger
+    /// probability).
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid on `(decision score, label)` pairs.
+    pub fn fit(scores: &[f64], labels: &[Label]) -> PlattScaler {
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        let n = scores.len();
+        let prior1 = labels.iter().filter(|l| l.is_positive()).count() as f64;
+        let prior0 = n as f64 - prior1;
+
+        // Regularized targets (avoid 0/1 exactly).
+        let hi_target = (prior1 + 1.0) / (prior1 + 2.0);
+        let lo_target = 1.0 / (prior0 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|l| if l.is_positive() { hi_target } else { lo_target })
+            .collect();
+
+        let mut a = 0.0f64;
+        let mut b = ((prior0 + 1.0) / (prior1 + 1.0)).ln();
+        let min_step = 1e-10;
+        let sigma = 1e-12;
+
+        let fval = |a: f64, b: f64| -> f64 {
+            let mut f = 0.0;
+            for i in 0..n {
+                let fapb = scores[i] * a + b;
+                // Cross-entropy written to avoid overflow.
+                if fapb >= 0.0 {
+                    f += targets[i] * fapb + (1.0 + (-fapb).exp()).ln();
+                } else {
+                    f += (targets[i] - 1.0) * fapb + (1.0 + fapb.exp()).ln();
+                }
+            }
+            f
+        };
+
+        let mut f = fval(a, b);
+        for _ in 0..100 {
+            // Gradient and Hessian.
+            let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0);
+            let (mut g1, mut g2) = (0.0, 0.0);
+            for i in 0..n {
+                let fapb = scores[i] * a + b;
+                let (p, q) = if fapb >= 0.0 {
+                    let e = (-fapb).exp();
+                    (e / (1.0 + e), 1.0 / (1.0 + e))
+                } else {
+                    let e = fapb.exp();
+                    (1.0 / (1.0 + e), e / (1.0 + e))
+                };
+                let d2 = p * q;
+                h11 += scores[i] * scores[i] * d2;
+                h22 += d2;
+                h21 += scores[i] * d2;
+                let d1 = targets[i] - p;
+                g1 += scores[i] * d1;
+                g2 += d1;
+            }
+            if g1.abs() < 1e-5 && g2.abs() < 1e-5 {
+                break;
+            }
+            // Newton direction.
+            let det = h11 * h22 - h21 * h21;
+            let da = -(h22 * g1 - h21 * g2) / det;
+            let db = -(-h21 * g1 + h11 * g2) / det;
+            let gd = g1 * da + g2 * db;
+            // Backtracking line search.
+            let mut step = 1.0;
+            let mut improved = false;
+            while step >= min_step {
+                let new_a = a + step * da;
+                let new_b = b + step * db;
+                let new_f = fval(new_a, new_b);
+                if new_f < f + 1e-4 * step * gd {
+                    a = new_a;
+                    b = new_b;
+                    f = new_f;
+                    improved = true;
+                    break;
+                }
+                step /= 2.0;
+            }
+            if !improved {
+                break;
+            }
+        }
+        PlattScaler { a, b }
+    }
+
+    /// Calibrated probability for a raw decision score.
+    pub fn probability(&self, score: f64) -> f64 {
+        let fapb = score * self.a + self.b;
+        if fapb >= 0.0 {
+            let e = (-fapb).exp();
+            e / (1.0 + e)
+        } else {
+            1.0 / (1.0 + fapb.exp())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<f64>, Vec<Label>) {
+        let scores = vec![-3.0, -2.0, -1.5, -1.0, 1.0, 1.5, 2.0, 3.0];
+        let labels = vec![
+            Label::Negative,
+            Label::Negative,
+            Label::Negative,
+            Label::Negative,
+            Label::Positive,
+            Label::Positive,
+            Label::Positive,
+            Label::Positive,
+        ];
+        (scores, labels)
+    }
+
+    #[test]
+    fn calibration_is_monotone_increasing_in_score() {
+        let (scores, labels) = separable();
+        let platt = PlattScaler::fit(&scores, &labels);
+        let mut prev = platt.probability(-5.0);
+        for s in [-2.0, -0.5, 0.0, 0.5, 2.0, 5.0] {
+            let p = platt.probability(s);
+            assert!(p >= prev, "probability must increase with score");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn separable_scores_calibrate_confidently() {
+        let (scores, labels) = separable();
+        let platt = PlattScaler::fit(&scores, &labels);
+        assert!(platt.probability(3.0) > 0.8);
+        assert!(platt.probability(-3.0) < 0.2);
+        let mid = platt.probability(0.0);
+        assert!((0.2..=0.8).contains(&mid), "midpoint {mid}");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (scores, labels) = separable();
+        let platt = PlattScaler::fit(&scores, &labels);
+        for s in [-1e9, -100.0, 0.0, 100.0, 1e9] {
+            let p = platt.probability(s);
+            assert!((0.0..=1.0).contains(&p) && p.is_finite(), "s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn noisy_overlap_stays_moderate() {
+        // Scores barely informative: probabilities should stay away from
+        // the extremes.
+        let scores = vec![-0.1, 0.1, -0.05, 0.05, 0.0, 0.02, -0.02, 0.07];
+        let labels = vec![
+            Label::Positive,
+            Label::Negative,
+            Label::Negative,
+            Label::Positive,
+            Label::Positive,
+            Label::Negative,
+            Label::Positive,
+            Label::Negative,
+        ];
+        let platt = PlattScaler::fit(&scores, &labels);
+        let p = platt.probability(0.05);
+        assert!((0.2..=0.8).contains(&p), "uninformative scores gave {p}");
+    }
+
+    #[test]
+    fn imbalanced_priors_shift_intercept() {
+        // Mostly negative data: an uninformative score should lean negative.
+        let scores = vec![0.0; 10];
+        let mut labels = vec![Label::Negative; 9];
+        labels.push(Label::Positive);
+        let platt = PlattScaler::fit(&scores, &labels);
+        assert!(platt.probability(0.0) < 0.5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Min–max feature scaling.
+//!
+//! Distance-based estimators (DWKNN, kNN) are meaningless over raw SDSS
+//! attributes whose domains differ by orders of magnitude (`rowc` spans
+//! 0–2048 while `dec` spans −90–90): the widest attribute dominates every
+//! distance. All models and index points in this workspace therefore
+//! operate on coordinates mapped to the unit cube via the schema's domains.
+
+use uei_types::{Result, Schema, UeiError};
+
+
+/// A per-dimension linear map onto `[0, 1]`.
+///
+/// ```
+/// use uei_learn::MinMaxScaler;
+/// use uei_types::Schema;
+///
+/// let scaler = MinMaxScaler::from_schema(&Schema::sdss());
+/// let z = scaler.transform(&[1024.0, 0.0, 180.0, 0.0, 500.0]).unwrap();
+/// assert_eq!(z[0], 0.5); // rowc domain is 0..2048
+/// assert_eq!(z[3], 0.5); // dec domain is -90..90
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Builds a scaler from explicit bounds.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Result<MinMaxScaler> {
+        if lo.len() != hi.len() {
+            return Err(UeiError::DimensionMismatch { expected: lo.len(), actual: hi.len() });
+        }
+        if lo.is_empty() {
+            return Err(UeiError::invalid_config("scaler needs at least one dimension"));
+        }
+        for d in 0..lo.len() {
+            if !(lo[d] <= hi[d]) {
+                return Err(UeiError::invalid_config(format!(
+                    "scaler bounds inverted in dim {d}"
+                )));
+            }
+        }
+        Ok(MinMaxScaler { lo, hi })
+    }
+
+    /// Builds a scaler from a schema's attribute domains.
+    pub fn from_schema(schema: &Schema) -> MinMaxScaler {
+        let lo = schema.attributes().iter().map(|a| a.min).collect();
+        let hi = schema.attributes().iter().map(|a| a.max).collect();
+        MinMaxScaler { lo, hi }
+    }
+
+    /// Fits bounds from data (useful when the schema is unknown).
+    pub fn fit(points: &[Vec<f64>]) -> Result<MinMaxScaler> {
+        let first = points
+            .first()
+            .ok_or_else(|| UeiError::invalid_config("cannot fit scaler on empty data"))?;
+        let mut lo = first.clone();
+        let mut hi = first.clone();
+        for p in points {
+            if p.len() != lo.len() {
+                return Err(UeiError::DimensionMismatch { expected: lo.len(), actual: p.len() });
+            }
+            for d in 0..p.len() {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        MinMaxScaler::new(lo, hi)
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Maps a point into the unit cube. Constant dimensions map to 0.5.
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.dims() {
+            return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: x.len() });
+        }
+        Ok((0..x.len())
+            .map(|d| {
+                let w = self.hi[d] - self.lo[d];
+                if w > 0.0 {
+                    (x[d] - self.lo[d]) / w
+                } else {
+                    0.5
+                }
+            })
+            .collect())
+    }
+
+    /// Maps a unit-cube point back to the original space.
+    pub fn inverse(&self, z: &[f64]) -> Result<Vec<f64>> {
+        if z.len() != self.dims() {
+            return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: z.len() });
+        }
+        Ok((0..z.len()).map(|d| self.lo[d] + z[d] * (self.hi[d] - self.lo[d])).collect())
+    }
+}
+
+/// A classifier that operates on raw coordinates by scaling them into the
+/// unit cube before delegating to an inner model.
+///
+/// Everything in the exploration loop (query strategies, index-point
+/// scoring, exhaustive scans) passes raw attribute values; the scaling is
+/// an internal concern of distance-based estimators. Training data is
+/// scaled once at fit time, queries on every call.
+pub struct ScaledClassifier {
+    inner: Box<dyn crate::model::Classifier>,
+    scaler: MinMaxScaler,
+}
+
+impl ScaledClassifier {
+    /// Scales `examples` and trains an inner model of `kind` on them.
+    pub fn train(
+        kind: crate::model::EstimatorKind,
+        scaler: MinMaxScaler,
+        examples: &[(Vec<f64>, uei_types::Label)],
+    ) -> Result<ScaledClassifier> {
+        let scaled: Result<Vec<(Vec<f64>, uei_types::Label)>> = examples
+            .iter()
+            .map(|(x, l)| Ok((scaler.transform(x)?, *l)))
+            .collect();
+        let inner = kind.train(&scaled?)?;
+        Ok(ScaledClassifier { inner, scaler })
+    }
+
+    /// Wraps an already trained model (which must expect scaled inputs).
+    pub fn wrap(inner: Box<dyn crate::model::Classifier>, scaler: MinMaxScaler) -> Self {
+        ScaledClassifier { inner, scaler }
+    }
+
+    /// The scaler in use.
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+}
+
+impl crate::model::Classifier for ScaledClassifier {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        match self.scaler.transform(x) {
+            Ok(z) => self.inner.predict_proba(&z),
+            Err(_) => 0.5,
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.scaler.dims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Classifier, EstimatorKind};
+    use uei_types::{Label, Schema};
+
+    #[test]
+    fn transform_and_inverse_round_trip() {
+        let s = MinMaxScaler::new(vec![0.0, -90.0], vec![2048.0, 90.0]).unwrap();
+        let x = vec![1024.0, 45.0];
+        let z = s.transform(&x).unwrap();
+        assert_eq!(z, vec![0.5, 0.75]);
+        let back = s.inverse(&z).unwrap();
+        assert!((back[0] - x[0]).abs() < 1e-9);
+        assert!((back[1] - x[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_schema_covers_domains() {
+        let s = MinMaxScaler::from_schema(&Schema::sdss());
+        assert_eq!(s.dims(), 5);
+        let z = s.transform(&[0.0, 2048.0, 180.0, 0.0, 500.0]).unwrap();
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[1], 1.0);
+        assert_eq!(z[2], 0.5);
+        assert_eq!(z[3], 0.5);
+        assert_eq!(z[4], 0.5);
+    }
+
+    #[test]
+    fn fit_from_data() {
+        let pts = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![2.0, 20.0]];
+        let s = MinMaxScaler::fit(&pts).unwrap();
+        assert_eq!(s.transform(&[1.0, 10.0]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[3.0, 30.0]).unwrap(), vec![1.0, 1.0]);
+        assert!(MinMaxScaler::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_half() {
+        let s = MinMaxScaler::new(vec![5.0], vec![5.0]).unwrap();
+        assert_eq!(s.transform(&[5.0]).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn validations() {
+        assert!(MinMaxScaler::new(vec![1.0], vec![0.0]).is_err());
+        assert!(MinMaxScaler::new(vec![], vec![]).is_err());
+        assert!(MinMaxScaler::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        let s = MinMaxScaler::new(vec![0.0], vec![1.0]).unwrap();
+        assert!(s.transform(&[0.0, 0.0]).is_err());
+        assert!(s.inverse(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn out_of_domain_values_extrapolate() {
+        let s = MinMaxScaler::new(vec![0.0], vec![10.0]).unwrap();
+        assert_eq!(s.transform(&[-5.0]).unwrap(), vec![-0.5]);
+        assert_eq!(s.transform(&[20.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn scaled_classifier_handles_wide_domains() {
+        // rowc spans 0..2048, dec −90..90: unscaled kNN would be dominated
+        // by rowc; the wrapper makes both attributes count.
+        let scaler = MinMaxScaler::new(vec![0.0, -90.0], vec![2048.0, 90.0]).unwrap();
+        let examples = vec![
+            (vec![1000.0, 80.0], Label::Positive),
+            (vec![1010.0, 85.0], Label::Positive),
+            (vec![1000.0, -80.0], Label::Negative),
+            (vec![1010.0, -85.0], Label::Negative),
+        ];
+        let model =
+            ScaledClassifier::train(EstimatorKind::Dwknn { k: 3 }, scaler, &examples)
+                .unwrap();
+        assert_eq!(model.dims(), 2);
+        assert_eq!(model.predict(&[1005.0, 82.0]), Label::Positive);
+        assert_eq!(model.predict(&[1005.0, -82.0]), Label::Negative);
+    }
+
+    #[test]
+    fn scaled_classifier_wrong_dims_is_uncertain() {
+        let scaler = MinMaxScaler::new(vec![0.0], vec![1.0]).unwrap();
+        let examples = vec![
+            (vec![0.1], Label::Negative),
+            (vec![0.9], Label::Positive),
+        ];
+        let model =
+            ScaledClassifier::train(EstimatorKind::Dwknn { k: 1 }, scaler, &examples)
+                .unwrap();
+        assert_eq!(model.predict_proba(&[0.5, 0.5]), 0.5);
+    }
+}

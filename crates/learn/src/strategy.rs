@@ -1,0 +1,291 @@
+//! Query strategies: how the next example to label is chosen.
+//!
+//! Uncertainty sampling (Lewis & Gale 1994) "identifies the unlabeled items
+//! that are closest to the current decision boundary" and is the strategy
+//! both the paper's background (§2.1) and its evaluation use. For binary
+//! classification, least confidence, margin, and entropy are monotone
+//! transformations of each other, but all three are provided because the
+//! committee strategy and multi-class extensions distinguish them.
+
+use uei_types::{DataPoint, Result, Rng, UeiError};
+
+use crate::model::Classifier;
+
+/// How "informativeness" of an unlabeled example is scored from the
+/// model's posterior `p = P(positive | x)`.
+///
+/// ```
+/// use uei_learn::UncertaintyMeasure;
+///
+/// let lc = UncertaintyMeasure::LeastConfidence;
+/// assert_eq!(lc.score(0.5), 0.5);          // maximal at the boundary
+/// assert_eq!(lc.score(1.0), 0.0);          // zero when certain
+/// assert_eq!(lc.score(0.2), lc.score(0.8)); // symmetric
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UncertaintyMeasure {
+    /// `u = 1 − max(p, 1−p)` (paper Eq. 1).
+    #[default]
+    LeastConfidence,
+    /// `u = 1 − |p − (1−p)|` (margin between the two classes).
+    Margin,
+    /// Binary entropy `−p·log p − (1−p)·log(1−p)` (in bits).
+    Entropy,
+}
+
+impl UncertaintyMeasure {
+    /// Scores a posterior; higher means more informative. All three
+    /// measures are maximal at `p = 0.5` and zero at `p ∈ {0, 1}`.
+    pub fn score(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match self {
+            UncertaintyMeasure::LeastConfidence => 1.0 - p.max(1.0 - p),
+            UncertaintyMeasure::Margin => 1.0 - (2.0 * p - 1.0).abs(),
+            UncertaintyMeasure::Entropy => {
+                let term = |q: f64| if q <= 0.0 { 0.0 } else { -q * q.log2() };
+                term(p) + term(1.0 - p)
+            }
+        }
+    }
+}
+
+/// A pool-based query strategy.
+pub trait QueryStrategy {
+    /// Index of the pool element to present for labeling next, or `None`
+    /// when the pool is empty. `x* = argmax_x u(x)` for uncertainty-based
+    /// strategies (paper Eq. 2).
+    fn select(&mut self, model: &dyn Classifier, pool: &[DataPoint]) -> Option<usize>;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Uncertainty sampling: pick the pool element with the highest
+/// uncertainty score; ties broken by lowest row id (deterministic).
+#[derive(Debug, Default, Clone)]
+pub struct UncertaintySampling {
+    measure: UncertaintyMeasure,
+}
+
+impl UncertaintySampling {
+    /// Creates the strategy with the given measure.
+    pub fn new(measure: UncertaintyMeasure) -> Self {
+        UncertaintySampling { measure }
+    }
+
+    /// The configured measure.
+    pub fn measure(&self) -> UncertaintyMeasure {
+        self.measure
+    }
+}
+
+impl QueryStrategy for UncertaintySampling {
+    fn select(&mut self, model: &dyn Classifier, pool: &[DataPoint]) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, point) in pool.iter().enumerate() {
+            let u = self.measure.score(model.predict_proba(&point.values));
+            let better = match best {
+                None => true,
+                Some((bu, bi)) => {
+                    u > bu || (u == bu && point.id < pool[bi].id)
+                }
+            };
+            if better {
+                best = Some((u, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "uncertainty-sampling"
+    }
+}
+
+/// Uniform random selection — the strategy main-memory systems fall back
+/// to when they can only sample the dataset, and the natural ablation
+/// baseline for uncertainty sampling.
+#[derive(Debug)]
+pub struct RandomSampling {
+    rng: Rng,
+}
+
+impl RandomSampling {
+    /// Creates the strategy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSampling { rng: Rng::new(seed) }
+    }
+}
+
+impl QueryStrategy for RandomSampling {
+    fn select(&mut self, _model: &dyn Classifier, pool: &[DataPoint]) -> Option<usize> {
+        if pool.is_empty() {
+            None
+        } else {
+            Some(self.rng.below_usize(pool.len()))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-sampling"
+    }
+}
+
+/// Scores every pool element with a measure, returning `(index, score)`
+/// sorted descending — used by batch selection and by the experiments'
+/// diagnostic output.
+pub fn rank_pool(
+    model: &dyn Classifier,
+    pool: &[DataPoint],
+    measure: UncertaintyMeasure,
+) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, measure.score(model.predict_proba(&p.values))))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0))
+    });
+    scored
+}
+
+/// Selects the `batch` most uncertain pool indices (descending score).
+pub fn select_batch(
+    model: &dyn Classifier,
+    pool: &[DataPoint],
+    measure: UncertaintyMeasure,
+    batch: usize,
+) -> Result<Vec<usize>> {
+    if batch == 0 {
+        return Err(UeiError::invalid_config("batch size must be >= 1"));
+    }
+    let mut ranked = rank_pool(model, pool, measure);
+    ranked.truncate(batch);
+    Ok(ranked.into_iter().map(|(i, _)| i).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::Label;
+
+    /// Posterior = x-coordinate clamped to [0,1]; lets tests place points
+    /// at exact probabilities.
+    struct CoordModel;
+    impl Classifier for CoordModel {
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            x[0].clamp(0.0, 1.0)
+        }
+        fn dims(&self) -> usize {
+            1
+        }
+    }
+
+    fn pool(ps: &[f64]) -> Vec<DataPoint> {
+        ps.iter().enumerate().map(|(i, &p)| DataPoint::new(i as u64, vec![p])).collect()
+    }
+
+    #[test]
+    fn measures_peak_at_half() {
+        for m in [
+            UncertaintyMeasure::LeastConfidence,
+            UncertaintyMeasure::Margin,
+            UncertaintyMeasure::Entropy,
+        ] {
+            assert!(m.score(0.5) > m.score(0.3), "{m:?}");
+            assert!(m.score(0.3) > m.score(0.1), "{m:?}");
+            assert_eq!(m.score(0.0), 0.0, "{m:?}");
+            assert_eq!(m.score(1.0), 0.0, "{m:?}");
+            // Symmetry.
+            assert!((m.score(0.3) - m.score(0.7)).abs() < 1e-12, "{m:?}");
+        }
+        assert_eq!(UncertaintyMeasure::Entropy.score(0.5), 1.0);
+        assert_eq!(UncertaintyMeasure::LeastConfidence.score(0.5), 0.5);
+        assert_eq!(UncertaintyMeasure::Margin.score(0.5), 1.0);
+    }
+
+    #[test]
+    fn uncertainty_sampling_picks_closest_to_half() {
+        let mut strategy = UncertaintySampling::default();
+        let pool = pool(&[0.1, 0.45, 0.9, 0.7]);
+        assert_eq!(strategy.select(&CoordModel, &pool), Some(1));
+    }
+
+    #[test]
+    fn uncertainty_sampling_tie_breaks_by_id() {
+        let mut strategy = UncertaintySampling::default();
+        // 0.4 and 0.6 are equally uncertain; the lower id (index 0) wins.
+        let pool = pool(&[0.6, 0.4]);
+        assert_eq!(strategy.select(&CoordModel, &pool), Some(0));
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let mut s = UncertaintySampling::default();
+        assert_eq!(s.select(&CoordModel, &[]), None);
+        let mut r = RandomSampling::new(1);
+        assert_eq!(r.select(&CoordModel, &[]), None);
+    }
+
+    #[test]
+    fn random_sampling_is_in_range_and_deterministic() {
+        let pool = pool(&[0.1, 0.2, 0.3, 0.4]);
+        let mut r1 = RandomSampling::new(42);
+        let mut r2 = RandomSampling::new(42);
+        for _ in 0..20 {
+            let a = r1.select(&CoordModel, &pool).unwrap();
+            let b = r2.select(&CoordModel, &pool).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn rank_pool_descends() {
+        let pool = pool(&[0.05, 0.5, 0.8]);
+        let ranked = rank_pool(&CoordModel, &pool, UncertaintyMeasure::LeastConfidence);
+        assert_eq!(ranked[0].0, 1);
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn select_batch_sizes() {
+        let pool = pool(&[0.05, 0.5, 0.8, 0.45]);
+        let batch =
+            select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 2).unwrap();
+        assert_eq!(batch, vec![1, 3]);
+        assert!(select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 0).is_err());
+        let all =
+            select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 99).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(UncertaintySampling::default().name(), "uncertainty-sampling");
+        assert_eq!(RandomSampling::new(0).name(), "random-sampling");
+    }
+
+    #[test]
+    fn works_with_trained_model() {
+        // End-to-end: the most uncertain point of a real model is between
+        // the clusters.
+        let examples = vec![
+            (vec![0.0], Label::Negative),
+            (vec![0.2], Label::Negative),
+            (vec![0.8], Label::Positive),
+            (vec![1.0], Label::Positive),
+        ];
+        // k = 3: with k = 2 DWKNN degenerates to the nearest label (the
+        // farthest neighbour always has zero dual weight).
+        let model = crate::dwknn::Dwknn::fit(3, &examples).unwrap();
+        let pool = vec![
+            DataPoint::new(0u64, vec![0.05]),
+            DataPoint::new(1u64, vec![0.5]),
+            DataPoint::new(2u64, vec![0.95]),
+        ];
+        let mut strategy = UncertaintySampling::default();
+        assert_eq!(strategy.select(&model, &pool), Some(1));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the learning toolkit: kd-tree vs brute force,
+//! probability bounds for every classifier, metric identities, and the
+//! scaler.
+
+use proptest::prelude::*;
+use uei_learn::kdtree::KdTree;
+use uei_learn::metrics::{set_f_measure, ConfusionMatrix};
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::{Classifier, EstimatorKind, MinMaxScaler};
+use uei_types::point::squared_distance;
+use uei_types::{Label, Region};
+
+fn points_strategy(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, dims),
+        1..80,
+    )
+}
+
+fn brute_knn(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(f64, usize)> {
+    let mut all: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (squared_distance(p, q).unwrap(), i))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_knn_equals_brute_force(
+        points in points_strategy(3),
+        query in proptest::collection::vec(-120.0f64..120.0, 3),
+        k in 1usize..12,
+    ) {
+        let tree = KdTree::build(points.clone()).unwrap();
+        let got = tree.nearest(&query, k).unwrap();
+        let want = brute_knn(&points, &query, k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_range_equals_filter(
+        points in points_strategy(2),
+        lo in proptest::collection::vec(-120.0f64..0.0, 2),
+        width in proptest::collection::vec(0.0f64..200.0, 2),
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&width).map(|(l, w)| l + w).collect();
+        let region = Region::new(lo, hi).unwrap();
+        let tree = KdTree::build(points.clone()).unwrap();
+        let got = tree.range_query(&region).unwrap();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| region.contains(p).unwrap())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_classifiers_emit_valid_probabilities(
+        pos in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 3), 2..20),
+        neg in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..0.0, 3), 2..20),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..2.0, 3), 1..10),
+    ) {
+        let mut examples: Vec<(Vec<f64>, Label)> =
+            pos.into_iter().map(|x| (x, Label::Positive)).collect();
+        examples.extend(neg.into_iter().map(|x| (x, Label::Negative)));
+        for kind in [
+            EstimatorKind::Dwknn { k: 3 },
+            EstimatorKind::Knn { k: 3 },
+            EstimatorKind::NaiveBayes,
+            EstimatorKind::LinearSvm { epochs: 5, lambda: 1e-2 },
+        ] {
+            let model = kind.train(&examples).unwrap();
+            for q in &queries {
+                let p = model.predict_proba(q);
+                prop_assert!(
+                    (0.0..=1.0).contains(&p) && p.is_finite(),
+                    "{}: p = {p}", kind.name()
+                );
+                let u = model.uncertainty(q);
+                prop_assert!((0.0..=0.5).contains(&u), "{}: u = {u}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn uncertainty_measures_symmetric_and_peaked(p in 0.0f64..=1.0) {
+        for m in [
+            UncertaintyMeasure::LeastConfidence,
+            UncertaintyMeasure::Margin,
+            UncertaintyMeasure::Entropy,
+        ] {
+            let s = m.score(p);
+            let s_mirror = m.score(1.0 - p);
+            prop_assert!((s - s_mirror).abs() < 1e-9, "{m:?} not symmetric at {p}");
+            prop_assert!(s <= m.score(0.5) + 1e-12, "{m:?} exceeds its peak at {p}");
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_identities(tp in 0u64..1000, fp in 0u64..1000, fn_ in 0u64..1000, tn in 0u64..1000) {
+        let m = ConfusionMatrix { tp, fp, fn_, tn };
+        let f1 = m.f_measure();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        // F1, a mean, lies between precision and recall.
+        if m.precision() > 0.0 && m.recall() > 0.0 {
+            let (lo, hi) = (m.precision().min(m.recall()), m.precision().max(m.recall()));
+            prop_assert!(f1 >= lo - 1e-12 && f1 <= hi + 1e-12);
+        }
+        // F1 = 1 iff perfect.
+        if f1 > 1.0 - 1e-12 {
+            prop_assert_eq!(fp, 0);
+            prop_assert_eq!(fn_, 0);
+        }
+    }
+
+    #[test]
+    fn set_f_measure_agrees_with_matrix(
+        predicted in proptest::collection::btree_set(0u64..200, 0..60),
+        relevant in proptest::collection::btree_set(0u64..200, 0..60),
+    ) {
+        let p: Vec<u64> = predicted.iter().copied().collect();
+        let r: Vec<u64> = relevant.iter().copied().collect();
+        let tp = predicted.intersection(&relevant).count() as u64;
+        let m = ConfusionMatrix {
+            tp,
+            fp: p.len() as u64 - tp,
+            fn_: r.len() as u64 - tp,
+            tn: 0,
+        };
+        prop_assert!((set_f_measure(&p, &r) - m.f_measure()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaler_roundtrip(
+        dims_data in (1usize..6).prop_flat_map(|d| (
+            proptest::collection::vec(-1e3f64..1e3, d),
+            proptest::collection::vec(0.001f64..1e3, d),
+            proptest::collection::vec(0.0f64..1.0, d),
+        )),
+    ) {
+        let (lo, width, t) = dims_data;
+        let hi: Vec<f64> = lo.iter().zip(&width).map(|(l, w)| l + w).collect();
+        let scaler = MinMaxScaler::new(lo.clone(), hi).unwrap();
+        let point: Vec<f64> =
+            lo.iter().zip(&width).zip(&t).map(|((l, w), tt)| l + w * tt).collect();
+        let z = scaler.transform(&point).unwrap();
+        for &v in &z {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+        }
+        let back = scaler.inverse(&z).unwrap();
+        for (a, b) in point.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn dwknn_prediction_matches_training_labels_on_exact_points(
+        pos in proptest::collection::vec(
+            proptest::collection::vec(5.0f64..10.0, 2), 2..10),
+        neg in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..-5.0, 2), 2..10),
+    ) {
+        // Well-separated clusters: every training point must classify as
+        // its own label with k = 1.
+        let mut examples: Vec<(Vec<f64>, Label)> =
+            pos.iter().cloned().map(|x| (x, Label::Positive)).collect();
+        examples.extend(neg.iter().cloned().map(|x| (x, Label::Negative)));
+        let model = uei_learn::Dwknn::fit(1, &examples).unwrap();
+        for (x, label) in &examples {
+            prop_assert_eq!(model.predict(x), *label);
+        }
+    }
+}

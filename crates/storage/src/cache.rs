@@ -1,0 +1,250 @@
+//! A byte-budgeted LRU cache of decoded chunks.
+//!
+//! UEI "would release the memory space used to hold the data chunk and
+//! reuse the space for the subsequent chunk" (§3.1); a bounded cache
+//! generalizes that: with a budget of one chunk it degenerates to the
+//! paper's strict chunk-at-a-time behaviour, with a larger budget it keeps
+//! hot chunks (e.g. chunks shared by adjacent grid cells) resident. The
+//! budget counts *decoded payload* bytes so it can be compared directly
+//! against the experiment's memory restriction.
+
+use std::sync::Arc;
+
+use uei_types::Result;
+
+use crate::chunk::{Chunk, ChunkId};
+use crate::lru::LruMap;
+use crate::store::ColumnStore;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that had to read the chunk file.
+    pub misses: u64,
+    /// Chunks evicted to stay within budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-budgeted LRU chunk cache in front of a [`ColumnStore`].
+#[derive(Debug)]
+pub struct ChunkCache {
+    budget_bytes: usize,
+    used_bytes: usize,
+    lru: LruMap<ChunkId, (Arc<Chunk>, usize)>,
+    stats: CacheStats,
+}
+
+impl ChunkCache {
+    /// Creates a cache with the given decoded-bytes budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        ChunkCache { budget_bytes, used_bytes: 0, lru: LruMap::new(), stats: CacheStats::default() }
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Decoded bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the chunk, reading it from the store on a miss.
+    ///
+    /// Chunks larger than the whole budget are returned without being
+    /// cached (they would immediately evict everything and then themselves).
+    pub fn get_or_load(&mut self, store: &ColumnStore, id: ChunkId) -> Result<Arc<Chunk>> {
+        if let Some((chunk, _)) = self.lru.get(&id) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(chunk));
+        }
+        self.stats.misses += 1;
+        let chunk = Arc::new(store.read_chunk(id)?);
+        let size = approx_chunk_bytes(&chunk);
+        if size > self.budget_bytes {
+            return Ok(chunk);
+        }
+        self.used_bytes += size;
+        self.lru.insert(id, (Arc::clone(&chunk), size));
+        while self.used_bytes > self.budget_bytes {
+            if let Some((_, (_, sz))) = self.lru.pop_lru() {
+                self.used_bytes -= sz;
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(chunk)
+    }
+
+    /// Drops every cached chunk (e.g. when the exploration abandons the
+    /// current region, Algorithm 2 line 15).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+        self.used_bytes = 0;
+    }
+}
+
+/// Approximate decoded in-memory footprint of a chunk.
+fn approx_chunk_bytes(chunk: &Chunk) -> usize {
+    // Per posting list: key (8) + Vec header (~24); per id: 8.
+    chunk.num_entries() * 32 + chunk.num_ids() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{DiskTracker, IoProfile};
+    use crate::store::StoreConfig;
+    use std::path::PathBuf;
+    use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+    fn build_store(tag: &str, n: usize, chunk_bytes: usize) -> (ColumnStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 100.0).unwrap(),
+            AttributeDef::new("y", 0.0, 100.0).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = Rng::new(1);
+        let rows: Vec<DataPoint> = (0..n)
+            .map(|i| {
+                DataPoint::new(
+                    i as u64,
+                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+                )
+            })
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            &dir,
+            schema,
+            &rows,
+            StoreConfig { chunk_target_bytes: chunk_bytes },
+            tracker,
+        )
+        .unwrap();
+        (store, dir)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (store, dir) = build_store("hits", 200, 256);
+        let id = store.manifest().dims[0][0].id();
+        let mut cache = ChunkCache::new(10 << 20);
+        let a = cache.get_or_load(&store, id).unwrap();
+        let b = cache.get_or_load(&store, id).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_load_does_no_io() {
+        let (store, dir) = build_store("noio", 200, 256);
+        let id = store.manifest().dims[0][0].id();
+        let mut cache = ChunkCache::new(10 << 20);
+        cache.get_or_load(&store, id).unwrap();
+        let before = store.tracker().snapshot();
+        cache.get_or_load(&store, id).unwrap();
+        assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evicts_lru_when_over_budget() {
+        let (store, dir) = build_store("evict", 500, 200);
+        let ids: Vec<ChunkId> =
+            store.manifest().dims[0].iter().map(|m| m.id()).collect();
+        assert!(ids.len() >= 3, "need several chunks for this test");
+        // Budget sized for roughly one chunk.
+        let one = {
+            let mut c = ChunkCache::new(usize::MAX);
+            let ch = c.get_or_load(&store, ids[0]).unwrap();
+            approx_chunk_bytes(&ch)
+        };
+        let mut cache = ChunkCache::new(one + one / 2);
+        for &id in &ids {
+            cache.get_or_load(&store, id).unwrap();
+        }
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+        // The last-loaded chunk should still be resident.
+        let before = store.tracker().snapshot();
+        cache.get_or_load(&store, *ids.last().unwrap()).unwrap();
+        assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_chunk_bypasses_cache() {
+        let (store, dir) = build_store("bypass", 100, 1 << 20);
+        let id = store.manifest().dims[0][0].id();
+        let mut cache = ChunkCache::new(8); // absurdly small budget
+        cache.get_or_load(&store, id).unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.used_bytes(), 0);
+        // Still counted as a miss both times.
+        cache.get_or_load(&store, id).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_resets_usage() {
+        let (store, dir) = build_store("clear", 200, 256);
+        let mut cache = ChunkCache::new(10 << 20);
+        for m in &store.manifest().dims[0] {
+            cache.get_or_load(&store, m.id()).unwrap();
+        }
+        assert!(cache.used_bytes() > 0);
+        cache.clear();
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(cache.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        assert_eq!(s.hit_ratio(), 0.75);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

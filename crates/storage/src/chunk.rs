@@ -1,0 +1,293 @@
+//! The on-disk chunk file format.
+//!
+//! UEI "splits the distinct values of each dimension d into a set of
+//! equal-sized data chunks, where each chunk will be stored as a separate
+//! file on the disk" (§3.1). A chunk holds a run of consecutive posting
+//! lists of one dimension; across chunks of a dimension the key ranges are
+//! disjoint and ascending ("values stored in each subsequent chunk will be
+//! larger than the values that have been stored" before it).
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic    8 bytes  "UEICHNK1"
+//! dim      u32      dimension index
+//! chunk    u32      chunk id within the dimension
+//! entries  u32      number of posting lists
+//! payload  entries × PostingList (see `postings`)
+//! crc      u32      CRC-32 of everything above
+//! ```
+
+use uei_types::codec::{Reader, Writer};
+use uei_types::{Result, UeiError};
+
+use crate::checksum::crc32;
+use crate::postings::PostingList;
+
+/// File-format magic for chunk files.
+pub const CHUNK_MAGIC: &[u8; 8] = b"UEICHNK1";
+
+/// Identifies a chunk: `(dimension, position within the dimension)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId {
+    /// Dimension (attribute) index.
+    pub dim: u32,
+    /// Ordinal of the chunk within the dimension (0-based; key ranges
+    /// ascend with this ordinal).
+    pub seq: u32,
+}
+
+impl ChunkId {
+    /// Creates a chunk id.
+    pub fn new(dim: u32, seq: u32) -> Self {
+        ChunkId { dim, seq }
+    }
+
+    /// Canonical file name of this chunk inside a store directory.
+    pub fn file_name(&self) -> String {
+        format!("d{:03}_c{:06}.uei", self.dim, self.seq)
+    }
+}
+
+impl std::fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}c{}", self.dim, self.seq)
+    }
+}
+
+/// An in-memory chunk: a run of ascending-key posting lists of one dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Chunk identity.
+    pub id: ChunkId,
+    /// Posting lists with strictly ascending keys.
+    pub entries: Vec<PostingList>,
+}
+
+impl Chunk {
+    /// Creates a chunk, validating that entries are non-empty and keys are
+    /// strictly ascending.
+    pub fn new(id: ChunkId, entries: Vec<PostingList>) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(UeiError::corrupt(format!("chunk {id} has no entries")));
+        }
+        for w in entries.windows(2) {
+            if w[1].key <= w[0].key {
+                return Err(UeiError::corrupt(format!(
+                    "chunk {id} keys not strictly ascending: {} after {}",
+                    w[1].key, w[0].key
+                )));
+            }
+        }
+        Ok(Chunk { id, entries })
+    }
+
+    /// Smallest key stored in the chunk.
+    pub fn min_key(&self) -> f64 {
+        self.entries.first().expect("validated chunk is non-empty").key
+    }
+
+    /// Largest key stored in the chunk.
+    pub fn max_key(&self) -> f64 {
+        self.entries.last().expect("validated chunk is non-empty").key
+    }
+
+    /// Number of posting lists.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of row ids across all posting lists.
+    pub fn num_ids(&self) -> usize {
+        self.entries.iter().map(|e| e.len()).sum()
+    }
+
+    /// Serializes the chunk to its file representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64 + self.entries.len() * 24);
+        w.write_bytes(CHUNK_MAGIC);
+        w.write_u32(self.id.dim);
+        w.write_u32(self.id.seq);
+        w.write_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode(&mut w).expect("validated chunk entries encode");
+        }
+        let crc = crc32(w.as_bytes());
+        w.write_u32(crc);
+        w.into_bytes()
+    }
+
+    /// Parses and validates a chunk file image.
+    pub fn decode(bytes: &[u8]) -> Result<Chunk> {
+        if bytes.len() < CHUNK_MAGIC.len() + 4 * 3 + 4 {
+            return Err(UeiError::corrupt(format!("chunk file too small: {} bytes", bytes.len())));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(UeiError::corrupt(format!(
+                "chunk crc mismatch: stored {stored_crc:#x}, computed {actual_crc:#x}"
+            )));
+        }
+        let mut r = Reader::new(body);
+        let magic = r.read_bytes(CHUNK_MAGIC.len())?;
+        if magic != CHUNK_MAGIC {
+            return Err(UeiError::corrupt("bad chunk magic"));
+        }
+        let dim = r.read_u32()?;
+        let seq = r.read_u32()?;
+        let n = r.read_u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            entries.push(PostingList::decode(&mut r)?);
+        }
+        if !r.is_empty() {
+            return Err(UeiError::corrupt(format!(
+                "chunk has {} trailing bytes after {} entries",
+                r.remaining(),
+                n
+            )));
+        }
+        Chunk::new(ChunkId::new(dim, seq), entries)
+    }
+
+    /// Scans the chunk for posting lists whose key falls in `[lo, hi)`
+    /// (or `[lo, hi]` when `inclusive_hi`), visiting them in ascending key
+    /// order. The entries are sorted, so the scan starts at the first
+    /// qualifying key via binary search.
+    pub fn scan_range(
+        &self,
+        lo: f64,
+        hi: f64,
+        inclusive_hi: bool,
+        mut visit: impl FnMut(&PostingList),
+    ) {
+        let start = self.entries.partition_point(|e| e.key < lo);
+        for e in &self.entries[start..] {
+            let beyond = if inclusive_hi { e.key > hi } else { e.key >= hi };
+            if beyond {
+                break;
+            }
+            visit(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chunk() -> Chunk {
+        Chunk::new(
+            ChunkId::new(2, 7),
+            vec![
+                PostingList::new(-5.0, vec![3, 9]).unwrap(),
+                PostingList::new(0.0, vec![1]).unwrap(),
+                PostingList::new(4.5, vec![2, 4, 6]).unwrap(),
+                PostingList::new(9.0, vec![0]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let id = ChunkId::new(0, 0);
+        assert!(Chunk::new(id, vec![]).is_err());
+        let unordered = vec![
+            PostingList::new(2.0, vec![1]).unwrap(),
+            PostingList::new(1.0, vec![2]).unwrap(),
+        ];
+        assert!(Chunk::new(id, unordered).is_err());
+        let dup = vec![
+            PostingList::new(1.0, vec![1]).unwrap(),
+            PostingList::new(1.0, vec![2]).unwrap(),
+        ];
+        assert!(Chunk::new(id, dup).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = sample_chunk();
+        assert_eq!(c.min_key(), -5.0);
+        assert_eq!(c.max_key(), 9.0);
+        assert_eq!(c.num_entries(), 4);
+        assert_eq!(c.num_ids(), 7);
+        assert_eq!(c.id.file_name(), "d002_c000007.uei");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = sample_chunk();
+        let bytes = c.encode();
+        let got = Chunk::decode(&bytes).unwrap();
+        assert_eq!(got, c);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut bytes = sample_chunk().encode();
+        bytes[0] ^= 0xFF;
+        assert!(Chunk::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bit_flip_anywhere() {
+        let bytes = sample_chunk().encode();
+        for pos in [0, 8, 12, 20, bytes.len() / 2, bytes.len() - 5, bytes.len() - 1] {
+            let mut copy = bytes.clone();
+            copy[pos] ^= 0x01;
+            assert!(Chunk::decode(&copy).is_err(), "bit flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = sample_chunk().encode();
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert!(Chunk::decode(&bytes[..cut]).is_err(), "truncation at {cut} undetected");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        // Appending bytes invalidates the CRC position, so this must fail.
+        let mut bytes = sample_chunk().encode();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(Chunk::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn scan_range_half_open() {
+        let c = sample_chunk();
+        let mut seen = Vec::new();
+        c.scan_range(0.0, 9.0, false, |e| seen.push(e.key));
+        assert_eq!(seen, vec![0.0, 4.5]);
+    }
+
+    #[test]
+    fn scan_range_inclusive() {
+        let c = sample_chunk();
+        let mut seen = Vec::new();
+        c.scan_range(0.0, 9.0, true, |e| seen.push(e.key));
+        assert_eq!(seen, vec![0.0, 4.5, 9.0]);
+    }
+
+    #[test]
+    fn scan_range_outside_is_empty() {
+        let c = sample_chunk();
+        let mut count = 0;
+        c.scan_range(100.0, 200.0, true, |_| count += 1);
+        c.scan_range(-100.0, -50.0, true, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn scan_range_full_cover() {
+        let c = sample_chunk();
+        let mut ids: Vec<u64> = Vec::new();
+        c.scan_range(f64::NEG_INFINITY, f64::INFINITY, false, |e| ids.extend(&e.ids));
+        assert_eq!(ids.len(), c.num_ids());
+    }
+}

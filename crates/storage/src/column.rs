@@ -1,0 +1,267 @@
+//! Vertical decomposition of row data into sorted inverted columns.
+//!
+//! Implements Algorithm 2 lines 2–4 of the paper: for each dimension,
+//! collect `(value, row-id)` pairs, sort ascending, and group equal values
+//! into posting lists (`<key, {values}>` with object ids as the values,
+//! Figure 2).
+
+use uei_types::{DataPoint, Result, UeiError};
+
+use crate::postings::PostingList;
+
+/// One fully decomposed, sorted, grouped dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvertedColumn {
+    /// Dimension index this column came from.
+    pub dim: usize,
+    /// Posting lists with strictly ascending keys.
+    pub postings: Vec<PostingList>,
+}
+
+impl InvertedColumn {
+    /// Total number of row ids across all lists (equals the row count of
+    /// the source data).
+    pub fn num_ids(&self) -> usize {
+        self.postings.iter().map(|p| p.len()).sum()
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Vertically decomposes `rows` into one [`InvertedColumn`] per dimension.
+///
+/// Every row must have exactly `dims` values and NaN values are rejected
+/// (they cannot be ordered, so they cannot live in a sorted inverted
+/// column). Row ids must be unique; duplicates are rejected because posting
+/// lists require strictly ascending ids.
+pub fn vertical_decompose(rows: &[DataPoint], dims: usize) -> Result<Vec<InvertedColumn>> {
+    // Gather per-dimension (value, id) pairs.
+    let mut pairs: Vec<Vec<(f64, u64)>> =
+        (0..dims).map(|_| Vec::with_capacity(rows.len())).collect();
+    for row in rows {
+        if row.values.len() != dims {
+            return Err(UeiError::DimensionMismatch { expected: dims, actual: row.values.len() });
+        }
+        for (d, &v) in row.values.iter().enumerate() {
+            if v.is_nan() {
+                return Err(UeiError::corrupt(format!(
+                    "row {} has NaN in dimension {d}",
+                    row.id
+                )));
+            }
+            pairs[d].push((v, row.id.as_u64()));
+        }
+    }
+
+    let mut columns = Vec::with_capacity(dims);
+    for (dim, mut col) in pairs.into_iter().enumerate() {
+        // Sort by (value, id): ids within each posting list come out
+        // ascending for free, which the delta encoder requires.
+        col.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("NaN rejected above").then(a.1.cmp(&b.1))
+        });
+        let mut postings: Vec<PostingList> = Vec::new();
+        for (value, id) in col {
+            match postings.last_mut() {
+                Some(last) if last.key == value => {
+                    if last.ids.last() == Some(&id) {
+                        return Err(UeiError::corrupt(format!(
+                            "duplicate row id {id} in dimension {dim}"
+                        )));
+                    }
+                    last.ids.push(id);
+                }
+                _ => postings.push(PostingList { key: value, ids: vec![id] }),
+            }
+        }
+        columns.push(InvertedColumn { dim, postings });
+    }
+    Ok(columns)
+}
+
+/// Merges rows from multiple sources into one dataset with fresh dense ids.
+///
+/// "For each exploration task, UEI stores all needed data in one location,
+/// thus when exploring data that are distributed in multiple locations
+/// (e.g., tables, files), the data needs to be merged before being
+/// utilized in the exploration" (paper §3.1). Rows are concatenated in
+/// source order and re-identified `0..n`; every row must share one
+/// dimensionality.
+pub fn merge_sources(sources: &[Vec<DataPoint>]) -> Result<Vec<DataPoint>> {
+    let dims = sources
+        .iter()
+        .flat_map(|s| s.first())
+        .map(|p| p.dims())
+        .next()
+        .unwrap_or(0);
+    let mut merged = Vec::with_capacity(sources.iter().map(|s| s.len()).sum());
+    for source in sources {
+        for row in source {
+            if row.values.len() != dims {
+                return Err(UeiError::DimensionMismatch {
+                    expected: dims,
+                    actual: row.values.len(),
+                });
+            }
+            merged.push(DataPoint::new(merged.len() as u64, row.values.clone()));
+        }
+    }
+    Ok(merged)
+}
+
+/// Splits a column's posting lists into chunk-sized runs.
+///
+/// Each run's *encoded payload* is at least `target_bytes` (except possibly
+/// the final run), matching the paper's equal-sized chunk files ("the size
+/// of each chunk can be adjusted based on the size of the data and the
+/// available hardware resources"). A posting list is never split across
+/// chunks, preserving the invariant that chunk key ranges are disjoint.
+pub fn split_into_chunks(column: InvertedColumn, target_bytes: usize) -> Vec<Vec<PostingList>> {
+    let mut runs: Vec<Vec<PostingList>> = Vec::new();
+    let mut current: Vec<PostingList> = Vec::new();
+    let mut current_bytes = 0usize;
+    for posting in column.postings {
+        let len = posting.encoded_len();
+        current_bytes += len;
+        current.push(posting);
+        if current_bytes >= target_bytes {
+            runs.push(std::mem::take(&mut current));
+            current_bytes = 0;
+        }
+    }
+    if !current.is_empty() {
+        runs.push(current);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::DataPoint;
+
+    fn rows() -> Vec<DataPoint> {
+        vec![
+            DataPoint::new(0u64, vec![3.0, 10.0]),
+            DataPoint::new(1u64, vec![1.0, 10.0]),
+            DataPoint::new(2u64, vec![3.0, 30.0]),
+            DataPoint::new(3u64, vec![2.0, 20.0]),
+        ]
+    }
+
+    #[test]
+    fn decompose_sorts_and_groups() {
+        let cols = vertical_decompose(&rows(), 2).unwrap();
+        assert_eq!(cols.len(), 2);
+
+        let keys: Vec<f64> = cols[0].postings.iter().map(|p| p.key).collect();
+        assert_eq!(keys, vec![1.0, 2.0, 3.0]);
+        // Value 3.0 appears in rows 0 and 2; ids must be ascending.
+        assert_eq!(cols[0].postings[2].ids, vec![0, 2]);
+
+        let keys: Vec<f64> = cols[1].postings.iter().map(|p| p.key).collect();
+        assert_eq!(keys, vec![10.0, 20.0, 30.0]);
+        assert_eq!(cols[1].postings[0].ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn decompose_preserves_row_count() {
+        let cols = vertical_decompose(&rows(), 2).unwrap();
+        for c in &cols {
+            assert_eq!(c.num_ids(), 4);
+        }
+        assert_eq!(cols[0].num_keys(), 3);
+    }
+
+    #[test]
+    fn decompose_rejects_bad_rows() {
+        let bad_dims = vec![DataPoint::new(0u64, vec![1.0])];
+        assert!(vertical_decompose(&bad_dims, 2).is_err());
+
+        let nan = vec![DataPoint::new(0u64, vec![1.0, f64::NAN])];
+        assert!(vertical_decompose(&nan, 2).is_err());
+
+        let dup_ids = vec![
+            DataPoint::new(7u64, vec![1.0, 1.0]),
+            DataPoint::new(7u64, vec![1.0, 2.0]),
+        ];
+        assert!(vertical_decompose(&dup_ids, 2).is_err());
+    }
+
+    #[test]
+    fn decompose_empty_dataset() {
+        let cols = vertical_decompose(&[], 3).unwrap();
+        assert_eq!(cols.len(), 3);
+        assert!(cols.iter().all(|c| c.postings.is_empty()));
+    }
+
+    #[test]
+    fn split_respects_target_and_order() {
+        let postings: Vec<PostingList> =
+            (0..100).map(|i| PostingList::new(i as f64, vec![i]).unwrap()).collect();
+        let column = InvertedColumn { dim: 0, postings: postings.clone() };
+        let per_list = postings[50].encoded_len();
+        let runs = split_into_chunks(column, per_list * 10);
+        assert!(runs.len() > 1);
+        // All postings survive, in order.
+        let flat: Vec<f64> = runs.iter().flatten().map(|p| p.key).collect();
+        assert_eq!(flat, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+        // Every run except the last hits the target.
+        for run in &runs[..runs.len() - 1] {
+            let bytes: usize = run.iter().map(|p| p.encoded_len()).sum();
+            assert!(bytes >= per_list * 10);
+        }
+    }
+
+    #[test]
+    fn split_single_giant_target_yields_one_chunk() {
+        let postings = vec![PostingList::new(1.0, vec![0]).unwrap()];
+        let column = InvertedColumn { dim: 0, postings };
+        let runs = split_into_chunks(column, usize::MAX);
+        assert_eq!(runs.len(), 1);
+    }
+
+    #[test]
+    fn split_tiny_target_yields_one_chunk_per_list() {
+        let postings: Vec<PostingList> =
+            (0..10).map(|i| PostingList::new(i as f64, vec![i]).unwrap()).collect();
+        let column = InvertedColumn { dim: 0, postings };
+        let runs = split_into_chunks(column, 1);
+        assert_eq!(runs.len(), 10);
+        assert!(runs.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn split_empty_column() {
+        let column = InvertedColumn { dim: 0, postings: vec![] };
+        assert!(split_into_chunks(column, 100).is_empty());
+    }
+
+    #[test]
+    fn merge_sources_reassigns_dense_ids() {
+        let a = vec![
+            DataPoint::new(10u64, vec![1.0, 2.0]),
+            DataPoint::new(99u64, vec![3.0, 4.0]),
+        ];
+        let b = vec![DataPoint::new(10u64, vec![5.0, 6.0])]; // id collides with a's
+        let merged = merge_sources(&[a, b]).unwrap();
+        assert_eq!(merged.len(), 3);
+        for (i, row) in merged.iter().enumerate() {
+            assert_eq!(row.id.as_u64(), i as u64, "dense re-identification");
+        }
+        assert_eq!(merged[0].values, vec![1.0, 2.0]);
+        assert_eq!(merged[2].values, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn merge_sources_rejects_mixed_dims_and_handles_empty() {
+        assert_eq!(merge_sources(&[]).unwrap(), Vec::new());
+        assert_eq!(merge_sources(&[vec![], vec![]]).unwrap(), Vec::new());
+        let a = vec![DataPoint::new(0u64, vec![1.0])];
+        let b = vec![DataPoint::new(0u64, vec![1.0, 2.0])];
+        assert!(merge_sources(&[a, b]).is_err());
+    }
+}

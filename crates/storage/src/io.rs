@@ -1,0 +1,356 @@
+//! I/O accounting with a modeled disk and a virtual clock.
+//!
+//! ## Why a model
+//!
+//! The paper's headline numbers (Figure 6: UEI ≥50× faster than the MySQL
+//! scheme, sub-second iterations for data 100× larger than memory) come from
+//! a testbed with 32 GiB RAM, a 40 GB dataset, and a 3.4 GB/s NVMe SSD. We
+//! cannot assume that hardware, and sleeping to emulate it would make the
+//! benchmark suite take hours. Instead, every storage engine in this
+//! workspace routes its file operations through a [`DiskTracker`]:
+//!
+//! - the *real* I/O is performed (files are actually written and read), and
+//! - each operation is charged to a **virtual clock** according to an
+//!   [`IoProfile`]: `seeks × seek_latency + bytes / bandwidth`.
+//!
+//! Response-time figures are reported from the virtual clock; raw byte and
+//! seek counts are also exposed so the O(kn) → O(ke) complexity claim of
+//! paper §3.3 can be verified directly. Because both schemes (UEI and the
+//! DBMS baseline) are charged by the same model, ratios between them — which
+//! is what the paper's figures show — are preserved exactly.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use uei_types::{Result, UeiError};
+
+/// Performance profile of a modeled secondary-storage device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoProfile {
+    /// Sustained sequential read bandwidth, bytes per second.
+    pub read_bandwidth: f64,
+    /// Sustained sequential write bandwidth, bytes per second.
+    pub write_bandwidth: f64,
+    /// Fixed cost charged per seek (per discontiguous access), seconds.
+    pub seek_latency: f64,
+}
+
+impl IoProfile {
+    /// The paper's evaluation device: NVMe SSD, ~3.4 GB/s reads (§4.2).
+    pub fn nvme() -> Self {
+        IoProfile {
+            read_bandwidth: 3.4e9,
+            write_bandwidth: 2.0e9,
+            seek_latency: 20e-6,
+        }
+    }
+
+    /// A SATA SSD: ~550 MB/s, 100 µs access.
+    pub fn sata_ssd() -> Self {
+        IoProfile {
+            read_bandwidth: 550e6,
+            write_bandwidth: 500e6,
+            seek_latency: 100e-6,
+        }
+    }
+
+    /// A 7200 rpm hard disk: ~150 MB/s, 8 ms average access.
+    pub fn hdd() -> Self {
+        IoProfile {
+            read_bandwidth: 150e6,
+            write_bandwidth: 140e6,
+            seek_latency: 8e-3,
+        }
+    }
+
+    /// An infinitely fast device; useful in unit tests that only care about
+    /// byte counts.
+    pub fn instant() -> Self {
+        IoProfile { read_bandwidth: f64::INFINITY, write_bandwidth: f64::INFINITY, seek_latency: 0.0 }
+    }
+
+    /// Modeled time to read `bytes` with `seeks` discontiguous accesses.
+    pub fn read_time(&self, bytes: u64, seeks: u64) -> Duration {
+        Duration::from_secs_f64(
+            seeks as f64 * self.seek_latency + bytes as f64 / self.read_bandwidth,
+        )
+    }
+
+    /// Modeled time to write `bytes` with `seeks` discontiguous accesses.
+    pub fn write_time(&self, bytes: u64, seeks: u64) -> Duration {
+        Duration::from_secs_f64(
+            seeks as f64 * self.seek_latency + bytes as f64 / self.write_bandwidth,
+        )
+    }
+}
+
+impl Default for IoProfile {
+    fn default() -> Self {
+        IoProfile::nvme()
+    }
+}
+
+/// Cumulative I/O counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Seeks charged (one per discontiguous access).
+    pub seeks: u64,
+}
+
+/// A point-in-time snapshot of a tracker, used to measure intervals.
+#[derive(Debug, Clone, Copy)]
+pub struct IoSnapshot {
+    stats: IoStats,
+    virtual_elapsed: Duration,
+}
+
+/// Interval measurements between a snapshot and now.
+#[derive(Debug, Clone, Copy)]
+pub struct IoDelta {
+    /// Counter deltas over the interval.
+    pub stats: IoStats,
+    /// Virtual (modeled) time elapsed over the interval.
+    pub virtual_elapsed: Duration,
+}
+
+#[derive(Debug, Default)]
+struct TrackerState {
+    stats: IoStats,
+    virtual_clock: Duration,
+}
+
+/// Shared I/O accountant: performs real file I/O and charges a virtual clock.
+///
+/// Cloning is cheap; clones share the same counters. All storage engines of
+/// one experiment share a single tracker so that modeled response times
+/// include every byte the scheme touched.
+#[derive(Debug, Clone)]
+pub struct DiskTracker {
+    profile: IoProfile,
+    state: Arc<Mutex<TrackerState>>,
+}
+
+impl DiskTracker {
+    /// Creates a tracker with the given device profile.
+    pub fn new(profile: IoProfile) -> Self {
+        DiskTracker { profile, state: Arc::new(Mutex::new(TrackerState::default())) }
+    }
+
+    /// The device profile in use.
+    pub fn profile(&self) -> IoProfile {
+        self.profile
+    }
+
+    /// Current cumulative counters.
+    pub fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+
+    /// Current virtual-clock reading.
+    pub fn virtual_elapsed(&self) -> Duration {
+        self.state.lock().virtual_clock
+    }
+
+    /// Takes a snapshot for later interval measurement via [`Self::delta`].
+    pub fn snapshot(&self) -> IoSnapshot {
+        let s = self.state.lock();
+        IoSnapshot { stats: s.stats, virtual_elapsed: s.virtual_clock }
+    }
+
+    /// Counters and virtual time accumulated since `since`.
+    pub fn delta(&self, since: &IoSnapshot) -> IoDelta {
+        let s = self.state.lock();
+        IoDelta {
+            stats: IoStats {
+                reads: s.stats.reads - since.stats.reads,
+                bytes_read: s.stats.bytes_read - since.stats.bytes_read,
+                writes: s.stats.writes - since.stats.writes,
+                bytes_written: s.stats.bytes_written - since.stats.bytes_written,
+                seeks: s.stats.seeks - since.stats.seeks,
+            },
+            virtual_elapsed: s.virtual_clock - since.virtual_elapsed,
+        }
+    }
+
+    /// Records a read of `bytes` bytes costing `seeks` seeks, advancing the
+    /// virtual clock. Use this when the data does not come from a real file
+    /// (e.g. the DBMS buffer pool charging a page miss).
+    pub fn record_read(&self, bytes: u64, seeks: u64) {
+        let mut s = self.state.lock();
+        s.stats.reads += 1;
+        s.stats.bytes_read += bytes;
+        s.stats.seeks += seeks;
+        s.virtual_clock += self.profile.read_time(bytes, seeks);
+    }
+
+    /// Records a write of `bytes` bytes costing `seeks` seeks.
+    pub fn record_write(&self, bytes: u64, seeks: u64) {
+        let mut s = self.state.lock();
+        s.stats.writes += 1;
+        s.stats.bytes_written += bytes;
+        s.stats.seeks += seeks;
+        s.virtual_clock += self.profile.write_time(bytes, seeks);
+    }
+
+    /// Reads an entire file, charging one seek plus its length.
+    pub fn read_file(&self, path: &Path) -> Result<Vec<u8>> {
+        let data = std::fs::read(path).map_err(|e| UeiError::io(path, e))?;
+        self.record_read(data.len() as u64, 1);
+        Ok(data)
+    }
+
+    /// Reads `len` bytes at `offset` from a file, charging one seek.
+    pub fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(path).map_err(|e| UeiError::io(path, e))?;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| UeiError::io(path, e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).map_err(|e| UeiError::io(path, e))?;
+        self.record_read(len as u64, 1);
+        Ok(buf)
+    }
+
+    /// Writes a whole file atomically (tmp + rename), charging one seek plus
+    /// its length.
+    pub fn write_file(&self, path: &Path, data: &[u8]) -> Result<()> {
+        let tmp = tmp_sibling(path);
+        std::fs::write(&tmp, data).map_err(|e| UeiError::io(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| UeiError::io(path, e))?;
+        self.record_write(data.len() as u64, 1);
+        Ok(())
+    }
+}
+
+impl Default for DiskTracker {
+    fn default() -> Self {
+        DiskTracker::new(IoProfile::default())
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_read_time_formula() {
+        let p = IoProfile { read_bandwidth: 1e6, write_bandwidth: 1e6, seek_latency: 0.001 };
+        // 2 seeks at 1 ms plus 1 MB at 1 MB/s = 2 ms + 1 s.
+        let t = p.read_time(1_000_000, 2);
+        assert!((t.as_secs_f64() - 1.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvme_matches_paper_order_of_magnitude() {
+        // 40 GB at 3.4 GB/s ≈ 11.8 s: the paper reports "over 12 seconds"
+        // for the exhaustive scan, so the profile reproduces its regime.
+        let t = IoProfile::nvme().read_time(40_000_000_000, 1);
+        assert!(t.as_secs_f64() > 11.0 && t.as_secs_f64() < 13.0, "{t:?}");
+    }
+
+    #[test]
+    fn tracker_accumulates_and_snapshots() {
+        let p = IoProfile { read_bandwidth: 1e6, write_bandwidth: 2e6, seek_latency: 0.0 };
+        let t = DiskTracker::new(p);
+        t.record_read(500_000, 1);
+        let snap = t.snapshot();
+        t.record_read(250_000, 2);
+        t.record_write(1_000_000, 1);
+
+        let total = t.stats();
+        assert_eq!(total.reads, 2);
+        assert_eq!(total.bytes_read, 750_000);
+        assert_eq!(total.writes, 1);
+        assert_eq!(total.bytes_written, 1_000_000);
+        assert_eq!(total.seeks, 4);
+
+        let d = t.delta(&snap);
+        assert_eq!(d.stats.reads, 1);
+        assert_eq!(d.stats.bytes_read, 250_000);
+        assert_eq!(d.stats.writes, 1);
+        // 0.25 s read + 0.5 s write.
+        assert!((d.virtual_elapsed.as_secs_f64() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = DiskTracker::new(IoProfile::instant());
+        let t2 = t.clone();
+        t2.record_read(10, 1);
+        assert_eq!(t.stats().bytes_read, 10);
+    }
+
+    #[test]
+    fn file_round_trip_is_tracked() {
+        let dir = std::env::temp_dir().join(format!("uei-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let t = DiskTracker::new(IoProfile::instant());
+        t.write_file(&path, b"0123456789").unwrap();
+        let data = t.read_file(&path).unwrap();
+        assert_eq!(data, b"0123456789");
+        let s = t.stats();
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.bytes_read, 10);
+        let part = t.read_at(&path, 2, 4).unwrap();
+        assert_eq!(part, b"2345");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let t = DiskTracker::default();
+        match t.read_file(Path::new("/nonexistent/uei/file.bin")) {
+            Err(UeiError::Io { .. }) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_profiles_are_ordered_by_speed() {
+        // NVMe < SATA SSD < HDD for the same transfer.
+        let bytes = 100_000_000;
+        let nvme = IoProfile::nvme().read_time(bytes, 10);
+        let sata = IoProfile::sata_ssd().read_time(bytes, 10);
+        let hdd = IoProfile::hdd().read_time(bytes, 10);
+        assert!(nvme < sata && sata < hdd, "{nvme:?} {sata:?} {hdd:?}");
+    }
+
+    #[test]
+    fn write_time_uses_write_bandwidth() {
+        let p = IoProfile { read_bandwidth: 2e6, write_bandwidth: 1e6, seek_latency: 0.0 };
+        assert!(p.write_time(1_000_000, 0) > p.read_time(1_000_000, 0));
+        assert!((p.write_time(1_000_000, 0).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hdd_seeks_dominate_small_random_reads() {
+        // 1000 random 4 KB reads on an HDD: seek time ≫ transfer time.
+        let p = IoProfile::hdd();
+        let t = p.read_time(4096 * 1000, 1000).as_secs_f64();
+        let transfer_only = p.read_time(4096 * 1000, 0).as_secs_f64();
+        assert!(t > 50.0 * transfer_only, "seeks must dominate: {t} vs {transfer_only}");
+    }
+
+    #[test]
+    fn instant_profile_has_zero_time() {
+        let t = DiskTracker::new(IoProfile::instant());
+        t.record_read(1_000_000_000, 100);
+        assert_eq!(t.virtual_elapsed(), Duration::ZERO);
+    }
+}

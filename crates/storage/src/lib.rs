@@ -1,0 +1,56 @@
+//! # uei-storage
+//!
+//! The secondary-storage engine of the UEI reproduction.
+//!
+//! The paper (§3.1) stores the exploration dataset `D` on disk in a *fully
+//! inverted columnar format*: each dimension is vertically decomposed,
+//! sorted ascending, compressed into `<key, {row-ids}>` posting lists, and
+//! split into equal-size chunk files whose key ranges are disjoint and
+//! sequential. This crate implements that store end to end:
+//!
+//! - [`io`] — an I/O accounting layer ([`io::DiskTracker`]) that both
+//!   performs real file I/O and charges every read to a *modeled* disk
+//!   ([`io::IoProfile`], default: the paper's 3.4 GB/s NVMe SSD) on a
+//!   virtual clock. All experiment response times are reported from this
+//!   model so that "dataset 100× larger than memory" can be reproduced on a
+//!   laptop (see DESIGN.md §2, substitution 8);
+//! - [`postings`] / [`chunk`] — the on-disk chunk format (delta-encoded
+//!   varint posting lists, CRC-32 protected);
+//! - [`manifest`] — the per-dataset catalog of chunks and their key ranges;
+//! - [`column`](mod@column) — vertical decomposition of row data into sorted postings;
+//! - [`store`] — [`store::ColumnStore`]: creation (index-initialization
+//!   phase, Algorithm 2 lines 2–6) and reading;
+//! - [`merge`] — hash-table reconstruction of a subspace from its chunks
+//!   (Algorithm 2 line 19), chunk-at-a-time to bound memory;
+//! - [`cache`] — a byte-budgeted LRU chunk cache;
+//! - [`lru`] — the generic LRU used by the chunk cache and by the
+//!   `uei-dbms` buffer pool.
+
+#![warn(missing_docs)]
+// Lint policy: `!(a <= b)` comparisons are deliberate — they reject NaN as
+// well as inverted bounds, which `a > b` would silently accept. Indexed
+// loops that clippy flags as `needless_range_loop` walk several parallel
+// arrays by dimension; the index form keeps that symmetry readable.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod cache;
+pub mod checksum;
+pub mod chunk;
+pub mod column;
+pub mod io;
+pub mod lru;
+pub mod manifest;
+pub mod merge;
+pub mod postings;
+pub mod store;
+
+pub use cache::ChunkCache;
+pub use chunk::{Chunk, ChunkId};
+pub use io::{DiskTracker, IoProfile, IoSnapshot, IoStats};
+pub use column::merge_sources;
+pub use manifest::{ChunkMeta, Manifest};
+pub use merge::{reconstruct_region, reconstruct_region_with_chunks, MergeStats};
+pub use postings::PostingList;
+pub use store::{ColumnStore, StoreConfig};

@@ -1,0 +1,301 @@
+//! The store manifest: a catalog of every chunk and its key range.
+//!
+//! The manifest is the durable half of the paper's mapping method `m`: it
+//! records, for each dimension, the ascending sequence of chunks with their
+//! `[min_key, max_key]` ranges. `uei-index` combines this with the grid to
+//! answer "which chunk files must be read to reconstruct subspace g_i"
+//! without touching the data itself.
+//!
+//! Persisted as JSON (`manifest.json`) so a store directory is
+//! self-describing and inspectable.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use uei_types::{Result, Schema, UeiError};
+
+use crate::chunk::ChunkId;
+use crate::io::DiskTracker;
+
+/// Catalog entry for one chunk file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkMeta {
+    /// Dimension index.
+    pub dim: u32,
+    /// Ordinal within the dimension.
+    pub seq: u32,
+    /// Smallest key in the chunk.
+    pub min_key: f64,
+    /// Largest key in the chunk.
+    pub max_key: f64,
+    /// Number of posting lists.
+    pub num_entries: u64,
+    /// Total number of row ids.
+    pub num_ids: u64,
+    /// Size of the chunk file in bytes.
+    pub file_size: u64,
+}
+
+impl ChunkMeta {
+    /// The chunk's identity.
+    pub fn id(&self) -> ChunkId {
+        ChunkId::new(self.dim, self.seq)
+    }
+
+    /// Whether the chunk's key range `[min_key, max_key]` intersects
+    /// `[lo, hi]`.
+    pub fn overlaps(&self, lo: f64, hi: f64) -> bool {
+        self.max_key >= lo && self.min_key <= hi
+    }
+}
+
+/// The manifest of a [`crate::store::ColumnStore`] directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Dataset schema.
+    pub schema: Schema,
+    /// Total number of rows in the dataset.
+    pub num_rows: u64,
+    /// Target chunk payload size the store was built with (bytes).
+    pub chunk_target_bytes: u64,
+    /// Per-dimension chunk catalogs; `dims[d]` is ascending by key range.
+    pub dims: Vec<Vec<ChunkMeta>>,
+}
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+impl Manifest {
+    /// Validates internal consistency: one catalog per schema dimension,
+    /// ascending and non-overlapping key ranges, contiguous sequence
+    /// numbers.
+    pub fn validate(&self) -> Result<()> {
+        if self.dims.len() != self.schema.dims() {
+            return Err(UeiError::corrupt(format!(
+                "manifest has {} dimension catalogs for a {}-dimensional schema",
+                self.dims.len(),
+                self.schema.dims()
+            )));
+        }
+        for (d, chunks) in self.dims.iter().enumerate() {
+            for (i, c) in chunks.iter().enumerate() {
+                if c.dim as usize != d {
+                    return Err(UeiError::corrupt(format!(
+                        "chunk in catalog {d} claims dim {}",
+                        c.dim
+                    )));
+                }
+                if c.seq as usize != i {
+                    return Err(UeiError::corrupt(format!(
+                        "chunk sequence gap in dim {d}: expected seq {i}, found {}",
+                        c.seq
+                    )));
+                }
+                if !(c.min_key <= c.max_key) {
+                    return Err(UeiError::corrupt(format!(
+                        "chunk {} has inverted key range",
+                        c.id()
+                    )));
+                }
+                if i > 0 && !(chunks[i - 1].max_key < c.min_key) {
+                    return Err(UeiError::corrupt(format!(
+                        "chunk {} key range overlaps predecessor (paper requires \
+                         strictly ascending chunk sequences)",
+                        c.id()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Chunks of dimension `dim` whose key range intersects `[lo, hi]`.
+    ///
+    /// Because chunk ranges are sorted and disjoint, this is a binary search
+    /// for the first overlapping chunk plus a linear walk.
+    pub fn chunks_overlapping(&self, dim: usize, lo: f64, hi: f64) -> Result<&[ChunkMeta]> {
+        let chunks = self
+            .dims
+            .get(dim)
+            .ok_or_else(|| UeiError::not_found(format!("dimension {dim}")))?;
+        let start = chunks.partition_point(|c| c.max_key < lo);
+        let mut end = start;
+        while end < chunks.len() && chunks[end].min_key <= hi {
+            end += 1;
+        }
+        Ok(&chunks[start..end])
+    }
+
+    /// Looks up one chunk's metadata.
+    pub fn chunk_meta(&self, id: ChunkId) -> Result<&ChunkMeta> {
+        self.dims
+            .get(id.dim as usize)
+            .and_then(|c| c.get(id.seq as usize))
+            .ok_or_else(|| UeiError::not_found(format!("chunk {id}")))
+    }
+
+    /// Total number of chunk files across all dimensions.
+    pub fn total_chunks(&self) -> usize {
+        self.dims.iter().map(|d| d.len()).sum()
+    }
+
+    /// Total bytes across all chunk files.
+    pub fn total_chunk_bytes(&self) -> u64 {
+        self.dims.iter().flatten().map(|c| c.file_size).sum()
+    }
+
+    /// Serializes and writes the manifest into `dir` via the tracker.
+    pub fn save(&self, dir: &Path, tracker: &DiskTracker) -> Result<()> {
+        let json = serde_json::to_vec_pretty(self)
+            .map_err(|e| UeiError::corrupt(format!("manifest serialization failed: {e}")))?;
+        tracker.write_file(&dir.join(MANIFEST_FILE), &json)
+    }
+
+    /// Loads and validates the manifest from `dir`.
+    pub fn load(dir: &Path, tracker: &DiskTracker) -> Result<Manifest> {
+        let bytes = tracker.read_file(&dir.join(MANIFEST_FILE))?;
+        let manifest: Manifest = serde_json::from_slice(&bytes)
+            .map_err(|e| UeiError::corrupt(format!("manifest parse failed: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(UeiError::corrupt(format!(
+                "unsupported manifest version {}",
+                manifest.version
+            )));
+        }
+        manifest.validate()?;
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::{AttributeDef, Schema};
+
+    fn meta(dim: u32, seq: u32, min: f64, max: f64) -> ChunkMeta {
+        ChunkMeta {
+            dim,
+            seq,
+            min_key: min,
+            max_key: max,
+            num_entries: 10,
+            num_ids: 100,
+            file_size: 1024,
+        }
+    }
+
+    fn two_dim_manifest() -> Manifest {
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 100.0).unwrap(),
+            AttributeDef::new("y", 0.0, 100.0).unwrap(),
+        ])
+        .unwrap();
+        Manifest {
+            version: MANIFEST_VERSION,
+            schema,
+            num_rows: 1000,
+            chunk_target_bytes: 470 * 1024,
+            dims: vec![
+                vec![meta(0, 0, 0.0, 24.0), meta(0, 1, 25.0, 60.0), meta(0, 2, 61.0, 100.0)],
+                vec![meta(1, 0, 0.0, 49.0), meta(1, 1, 50.0, 100.0)],
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        two_dim_manifest().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let mut m = two_dim_manifest();
+        m.dims[0][1].min_key = 20.0; // overlaps chunk 0's [0, 24]
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_seq_gap() {
+        let mut m = two_dim_manifest();
+        m.dims[0][2].seq = 5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_dim_count() {
+        let mut m = two_dim_manifest();
+        m.dims.pop();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn chunks_overlapping_finds_ranges() {
+        let m = two_dim_manifest();
+        let hit = m.chunks_overlapping(0, 10.0, 30.0).unwrap();
+        assert_eq!(hit.iter().map(|c| c.seq).collect::<Vec<_>>(), vec![0, 1]);
+        let hit = m.chunks_overlapping(0, 24.5, 24.9).unwrap();
+        assert!(hit.is_empty(), "gap between chunks yields nothing");
+        let hit = m.chunks_overlapping(0, -10.0, 1000.0).unwrap();
+        assert_eq!(hit.len(), 3);
+        let hit = m.chunks_overlapping(1, 50.0, 50.0).unwrap();
+        assert_eq!(hit.iter().map(|c| c.seq).collect::<Vec<_>>(), vec![1]);
+        assert!(m.chunks_overlapping(2, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn chunk_meta_lookup() {
+        let m = two_dim_manifest();
+        assert_eq!(m.chunk_meta(ChunkId::new(1, 1)).unwrap().min_key, 50.0);
+        assert!(m.chunk_meta(ChunkId::new(1, 9)).is_err());
+        assert!(m.chunk_meta(ChunkId::new(9, 0)).is_err());
+    }
+
+    #[test]
+    fn totals() {
+        let m = two_dim_manifest();
+        assert_eq!(m.total_chunks(), 5);
+        assert_eq!(m.total_chunk_bytes(), 5 * 1024);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("uei-manifest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tracker = DiskTracker::default();
+        let m = two_dim_manifest();
+        m.save(&dir, &tracker).unwrap();
+        let loaded = Manifest::load(&dir, &tracker).unwrap();
+        assert_eq!(loaded.num_rows, m.num_rows);
+        assert_eq!(loaded.dims, m.dims);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_version() {
+        let dir =
+            std::env::temp_dir().join(format!("uei-manifest-ver-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tracker = DiskTracker::default();
+        let mut m = two_dim_manifest();
+        m.version = 999;
+        let json = serde_json::to_vec(&m).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), json).unwrap();
+        assert!(Manifest::load(&dir, &tracker).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overlaps_predicate() {
+        let c = meta(0, 0, 10.0, 20.0);
+        assert!(c.overlaps(15.0, 25.0));
+        assert!(c.overlaps(20.0, 30.0));
+        assert!(c.overlaps(0.0, 10.0));
+        assert!(!c.overlaps(20.1, 30.0));
+        assert!(!c.overlaps(0.0, 9.9));
+    }
+}

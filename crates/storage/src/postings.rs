@@ -1,0 +1,152 @@
+//! Posting lists: the `<key, {row-ids}>` unit of the inverted columnar store.
+//!
+//! The paper (§3.1, Figure 2) compresses each vertically decomposed
+//! dimension by grouping equal values: each distinct value becomes a *key*
+//! and the ids of the objects holding that value become its posting list.
+//! Lists are persisted with the key as a raw `f64` followed by the ids
+//! delta-encoded as varints (ids are kept strictly ascending).
+
+use uei_types::codec::{decode_ascending_ids, encode_ascending_ids, Reader, Writer};
+use uei_types::{Result, UeiError};
+
+/// One `<key, {row-ids}>` entry of an inverted column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostingList {
+    /// The attribute value shared by every id in the list.
+    pub key: f64,
+    /// Row ids holding `key` in this dimension, strictly ascending.
+    pub ids: Vec<u64>,
+}
+
+impl PostingList {
+    /// Creates a posting list, validating that ids are strictly ascending
+    /// and non-empty.
+    pub fn new(key: f64, ids: Vec<u64>) -> Result<Self> {
+        if ids.is_empty() {
+            return Err(UeiError::corrupt("posting list must not be empty"));
+        }
+        if key.is_nan() {
+            return Err(UeiError::corrupt("posting key must not be NaN"));
+        }
+        for w in ids.windows(2) {
+            if w[1] <= w[0] {
+                return Err(UeiError::corrupt(format!(
+                    "posting ids not strictly ascending: {} after {}",
+                    w[1], w[0]
+                )));
+            }
+        }
+        Ok(PostingList { key, ids })
+    }
+
+    /// Number of row ids in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the list is empty (never true for validated lists).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Serialized size in bytes (exact, by encoding into a scratch writer).
+    pub fn encoded_len(&self) -> usize {
+        let mut w = Writer::new();
+        self.encode(&mut w).expect("validated list encodes");
+        w.len()
+    }
+
+    /// Appends the binary encoding of this list to `w`.
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
+        w.write_f64(self.key);
+        encode_ascending_ids(w, &self.ids)
+    }
+
+    /// Decodes one posting list from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let key = r.read_f64()?;
+        if key.is_nan() {
+            return Err(UeiError::corrupt("decoded posting key is NaN"));
+        }
+        let ids = decode_ascending_ids(r)?;
+        if ids.is_empty() {
+            return Err(UeiError::corrupt("decoded posting list is empty"));
+        }
+        Ok(PostingList { key, ids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rules() {
+        assert!(PostingList::new(1.0, vec![]).is_err());
+        assert!(PostingList::new(f64::NAN, vec![1]).is_err());
+        assert!(PostingList::new(1.0, vec![3, 3]).is_err());
+        assert!(PostingList::new(1.0, vec![3, 2]).is_err());
+        assert!(PostingList::new(1.0, vec![1, 2, 3]).is_ok());
+        assert!(PostingList::new(f64::NEG_INFINITY, vec![0]).is_ok());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let list = PostingList::new(-273.15, vec![0, 7, 8, 1000, 1_000_000]).unwrap();
+        let mut w = Writer::new();
+        list.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let got = PostingList::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, list);
+    }
+
+    #[test]
+    fn several_lists_stream() {
+        let lists = vec![
+            PostingList::new(1.0, vec![5]).unwrap(),
+            PostingList::new(2.5, vec![1, 2, 3]).unwrap(),
+            PostingList::new(100.0, vec![999]).unwrap(),
+        ];
+        let mut w = Writer::new();
+        for l in &lists {
+            l.encode(&mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for l in &lists {
+            assert_eq!(&PostingList::decode(&mut r).unwrap(), l);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        let list = PostingList::new(3.25, vec![10, 20, 4096]).unwrap();
+        let mut w = Writer::new();
+        list.encode(&mut w).unwrap();
+        assert_eq!(list.encoded_len(), w.len());
+    }
+
+    #[test]
+    fn truncated_decode_errors() {
+        let list = PostingList::new(1.0, vec![1, 2, 3]).unwrap();
+        let mut w = Writer::new();
+        list.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let r = PostingList::decode(&mut Reader::new(&bytes[..cut]));
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // 1000 consecutive ids should cost ~1 byte each after the header.
+        let ids: Vec<u64> = (1_000_000..1_001_000).collect();
+        let list = PostingList::new(42.0, ids).unwrap();
+        let len = list.encoded_len();
+        assert!(len < 8 + 3 + 4 + 1000 + 16, "encoded len {len} not compact");
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the storage engine: chunk codec, store
+//! round-trips, subspace reconstruction vs brute force, and a model-based
+//! LRU check.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use uei_storage::chunk::{Chunk, ChunkId};
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::lru::LruMap;
+use uei_storage::merge::reconstruct_region;
+use uei_storage::postings::PostingList;
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Region, Schema};
+
+fn posting_strategy() -> impl Strategy<Value = PostingList> {
+    (
+        -1e6f64..1e6,
+        proptest::collection::btree_set(0u64..100_000, 1..30),
+    )
+        .prop_map(|(key, ids)| {
+            PostingList::new(key, ids.into_iter().collect()).expect("sorted dedup ids")
+        })
+}
+
+fn chunk_strategy() -> impl Strategy<Value = Chunk> {
+    proptest::collection::btree_map(
+        // Keys of a BTreeMap are unique and iterate ascending: exactly the
+        // chunk invariant. Map float bits through an ordered integer key.
+        0u32..1_000_000,
+        proptest::collection::btree_set(0u64..100_000, 1..10),
+        1..40,
+    )
+    .prop_map(|entries| {
+        let postings: Vec<PostingList> = entries
+            .into_iter()
+            .map(|(k, ids)| {
+                PostingList::new(k as f64 * 0.25, ids.into_iter().collect()).unwrap()
+            })
+            .collect();
+        Chunk::new(ChunkId::new(1, 2), postings).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn posting_roundtrip(posting in posting_strategy()) {
+        let mut w = uei_types::codec::Writer::new();
+        posting.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let got = PostingList::decode(&mut uei_types::codec::Reader::new(&bytes)).unwrap();
+        prop_assert_eq!(got, posting);
+    }
+
+    #[test]
+    fn chunk_roundtrip_and_corruption_detected(chunk in chunk_strategy(), flip in any::<usize>()) {
+        let bytes = chunk.encode();
+        let got = Chunk::decode(&bytes).unwrap();
+        prop_assert_eq!(&got, &chunk);
+        // Any single bit flip is caught by the CRC.
+        let mut corrupted = bytes.clone();
+        let pos = flip % corrupted.len();
+        corrupted[pos] ^= 1;
+        prop_assert!(Chunk::decode(&corrupted).is_err(), "flip at {} undetected", pos);
+    }
+
+    #[test]
+    fn reconstruction_matches_brute_force(
+        values in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..120),
+        qx in 0.0f64..10.0,
+        qy in 0.0f64..10.0,
+        wx in 0.1f64..5.0,
+        wy in 0.1f64..5.0,
+        chunk_bytes in 64usize..2048,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-merge-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 10.0).unwrap(),
+            AttributeDef::new("y", 0.0, 10.0).unwrap(),
+        ]).unwrap();
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DataPoint::new(i as u64, vec![x, y]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            &dir, schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
+            .unwrap();
+        let region = Region::new(
+            vec![qx, qy],
+            vec![(qx + wx).min(10.5), (qy + wy).min(10.5)],
+        ).unwrap();
+        let (got, stats) = reconstruct_region(&store, &region, None).unwrap();
+        let expect: Vec<u64> = rows
+            .iter()
+            .filter(|p| region.contains(&p.values).unwrap())
+            .map(|p| p.id.as_u64())
+            .collect();
+        let got_ids: Vec<u64> = got.iter().map(|p| p.id.as_u64()).collect();
+        prop_assert_eq!(got_ids, expect);
+        prop_assert_eq!(stats.result_rows as usize, got.len());
+        for p in &got {
+            prop_assert_eq!(p, &rows[p.id.as_usize()]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_fetch_matches_originals(
+        values in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..80),
+        pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..10),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-fetch-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 1.0).unwrap(),
+            AttributeDef::new("y", 0.0, 1.0).unwrap(),
+        ]).unwrap();
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DataPoint::new(i as u64, vec![x, y]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store =
+            ColumnStore::create(&dir, schema, &rows, StoreConfig::default(), tracker).unwrap();
+        let ids: Vec<u64> = pick.iter().map(|ix| ix.index(rows.len()) as u64).collect();
+        let got = store.fetch_rows(&ids).unwrap();
+        for (want_id, got_row) in ids.iter().zip(&got) {
+            prop_assert_eq!(got_row, &rows[*want_id as usize]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Model-based LRU test: random op sequences against a naive reference.
+    #[test]
+    fn lru_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u8..16, any::<u32>()), 1..300)
+    ) {
+        let mut lru: LruMap<u8, u32> = LruMap::new();
+        // Reference: Vec of (key, value) ordered MRU-first.
+        let mut model: Vec<(u8, u32)> = Vec::new();
+
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    // insert
+                    let got = lru.insert(key, value);
+                    let old = model.iter().position(|(k, _)| *k == key).map(|i| model.remove(i).1);
+                    model.insert(0, (key, value));
+                    prop_assert_eq!(got, old);
+                }
+                1 => {
+                    // get
+                    let got = lru.get(&key).copied();
+                    let want = model.iter().position(|(k, _)| *k == key).map(|i| {
+                        let e = model.remove(i);
+                        let v = e.1;
+                        model.insert(0, e);
+                        v
+                    });
+                    prop_assert_eq!(got, want);
+                }
+                2 => {
+                    // remove
+                    let got = lru.remove(&key);
+                    let want =
+                        model.iter().position(|(k, _)| *k == key).map(|i| model.remove(i).1);
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    // pop_lru
+                    let got = lru.pop_lru();
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            let order: Vec<u8> = lru.keys_mru_to_lru().copied().collect();
+            let want_order: Vec<u8> = model.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(order, want_order);
+        }
+    }
+
+    #[test]
+    fn scan_all_yields_rows_in_id_order(
+        values in proptest::collection::vec(0.0f64..1.0, 1..200)
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-scan-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema =
+            Schema::new(vec![AttributeDef::new("x", 0.0, 1.0).unwrap()]).unwrap();
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| DataPoint::new(i as u64, vec![x]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store =
+            ColumnStore::create(&dir, schema, &rows, StoreConfig::default(), tracker).unwrap();
+        let mut seen = Vec::new();
+        store.scan_all(|p| seen.push(p)).unwrap();
+        prop_assert_eq!(seen, rows);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Non-proptest sanity: the LRU reference model itself starts empty.
+#[test]
+fn lru_reference_alignment_smoke() {
+    let mut lru: LruMap<u8, u32> = LruMap::new();
+    let model: HashMap<u8, u32> = HashMap::new();
+    assert_eq!(lru.len(), model.len());
+    assert!(lru.pop_lru().is_none());
+}

@@ -1,0 +1,144 @@
+//! Workspace-wide error type.
+//!
+//! All fallible public APIs in the UEI workspace return [`Result<T>`]. The
+//! variants are deliberately coarse: callers almost always either propagate
+//! or report, and the storage crates attach human-readable context strings.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors produced anywhere in the UEI workspace.
+#[derive(Debug)]
+pub enum UeiError {
+    /// Underlying operating-system I/O failure, with the path involved.
+    Io {
+        /// Path of the file being accessed when the failure occurred.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A persisted artifact (chunk file, manifest, page) failed validation.
+    Corrupt {
+        /// Description of what failed to validate and where.
+        detail: String,
+    },
+    /// A point, region, or schema had an unexpected number of dimensions.
+    DimensionMismatch {
+        /// Dimensionality the operation expected.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        actual: usize,
+    },
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// Description of the offending parameter and constraint.
+        detail: String,
+    },
+    /// A lookup (chunk id, row id, cell id, attribute name) found nothing.
+    NotFound {
+        /// Description of what was looked up.
+        detail: String,
+    },
+    /// An operation was attempted in a state that does not allow it
+    /// (e.g. exploring before initializing the model).
+    InvalidState {
+        /// Description of the violated protocol.
+        detail: String,
+    },
+}
+
+impl UeiError {
+    /// Convenience constructor for [`UeiError::Corrupt`].
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        UeiError::Corrupt { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`UeiError::InvalidConfig`].
+    pub fn invalid_config(detail: impl Into<String>) -> Self {
+        UeiError::InvalidConfig { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`UeiError::NotFound`].
+    pub fn not_found(detail: impl Into<String>) -> Self {
+        UeiError::NotFound { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`UeiError::InvalidState`].
+    pub fn invalid_state(detail: impl Into<String>) -> Self {
+        UeiError::InvalidState { detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`UeiError::Io`].
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        UeiError::Io { path: path.into(), source }
+    }
+}
+
+impl fmt::Display for UeiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UeiError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            UeiError::Corrupt { detail } => write!(f, "corrupt data: {detail}"),
+            UeiError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            UeiError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            UeiError::NotFound { detail } => write!(f, "not found: {detail}"),
+            UeiError::InvalidState { detail } => write!(f, "invalid state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for UeiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UeiError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, UeiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io_mentions_path() {
+        let err = UeiError::io("/tmp/x.chunk", io::Error::other("boom"));
+        let msg = err.to_string();
+        assert!(msg.contains("/tmp/x.chunk"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = UeiError::DimensionMismatch { expected: 5, actual: 3 };
+        assert_eq!(err.to_string(), "dimension mismatch: expected 5, got 3");
+    }
+
+    #[test]
+    fn source_is_some_only_for_io() {
+        use std::error::Error;
+        let io_err = UeiError::io("/x", io::Error::other("y"));
+        assert!(io_err.source().is_some());
+        assert!(UeiError::corrupt("bad magic").source().is_none());
+    }
+
+    #[test]
+    fn constructors_round_trip_detail() {
+        match UeiError::not_found("chunk 42") {
+            UeiError::NotFound { detail } => assert_eq!(detail, "chunk 42"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match UeiError::invalid_state("model untrained") {
+            UeiError::InvalidState { detail } => assert_eq!(detail, "model untrained"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Binary relevance labels.
+//!
+//! The paper's exploration tasks are binary: the simulated user marks each
+//! presented object *relevant* ([`Label::Positive`]) or *irrelevant*
+//! ([`Label::Negative`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary relevance label assigned by the (simulated) user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The object is relevant to the user's interest region.
+    Positive,
+    /// The object is irrelevant.
+    Negative,
+}
+
+impl Label {
+    /// Returns `true` for [`Label::Positive`].
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        matches!(self, Label::Positive)
+    }
+
+    /// Returns the label as the conventional `{0, 1}` encoding used in
+    /// Algorithm 1 of the paper (`1` = positive).
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Label::Positive => 1,
+            Label::Negative => 0,
+        }
+    }
+
+    /// Returns the label as a `±1.0` target, the encoding used by the SVM
+    /// trainer.
+    #[inline]
+    pub fn as_sign(self) -> f64 {
+        match self {
+            Label::Positive => 1.0,
+            Label::Negative => -1.0,
+        }
+    }
+
+    /// Builds a label from a boolean relevance flag.
+    #[inline]
+    pub fn from_bool(relevant: bool) -> Self {
+        if relevant {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    /// The opposite label.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            Label::Positive => Label::Negative,
+            Label::Negative => Label::Positive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_are_consistent() {
+        assert_eq!(Label::Positive.as_u8(), 1);
+        assert_eq!(Label::Negative.as_u8(), 0);
+        assert_eq!(Label::Positive.as_sign(), 1.0);
+        assert_eq!(Label::Negative.as_sign(), -1.0);
+    }
+
+    #[test]
+    fn from_bool_round_trips() {
+        assert_eq!(Label::from_bool(true), Label::Positive);
+        assert_eq!(Label::from_bool(false), Label::Negative);
+        assert!(Label::from_bool(true).is_positive());
+        assert!(!Label::from_bool(false).is_positive());
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for l in [Label::Positive, Label::Negative] {
+            assert_eq!(l.flipped().flipped(), l);
+            assert_ne!(l.flipped(), l);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # uei-types
+//!
+//! Shared kernel types for the UEI workspace.
+//!
+//! This crate is dependency-light by design: every other crate in the
+//! workspace builds on the vocabulary defined here, so it must compile fast
+//! and stay stable. It provides:
+//!
+//! - [`RowId`], [`DataPoint`], [`Label`] — the objects being explored;
+//! - [`Region`] — axis-aligned boxes used for grid cells and target regions;
+//! - [`Schema`] / [`AttributeDef`] — dataset metadata;
+//! - [`UeiError`] / [`Result`] — the workspace-wide error type;
+//! - [`rng`] — a deterministic, seedable PRNG (xoshiro256** seeded via
+//!   SplitMix64) so that every experiment in the paper reproduction can be
+//!   replayed bit-for-bit;
+//! - [`codec`] — bounds-checked little-endian and varint binary codecs used
+//!   by the storage engines;
+//! - [`stats`] — small online/offline statistics helpers used by the
+//!   benchmark harness.
+
+#![warn(missing_docs)]
+// Lint policy: `!(a <= b)` comparisons are deliberate — they reject NaN as
+// well as inverted bounds, which `a > b` would silently accept. Indexed
+// loops that clippy flags as `needless_range_loop` walk several parallel
+// arrays by dimension; the index form keeps that symmetry readable.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod codec;
+pub mod error;
+pub mod label;
+pub mod point;
+pub mod region;
+pub mod rng;
+pub mod schema;
+pub mod stats;
+
+pub use error::{Result, UeiError};
+pub use label::Label;
+pub use point::{DataPoint, RowId};
+pub use region::Region;
+pub use rng::Rng;
+pub use schema::{AttributeDef, Schema};

@@ -1,0 +1,149 @@
+//! Data objects: row identifiers and d-dimensional numeric points.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, UeiError};
+
+/// Stable identifier of a tuple in the exploration dataset.
+///
+/// Row ids are dense (`0..n`) in every storage engine in this workspace,
+/// which lets the inverted index delta-encode posting lists and lets the
+/// baseline row store compute page locations directly.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// The raw numeric id.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The raw id as an index into dense in-memory arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for RowId {
+    fn from(v: u64) -> Self {
+        RowId(v)
+    }
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A d-dimensional numeric tuple with its row identifier.
+///
+/// This is the unit the exploration loop operates on: the user labels
+/// `DataPoint`s, the classifier scores them, and UEI loads them region by
+/// region from secondary storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Stable row identifier.
+    pub id: RowId,
+    /// Attribute values, in schema order.
+    pub values: Vec<f64>,
+}
+
+impl DataPoint {
+    /// Creates a point from an id and its attribute values.
+    pub fn new(id: impl Into<RowId>, values: Vec<f64>) -> Self {
+        DataPoint { id: id.into(), values }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// Returns an error if the dimensionalities differ; distances across
+    /// mismatched spaces are always a caller bug.
+    pub fn squared_distance(&self, other: &DataPoint) -> Result<f64> {
+        squared_distance(&self.values, &other.values)
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &DataPoint) -> Result<f64> {
+        Ok(self.squared_distance(other)?.sqrt())
+    }
+}
+
+/// Squared Euclidean distance between two coordinate slices.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(UeiError::DimensionMismatch { expected: a.len(), actual: b.len() });
+    }
+    // Manual loop rather than iterator zip/fold: this is the innermost hot
+    // path of every kNN query and the optimizer vectorizes it reliably.
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    Ok(acc)
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    Ok(squared_distance(a, b)?.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_id_conversions() {
+        let id = RowId::from(42u64);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(id.to_string(), "#42");
+    }
+
+    #[test]
+    fn point_dims_and_distance() {
+        let a = DataPoint::new(0u64, vec![0.0, 0.0, 0.0]);
+        let b = DataPoint::new(1u64, vec![1.0, 2.0, 2.0]);
+        assert_eq!(a.dims(), 3);
+        assert_eq!(a.squared_distance(&b).unwrap(), 9.0);
+        assert_eq!(a.distance(&b).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = DataPoint::new(0u64, vec![1.5, -2.5]);
+        let b = DataPoint::new(1u64, vec![-0.5, 4.0]);
+        assert_eq!(a.distance(&b).unwrap(), b.distance(&a).unwrap());
+        assert_eq!(a.distance(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_dims_error() {
+        let a = DataPoint::new(0u64, vec![1.0]);
+        let b = DataPoint::new(1u64, vec![1.0, 2.0]);
+        match a.squared_distance(&b) {
+            Err(UeiError::DimensionMismatch { expected: 1, actual: 2 }) => {}
+            other => panic!("expected dimension mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slice_distance_matches_point_distance() {
+        let a = vec![3.0, 4.0];
+        let b = vec![0.0, 0.0];
+        assert_eq!(euclidean_distance(&a, &b).unwrap(), 5.0);
+    }
+}

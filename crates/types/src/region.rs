@@ -1,0 +1,289 @@
+//! Axis-aligned d-dimensional regions.
+//!
+//! Regions serve three roles in the reproduction:
+//!
+//! 1. grid cells (subspaces `g_i`) of the Uncertainty Estimation Index,
+//! 2. the simulated user's target interest regions (paper §4.1), and
+//! 3. range predicates evaluated by the oracle and the result retrieval.
+//!
+//! A region is the half-open box `[lo, hi)` in each dimension, except that
+//! [`Region::contains`] treats a dimension's upper bound as inclusive when
+//! callers construct the region via [`Region::closed`]. The half-open default
+//! is what makes a grid a true partition (no point falls in two cells).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, UeiError};
+
+/// An axis-aligned box in d-dimensional space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Inclusive lower bounds, per dimension.
+    pub lo: Vec<f64>,
+    /// Upper bounds, per dimension (exclusive unless `closed`).
+    pub hi: Vec<f64>,
+    /// Whether the upper bounds are inclusive.
+    closed: bool,
+}
+
+impl Region {
+    /// Creates a half-open region `[lo, hi)`.
+    ///
+    /// Returns an error if the bound vectors differ in length, are empty, or
+    /// any `lo[d] > hi[d]`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Result<Self> {
+        Self::build(lo, hi, false)
+    }
+
+    /// Creates a closed region `[lo, hi]` (inclusive upper bounds).
+    ///
+    /// Use this for user target regions and oracle range queries, where the
+    /// paper's range predicates are inclusive.
+    pub fn closed(lo: Vec<f64>, hi: Vec<f64>) -> Result<Self> {
+        Self::build(lo, hi, true)
+    }
+
+    fn build(lo: Vec<f64>, hi: Vec<f64>, closed: bool) -> Result<Self> {
+        if lo.len() != hi.len() {
+            return Err(UeiError::DimensionMismatch { expected: lo.len(), actual: hi.len() });
+        }
+        if lo.is_empty() {
+            return Err(UeiError::invalid_config("region must have at least one dimension"));
+        }
+        for d in 0..lo.len() {
+            if !(lo[d] <= hi[d]) {
+                return Err(UeiError::invalid_config(format!(
+                    "region bounds inverted in dim {d}: lo={} hi={}",
+                    lo[d], hi[d]
+                )));
+            }
+        }
+        Ok(Region { lo, hi, closed })
+    }
+
+    /// Builds a closed region from a center point and per-dimension
+    /// half-widths, the parameterization the paper's user simulator uses
+    /// (a region center `c` and per-dimension widths `w`, Eq. 4).
+    pub fn from_center(center: &[f64], half_widths: &[f64]) -> Result<Self> {
+        if center.len() != half_widths.len() {
+            return Err(UeiError::DimensionMismatch {
+                expected: center.len(),
+                actual: half_widths.len(),
+            });
+        }
+        let lo = center.iter().zip(half_widths).map(|(c, w)| c - w).collect();
+        let hi = center.iter().zip(half_widths).map(|(c, w)| c + w).collect();
+        Self::closed(lo, hi)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Whether upper bounds are inclusive.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Whether the region contains `point`.
+    ///
+    /// Returns an error on dimensionality mismatch.
+    pub fn contains(&self, point: &[f64]) -> Result<bool> {
+        if point.len() != self.dims() {
+            return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: point.len() });
+        }
+        for d in 0..point.len() {
+            let above = if self.closed { point[d] > self.hi[d] } else { point[d] >= self.hi[d] };
+            if point[d] < self.lo[d] || above {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The center point of the region — the coordinates of the "virtual"
+    /// symbolic index point when the region is a grid cell (paper §3.1).
+    pub fn center(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| 0.5 * (l + h)).collect()
+    }
+
+    /// Per-dimension widths `hi - lo`.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).collect()
+    }
+
+    /// Volume of the box (product of widths). Zero-width dimensions yield 0.
+    pub fn volume(&self) -> f64 {
+        self.widths().iter().product()
+    }
+
+    /// Whether this region and `other` overlap in every dimension.
+    pub fn intersects(&self, other: &Region) -> Result<bool> {
+        if other.dims() != self.dims() {
+            return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: other.dims() });
+        }
+        for d in 0..self.dims() {
+            // Treat both boxes conservatively as closed for overlap tests;
+            // the grid mapping only uses this to over-approximate chunk sets.
+            if self.hi[d] < other.lo[d] || other.hi[d] < self.lo[d] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The smallest closed region covering a non-empty set of points.
+    pub fn bounding_box(points: &[Vec<f64>]) -> Result<Self> {
+        let first = points
+            .first()
+            .ok_or_else(|| UeiError::invalid_config("bounding box of empty point set"))?;
+        let dims = first.len();
+        let mut lo = first.clone();
+        let mut hi = first.clone();
+        for p in &points[1..] {
+            if p.len() != dims {
+                return Err(UeiError::DimensionMismatch { expected: dims, actual: p.len() });
+            }
+            for d in 0..dims {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        Self::closed(lo, hi)
+    }
+
+    /// Maximum relative distance of a point from the region center, the
+    /// user-simulation measure of the paper (Eq. 4):
+    ///
+    /// `d = max_i |x_i - c_i| / w_i`
+    ///
+    /// where `c` is the region center and `w_i` the per-dimension
+    /// *half*-width (so `d <= 1` exactly when the point is inside the closed
+    /// region). Dimensions with zero width contribute 0 when the coordinate
+    /// matches the center and infinity otherwise.
+    pub fn max_relative_distance(&self, point: &[f64]) -> Result<f64> {
+        if point.len() != self.dims() {
+            return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: point.len() });
+        }
+        let center = self.center();
+        let mut best = 0.0f64;
+        for d in 0..self.dims() {
+            let w = 0.5 * (self.hi[d] - self.lo[d]);
+            let dist = (point[d] - center[d]).abs();
+            let rel = if w > 0.0 {
+                dist / w
+            } else if dist == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            best = best.max(rel);
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Region {
+        Region::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Region::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(Region::new(vec![], vec![]).is_err());
+        assert!(Region::new(vec![2.0], vec![1.0]).is_err());
+        assert!(Region::new(vec![1.0], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn half_open_contains() {
+        let r = unit_square();
+        assert!(r.contains(&[0.0, 0.0]).unwrap());
+        assert!(r.contains(&[0.5, 0.999]).unwrap());
+        assert!(!r.contains(&[1.0, 0.5]).unwrap(), "upper bound exclusive");
+        assert!(!r.contains(&[-0.001, 0.5]).unwrap());
+    }
+
+    #[test]
+    fn closed_contains_upper_bound() {
+        let r = Region::closed(vec![0.0], vec![1.0]).unwrap();
+        assert!(r.contains(&[1.0]).unwrap());
+        assert!(!r.contains(&[1.0001]).unwrap());
+    }
+
+    #[test]
+    fn center_widths_volume() {
+        let r = Region::new(vec![0.0, 2.0], vec![2.0, 6.0]).unwrap();
+        assert_eq!(r.center(), vec![1.0, 4.0]);
+        assert_eq!(r.widths(), vec![2.0, 4.0]);
+        assert_eq!(r.volume(), 8.0);
+    }
+
+    #[test]
+    fn from_center_round_trips() {
+        let r = Region::from_center(&[5.0, 5.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(r.lo, vec![4.0, 3.0]);
+        assert_eq!(r.hi, vec![6.0, 7.0]);
+        assert!(r.is_closed());
+        assert_eq!(r.center(), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_disjoint() {
+        let a = unit_square();
+        let b = Region::new(vec![0.5, 0.5], vec![2.0, 2.0]).unwrap();
+        let c = Region::new(vec![2.0, 2.0], vec![3.0, 3.0]).unwrap();
+        assert!(a.intersects(&b).unwrap());
+        assert!(!a.intersects(&c).unwrap());
+        // Touching edges count as intersecting (conservative over-approximation).
+        let d = Region::new(vec![1.0, 0.0], vec![2.0, 1.0]).unwrap();
+        assert!(a.intersects(&d).unwrap());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_points() {
+        let pts = vec![vec![1.0, 5.0], vec![-2.0, 3.0], vec![0.0, 9.0]];
+        let bb = Region::bounding_box(&pts).unwrap();
+        assert_eq!(bb.lo, vec![-2.0, 3.0]);
+        assert_eq!(bb.hi, vec![1.0, 9.0]);
+        for p in &pts {
+            assert!(bb.contains(p).unwrap());
+        }
+        assert!(Region::bounding_box(&[]).is_err());
+    }
+
+    #[test]
+    fn max_relative_distance_eq4() {
+        // Region centered at (0,0) with half-widths (1, 2).
+        let r = Region::from_center(&[0.0, 0.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(r.max_relative_distance(&[0.0, 0.0]).unwrap(), 0.0);
+        assert_eq!(r.max_relative_distance(&[1.0, 0.0]).unwrap(), 1.0);
+        assert_eq!(r.max_relative_distance(&[0.5, 3.0]).unwrap(), 1.5);
+        // Inside the closed region iff d <= 1.
+        assert!(r.contains(&[1.0, 2.0]).unwrap());
+        assert_eq!(r.max_relative_distance(&[1.0, 2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_width_dimension_relative_distance() {
+        let r = Region::closed(vec![3.0], vec![3.0]).unwrap();
+        assert_eq!(r.max_relative_distance(&[3.0]).unwrap(), 0.0);
+        assert!(r.max_relative_distance(&[3.1]).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn dimension_mismatch_everywhere() {
+        let r = unit_square();
+        assert!(r.contains(&[0.5]).is_err());
+        assert!(r.max_relative_distance(&[0.5]).is_err());
+        let other = Region::new(vec![0.0], vec![1.0]).unwrap();
+        assert!(r.intersects(&other).is_err());
+    }
+}

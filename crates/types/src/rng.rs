@@ -1,0 +1,298 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every randomized component of the reproduction (data generator, uniform
+//! sampler, initial example acquisition, SVM shuffling, target-region
+//! placement) draws from this generator so that any experiment can be
+//! replayed exactly from its seed. The generator is xoshiro256\*\*
+//! (Blackman & Vigna), seeded through SplitMix64 as its authors recommend.
+//!
+//! We implement it locally instead of depending on `rand` so that the core
+//! crates carry no external runtime dependencies and the stream is stable
+//! across toolchain and dependency upgrades.
+
+/// A deterministic xoshiro256\*\* generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step used for seeding.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Returns `lo` when the range is empty.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's unbiased method.
+    /// `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "Rng::below called with bound 0");
+        // Widening-multiply rejection sampling (Lemire 2019).
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below_usize(hi - lo)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal draw (Marsaglia polar method).
+    pub fn gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Reservoir-samples `k` indices uniformly without replacement from
+    /// `[0, n)`. Returns all of `[0, n)` when `k >= n`. Output order is
+    /// unspecified but deterministic for a given state.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k >= n {
+            return (0..n).collect();
+        }
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.below_usize(i + 1);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Rng::choose on empty slice");
+        &items[self.below_usize(items.len())]
+    }
+
+    /// Derives an independent child generator; useful for giving each of the
+    /// paper's 10 experiment runs its own stream from one master seed.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(42);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = Rng::new(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should occur in 1000 draws");
+    }
+
+    #[test]
+    fn range_helpers_handle_empty_ranges() {
+        let mut rng = Rng::new(5);
+        assert_eq!(rng.range_usize(7, 7), 7);
+        assert_eq!(rng.range_f64(2.0, 2.0), 2.0);
+        assert_eq!(rng.range_f64(3.0, 1.0), 3.0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng::new(99);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn sample_indices_without_replacement() {
+        let mut rng = Rng::new(13);
+        let sample = rng.sample_indices(1000, 50);
+        assert_eq!(sample.len(), 50);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn sample_indices_k_ge_n_returns_all() {
+        let mut rng = Rng::new(13);
+        assert_eq!(rng.sample_indices(5, 10), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rng.sample_indices(5, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rng.sample_indices(0, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sample_indices_is_roughly_uniform() {
+        // Each index of [0, 20) should appear in a k=10 sample about half
+        // the time over many trials.
+        let mut rng = Rng::new(77);
+        let mut counts = [0usize; 20];
+        let trials = 4000;
+        for _ in 0..trials {
+            for i in rng.sample_indices(20, 10) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.5).abs() < 0.05, "index {i} frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::new(21);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = Rng::new(8);
+        let hits = (0..100_000).filter(|_| rng.bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "{frac}");
+    }
+}

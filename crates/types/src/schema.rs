@@ -1,0 +1,174 @@
+//! Dataset schema metadata.
+//!
+//! Exploration operates over a fixed set of numeric attributes (the paper
+//! uses five columns of SDSS `PhotoObjAll`: `rowc`, `colc`, `ra`, `dec`,
+//! `field`). The schema records attribute names and their value domains;
+//! the domains define the overall data space that the UEI grid partitions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, UeiError};
+use crate::region::Region;
+
+/// One numeric attribute of the exploration dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Attribute name (unique within a schema).
+    pub name: String,
+    /// Smallest value in the domain.
+    pub min: f64,
+    /// Largest value in the domain (inclusive).
+    pub max: f64,
+}
+
+impl AttributeDef {
+    /// Creates an attribute definition; `min` must not exceed `max`.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Result<Self> {
+        if !(min <= max) {
+            return Err(UeiError::invalid_config(format!(
+                "attribute domain inverted: min={min} max={max}"
+            )));
+        }
+        Ok(AttributeDef { name: name.into(), min, max })
+    }
+
+    /// Width of the value domain.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// An ordered collection of numeric attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute definitions.
+    ///
+    /// Names must be unique and the schema non-empty.
+    pub fn new(attributes: Vec<AttributeDef>) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(UeiError::invalid_config("schema must have at least one attribute"));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(UeiError::invalid_config(format!(
+                    "duplicate attribute name: {}",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// The five-attribute SDSS `PhotoObjAll` schema used throughout the
+    /// paper's evaluation (§4.1), with domains matching the synthetic
+    /// generator in `uei-explore`.
+    pub fn sdss() -> Self {
+        Schema::new(vec![
+            AttributeDef::new("rowc", 0.0, 2048.0).expect("static"),
+            AttributeDef::new("colc", 0.0, 2048.0).expect("static"),
+            AttributeDef::new("ra", 0.0, 360.0).expect("static"),
+            AttributeDef::new("dec", -90.0, 90.0).expect("static"),
+            AttributeDef::new("field", 0.0, 1000.0).expect("static"),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// Number of attributes (the dimensionality `d` of the data space).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attributes in order.
+    #[inline]
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// The attribute at position `idx`.
+    pub fn attribute(&self, idx: usize) -> Result<&AttributeDef> {
+        self.attributes
+            .get(idx)
+            .ok_or_else(|| UeiError::not_found(format!("attribute index {idx}")))
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| UeiError::not_found(format!("attribute '{name}'")))
+    }
+
+    /// The full data space `D` as a closed region spanning every domain.
+    pub fn data_space(&self) -> Region {
+        let lo = self.attributes.iter().map(|a| a.min).collect();
+        let hi = self.attributes.iter().map(|a| a.max).collect();
+        Region::closed(lo, hi).expect("schema domains are validated")
+    }
+
+    /// Checks that `values` matches the schema's dimensionality.
+    pub fn check_dims(&self, values: &[f64]) -> Result<()> {
+        if values.len() != self.dims() {
+            return Err(UeiError::DimensionMismatch {
+                expected: self.dims(),
+                actual: values.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdss_schema_shape() {
+        let s = Schema::sdss();
+        assert_eq!(s.dims(), 5);
+        assert_eq!(s.attribute(0).unwrap().name, "rowc");
+        assert_eq!(s.index_of("dec").unwrap(), 3);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.attribute(5).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let a = AttributeDef::new("x", 0.0, 1.0).unwrap();
+        assert!(Schema::new(vec![]).is_err());
+        assert!(Schema::new(vec![a.clone(), a]).is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_domain() {
+        assert!(AttributeDef::new("x", 1.0, 0.0).is_err());
+        assert!(AttributeDef::new("x", 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn data_space_spans_domains() {
+        let s = Schema::sdss();
+        let space = s.data_space();
+        assert_eq!(space.dims(), 5);
+        assert!(space.contains(&[1024.0, 0.0, 360.0, -90.0, 500.0]).unwrap());
+        assert!(!space.contains(&[-1.0, 0.0, 0.0, 0.0, 0.0]).unwrap());
+    }
+
+    #[test]
+    fn check_dims() {
+        let s = Schema::sdss();
+        assert!(s.check_dims(&[0.0; 5]).is_ok());
+        assert!(s.check_dims(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn attribute_width() {
+        assert_eq!(AttributeDef::new("dec", -90.0, 90.0).unwrap().width(), 180.0);
+    }
+}

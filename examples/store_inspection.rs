@@ -1,0 +1,88 @@
+//! Store inspection and integrity checking — the operational side of UEI.
+//!
+//! Builds a store, prints what the initialization phase produced (the
+//! paper's Figure 2 layout: per-dimension sorted `<key, {ids}>` chunks),
+//! runs a full `fsck`-style verification, then demonstrates that
+//! corruption is caught.
+//!
+//! ```text
+//! cargo run --release --example store_inspection
+//! ```
+
+use uei::prelude::*;
+use uei::storage::store::ColumnStore;
+
+fn main() -> uei::types::Result<()> {
+    let rows =
+        generate_sdss_like(&SynthConfig { rows: 15_000, seed: 31, ..Default::default() });
+    let dir = std::env::temp_dir().join("uei-example-inspect");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Initialization phase, with I/O accounting.
+    let tracker = DiskTracker::new(IoProfile::nvme());
+    let before = tracker.snapshot();
+    let store = ColumnStore::create(
+        &dir,
+        Schema::sdss(),
+        &rows,
+        StoreConfig { chunk_target_bytes: 32 * 1024 },
+        tracker.clone(),
+    )?;
+    let init_io = tracker.delta(&before);
+    println!(
+        "initialization phase: wrote {} bytes in {:.1} ms (modeled NVMe write)",
+        init_io.stats.bytes_written,
+        init_io.virtual_elapsed.as_secs_f64() * 1e3
+    );
+
+    // What the inverted layout looks like, per dimension.
+    println!("\ndimension          chunks   entries      ids   bytes   compression");
+    let row_bytes = store.rows_file_bytes();
+    for (d, attr) in store.schema().attributes().iter().enumerate() {
+        let catalog = &store.manifest().dims[d];
+        let entries: u64 = catalog.iter().map(|c| c.num_entries).sum();
+        let ids: u64 = catalog.iter().map(|c| c.num_ids).sum();
+        let bytes: u64 = catalog.iter().map(|c| c.file_size).sum();
+        println!(
+            "{:<18} {:>6} {:>9} {:>8} {:>7}   {:>5.2}x vs column of f64",
+            attr.name,
+            catalog.len(),
+            entries,
+            ids,
+            bytes,
+            (ids * 8) as f64 / bytes as f64,
+        );
+    }
+    println!(
+        "\nrow-major companion file: {} bytes; total chunk bytes: {}",
+        row_bytes,
+        store.manifest().total_chunk_bytes()
+    );
+    println!(
+        "note how `field` (a low-cardinality attribute) compresses best: many ids share \
+         each key, so the\ninverted <key, {{ids}}> grouping pays off exactly as the paper's \
+         Figure 2 intends."
+    );
+
+    // Full integrity verification.
+    let report = store.verify()?;
+    println!(
+        "\nverify: OK — {} rows covered exactly once in each of {} dimensions ({:?} chunks)",
+        report.rows, report.dims, report.chunks_per_dim
+    );
+
+    // Now damage one chunk and show the checks firing.
+    let victim = store.manifest().dims[0][0].id();
+    let path = dir.join(victim.file_name());
+    let mut bytes = std::fs::read(&path).expect("chunk file exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes).expect("rewrite chunk");
+    match store.verify() {
+        Err(e) => println!("\nafter flipping one bit in {victim}: verify => {e}"),
+        Ok(_) => unreachable!("corruption must be detected"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Integration tests pinning the paper's qualitative claims at test scale.
+//!
+//! These are the assertions EXPERIMENTS.md reports at full scale, kept
+//! small enough to run in the regular test suite:
+//!
+//! 1. §3.3 — per-iteration cost drops from O(kn) to O(ke) with e ≪ n;
+//! 2. Figure 6 — UEI response time is flat across target-region sizes;
+//! 3. Figure 6 — the baseline rereads the whole table every iteration
+//!    once memory ≪ data, while UEI reads a small, bounded slice;
+//! 4. §3.2 — uncertainty-directed region choice tracks the decision
+//!    boundary (the loaded cell contains boundary points).
+
+use uei_bench::experiments::{
+    complexity, fig6_response_time, oracles_for_runs, run_session, Scheme, Variation,
+};
+use uei_bench::fixture::{ExperimentScale, Fixture};
+use uei::explore::workload::RegionSize;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        rows: 6_000,
+        runs: 2,
+        max_labels: 18,
+        gamma: 400,
+        eval_sample: 0,
+        chunk_target_bytes: 8 * 1024,
+        cells_per_dim: 4,
+        memory_fraction: 0.01,
+        row_pad_bytes: 4048,
+        seed: 0x00C1_A115,
+    }
+}
+
+fn fixture(tag: &str) -> (Fixture, std::path::PathBuf) {
+    let root = std::env::temp_dir().join(format!(
+        "uei-claims-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    (Fixture::build(&root, scale()).unwrap(), root)
+}
+
+#[test]
+fn complexity_e_much_smaller_than_n() {
+    let (fixture, root) = fixture("complexity");
+    let report = complexity(&fixture).unwrap();
+    assert_eq!(report.dbms_examined_mean as u64, report.n, "baseline examines all n");
+    assert!(
+        report.n_over_e > 10.0,
+        "e should be a small fraction of n, got n/e = {}",
+        report.n_over_e
+    );
+    assert!(report.byte_ratio > 20.0, "byte ratio {}", report.byte_ratio);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn response_time_flat_across_region_sizes_for_uei() {
+    let (fixture, root) = fixture("flat");
+    let fig = fig6_response_time(&fixture).unwrap();
+    let uei: Vec<f64> = fig
+        .rows
+        .iter()
+        .filter(|r| r.scheme == "UEI")
+        .map(|r| r.mean_response_ms)
+        .collect();
+    let dbms: Vec<f64> = fig
+        .rows
+        .iter()
+        .filter(|r| r.scheme != "UEI")
+        .map(|r| r.mean_response_ms)
+        .collect();
+    assert_eq!(uei.len(), 3);
+    // Paper: "the response time remains the same across all three target
+    // interest regions sizes" — for BOTH schemes.
+    for series in [&uei, &dbms] {
+        let max = series.iter().cloned().fold(f64::MIN, f64::max);
+        let min = series.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max < min * 4.0,
+            "response should not scale with region size: {series:?}"
+        );
+    }
+    // And the gap between schemes is large at every size.
+    for (u, d) in uei.iter().zip(&dbms) {
+        assert!(d > &(u * 10.0), "UEI {u} ms vs DBMS {d} ms");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn baseline_rereads_table_uei_reads_bounded_slice() {
+    let (fixture, root) = fixture("reread");
+    let oracles = oracles_for_runs(&fixture, RegionSize::Medium, 1).unwrap();
+
+    let dbms =
+        run_session(&fixture, Scheme::Dbms, &oracles[0], 0, &Variation::default()).unwrap();
+    let (table, _, _) = fixture.open_table(uei::storage::IoProfile::nvme()).unwrap();
+    for trace in &dbms.traces {
+        // Per-page charges round down, so allow a sliver under the total.
+        assert!(
+            trace.bytes_read >= table.logical_size_bytes() / 100 * 99,
+            "iteration {} read {} < table {}",
+            trace.iteration,
+            trace.bytes_read,
+            table.logical_size_bytes()
+        );
+    }
+
+    let uei =
+        run_session(&fixture, Scheme::Uei, &oracles[0], 0, &Variation::default()).unwrap();
+    let (store, _) = fixture.open_store(uei::storage::IoProfile::nvme()).unwrap();
+    let full = store.manifest().total_chunk_bytes();
+    for trace in &uei.traces {
+        assert!(
+            trace.bytes_read < full,
+            "UEI iteration {} read {} >= full inverted set {}",
+            trace.iteration,
+            trace.bytes_read,
+            full
+        );
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn region_loads_track_the_decision_boundary() {
+    // After the model has some labels, the loaded region should contain a
+    // healthy share of near-boundary tuples (that is the whole point of
+    // the index). We check that loaded regions produce a mix of labels
+    // rather than constant negatives.
+    let (fixture, root) = fixture("boundary");
+    let oracles = oracles_for_runs(&fixture, RegionSize::Large, 1).unwrap();
+    let result =
+        run_session(&fixture, Scheme::Uei, &oracles[0], 0, &Variation::default()).unwrap();
+    let late_positive = result
+        .traces
+        .iter()
+        .skip(result.traces.len() / 2)
+        .filter(|t| t.label_positive)
+        .count();
+    assert!(
+        late_positive > 0,
+        "uncertainty-directed loading should surface positives in the later stage"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
