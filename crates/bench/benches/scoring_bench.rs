@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the batch scoring layer: the old
+//! single-point `predict_proba` chain vs. `predict_proba_batch` on the
+//! paper's default estimator (DWkNN), at and above the |P| = 4096 scale
+//! the acceptance criteria name.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::{Classifier, EstimatorKind};
+use uei_types::{Label, Rng};
+
+fn examples(n: usize, seed: u64) -> Vec<(Vec<f64>, Label)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            (x.clone(), Label::from_bool(x.iter().sum::<f64>() > 0.0))
+        })
+        .collect()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let model = EstimatorKind::Dwknn { k: 5 }.train(&examples(200, 11)).unwrap();
+    let measure = UncertaintyMeasure::LeastConfidence;
+    let mut rng = Rng::new(29);
+    let pool: Vec<Vec<f64>> = (0..4096)
+        .map(|_| (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect())
+        .collect();
+    let refs: Vec<&[f64]> = pool.iter().map(|p| p.as_slice()).collect();
+
+    let mut group = c.benchmark_group("scoring_4096");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            pool.iter().map(|p| measure.score(model.predict_proba(p))).collect::<Vec<f64>>()
+        })
+    });
+    group.bench_function("batch", |b| b.iter(|| measure.score_points(model.as_ref(), &refs)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Sequential vs. batch scoring comparison.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin scoring_bench            # full run
+//! cargo run -p uei-bench --release --bin scoring_bench -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_scoring.json` (schema: `BENCH_SCHEMA.json`) to the
+//! current directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::scoring::{full_report, smoke_report, ScoringReport};
+
+fn print_report(report: &ScoringReport) {
+    println!(
+        "batch scoring vs. sequential — {} rayon thread(s), best of {} sample(s)\n",
+        report.threads, report.samples
+    );
+    println!(
+        "{:<16} {:<12} {:>8} {:>14} {:>14} {:>9} {:>10}",
+        "scope", "model", "points", "sequential", "batch", "speedup", "identical"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<16} {:<12} {:>8} {:>12.2}us {:>12.2}us {:>8.2}x {:>10}",
+            c.scope,
+            c.model,
+            c.n_points,
+            c.sequential_ns as f64 / 1e3,
+            c.batch_ns as f64 / 1e3,
+            c.speedup,
+            c.identical,
+        );
+    }
+    if report.threads <= 1 {
+        println!(
+            "\nnote: single rayon thread — batch wins here come from scratch reuse only;\n\
+             the >= 2x fan-out target applies to multi-core runners."
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_scoring.json"));
+
+    let report = if smoke { smoke_report() } else { full_report(5) };
+    print_report(&report);
+
+    let diverged: Vec<_> = report.cases.iter().filter(|c| !c.identical).collect();
+    assert!(diverged.is_empty(), "batch scores diverged from sequential: {diverged:?}");
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

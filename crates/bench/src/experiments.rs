@@ -120,6 +120,7 @@ pub fn run_session(
                 prefetch: variation.prefetch_sigma.is_some(),
                 regions_in_memory: variation.regions_in_memory.unwrap_or(4),
                 defer_swaps: false,
+                parallel: true,
             };
             let mut rng = Rng::new(config.seed ^ 0xBACC);
             let mut backend = UeiBackend::new(

@@ -19,6 +19,8 @@
 
 pub mod experiments;
 pub mod fixture;
+pub mod scoring;
 
 pub use experiments::*;
 pub use fixture::{ExperimentScale, Fixture};
+pub use scoring::{full_report, run_scoring_bench, smoke_report, ScoringCase, ScoringReport};

@@ -1,0 +1,228 @@
+//! Sequential vs. batch scoring micro-benchmark.
+//!
+//! Measures the tentpole claim of the batch-scoring layer: rescoring all
+//! index points / pool points through [`Classifier::predict_proba_batch`]
+//! is at least as fast as the old chain of single-point `predict_proba`
+//! calls, and substantially faster on multi-core hosts for `|P| ≥ 4096`.
+//! Every timed comparison also bit-compares the two result vectors, so a
+//! speedup that silently changed the scores would fail loudly.
+//!
+//! Results serialize to the `BENCH_scoring.json` schema documented in
+//! `BENCH_SCHEMA.json` at the repository root.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use uei_index::grid::Grid;
+use uei_index::points::IndexPoints;
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::{Classifier, Committee, EstimatorKind};
+use uei_types::{AttributeDef, Label, Rng, Schema};
+
+/// One timed sequential-vs-batch comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScoringCase {
+    /// What was rescored: `"classifier-pool"` (raw probability scoring of
+    /// a candidate pool) or `"index-points"` (`IndexPoints::update`).
+    pub scope: String,
+    /// Estimator name (`dwknn`, `knn`, `svm`, `naive-bayes`, `committee`).
+    pub model: String,
+    /// Number of points scored per call (`|P|` or pool size).
+    pub n_points: usize,
+    /// Best-of-`samples` wall time of the sequential path, nanoseconds.
+    pub sequential_ns: u64,
+    /// Best-of-`samples` wall time of the batch path, nanoseconds.
+    pub batch_ns: u64,
+    /// `sequential_ns / batch_ns`.
+    pub speedup: f64,
+    /// Whether the two paths produced bit-identical scores (must be true).
+    pub identical: bool,
+}
+
+/// The full report written to `BENCH_scoring.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScoringReport {
+    /// Rayon worker count at run time; a 1 means every "batch" number is
+    /// the sequential fallback plus scratch reuse, not thread fan-out.
+    pub threads: usize,
+    /// Timing samples per case (min is reported).
+    pub samples: usize,
+    pub cases: Vec<ScoringCase>,
+}
+
+fn schema3() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", -1.0, 1.0).unwrap(),
+        AttributeDef::new("y", -1.0, 1.0).unwrap(),
+        AttributeDef::new("z", -1.0, 1.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn training_examples(n: usize, seed: u64) -> Vec<(Vec<f64>, Label)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let label = Label::from_bool(x.iter().sum::<f64>() > 0.0);
+            (x, label)
+        })
+        .collect()
+}
+
+fn pool_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect()).collect()
+}
+
+fn time_best<T>(samples: usize, mut f: impl FnMut() -> T) -> (u64, T) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+        out = Some(value);
+    }
+    (best, out.expect("at least one sample"))
+}
+
+fn models() -> Vec<(&'static str, Box<dyn Classifier>)> {
+    let examples = training_examples(200, 11);
+    let mut out: Vec<(&'static str, Box<dyn Classifier>)> = Vec::new();
+    for kind in [
+        EstimatorKind::Dwknn { k: 5 },
+        EstimatorKind::Knn { k: 5 },
+        EstimatorKind::NaiveBayes,
+        EstimatorKind::LinearSvm { epochs: 10, lambda: 1e-2 },
+    ] {
+        out.push((kind.name(), kind.train(&examples).unwrap()));
+    }
+    out.push((
+        "committee",
+        Box::new(Committee::train(EstimatorKind::Dwknn { k: 5 }, 4, &examples, 13).unwrap()),
+    ));
+    out
+}
+
+fn classifier_case(
+    name: &str,
+    model: &dyn Classifier,
+    points: &[Vec<f64>],
+    measure: UncertaintyMeasure,
+    samples: usize,
+) -> ScoringCase {
+    let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+    let (sequential_ns, seq) = time_best(samples, || {
+        points.iter().map(|p| measure.score(model.predict_proba(p))).collect::<Vec<f64>>()
+    });
+    let (batch_ns, batch) = time_best(samples, || measure.score_points(model, &refs));
+    let identical =
+        seq.len() == batch.len() && seq.iter().zip(&batch).all(|(a, b)| a.to_bits() == b.to_bits());
+    ScoringCase {
+        scope: "classifier-pool".to_string(),
+        model: name.to_string(),
+        n_points: points.len(),
+        sequential_ns,
+        batch_ns,
+        speedup: sequential_ns as f64 / batch_ns.max(1) as f64,
+        identical,
+    }
+}
+
+fn index_points_case(
+    name: &str,
+    model: &dyn Classifier,
+    cells_per_dim: usize,
+    measure: UncertaintyMeasure,
+    samples: usize,
+) -> ScoringCase {
+    let grid = Grid::new(&schema3(), cells_per_dim).unwrap();
+    let mut points = IndexPoints::from_grid(&grid).unwrap();
+    let n = points.len();
+    let scores_of = |p: &IndexPoints| -> Vec<u64> {
+        (0..n).map(|i| p.uncertainty(i).unwrap().to_bits()).collect()
+    };
+    let (sequential_ns, _) = time_best(samples, || points.update_sequential(model, measure));
+    let seq_scores = scores_of(&points);
+    let (batch_ns, _) = time_best(samples, || points.update(model, measure));
+    let identical = scores_of(&points) == seq_scores;
+    ScoringCase {
+        scope: "index-points".to_string(),
+        model: name.to_string(),
+        n_points: n,
+        sequential_ns,
+        batch_ns,
+        speedup: sequential_ns as f64 / batch_ns.max(1) as f64,
+        identical,
+    }
+}
+
+/// Runs the full sequential-vs-batch comparison.
+///
+/// `pool_sizes` are the candidate-pool sizes for the classifier-level
+/// cases; `cells_per_dim` values define the index-point grids (`|P| =
+/// cells³`); `samples` is the number of timing repetitions (min wins).
+pub fn run_scoring_bench(
+    pool_sizes: &[usize],
+    cells_per_dim: &[usize],
+    samples: usize,
+) -> ScoringReport {
+    let measure = UncertaintyMeasure::LeastConfidence;
+    let models = models();
+    let mut cases = Vec::new();
+    for &n in pool_sizes {
+        let points = pool_points(n, 29);
+        for (name, model) in &models {
+            cases.push(classifier_case(name, model.as_ref(), &points, measure, samples));
+        }
+    }
+    for &cells in cells_per_dim {
+        // DWkNN is the paper's default estimator; it is also the case the
+        // shared-scratch batch override targets, so it anchors the
+        // index-point numbers.
+        let (name, model) = &models[0];
+        cases.push(index_points_case(name, model.as_ref(), cells, measure, samples));
+    }
+    ScoringReport { threads: rayon::current_num_threads(), samples: samples.max(1), cases }
+}
+
+/// The default full-size run: pools up to 16 384 points and grids up to
+/// `|P| = 16³ = 4096` index points.
+pub fn full_report(samples: usize) -> ScoringReport {
+    run_scoring_bench(&[256, 1024, 4096, 16_384], &[8, 16], samples)
+}
+
+/// A seconds-scale smoke run used by CI: one sample, small sizes. Panics
+/// if any case's batch scores diverge from the sequential path.
+pub fn smoke_report() -> ScoringReport {
+    let report = run_scoring_bench(&[64, 512], &[4], 1);
+    for case in &report.cases {
+        assert!(case.identical, "{} {} diverged", case.scope, case.model);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_completes_and_scores_agree() {
+        let report = smoke_report();
+        // 2 pool sizes × 5 models + 1 grid.
+        assert_eq!(report.cases.len(), 11);
+        assert!(report.cases.iter().all(|c| c.identical));
+        assert!(report.threads >= 1);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = smoke_report();
+        let json = serde_json::to_vec_pretty(&report).unwrap();
+        let text = String::from_utf8(json).unwrap();
+        assert!(text.contains("\"scope\""));
+        assert!(text.contains("classifier-pool"));
+        assert!(text.contains("index-points"));
+    }
+}

@@ -75,6 +75,26 @@ pub trait ExplorationBackend {
     fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>>;
 }
 
+/// Rows per block in final-result retrieval. Retrieval streams the dataset
+/// and scores it block-at-a-time through [`Classifier::predict_proba_batch`],
+/// so the scan keeps its sequential I/O pattern while the model evaluation
+/// fans out; well above the batch layer's parallel threshold.
+const RETRIEVE_BLOCK_ROWS: usize = 4096;
+
+/// Scores one buffered block and appends the ids classified positive
+/// (posterior ≥ 0.5, the same threshold as [`Classifier::predict`]) in
+/// block order. Clears the block for reuse.
+fn flush_retrieve_block(model: &dyn Classifier, block: &mut Vec<DataPoint>, out: &mut Vec<u64>) {
+    let refs: Vec<&[f64]> = block.iter().map(|p| p.values.as_slice()).collect();
+    let probs = model.predict_proba_batch(&refs);
+    for (point, prob) in block.iter().zip(probs) {
+        if prob >= 0.5 {
+            out.push(point.id.as_u64());
+        }
+    }
+    block.clear();
+}
+
 // ---------------------------------------------------------------------------
 // UEI scheme
 // ---------------------------------------------------------------------------
@@ -196,12 +216,17 @@ impl ExplorationBackend for UeiBackend {
     }
 
     fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>> {
+        // scan_all streams in ascending id order, and blocks are flushed in
+        // stream order, so the output is ascending without a final sort.
         let mut out = Vec::new();
+        let mut block = Vec::with_capacity(RETRIEVE_BLOCK_ROWS);
         self.index.store().scan_all(|p| {
-            if model.predict(&p.values).is_positive() {
-                out.push(p.id.as_u64());
+            block.push(p);
+            if block.len() >= RETRIEVE_BLOCK_ROWS {
+                flush_retrieve_block(model, &mut block, &mut out);
             }
         })?;
+        flush_retrieve_block(model, &mut block, &mut out);
         Ok(out)
     }
 }
@@ -318,11 +343,14 @@ impl ExplorationBackend for DbmsBackend {
 
     fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>> {
         let mut out = Vec::new();
+        let mut block = Vec::with_capacity(RETRIEVE_BLOCK_ROWS);
         self.table.scan(&mut self.pool, |p| {
-            if model.predict(&p.values).is_positive() {
-                out.push(p.id.as_u64());
+            block.push(p);
+            if block.len() >= RETRIEVE_BLOCK_ROWS {
+                flush_retrieve_block(model, &mut block, &mut out);
             }
         })?;
+        flush_retrieve_block(model, &mut block, &mut out);
         out.sort_unstable();
         Ok(out)
     }

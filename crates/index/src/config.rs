@@ -38,6 +38,13 @@ pub struct UeiConfig {
     /// between the current in-memory uncertain region g*_i and the next
     /// uncertain region g*_{i+1}", §3.2). Off by default.
     pub defer_swaps: bool,
+    /// Whether index-point rescoring uses the batch scoring path
+    /// (multi-core fan-out plus per-worker traversal scratch). Batches
+    /// below [`uei_learn::batch::PARALLEL_THRESHOLD`] stay sequential
+    /// either way, and results are bit-identical in both modes, so this
+    /// knob exists for benchmarking and for pinning down scheduler
+    /// interference — not for correctness.
+    pub parallel: bool,
 }
 
 impl Default for UeiConfig {
@@ -49,6 +56,7 @@ impl Default for UeiConfig {
             prefetch: false,
             regions_in_memory: 1,
             defer_swaps: false,
+            parallel: true,
         }
     }
 }

@@ -85,10 +85,8 @@ impl RegionLoader {
         let virtual_time = self.store.tracker().delta(&io_before).virtual_elapsed;
         let wall_time = wall_start.elapsed();
         self.load_times.push(virtual_time.as_secs_f64());
-        Ok((
-            rows.clone(),
-            LoadStats { merge, virtual_time, wall_time, rows: rows.len() },
-        ))
+        let stats = LoadStats { merge, virtual_time, wall_time, rows: rows.len() };
+        Ok((rows, stats))
     }
 
     /// Drops all cached chunks (e.g. between experiment runs).

@@ -60,7 +60,21 @@ impl IndexPoints {
 
     /// Re-scores every index point with the current model
     /// (`updateUncertainty(P, M)`, Algorithm 2 line 17).
+    ///
+    /// Scoring goes through [`Classifier::predict_proba_batch`], so a grid
+    /// of thousands of index points is rescored across cores (and with
+    /// per-worker traversal scratch) each iteration; the resulting scores
+    /// are bit-identical to [`Self::update_sequential`].
     pub fn update(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
+        let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+        self.uncertainty = measure.score_points(model, &refs);
+        self.updated = true;
+    }
+
+    /// The pre-batching scoring loop: one independent `predict_proba` call
+    /// per index point. Kept as the baseline the scoring benchmark (and
+    /// the `parallel: false` config knob) compares against.
+    pub fn update_sequential(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
         for (i, center) in self.centers.iter().enumerate() {
             self.uncertainty[i] = measure.score(model.predict_proba(center));
         }
@@ -84,15 +98,9 @@ impl IndexPoints {
         if self.centers.is_empty() || n == 0 {
             return Err(UeiError::invalid_state("no index points to rank"));
         }
-        let mut ids: Vec<CellId> = (0..self.len()).collect();
-        ids.sort_by(|&a, &b| {
-            self.uncertainty[b]
-                .partial_cmp(&self.uncertainty[a])
-                .expect("uncertainty scores are finite")
-                .then(a.cmp(&b))
-        });
-        ids.truncate(n);
-        Ok(ids)
+        // Partial top-n selection (O(|P| + n log n), not a full sort); a
+        // NaN score ranks last instead of panicking the comparator.
+        Ok(uei_learn::strategy::top_k_desc(&self.uncertainty, n))
     }
 
     /// Mean uncertainty across all points (a convergence diagnostic: it
@@ -187,6 +195,52 @@ mod tests {
         let late = grid.id_to_coords(points.most_uncertain().unwrap()).unwrap()[0];
         assert_eq!(early, 0);
         assert_eq!(late, 2, "re-scoring follows the moving decision boundary");
+    }
+
+    #[test]
+    fn batch_update_matches_sequential() {
+        let grid = grid3();
+        let mut batch = IndexPoints::from_grid(&grid).unwrap();
+        let mut seq = IndexPoints::from_grid(&grid).unwrap();
+        batch.update(&BoundaryAtX(1.2), UncertaintyMeasure::Entropy);
+        seq.update_sequential(&BoundaryAtX(1.2), UncertaintyMeasure::Entropy);
+        for id in 0..batch.len() {
+            assert_eq!(
+                batch.uncertainty(id).unwrap().to_bits(),
+                seq.uncertainty(id).unwrap().to_bits(),
+                "cell {id}"
+            );
+        }
+        assert_eq!(batch.ranked_top(9).unwrap(), seq.ranked_top(9).unwrap());
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        /// Emits NaN for the bottom-left cells (x < 1), a real score elsewhere.
+        struct PartiallyNan;
+        impl Classifier for PartiallyNan {
+            fn predict_proba(&self, x: &[f64]) -> f64 {
+                if x[0] < 1.0 { f64::NAN } else { 0.5 }
+            }
+            fn dims(&self) -> usize {
+                2
+            }
+        }
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        points.update(&PartiallyNan, UncertaintyMeasure::LeastConfidence);
+        let ranked = points.ranked_top(9).unwrap();
+        assert_eq!(ranked.len(), 9);
+        // The three NaN-scored cells (x-coord 0 → ids 0, 3, 6 in row-major
+        // y-x order, whichever layout: exactly three cells have center x <
+        // 1) come last, in id order.
+        let nan_cells: Vec<CellId> = (0..9)
+            .filter(|&id| points.uncertainty(id).unwrap().is_nan())
+            .collect();
+        assert_eq!(nan_cells.len(), 3);
+        assert_eq!(ranked[6..], nan_cells[..]);
+        // The winner is a real-scored cell.
+        assert!(!points.uncertainty(points.most_uncertain().unwrap()).unwrap().is_nan());
     }
 
     #[test]

@@ -151,7 +151,11 @@ impl UeiIndex {
     /// than the model — the ranking that justified them is gone; keeping
     /// them would serve regions chosen by a stale boundary.
     pub fn update_uncertainty(&mut self, model: &dyn Classifier) {
-        self.points.update(model, self.measure);
+        if self.config.parallel {
+            self.points.update(model, self.measure);
+        } else {
+            self.points.update_sequential(model, self.measure);
+        }
         // Note: ready-but-untaken prefetches remain valid as *data* (cell
         // contents do not change), so they are kept; only their priority
         // was stale, and `select_and_load` re-ranks every iteration anyway.

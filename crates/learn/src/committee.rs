@@ -76,6 +76,25 @@ impl Classifier for Committee {
         sum / self.members.len() as f64
     }
 
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        // Member-major: one batch pass per member (so each member's own
+        // scratch reuse and parallelism kick in), accumulated in member
+        // order — the same summation order as the scalar path, keeping
+        // results bit-identical.
+        let mut sums = vec![0.0; xs.len()];
+        for member in &self.members {
+            let probs = member.predict_proba_batch(xs);
+            for (s, p) in sums.iter_mut().zip(&probs) {
+                *s += p;
+            }
+        }
+        let n = self.members.len() as f64;
+        for s in &mut sums {
+            *s /= n;
+        }
+        sums
+    }
+
     fn dims(&self) -> usize {
         self.dims
     }

@@ -17,8 +17,18 @@
 
 use uei_types::{Label, Result, UeiError};
 
-use crate::kdtree::KdTree;
+use crate::kdtree::{KdTree, NearestScratch};
 use crate::model::{check_two_classes, Classifier};
+
+/// Per-worker buffers for batch scoring: kd-tree traversal scratch plus the
+/// distance/weight vectors every query fills. Reusing them removes all
+/// per-query allocation from the rescoring hot loop.
+#[derive(Default)]
+struct DwknnScratch {
+    nearest: NearestScratch,
+    distances: Vec<f64>,
+    weights: Vec<f64>,
+}
 
 /// A trained DWKNN classifier.
 ///
@@ -77,26 +87,33 @@ impl Dwknn {
     /// The dual weights of Gou et al. for a sorted distance list
     /// `d_1 <= … <= d_k`. Exposed for tests and for the committee.
     pub fn dual_weights(distances: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(distances.len());
+        Dwknn::dual_weights_into(distances, &mut out);
+        out
+    }
+
+    /// [`Self::dual_weights`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free form the batch path uses.
+    pub fn dual_weights_into(distances: &[f64], out: &mut Vec<f64>) {
+        out.clear();
         let k = distances.len();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         let d1 = distances[0];
         let dk = distances[k - 1];
         if dk == d1 {
             // Degenerate neighbourhood (all equidistant): uniform weights.
-            return vec![1.0; k];
+            out.resize(k, 1.0);
+            return;
         }
-        distances
-            .iter()
-            .map(|&di| (dk - di) / (dk - d1) * (dk + d1) / (dk + di))
-            .collect()
+        out.extend(distances.iter().map(|&di| (dk - di) / (dk - d1) * (dk + d1) / (dk + di)));
     }
-}
 
-impl Classifier for Dwknn {
-    fn predict_proba(&self, x: &[f64]) -> f64 {
-        let neighbors = match self.tree.nearest(x, self.k) {
+    /// The posterior computation, parameterized over reusable scratch so
+    /// both the scalar and batch paths run the exact same code.
+    fn proba_with(&self, scratch: &mut DwknnScratch, x: &[f64]) -> f64 {
+        let neighbors = match self.tree.nearest_with(&mut scratch.nearest, x, self.k) {
             Ok(n) => n,
             Err(_) => return 0.5, // dimension mismatch: maximally uncertain
         };
@@ -104,11 +121,12 @@ impl Classifier for Dwknn {
             return 0.5;
         }
         // kd-tree returns squared distances; DWKNN weights use true distances.
-        let distances: Vec<f64> = neighbors.iter().map(|(d2, _)| d2.sqrt()).collect();
-        let weights = Dwknn::dual_weights(&distances);
+        scratch.distances.clear();
+        scratch.distances.extend(neighbors.iter().map(|(d2, _)| d2.sqrt()));
+        Dwknn::dual_weights_into(&scratch.distances, &mut scratch.weights);
         let mut pos = 0.0;
         let mut total = 0.0;
-        for (w, (_, idx)) in weights.iter().zip(&neighbors) {
+        for (w, (_, idx)) in scratch.weights.iter().zip(neighbors) {
             total += w;
             if self.labels[*idx].is_positive() {
                 pos += w;
@@ -123,6 +141,16 @@ impl Classifier for Dwknn {
             return votes as f64 / neighbors.len() as f64;
         }
         pos / total
+    }
+}
+
+impl Classifier for Dwknn {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.proba_with(&mut DwknnScratch::default(), x)
+    }
+
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        crate::batch::map_batch_with(xs, DwknnScratch::default, |s, x| self.proba_with(s, x))
     }
 
     fn dims(&self) -> usize {

@@ -56,6 +56,26 @@ pub struct KdTree {
 /// of the point in the build order)`.
 pub type Neighbor = (f64, usize);
 
+/// Reusable buffers for repeated [`KdTree::nearest_with`] queries.
+///
+/// A fresh `nearest` call allocates a heap and a result vector; batch
+/// scoring issues thousands of such queries per iteration, so the scratch
+/// lets one worker amortize those allocations across its whole segment.
+/// Scratch contents never affect the values produced — only where they are
+/// stored — so results are identical to [`KdTree::nearest`].
+#[derive(Default)]
+pub struct NearestScratch {
+    heap: BinaryHeap<HeapEntry>,
+    out: Vec<Neighbor>,
+}
+
+impl NearestScratch {
+    /// Creates an empty scratch; capacity grows on first use.
+    pub fn new() -> NearestScratch {
+        NearestScratch::default()
+    }
+}
+
 #[derive(PartialEq)]
 struct HeapEntry {
     dist2: f64,
@@ -123,20 +143,34 @@ impl KdTree {
     /// (squared), ties broken by build index. Returns fewer when the tree
     /// holds fewer than `k` points.
     pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        let mut scratch = NearestScratch::new();
+        self.nearest_with(&mut scratch, query, k)?;
+        Ok(std::mem::take(&mut scratch.out))
+    }
+
+    /// Like [`Self::nearest`], but reuses `scratch` buffers across calls
+    /// and leaves the neighbours in `scratch.out` — see the returned slice.
+    /// The produced neighbours are identical to `nearest`'s.
+    pub fn nearest_with<'s>(
+        &self,
+        scratch: &'s mut NearestScratch,
+        query: &[f64],
+        k: usize,
+    ) -> Result<&'s [Neighbor]> {
+        scratch.heap.clear();
+        scratch.out.clear();
         if self.is_empty() || k == 0 {
-            return Ok(Vec::new());
+            return Ok(&scratch.out);
         }
         if query.len() != self.dims {
             return Err(UeiError::DimensionMismatch { expected: self.dims, actual: query.len() });
         }
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-        self.search(self.root, query, k, &mut heap);
-        let mut result: Vec<Neighbor> =
-            heap.into_iter().map(|e| (e.dist2, e.index)).collect();
-        result.sort_by(|a, b| {
+        self.search(self.root, query, k, &mut scratch.heap);
+        scratch.out.extend(scratch.heap.drain().map(|e| (e.dist2, e.index)));
+        scratch.out.sort_by(|a, b| {
             a.0.partial_cmp(&b.0).expect("no NaN distances").then(a.1.cmp(&b.1))
         });
-        Ok(result)
+        Ok(&scratch.out)
     }
 
     fn search(&self, node_idx: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapEntry>) {
@@ -369,6 +403,23 @@ mod tests {
         let a = tree.nearest(&q, 7).unwrap();
         let b = tree.nearest(&q, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_with_scratch_matches_fresh_calls() {
+        let points = random_points(300, 3, 17);
+        let tree = KdTree::build(points).unwrap();
+        let mut scratch = NearestScratch::new();
+        let mut rng = Rng::new(23);
+        for _ in 0..40 {
+            let q: Vec<f64> = (0..3).map(|_| rng.range_f64(-12.0, 12.0)).collect();
+            let fresh = tree.nearest(&q, 5).unwrap();
+            let reused = tree.nearest_with(&mut scratch, &q, 5).unwrap();
+            assert_eq!(fresh, reused);
+        }
+        // Error paths leave the scratch reusable.
+        assert!(tree.nearest_with(&mut scratch, &[0.0], 5).is_err());
+        assert_eq!(tree.nearest_with(&mut scratch, &[0.0, 0.0, 0.0], 0).unwrap(), &[]);
     }
 
     #[test]

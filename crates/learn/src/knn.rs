@@ -6,7 +6,7 @@
 
 use uei_types::{Label, Result, UeiError};
 
-use crate::kdtree::KdTree;
+use crate::kdtree::{KdTree, NearestScratch};
 use crate::model::{check_two_classes, Classifier};
 
 /// Neighbour weighting for [`Knn`].
@@ -49,11 +49,11 @@ impl Knn {
         let labels: Vec<Label> = examples.iter().map(|(_, l)| *l).collect();
         Ok(Knn { k, weighting, tree: KdTree::build(points)?, labels, dims })
     }
-}
 
-impl Classifier for Knn {
-    fn predict_proba(&self, x: &[f64]) -> f64 {
-        let neighbors = match self.tree.nearest(x, self.k) {
+    /// The posterior computation with reusable kd-tree scratch — the one
+    /// code path behind both the scalar and batch entry points.
+    fn proba_with(&self, scratch: &mut NearestScratch, x: &[f64]) -> f64 {
+        let neighbors = match self.tree.nearest_with(scratch, x, self.k) {
             Ok(n) => n,
             Err(_) => return 0.5,
         };
@@ -62,7 +62,7 @@ impl Classifier for Knn {
         }
         let mut pos = 0.0;
         let mut total = 0.0;
-        for (d2, idx) in &neighbors {
+        for (d2, idx) in neighbors {
             let w = match self.weighting {
                 KnnWeighting::Uniform => 1.0,
                 KnnWeighting::InverseDistance => 1.0 / (d2.sqrt() + 1e-9),
@@ -73,6 +73,16 @@ impl Classifier for Knn {
             }
         }
         pos / total
+    }
+}
+
+impl Classifier for Knn {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.proba_with(&mut NearestScratch::new(), x)
+    }
+
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        crate::batch::map_batch_with(xs, NearestScratch::new, |s, x| self.proba_with(s, x))
     }
 
     fn dims(&self) -> usize {

@@ -35,6 +35,7 @@
 #![allow(clippy::needless_range_loop)]
 
 
+pub mod batch;
 pub mod committee;
 pub mod dataset;
 pub mod dwknn;
@@ -49,11 +50,12 @@ pub mod scale;
 pub mod strategy;
 pub mod svm;
 
+pub use batch::{map_batch, map_batch_with, should_parallelize, PARALLEL_THRESHOLD};
 pub use committee::Committee;
 pub use dataset::{LabeledSet, UnlabeledPool};
 pub use dwknn::Dwknn;
 pub use expected::{ExpectationConfig, ExpectedErrorReduction, ExpectedModelChange};
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, NearestScratch};
 pub use knn::Knn;
 pub use metrics::{ConfusionMatrix, Metrics};
 pub use model::{Classifier, EstimatorKind};

@@ -13,6 +13,21 @@ pub trait Classifier: Send + Sync {
     /// Posterior probability that `x` is [`Label::Positive`], in `[0, 1]`.
     fn predict_proba(&self, x: &[f64]) -> f64;
 
+    /// Posterior probabilities for a whole batch of queries, in input
+    /// order.
+    ///
+    /// The contract is strict: `predict_proba_batch(xs)[i]` must be
+    /// bit-identical to `predict_proba(xs[i])` for every implementation,
+    /// so callers can switch between the scalar and batch paths (or
+    /// between thread counts) without perturbing selection order. The
+    /// default implementation fans the scalar calls out across cores for
+    /// large batches (see [`crate::batch`]); models override it when they
+    /// can amortize work across queries (shared kd-tree traversal scratch,
+    /// one member pass per committee).
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        crate::batch::map_batch(xs, |x| self.predict_proba(x))
+    }
+
     /// Hard prediction at the 0.5 threshold.
     fn predict(&self, x: &[f64]) -> Label {
         Label::from_bool(self.predict_proba(x) >= 0.5)
@@ -23,9 +38,10 @@ pub trait Classifier: Send + Sync {
     /// For binary classification this is `1 − max(p, 1−p)`, maximal (0.5)
     /// at `p = 0.5` — "the most uncertain example x is the one which can be
     /// assigned to either class label with probability 0.5" (§2.1).
+    /// Delegates to [`crate::strategy::UncertaintyMeasure::LeastConfidence`]
+    /// so the formula lives in exactly one place.
     fn uncertainty(&self, x: &[f64]) -> f64 {
-        let p = self.predict_proba(x);
-        1.0 - p.max(1.0 - p)
+        crate::strategy::UncertaintyMeasure::LeastConfidence.score(self.predict_proba(x))
     }
 
     /// Number of input dimensions the model expects.
@@ -35,6 +51,9 @@ pub trait Classifier: Send + Sync {
 impl<C: Classifier + ?Sized> Classifier for Box<C> {
     fn predict_proba(&self, x: &[f64]) -> f64 {
         (**self).predict_proba(x)
+    }
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        (**self).predict_proba_batch(xs)
     }
     fn predict(&self, x: &[f64]) -> Label {
         (**self).predict(x)

@@ -148,6 +148,22 @@ impl crate::model::Classifier for ScaledClassifier {
         }
     }
 
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        // Scale every valid row (in parallel for large batches), score the
+        // valid ones through the inner model's batch path, and splice the
+        // 0.5 fallback back in for rows of the wrong dimensionality.
+        let transformed = crate::batch::map_batch(xs, |x| self.scaler.transform(x).ok());
+        let valid: Vec<&[f64]> = transformed.iter().flatten().map(|z| z.as_slice()).collect();
+        let mut probs = self.inner.predict_proba_batch(&valid).into_iter();
+        transformed
+            .iter()
+            .map(|t| match t {
+                Some(_) => probs.next().expect("one probability per valid row"),
+                None => 0.5,
+            })
+            .collect()
+    }
+
     fn dims(&self) -> usize {
         self.scaler.dims()
     }

@@ -47,6 +47,49 @@ impl UncertaintyMeasure {
             }
         }
     }
+
+    /// Scores a whole pool of points in one batch call: posterior
+    /// evaluation goes through [`Classifier::predict_proba_batch`] (which
+    /// parallelizes large pools), then the measure is applied per element.
+    /// `score_points(model, pts)[i] == score(model.predict_proba(pts[i]))`
+    /// exactly.
+    pub fn score_points(&self, model: &dyn Classifier, points: &[&[f64]]) -> Vec<f64> {
+        let mut probs = model.predict_proba_batch(points);
+        for p in &mut probs {
+            *p = self.score(*p);
+        }
+        probs
+    }
+}
+
+/// Descending comparison of two scores with NaN ordered *last* (a NaN
+/// score must never win a ranking, and must never panic a sort). Ties are
+/// resolved by the caller via `.then(...)`.
+pub fn cmp_score_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+    key(b).total_cmp(&key(a))
+}
+
+/// Indices of the `k` highest scores, descending, ties toward the lower
+/// index; NaN scores rank last instead of panicking.
+///
+/// Uses `select_nth_unstable` to partition the top `k` in O(n) before
+/// sorting only that prefix — O(n + k log k) instead of the full
+/// O(n log n) sort, which matters when ranking a few prefetch candidates
+/// out of thousands of index points every iteration.
+pub fn top_k_desc(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..scores.len()).collect();
+    let k = k.min(ids.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |&a: &usize, &b: &usize| cmp_score_desc(scores[a], scores[b]).then(a.cmp(&b));
+    if k < ids.len() {
+        ids.select_nth_unstable_by(k - 1, cmp);
+        ids.truncate(k);
+    }
+    ids.sort_unstable_by(cmp);
+    ids
 }
 
 /// A pool-based query strategy.
@@ -81,9 +124,10 @@ impl UncertaintySampling {
 
 impl QueryStrategy for UncertaintySampling {
     fn select(&mut self, model: &dyn Classifier, pool: &[DataPoint]) -> Option<usize> {
+        let scores = self.measure.score_points(model, &pool_refs(pool));
         let mut best: Option<(f64, usize)> = None;
         for (i, point) in pool.iter().enumerate() {
-            let u = self.measure.score(model.predict_proba(&point.values));
+            let u = scores[i];
             let better = match best {
                 None => true,
                 Some((bu, bi)) => {
@@ -131,26 +175,31 @@ impl QueryStrategy for RandomSampling {
     }
 }
 
+/// Borrows every pool point's coordinate row, in pool order — the shape
+/// [`Classifier::predict_proba_batch`] wants.
+fn pool_refs(pool: &[DataPoint]) -> Vec<&[f64]> {
+    pool.iter().map(|p| p.values.as_slice()).collect()
+}
+
 /// Scores every pool element with a measure, returning `(index, score)`
 /// sorted descending — used by batch selection and by the experiments'
-/// diagnostic output.
+/// diagnostic output. Scoring runs through the batch path (parallel for
+/// large pools); NaN scores sort last instead of panicking.
 pub fn rank_pool(
     model: &dyn Classifier,
     pool: &[DataPoint],
     measure: UncertaintyMeasure,
 ) -> Vec<(usize, f64)> {
-    let mut scored: Vec<(usize, f64)> = pool
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (i, measure.score(model.predict_proba(&p.values))))
-        .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0))
-    });
+    let scores = measure.score_points(model, &pool_refs(pool));
+    let mut scored: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
+    scored.sort_by(|a, b| cmp_score_desc(a.1, b.1).then(a.0.cmp(&b.0)));
     scored
 }
 
 /// Selects the `batch` most uncertain pool indices (descending score).
+///
+/// Unlike [`rank_pool`] this never sorts the whole pool: the top `batch`
+/// are partitioned out in O(n) via [`top_k_desc`].
 pub fn select_batch(
     model: &dyn Classifier,
     pool: &[DataPoint],
@@ -160,9 +209,8 @@ pub fn select_batch(
     if batch == 0 {
         return Err(UeiError::invalid_config("batch size must be >= 1"));
     }
-    let mut ranked = rank_pool(model, pool, measure);
-    ranked.truncate(batch);
-    Ok(ranked.into_iter().map(|(i, _)| i).collect())
+    let scores = measure.score_points(model, &pool_refs(pool));
+    Ok(top_k_desc(&scores, batch))
 }
 
 #[cfg(test)]
@@ -259,6 +307,39 @@ mod tests {
         let all =
             select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 99).unwrap();
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let scores = [0.3, 0.9, 0.1, 0.9, 0.5, 0.0, 0.7];
+        let full = top_k_desc(&scores, scores.len());
+        assert_eq!(full, vec![1, 3, 6, 4, 0, 2, 5]);
+        for k in 0..=scores.len() + 2 {
+            assert_eq!(top_k_desc(&scores, k), full[..k.min(scores.len())]);
+        }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_without_panicking() {
+        let scores = [0.2, f64::NAN, 0.8, f64::NAN];
+        assert_eq!(top_k_desc(&scores, 4), vec![2, 0, 1, 3]);
+        // A model emitting NaN must not panic ranking either.
+        struct NanModel;
+        impl Classifier for NanModel {
+            fn predict_proba(&self, x: &[f64]) -> f64 {
+                if x[0] < 0.0 { f64::NAN } else { x[0] }
+            }
+            fn dims(&self) -> usize {
+                1
+            }
+        }
+        let pool = pool(&[-1.0, 0.5, 0.9]);
+        let ranked = rank_pool(&NanModel, &pool, UncertaintyMeasure::LeastConfidence);
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[2].0, 0, "NaN-scored point must rank last");
+        let batch =
+            select_batch(&NanModel, &pool, UncertaintyMeasure::LeastConfidence, 2).unwrap();
+        assert_eq!(batch, vec![1, 2]);
     }
 
     #[test]

@@ -147,6 +147,19 @@ impl Classifier for LinearSvm {
         self.platt.probability(self.decision_value(x))
     }
 
+    fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        // A linear model has no per-query scratch to amortize; the batch
+        // path exists so the whole standardize–dot–calibrate expression
+        // sits in one inlinable closure under the parallel fan-out. The
+        // per-element arithmetic is exactly `predict_proba`'s.
+        crate::batch::map_batch(xs, |x| {
+            if x.len() != self.dims {
+                return 0.5;
+            }
+            self.platt.probability(self.decision_value(x))
+        })
+    }
+
     fn dims(&self) -> usize {
         self.dims
     }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use uei_learn::kdtree::KdTree;
 use uei_learn::metrics::{set_f_measure, ConfusionMatrix};
 use uei_learn::strategy::UncertaintyMeasure;
-use uei_learn::{Classifier, EstimatorKind, MinMaxScaler};
+use uei_learn::{Classifier, Committee, EstimatorKind, MinMaxScaler, ScaledClassifier};
 use uei_types::point::squared_distance;
 use uei_types::{Label, Region};
 
@@ -164,6 +164,57 @@ proptest! {
         let back = scaler.inverse(&z).unwrap();
         for (a, b) in point.iter().zip(&back) {
             prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn batch_scoring_is_bit_identical_to_sequential(
+        pos in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 3), 2..15),
+        neg in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..0.0, 3), 2..15),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..2.0, 3), 1..40),
+    ) {
+        // The batch-scoring contract: predict_proba_batch(xs)[i] is
+        // bit-for-bit the same float predict_proba(xs[i]) returns, for
+        // every classifier, including the composite ones.
+        let mut examples: Vec<(Vec<f64>, Label)> =
+            pos.into_iter().map(|x| (x, Label::Positive)).collect();
+        examples.extend(neg.into_iter().map(|x| (x, Label::Negative)));
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+
+        let mut models: Vec<(String, Box<dyn Classifier>)> = Vec::new();
+        for kind in [
+            EstimatorKind::Dwknn { k: 3 },
+            EstimatorKind::Knn { k: 3 },
+            EstimatorKind::NaiveBayes,
+            EstimatorKind::LinearSvm { epochs: 5, lambda: 1e-2 },
+        ] {
+            models.push((kind.name().to_string(), kind.train(&examples).unwrap()));
+        }
+        models.push((
+            "committee".to_string(),
+            Box::new(Committee::train(
+                EstimatorKind::Dwknn { k: 3 }, 3, &examples, 7).unwrap()),
+        ));
+        let scaler = MinMaxScaler::new(vec![-2.0; 3], vec![2.0; 3]).unwrap();
+        models.push((
+            "scaled-dwknn".to_string(),
+            Box::new(ScaledClassifier::train(
+                EstimatorKind::Dwknn { k: 3 }, scaler, &examples).unwrap()),
+        ));
+
+        for (name, model) in &models {
+            let batch = model.predict_proba_batch(&refs);
+            prop_assert_eq!(batch.len(), queries.len());
+            for (i, q) in queries.iter().enumerate() {
+                let scalar = model.predict_proba(q);
+                prop_assert_eq!(
+                    batch[i].to_bits(), scalar.to_bits(),
+                    "{}: batch[{i}] = {} vs scalar {}", name, batch[i], scalar
+                );
+            }
         }
     }
 

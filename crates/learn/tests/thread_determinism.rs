@@ -1,0 +1,82 @@
+//! Batch scoring must be byte-identical regardless of how many rayon
+//! threads run it. This lives in its own integration binary because it
+//! mutates `RAYON_NUM_THREADS`, which must not race other tests'
+//! environment reads.
+
+use uei_learn::strategy::{rank_pool, select_batch, top_k_desc, UncertaintySampling};
+use uei_learn::{Classifier, EstimatorKind, QueryStrategy, UncertaintyMeasure};
+use uei_types::{DataPoint, Label};
+
+/// Deterministic pseudo-random coordinate in [-2, 2).
+fn coord(i: u64, d: u64) -> f64 {
+    let mut x = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(d ^ 0x9e37_79b9);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    (x % 4_000) as f64 / 1_000.0 - 2.0
+}
+
+fn training_examples() -> Vec<(Vec<f64>, Label)> {
+    let mut examples = Vec::new();
+    for i in 0..12u64 {
+        examples.push((vec![coord(i, 0).abs(), coord(i, 1).abs(), coord(i, 2).abs()],
+                       Label::Positive));
+        examples.push((vec![-coord(i, 3).abs(), -coord(i, 4).abs(), -coord(i, 5).abs()],
+                       Label::Negative));
+    }
+    examples
+}
+
+/// A pool large enough to cross `PARALLEL_THRESHOLD`, so the batch path
+/// genuinely fans out when threads > 1.
+fn pool() -> Vec<DataPoint> {
+    (0..1_000u64)
+        .map(|i| DataPoint::new(i, vec![coord(i, 10), coord(i, 11), coord(i, 12)]))
+        .collect()
+}
+
+struct Observed {
+    batch_bits: Vec<u64>,
+    ranked: Vec<(usize, f64)>,
+    top: Vec<usize>,
+    selected: Option<usize>,
+}
+
+fn observe(model: &dyn Classifier, pool: &[DataPoint]) -> Observed {
+    let refs: Vec<&[f64]> = pool.iter().map(|p| p.values.as_slice()).collect();
+    let batch_bits = model.predict_proba_batch(&refs).iter().map(|p| p.to_bits()).collect();
+    let measure = UncertaintyMeasure::LeastConfidence;
+    let ranked = rank_pool(model, pool, measure);
+    let scores: Vec<f64> = ranked.iter().map(|&(_, s)| s).collect();
+    let top = top_k_desc(&scores, 25);
+    let mut strategy = UncertaintySampling::new(measure);
+    let selected = strategy.select(model, pool);
+    let _ = select_batch(model, pool, measure, 25).unwrap();
+    Observed { batch_bits, ranked, top, selected }
+}
+
+#[test]
+fn results_identical_across_thread_counts() {
+    assert!(
+        uei_learn::should_parallelize(1_000) || rayon::current_num_threads() <= 1,
+        "pool must be large enough to trigger the parallel path"
+    );
+    let model = EstimatorKind::Dwknn { k: 3 }.train(&training_examples()).unwrap();
+    let pool = pool();
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let baseline = observe(model.as_ref(), &pool);
+
+    for threads in ["2", "3", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let got = observe(model.as_ref(), &pool);
+        assert_eq!(got.batch_bits, baseline.batch_bits, "probs differ at {threads} threads");
+        for (a, b) in got.ranked.iter().zip(&baseline.ranked) {
+            assert_eq!(a.0, b.0, "rank order differs at {threads} threads");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "rank score differs at {threads} threads");
+        }
+        assert_eq!(got.top, baseline.top, "top-k differs at {threads} threads");
+        assert_eq!(got.selected, baseline.selected, "select differs at {threads} threads");
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

@@ -16,10 +16,13 @@
 //! dropped at the end.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use rayon::prelude::*;
 use uei_types::{DataPoint, Region, Result, UeiError};
 
 use crate::cache::ChunkCache;
+use crate::chunk::{Chunk, ChunkId};
 use crate::store::ColumnStore;
 
 /// Work counters from one reconstruction; these are the `e` of the paper's
@@ -100,13 +103,22 @@ pub fn reconstruct_region_with_chunks(
     for d in 0..dims {
         let (lo, hi) = (region.lo[d], region.hi[d]);
         let bit = 1u64 << d;
-        for &chunk_id in &chunks_per_dim[d] {
-            let meta = store.manifest().chunk_meta(chunk_id)?;
-            let file_size = meta.file_size;
-            let chunk = match cache.as_deref_mut() {
-                Some(c) => c.get_or_load(store, chunk_id)?,
-                None => std::sync::Arc::new(store.read_chunk(chunk_id)?),
-            };
+        // Materialize this dimension's chunks first. Cached mode keeps the
+        // original chunk-at-a-time behaviour through the cache; uncached
+        // mode reads every file sequentially (deterministic modeled I/O)
+        // and then runs the CPU-bound CRC-validating decodes in parallel.
+        let loaded: Vec<(Arc<Chunk>, u64)> = match cache.as_deref_mut() {
+            Some(c) => {
+                let mut v = Vec::with_capacity(chunks_per_dim[d].len());
+                for &chunk_id in &chunks_per_dim[d] {
+                    let file_size = store.manifest().chunk_meta(chunk_id)?.file_size;
+                    v.push((c.get_or_load(store, chunk_id)?, file_size));
+                }
+                v
+            }
+            None => decode_chunks_uncached(store, &chunks_per_dim[d])?,
+        };
+        for (chunk, file_size) in loaded {
             stats.chunks_loaded += 1;
             stats.chunk_bytes += file_size;
             chunk.scan_range(lo, hi, inclusive_hi, |entry| {
@@ -129,8 +141,9 @@ pub fn reconstruct_region_with_chunks(
                     }
                 }
             });
-            // `chunk` drops here: chunk-at-a-time memory behaviour unless
-            // the cache retains it within its budget.
+            // `chunk` drops here; memory held at once is bounded by one
+            // dimension's chunk set for the cell (plus whatever the cache
+            // retains within its budget).
         }
         if d == 0 {
             stats.seed_candidates = table.len() as u64;
@@ -151,6 +164,33 @@ pub fn reconstruct_region_with_chunks(
     rows.sort_unstable_by_key(|p| p.id);
     stats.result_rows = rows.len() as u64;
     Ok((rows, stats))
+}
+
+/// Reads and decodes one dimension's chunk set without a cache: all file
+/// reads happen first, sequentially and in chunk order (the I/O model
+/// charges seeks in issue order, so accounting is identical to the
+/// chunk-at-a-time loop), then the decodes — CRC validation plus posting
+/// list deserialization, pure CPU — fan out across cores. Returns
+/// `(chunk, file_size)` pairs in the caller's chunk order.
+fn decode_chunks_uncached(
+    store: &ColumnStore,
+    chunk_ids: &[ChunkId],
+) -> Result<Vec<(Arc<Chunk>, u64)>> {
+    let mut raw = Vec::with_capacity(chunk_ids.len());
+    for &chunk_id in chunk_ids {
+        let file_size = store.manifest().chunk_meta(chunk_id)?.file_size;
+        raw.push((chunk_id, file_size, store.read_chunk_bytes(chunk_id)?));
+    }
+    let decode = |(chunk_id, file_size, bytes): &(ChunkId, u64, Vec<u8>)| {
+        store.decode_chunk(*chunk_id, bytes).map(|c| (Arc::new(c), *file_size))
+    };
+    let decoded: Vec<Result<(Arc<Chunk>, u64)>> =
+        if raw.len() >= 2 && rayon::current_num_threads() > 1 {
+            raw.par_iter().map(decode).collect()
+        } else {
+            raw.iter().map(decode).collect()
+        };
+    decoded.into_iter().collect()
 }
 
 #[cfg(test)]

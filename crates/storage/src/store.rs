@@ -18,6 +18,7 @@
 
 use std::path::{Path, PathBuf};
 
+use rayon::prelude::*;
 use uei_types::{DataPoint, Result, Schema, UeiError};
 
 use crate::chunk::{Chunk, ChunkId};
@@ -155,11 +156,27 @@ impl ColumnStore {
 
     /// Reads and validates one chunk file.
     pub fn read_chunk(&self, id: ChunkId) -> Result<Chunk> {
+        let bytes = self.read_chunk_bytes(id)?;
+        self.decode_chunk(id, &bytes)
+    }
+
+    /// Reads one chunk file's raw encoded bytes through the tracked I/O
+    /// path, without decoding. Paired with [`Self::decode_chunk`] this
+    /// lets callers keep reads sequential (the I/O model charges seeks in
+    /// issue order) while spreading the CPU-bound CRC-validating decode
+    /// across cores.
+    pub fn read_chunk_bytes(&self, id: ChunkId) -> Result<Vec<u8>> {
         // Existence check against the catalog first: a miss is NotFound,
         // not Io.
         self.manifest.chunk_meta(id)?;
-        let bytes = self.tracker.read_file(&self.dir.join(id.file_name()))?;
-        let chunk = Chunk::decode(&bytes)?;
+        self.tracker.read_file(&self.dir.join(id.file_name()))
+    }
+
+    /// Decodes bytes read by [`Self::read_chunk_bytes`], validating that
+    /// the file really holds chunk `id`. Pure CPU work — safe to run in
+    /// parallel for independent chunks.
+    pub fn decode_chunk(&self, id: ChunkId, bytes: &[u8]) -> Result<Chunk> {
+        let chunk = Chunk::decode(bytes)?;
         if chunk.id != id {
             return Err(UeiError::corrupt(format!(
                 "chunk file {} contains chunk {}",
@@ -196,7 +213,10 @@ impl ColumnStore {
         sorted.dedup();
 
         let path = self.dir.join(ROWS_FILE);
-        let mut by_id = std::collections::HashMap::with_capacity(sorted.len());
+
+        // Phase 1 — I/O: read every coalesced run sequentially, in id
+        // order, so the modeled seek/byte accounting is deterministic.
+        let mut runs: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut run_start = 0usize;
         while run_start < sorted.len() {
             let mut run_end = run_start + 1;
@@ -207,20 +227,41 @@ impl ColumnStore {
             let count = (run_end - run_start) as u64;
             let offset = ROWS_HEADER_LEN + first * row_len;
             let buf = self.tracker.read_at(&path, offset, (count * row_len) as usize)?;
-            for i in 0..count {
-                let id = first + i;
-                let base = (i * row_len) as usize;
-                let mut values = Vec::with_capacity(dims);
-                for d in 0..dims {
-                    let s = base + d * 8;
-                    let bits = u64::from_le_bytes(
-                        buf[s..s + 8].try_into().expect("slice is 8 bytes"),
-                    );
-                    values.push(f64::from_bits(bits));
-                }
+            runs.push((first, buf));
+            run_start = run_end;
+        }
+
+        // Phase 2 — CPU: bit-decode the rows of each run, fanning runs out
+        // across cores for large fetches. Row values are exact bit copies,
+        // so parallel order cannot affect the result.
+        let decode_run = |(first, buf): &(u64, Vec<u8>)| -> Vec<(u64, Vec<f64>)> {
+            let count = buf.len() / row_len as usize;
+            (0..count)
+                .map(|i| {
+                    let base = i * row_len as usize;
+                    let mut values = Vec::with_capacity(dims);
+                    for d in 0..dims {
+                        let s = base + d * 8;
+                        let bits = u64::from_le_bytes(
+                            buf[s..s + 8].try_into().expect("slice is 8 bytes"),
+                        );
+                        values.push(f64::from_bits(bits));
+                    }
+                    (first + i as u64, values)
+                })
+                .collect()
+        };
+        let decoded: Vec<Vec<(u64, Vec<f64>)>> =
+            if sorted.len() >= 256 && runs.len() >= 2 && rayon::current_num_threads() > 1 {
+                runs.par_iter().map(decode_run).collect()
+            } else {
+                runs.iter().map(decode_run).collect()
+            };
+        let mut by_id = std::collections::HashMap::with_capacity(sorted.len());
+        for run in decoded {
+            for (id, values) in run {
                 by_id.insert(id, values);
             }
-            run_start = run_end;
         }
         Ok(ids
             .iter()

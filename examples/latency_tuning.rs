@@ -42,6 +42,7 @@ fn run(prefetch: bool, defer: bool, sigma: f64) -> uei::types::Result<(f64, usiz
             chunk_cache_bytes: 64 * 1024,
             regions_in_memory: 1,
             defer_swaps: defer,
+            ..UeiConfig::default()
         },
         UncertaintyMeasure::LeastConfidence,
         1_000,

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, lint, and a smoke run of the scoring bench.
+#
+#   ./scripts/ci.sh          # full gate
+#   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+# Smoke-run the scoring bench: 1 sample, reduced matrix. The binary
+# asserts batch scores are bit-identical to the sequential path and
+# exits nonzero otherwise, so this doubles as a correctness check.
+echo "==> scoring_bench --smoke"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -p uei-bench --release --bin scoring_bench -- --smoke --out "$tmp/BENCH_scoring.json"
+test -s "$tmp/BENCH_scoring.json"
+
+echo "CI gate passed."

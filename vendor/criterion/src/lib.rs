@@ -1,0 +1,190 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the API subset this workspace's `benches/` use — benchmark
+//! groups, `bench_function`, `iter`, `iter_batched`, `Throughput`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple median-of-samples timer instead of criterion's full
+//! statistical machinery. Each benchmark is time-boxed so the whole suite
+//! stays fast on the offline runner. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 30, throughput: None }
+    }
+
+    /// Upstream parses CLI filters here; the stub accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stub runs one setup per
+/// measured invocation regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(200),
+            max_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        let mut line = format!("  {}/{id}: {} ns/iter", self.name, median);
+        if let (Some(t), true) = (self.throughput, median > 0) {
+            match t {
+                Throughput::Bytes(b) => {
+                    let gib = b as f64 / median as f64; // bytes/ns == GiB-ish/s
+                    line.push_str(&format!(" ({gib:.3} GB/s)"));
+                }
+                Throughput::Elements(n) => {
+                    let eps = n as f64 / (median as f64 / 1e9);
+                    line.push_str(&format!(" ({eps:.0} elem/s)"));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<u64>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, repeating until the sample target or time budget is hit.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn median_ns(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 512],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,241 @@
+//! Vendored offline shim for the `rayon` API subset this workspace uses:
+//! `par_iter()` / `into_par_iter()` / `par_chunks()` followed by
+//! `.map(...).collect()`, plus `join` and `current_num_threads`.
+//!
+//! Implementation: the input is split into contiguous per-thread segments
+//! executed under `std::thread::scope`, and segment outputs are concatenated
+//! in input order, so a `map` over pure element-wise functions produces
+//! results **byte-identical to the sequential loop regardless of thread
+//! count** — the determinism guarantee the workspace's batch-scoring layer
+//! documents. On a single-core host (or with `RAYON_NUM_THREADS=1`) no
+//! threads are spawned at all.
+//!
+//! This is not a work-stealing scheduler; it is a correct, dependency-free
+//! stand-in so the workspace builds in an offline container (see
+//! `vendor/README.md`). Call sites use real-rayon syntax, so swapping in
+//! upstream rayon later is a manifest change only.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Number of worker threads a parallel operation may use.
+///
+/// Respects `RAYON_NUM_THREADS` (like upstream rayon); otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// An eagerly materialized parallel iterator: a list of items waiting for a
+/// `map` stage.
+pub struct ParallelVec<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParallelVec<I> {
+    /// Applies `f` to every item, in parallel, preserving input order.
+    pub fn map<R, F>(self, f: F) -> ParallelMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParallelMap { items: self.items, f }
+    }
+
+    /// Runs `f` on every item for its side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        self.map(f).run();
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A pending order-preserving parallel map.
+pub struct ParallelMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParallelMap<I, F> {
+    /// Executes the map and collects the (input-ordered) outputs.
+    ///
+    /// `C` is built with `FromIterator` from the ordered results, so
+    /// `collect::<Vec<_>>()` and `collect::<Result<Vec<_>, E>>()` both work.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    fn run<R>(self) -> Vec<R>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        let ParallelMap { items, f } = self;
+        let n = items.len();
+        let threads = current_num_threads().min(n).max(1);
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Contiguous segments, at most `threads` of them, concatenated in
+        // order after the join — order preservation is what makes the
+        // parallel path bit-identical to sequential execution.
+        let per = n.div_ceil(threads);
+        let mut segments: Vec<Vec<I>> = Vec::with_capacity(threads);
+        let mut rest = items;
+        while rest.len() > per {
+            let tail = rest.split_off(per);
+            segments.push(std::mem::replace(&mut rest, tail));
+        }
+        segments.push(rest);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = segments
+                .into_iter()
+                .map(|seg| s.spawn(move || seg.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("rayon worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+/// `into_par_iter()` — consumes the collection, yielding owned items.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParallelVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParallelVec<T> {
+        ParallelVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParallelVec<usize> {
+        ParallelVec { items: self.collect() }
+    }
+}
+
+/// `par_iter()` — yields shared references into the collection.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParallelVec<&'data Self::Item>;
+}
+
+impl<'data, T: Sync + Send + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParallelVec<&'data T> {
+        ParallelVec { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + Send + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParallelVec<&'data T> {
+        ParallelVec { items: self.iter().collect() }
+    }
+}
+
+/// `par_chunks(n)` — yields contiguous subslices of length `n` (last one
+/// possibly shorter).
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParallelVec<&[T]>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParallelVec<&[T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParallelVec { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let xs = vec![1i64, 2, -3, 4];
+        let r: Result<Vec<i64>, String> = xs
+            .par_iter()
+            .map(|&x| if x < 0 { Err(format!("neg {x}")) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err("neg -3".to_string()));
+    }
+
+    #[test]
+    fn par_chunks_cover_everything() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u32> = xs.par_chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.iter().sum::<u32>(), xs.iter().sum::<u32>());
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 9801);
+    }
+}

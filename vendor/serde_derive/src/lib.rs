@@ -1,0 +1,381 @@
+//! Vendored offline `#[derive(Serialize, Deserialize)]` for the serde stub.
+//!
+//! The offline container has no syn/quote, so this parses the item's token
+//! stream by hand and emits code as a string. Supported shapes — the only
+//! ones this workspace derives on:
+//!
+//! - structs with named fields → `Value::Object` keyed by field name;
+//! - tuple structs with one field (newtype ids) → transparent inner value;
+//! - tuple structs with several fields → `Value::Array`;
+//! - enums of unit variants → variant-name string (external tagging);
+//! - enum newtype variants → single-key object `{"Variant": inner}`.
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are rejected
+//! with a panic at expansion time rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U, ...);` — number of unnamed fields.
+    TupleStruct(usize),
+    /// `enum E { A, B(T), ... }` — `(variant, has_payload)`.
+    Enum(Vec<(String, bool)>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let code = match (&shape, dir) {
+        (Shape::NamedStruct(fields), Direction::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::NamedStruct(fields), Direction::Deserialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__private::field(value, \"{name}\", \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::TupleStruct(1), Direction::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        (Shape::TupleStruct(1), Direction::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        (Shape::TupleStruct(n), Direction::Serialize) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::TupleStruct(n), Direction::Deserialize) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}({entries})),\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"{name}: expected {n}-element array, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Direction::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Direction::Deserialize) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = value.get(\"{v}\") {{\n\
+                             return ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(inner)?));\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Object(_) = value {{\n\
+                             {payload_arms}\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"{name}: unrecognized variant object\")));\n\
+                         }}\n\
+                         match ::serde::__private::variant(value, \"{name}\")? {{\n\
+                             {unit_arms}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::__private::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stub produced invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`, incl. doc comments) and visibility.
+    let keyword = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    i += 1;
+                    break kw;
+                }
+                panic!("serde_derive stub: unexpected token `{kw}` before item keyword");
+            }
+            other => panic!("serde_derive stub: unexpected token {other:?}"),
+        }
+    };
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            } else {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(keyword, "struct", "serde_derive stub: bad item body");
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        other => panic!(
+            "serde_derive stub: unsupported body for `{name}` (unit struct?): {other:?}"
+        ),
+    };
+    (name, shape)
+}
+
+/// Extracts field names from the brace group of a named struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // field attribute / doc comment
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match toks.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde_derive stub: expected `:`, got {other:?}"),
+                }
+                // Skip the type up to the next comma at angle-bracket depth 0.
+                let mut depth = 0i32;
+                while i < toks.len() {
+                    match &toks[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive stub: unexpected field token {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts the unnamed fields of a tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        panic!("serde_derive stub: empty tuple struct is not supported");
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing = false;
+    for (idx, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx + 1 == toks.len() {
+                        trailing = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing;
+    count
+}
+
+/// Extracts `(variant, has_payload)` pairs from an enum body.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Vec<(String, bool)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                let mut payload = false;
+                match toks.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if inner.iter().any(|t| {
+                            matches!(t, TokenTree::Punct(p) if p.as_char() == ',')
+                        }) {
+                            panic!(
+                                "serde_derive stub: multi-field variant \
+                                 `{enum_name}::{variant}` is not supported"
+                            );
+                        }
+                        payload = true;
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        panic!(
+                            "serde_derive stub: struct variant \
+                             `{enum_name}::{variant}` is not supported"
+                        );
+                    }
+                    _ => {}
+                }
+                // Skip an optional `= discriminant` and the trailing comma.
+                while i < toks.len() {
+                    if let TokenTree::Punct(p) = &toks[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push((variant, payload));
+            }
+            other => panic!("serde_derive stub: unexpected enum token {other:?}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,502 @@
+//! Vendored offline JSON codec for the serde stub (`vendor/serde`).
+//!
+//! Covers the call surface this workspace uses — `to_vec`, `to_vec_pretty`,
+//! `from_slice` (plus string variants) — with serde_json-compatible
+//! behaviour where it matters:
+//!
+//! - floats print via Rust's shortest-roundtrip formatting and parse via
+//!   `str::parse::<f64>` (correctly rounded), so `f64` values round-trip
+//!   bit-exactly;
+//! - integers stay integers (no detour through `f64`);
+//! - non-finite floats serialize as `null` (what serde_json's lossy mode
+//!   does) and deserialize back as NaN;
+//! - malformed input yields an `Error` with a byte offset, never a panic,
+//!   and parser recursion is depth-limited so corrupt files cannot blow the
+//!   stack (the failure-injection tests feed truncated/corrupt manifests).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+/// JSON (de)serialization error: message plus byte offset when parsing.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, offset: usize) -> Self {
+        Error { msg: msg.into(), offset: Some(offset) }
+    }
+
+    fn data(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string(), offset: None }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {}", self.msg, off),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes `value` as pretty-printed (2-space indented) JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::Int(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, indent, level, items.len(), '[', ']', |out, i, ind, lvl| {
+                write_value(out, &items[i], ind, lvl);
+            });
+        }
+        Value::Object(fields) => {
+            write_seq(out, indent, level, fields.len(), '{', '}', |out, i, ind, lvl| {
+                let (k, fv) = &fields[i];
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, fv, ind, lvl);
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<&str>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize, Option<&str>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=level {
+                out.push_str(pad);
+            }
+        }
+        item(out, i, indent, level + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // serde_json emits null for non-finite floats.
+        out.push_str("null");
+        return;
+    }
+    // `{:?}` is Rust's shortest representation that round-trips; it always
+    // contains '.' or 'e' for non-integral values, and prints e.g. "1.0"
+    // for integral ones, so the token re-parses as a float.
+    out.push_str(&format!("{x:?}"));
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+/// Deserializes a value of type `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let value = parse_value_bytes(bytes)?;
+    T::from_value(&value).map_err(Error::data)
+}
+
+/// Deserializes a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    from_slice(s.as_bytes())
+}
+
+fn parse_value_bytes(bytes: &[u8]) -> Result<Value> {
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse("recursion limit exceeded", self.pos));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    fields.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::parse(format!("unexpected byte 0x{c:02x}"), self.pos)),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(Error::parse(
+                                        "invalid unicode escape",
+                                        self.pos,
+                                    ))
+                                }
+                            }
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(Error::parse("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse("invalid UTF-8 in string", self.pos))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::parse("truncated unicode escape", self.pos));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::parse("invalid unicode escape", self.pos))?;
+        let n = u32::from_str_radix(s, 16)
+            .map_err(|_| Error::parse("invalid unicode escape", self.pos))?;
+        self.pos += 4;
+        Ok(n)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if n <= i64::MAX as u64 {
+                        return Ok(Value::Int(-(n as i64)));
+                    }
+                    if n == i64::MAX as u64 + 1 {
+                        return Ok(Value::Int(i64::MIN));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e300, -0.0, 5e-324, 123456.789012345] {
+            let json = to_vec(&x).unwrap();
+            let back: f64 = from_slice(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {:?}", String::from_utf8_lossy(&json));
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let n = u64::MAX;
+        let back: u64 = from_slice(&to_vec(&n).unwrap()).unwrap();
+        assert_eq!(back, n);
+        let m = i64::MIN;
+        let back: i64 = from_slice(&to_vec(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = vec![vec![1.5f64, 2.5], vec![], vec![-3.25]];
+        let back: Vec<Vec<f64>> = from_slice(&to_vec_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\none \"two\" \\ tab\tünicode ☃".to_string();
+        let back: String = from_slice(&to_vec(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn non_finite_becomes_null_then_nan() {
+        let json = to_vec(&f64::NAN).unwrap();
+        assert_eq!(json, b"null");
+        let back: f64 = from_slice(&json).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panic() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"{\"a\" 1}",
+            b"tru",
+            b"\"unterminated",
+            b"1e",
+            b"[1] junk",
+            b"",
+        ] {
+            assert!(from_slice::<serde::Value>(bad).is_err(), "{:?}", bad);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let mut s = String::new();
+        for _ in 0..100_000 {
+            s.push('[');
+        }
+        assert!(from_slice::<serde::Value>(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let v = serde::Value::Object(vec![
+            ("a".into(), serde::Value::UInt(1)),
+            ("b".into(), serde::Value::Array(vec![serde::Value::Bool(true)])),
+        ]);
+        let text = String::from_utf8(to_vec_pretty(&v).unwrap()).unwrap();
+        assert!(text.contains("\n  \"a\": 1"));
+        let back: serde::Value = from_slice(text.as_bytes()).unwrap();
+        assert_eq!(back, v);
+    }
+}
