@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the region-load modes: cold (no cache),
+//! warm shared cache (prefetched by a background handle), and delta
+//! reconstruction (reuse of the previous region's decoded chunks).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_index::grid::Grid;
+use uei_index::loader::RegionLoader;
+use uei_index::mapping::ChunkMapping;
+use uei_storage::cache::SharedChunkCache;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+fn schema2() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", 0.0, 100.0).unwrap(),
+        AttributeDef::new("y", 0.0, 100.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn fixture(n: usize) -> (Arc<ColumnStore>, Grid, ChunkMapping, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("uei-bench-regload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = Rng::new(41);
+    let rows: Vec<DataPoint> = (0..n)
+        .map(|i| {
+            DataPoint::new(
+                i as u64,
+                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+            )
+        })
+        .collect();
+    let store = ColumnStore::create(
+        &dir,
+        schema2(),
+        &rows,
+        StoreConfig { chunk_target_bytes: 2048 },
+        DiskTracker::new(IoProfile::instant()),
+    )
+    .unwrap();
+    let grid = Grid::new(store.schema(), 4).unwrap();
+    let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+    (Arc::new(store), grid, mapping, dir)
+}
+
+/// Four orthogonally adjacent cells (one serpentine turn).
+const WALK: [usize; 4] = [0, 1, 5, 4];
+
+fn bench_region_load_modes(c: &mut Criterion) {
+    let (store, grid, mapping, dir) = fixture(20_000);
+    let mut group = c.benchmark_group("region_load");
+
+    group.bench_function("cold_walk_4_cells", |b| {
+        b.iter(|| {
+            let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+            WALK.iter()
+                .map(|&cell| loader.load_cell(&grid, &mapping, cell).unwrap().0.len())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("warm_shared_walk_4_cells", |b| {
+        let cache = Arc::new(SharedChunkCache::new(256 << 20, 8));
+        let mut warmer = RegionLoader::with_shared(Arc::clone(&store), Arc::clone(&cache), false);
+        for &cell in &WALK {
+            warmer.load_cell(&grid, &mapping, cell).unwrap();
+        }
+        b.iter(|| {
+            let mut loader =
+                RegionLoader::with_shared(Arc::clone(&store), Arc::clone(&cache), false);
+            WALK.iter()
+                .map(|&cell| loader.load_cell(&grid, &mapping, cell).unwrap().0.len())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("delta_walk_4_cells", |b| {
+        b.iter(|| {
+            let cache = Arc::new(SharedChunkCache::new(0, 8));
+            let mut loader = RegionLoader::with_shared(Arc::clone(&store), cache, true);
+            WALK.iter()
+                .map(|&cell| loader.load_cell(&grid, &mapping, cell).unwrap().0.len())
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_region_load_modes);
+criterion_main!(benches);

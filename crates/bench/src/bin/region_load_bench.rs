@@ -1,0 +1,59 @@
+//! Cold vs. warm-shared-cache vs. delta region-load comparison.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin region_load_bench            # full run
+//! cargo run -p uei-bench --release --bin region_load_bench -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_region_load.json` (schema: `BENCH_SCHEMA.json`) to the
+//! current directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::region_load::{
+    full_region_load_report, smoke_region_load_report, validate_report, RegionLoadReport,
+};
+
+fn print_report(report: &RegionLoadReport) {
+    println!(
+        "region loads over a {0}x{0} serpentine cell walk — {1} rows, {2} B chunks, best of {3} sample(s)\n",
+        report.cells_per_dim, report.dataset_rows, report.chunk_target_bytes, report.samples
+    );
+    println!(
+        "{:<12} {:>6} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>12}",
+        "mode", "cells", "rows", "fg bytes", "fg virt", "wall", "loaded", "reused", "bg bytes"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<12} {:>6} {:>8} {:>10} B {:>10.2}ms {:>10.2}ms {:>8} {:>8} {:>10} B",
+            c.mode,
+            c.cells,
+            c.rows,
+            c.fg_bytes_read,
+            c.fg_virtual_ms,
+            c.wall_ns as f64 / 1e6,
+            c.chunks_loaded,
+            c.chunks_reused,
+            c.bg_bytes_read,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_region_load.json"));
+
+    let report = if smoke { smoke_region_load_report() } else { full_region_load_report(5) };
+    print_report(&report);
+    validate_report(&report);
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

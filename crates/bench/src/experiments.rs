@@ -121,6 +121,7 @@ pub fn run_session(
                 regions_in_memory: variation.regions_in_memory.unwrap_or(4),
                 defer_swaps: false,
                 parallel: true,
+                ..UeiConfig::default()
             };
             let mut rng = Rng::new(config.seed ^ 0xBACC);
             let mut backend = UeiBackend::new(

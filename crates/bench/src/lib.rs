@@ -19,8 +19,13 @@
 
 pub mod experiments;
 pub mod fixture;
+pub mod region_load;
 pub mod scoring;
 
 pub use experiments::*;
 pub use fixture::{ExperimentScale, Fixture};
+pub use region_load::{
+    full_region_load_report, run_region_load_bench, smoke_region_load_report, RegionLoadCase,
+    RegionLoadConfig, RegionLoadReport,
+};
 pub use scoring::{full_report, run_scoring_bench, smoke_report, ScoringCase, ScoringReport};

@@ -1,0 +1,428 @@
+//! Cold vs. warm-shared-cache vs. delta region-load comparison.
+//!
+//! Measures the tentpole claim of the shared-chunk-cache layer: walking a
+//! serpentine path of adjacent grid cells is strictly cheaper — in modeled
+//! I/O bytes *and* wall time — when the chunks were prefetched into the
+//! [`SharedChunkCache`] by a background handle (`warm-shared`), or when the
+//! loader reuses the previous region's decoded chunks
+//! (`delta`), than when every load pays full price (`cold`). Every mode
+//! also folds the materialized row ids into a checksum, so a speedup that
+//! silently changed the reconstructed regions would fail loudly.
+//!
+//! Results serialize to the `BENCH_region_load.json` shape documented in
+//! `BENCH_SCHEMA.json` at the repository root.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use uei_index::grid::Grid;
+use uei_index::loader::RegionLoader;
+use uei_index::mapping::ChunkMapping;
+use uei_storage::cache::SharedChunkCache;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+/// Fixture and measurement knobs.
+#[derive(Debug, Clone)]
+pub struct RegionLoadConfig {
+    /// Dataset rows (2-D uniform synthetic).
+    pub rows: usize,
+    /// Grid resolution; the walk visits all `cells_per_dim²` cells.
+    pub cells_per_dim: usize,
+    /// Chunk size of the column store (small keeps many chunks per cell).
+    pub chunk_target_bytes: usize,
+    /// Shared-cache budget for the warm mode (must hold the walk's chunks).
+    pub cache_budget_bytes: usize,
+    /// Shared-cache lock stripes.
+    pub cache_shards: usize,
+    /// Timing repetitions per mode (min wall time is reported; modeled
+    /// I/O is identical across repetitions by construction).
+    pub samples: usize,
+    /// Synthetic-data seed.
+    pub seed: u64,
+}
+
+impl Default for RegionLoadConfig {
+    fn default() -> Self {
+        RegionLoadConfig {
+            rows: 30_000,
+            cells_per_dim: 8,
+            chunk_target_bytes: 2048,
+            cache_budget_bytes: 256 << 20,
+            cache_shards: 8,
+            samples: 3,
+            seed: 97,
+        }
+    }
+}
+
+/// One measured mode of the cell walk.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegionLoadCase {
+    /// `"cold"`, `"warm-shared"`, or `"delta"`.
+    pub mode: String,
+    /// Cells visited by the walk.
+    pub cells: usize,
+    /// Rows materialized across the whole walk.
+    pub rows: u64,
+    /// Modeled bytes charged to the foreground tracker.
+    pub fg_bytes_read: u64,
+    /// Modeled (virtual-clock) time of the foreground I/O, milliseconds.
+    pub fg_virtual_ms: f64,
+    /// Best-of-`samples` wall time of the foreground walk, nanoseconds.
+    pub wall_ns: u64,
+    /// Chunks that went through the fetch path (cache hits included).
+    pub chunks_loaded: u64,
+    /// Chunks reused from the previous region's decoded set (delta mode).
+    pub chunks_reused: u64,
+    /// Modeled bytes charged to the background (warming) handle.
+    pub bg_bytes_read: u64,
+    /// Order-sensitive checksum of materialized row ids; must be equal
+    /// across all modes.
+    pub checksum: u64,
+}
+
+/// The full report written to `BENCH_region_load.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegionLoadReport {
+    /// Dataset rows of the fixture.
+    pub dataset_rows: usize,
+    /// Grid resolution of the walk.
+    pub cells_per_dim: usize,
+    /// Store chunk size.
+    pub chunk_target_bytes: usize,
+    /// Warm-mode shared-cache budget.
+    pub cache_budget_bytes: usize,
+    /// Timing repetitions per mode (min wall is reported).
+    pub samples: usize,
+    pub cases: Vec<RegionLoadCase>,
+}
+
+fn schema2() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", 0.0, 100.0).unwrap(),
+        AttributeDef::new("y", 0.0, 100.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn random_rows(n: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            DataPoint::new(
+                i as u64,
+                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+            )
+        })
+        .collect()
+}
+
+/// Serpentine (boustrophedon) walk over the 2-D grid: consecutive cells
+/// are orthogonally adjacent, so their chunk sets overlap along the
+/// unchanged dimension — the access pattern the delta reconstruction and
+/// the prefetcher both bank on.
+fn serpentine_walk(cells_per_dim: usize) -> Vec<usize> {
+    let mut walk = Vec::with_capacity(cells_per_dim * cells_per_dim);
+    for x in 0..cells_per_dim {
+        let row: Vec<usize> =
+            (0..cells_per_dim).map(|y| x * cells_per_dim + y).collect();
+        if x % 2 == 0 {
+            walk.extend(row);
+        } else {
+            walk.extend(row.into_iter().rev());
+        }
+    }
+    walk
+}
+
+struct WalkOutcome {
+    rows: u64,
+    checksum: u64,
+    chunks_loaded: u64,
+    chunks_reused: u64,
+    fg_bytes_read: u64,
+    fg_virtual_ms: f64,
+    wall_ns: u64,
+}
+
+/// Runs one pass of the walk through `loader`, charging the loader's store
+/// tracker, and folds the materialized ids into a checksum.
+fn run_walk(
+    loader: &mut RegionLoader,
+    grid: &Grid,
+    mapping: &ChunkMapping,
+    walk: &[usize],
+) -> WalkOutcome {
+    let tracker = loader.store().tracker().clone();
+    let before = tracker.snapshot();
+    let wall_start = Instant::now();
+    let mut rows = 0u64;
+    let mut checksum = 0u64;
+    let mut chunks_loaded = 0u64;
+    let mut chunks_reused = 0u64;
+    for &cell in walk {
+        let (points, stats) = loader.load_cell(grid, mapping, cell).expect("load cell");
+        rows += points.len() as u64;
+        for p in &points {
+            checksum = checksum.wrapping_mul(31).wrapping_add(p.id.as_u64());
+        }
+        chunks_loaded += stats.merge.chunks_loaded;
+        chunks_reused += stats.merge.chunks_reused;
+    }
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let delta = tracker.delta(&before);
+    WalkOutcome {
+        rows,
+        checksum,
+        chunks_loaded,
+        chunks_reused,
+        fg_bytes_read: delta.stats.bytes_read,
+        fg_virtual_ms: delta.virtual_elapsed.as_secs_f64() * 1e3,
+        wall_ns,
+    }
+}
+
+/// Runs the three-mode comparison over one on-disk fixture.
+pub fn run_region_load_bench(config: &RegionLoadConfig) -> RegionLoadReport {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "uei-region-load-bench-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rows = random_rows(config.rows, config.seed);
+    let fg_tracker = DiskTracker::new(IoProfile::nvme());
+    let store = Arc::new(
+        ColumnStore::create(
+            &dir,
+            schema2(),
+            &rows,
+            StoreConfig { chunk_target_bytes: config.chunk_target_bytes },
+            fg_tracker.clone(),
+        )
+        .expect("create fixture store"),
+    );
+    let grid = Grid::new(store.schema(), config.cells_per_dim).expect("grid");
+    let mapping = ChunkMapping::build(&grid, store.manifest()).expect("mapping");
+    let walk = serpentine_walk(config.cells_per_dim);
+    let samples = config.samples.max(1);
+
+    // Background handle for warming: same files, separate tracker, so the
+    // prefetch cost is attributed to the background and never shows up in
+    // the foreground numbers.
+    let bg_tracker = DiskTracker::new(IoProfile::nvme());
+    let bg_store = Arc::new(
+        ColumnStore::open(&dir, bg_tracker.clone()).expect("open background handle"),
+    );
+
+    let mut cases = Vec::new();
+
+    // Cold: no cache, no delta — every cell pays full fetch + decode.
+    let mut best: Option<WalkOutcome> = None;
+    for _ in 0..samples {
+        let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+        let outcome = run_walk(&mut loader, &grid, &mapping, &walk);
+        best = Some(match best {
+            Some(b) if b.wall_ns <= outcome.wall_ns => b,
+            _ => outcome,
+        });
+    }
+    let cold = best.expect("at least one sample");
+    cases.push(RegionLoadCase {
+        mode: "cold".to_string(),
+        cells: walk.len(),
+        rows: cold.rows,
+        fg_bytes_read: cold.fg_bytes_read,
+        fg_virtual_ms: cold.fg_virtual_ms,
+        wall_ns: cold.wall_ns,
+        chunks_loaded: cold.chunks_loaded,
+        chunks_reused: cold.chunks_reused,
+        bg_bytes_read: 0,
+        checksum: cold.checksum,
+    });
+
+    // Warm-shared: a background handle prefetches the walk's chunks into
+    // the shared cache; the foreground walk then hits memory only.
+    let mut best: Option<WalkOutcome> = None;
+    let mut bg_bytes = 0u64;
+    for _ in 0..samples {
+        let cache =
+            Arc::new(SharedChunkCache::new(config.cache_budget_bytes, config.cache_shards));
+        let bg_before = bg_tracker.snapshot();
+        let mut warmer =
+            RegionLoader::with_shared(Arc::clone(&bg_store), Arc::clone(&cache), false);
+        run_walk(&mut warmer, &grid, &mapping, &walk);
+        bg_bytes = bg_tracker.delta(&bg_before).stats.bytes_read;
+        let mut loader =
+            RegionLoader::with_shared(Arc::clone(&store), Arc::clone(&cache), false);
+        let outcome = run_walk(&mut loader, &grid, &mapping, &walk);
+        best = Some(match best {
+            Some(b) if b.wall_ns <= outcome.wall_ns => b,
+            _ => outcome,
+        });
+    }
+    let warm = best.expect("at least one sample");
+    cases.push(RegionLoadCase {
+        mode: "warm-shared".to_string(),
+        cells: walk.len(),
+        rows: warm.rows,
+        fg_bytes_read: warm.fg_bytes_read,
+        fg_virtual_ms: warm.fg_virtual_ms,
+        wall_ns: warm.wall_ns,
+        chunks_loaded: warm.chunks_loaded,
+        chunks_reused: warm.chunks_reused,
+        bg_bytes_read: bg_bytes,
+        checksum: warm.checksum,
+    });
+
+    // Delta: zero cache budget isolates the effect of reusing the previous
+    // region's decoded chunks — adjacent cells share one dimension's range.
+    let mut best: Option<WalkOutcome> = None;
+    for _ in 0..samples {
+        let cache = Arc::new(SharedChunkCache::new(0, config.cache_shards));
+        let mut loader = RegionLoader::with_shared(Arc::clone(&store), cache, true);
+        let outcome = run_walk(&mut loader, &grid, &mapping, &walk);
+        best = Some(match best {
+            Some(b) if b.wall_ns <= outcome.wall_ns => b,
+            _ => outcome,
+        });
+    }
+    let delta = best.expect("at least one sample");
+    cases.push(RegionLoadCase {
+        mode: "delta".to_string(),
+        cells: walk.len(),
+        rows: delta.rows,
+        fg_bytes_read: delta.fg_bytes_read,
+        fg_virtual_ms: delta.fg_virtual_ms,
+        wall_ns: delta.wall_ns,
+        chunks_loaded: delta.chunks_loaded,
+        chunks_reused: delta.chunks_reused,
+        bg_bytes_read: 0,
+        checksum: delta.checksum,
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+    RegionLoadReport {
+        dataset_rows: config.rows,
+        cells_per_dim: config.cells_per_dim,
+        chunk_target_bytes: config.chunk_target_bytes,
+        cache_budget_bytes: config.cache_budget_bytes,
+        samples,
+        cases,
+    }
+}
+
+/// Panics unless the report upholds the acceptance criteria: all modes
+/// reconstruct identical rows, the warm walk performs zero foreground
+/// chunk reads, and both warm and delta are strictly cheaper than cold in
+/// modeled I/O bytes *and* wall time.
+pub fn validate_report(report: &RegionLoadReport) {
+    let case = |mode: &str| {
+        report.cases.iter().find(|c| c.mode == mode).unwrap_or_else(|| {
+            panic!("report is missing the `{mode}` case")
+        })
+    };
+    let cold = case("cold");
+    let warm = case("warm-shared");
+    let delta = case("delta");
+
+    for c in [warm, delta] {
+        assert_eq!(
+            (c.rows, c.checksum),
+            (cold.rows, cold.checksum),
+            "{} reconstructed different rows than cold",
+            c.mode
+        );
+    }
+    assert_eq!(
+        warm.fg_bytes_read, 0,
+        "prefetched chunks must cost the foreground zero modeled reads"
+    );
+    for c in [warm, delta] {
+        assert!(
+            c.fg_bytes_read < cold.fg_bytes_read,
+            "{} modeled I/O ({} B) must be under cold ({} B)",
+            c.mode,
+            c.fg_bytes_read,
+            cold.fg_bytes_read
+        );
+        assert!(
+            c.wall_ns < cold.wall_ns,
+            "{} wall time ({} ns) must be under cold ({} ns)",
+            c.mode,
+            c.wall_ns,
+            cold.wall_ns
+        );
+    }
+    assert!(delta.chunks_reused > 0, "serpentine walk must reuse chunks in delta mode");
+}
+
+/// The default full-size run.
+pub fn full_region_load_report(samples: usize) -> RegionLoadReport {
+    run_region_load_bench(&RegionLoadConfig { samples, ..RegionLoadConfig::default() })
+}
+
+/// A seconds-scale smoke run used by CI. Panics if any acceptance
+/// criterion fails.
+pub fn smoke_region_load_report() -> RegionLoadReport {
+    let report = run_region_load_bench(&RegionLoadConfig {
+        rows: 6_000,
+        cells_per_dim: 4,
+        chunk_target_bytes: 1024,
+        samples: 2,
+        ..RegionLoadConfig::default()
+    });
+    validate_report(&report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serpentine_visits_each_cell_once_adjacently() {
+        let walk = serpentine_walk(4);
+        assert_eq!(walk.len(), 16);
+        let mut sorted = walk.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        // Consecutive cells are orthogonally adjacent (row-major, dim-1
+        // fastest): ids differ by 1 (same x) or by cells_per_dim (same y).
+        for w in walk.windows(2) {
+            let diff = w[0].abs_diff(w[1]);
+            assert!(diff == 1 || diff == 4, "{} -> {} not adjacent", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn smoke_run_upholds_acceptance_criteria() {
+        let report = smoke_region_load_report();
+        assert_eq!(report.cases.len(), 3);
+        assert!(report.cases.iter().all(|c| c.rows > 0));
+        // Warm mode's cost moved to the background handle.
+        let warm = report.cases.iter().find(|c| c.mode == "warm-shared").unwrap();
+        assert!(warm.bg_bytes_read > 0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = run_region_load_bench(&RegionLoadConfig {
+            rows: 1_500,
+            cells_per_dim: 3,
+            chunk_target_bytes: 1024,
+            samples: 1,
+            ..RegionLoadConfig::default()
+        });
+        let json = serde_json::to_vec_pretty(&report).unwrap();
+        let text = String::from_utf8(json).unwrap();
+        assert!(text.contains("\"mode\""));
+        assert!(text.contains("warm-shared"));
+        assert!(text.contains("delta"));
+    }
+}

@@ -36,6 +36,16 @@ pub struct SelectionInfo {
     pub prefetched: bool,
     /// UEI: current candidate-pool size.
     pub pool_size: Option<usize>,
+    /// UEI: chunk-cache hits during this selection.
+    pub cache_hits: u64,
+    /// UEI: chunk-cache misses during this selection.
+    pub cache_misses: u64,
+    /// UEI: chunk-cache evictions during this selection.
+    pub cache_evictions: u64,
+    /// UEI: oversized-chunk cache bypasses during this selection.
+    pub cache_bypasses: u64,
+    /// UEI: bytes the background prefetcher read during this selection.
+    pub prefetch_bytes_read: u64,
     /// DBMS: tuples examined by the exhaustive scan.
     pub examined: Option<u64>,
 }
@@ -182,8 +192,13 @@ impl ExplorationBackend for UeiBackend {
         // region, swap it into U. A `Retained` load means the deferral
         // logic kept the previous region current — it is already in the
         // pool, so nothing is swapped.
+        let cache_before = self.index.cache_stats();
+        let bg_before = self.index.background_io().map_or(0, |s| s.bytes_read);
         self.index.update_uncertainty(model);
         let load = self.index.select_and_load()?;
+        let cache_delta = self.index.cache_stats().since(&cache_before);
+        let prefetch_bytes_read =
+            self.index.background_io().map_or(0, |s| s.bytes_read) - bg_before;
         let region_rows =
             if load.source == LoadSource::Retained { self.pool.region_len() } else { load.rows.len() };
         if load.source != LoadSource::Retained {
@@ -199,6 +214,11 @@ impl ExplorationBackend for UeiBackend {
             region_rows: Some(region_rows),
             prefetched: load.source == LoadSource::Prefetched,
             pool_size: Some(candidates.len()),
+            cache_hits: cache_delta.hits,
+            cache_misses: cache_delta.misses,
+            cache_evictions: cache_delta.evictions,
+            cache_bypasses: cache_delta.bypasses,
+            prefetch_bytes_read,
             examined: None,
         };
         match self.strategy.select(model, &candidates) {

@@ -26,6 +26,17 @@ pub struct AveragedIteration {
     pub response_wall_ms_mean: f64,
     /// Mean bytes read per iteration.
     pub bytes_read_mean: f64,
+    /// Chunk-cache hit ratio at this point, pooled over the contributing
+    /// runs' counters (hits / (hits + misses + bypasses); 0 with no
+    /// lookups).
+    #[serde(default)]
+    pub cache_hit_ratio: f64,
+    /// Mean chunk-cache evictions per iteration.
+    #[serde(default)]
+    pub cache_evictions_mean: f64,
+    /// Mean background (prefetcher) bytes read per iteration.
+    #[serde(default)]
+    pub prefetch_bytes_read_mean: f64,
     /// Number of runs contributing to this point.
     pub runs: usize,
 }
@@ -45,6 +56,15 @@ pub struct RunSummary {
     pub overall_response_virtual_ms: f64,
     /// 95th-percentile modeled response time (ms).
     pub p95_response_virtual_ms: f64,
+    /// Chunk-cache hit ratio pooled over every iteration of every run.
+    #[serde(default)]
+    pub cache_hit_ratio: f64,
+    /// Mean chunk-cache evictions per run.
+    #[serde(default)]
+    pub cache_evictions_per_run: f64,
+    /// Mean background (prefetcher) bytes read per run.
+    #[serde(default)]
+    pub prefetch_bytes_per_run: f64,
 }
 
 /// Averages repeated sessions into one series.
@@ -66,6 +86,9 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         let mut virt = Welford::new();
         let mut wall = Welford::new();
         let mut bytes = Welford::new();
+        let mut evictions = Welford::new();
+        let mut prefetch_bytes = Welford::new();
+        let (mut hits, mut lookups) = (0u64, 0u64);
         let mut runs = 0usize;
         for r in results {
             if let Some(t) = r.traces.iter().find(|t| t.labels == labels) {
@@ -73,6 +96,10 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
                 virt.push(t.response_virtual_ms);
                 wall.push(t.response_wall_ms);
                 bytes.push(t.bytes_read as f64);
+                evictions.push(t.cache_evictions as f64);
+                prefetch_bytes.push(t.prefetch_bytes_read as f64);
+                hits += t.cache_hits;
+                lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
                 if let Some(fm) = t.f_measure {
                     f.push(fm);
                 }
@@ -88,6 +115,9 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
             response_virtual_ms_mean: virt.mean(),
             response_wall_ms_mean: wall.mean(),
             bytes_read_mean: bytes.mean(),
+            cache_hit_ratio: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+            cache_evictions_mean: evictions.mean(),
+            prefetch_bytes_read_mean: prefetch_bytes.mean(),
             runs,
         });
     }
@@ -108,6 +138,14 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         uei_types::stats::percentile_sorted(&all_virtual, 95.0)
     };
 
+    let (mut hits, mut lookups, mut evictions, mut prefetch_bytes) = (0u64, 0u64, 0u64, 0u64);
+    for t in results.iter().flat_map(|r| r.traces.iter()) {
+        hits += t.cache_hits;
+        lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
+        evictions += t.cache_evictions;
+        prefetch_bytes += t.prefetch_bytes_read;
+    }
+
     RunSummary {
         backend,
         runs: results.len(),
@@ -116,6 +154,9 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         series,
         overall_response_virtual_ms: overall,
         p95_response_virtual_ms: p95,
+        cache_hit_ratio: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        cache_evictions_per_run: evictions as f64 / results.len() as f64,
+        prefetch_bytes_per_run: prefetch_bytes as f64 / results.len() as f64,
     }
 }
 
@@ -146,6 +187,11 @@ mod tests {
             label_positive: true,
             region_rows: None,
             prefetched: false,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_bypasses: 0,
+            prefetch_bytes_read: 0,
             examined: None,
         }
     }
@@ -212,6 +258,48 @@ mod tests {
         let summary = average_traces(&[r]);
         assert_eq!(labels_to_reach(&summary, 0.5), Some(3));
         assert_eq!(labels_to_reach(&summary, 0.95), None);
+    }
+
+    #[test]
+    fn cache_metrics_are_aggregated() {
+        let mut a = trace(2, None, 1.0);
+        a.cache_hits = 6;
+        a.cache_misses = 2;
+        a.cache_bypasses = 0;
+        a.cache_evictions = 1;
+        a.prefetch_bytes_read = 4096;
+        let mut b = trace(2, None, 1.0);
+        b.cache_hits = 2;
+        b.cache_misses = 5;
+        b.cache_bypasses = 1;
+        b.cache_evictions = 3;
+        b.prefetch_bytes_read = 0;
+        let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
+
+        // Pooled ratio: (6 + 2) hits over (8 + 8) lookups.
+        let p = &summary.series[0];
+        assert!((p.cache_hit_ratio - 0.5).abs() < 1e-12);
+        assert!((p.cache_evictions_mean - 2.0).abs() < 1e-12);
+        assert!((p.prefetch_bytes_read_mean - 2048.0).abs() < 1e-12);
+        assert!((summary.cache_hit_ratio - 0.5).abs() < 1e-12);
+        assert!((summary.cache_evictions_per_run - 2.0).abs() < 1e-12);
+        assert!((summary.prefetch_bytes_per_run - 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traces_without_cache_fields_deserialize_with_defaults() {
+        // Pre-cache-metrics trace JSON (e.g. archived experiment output)
+        // must still load; the new counters default to zero.
+        let old = r#"{
+            "iteration": 1, "labels": 2, "f_measure": 0.5,
+            "response_virtual_ms": 1.0, "response_wall_ms": 2.0,
+            "bytes_read": 100, "seeks": 1, "label_positive": true,
+            "region_rows": null, "prefetched": false, "examined": null
+        }"#;
+        let t: IterationTrace = serde_json::from_str(old).unwrap();
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.cache_evictions, 0);
+        assert_eq!(t.prefetch_bytes_read, 0);
     }
 
     #[test]

@@ -99,6 +99,23 @@ pub struct IterationTrace {
     pub region_rows: Option<usize>,
     /// UEI: whether the region came from the prefetcher.
     pub prefetched: bool,
+    /// UEI: chunk-cache hits during the iteration.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// UEI: chunk-cache misses during the iteration.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// UEI: chunk-cache evictions during the iteration.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// UEI: oversized-chunk cache bypasses during the iteration.
+    #[serde(default)]
+    pub cache_bypasses: u64,
+    /// UEI: bytes read by the background prefetcher during the iteration
+    /// (modeled I/O attributed to the background tracker, never to the
+    /// foreground response time).
+    #[serde(default)]
+    pub prefetch_bytes_read: u64,
     /// DBMS: tuples examined by the exhaustive scan, if applicable.
     pub examined: Option<u64>,
 }
@@ -223,6 +240,11 @@ impl<'a> ExplorationSession<'a> {
                 label_positive: label.is_positive(),
                 region_rows: info.region_rows,
                 prefetched: info.prefetched,
+                cache_hits: info.cache_hits,
+                cache_misses: info.cache_misses,
+                cache_evictions: info.cache_evictions,
+                cache_bypasses: info.cache_bypasses,
+                prefetch_bytes_read: info.prefetch_bytes_read,
                 examined: info.examined,
             });
         }
@@ -392,8 +414,13 @@ mod tests {
         assert!(result.labels_used >= 20, "used {} labels", result.labels_used);
         assert!(!result.traces.is_empty());
         assert!(result.final_f_measure > 0.0, "final F {}", result.final_f_measure);
-        // Traces carry UEI-specific fields.
+        // Traces carry UEI-specific fields, including cache activity from
+        // the region loads.
         assert!(result.traces.iter().all(|t| t.region_rows.is_some()));
+        assert!(
+            result.traces.iter().any(|t| t.cache_hits + t.cache_misses > 0),
+            "region loads must register chunk-cache lookups"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

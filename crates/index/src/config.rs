@@ -19,6 +19,26 @@ pub struct UeiConfig {
     /// the merge) corresponds to a small budget; a larger budget lets
     /// chunks shared between adjacent cells stay resident.
     pub chunk_cache_bytes: usize,
+    /// Lock stripes of the shared chunk cache. Each shard owns an
+    /// independent LRU and `chunk_cache_bytes / cache_shards` of the
+    /// budget, so foreground and prefetcher threads touching different
+    /// chunks rarely contend. Ignored when [`UeiConfig::shared_cache`] is
+    /// off.
+    pub cache_shards: usize,
+    /// Share one concurrent chunk cache between the foreground loader and
+    /// the background prefetcher. A prefetched region's chunks are then
+    /// already decoded and resident when the foreground swaps to it, so
+    /// the swap performs zero foreground chunk reads. Off reverts to the
+    /// pre-sharing layout: a private foreground LRU and an uncached
+    /// chunk-at-a-time prefetcher.
+    pub shared_cache: bool,
+    /// Reconstruct each region incrementally against the previously loaded
+    /// one: chunks both regions share are reused decoded (zero I/O, zero
+    /// CPU), only the chunk-ID delta is fetched. Consecutive uncertain
+    /// regions overlap heavily — the boundary moves slowly, the same
+    /// premise the σ/θ prefetch machinery rests on (§3.2) — so this is the
+    /// common case, and results are bit-identical either way.
+    pub delta_reconstruction: bool,
     /// Response-latency threshold σ between iterations, in seconds
     /// (Table 1: 500 ms). Drives the prefetch horizon θ = ⌈τ/σ⌉.
     pub latency_threshold_secs: f64,
@@ -52,6 +72,9 @@ impl Default for UeiConfig {
         UeiConfig {
             cells_per_dim: 5,
             chunk_cache_bytes: 64 << 20,
+            cache_shards: uei_storage::DEFAULT_CACHE_SHARDS,
+            shared_cache: true,
+            delta_reconstruction: true,
             latency_threshold_secs: 0.5,
             prefetch: false,
             regions_in_memory: 1,
@@ -87,6 +110,9 @@ impl UeiConfig {
         if self.regions_in_memory == 0 {
             return Err(UeiError::invalid_config("regions_in_memory must be >= 1"));
         }
+        if self.cache_shards == 0 {
+            return Err(UeiError::invalid_config("cache_shards must be >= 1"));
+        }
         Ok(())
     }
 
@@ -118,6 +144,9 @@ mod tests {
         assert!(c.validate(5).is_err());
 
         let c = UeiConfig { regions_in_memory: 0, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig { cache_shards: 0, ..UeiConfig::default() };
         assert!(c.validate(5).is_err());
 
         assert!(UeiConfig::default().validate(0).is_err());

@@ -9,8 +9,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use uei_storage::cache::ChunkCache;
-use uei_storage::merge::{reconstruct_region_with_chunks, MergeStats};
+use uei_storage::cache::{CacheStats, ChunkCache, SharedChunkCache};
+use uei_storage::merge::{
+    reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch, MergeStats,
+    RegionChunkSet,
+};
 use uei_storage::store::ColumnStore;
 use uei_types::stats::Welford;
 use uei_types::{DataPoint, Result};
@@ -31,18 +34,67 @@ pub struct LoadStats {
     pub rows: usize,
 }
 
+/// The cache behind a [`RegionLoader`]: either a private single-owner LRU
+/// or a handle to the concurrent cache shared with the prefetcher.
+#[derive(Debug)]
+enum LoaderCache {
+    Local(ChunkCache),
+    Shared(Arc<SharedChunkCache>),
+}
+
 /// Loads grid cells from the column store through a bounded chunk cache.
 #[derive(Debug)]
 pub struct RegionLoader {
     store: Arc<ColumnStore>,
-    cache: ChunkCache,
+    cache: LoaderCache,
+    /// Reuse decoded chunks of the previously loaded region (delta
+    /// reconstruction) instead of refetching the overlap.
+    delta: bool,
+    prev: Option<RegionChunkSet>,
     load_times: Welford,
 }
 
 impl RegionLoader {
-    /// Creates a loader with the given chunk-cache byte budget.
+    /// Creates a loader with a private chunk cache of the given byte
+    /// budget and delta reconstruction off — the original layout.
     pub fn new(store: Arc<ColumnStore>, cache_bytes: usize) -> RegionLoader {
-        RegionLoader { store, cache: ChunkCache::new(cache_bytes), load_times: Welford::new() }
+        RegionLoader {
+            store,
+            cache: LoaderCache::Local(ChunkCache::new(cache_bytes)),
+            delta: false,
+            prev: None,
+            load_times: Welford::new(),
+        }
+    }
+
+    /// Creates a loader on a [`SharedChunkCache`] (typically also handed
+    /// to the prefetcher), optionally with delta reconstruction.
+    pub fn with_shared(
+        store: Arc<ColumnStore>,
+        cache: Arc<SharedChunkCache>,
+        delta: bool,
+    ) -> RegionLoader {
+        RegionLoader {
+            store,
+            cache: LoaderCache::Shared(cache),
+            delta,
+            prev: None,
+            load_times: Welford::new(),
+        }
+    }
+
+    /// Turns delta reconstruction on or off. Turning it off drops the
+    /// retained chunk set.
+    pub fn set_delta(&mut self, on: bool) {
+        self.delta = on;
+        if !on {
+            self.prev = None;
+        }
+    }
+
+    /// Whether delta reconstruction is active.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta
     }
 
     /// The underlying store.
@@ -50,9 +102,20 @@ impl RegionLoader {
         &self.store
     }
 
-    /// Chunk-cache statistics.
-    pub fn cache_stats(&self) -> uei_storage::cache::CacheStats {
-        self.cache.stats()
+    /// Chunk-cache statistics (of whichever cache backs this loader).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.cache {
+            LoaderCache::Local(c) => c.stats(),
+            LoaderCache::Shared(c) => c.stats(),
+        }
+    }
+
+    /// The shared cache handle, when this loader runs on one.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedChunkCache>> {
+        match &self.cache {
+            LoaderCache::Local(_) => None,
+            LoaderCache::Shared(c) => Some(c),
+        }
     }
 
     /// Average region load time τ (virtual seconds), used for θ = ⌈τ/σ⌉.
@@ -76,12 +139,33 @@ impl RegionLoader {
         let chunks = mapping.chunks_for_cell(grid, id)?;
         let wall_start = Instant::now();
         let io_before = self.store.tracker().snapshot();
-        let (rows, merge) = reconstruct_region_with_chunks(
-            &self.store,
-            &region,
-            &chunks,
-            Some(&mut self.cache),
-        )?;
+        let (rows, merge) = if self.delta {
+            // Delta mode: reuse the previous region's decoded chunks for
+            // the overlap; only the chunk-ID delta goes through the fetch
+            // path. The new region's set replaces the old one afterwards,
+            // whether the load came from cache, disk, or reuse — chunks
+            // are immutable, so retained copies never go stale.
+            let prev = self.prev.take();
+            let fetch = match &mut self.cache {
+                LoaderCache::Local(c) => ChunkFetch::Cached(c),
+                LoaderCache::Shared(c) => ChunkFetch::Shared(c),
+            };
+            let (rows, merge, set) = reconstruct_region_delta(
+                &self.store,
+                &region,
+                &chunks,
+                prev.as_ref(),
+                fetch,
+            )?;
+            self.prev = Some(set);
+            (rows, merge)
+        } else {
+            let fetch = match &mut self.cache {
+                LoaderCache::Local(c) => ChunkFetch::Cached(c),
+                LoaderCache::Shared(c) => ChunkFetch::Shared(c),
+            };
+            reconstruct_region_with_chunks(&self.store, &region, &chunks, fetch)?
+        };
         let virtual_time = self.store.tracker().delta(&io_before).virtual_elapsed;
         let wall_time = wall_start.elapsed();
         self.load_times.push(virtual_time.as_secs_f64());
@@ -89,9 +173,15 @@ impl RegionLoader {
         Ok((rows, stats))
     }
 
-    /// Drops all cached chunks (e.g. between experiment runs).
+    /// Drops all cached chunks and the retained delta set (e.g. between
+    /// experiment runs). On a shared cache this also evicts chunks the
+    /// prefetcher warmed.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        match &mut self.cache {
+            LoaderCache::Local(c) => c.clear(),
+            LoaderCache::Shared(c) => c.clear(),
+        }
+        self.prev = None;
     }
 }
 
@@ -187,6 +277,74 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
         assert_eq!(stats.virtual_time, Duration::ZERO);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_cache_loader_matches_local() {
+        let (store, _, dir) = build("sharedmatch", 1500);
+        let grid = Grid::new(store.schema(), 3).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        let shared = Arc::new(SharedChunkCache::new(64 << 20, 4));
+        let mut a = RegionLoader::new(Arc::clone(&store), 64 << 20);
+        let mut b = RegionLoader::with_shared(Arc::clone(&store), shared, false);
+        for cell in [0usize, 4, 5, 8] {
+            let (ra, _) = a.load_cell(&grid, &mapping, cell).unwrap();
+            let (rb, _) = b.load_cell(&grid, &mapping, cell).unwrap();
+            assert_eq!(ra, rb, "cell {cell}");
+        }
+        assert!(b.cache_stats().misses > 0);
+        assert!(b.shared_cache().is_some());
+        assert!(a.shared_cache().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_reload_of_same_cell_is_free_without_any_cache() {
+        let (store, _, dir) = build("deltafree", 1500);
+        let grid = Grid::new(store.schema(), 3).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        // Zero cache budget: everything bypasses; only the delta set can
+        // make the reload free.
+        let shared = Arc::new(SharedChunkCache::new(0, 2));
+        let mut loader = RegionLoader::with_shared(Arc::clone(&store), shared, true);
+        let (first, _) = loader.load_cell(&grid, &mapping, 4).unwrap();
+        let before = store.tracker().snapshot();
+        let (second, stats) = loader.load_cell(&grid, &mapping, 4).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
+        assert_eq!(stats.merge.chunks_loaded, 0);
+        assert!(stats.merge.chunks_reused > 0);
+        assert_eq!(stats.virtual_time, Duration::ZERO);
+        // Turning delta off drops the retained set: the next reload pays.
+        loader.set_delta(false);
+        let before = store.tracker().snapshot();
+        let (third, stats) = loader.load_cell(&grid, &mapping, 4).unwrap();
+        assert_eq!(first, third);
+        assert!(store.tracker().delta(&before).stats.bytes_read > 0);
+        assert_eq!(stats.merge.chunks_reused, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_between_adjacent_cells_reads_only_the_difference() {
+        let (store, rows, dir) = build("deltaadj", 3000);
+        let grid = Grid::new(store.schema(), 3).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        let shared = Arc::new(SharedChunkCache::new(0, 2)); // delta only
+        let mut loader = RegionLoader::with_shared(Arc::clone(&store), shared, true);
+        loader.load_cell(&grid, &mapping, 0).unwrap();
+        // Adjacent cell in x: shares the y-dimension chunk range entirely.
+        let (got, stats) = loader.load_cell(&grid, &mapping, 1).unwrap();
+        assert!(stats.merge.chunks_reused > 0, "adjacent cells share chunks");
+        let region = grid.cell_region(1).unwrap();
+        let expected: Vec<u64> = rows
+            .iter()
+            .filter(|p| region.contains(&p.values).unwrap())
+            .map(|p| p.id.as_u64())
+            .collect();
+        let got_ids: Vec<u64> = got.iter().map(|p| p.id.as_u64()).collect();
+        assert_eq!(got_ids, expected, "delta load is exact");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

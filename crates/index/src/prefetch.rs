@@ -24,8 +24,9 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
+use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::{DiskTracker, IoProfile, IoStats};
-use uei_storage::merge::{reconstruct_region_with_chunks, MergeStats};
+use uei_storage::merge::{reconstruct_region_with_chunks, ChunkFetch, MergeStats};
 use uei_storage::store::ColumnStore;
 use uei_types::{DataPoint, Result, UeiError};
 
@@ -61,13 +62,29 @@ pub struct Prefetcher {
 }
 
 impl Prefetcher {
-    /// Spawns the worker. It opens its own handle to the store directory
-    /// (same data, separate I/O accounting with `profile`).
+    /// Spawns the worker with no chunk cache — the background thread
+    /// streams chunk-at-a-time, the original layout.
     pub fn spawn(
         store_dir: &Path,
         profile: IoProfile,
         grid: Grid,
         mapping: ChunkMapping,
+    ) -> Result<Prefetcher> {
+        Prefetcher::spawn_with_cache(store_dir, profile, grid, mapping, None)
+    }
+
+    /// Spawns the worker. It opens its own handle to the store directory
+    /// (same data, separate I/O accounting with `profile`). With `cache`,
+    /// every chunk the worker reads lands in the shared cache, so the
+    /// foreground loader finds a prefetched region's chunks already
+    /// decoded and resident — and chunks the foreground loaded earlier
+    /// serve the worker as hits, charging zero background I/O.
+    pub fn spawn_with_cache(
+        store_dir: &Path,
+        profile: IoProfile,
+        grid: Grid,
+        mapping: ChunkMapping,
+        cache: Option<Arc<SharedChunkCache>>,
     ) -> Result<Prefetcher> {
         let tracker = DiskTracker::new(profile);
         let store = ColumnStore::open(store_dir, tracker.clone())?;
@@ -82,7 +99,8 @@ impl Prefetcher {
                         Request::Shutdown => break,
                         Request::Load(c) => c,
                     };
-                    let outcome = load_cell_raw(&store, &grid, &mapping, cell);
+                    let outcome =
+                        load_cell_raw(&store, &grid, &mapping, cell, cache.as_deref());
                     let (lock, cvar) = &*worker_shared;
                     let mut s = lock.lock();
                     s.pending.remove(&cell);
@@ -191,11 +209,17 @@ fn load_cell_raw(
     grid: &Grid,
     mapping: &ChunkMapping,
     cell: CellId,
+    cache: Option<&SharedChunkCache>,
 ) -> Result<(Vec<DataPoint>, MergeStats)> {
     let region = grid.cell_region(cell)?;
     let chunks = mapping.chunks_for_cell(grid, cell)?;
-    // No cache: the background thread streams chunk-at-a-time.
-    reconstruct_region_with_chunks(store, &region, &chunks, None)
+    let fetch = match cache {
+        // Shared mode: fill the cache the foreground also reads from.
+        Some(c) => ChunkFetch::Shared(c),
+        // No cache: the background thread streams chunk-at-a-time.
+        None => ChunkFetch::Uncached,
+    };
+    reconstruct_region_with_chunks(store, &region, &chunks, fetch)
 }
 
 #[cfg(test)]
@@ -265,7 +289,7 @@ mod tests {
             .take_blocking(4, Duration::from_secs(10))
             .expect("prefetch completes");
         let (sync_rows, sync_stats) =
-            load_cell_raw(&store, &grid, &mapping, 4).unwrap();
+            load_cell_raw(&store, &grid, &mapping, 4, None).unwrap();
         assert_eq!(rows, sync_rows);
         assert_eq!(stats.result_rows, sync_stats.result_rows);
         assert!(stats.result_rows > 0);
@@ -322,6 +346,104 @@ mod tests {
         }
         pre.clear_ready();
         assert!(pre.take(2).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn take_blocking_times_out_on_stuck_pending_cell() {
+        let (store, grid, mapping, dir) = build("timeout", 400);
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        // Mark a cell pending by hand, bypassing the worker queue: no load
+        // will ever complete it, so take_blocking must hit its deadline
+        // (deterministically — no race against a real load).
+        {
+            let (lock, _) = &*pre.shared;
+            lock.lock().pending.insert(999);
+        }
+        let start = std::time::Instant::now();
+        let got = pre.take_blocking(999, Duration::from_millis(80));
+        assert!(got.is_none(), "stuck cell can only time out");
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "returned before the deadline: {:?}",
+            start.elapsed()
+        );
+        assert!(pre.is_pending(999), "timeout does not cancel the request");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_background_load_reports_failure_and_unblocks() {
+        let (store, grid, mapping, dir) = build("fail", 600);
+        let pre = Prefetcher::spawn(
+            store.dir(),
+            IoProfile::instant(),
+            grid.clone(),
+            mapping.clone(),
+        )
+        .unwrap();
+        // Remove every chunk file: any background load must error.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "uei") {
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+        pre.request(3);
+        // take_blocking returns None (the cell left pending via failure,
+        // not ready) rather than hanging until the deadline.
+        let start = std::time::Instant::now();
+        assert!(pre.take_blocking(3, Duration::from_secs(10)).is_none());
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "failure unblocks before the deadline"
+        );
+        assert!(pre.failure(3).is_some(), "error message recorded");
+        assert!(!pre.is_pending(3));
+        assert!(!pre.has_ready(3));
+        // A new request for the failed cell clears the stale error.
+        pre.request(3);
+        while pre.is_pending(3) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(pre.failure(3).is_some(), "still failing: files are gone");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_cache_keeps_foreground_reads_at_zero() {
+        let (store, grid, mapping, dir) = build("warm", 1500);
+        let cache = Arc::new(SharedChunkCache::new(64 << 20, 4));
+        let pre = Prefetcher::spawn_with_cache(
+            store.dir(),
+            IoProfile::instant(),
+            grid.clone(),
+            mapping.clone(),
+            Some(Arc::clone(&cache)),
+        )
+        .unwrap();
+        pre.request(4);
+        let (pre_rows, _) = pre.take_blocking(4, Duration::from_secs(10)).unwrap();
+        assert!(pre.background_io().bytes_read > 0, "worker paid the reads");
+        // Foreground load of the same cell through the shared cache: every
+        // chunk is already resident, so zero foreground chunk reads.
+        let before = store.tracker().snapshot();
+        let (fg_rows, stats) = load_cell_raw(
+            &store,
+            &grid,
+            &mapping,
+            4,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(fg_rows, pre_rows);
+        assert!(stats.chunks_loaded > 0, "chunks came through the cache");
+        assert_eq!(
+            store.tracker().delta(&before).stats.bytes_read,
+            0,
+            "prefetcher-warmed chunks cost the foreground nothing"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::Classifier;
+use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::IoStats;
 use uei_storage::merge::MergeStats;
 use uei_storage::store::ColumnStore;
@@ -64,6 +65,9 @@ pub struct UeiIndex {
     points: IndexPoints,
     loader: RegionLoader,
     prefetcher: Option<Prefetcher>,
+    /// The cache shared between loader and prefetcher, when enabled —
+    /// kept here so stats stay readable regardless of loader internals.
+    shared_cache: Option<Arc<SharedChunkCache>>,
     config: UeiConfig,
     measure: UncertaintyMeasure,
     /// The most recently served cell (for σ-driven swap deferral).
@@ -90,13 +94,28 @@ impl UeiIndex {
         let grid = Grid::new(store.schema(), config.cells_per_dim)?;
         let mapping = ChunkMapping::build(&grid, store.manifest())?;
         let points = IndexPoints::from_grid(&grid)?;
-        let loader = RegionLoader::new(Arc::clone(&store), config.chunk_cache_bytes);
+        let shared_cache = config
+            .shared_cache
+            .then(|| Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards)));
+        let loader = match &shared_cache {
+            Some(cache) => RegionLoader::with_shared(
+                Arc::clone(&store),
+                Arc::clone(cache),
+                config.delta_reconstruction,
+            ),
+            None => {
+                let mut l = RegionLoader::new(Arc::clone(&store), config.chunk_cache_bytes);
+                l.set_delta(config.delta_reconstruction);
+                l
+            }
+        };
         let prefetcher = if config.prefetch {
-            Some(Prefetcher::spawn(
+            Some(Prefetcher::spawn_with_cache(
                 store.dir(),
                 store.tracker().profile(),
                 grid.clone(),
                 mapping.clone(),
+                shared_cache.as_ref().map(Arc::clone),
             )?)
         } else {
             None
@@ -108,6 +127,7 @@ impl UeiIndex {
             points,
             loader,
             prefetcher,
+            shared_cache,
             config,
             measure,
             last_cell: None,
@@ -257,9 +277,19 @@ impl UeiIndex {
         self.loader.average_load_secs()
     }
 
-    /// Chunk-cache statistics of the foreground loader.
+    /// Chunk-cache statistics: of the shared cache when sharing is on
+    /// (hits include the prefetcher's), of the private loader cache
+    /// otherwise.
     pub fn cache_stats(&self) -> uei_storage::cache::CacheStats {
-        self.loader.cache_stats()
+        match &self.shared_cache {
+            Some(c) => c.stats(),
+            None => self.loader.cache_stats(),
+        }
+    }
+
+    /// The cache shared between loader and prefetcher, when enabled.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedChunkCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// Background I/O accumulated by the prefetcher, if enabled.
@@ -465,6 +495,81 @@ mod tests {
         fn load_prefetched_for_test(&self, cell: CellId) -> Option<bool> {
             self.prefetcher.as_ref().map(|p| p.take(cell).is_some())
         }
+    }
+
+    #[test]
+    fn ready_prefetch_survives_model_update() {
+        // The invalidation rule: a model update re-ranks the cells, but a
+        // ready-but-untaken prefetched region stays valid as *data* (cell
+        // contents never change), so update_uncertainty must keep it.
+        let (store, _, dir) = build_store("survive", 1500);
+        let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        let pre = index.prefetcher.as_ref().unwrap();
+        pre.request(9);
+        assert!(
+            pre.take_blocking(9, Duration::from_secs(10)).is_some(),
+            "prefetch completes"
+        );
+        // Buffer it again (take was destructive) and leave it untaken.
+        pre.request(9);
+        while index.prefetcher.as_ref().unwrap().is_pending(9) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(index.prefetcher.as_ref().unwrap().has_ready(9));
+
+        index.update_uncertainty(&boundary_model(50.0));
+        assert!(
+            index.prefetcher.as_ref().unwrap().has_ready(9),
+            "model update must not drop ready prefetches"
+        );
+        // And the retained result is actually served on selection.
+        assert_eq!(index.load_prefetched_for_test(9), Some(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefetcher_warmed_chunks_cost_foreground_nothing() {
+        // Acceptance: a prefetched-then-swapped region performs zero
+        // foreground chunk reads for chunks the prefetcher already loaded.
+        let (store, _, dir) = build_store("warmzero", 1500);
+        let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        let pre = index.prefetcher.as_ref().unwrap();
+        pre.request(5);
+        pre.take_blocking(5, Duration::from_secs(10)).expect("prefetch completes");
+        // The ready buffer is now empty for cell 5, so this foreground
+        // load goes through the loader — but every chunk is resident in
+        // the shared cache the prefetcher filled.
+        let before = store.tracker().snapshot();
+        let (rows, stats) = index.load_cell(5).unwrap();
+        assert!(!rows.is_empty());
+        assert!(stats.merge.chunks_loaded > 0);
+        assert_eq!(
+            store.tracker().delta(&before).stats.bytes_read,
+            0,
+            "zero foreground chunk reads for prefetcher-warmed chunks"
+        );
+        assert_eq!(stats.virtual_time, Duration::ZERO);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_cache_off_restores_private_layout() {
+        let (store, _, dir) = build_store("nosharing", 800);
+        let config = UeiConfig {
+            cells_per_dim: 4,
+            shared_cache: false,
+            delta_reconstruction: false,
+            ..UeiConfig::default()
+        };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        assert!(index.shared_cache().is_none());
+        index.update_uncertainty(&boundary_model(50.0));
+        let load = index.select_and_load().unwrap();
+        assert!(!load.rows.is_empty());
+        assert!(index.cache_stats().misses > 0, "private loader cache used");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

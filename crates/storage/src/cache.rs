@@ -1,4 +1,4 @@
-//! A byte-budgeted LRU cache of decoded chunks.
+//! Byte-budgeted LRU caches of decoded chunks.
 //!
 //! UEI "would release the memory space used to hold the data chunk and
 //! reuse the space for the subsequent chunk" (§3.1); a bounded cache
@@ -7,9 +7,29 @@
 //! hot chunks (e.g. chunks shared by adjacent grid cells) resident. The
 //! budget counts *decoded payload* bytes so it can be compared directly
 //! against the experiment's memory restriction.
+//!
+//! Two implementations share the [`CacheStats`] counters:
+//!
+//! - [`ChunkCache`] — the original single-owner (`&mut self`) LRU, still
+//!   used where no sharing is needed (ablations, the `uei-dbms` baseline
+//!   comparisons, small tools);
+//! - [`SharedChunkCache`] — a sharded, lock-striped cache (`&self`,
+//!   `Send + Sync`) shared between the foreground region loader and the
+//!   background prefetcher. Shards are keyed by [`ChunkId`] hash, each
+//!   shard owns its own `parking_lot::Mutex<LruMap>` and byte account, and
+//!   duplicate in-flight loads of one chunk coalesce into a single read
+//!   (single-flight). Because the *caller* performs the physical read with
+//!   its own [`ColumnStore`] handle, modeled I/O stays attributed to the
+//!   thread that actually issued it: foreground misses charge the
+//!   foreground tracker, prefetcher misses charge the background tracker,
+//!   and hits charge nobody.
 
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{Condvar, Mutex};
 use uei_types::Result;
 
 use crate::chunk::{Chunk, ChunkId};
@@ -21,20 +41,50 @@ use crate::store::ColumnStore;
 pub struct CacheStats {
     /// Lookups served from memory.
     pub hits: u64,
-    /// Lookups that had to read the chunk file.
+    /// Lookups that had to read the chunk file and admitted the result.
     pub misses: u64,
     /// Chunks evicted to stay within budget.
     pub evictions: u64,
+    /// Lookups that read the chunk file but did *not* admit the result
+    /// because the chunk exceeds the (shard) budget. These pay the same
+    /// I/O as a miss yet can never become hits, so they are reported
+    /// separately instead of looking like plain misses.
+    pub bypasses: u64,
 }
 
 impl CacheStats {
+    /// Total lookups (hits + misses + bypasses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.bypasses
+    }
+
     /// Hit ratio in `[0, 1]`; 0 when there were no lookups.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lookups that bypassed admission; 0 with no lookups.
+    pub fn bypass_ratio(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.bypasses as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            bypasses: self.bypasses - earlier.bypasses,
         }
     }
 }
@@ -74,7 +124,7 @@ impl ChunkCache {
         self.lru.is_empty()
     }
 
-    /// Hit/miss/eviction counters.
+    /// Hit/miss/eviction/bypass counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
@@ -82,18 +132,20 @@ impl ChunkCache {
     /// Returns the chunk, reading it from the store on a miss.
     ///
     /// Chunks larger than the whole budget are returned without being
-    /// cached (they would immediately evict everything and then themselves).
+    /// cached (they would immediately evict everything and then
+    /// themselves); such lookups count as [`CacheStats::bypasses`].
     pub fn get_or_load(&mut self, store: &ColumnStore, id: ChunkId) -> Result<Arc<Chunk>> {
         if let Some((chunk, _)) = self.lru.get(&id) {
             self.stats.hits += 1;
             return Ok(Arc::clone(chunk));
         }
-        self.stats.misses += 1;
         let chunk = Arc::new(store.read_chunk(id)?);
         let size = approx_chunk_bytes(&chunk);
         if size > self.budget_bytes {
+            self.stats.bypasses += 1;
             return Ok(chunk);
         }
+        self.stats.misses += 1;
         self.used_bytes += size;
         self.lru.insert(id, (Arc::clone(&chunk), size));
         while self.used_bytes > self.budget_bytes {
@@ -115,8 +167,217 @@ impl ChunkCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared concurrent cache
+// ---------------------------------------------------------------------------
+
+/// Default shard count of a [`SharedChunkCache`].
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+#[derive(Debug, Default)]
+struct ShardState {
+    lru: LruMap<ChunkId, (Arc<Chunk>, usize)>,
+    used_bytes: usize,
+    /// Chunk ids whose read is currently in flight on some thread.
+    /// Later arrivals for the same id wait on the shard condvar instead of
+    /// issuing a duplicate read (single-flight).
+    inflight: HashSet<ChunkId>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+    flights: Condvar,
+}
+
+/// A sharded, lock-striped chunk cache shared across threads.
+///
+/// The global byte budget is split evenly across shards; each shard
+/// accounts and evicts independently, so two threads touching chunks that
+/// hash to different shards never contend. Counters are atomics and can be
+/// read without taking any shard lock.
+///
+/// ## Single-flight
+///
+/// When thread A misses on chunk `c` and thread B asks for `c` while A's
+/// read is still in flight, B blocks on the shard condvar until A publishes
+/// the chunk, then takes it as a hit — the file is read once, charged to
+/// A's tracker only. If A's read *fails*, B retries the lookup itself (and
+/// will surface its own error if the failure persists); failures are never
+/// cached.
+///
+/// ## I/O attribution
+///
+/// `get_or_load` takes the caller's own [`ColumnStore`] handle, so a miss
+/// is charged to whichever [`crate::io::DiskTracker`] that handle carries.
+/// The foreground loader and the background prefetcher open the same
+/// directory with separate trackers; sharing the cache therefore never
+/// mixes their byte accounting, and a hit records zero modeled I/O on
+/// either side.
+#[derive(Debug)]
+pub struct SharedChunkCache {
+    shards: Vec<Shard>,
+    shard_budget: usize,
+    budget_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl SharedChunkCache {
+    /// Creates a cache with `budget_bytes` of decoded payload split over
+    /// `shards` lock stripes (`shards` is clamped to at least 1).
+    pub fn new(budget_bytes: usize, shards: usize) -> SharedChunkCache {
+        let n = shards.max(1);
+        SharedChunkCache {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            shard_budget: budget_bytes / n,
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache with the default shard count.
+    pub fn with_default_shards(budget_bytes: usize) -> SharedChunkCache {
+        SharedChunkCache::new(budget_bytes, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// The configured global budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The per-shard slice of the budget.
+    pub fn shard_budget_bytes(&self) -> usize {
+        self.shard_budget
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Decoded bytes currently held, summed over shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.state.lock().used_bytes).sum()
+    }
+
+    /// Number of resident chunks, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.state.lock().lru.len()).sum()
+    }
+
+    /// Whether no chunk is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction/bypass counters (atomic snapshot, lock-free).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `id` is currently resident (does not touch recency and does
+    /// not count as a lookup).
+    pub fn contains(&self, id: ChunkId) -> bool {
+        self.shard(id).state.lock().lru.contains(&id)
+    }
+
+    fn shard(&self, id: ChunkId) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the chunk, reading it through `store` on a miss.
+    ///
+    /// Concurrent callers asking for the same absent chunk coalesce: one
+    /// performs the read (charging *its* store's tracker), the rest wait
+    /// and take the published chunk as a hit with zero modeled I/O.
+    /// Chunks larger than the shard budget bypass admission and count in
+    /// [`CacheStats::bypasses`].
+    pub fn get_or_load(&self, store: &ColumnStore, id: ChunkId) -> Result<Arc<Chunk>> {
+        let shard = self.shard(id);
+        {
+            let mut state = shard.state.lock();
+            loop {
+                if let Some((chunk, _)) = state.lru.get(&id) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(chunk));
+                }
+                if state.inflight.contains(&id) {
+                    // Another thread is reading this chunk; wait for it to
+                    // publish (or fail) and re-check.
+                    shard.flights.wait(&mut state);
+                    continue;
+                }
+                state.inflight.insert(id);
+                break;
+            }
+        }
+        // Read without holding the shard lock so other chunks of this
+        // shard stay available, and so the condvar wait above can't
+        // deadlock against the I/O.
+        let outcome = store.read_chunk(id);
+        let mut state = shard.state.lock();
+        state.inflight.remove(&id);
+        shard.flights.notify_all();
+        let chunk = Arc::new(outcome?);
+        let size = approx_chunk_bytes(&chunk);
+        if size > self.shard_budget {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return Ok(chunk);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if !state.lru.contains(&id) {
+            state.used_bytes += size;
+            state.lru.insert(id, (Arc::clone(&chunk), size));
+            while state.used_bytes > self.shard_budget {
+                if let Some((_, (_, sz))) = state.lru.pop_lru() {
+                    state.used_bytes -= sz;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(chunk)
+    }
+
+    /// Returns the chunk only if it is already resident (a hit), recording
+    /// no lookup otherwise. Used by opportunistic readers that do not want
+    /// to pay a read on absence.
+    pub fn get_if_resident(&self, id: ChunkId) -> Option<Arc<Chunk>> {
+        let shard = self.shard(id);
+        let mut state = shard.state.lock();
+        state.lru.get(&id).map(|(chunk, _)| {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(chunk)
+        })
+    }
+
+    /// Drops every resident chunk from every shard. Counters are kept;
+    /// in-flight reads are unaffected (they re-admit on completion).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut state = shard.state.lock();
+            state.lru.clear();
+            state.used_bytes = 0;
+        }
+    }
+}
+
 /// Approximate decoded in-memory footprint of a chunk.
-fn approx_chunk_bytes(chunk: &Chunk) -> usize {
+pub(crate) fn approx_chunk_bytes(chunk: &Chunk) -> usize {
     // Per posting list: key (8) + Vec header (~24); per id: 8.
     chunk.num_entries() * 32 + chunk.num_ids() * 8
 }
@@ -221,9 +482,12 @@ mod tests {
         cache.get_or_load(&store, id).unwrap();
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.used_bytes(), 0);
-        // Still counted as a miss both times.
+        // Counted as a bypass both times, never as a plain miss.
         cache.get_or_load(&store, id).unwrap();
-        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().bypasses, 2);
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
+        assert_eq!(cache.stats().bypass_ratio(), 1.0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -243,8 +507,203 @@ mod tests {
 
     #[test]
     fn hit_ratio() {
-        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        let s = CacheStats { hits: 3, misses: 1, evictions: 0, bypasses: 0 };
         assert_eq!(s.hit_ratio(), 0.75);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+        // Bypasses dilute the hit ratio: they are lookups that cannot hit.
+        let s = CacheStats { hits: 3, misses: 0, evictions: 0, bypasses: 1 };
+        assert_eq!(s.hit_ratio(), 0.75);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = CacheStats { hits: 10, misses: 4, evictions: 2, bypasses: 1 };
+        let b = CacheStats { hits: 4, misses: 1, evictions: 0, bypasses: 1 };
+        let d = a.since(&b);
+        assert_eq!(d, CacheStats { hits: 6, misses: 3, evictions: 2, bypasses: 0 });
+    }
+
+    // -- SharedChunkCache ---------------------------------------------------
+
+    #[test]
+    fn shared_hit_after_miss_across_handles() {
+        let (store, dir) = build_store("sh-hits", 300, 256);
+        let id = store.manifest().dims[0][0].id();
+        let cache = SharedChunkCache::new(10 << 20, 4);
+        let a = cache.get_or_load(&store, id).unwrap();
+        // Second handle to the same directory with a separate tracker: the
+        // prefetcher/foreground arrangement.
+        let other_tracker = DiskTracker::new(IoProfile::instant());
+        let other = ColumnStore::open(store.dir(), other_tracker.clone()).unwrap();
+        // Opening the handle reads the manifest; only count the lookup.
+        let before = other_tracker.snapshot();
+        let b = cache.get_or_load(&other, id).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // The second handle's hit performed zero modeled I/O.
+        assert_eq!(other_tracker.delta(&before).stats.bytes_read, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_spreads_chunks_over_shards() {
+        let (store, dir) = build_store("sh-spread", 1500, 200);
+        let cache = SharedChunkCache::new(64 << 20, 4);
+        for dim in &store.manifest().dims {
+            for m in dim {
+                cache.get_or_load(&store, m.id()).unwrap();
+            }
+        }
+        let total = store.manifest().total_chunks();
+        assert_eq!(cache.len(), total);
+        // With many chunks and a hash distribution, no shard holds all.
+        let max_in_one_shard = (0..cache.num_shards())
+            .map(|i| cache.shards[i].state.lock().lru.len())
+            .max()
+            .unwrap();
+        assert!(max_in_one_shard < total, "chunks spread over shards");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_per_shard_budget_and_evictions() {
+        let (store, dir) = build_store("sh-evict", 2000, 128);
+        let ids: Vec<ChunkId> = store
+            .manifest()
+            .dims
+            .iter()
+            .flatten()
+            .map(|m| m.id())
+            .collect();
+        assert!(ids.len() > 8);
+        let one = {
+            let c = SharedChunkCache::new(usize::MAX, 1);
+            let ch = c.get_or_load(&store, ids[0]).unwrap();
+            approx_chunk_bytes(&ch)
+        };
+        // Room for ~2 chunks per shard across 2 shards.
+        let cache = SharedChunkCache::new(one * 4, 2);
+        for &id in &ids {
+            cache.get_or_load(&store, id).unwrap();
+        }
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+        for shard in &cache.shards {
+            assert!(shard.state.lock().used_bytes <= cache.shard_budget_bytes());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_zero_budget_bypasses_everything() {
+        let (store, dir) = build_store("sh-zero", 200, 256);
+        let cache = SharedChunkCache::new(0, 4);
+        let id = store.manifest().dims[0][0].id();
+        cache.get_or_load(&store, id).unwrap();
+        cache.get_or_load(&store, id).unwrap();
+        assert_eq!(cache.stats().bypasses, 2);
+        assert_eq!(cache.stats().misses, 0);
+        assert!(cache.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_clear_empties_all_shards() {
+        let (store, dir) = build_store("sh-clear", 600, 200);
+        let cache = SharedChunkCache::new(64 << 20, 4);
+        for m in &store.manifest().dims[0] {
+            cache.get_or_load(&store, m.id()).unwrap();
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_get_if_resident_peeks() {
+        let (store, dir) = build_store("sh-peek", 200, 256);
+        let cache = SharedChunkCache::new(64 << 20, 2);
+        let id = store.manifest().dims[0][0].id();
+        assert!(cache.get_if_resident(id).is_none());
+        assert_eq!(cache.stats().lookups(), 0, "absent peek is not a lookup");
+        cache.get_or_load(&store, id).unwrap();
+        assert!(cache.get_if_resident(id).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_concurrent_single_flight_reads_each_chunk_once() {
+        let (store, dir) = build_store("sh-flight", 2000, 200);
+        let store = Arc::new(store);
+        let cache = Arc::new(SharedChunkCache::new(256 << 20, 4));
+        let ids: Vec<ChunkId> = store
+            .manifest()
+            .dims
+            .iter()
+            .flatten()
+            .map(|m| m.id())
+            .collect();
+        let unique_bytes: u64 =
+            store.manifest().dims.iter().flatten().map(|m| m.file_size).sum();
+
+        // Every worker opens its own handle (own tracker) and loads the
+        // full chunk list; single-flight must keep total physical bytes at
+        // exactly one copy of the store.
+        let mut handles = Vec::new();
+        let mut trackers = Vec::new();
+        for t in 0..8 {
+            let tracker = DiskTracker::new(IoProfile::instant());
+            let my_store = ColumnStore::open(store.dir(), tracker.clone()).unwrap();
+            // Snapshot after open: the manifest read is not chunk I/O.
+            trackers.push((tracker.clone(), tracker.snapshot()));
+            let my_cache = Arc::clone(&cache);
+            let my_ids = ids.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sh-flight-{t}"))
+                    .spawn(move || {
+                        for id in my_ids {
+                            my_cache.get_or_load(&my_store, id).unwrap();
+                        }
+                    })
+                    .unwrap(),
+            );
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total_read: u64 =
+            trackers.iter().map(|(t, s)| t.delta(s).stats.bytes_read).sum();
+        assert_eq!(
+            total_read, unique_bytes,
+            "each chunk read exactly once across all threads"
+        );
+        let s = cache.stats();
+        assert_eq!(s.misses, ids.len() as u64);
+        assert_eq!(s.hits, (8 - 1) * ids.len() as u64);
+        assert_eq!(s.bypasses, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_failed_read_is_not_cached_and_not_counted() {
+        let (store, dir) = build_store("sh-fail", 200, 256);
+        let cache = SharedChunkCache::new(64 << 20, 2);
+        let id = store.manifest().dims[0][0].id();
+        let path = dir.join(id.file_name());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(cache.get_or_load(&store, id).is_err());
+        assert_eq!(cache.stats().misses, 0);
+        assert!(cache.is_empty());
+        // Restore the file: the next lookup succeeds normally.
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.get_or_load(&store, id).is_ok());
+        assert_eq!(cache.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

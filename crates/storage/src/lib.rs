@@ -22,7 +22,10 @@
 //!   phase, Algorithm 2 lines 2–6) and reading;
 //! - [`merge`] — hash-table reconstruction of a subspace from its chunks
 //!   (Algorithm 2 line 19), chunk-at-a-time to bound memory;
-//! - [`cache`] — a byte-budgeted LRU chunk cache;
+//! - [`cache`] — byte-budgeted LRU chunk caches: a single-owner
+//!   [`cache::ChunkCache`] and a sharded, lock-striped
+//!   [`cache::SharedChunkCache`] shared by the foreground loader and the
+//!   background prefetcher (single-flight per chunk);
 //! - [`lru`] — the generic LRU used by the chunk cache and by the
 //!   `uei-dbms` buffer pool.
 
@@ -46,11 +49,14 @@ pub mod merge;
 pub mod postings;
 pub mod store;
 
-pub use cache::ChunkCache;
+pub use cache::{CacheStats, ChunkCache, SharedChunkCache, DEFAULT_CACHE_SHARDS};
 pub use chunk::{Chunk, ChunkId};
 pub use io::{DiskTracker, IoProfile, IoSnapshot, IoStats};
 pub use column::merge_sources;
 pub use manifest::{ChunkMeta, Manifest};
-pub use merge::{reconstruct_region, reconstruct_region_with_chunks, MergeStats};
+pub use merge::{
+    reconstruct_region, reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch,
+    MergeStats, RegionChunkSet,
+};
 pub use postings::PostingList;
 pub use store::{ColumnStore, StoreConfig};

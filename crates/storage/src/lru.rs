@@ -91,16 +91,20 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// Gets a value and marks it most recently used.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let idx = *self.map.get(key)?;
-        self.detach(idx);
-        self.attach_front(idx);
+        if idx != self.head {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
         self.slots[idx].value.as_ref()
     }
 
     /// Gets a mutable value and marks it most recently used.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         let idx = *self.map.get(key)?;
-        self.detach(idx);
-        self.attach_front(idx);
+        if idx != self.head {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
         self.slots[idx].value.as_mut()
     }
 

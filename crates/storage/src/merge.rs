@@ -21,7 +21,7 @@ use std::sync::Arc;
 use rayon::prelude::*;
 use uei_types::{DataPoint, Region, Result, UeiError};
 
-use crate::cache::ChunkCache;
+use crate::cache::{ChunkCache, SharedChunkCache};
 use crate::chunk::{Chunk, ChunkId};
 use crate::store::ColumnStore;
 
@@ -29,10 +29,17 @@ use crate::store::ColumnStore;
 /// O(ke) per-iteration complexity claim (§3.3).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MergeStats {
-    /// Chunk files touched.
+    /// Chunk files materialized through the fetch path (cache hits
+    /// included; delta-reused chunks are not).
     pub chunks_loaded: u64,
-    /// Total encoded bytes of the touched chunks.
+    /// Total encoded bytes of the materialized chunks.
     pub chunk_bytes: u64,
+    /// Chunks reused from the previous region's decoded set
+    /// ([`reconstruct_region_delta`]) without touching the fetch path.
+    pub chunks_reused: u64,
+    /// Total encoded bytes of the reused chunks — I/O the delta avoided
+    /// even in the worst (all-cold-cache) case.
+    pub bytes_reused: u64,
     /// Posting-list entries whose key fell inside the per-dimension range.
     pub entries_matched: u64,
     /// Row-id insertions/updates performed on the hash table.
@@ -41,6 +48,68 @@ pub struct MergeStats {
     pub seed_candidates: u64,
     /// Rows in the reconstructed subspace.
     pub result_rows: u64,
+}
+
+/// How [`reconstruct_region_with_chunks`] materializes chunk files.
+#[derive(Debug)]
+pub enum ChunkFetch<'a> {
+    /// Read every chunk from disk and drop it after the scan — the paper's
+    /// default chunk-at-a-time behaviour (§3.1).
+    Uncached,
+    /// Fetch through a single-owner [`ChunkCache`].
+    Cached(&'a mut ChunkCache),
+    /// Fetch through a [`SharedChunkCache`] — the concurrent cache shared
+    /// by the foreground loader and the background prefetcher. Physical
+    /// reads are charged to `store`'s own tracker, so each caller passes
+    /// its own handle and I/O attribution stays per-thread.
+    Shared(&'a SharedChunkCache),
+}
+
+/// The decoded chunks of one reconstructed region, keyed by [`ChunkId`].
+///
+/// Kept by callers that load overlapping regions back to back:
+/// [`reconstruct_region_delta`] reuses any chunk present here without
+/// re-reading or re-decoding it. Chunks are immutable once written (the
+/// store has no update path), so reuse is safe across *any* pair of
+/// regions, not just adjacent ones.
+#[derive(Debug, Default)]
+pub struct RegionChunkSet {
+    chunks: HashMap<ChunkId, (Arc<Chunk>, u64)>,
+}
+
+impl RegionChunkSet {
+    /// An empty set (nothing will be reused).
+    pub fn new() -> Self {
+        RegionChunkSet::default()
+    }
+
+    /// Number of retained decoded chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether no chunk is retained.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Whether `id` is retained.
+    pub fn contains(&self, id: ChunkId) -> bool {
+        self.chunks.contains_key(&id)
+    }
+
+    /// Total encoded file bytes of the retained chunks.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.chunks.values().map(|(_, size)| size).sum()
+    }
+
+    fn get(&self, id: ChunkId) -> Option<(Arc<Chunk>, u64)> {
+        self.chunks.get(&id).map(|(c, s)| (Arc::clone(c), *s))
+    }
+
+    fn insert(&mut self, id: ChunkId, chunk: Arc<Chunk>, file_size: u64) {
+        self.chunks.insert(id, (chunk, file_size));
+    }
 }
 
 #[derive(Debug)]
@@ -71,7 +140,11 @@ pub fn reconstruct_region(
         let metas = store.manifest().chunks_overlapping(d, region.lo[d], region.hi[d])?;
         chunks_per_dim.push(metas.iter().map(|m| m.id()).collect());
     }
-    reconstruct_region_with_chunks(store, region, &chunks_per_dim, cache)
+    let fetch = match cache {
+        Some(c) => ChunkFetch::Cached(c),
+        None => ChunkFetch::Uncached,
+    };
+    reconstruct_region_with_chunks(store, region, &chunks_per_dim, fetch)
 }
 
 /// Like [`reconstruct_region`], but reads exactly the chunks the caller
@@ -81,9 +154,45 @@ pub fn reconstruct_region(
 pub fn reconstruct_region_with_chunks(
     store: &ColumnStore,
     region: &Region,
-    chunks_per_dim: &[Vec<crate::chunk::ChunkId>],
-    mut cache: Option<&mut ChunkCache>,
+    chunks_per_dim: &[Vec<ChunkId>],
+    fetch: ChunkFetch<'_>,
 ) -> Result<(Vec<DataPoint>, MergeStats)> {
+    let (rows, stats, _) =
+        reconstruct_inner(store, region, chunks_per_dim, fetch, None, false)?;
+    Ok((rows, stats))
+}
+
+/// Incremental reconstruction: like [`reconstruct_region_with_chunks`],
+/// but chunks present in `prev` (the previously loaded region's decoded
+/// set) are reused in place — no file read, no decode, no cache traffic —
+/// and counted in [`MergeStats::chunks_reused`]. Returns the new region's
+/// own [`RegionChunkSet`] (covering *all* its chunks, reused and fresh)
+/// for the next iteration's delta.
+///
+/// Consecutive uncertain regions in UEI's exploration overlap heavily —
+/// the decision boundary moves slowly, the same premise the σ/θ prefetch
+/// machinery rests on (§3.2) — so the delta is usually a small fraction of
+/// the region.
+pub fn reconstruct_region_delta(
+    store: &ColumnStore,
+    region: &Region,
+    chunks_per_dim: &[Vec<ChunkId>],
+    prev: Option<&RegionChunkSet>,
+    fetch: ChunkFetch<'_>,
+) -> Result<(Vec<DataPoint>, MergeStats, RegionChunkSet)> {
+    let (rows, stats, set) =
+        reconstruct_inner(store, region, chunks_per_dim, fetch, prev, true)?;
+    Ok((rows, stats, set.expect("collect=true always builds a set")))
+}
+
+fn reconstruct_inner(
+    store: &ColumnStore,
+    region: &Region,
+    chunks_per_dim: &[Vec<ChunkId>],
+    mut fetch: ChunkFetch<'_>,
+    prev: Option<&RegionChunkSet>,
+    collect: bool,
+) -> Result<(Vec<DataPoint>, MergeStats, Option<RegionChunkSet>)> {
     let dims = store.schema().dims();
     if region.dims() != dims {
         return Err(UeiError::DimensionMismatch { expected: dims, actual: region.dims() });
@@ -99,28 +208,29 @@ pub fn reconstruct_region_with_chunks(
     let inclusive_hi = region.is_closed();
     let mut stats = MergeStats::default();
     let mut table: HashMap<u64, Candidate> = HashMap::new();
+    let mut new_set = collect.then(RegionChunkSet::new);
 
     for d in 0..dims {
         let (lo, hi) = (region.lo[d], region.hi[d]);
         let bit = 1u64 << d;
-        // Materialize this dimension's chunks first. Cached mode keeps the
+        // Materialize this dimension's chunks first, reusing the previous
+        // region's decoded chunks where possible. Cache modes keep the
         // original chunk-at-a-time behaviour through the cache; uncached
-        // mode reads every file sequentially (deterministic modeled I/O)
-        // and then runs the CPU-bound CRC-validating decodes in parallel.
-        let loaded: Vec<(Arc<Chunk>, u64)> = match cache.as_deref_mut() {
-            Some(c) => {
-                let mut v = Vec::with_capacity(chunks_per_dim[d].len());
-                for &chunk_id in &chunks_per_dim[d] {
-                    let file_size = store.manifest().chunk_meta(chunk_id)?.file_size;
-                    v.push((c.get_or_load(store, chunk_id)?, file_size));
-                }
-                v
+        // mode reads every missing file sequentially (deterministic
+        // modeled I/O) and then runs the CPU-bound CRC-validating decodes
+        // in parallel.
+        let loaded = load_dimension(store, &chunks_per_dim[d], &mut fetch, prev)?;
+        for (chunk, file_size, reused) in loaded {
+            if reused {
+                stats.chunks_reused += 1;
+                stats.bytes_reused += file_size;
+            } else {
+                stats.chunks_loaded += 1;
+                stats.chunk_bytes += file_size;
             }
-            None => decode_chunks_uncached(store, &chunks_per_dim[d])?,
-        };
-        for (chunk, file_size) in loaded {
-            stats.chunks_loaded += 1;
-            stats.chunk_bytes += file_size;
+            if let Some(set) = new_set.as_mut() {
+                set.insert(chunk.id, Arc::clone(&chunk), file_size);
+            }
             chunk.scan_range(lo, hi, inclusive_hi, |entry| {
                 stats.entries_matched += 1;
                 for &id in &entry.ids {
@@ -143,13 +253,16 @@ pub fn reconstruct_region_with_chunks(
             });
             // `chunk` drops here; memory held at once is bounded by one
             // dimension's chunk set for the cell (plus whatever the cache
-            // retains within its budget).
+            // retains within its budget, plus the retained region set in
+            // delta mode).
         }
         if d == 0 {
             stats.seed_candidates = table.len() as u64;
             if table.is_empty() {
                 // No candidate can survive the intersection; skip the
-                // remaining dimensions entirely.
+                // remaining dimensions entirely. (In delta mode the
+                // returned set then only covers dimension 0 — reuse is
+                // keyed per chunk, so a partial set is still valid.)
                 break;
             }
         }
@@ -163,7 +276,61 @@ pub fn reconstruct_region_with_chunks(
         .collect();
     rows.sort_unstable_by_key(|p| p.id);
     stats.result_rows = rows.len() as u64;
-    Ok((rows, stats))
+    Ok((rows, stats, new_set))
+}
+
+/// Materializes one dimension's chunk list in caller order, marking each
+/// chunk as reused (`true`, taken from `prev` with zero I/O) or fetched
+/// (`false`, materialized through `fetch`).
+fn load_dimension(
+    store: &ColumnStore,
+    chunk_ids: &[ChunkId],
+    fetch: &mut ChunkFetch<'_>,
+    prev: Option<&RegionChunkSet>,
+) -> Result<Vec<(Arc<Chunk>, u64, bool)>> {
+    // Resolve reuse first so the fetch path only sees the delta.
+    let mut slots: Vec<Option<(Arc<Chunk>, u64)>> = chunk_ids
+        .iter()
+        .map(|&id| prev.and_then(|p| p.get(id)))
+        .collect();
+    let missing: Vec<ChunkId> = chunk_ids
+        .iter()
+        .zip(&slots)
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(&id, _)| id)
+        .collect();
+
+    let fetched: Vec<(Arc<Chunk>, u64)> = match fetch {
+        ChunkFetch::Uncached => decode_chunks_uncached(store, &missing)?,
+        ChunkFetch::Cached(cache) => {
+            let mut v = Vec::with_capacity(missing.len());
+            for &id in &missing {
+                let file_size = store.manifest().chunk_meta(id)?.file_size;
+                v.push((cache.get_or_load(store, id)?, file_size));
+            }
+            v
+        }
+        ChunkFetch::Shared(cache) => {
+            let mut v = Vec::with_capacity(missing.len());
+            for &id in &missing {
+                let file_size = store.manifest().chunk_meta(id)?.file_size;
+                v.push((cache.get_or_load(store, id)?, file_size));
+            }
+            v
+        }
+    };
+
+    let mut fetched = fetched.into_iter();
+    Ok(slots
+        .iter_mut()
+        .map(|slot| match slot.take() {
+            Some((chunk, size)) => (chunk, size, true),
+            None => {
+                let (chunk, size) = fetched.next().expect("one fetched chunk per missing slot");
+                (chunk, size, false)
+            }
+        })
+        .collect())
 }
 
 /// Reads and decodes one dimension's chunk set without a cache: all file
@@ -324,6 +491,154 @@ mod tests {
         let (store, _, dir) = build("dims", 50, 512);
         let region = Region::new(vec![0.0], vec![1.0]).unwrap();
         assert!(reconstruct_region(&store, &region, None).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn chunks_for(store: &ColumnStore, region: &Region) -> Vec<Vec<ChunkId>> {
+        (0..store.schema().dims())
+            .map(|d| {
+                store
+                    .manifest()
+                    .chunks_overlapping(d, region.lo[d], region.hi[d])
+                    .unwrap()
+                    .iter()
+                    .map(|m| m.id())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_reuses_overlap_and_matches_full_reconstruction() {
+        let (store, rows, dir) = build("delta", 1500, 256);
+        let a = Region::new(vec![10.0, 10.0, 10.0], vec![60.0, 60.0, 60.0]).unwrap();
+        // Shifted region: heavy overlap with `a` along every dimension.
+        let b = Region::new(vec![20.0, 20.0, 20.0], vec![70.0, 70.0, 70.0]).unwrap();
+
+        let (rows_a, stats_a, set_a) = reconstruct_region_delta(
+            &store,
+            &a,
+            &chunks_for(&store, &a),
+            None,
+            ChunkFetch::Uncached,
+        )
+        .unwrap();
+        assert_eq!(stats_a.chunks_reused, 0, "nothing to reuse on the first load");
+        assert_eq!(set_a.len() as u64, stats_a.chunks_loaded);
+        let ids_a: Vec<u64> = rows_a.iter().map(|p| p.id.as_u64()).collect();
+        assert_eq!(ids_a, brute_force(&rows, &a));
+
+        let before = store.tracker().snapshot();
+        let (rows_b, stats_b, set_b) = reconstruct_region_delta(
+            &store,
+            &b,
+            &chunks_for(&store, &b),
+            Some(&set_a),
+            ChunkFetch::Uncached,
+        )
+        .unwrap();
+        let delta_io = store.tracker().delta(&before).stats.bytes_read;
+
+        // Identical rows to a from-scratch reconstruction.
+        let (rows_full, _) = reconstruct_region(&store, &b, None).unwrap();
+        assert_eq!(rows_b, rows_full);
+        // Overlapping chunks were reused, and reuse really skipped I/O.
+        assert!(stats_b.chunks_reused > 0, "overlapping regions share chunks");
+        assert_eq!(delta_io, stats_b.chunk_bytes, "only the delta was read");
+        assert!(stats_b.bytes_reused > 0);
+        // The new set covers the whole region b (reused + fresh).
+        assert_eq!(set_b.len() as u64, stats_b.chunks_loaded + stats_b.chunks_reused);
+        for dim_ids in chunks_for(&store, &b) {
+            for id in dim_ids {
+                assert!(set_b.contains(id));
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_same_region_reads_nothing() {
+        let (store, _, dir) = build("delta-same", 800, 256);
+        let region = Region::new(vec![25.0, 25.0, 25.0], vec![75.0, 75.0, 75.0]).unwrap();
+        let chunks = chunks_for(&store, &region);
+        let (first, _, set) =
+            reconstruct_region_delta(&store, &region, &chunks, None, ChunkFetch::Uncached)
+                .unwrap();
+        let before = store.tracker().snapshot();
+        let (second, stats, _) = reconstruct_region_delta(
+            &store,
+            &region,
+            &chunks,
+            Some(&set),
+            ChunkFetch::Uncached,
+        )
+        .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(stats.chunks_loaded, 0);
+        assert_eq!(stats.chunk_bytes, 0);
+        assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_composes_with_shared_cache() {
+        let (store, _, dir) = build("delta-shared", 1000, 256);
+        let cache = SharedChunkCache::new(64 << 20, 4);
+        let a = Region::new(vec![0.0, 0.0, 0.0], vec![50.0, 50.0, 50.0]).unwrap();
+        let b = Region::new(vec![10.0, 10.0, 10.0], vec![60.0, 60.0, 60.0]).unwrap();
+        let (_, _, set_a) = reconstruct_region_delta(
+            &store,
+            &a,
+            &chunks_for(&store, &a),
+            None,
+            ChunkFetch::Shared(&cache),
+        )
+        .unwrap();
+        let hits_before = cache.stats().hits;
+        let (rows_b, stats_b, _) = reconstruct_region_delta(
+            &store,
+            &b,
+            &chunks_for(&store, &b),
+            Some(&set_a),
+            ChunkFetch::Shared(&cache),
+        )
+        .unwrap();
+        // Reused chunks never touch the cache: hit count only moves for
+        // the delta chunks (which may hit if b's extra chunks were loaded
+        // for a — impossible here since set_a covers exactly a's chunks).
+        assert_eq!(cache.stats().hits, hits_before);
+        let (rows_full, _) = reconstruct_region(&store, &b, None).unwrap();
+        assert_eq!(rows_b, rows_full);
+        assert!(stats_b.chunks_reused > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_fetch_matches_uncached() {
+        let (store, rows, dir) = build("sharedfetch", 900, 256);
+        let region = Region::new(vec![15.0, 5.0, 30.0], vec![85.0, 95.0, 70.0]).unwrap();
+        let cache = SharedChunkCache::new(64 << 20, 4);
+        let (got, stats) = reconstruct_region_with_chunks(
+            &store,
+            &region,
+            &chunks_for(&store, &region),
+            ChunkFetch::Shared(&cache),
+        )
+        .unwrap();
+        let got_ids: Vec<u64> = got.iter().map(|p| p.id.as_u64()).collect();
+        assert_eq!(got_ids, brute_force(&rows, &region));
+        assert!(stats.chunks_loaded > 0);
+        // Second pass: all hits, zero modeled I/O.
+        let before = store.tracker().snapshot();
+        let (again, _) = reconstruct_region_with_chunks(
+            &store,
+            &region,
+            &chunks_for(&store, &region),
+            ChunkFetch::Shared(&cache),
+        )
+        .unwrap();
+        assert_eq!(got, again);
+        assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

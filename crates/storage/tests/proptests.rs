@@ -5,13 +5,33 @@
 use std::collections::HashMap;
 
 use proptest::prelude::*;
+use uei_storage::cache::{ChunkCache, SharedChunkCache};
 use uei_storage::chunk::{Chunk, ChunkId};
 use uei_storage::io::{DiskTracker, IoProfile};
 use uei_storage::lru::LruMap;
-use uei_storage::merge::reconstruct_region;
+use uei_storage::merge::{
+    reconstruct_region, reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch,
+    RegionChunkSet,
+};
 use uei_storage::postings::PostingList;
 use uei_storage::store::{ColumnStore, StoreConfig};
 use uei_types::{AttributeDef, DataPoint, Region, Schema};
+
+/// Per-dimension chunk ids overlapping `region` (what the index's cell →
+/// chunk mapping would hand the loader).
+fn chunks_for(store: &ColumnStore, region: &Region) -> Vec<Vec<ChunkId>> {
+    (0..store.schema().dims())
+        .map(|d| {
+            store
+                .manifest()
+                .chunks_overlapping(d, region.lo[d], region.hi[d])
+                .unwrap()
+                .iter()
+                .map(|m| m.id())
+                .collect()
+        })
+        .collect()
+}
 
 fn posting_strategy() -> impl Strategy<Value = PostingList> {
     (
@@ -106,6 +126,74 @@ proptest! {
         prop_assert_eq!(stats.result_rows as usize, got.len());
         for p in &got {
             prop_assert_eq!(p, &rows[p.id.as_usize()]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every fetch mode — uncached, private LRU, shared concurrent cache,
+    /// and delta reconstruction against the previous region — returns
+    /// bit-identical rows for the same region sequence, at any cache
+    /// budget (including 0, where everything bypasses admission).
+    #[test]
+    fn all_cache_modes_reconstruct_identical_rows(
+        values in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..100),
+        queries in proptest::collection::vec(
+            (0.0f64..10.0, 0.0f64..10.0, 0.1f64..5.0, 0.1f64..5.0), 1..5),
+        chunk_bytes in 64usize..1024,
+        budget_sel in 0u8..3,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-modes-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 10.0).unwrap(),
+            AttributeDef::new("y", 0.0, 10.0).unwrap(),
+        ]).unwrap();
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DataPoint::new(i as u64, vec![x, y]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            &dir, schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
+            .unwrap();
+
+        // 0 = bypass everything, 1 = tight (evictions), 2 = unbounded.
+        let budget = match budget_sel { 0 => 0, 1 => 4 * chunk_bytes, _ => usize::MAX };
+        let mut local = ChunkCache::new(budget);
+        let shared = SharedChunkCache::new(budget, 4);
+        let mut prev: Option<RegionChunkSet> = None;
+
+        for (qx, qy, wx, wy) in queries {
+            let region = Region::new(
+                vec![qx, qy],
+                vec![(qx + wx).min(10.5), (qy + wy).min(10.5)],
+            ).unwrap();
+            let chunks = chunks_for(&store, &region);
+
+            let (base, _) = reconstruct_region_with_chunks(
+                &store, &region, &chunks, ChunkFetch::Uncached).unwrap();
+            let (cached, _) = reconstruct_region_with_chunks(
+                &store, &region, &chunks, ChunkFetch::Cached(&mut local)).unwrap();
+            let (shared_rows, _) = reconstruct_region_with_chunks(
+                &store, &region, &chunks, ChunkFetch::Shared(&shared)).unwrap();
+            let (delta_rows, _, set) = reconstruct_region_delta(
+                &store, &region, &chunks, prev.as_ref(), ChunkFetch::Uncached).unwrap();
+            prev = Some(set);
+
+            prop_assert_eq!(&cached, &base, "private LRU diverged");
+            prop_assert_eq!(&shared_rows, &base, "shared cache diverged");
+            prop_assert_eq!(&delta_rows, &base, "delta reconstruction diverged");
+
+            // And all of them match brute force over the raw rows.
+            let expect: Vec<u64> = rows
+                .iter()
+                .filter(|p| region.contains(&p.values).unwrap())
+                .map(|p| p.id.as_u64())
+                .collect();
+            let got: Vec<u64> = base.iter().map(|p| p.id.as_u64()).collect();
+            prop_assert_eq!(got, expect);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,0 +1,124 @@
+//! Property-based tests of the shared concurrent chunk cache's byte
+//! accounting: with single-flight and an admitting budget, the physical
+//! bytes charged across every thread's tracker must equal exactly one read
+//! of each unique chunk touched — no double-count (two threads both paying
+//! for the same chunk) and no loss (a read charged to nobody).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uei_storage::cache::SharedChunkCache;
+use uei_storage::chunk::ChunkId;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+fn build_store(tag: &str, rows: usize, chunk_bytes: usize) -> (Arc<ColumnStore>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "uei-shared-acct-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let schema = Schema::new(vec![
+        AttributeDef::new("x", 0.0, 10.0).unwrap(),
+        AttributeDef::new("y", 0.0, 10.0).unwrap(),
+    ])
+    .unwrap();
+    let mut rng = Rng::new(7);
+    let points: Vec<DataPoint> = (0..rows)
+        .map(|i| {
+            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 10.0), rng.range_f64(0.0, 10.0)])
+        })
+        .collect();
+    let store = ColumnStore::create(
+        &dir,
+        schema,
+        &points,
+        StoreConfig { chunk_target_bytes: chunk_bytes },
+        DiskTracker::new(IoProfile::instant()),
+    )
+    .unwrap();
+    (Arc::new(store), dir)
+}
+
+/// Every chunk id of the store, in manifest order.
+fn all_chunk_ids(store: &ColumnStore) -> Vec<ChunkId> {
+    store.manifest().dims.iter().flatten().map(|m| m.id()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Foreground + prefetcher accounting across thread counts: each
+    /// thread runs its access sequence through its own store handle (its
+    /// own tracker, as loader and prefetcher do). Afterwards the summed
+    /// per-tracker deltas equal one read of each unique chunk accessed,
+    /// and the hit/miss counters add up to the total access count.
+    #[test]
+    fn concurrent_byte_accounting_is_exact(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..40), 8),
+    ) {
+        let (store, dir) = build_store("exact", 1200, 256);
+        let ids = all_chunk_ids(&store);
+        prop_assert!(ids.len() > 4, "fixture must span several chunks");
+
+        for &threads in &[1usize, 2, 8] {
+            let cache = Arc::new(SharedChunkCache::new(usize::MAX, 4));
+            let active = &seqs[..threads];
+            let total_accesses: u64 = active.iter().map(|s| s.len() as u64).sum();
+
+            let mut unique: Vec<ChunkId> = active
+                .iter()
+                .flatten()
+                .map(|ix| ids[ix.index(ids.len())])
+                .collect();
+            unique.sort_unstable();
+            unique.dedup();
+            let unique_bytes: u64 = unique
+                .iter()
+                .map(|&id| store.manifest().chunk_meta(id).unwrap().file_size)
+                .sum();
+
+            let bytes_by_thread: Vec<u64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = active
+                    .iter()
+                    .map(|seq| {
+                        let cache = Arc::clone(&cache);
+                        let dir = store.dir().to_path_buf();
+                        let ids = &ids;
+                        scope.spawn(move || {
+                            // Own handle ⇒ own tracker, like the real
+                            // foreground/background split.
+                            let tracker = DiskTracker::new(IoProfile::instant());
+                            let handle =
+                                ColumnStore::open(dir, tracker.clone()).unwrap();
+                            let after_open = tracker.snapshot();
+                            for ix in seq {
+                                cache.get_or_load(&handle, ids[ix.index(ids.len())]).unwrap();
+                            }
+                            tracker.delta(&after_open).stats.bytes_read
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            let total_bytes: u64 = bytes_by_thread.iter().sum();
+            prop_assert_eq!(
+                total_bytes, unique_bytes,
+                "threads={}: charged {} B, one read of each unique chunk is {} B",
+                threads, total_bytes, unique_bytes
+            );
+
+            let stats = cache.stats();
+            prop_assert_eq!(stats.misses, unique.len() as u64, "threads={}", threads);
+            prop_assert_eq!(stats.hits, total_accesses - unique.len() as u64);
+            prop_assert_eq!(stats.bypasses, 0u64);
+            prop_assert_eq!(stats.evictions, 0u64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,4 +31,11 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run -p uei-bench --release --bin scoring_bench -- --smoke --out "$tmp/BENCH_scoring.json"
 test -s "$tmp/BENCH_scoring.json"
 
+# Smoke-run the region-load bench: cold vs. warm-shared-cache vs. delta
+# over a small fixture. The binary asserts all modes reconstruct identical
+# rows and that warm/delta beat cold in both modeled bytes and wall time.
+echo "==> region_load_bench --smoke"
+cargo run -p uei-bench --release --bin region_load_bench -- --smoke --out "$tmp/BENCH_region_load.json"
+test -s "$tmp/BENCH_region_load.json"
+
 echo "CI gate passed."

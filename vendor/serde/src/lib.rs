@@ -306,6 +306,18 @@ pub mod __private {
         }
     }
 
+    /// Looks up a `#[serde(default)]` struct field; `Ok(None)` when absent.
+    pub fn opt_field<'a>(
+        value: &'a Value,
+        ty: &str,
+        name: &str,
+    ) -> Result<Option<&'a Value>, Error> {
+        match value {
+            Value::Object(_) => Ok(value.get(name)),
+            other => Err(Error::custom(format!("{ty}: expected object, got {other:?}"))),
+        }
+    }
+
     /// Extracts the variant string of a unit-variant enum.
     pub fn variant<'a>(value: &'a Value, ty: &str) -> Result<&'a str, Error> {
         match value {

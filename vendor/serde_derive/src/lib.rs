@@ -10,7 +10,10 @@
 //! - enums of unit variants → variant-name string (external tagging);
 //! - enum newtype variants → single-key object `{"Variant": inner}`.
 //!
-//! Generics, struct variants, and `#[serde(...)]` attributes are rejected
+//! The only supported attribute is `#[serde(default)]` on a named struct
+//! field: deserialization substitutes `Default::default()` when the key is
+//! absent (schema-evolution escape hatch for persisted traces). Generics,
+//! struct variants, and every other `#[serde(...)]` attribute are rejected
 //! with a panic at expansion time rather than silently mis-serialized.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -32,8 +35,9 @@ enum Direction {
 }
 
 enum Shape {
-    /// `struct S { a: T, b: U }` — field names in declaration order.
-    NamedStruct(Vec<String>),
+    /// `struct S { a: T, b: U }` — fields in declaration order, each with
+    /// its `#[serde(default)]` flag.
+    NamedStruct(Vec<(String, bool)>),
     /// `struct S(T, U, ...);` — number of unnamed fields.
     TupleStruct(usize),
     /// `enum E { A, B(T), ... }` — `(variant, has_payload)`.
@@ -46,7 +50,7 @@ fn expand(input: TokenStream, dir: Direction) -> TokenStream {
         (Shape::NamedStruct(fields), Direction::Serialize) => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -64,11 +68,23 @@ fn expand(input: TokenStream, dir: Direction) -> TokenStream {
         (Shape::NamedStruct(fields), Direction::Deserialize) => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::__private::field(value, \"{name}\", \"{f}\")?)?,"
-                    )
+                .map(|(f, default)| {
+                    if *default {
+                        format!(
+                            "{f}: match ::serde::__private::opt_field(\
+                                 value, \"{name}\", \"{f}\")? {{\n\
+                                 ::std::option::Option::Some(v) => \
+                                     ::serde::Deserialize::from_value(v)?,\n\
+                                 ::std::option::Option::None => \
+                                     ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::__private::field(value, \"{name}\", \"{f}\")?)?,"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -253,14 +269,21 @@ fn parse_item(input: TokenStream) -> (String, Shape) {
     (name, shape)
 }
 
-/// Extracts field names from the brace group of a named struct.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Extracts `(name, has_default)` pairs from the brace group of a named
+/// struct, honoring `#[serde(default)]` field attributes.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
     let toks: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
+    let mut default = false;
     let mut i = 0;
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if parse_serde_attr(g) {
+                        default = true;
+                    }
+                }
                 i += 2; // field attribute / doc comment
             }
             TokenTree::Ident(id) if id.to_string() == "pub" => {
@@ -272,7 +295,8 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                 }
             }
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push((id.to_string(), default));
+                default = false;
                 i += 1;
                 match toks.get(i) {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -297,6 +321,27 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Inspects one bracketed attribute body. Returns `true` for
+/// `#[serde(default)]`; panics on any other `#[serde(...)]` form (this
+/// stub would silently mis-serialize it); `false` for non-serde
+/// attributes (doc comments etc.).
+fn parse_serde_attr(attr: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    if let Some(TokenTree::Group(args)) = toks.get(1) {
+        let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+        if let [TokenTree::Ident(id)] = inner.as_slice() {
+            if id.to_string() == "default" {
+                return true;
+            }
+        }
+    }
+    panic!("serde_derive stub: only #[serde(default)] is supported, got #[{attr}]");
 }
 
 /// Counts the unnamed fields of a tuple struct body.
