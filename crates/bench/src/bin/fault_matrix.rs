@@ -1,0 +1,76 @@
+//! Fault-matrix sweep: {transient, corrupt, slow} × {loader, prefetcher}.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin fault_matrix            # full run
+//! cargo run -p uei-bench --release --bin fault_matrix -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_fault_matrix.json` (schema: `BENCH_SCHEMA.json`) to the
+//! current directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::fault_matrix::{
+    full_fault_matrix_report, smoke_fault_matrix_report, validate_fault_matrix,
+    FaultMatrixReport,
+};
+
+fn print_report(report: &FaultMatrixReport) {
+    println!(
+        "fault matrix over a {0}x{0} cell walk — {1} rows, {2} B chunks, seed {3}\n\
+         per-read p: transient {4}, corrupt {5}, slow {6}\n",
+        report.cells_per_dim,
+        report.dataset_rows,
+        report.chunk_target_bytes,
+        report.seed,
+        report.transient_prob,
+        report.corrupt_prob,
+        report.slow_prob,
+    );
+    println!(
+        "{:<12} {:<10} {:>6} {:>6} {:>7} {:>8} {:>8} {:>10} {:>8} {:>7} {:>10}",
+        "component", "fault", "cells", "ok", "failed", "retries", "reads", "transient",
+        "corrupt", "spikes", "virt"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<12} {:<10} {:>6} {:>6} {:>7} {:>8} {:>8} {:>10} {:>8} {:>7} {:>8.2}ms",
+            c.component,
+            c.fault,
+            c.cells,
+            c.cells_ok,
+            c.cells_failed,
+            c.retries,
+            c.reads_seen,
+            c.transient_errors,
+            c.corruptions,
+            c.latency_spikes,
+            c.virtual_ms,
+        );
+    }
+    println!(
+        "\nclean-path checksum overhead: checked {:.2} ms vs legacy {:.2} ms ({:+.1}%)",
+        report.checked_wall_ns as f64 / 1e6,
+        report.legacy_wall_ns as f64 / 1e6,
+        report.crc_overhead_fraction * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_fault_matrix.json"));
+
+    let report = if smoke { smoke_fault_matrix_report() } else { full_fault_matrix_report() };
+    print_report(&report);
+    validate_fault_matrix(&report);
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

@@ -1,0 +1,551 @@
+//! Seeded fault-matrix sweep: {transient, corrupt, slow} × {loader, prefetcher}.
+//!
+//! Exercises the storage fault-tolerance subsystem end to end under each
+//! fault kind in isolation, for both consumers of the chunk read path: the
+//! foreground [`RegionLoader`] (which retries transients and surfaces
+//! corruption) and the background [`Prefetcher`] (which records failures in
+//! its bounded failure map and keeps serving other cells). Every sweep is
+//! seed-driven — the same config reproduces the same fault schedule — and
+//! the report carries the injector's own counters so a sweep that silently
+//! injected nothing fails validation loudly.
+//!
+//! The report also measures the clean-path cost of catalog checksum
+//! verification: the same serpentine walk is timed against the normal store
+//! and against a byte-identical store whose catalog CRCs were zeroed
+//! (the legacy "skip verification" encoding), and validation asserts the
+//! difference stays within noise.
+//!
+//! Results serialize to the `BENCH_fault_matrix.json` shape documented in
+//! `BENCH_SCHEMA.json` at the repository root.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use uei_index::grid::Grid;
+use uei_index::loader::RegionLoader;
+use uei_index::mapping::ChunkMapping;
+use uei_index::prefetch::Prefetcher;
+use uei_storage::fault::{FaultConfig, FaultInjector, RetryPolicy};
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+/// Fixture and sweep knobs.
+#[derive(Debug, Clone)]
+pub struct FaultMatrixConfig {
+    /// Dataset rows (2-D uniform synthetic).
+    pub rows: usize,
+    /// Grid resolution; each sweep walks all `cells_per_dim²` cells.
+    pub cells_per_dim: usize,
+    /// Chunk size of the column store (small keeps many chunks per cell,
+    /// so each cell load rolls the fault dice several times).
+    pub chunk_target_bytes: usize,
+    /// Per-read transient probability during the transient sweeps. A cell
+    /// load rolls the dice once per chunk read and a single transient
+    /// aborts the attempt, so this must be small enough that the loader's
+    /// bounded retries can realistically absorb the failures.
+    pub transient_prob: f64,
+    /// Per-read corruption probability during the corrupt sweeps.
+    pub corrupt_prob: f64,
+    /// Per-read latency-spike probability during the slow sweeps.
+    pub slow_prob: f64,
+    /// Virtual-clock penalty per latency spike, seconds.
+    pub slow_penalty_secs: f64,
+    /// Timing repetitions for the clean-path checksum-overhead comparison
+    /// (min wall time per side is compared).
+    pub samples: usize,
+    /// Seed for the synthetic data and the fault injectors.
+    pub seed: u64,
+}
+
+impl Default for FaultMatrixConfig {
+    fn default() -> Self {
+        FaultMatrixConfig {
+            rows: 20_000,
+            cells_per_dim: 6,
+            chunk_target_bytes: 2048,
+            transient_prob: 0.01,
+            corrupt_prob: 0.02,
+            slow_prob: 0.10,
+            slow_penalty_secs: 0.05,
+            samples: 5,
+            seed: 211,
+        }
+    }
+}
+
+/// One cell of the fault matrix: a component driven under one fault kind.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrixCase {
+    /// `"loader"` or `"prefetcher"`.
+    pub component: String,
+    /// `"transient"`, `"corrupt"`, or `"slow"`.
+    pub fault: String,
+    /// Cells the sweep attempted to load.
+    pub cells: usize,
+    /// Cells that produced a region despite the injector.
+    pub cells_ok: usize,
+    /// Cells whose load surfaced a storage fault.
+    pub cells_failed: usize,
+    /// Retries the loader's [`RetryPolicy`] spent absorbing transients
+    /// (always 0 for the prefetcher, which does not retry).
+    pub retries: u64,
+    /// Reads the injector was consulted for.
+    pub reads_seen: u64,
+    /// Transient errors injected.
+    pub transient_errors: u64,
+    /// Payloads corrupted in memory.
+    pub corruptions: u64,
+    /// Latency spikes charged to the virtual clock.
+    pub latency_spikes: u64,
+    /// Modeled (virtual-clock) time of the sweep, milliseconds. With the
+    /// instant I/O profile this is purely injected cost: spike penalties
+    /// plus retry backoff.
+    pub virtual_ms: f64,
+}
+
+/// The full report written to `BENCH_fault_matrix.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrixReport {
+    /// Dataset rows of the fixture.
+    pub dataset_rows: usize,
+    /// Grid resolution of the walks.
+    pub cells_per_dim: usize,
+    /// Store chunk size.
+    pub chunk_target_bytes: usize,
+    /// Per-read transient probability of the transient sweeps.
+    pub transient_prob: f64,
+    /// Per-read corruption probability of the corrupt sweeps.
+    pub corrupt_prob: f64,
+    /// Per-read spike probability of the slow sweeps.
+    pub slow_prob: f64,
+    /// Seed for data and injectors.
+    pub seed: u64,
+    /// Timing repetitions of the checksum-overhead comparison.
+    pub samples: usize,
+    /// Best wall time of the walk with catalog CRC verification, ns.
+    pub checked_wall_ns: u64,
+    /// Best wall time of the same walk with CRCs zeroed (legacy catalogs
+    /// skip verification), ns.
+    pub legacy_wall_ns: u64,
+    /// `checked / legacy - 1`: the clean-path cost of verification. Noise
+    /// can make this slightly negative.
+    pub crc_overhead_fraction: f64,
+    /// The six sweeps: {transient, corrupt, slow} × {loader, prefetcher}.
+    pub cases: Vec<FaultMatrixCase>,
+}
+
+const FAULT_KINDS: [&str; 3] = ["transient", "corrupt", "slow"];
+
+fn schema2() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("x", 0.0, 100.0).unwrap(),
+        AttributeDef::new("y", 0.0, 100.0).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn random_rows(n: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|i| {
+            DataPoint::new(
+                i as u64,
+                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
+            )
+        })
+        .collect()
+}
+
+fn walk_cells(cells_per_dim: usize) -> Vec<usize> {
+    (0..cells_per_dim * cells_per_dim).collect()
+}
+
+/// Builds the [`FaultConfig`] that injects exactly one fault kind, so each
+/// cell of the matrix is attributable to that kind alone.
+fn single_fault(kind: &str, config: &FaultMatrixConfig, seed: u64) -> FaultConfig {
+    let mut f = FaultConfig { seed, ..FaultConfig::off() };
+    match kind {
+        "transient" => f.transient_prob = config.transient_prob,
+        "corrupt" => f.corrupt_prob = config.corrupt_prob,
+        "slow" => {
+            f.slow_prob = config.slow_prob;
+            f.slow_penalty_secs = config.slow_penalty_secs;
+        }
+        other => panic!("unknown fault kind `{other}`"),
+    }
+    f
+}
+
+/// Drives the foreground loader over the walk with `kind` injected.
+fn loader_sweep(
+    dir: &Path,
+    grid: &Grid,
+    mapping: &ChunkMapping,
+    walk: &[usize],
+    kind: &str,
+    config: &FaultMatrixConfig,
+) -> FaultMatrixCase {
+    // Open the store *before* attaching the injector so the manifest read
+    // is clean; the sweep targets steady-state chunk reads.
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let store =
+        Arc::new(ColumnStore::open(dir, tracker.clone()).expect("open loader handle"));
+    let injector =
+        FaultInjector::new(single_fault(kind, config, config.seed)).expect("injector");
+    tracker.set_fault_injector(Some(Arc::clone(&injector)));
+
+    let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+    loader.set_retry_policy(RetryPolicy::default());
+    let before = tracker.snapshot();
+    let mut cells_ok = 0usize;
+    let mut cells_failed = 0usize;
+    for &cell in walk {
+        match loader.load_cell(grid, mapping, cell) {
+            Ok(_) => cells_ok += 1,
+            Err(e) if e.is_storage_fault() => cells_failed += 1,
+            Err(e) => panic!("non-storage error under `{kind}` injection: {e}"),
+        }
+    }
+    let virtual_ms = tracker.delta(&before).virtual_elapsed.as_secs_f64() * 1e3;
+    tracker.set_fault_injector(None);
+
+    let stats = injector.stats();
+    FaultMatrixCase {
+        component: "loader".to_string(),
+        fault: kind.to_string(),
+        cells: walk.len(),
+        cells_ok,
+        cells_failed,
+        retries: loader.total_retries(),
+        reads_seen: stats.reads_seen,
+        transient_errors: stats.transient_errors,
+        corruptions: stats.corruptions,
+        latency_spikes: stats.latency_spikes,
+        virtual_ms,
+    }
+}
+
+/// Drives the background prefetcher over the walk with `kind` injected on
+/// its (separate) tracker.
+fn prefetcher_sweep(
+    dir: &Path,
+    grid: &Grid,
+    mapping: &ChunkMapping,
+    walk: &[usize],
+    kind: &str,
+    config: &FaultMatrixConfig,
+) -> FaultMatrixCase {
+    let pre = Prefetcher::spawn(dir, IoProfile::instant(), grid.clone(), mapping.clone())
+        .expect("spawn prefetcher");
+    let injector =
+        FaultInjector::new(single_fault(kind, config, config.seed ^ 0x9E37_79B9))
+            .expect("injector");
+    pre.background_tracker().set_fault_injector(Some(Arc::clone(&injector)));
+    let before = pre.background_tracker().snapshot();
+
+    for &cell in walk {
+        pre.request(cell);
+    }
+    let mut cells_ok = 0usize;
+    for &cell in walk {
+        if pre.take_blocking(cell, Duration::from_secs(60)).is_some() {
+            cells_ok += 1;
+        }
+    }
+    let virtual_ms =
+        pre.background_tracker().delta(&before).virtual_elapsed.as_secs_f64() * 1e3;
+    let cells_failed = pre.total_failures() as usize;
+    assert_eq!(
+        cells_ok + cells_failed,
+        walk.len(),
+        "every requested cell must end ready or failed"
+    );
+
+    let stats = injector.stats();
+    FaultMatrixCase {
+        component: "prefetcher".to_string(),
+        fault: kind.to_string(),
+        cells: walk.len(),
+        cells_ok,
+        cells_failed,
+        retries: 0,
+        reads_seen: stats.reads_seen,
+        transient_errors: stats.transient_errors,
+        corruptions: stats.corruptions,
+        latency_spikes: stats.latency_spikes,
+        virtual_ms,
+    }
+}
+
+/// Times the full clean walk (no injector), returning best-of-`samples`
+/// wall time and an order-sensitive checksum of materialized row ids.
+fn timed_clean_walk(
+    store: &Arc<ColumnStore>,
+    grid: &Grid,
+    mapping: &ChunkMapping,
+    walk: &[usize],
+    samples: usize,
+) -> (u64, u64) {
+    let mut best_ns = u64::MAX;
+    let mut checksum = 0u64;
+    for _ in 0..samples.max(1) {
+        let mut loader = RegionLoader::new(Arc::clone(store), 0);
+        let start = Instant::now();
+        let mut sum = 0u64;
+        for &cell in walk {
+            let (points, _) = loader.load_cell(grid, mapping, cell).expect("clean load");
+            for p in &points {
+                sum = sum.wrapping_mul(31).wrapping_add(p.id.as_u64());
+            }
+        }
+        best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+        checksum = sum;
+    }
+    (best_ns, checksum)
+}
+
+/// Runs the six-sweep matrix plus the checksum-overhead comparison over
+/// one on-disk fixture.
+pub fn run_fault_matrix_bench(config: &FaultMatrixConfig) -> FaultMatrixReport {
+    let base: PathBuf = std::env::temp_dir().join(format!(
+        "uei-fault-matrix-bench-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir = base.join("checked");
+    let legacy_dir = base.join("legacy");
+
+    let rows = random_rows(config.rows, config.seed);
+    let build_tracker = DiskTracker::new(IoProfile::instant());
+    let store = Arc::new(
+        ColumnStore::create(
+            &dir,
+            schema2(),
+            &rows,
+            StoreConfig { chunk_target_bytes: config.chunk_target_bytes },
+            build_tracker.clone(),
+        )
+        .expect("create fixture store"),
+    );
+    let grid = Grid::new(store.schema(), config.cells_per_dim).expect("grid");
+    let mapping = ChunkMapping::build(&grid, store.manifest()).expect("mapping");
+    let walk = walk_cells(config.cells_per_dim);
+
+    // The fault matrix proper: each kind in isolation, against each
+    // consumer of the chunk read path.
+    let mut cases = Vec::with_capacity(FAULT_KINDS.len() * 2);
+    for kind in FAULT_KINDS {
+        cases.push(loader_sweep(&dir, &grid, &mapping, &walk, kind, config));
+        cases.push(prefetcher_sweep(&dir, &grid, &mapping, &walk, kind, config));
+    }
+
+    // Clean-path checksum overhead: the same bytes with catalog CRCs
+    // zeroed take the legacy "skip verification" branch, so the wall-time
+    // difference between the two stores is the verification cost.
+    let legacy_tracker = DiskTracker::new(IoProfile::instant());
+    let legacy = ColumnStore::create(
+        &legacy_dir,
+        schema2(),
+        &rows,
+        StoreConfig { chunk_target_bytes: config.chunk_target_bytes },
+        legacy_tracker.clone(),
+    )
+    .expect("create legacy fixture store");
+    let mut manifest = legacy.manifest().clone();
+    for catalog in &mut manifest.dims {
+        for chunk in catalog {
+            chunk.crc32 = 0;
+        }
+    }
+    manifest.save(&legacy_dir, &legacy_tracker).expect("rewrite legacy manifest");
+    drop(legacy);
+    let legacy = Arc::new(
+        ColumnStore::open(&legacy_dir, legacy_tracker).expect("reopen legacy store"),
+    );
+
+    let (checked_wall_ns, checked_sum) =
+        timed_clean_walk(&store, &grid, &mapping, &walk, config.samples);
+    let (legacy_wall_ns, legacy_sum) =
+        timed_clean_walk(&legacy, &grid, &mapping, &walk, config.samples);
+    assert_eq!(
+        checked_sum, legacy_sum,
+        "checked and legacy stores must materialize identical regions"
+    );
+    let crc_overhead_fraction = checked_wall_ns as f64 / legacy_wall_ns as f64 - 1.0;
+
+    std::fs::remove_dir_all(&base).ok();
+    FaultMatrixReport {
+        dataset_rows: config.rows,
+        cells_per_dim: config.cells_per_dim,
+        chunk_target_bytes: config.chunk_target_bytes,
+        transient_prob: config.transient_prob,
+        corrupt_prob: config.corrupt_prob,
+        slow_prob: config.slow_prob,
+        seed: config.seed,
+        samples: config.samples.max(1),
+        checked_wall_ns,
+        legacy_wall_ns,
+        crc_overhead_fraction,
+        cases,
+    }
+}
+
+/// Panics unless the report upholds the acceptance criteria: every matrix
+/// cell ran and its injector actually fired the configured kind (and only
+/// that kind), transients were absorbed by loader retries, corruption
+/// surfaced as failed cells in both components, latency spikes never
+/// failed a load, and checksum verification stayed within noise on the
+/// clean path.
+pub fn validate_fault_matrix(report: &FaultMatrixReport) {
+    assert_eq!(report.cases.len(), 6, "3 fault kinds x 2 components");
+    for component in ["loader", "prefetcher"] {
+        for kind in FAULT_KINDS {
+            let case = report
+                .cases
+                .iter()
+                .find(|c| c.component == component && c.fault == kind)
+                .unwrap_or_else(|| panic!("missing matrix cell {component}/{kind}"));
+            assert_eq!(case.cells_ok + case.cells_failed, case.cells);
+            assert!(case.reads_seen > 0, "{component}/{kind}: injector saw no reads");
+            let fired = (
+                case.transient_errors > 0,
+                case.corruptions > 0,
+                case.latency_spikes > 0,
+            );
+            let expected =
+                (kind == "transient", kind == "corrupt", kind == "slow");
+            assert_eq!(
+                fired, expected,
+                "{component}/{kind}: injected faults {fired:?} do not match the \
+                 configured kind"
+            );
+            match kind {
+                "transient" => {
+                    if component == "loader" {
+                        assert!(
+                            case.retries > 0,
+                            "loader/transient: retries must absorb transient errors"
+                        );
+                        assert!(
+                            case.cells_ok > case.cells_failed,
+                            "loader/transient: retries should save most cells \
+                             ({} ok vs {} failed)",
+                            case.cells_ok,
+                            case.cells_failed
+                        );
+                    } else {
+                        // The prefetcher does not retry; transients become
+                        // recorded failures the foreground can route around.
+                        assert!(case.cells_failed > 0);
+                    }
+                }
+                "corrupt" => {
+                    assert!(
+                        case.cells_failed > 0,
+                        "{component}/corrupt: corruption must surface, never be \
+                         silently decoded"
+                    );
+                    assert_eq!(
+                        case.retries, 0,
+                        "{component}/corrupt: corrupt reads must never be retried"
+                    );
+                }
+                "slow" => {
+                    assert_eq!(
+                        case.cells_failed, 0,
+                        "{component}/slow: latency spikes must never fail a load"
+                    );
+                    assert!(
+                        case.virtual_ms > 0.0,
+                        "{component}/slow: spike penalties must reach the virtual \
+                         clock"
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    assert!(
+        report.crc_overhead_fraction < 0.5,
+        "clean-path checksum verification must stay within noise, measured {:+.1}%",
+        report.crc_overhead_fraction * 100.0
+    );
+}
+
+/// The default full-size run.
+pub fn full_fault_matrix_report() -> FaultMatrixReport {
+    run_fault_matrix_bench(&FaultMatrixConfig::default())
+}
+
+/// A seconds-scale smoke run used by CI. Panics if any acceptance
+/// criterion fails.
+pub fn smoke_fault_matrix_report() -> FaultMatrixReport {
+    let report = run_fault_matrix_bench(&FaultMatrixConfig {
+        rows: 6_000,
+        cells_per_dim: 4,
+        chunk_target_bytes: 1024,
+        // Fewer chunk reads per cell than the full run, so a slightly
+        // higher per-read probability keeps the fault counts meaningful.
+        transient_prob: 0.02,
+        samples: 3,
+        ..FaultMatrixConfig::default()
+    });
+    validate_fault_matrix(&report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_upholds_acceptance_criteria() {
+        let report = smoke_fault_matrix_report();
+        assert_eq!(report.cases.len(), 6);
+        assert!(report.checked_wall_ns > 0 && report.legacy_wall_ns > 0);
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_for_a_seed() {
+        let config = FaultMatrixConfig {
+            rows: 2_000,
+            cells_per_dim: 3,
+            chunk_target_bytes: 1024,
+            samples: 1,
+            ..FaultMatrixConfig::default()
+        };
+        let a = run_fault_matrix_bench(&config);
+        let b = run_fault_matrix_bench(&config);
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!((x.cells_ok, x.cells_failed), (y.cells_ok, y.cells_failed));
+            assert_eq!(
+                (x.reads_seen, x.transient_errors, x.corruptions, x.latency_spikes),
+                (y.reads_seen, y.transient_errors, y.corruptions, y.latency_spikes),
+                "{}/{} fault schedule must replay exactly",
+                x.component,
+                x.fault
+            );
+            assert_eq!(x.retries, y.retries);
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = run_fault_matrix_bench(&FaultMatrixConfig {
+            rows: 1_500,
+            cells_per_dim: 3,
+            chunk_target_bytes: 1024,
+            samples: 1,
+            ..FaultMatrixConfig::default()
+        });
+        let json = serde_json::to_vec_pretty(&report).unwrap();
+        let text = String::from_utf8(json).unwrap();
+        assert!(text.contains("\"component\""));
+        assert!(text.contains("prefetcher"));
+        assert!(text.contains("crc_overhead_fraction"));
+    }
+}

@@ -18,11 +18,16 @@
 //! `benches/`.
 
 pub mod experiments;
+pub mod fault_matrix;
 pub mod fixture;
 pub mod region_load;
 pub mod scoring;
 
 pub use experiments::*;
+pub use fault_matrix::{
+    full_fault_matrix_report, run_fault_matrix_bench, smoke_fault_matrix_report,
+    validate_fault_matrix, FaultMatrixCase, FaultMatrixConfig, FaultMatrixReport,
+};
 pub use fixture::{ExperimentScale, Fixture};
 pub use region_load::{
     full_region_load_report, run_region_load_bench, smoke_region_load_report, RegionLoadCase,

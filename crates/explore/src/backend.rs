@@ -46,6 +46,15 @@ pub struct SelectionInfo {
     pub cache_bypasses: u64,
     /// UEI: bytes the background prefetcher read during this selection.
     pub prefetch_bytes_read: u64,
+    /// UEI: transient-storage-error retries absorbed during this selection.
+    pub retries: u64,
+    /// UEI: candidate ranks skipped past storage-faulted cells before a
+    /// region loaded (the graceful-degradation ladder).
+    pub fallback_cells: u64,
+    /// UEI: the final degradation rung fired — every ranked candidate
+    /// failed with a storage fault, so the selection was served from the
+    /// resident pool `U` without a fresh region.
+    pub degraded: bool,
     /// DBMS: tuples examined by the exhaustive scan.
     pub examined: Option<u64>,
 }
@@ -194,31 +203,49 @@ impl ExplorationBackend for UeiBackend {
         // pool, so nothing is swapped.
         let cache_before = self.index.cache_stats();
         let bg_before = self.index.background_io().map_or(0, |s| s.bytes_read);
+        let degrade_before = self.index.degrade_counters();
         self.index.update_uncertainty(model);
-        let load = self.index.select_and_load()?;
+        let (cell, region_rows, prefetched, degraded) = match self.index.select_and_load() {
+            Ok(load) => {
+                let region_rows = if load.source == LoadSource::Retained {
+                    self.pool.region_len()
+                } else {
+                    load.rows.len()
+                };
+                if load.source != LoadSource::Retained {
+                    let fresh: Vec<DataPoint> =
+                        load.rows.into_iter().filter(|p| !labeled.contains(p.id)).collect();
+                    self.pool.swap_region(fresh);
+                }
+                (Some(load.cell), Some(region_rows), load.source == LoadSource::Prefetched, false)
+            }
+            // Final degradation rung: every ranked candidate failed with a
+            // storage fault. The iteration still proceeds — the resident
+            // cache `U` stays current and the selection below samples the
+            // most uncertain point it already holds.
+            Err(e) if e.is_storage_fault() => (None, None, false, true),
+            Err(e) => return Err(e),
+        };
         let cache_delta = self.index.cache_stats().since(&cache_before);
         let prefetch_bytes_read =
             self.index.background_io().map_or(0, |s| s.bytes_read) - bg_before;
-        let region_rows =
-            if load.source == LoadSource::Retained { self.pool.region_len() } else { load.rows.len() };
-        if load.source != LoadSource::Retained {
-            let fresh: Vec<DataPoint> =
-                load.rows.into_iter().filter(|p| !labeled.contains(p.id)).collect();
-            self.pool.swap_region(fresh);
-        }
+        let degrade = self.index.degrade_counters().since(&degrade_before);
 
         // Line 21: uncertainty sampling over U.
         let candidates = self.pool.candidates();
         let info = SelectionInfo {
-            cell: Some(load.cell),
-            region_rows: Some(region_rows),
-            prefetched: load.source == LoadSource::Prefetched,
+            cell,
+            region_rows,
+            prefetched,
             pool_size: Some(candidates.len()),
             cache_hits: cache_delta.hits,
             cache_misses: cache_delta.misses,
             cache_evictions: cache_delta.evictions,
             cache_bypasses: cache_delta.bypasses,
             prefetch_bytes_read,
+            retries: degrade.retries,
+            fallback_cells: degrade.fallback_cells,
+            degraded,
             examined: None,
         };
         match self.strategy.select(model, &candidates) {

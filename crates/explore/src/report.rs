@@ -65,6 +65,16 @@ pub struct RunSummary {
     /// Mean background (prefetcher) bytes read per run.
     #[serde(default)]
     pub prefetch_bytes_per_run: f64,
+    /// Mean transient-storage-error retries per run (fault tolerance).
+    #[serde(default)]
+    pub retries_per_run: f64,
+    /// Mean candidate ranks skipped past storage-faulted cells per run.
+    #[serde(default)]
+    pub fallback_cells_per_run: f64,
+    /// Mean iterations per run served from the resident pool because every
+    /// candidate region failed (the last degradation rung).
+    #[serde(default)]
+    pub degraded_iterations_per_run: f64,
 }
 
 /// Averages repeated sessions into one series.
@@ -139,11 +149,15 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
     };
 
     let (mut hits, mut lookups, mut evictions, mut prefetch_bytes) = (0u64, 0u64, 0u64, 0u64);
+    let (mut retries, mut fallback_cells, mut degraded) = (0u64, 0u64, 0u64);
     for t in results.iter().flat_map(|r| r.traces.iter()) {
         hits += t.cache_hits;
         lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
         evictions += t.cache_evictions;
         prefetch_bytes += t.prefetch_bytes_read;
+        retries += t.retries;
+        fallback_cells += t.fallback_cells;
+        degraded += u64::from(t.degraded);
     }
 
     RunSummary {
@@ -157,6 +171,9 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         cache_hit_ratio: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
         cache_evictions_per_run: evictions as f64 / results.len() as f64,
         prefetch_bytes_per_run: prefetch_bytes as f64 / results.len() as f64,
+        retries_per_run: retries as f64 / results.len() as f64,
+        fallback_cells_per_run: fallback_cells as f64 / results.len() as f64,
+        degraded_iterations_per_run: degraded as f64 / results.len() as f64,
     }
 }
 
@@ -192,6 +209,9 @@ mod tests {
             cache_evictions: 0,
             cache_bypasses: 0,
             prefetch_bytes_read: 0,
+            retries: 0,
+            fallback_cells: 0,
+            degraded: false,
             examined: None,
         }
     }
@@ -300,6 +320,23 @@ mod tests {
         assert_eq!(t.cache_hits, 0);
         assert_eq!(t.cache_evictions, 0);
         assert_eq!(t.prefetch_bytes_read, 0);
+        assert_eq!(t.retries, 0);
+        assert_eq!(t.fallback_cells, 0);
+        assert!(!t.degraded);
+    }
+
+    #[test]
+    fn fault_counters_are_aggregated_per_run() {
+        let mut a = trace(2, None, 1.0);
+        a.retries = 3;
+        a.fallback_cells = 2;
+        a.degraded = true;
+        let mut b = trace(2, None, 1.0);
+        b.retries = 1;
+        let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
+        assert!((summary.retries_per_run - 2.0).abs() < 1e-12);
+        assert!((summary.fallback_cells_per_run - 1.0).abs() < 1e-12);
+        assert!((summary.degraded_iterations_per_run - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -116,6 +116,17 @@ pub struct IterationTrace {
     /// foreground response time).
     #[serde(default)]
     pub prefetch_bytes_read: u64,
+    /// UEI: transient-storage-error retries absorbed during the iteration.
+    #[serde(default)]
+    pub retries: u64,
+    /// UEI: candidate ranks skipped past storage-faulted cells before a
+    /// region loaded (graceful degradation).
+    #[serde(default)]
+    pub fallback_cells: u64,
+    /// UEI: the iteration was served from the resident pool `U` because
+    /// every ranked candidate region failed with a storage fault.
+    #[serde(default)]
+    pub degraded: bool,
     /// DBMS: tuples examined by the exhaustive scan, if applicable.
     pub examined: Option<u64>,
 }
@@ -245,6 +256,9 @@ impl<'a> ExplorationSession<'a> {
                 cache_evictions: info.cache_evictions,
                 cache_bypasses: info.cache_bypasses,
                 prefetch_bytes_read: info.prefetch_bytes_read,
+                retries: info.retries,
+                fallback_cells: info.fallback_cells,
+                degraded: info.degraded,
                 examined: info.examined,
             });
         }

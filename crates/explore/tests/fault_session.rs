@@ -1,0 +1,140 @@
+//! Acceptance test for the storage fault-tolerance subsystem: with the
+//! injector firing on 10 % of chunk reads (transient) and corrupting 1 %,
+//! a 50-iteration synthetic exploration session must complete every
+//! iteration — zero aborts — absorbing faults through loader retries, the
+//! candidate fallback ladder, and (when every candidate fails) pool-served
+//! degraded iterations.
+
+use std::sync::Arc;
+
+use uei_explore::backend::UeiBackend;
+use uei_explore::oracle::Oracle;
+use uei_explore::session::{ExplorationSession, SessionConfig};
+use uei_explore::synth::{generate_sdss_like, SynthConfig};
+use uei_explore::workload::generate_target_region_fraction;
+use uei_index::config::UeiConfig;
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_storage::fault::{FaultConfig, FaultInjector};
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_storage::TempDir;
+use uei_types::{Rng, Schema};
+
+#[test]
+fn fifty_iterations_survive_transient_and_corrupt_faults() {
+    let dir = TempDir::new("fault-session");
+    let rows = generate_sdss_like(&SynthConfig { rows: 6000, ..Default::default() });
+    let mut rng = Rng::new(13);
+    let target =
+        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let oracle = Oracle::new(target);
+
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let store = ColumnStore::create(
+        dir.join("store"),
+        Schema::sdss(),
+        &rows,
+        StoreConfig { chunk_target_bytes: 2048 },
+        tracker.clone(),
+    )
+    .unwrap();
+    let mut backend_rng = Rng::new(1);
+    let mut backend = UeiBackend::new(
+        Arc::new(store),
+        UeiConfig {
+            cells_per_dim: 3,
+            // No chunk cache and no prefetcher: every region load pays real
+            // reads through the injector, the hardest configuration.
+            chunk_cache_bytes: 0,
+            prefetch: false,
+            ..UeiConfig::default()
+        },
+        UncertaintyMeasure::LeastConfidence,
+        300,
+        &mut backend_rng,
+    )
+    .unwrap();
+
+    let injector = FaultInjector::new(FaultConfig {
+        seed: 77,
+        transient_prob: 0.10,
+        corrupt_prob: 0.01,
+        ..FaultConfig::off()
+    })
+    .unwrap();
+    tracker.set_fault_injector(Some(Arc::clone(&injector)));
+
+    let config = SessionConfig {
+        max_labels: 52, // 2 bootstrap labels + 50 iterations
+        bootstrap_size: 200,
+        eval_sample: 300,
+        ..SessionConfig::default()
+    };
+    let result = ExplorationSession::new(&mut backend, &oracle, config, tracker.clone())
+        .run()
+        .expect("session must complete despite injected faults");
+
+    assert_eq!(result.traces.len(), 50, "zero aborted iterations");
+    assert_eq!(result.labels_used, 52);
+
+    let stats = injector.stats();
+    assert!(stats.transient_errors > 0, "injector fired transients: {stats:?}");
+    assert!(stats.corruptions > 0, "injector corrupted payloads: {stats:?}");
+
+    let retries: u64 = result.traces.iter().map(|t| t.retries).sum();
+    let fallbacks: u64 = result.traces.iter().map(|t| t.fallback_cells).sum();
+    let degraded = result.traces.iter().filter(|t| t.degraded).count();
+    assert!(retries > 0, "some transient faults were absorbed by retries");
+    assert!(fallbacks > 0, "some iterations fell through to lower-ranked cells");
+    assert!(degraded > 0, "at least one iteration was served from the pool");
+
+    // Degraded iterations still produced labels and traces like any other.
+    for t in &result.traces {
+        if t.degraded {
+            assert!(t.region_rows.is_none(), "no region was loaded when degraded");
+        } else {
+            assert!(t.region_rows.is_some());
+        }
+    }
+}
+
+#[test]
+fn clean_session_reports_zero_fault_counters() {
+    let dir = TempDir::new("clean-session");
+    let rows = generate_sdss_like(&SynthConfig { rows: 3000, ..Default::default() });
+    let mut rng = Rng::new(13);
+    let target =
+        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let oracle = Oracle::new(target);
+
+    let tracker = DiskTracker::new(IoProfile::instant());
+    let store = ColumnStore::create(
+        dir.join("store"),
+        Schema::sdss(),
+        &rows,
+        StoreConfig { chunk_target_bytes: 4096 },
+        tracker.clone(),
+    )
+    .unwrap();
+    let mut backend_rng = Rng::new(2);
+    let mut backend = UeiBackend::new(
+        Arc::new(store),
+        UeiConfig { cells_per_dim: 3, ..UeiConfig::default() },
+        UncertaintyMeasure::LeastConfidence,
+        200,
+        &mut backend_rng,
+    )
+    .unwrap();
+    let config = SessionConfig {
+        max_labels: 12,
+        bootstrap_size: 150,
+        eval_sample: 200,
+        ..SessionConfig::default()
+    };
+    let result = ExplorationSession::new(&mut backend, &oracle, config, tracker)
+        .run()
+        .unwrap();
+    assert!(result.traces.iter().all(|t| t.retries == 0));
+    assert!(result.traces.iter().all(|t| t.fallback_cells == 0));
+    assert!(result.traces.iter().all(|t| !t.degraded));
+}

@@ -1,5 +1,6 @@
 //! UEI configuration.
 
+use uei_storage::fault::RetryPolicy;
 use uei_types::{Result, UeiError};
 
 /// Tunables of the Uncertainty Estimation Index.
@@ -65,6 +66,18 @@ pub struct UeiConfig {
     /// knob exists for benchmarking and for pinning down scheduler
     /// interference — not for correctness.
     pub parallel: bool,
+    /// Retry policy for foreground region loads: transient storage errors
+    /// are retried up to `max_attempts` with exponential backoff charged to
+    /// the virtual clock. Corruption is never retried — a corrupt chunk
+    /// stays corrupt, so the loader falls through to the next candidate
+    /// instead.
+    pub retry: RetryPolicy,
+    /// How many of the top-ranked uncertain cells `select_and_load` is
+    /// willing to try before declaring the iteration degraded. Rank 0 is
+    /// the true p*; each further rank is a graceful-degradation fallback
+    /// taken only when every better-ranked cell failed with a storage
+    /// fault.
+    pub fallback_candidates: usize,
 }
 
 impl Default for UeiConfig {
@@ -80,6 +93,8 @@ impl Default for UeiConfig {
             regions_in_memory: 1,
             defer_swaps: false,
             parallel: true,
+            retry: RetryPolicy::default(),
+            fallback_candidates: 4,
         }
     }
 }
@@ -113,6 +128,10 @@ impl UeiConfig {
         if self.cache_shards == 0 {
             return Err(UeiError::invalid_config("cache_shards must be >= 1"));
         }
+        if self.fallback_candidates == 0 {
+            return Err(UeiError::invalid_config("fallback_candidates must be >= 1"));
+        }
+        self.retry.validate()?;
         Ok(())
     }
 
@@ -147,6 +166,15 @@ mod tests {
         assert!(c.validate(5).is_err());
 
         let c = UeiConfig { cache_shards: 0, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig { fallback_candidates: 0, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig {
+            retry: RetryPolicy { max_attempts: 0, ..RetryPolicy::default() },
+            ..UeiConfig::default()
+        };
         assert!(c.validate(5).is_err());
 
         assert!(UeiConfig::default().validate(0).is_err());

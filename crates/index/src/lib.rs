@@ -42,4 +42,4 @@ pub use loader::{LoadStats, RegionLoader};
 pub use mapping::ChunkMapping;
 pub use points::IndexPoints;
 pub use prefetch::Prefetcher;
-pub use uei::UeiIndex;
+pub use uei::{DegradeCounters, RegionLoad, UeiIndex};

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use uei_storage::cache::{CacheStats, ChunkCache, SharedChunkCache};
+use uei_storage::fault::RetryPolicy;
 use uei_storage::merge::{
     reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch, MergeStats,
     RegionChunkSet,
@@ -32,6 +33,8 @@ pub struct LoadStats {
     pub wall_time: Duration,
     /// Rows materialized.
     pub rows: usize,
+    /// Transient-error retries this load needed (0 = clean first attempt).
+    pub retries: u64,
 }
 
 /// The cache behind a [`RegionLoader`]: either a private single-owner LRU
@@ -52,6 +55,8 @@ pub struct RegionLoader {
     delta: bool,
     prev: Option<RegionChunkSet>,
     load_times: Welford,
+    retry: RetryPolicy,
+    total_retries: u64,
 }
 
 impl RegionLoader {
@@ -64,6 +69,8 @@ impl RegionLoader {
             delta: false,
             prev: None,
             load_times: Welford::new(),
+            retry: RetryPolicy::default(),
+            total_retries: 0,
         }
     }
 
@@ -80,7 +87,24 @@ impl RegionLoader {
             delta,
             prev: None,
             load_times: Welford::new(),
+            retry: RetryPolicy::default(),
+            total_retries: 0,
         }
+    }
+
+    /// Sets the retry policy used for transient read failures during loads.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Cumulative transient-error retries across all loads.
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
     }
 
     /// Turns delta reconstruction on or off. Turning it off drops the
@@ -139,37 +163,46 @@ impl RegionLoader {
         let chunks = mapping.chunks_for_cell(grid, id)?;
         let wall_start = Instant::now();
         let io_before = self.store.tracker().snapshot();
-        let (rows, merge) = if self.delta {
-            // Delta mode: reuse the previous region's decoded chunks for
-            // the overlap; only the chunk-ID delta goes through the fetch
-            // path. The new region's set replaces the old one afterwards,
-            // whether the load came from cache, disk, or reuse — chunks
-            // are immutable, so retained copies never go stale.
-            let prev = self.prev.take();
-            let fetch = match &mut self.cache {
+        // Delta mode: reuse the previous region's decoded chunks for the
+        // overlap; only the chunk-ID delta goes through the fetch path. The
+        // new region's set replaces the old one afterwards, whether the
+        // load came from cache, disk, or reuse — chunks are immutable, so
+        // retained copies never go stale. Taken once, before the retry
+        // loop: if every attempt fails, the delta baseline is simply lost
+        // and the next successful load starts cold.
+        let prev = if self.delta { self.prev.take() } else { None };
+        let policy = self.retry;
+        let delta = self.delta;
+        let store = &self.store;
+        let cache = &mut self.cache;
+        // Transient read errors (flaky device, injected fault) are retried
+        // with backoff charged to the virtual clock; corruption and hard
+        // I/O errors propagate immediately for the caller's fallback
+        // ladder. Reconstruction has no partial side effects — the merge
+        // table is rebuilt per attempt — so a retry is a clean re-run.
+        let ((rows, merge, set), retries) = policy.run(store.tracker(), || {
+            let fetch = match cache {
                 LoaderCache::Local(c) => ChunkFetch::Cached(c),
                 LoaderCache::Shared(c) => ChunkFetch::Shared(c),
             };
-            let (rows, merge, set) = reconstruct_region_delta(
-                &self.store,
-                &region,
-                &chunks,
-                prev.as_ref(),
-                fetch,
-            )?;
-            self.prev = Some(set);
-            (rows, merge)
-        } else {
-            let fetch = match &mut self.cache {
-                LoaderCache::Local(c) => ChunkFetch::Cached(c),
-                LoaderCache::Shared(c) => ChunkFetch::Shared(c),
-            };
-            reconstruct_region_with_chunks(&self.store, &region, &chunks, fetch)?
-        };
+            if delta {
+                let (rows, merge, set) =
+                    reconstruct_region_delta(store, &region, &chunks, prev.as_ref(), fetch)?;
+                Ok((rows, merge, Some(set)))
+            } else {
+                let (rows, merge) =
+                    reconstruct_region_with_chunks(store, &region, &chunks, fetch)?;
+                Ok((rows, merge, None))
+            }
+        })?;
+        if self.delta {
+            self.prev = set;
+        }
+        self.total_retries += retries;
         let virtual_time = self.store.tracker().delta(&io_before).virtual_elapsed;
         let wall_time = wall_start.elapsed();
         self.load_times.push(virtual_time.as_secs_f64());
-        let stats = LoadStats { merge, virtual_time, wall_time, rows: rows.len() };
+        let stats = LoadStats { merge, virtual_time, wall_time, rows: rows.len(), retries };
         Ok((rows, stats))
     }
 
@@ -188,18 +221,12 @@ impl RegionLoader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
     use uei_storage::io::{DiskTracker, IoProfile};
     use uei_storage::store::StoreConfig;
     use uei_types::{AttributeDef, Rng, Schema};
 
-    fn build(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-loader-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn build(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, uei_storage::TempDir) {
+        let dir = uei_storage::TempDir::new(&format!("loader-{tag}"));
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 100.0).unwrap(),
             AttributeDef::new("y", 0.0, 100.0).unwrap(),
@@ -216,7 +243,7 @@ mod tests {
             .collect();
         let tracker = DiskTracker::new(IoProfile::nvme());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema,
             &rows,
             StoreConfig { chunk_target_bytes: 512 },
@@ -228,7 +255,7 @@ mod tests {
 
     #[test]
     fn loads_exactly_the_cell_population() {
-        let (store, rows, dir) = build("population", 2000);
+        let (store, rows, _dir) = build("population", 2000);
         let grid = Grid::new(store.schema(), 4).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let mut loader = RegionLoader::new(Arc::clone(&store), 32 << 20);
@@ -247,12 +274,11 @@ mod tests {
             total += loaded.len();
         }
         assert_eq!(total, 2000, "cells partition the dataset");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn tracks_average_load_time() {
-        let (store, _, dir) = build("tau", 1000);
+        let (store, _, _dir) = build("tau", 1000);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let mut loader = RegionLoader::new(Arc::clone(&store), 0); // no caching
@@ -262,12 +288,11 @@ mod tests {
         }
         assert_eq!(loader.loads(), 3);
         assert!(loader.average_load_secs() > 0.0, "NVMe-modeled loads take time");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn cache_makes_reloads_free() {
-        let (store, _, dir) = build("cachehit", 1500);
+        let (store, _, _dir) = build("cachehit", 1500);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let mut loader = RegionLoader::new(Arc::clone(&store), 256 << 20);
@@ -277,12 +302,11 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
         assert_eq!(stats.virtual_time, Duration::ZERO);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_cache_loader_matches_local() {
-        let (store, _, dir) = build("sharedmatch", 1500);
+        let (store, _, _dir) = build("sharedmatch", 1500);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let shared = Arc::new(SharedChunkCache::new(64 << 20, 4));
@@ -296,12 +320,11 @@ mod tests {
         assert!(b.cache_stats().misses > 0);
         assert!(b.shared_cache().is_some());
         assert!(a.shared_cache().is_none());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn delta_reload_of_same_cell_is_free_without_any_cache() {
-        let (store, _, dir) = build("deltafree", 1500);
+        let (store, _, _dir) = build("deltafree", 1500);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         // Zero cache budget: everything bypasses; only the delta set can
@@ -323,12 +346,11 @@ mod tests {
         assert_eq!(first, third);
         assert!(store.tracker().delta(&before).stats.bytes_read > 0);
         assert_eq!(stats.merge.chunks_reused, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn delta_between_adjacent_cells_reads_only_the_difference() {
-        let (store, rows, dir) = build("deltaadj", 3000);
+        let (store, rows, _dir) = build("deltaadj", 3000);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let shared = Arc::new(SharedChunkCache::new(0, 2)); // delta only
@@ -345,14 +367,13 @@ mod tests {
             .collect();
         let got_ids: Vec<u64> = got.iter().map(|p| p.id.as_u64()).collect();
         assert_eq!(got_ids, expected, "delta load is exact");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn loading_a_cell_reads_less_than_the_whole_dataset() {
         // The paper's O(kn) → O(ke): one subspace costs a fraction of a
         // full pass over the inverted files.
-        let (store, _, dir) = build("fraction", 4000);
+        let (store, _, _dir) = build("fraction", 4000);
         let grid = Grid::new(store.schema(), 5).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let mut loader = RegionLoader::new(Arc::clone(&store), 0);
@@ -364,6 +385,5 @@ mod tests {
             stats.merge.chunk_bytes,
             all_chunk_bytes
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

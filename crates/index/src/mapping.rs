@@ -89,18 +89,13 @@ impl ChunkMapping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
     use uei_storage::io::{DiskTracker, IoProfile};
     use uei_storage::store::{ColumnStore, StoreConfig};
+    use uei_storage::TempDir;
     use uei_types::{AttributeDef, DataPoint, Rng, Schema};
 
-    fn build_store(tag: &str, n: usize) -> (ColumnStore, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-mapping-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn build_store(tag: &str, n: usize) -> (ColumnStore, TempDir) {
+        let dir = TempDir::new(&format!("mapping-{tag}"));
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 100.0).unwrap(),
             AttributeDef::new("y", 0.0, 100.0).unwrap(),
@@ -117,7 +112,7 @@ mod tests {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema,
             &rows,
             StoreConfig { chunk_target_bytes: 256 },
@@ -129,7 +124,7 @@ mod tests {
 
     #[test]
     fn mapping_covers_exactly_the_overlapping_chunks() {
-        let (store, dir) = build_store("cover", 1000);
+        let (store, _dir) = build_store("cover", 1000);
         let grid = Grid::new(store.schema(), 4).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         for cell in grid.cell_ids() {
@@ -146,12 +141,11 @@ mod tests {
                 assert_eq!(chunks[d], expected, "cell {cell} dim {d}");
             }
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn every_chunk_is_reachable_from_some_cell() {
-        let (store, dir) = build_store("reach", 800);
+        let (store, _dir) = build_store("reach", 800);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let mut reachable = std::collections::HashSet::new();
@@ -162,12 +156,11 @@ mod tests {
         }
         let total: usize = store.manifest().total_chunks();
         assert_eq!(reachable.len(), total, "all chunks reachable through the mapping");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn finer_grid_touches_fewer_chunks_per_cell() {
-        let (store, dir) = build_store("finer", 3000);
+        let (store, _dir) = build_store("finer", 3000);
         let coarse = Grid::new(store.schema(), 2).unwrap();
         let fine = Grid::new(store.schema(), 8).unwrap();
         let map_coarse = ChunkMapping::build(&coarse, store.manifest()).unwrap();
@@ -183,12 +176,11 @@ mod tests {
             avg(&fine, &map_fine) < avg(&coarse, &map_coarse),
             "finer cells need fewer chunks each"
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn dimension_mismatch_rejected() {
-        let (store, dir) = build_store("mismatch", 100);
+        let (store, _dir) = build_store("mismatch", 100);
         let other_schema = Schema::new(vec![
             AttributeDef::new("a", 0.0, 1.0).unwrap(),
             AttributeDef::new("b", 0.0, 1.0).unwrap(),
@@ -197,12 +189,11 @@ mod tests {
         .unwrap();
         let grid = Grid::new(&other_schema, 3).unwrap();
         assert!(ChunkMapping::build(&grid, store.manifest()).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn slice_range_accessor() {
-        let (store, dir) = build_store("slice", 500);
+        let (store, _dir) = build_store("slice", 500);
         let grid = Grid::new(store.schema(), 4).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         assert_eq!(mapping.cells_per_dim(), 4);
@@ -210,6 +201,5 @@ mod tests {
         assert!(end >= start);
         assert!(mapping.slice_range(5, 0).is_err());
         assert!(mapping.slice_range(0, 99).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

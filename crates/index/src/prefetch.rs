@@ -46,11 +46,19 @@ enum Request {
     Shutdown,
 }
 
+/// Cap on the `failed` map: without one it grows monotonically over a long
+/// exploration session (every cell that ever failed stays resident). The
+/// map is diagnostic — a new request for the cell clears its entry anyway —
+/// so on overflow an arbitrary older entry is evicted; the cumulative
+/// `failed_total` counter is what experiments report.
+const MAX_FAILED_CELLS: usize = 64;
+
 #[derive(Default)]
 struct Shared {
     ready: HashMap<CellId, (Vec<DataPoint>, MergeStats)>,
     pending: HashSet<CellId>,
     failed: HashMap<CellId, String>,
+    failed_total: u64,
 }
 
 /// A background region prefetcher.
@@ -109,6 +117,14 @@ impl Prefetcher {
                             s.ready.insert(cell, pair);
                         }
                         Err(e) => {
+                            s.failed_total += 1;
+                            if s.failed.len() >= MAX_FAILED_CELLS
+                                && !s.failed.contains_key(&cell)
+                            {
+                                if let Some(&evict) = s.failed.keys().next() {
+                                    s.failed.remove(&evict);
+                                }
+                            }
                             s.failed.insert(cell, e.to_string());
                         }
                     }
@@ -183,6 +199,34 @@ impl Prefetcher {
         lock.lock().failed.get(&cell).cloned()
     }
 
+    /// How many distinct cells currently have a recorded failure (bounded
+    /// by [`MAX_FAILED_CELLS`]).
+    pub fn failure_count(&self) -> usize {
+        let (lock, _) = &*self.shared;
+        lock.lock().failed.len()
+    }
+
+    /// Cumulative background-load failures since spawn. Unlike the failure
+    /// map this never shrinks — it is the counter experiments report.
+    pub fn total_failures(&self) -> u64 {
+        let (lock, _) = &*self.shared;
+        lock.lock().failed_total
+    }
+
+    /// Drops every recorded failure message (the cumulative counter is
+    /// unaffected). Call between experiment phases to reset diagnostics.
+    pub fn clear_failures(&self) {
+        let (lock, _) = &*self.shared;
+        lock.lock().failed.clear();
+    }
+
+    /// The background worker's private I/O tracker. Exposed so a fault
+    /// harness can attach an injector to the prefetcher's read path (its
+    /// store handle is separate from the foreground one).
+    pub fn background_tracker(&self) -> &DiskTracker {
+        &self.tracker
+    }
+
     /// Drops every buffered result (regions go stale when the model moves).
     pub fn clear_ready(&self) {
         let (lock, _) = &*self.shared;
@@ -225,18 +269,13 @@ fn load_cell_raw(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
     use std::time::Duration;
     use uei_storage::store::StoreConfig;
+    use uei_storage::TempDir;
     use uei_types::{AttributeDef, Rng, Schema};
 
-    fn build(tag: &str, n: usize) -> (Arc<ColumnStore>, Grid, ChunkMapping, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prefetch-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn build(tag: &str, n: usize) -> (Arc<ColumnStore>, Grid, ChunkMapping, TempDir) {
+        let dir = TempDir::new(&format!("prefetch-{tag}"));
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 100.0).unwrap(),
             AttributeDef::new("y", 0.0, 100.0).unwrap(),
@@ -253,7 +292,7 @@ mod tests {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema,
             &rows,
             StoreConfig { chunk_target_bytes: 512 },
@@ -276,7 +315,7 @@ mod tests {
 
     #[test]
     fn prefetch_matches_synchronous_load() {
-        let (store, grid, mapping, dir) = build("match", 1500);
+        let (store, grid, mapping, _dir) = build("match", 1500);
         let pre = Prefetcher::spawn(
             store.dir(),
             IoProfile::instant(),
@@ -293,12 +332,11 @@ mod tests {
         assert_eq!(rows, sync_rows);
         assert_eq!(stats.result_rows, sync_stats.result_rows);
         assert!(stats.result_rows > 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn background_io_is_tracked_separately() {
-        let (store, grid, mapping, dir) = build("separate", 1000);
+        let (store, grid, mapping, _dir) = build("separate", 1000);
         let foreground_before = store.tracker().stats();
         let pre =
             Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
@@ -307,12 +345,11 @@ mod tests {
         assert!(pre.background_io().bytes_read > 0);
         // Foreground tracker untouched by the background load.
         assert_eq!(store.tracker().stats().bytes_read, foreground_before.bytes_read);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn take_is_one_shot_and_duplicate_requests_coalesce() {
-        let (store, grid, mapping, dir) = build("oneshot", 800);
+        let (store, grid, mapping, _dir) = build("oneshot", 800);
         let pre =
             Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         pre.request(1);
@@ -320,23 +357,21 @@ mod tests {
         pre.request(1);
         assert!(pre.take_blocking(1, Duration::from_secs(10)).is_some());
         assert!(pre.take(1).is_none(), "result consumed");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn take_unrequested_cell_returns_none() {
-        let (store, grid, mapping, dir) = build("unreq", 500);
+        let (store, grid, mapping, _dir) = build("unreq", 500);
         let pre =
             Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         assert!(pre.take(7).is_none());
         assert!(pre.take_blocking(7, Duration::from_millis(50)).is_none());
         assert!(!pre.is_pending(7));
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn clear_ready_drops_stale_regions() {
-        let (store, grid, mapping, dir) = build("stale", 800);
+        let (store, grid, mapping, _dir) = build("stale", 800);
         let pre =
             Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         pre.request(2);
@@ -346,12 +381,11 @@ mod tests {
         }
         pre.clear_ready();
         assert!(pre.take(2).is_none());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn take_blocking_times_out_on_stuck_pending_cell() {
-        let (store, grid, mapping, dir) = build("timeout", 400);
+        let (store, grid, mapping, _dir) = build("timeout", 400);
         let pre =
             Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         // Mark a cell pending by hand, bypassing the worker queue: no load
@@ -370,7 +404,6 @@ mod tests {
             start.elapsed()
         );
         assert!(pre.is_pending(999), "timeout does not cancel the request");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -384,7 +417,7 @@ mod tests {
         )
         .unwrap();
         // Remove every chunk file: any background load must error.
-        for entry in std::fs::read_dir(&dir).unwrap() {
+        for entry in std::fs::read_dir(dir.path()).unwrap() {
             let path = entry.unwrap().path();
             if path.extension().is_some_and(|e| e == "uei") {
                 std::fs::remove_file(&path).unwrap();
@@ -408,12 +441,36 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(pre.failure(3).is_some(), "still failing: files are gone");
-        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_map_is_capped_and_counter_is_cumulative() {
+        let (store, grid, mapping, _dir) = build("cap", 300);
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        // Out-of-range cells fail immediately in the worker, giving an
+        // unbounded supply of distinct failures without touching disk.
+        let total = MAX_FAILED_CELLS + 40;
+        for cell in 0..total {
+            pre.request(1_000 + cell);
+        }
+        while (0..total).any(|c| pre.is_pending(1_000 + c)) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pre.total_failures(), total as u64);
+        assert!(
+            pre.failure_count() <= MAX_FAILED_CELLS,
+            "failure map stays bounded: {} entries",
+            pre.failure_count()
+        );
+        pre.clear_failures();
+        assert_eq!(pre.failure_count(), 0);
+        assert_eq!(pre.total_failures(), total as u64, "counter survives clear");
     }
 
     #[test]
     fn shared_cache_keeps_foreground_reads_at_zero() {
-        let (store, grid, mapping, dir) = build("warm", 1500);
+        let (store, grid, mapping, _dir) = build("warm", 1500);
         let cache = Arc::new(SharedChunkCache::new(64 << 20, 4));
         let pre = Prefetcher::spawn_with_cache(
             store.dir(),
@@ -444,12 +501,11 @@ mod tests {
             0,
             "prefetcher-warmed chunks cost the foreground nothing"
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shutdown_on_drop_is_clean() {
-        let (store, grid, mapping, dir) = build("drop", 300);
+        let (store, grid, mapping, _dir) = build("drop", 300);
         {
             let pre =
                 Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping)
@@ -457,6 +513,5 @@ mod tests {
             pre.request(0);
             // Drop immediately; worker must exit without deadlock.
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -55,6 +55,44 @@ pub struct RegionLoad {
     pub stats: LoadStats,
     /// Where the region came from.
     pub source: LoadSource,
+    /// How many better-ranked candidates failed with a storage fault
+    /// before this cell loaded (0 = the true `p*` was served).
+    pub fallback_rank: u64,
+}
+
+/// Cumulative graceful-degradation counters of an index.
+///
+/// Every counter only grows; take a snapshot before an iteration and
+/// [`DegradeCounters::since`] after it to get per-iteration deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeCounters {
+    /// Transient storage errors absorbed by the foreground retry policy.
+    pub retries: u64,
+    /// Candidate ranks skipped past storage-faulted cells (each successful
+    /// fallback adds its rank, so one iteration can add more than 1).
+    pub fallback_cells: u64,
+    /// Iterations whose synchronous load exceeded the σ threshold.
+    pub sigma_deadline_misses: u64,
+    /// Iterations where every ranked candidate failed with a storage fault
+    /// (the caller must degrade further, e.g. sample from the resident
+    /// cache `U`).
+    pub failed_selections: u64,
+}
+
+impl DegradeCounters {
+    /// The counter deltas accumulated since an `earlier` snapshot.
+    pub fn since(&self, earlier: &DegradeCounters) -> DegradeCounters {
+        DegradeCounters {
+            retries: self.retries.saturating_sub(earlier.retries),
+            fallback_cells: self.fallback_cells.saturating_sub(earlier.fallback_cells),
+            sigma_deadline_misses: self
+                .sigma_deadline_misses
+                .saturating_sub(earlier.sigma_deadline_misses),
+            failed_selections: self
+                .failed_selections
+                .saturating_sub(earlier.failed_selections),
+        }
+    }
 }
 
 /// The Uncertainty Estimation Index.
@@ -74,6 +112,12 @@ pub struct UeiIndex {
     last_cell: Option<CellId>,
     /// Swaps deferred so far (diagnostics).
     deferred_swaps: u64,
+    /// Candidate ranks skipped past failed cells (degradation ladder).
+    fallback_cells: u64,
+    /// Iterations whose synchronous load blew the σ threshold.
+    sigma_deadline_misses: u64,
+    /// Iterations where every ranked candidate failed.
+    failed_selections: u64,
 }
 
 impl UeiIndex {
@@ -97,7 +141,7 @@ impl UeiIndex {
         let shared_cache = config
             .shared_cache
             .then(|| Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards)));
-        let loader = match &shared_cache {
+        let mut loader = match &shared_cache {
             Some(cache) => RegionLoader::with_shared(
                 Arc::clone(&store),
                 Arc::clone(cache),
@@ -109,6 +153,7 @@ impl UeiIndex {
                 l
             }
         };
+        loader.set_retry_policy(config.retry);
         let prefetcher = if config.prefetch {
             Some(Prefetcher::spawn_with_cache(
                 store.dir(),
@@ -132,6 +177,9 @@ impl UeiIndex {
             measure,
             last_cell: None,
             deferred_swaps: 0,
+            fallback_cells: 0,
+            sigma_deadline_misses: 0,
+            failed_selections: 0,
         })
     }
 
@@ -189,6 +237,15 @@ impl UeiIndex {
     /// deferred for this iteration when loading it would be expected to
     /// exceed σ and no prefetched copy is ready — the current region is
     /// served again instead (§3.2 "Tuning Interactive Exploration").
+    ///
+    /// Storage faults degrade gracefully instead of aborting the iteration:
+    /// when loading the top-ranked cell fails with a retryable-or-corrupt
+    /// storage error (transient errors are already retried inside the
+    /// loader per [`UeiConfig::retry`]), the next-ranked index point is
+    /// tried, up to [`UeiConfig::fallback_candidates`] in total. Only when
+    /// every candidate fails does the call return the last storage error —
+    /// the caller's final rung is to uncertainty-sample from the resident
+    /// cache `U` instead of a fresh region.
     pub fn select_and_load(&mut self) -> Result<RegionLoad> {
         let cell = self.points.most_uncertain()?;
         if self.config.defer_swaps {
@@ -209,17 +266,42 @@ impl UeiIndex {
                                 virtual_time: Duration::ZERO,
                                 wall_time: Duration::ZERO,
                                 rows: 0,
+                                retries: 0,
                             },
                             source: LoadSource::Retained,
+                            fallback_rank: 0,
                         });
                     }
                 }
             }
         }
-        let load = self.fetch_cell(cell)?;
-        self.last_cell = Some(cell);
-        self.queue_prefetches(cell)?;
-        Ok(load)
+        let want = self.config.fallback_candidates.min(self.points.len());
+        let candidates = self.points.ranked_top(want)?;
+        let mut last_err: Option<uei_types::UeiError> = None;
+        for (rank, &candidate) in candidates.iter().enumerate() {
+            let mut load = match self.fetch_cell(candidate) {
+                Ok(load) => load,
+                // Storage faults fall through to the next-ranked index
+                // point; anything else (config/state bugs) aborts as usual.
+                Err(e) if e.is_storage_fault() => {
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            load.fallback_rank = rank as u64;
+            self.fallback_cells += rank as u64;
+            if load.stats.virtual_time.as_secs_f64() > self.config.latency_threshold_secs {
+                self.sigma_deadline_misses += 1;
+            }
+            self.last_cell = Some(candidate);
+            self.queue_prefetches(candidate)?;
+            return Ok(load);
+        }
+        self.failed_selections += 1;
+        Err(last_err.unwrap_or_else(|| {
+            uei_types::UeiError::invalid_state("no candidate cells to select from")
+        }))
     }
 
     fn prefetched_ready(&self, cell: CellId) -> bool {
@@ -239,6 +321,17 @@ impl UeiIndex {
         self.deferred_swaps
     }
 
+    /// Cumulative graceful-degradation counters (retries, fallbacks,
+    /// σ-deadline misses, exhausted selections).
+    pub fn degrade_counters(&self) -> DegradeCounters {
+        DegradeCounters {
+            retries: self.loader.total_retries(),
+            fallback_cells: self.fallback_cells,
+            sigma_deadline_misses: self.sigma_deadline_misses,
+            failed_selections: self.failed_selections,
+        }
+    }
+
     fn fetch_cell(&mut self, cell: CellId) -> Result<RegionLoad> {
         if let Some(pre) = &self.prefetcher {
             if let Some((rows, merge)) = pre.take(cell) {
@@ -247,12 +340,19 @@ impl UeiIndex {
                     virtual_time: Duration::ZERO,
                     wall_time: Duration::ZERO,
                     rows: rows.len(),
+                    retries: 0,
                 };
-                return Ok(RegionLoad { cell, rows, stats, source: LoadSource::Prefetched });
+                return Ok(RegionLoad {
+                    cell,
+                    rows,
+                    stats,
+                    source: LoadSource::Prefetched,
+                    fallback_rank: 0,
+                });
             }
         }
         let (rows, stats) = self.loader.load_cell(&self.grid, &self.mapping, cell)?;
-        Ok(RegionLoad { cell, rows, stats, source: LoadSource::Synchronous })
+        Ok(RegionLoad { cell, rows, stats, source: LoadSource::Synchronous, fallback_rank: 0 })
     }
 
     fn queue_prefetches(&mut self, just_loaded: CellId) -> Result<()> {
@@ -315,18 +415,14 @@ pub type RegionMergeStats = MergeStats;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
+    use uei_storage::fault::{FaultConfig, FaultInjector, RetryPolicy};
     use uei_storage::io::{DiskTracker, IoProfile};
     use uei_storage::store::StoreConfig;
+    use uei_storage::TempDir;
     use uei_types::{AttributeDef, Schema};
 
-    fn build_store(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-facade-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn build_store(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, TempDir) {
+        let dir = TempDir::new(&format!("facade-{tag}"));
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 100.0).unwrap(),
             AttributeDef::new("y", 0.0, 100.0).unwrap(),
@@ -343,7 +439,7 @@ mod tests {
             .collect();
         let tracker = DiskTracker::new(IoProfile::nvme());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema,
             &rows,
             StoreConfig { chunk_target_bytes: 512 },
@@ -372,18 +468,17 @@ mod tests {
 
     #[test]
     fn build_and_basic_accessors() {
-        let (store, _, dir) = build_store("accessors", 1000);
+        let (store, _, _dir) = build_store("accessors", 1000);
         let index = UeiIndex::build(Arc::clone(&store), small_config()).unwrap();
         assert_eq!(index.grid().num_cells(), 16);
         assert_eq!(index.points().len(), 16);
         assert!(index.chunks_for_cell(0).unwrap() > 0);
         assert!(index.background_io().is_none(), "prefetch disabled by default");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn select_and_load_returns_boundary_cell() {
-        let (store, rows, dir) = build_store("boundary", 2000);
+        let (store, rows, _dir) = build_store("boundary", 2000);
         let mut index = UeiIndex::build(Arc::clone(&store), small_config()).unwrap();
         // Boundary at x = 50: most uncertain cells are the two middle
         // columns; with 4 columns, centers at 12.5/37.5/62.5/87.5 the
@@ -399,12 +494,11 @@ mod tests {
             rows.iter().filter(|p| region.contains(&p.values).unwrap()).count();
         assert_eq!(load.rows.len(), expected);
         assert!(load.stats.virtual_time > Duration::ZERO);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn loading_a_region_costs_a_fraction_of_full_scan() {
-        let (store, _, dir) = build_store("fraction", 4000);
+        let (store, _, _dir) = build_store("fraction", 4000);
         let mut index = UeiIndex::build(Arc::clone(&store), small_config()).unwrap();
         index.update_uncertainty(&boundary_model(50.0));
         let before = store.tracker().snapshot();
@@ -415,20 +509,18 @@ mod tests {
             region_bytes * 3 < full_bytes,
             "one region read {region_bytes} B, full dataset is {full_bytes} B"
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn cannot_load_before_scoring() {
-        let (store, _, dir) = build_store("unscored", 300);
+        let (store, _, _dir) = build_store("unscored", 300);
         let mut index = UeiIndex::build(store, small_config()).unwrap();
         assert!(index.select_and_load().is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn sample_unlabeled_draws_from_whole_space() {
-        let (store, _, dir) = build_store("sample", 2000);
+        let (store, _, _dir) = build_store("sample", 2000);
         let index = UeiIndex::build(store, small_config()).unwrap();
         let mut rng = Rng::new(1);
         let sample = index.sample_unlabeled(200, &mut rng).unwrap();
@@ -439,12 +531,11 @@ mod tests {
             cells.insert(index.grid().cell_of(&p.values).unwrap());
         }
         assert!(cells.len() > 8, "uniform sample covers the grid ({} cells)", cells.len());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn prefetch_serves_second_iteration() {
-        let (store, _, dir) = build_store("prefetch", 2000);
+        let (store, _, _dir) = build_store("prefetch", 2000);
         let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
         let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
         index.update_uncertainty(&boundary_model(50.0));
@@ -474,12 +565,11 @@ mod tests {
             served || index.background_io().unwrap().bytes_read > 0,
             "prefetcher did background work"
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn uncertainty_moves_with_model() {
-        let (store, _, dir) = build_store("moves", 1000);
+        let (store, _, _dir) = build_store("moves", 1000);
         let mut index = UeiIndex::build(store, small_config()).unwrap();
         index.update_uncertainty(&boundary_model(10.0));
         let left = index.grid().id_to_coords(index.points().most_uncertain().unwrap()).unwrap();
@@ -487,7 +577,6 @@ mod tests {
         let right =
             index.grid().id_to_coords(index.points().most_uncertain().unwrap()).unwrap();
         assert!(left[0] < right[0], "boundary shift moves the chosen column");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     impl UeiIndex {
@@ -498,11 +587,125 @@ mod tests {
     }
 
     #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let (store, _, _dir) = build_store("retrysess", 2000);
+        let config = UeiConfig {
+            cells_per_dim: 4,
+            chunk_cache_bytes: 0, // every load pays real reads → injector fires
+            ..UeiConfig::default()
+        };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        let injector = FaultInjector::new(FaultConfig {
+            seed: 11,
+            transient_prob: 0.05,
+            ..FaultConfig::off()
+        })
+        .unwrap();
+        store.tracker().set_fault_injector(Some(injector));
+        for split in [20.0, 35.0, 50.0, 65.0, 80.0] {
+            index.update_uncertainty(&boundary_model(split));
+            index.select_and_load().expect("retries absorb transient faults");
+        }
+        let counters = index.degrade_counters();
+        assert!(counters.retries > 0, "some reads must have been retried: {counters:?}");
+        assert_eq!(counters.failed_selections, 0);
+    }
+
+    #[test]
+    fn corrupt_top_cell_falls_back_to_next_ranked() {
+        let (store, _, dir) = build_store("fallback", 2000);
+        let config = UeiConfig {
+            cells_per_dim: 4,
+            chunk_cache_bytes: 0,
+            fallback_candidates: 16, // allow walking the whole ranking
+            ..UeiConfig::default()
+        };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        index.update_uncertainty(&boundary_model(50.0));
+        let top = index.points().most_uncertain().unwrap();
+        // Corrupt every chunk file the top cell needs: its load now fails
+        // the catalog checksum, so selection must fall through the ranking.
+        for ids in index.mapping().chunks_for_cell(index.grid(), top).unwrap() {
+            for id in ids {
+                let path = dir.path().join(id.file_name());
+                let mut bytes = std::fs::read(&path).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x01;
+                std::fs::write(&path, &bytes).unwrap();
+            }
+        }
+        let load = index.select_and_load().expect("a clean lower-ranked cell exists");
+        assert_ne!(load.cell, top, "corrupt p* cannot be served");
+        assert!(load.fallback_rank > 0);
+        let counters = index.degrade_counters();
+        assert_eq!(counters.fallback_cells, load.fallback_rank);
+        assert_eq!(counters.failed_selections, 0);
+    }
+
+    #[test]
+    fn exhausted_candidates_surface_the_storage_error() {
+        let (store, _, _dir) = build_store("exhaust", 1500);
+        let config = UeiConfig {
+            cells_per_dim: 4,
+            chunk_cache_bytes: 0,
+            retry: RetryPolicy::none(),
+            ..UeiConfig::default()
+        };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        let injector = FaultInjector::new(FaultConfig {
+            seed: 3,
+            transient_prob: 1.0,
+            ..FaultConfig::off()
+        })
+        .unwrap();
+        store.tracker().set_fault_injector(Some(injector));
+        index.update_uncertainty(&boundary_model(50.0));
+        let err = index.select_and_load().unwrap_err();
+        assert!(err.is_storage_fault(), "ladder exhaustion returns the last fault: {err}");
+        assert_eq!(index.degrade_counters().failed_selections, 1);
+        // Detaching the injector heals the next selection.
+        store.tracker().set_fault_injector(None);
+        index.select_and_load().expect("selection recovers once faults stop");
+        assert_eq!(index.degrade_counters().failed_selections, 1);
+    }
+
+    #[test]
+    fn sigma_deadline_misses_are_counted() {
+        let (store, _, _dir) = build_store("sigma", 2000);
+        let config = UeiConfig {
+            cells_per_dim: 4,
+            chunk_cache_bytes: 0,
+            latency_threshold_secs: 1e-9, // modeled NVMe always exceeds 1 ns
+            ..UeiConfig::default()
+        };
+        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
+        index.update_uncertainty(&boundary_model(50.0));
+        index.select_and_load().unwrap();
+        assert!(index.degrade_counters().sigma_deadline_misses >= 1);
+    }
+
+    #[test]
+    fn degrade_counter_deltas() {
+        let a = DegradeCounters { retries: 2, fallback_cells: 1, ..Default::default() };
+        let b = DegradeCounters {
+            retries: 5,
+            fallback_cells: 1,
+            sigma_deadline_misses: 3,
+            failed_selections: 0,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.fallback_cells, 0);
+        assert_eq!(d.sigma_deadline_misses, 3);
+        assert_eq!(d.failed_selections, 0);
+    }
+
+    #[test]
     fn ready_prefetch_survives_model_update() {
         // The invalidation rule: a model update re-ranks the cells, but a
         // ready-but-untaken prefetched region stays valid as *data* (cell
         // contents never change), so update_uncertainty must keep it.
-        let (store, _, dir) = build_store("survive", 1500);
+        let (store, _, _dir) = build_store("survive", 1500);
         let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
         let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
         let pre = index.prefetcher.as_ref().unwrap();
@@ -525,14 +728,13 @@ mod tests {
         );
         // And the retained result is actually served on selection.
         assert_eq!(index.load_prefetched_for_test(9), Some(true));
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn prefetcher_warmed_chunks_cost_foreground_nothing() {
         // Acceptance: a prefetched-then-swapped region performs zero
         // foreground chunk reads for chunks the prefetcher already loaded.
-        let (store, _, dir) = build_store("warmzero", 1500);
+        let (store, _, _dir) = build_store("warmzero", 1500);
         let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
         let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
         let pre = index.prefetcher.as_ref().unwrap();
@@ -551,12 +753,11 @@ mod tests {
             "zero foreground chunk reads for prefetcher-warmed chunks"
         );
         assert_eq!(stats.virtual_time, Duration::ZERO);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_cache_off_restores_private_layout() {
-        let (store, _, dir) = build_store("nosharing", 800);
+        let (store, _, _dir) = build_store("nosharing", 800);
         let config = UeiConfig {
             cells_per_dim: 4,
             shared_cache: false,
@@ -569,12 +770,11 @@ mod tests {
         let load = index.select_and_load().unwrap();
         assert!(!load.rows.is_empty());
         assert!(index.cache_stats().misses > 0, "private loader cache used");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn defer_swaps_holds_current_region_when_loads_are_slow() {
-        let (store, _, dir) = build_store("defer", 2000);
+        let (store, _, _dir) = build_store("defer", 2000);
         // τ will exceed σ immediately: every region load on modeled NVMe
         // takes > 1 ns threshold.
         let config = UeiConfig {
@@ -596,12 +796,11 @@ mod tests {
         let second = index.select_and_load().unwrap();
         assert_eq!(second.cell, first.cell, "swap deferred, same region served");
         assert_eq!(index.deferred_swaps(), 1);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn defer_swaps_noop_when_loads_are_fast() {
-        let (store, _, dir) = build_store("nodefer", 2000);
+        let (store, _, _dir) = build_store("nodefer", 2000);
         let config = UeiConfig {
             cells_per_dim: 4,
             defer_swaps: true,
@@ -615,6 +814,5 @@ mod tests {
         let second = index.select_and_load().unwrap();
         assert_ne!(second.cell, first.cell, "fast loads never defer");
         assert_eq!(index.deferred_swaps(), 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -66,9 +66,7 @@ proptest! {
         cells in 1usize..5,
         chunk_bytes in 128usize..2048,
     ) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prop-load-{}-{:?}", std::process::id(), std::thread::current().id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uei_storage::TempDir::new("prop-load");
         let schema = schema2(50.0, 25.0);
         let rows: Vec<DataPoint> = values
             .iter()
@@ -77,7 +75,7 @@ proptest! {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = Arc::new(ColumnStore::create(
-            &dir, schema, &rows,
+            dir.path(), schema, &rows,
             StoreConfig { chunk_target_bytes: chunk_bytes }, tracker).unwrap());
         let grid = Grid::new(store.schema(), cells).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
@@ -97,7 +95,6 @@ proptest! {
             total += loaded.len();
         }
         prop_assert_eq!(total, rows.len(), "every row in exactly one cell");
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -105,9 +102,7 @@ proptest! {
         values in proptest::collection::vec((0.0f64..10.0, -5.0f64..5.0), 5..100),
         cells in 1usize..6,
     ) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prop-map-{}-{:?}", std::process::id(), std::thread::current().id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uei_storage::TempDir::new("prop-map");
         let schema = schema2(10.0, 5.0);
         let rows: Vec<DataPoint> = values
             .iter()
@@ -116,7 +111,7 @@ proptest! {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir, schema, &rows, StoreConfig { chunk_target_bytes: 256 }, tracker).unwrap();
+            dir.path(), schema, &rows, StoreConfig { chunk_target_bytes: 256 }, tracker).unwrap();
         let grid = Grid::new(store.schema(), cells).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         for cell in grid.cell_ids() {
@@ -133,6 +128,5 @@ proptest! {
                 prop_assert_eq!(got, &want);
             }
         }
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

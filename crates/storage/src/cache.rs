@@ -387,17 +387,14 @@ mod tests {
     use super::*;
     use crate::io::{DiskTracker, IoProfile};
     use crate::store::StoreConfig;
-    use std::path::PathBuf;
     use uei_types::{AttributeDef, DataPoint, Rng, Schema};
 
-    fn build_store(tag: &str, n: usize, chunk_bytes: usize) -> (ColumnStore, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-cache-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+    fn build_store(
+        tag: &str,
+        n: usize,
+        chunk_bytes: usize,
+    ) -> (ColumnStore, crate::testutil::TempDir) {
+        let dir = crate::testutil::TempDir::new(&format!("cache-{tag}"));
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 100.0).unwrap(),
             AttributeDef::new("y", 0.0, 100.0).unwrap(),
@@ -414,7 +411,7 @@ mod tests {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema,
             &rows,
             StoreConfig { chunk_target_bytes: chunk_bytes },
@@ -426,7 +423,7 @@ mod tests {
 
     #[test]
     fn hit_after_miss() {
-        let (store, dir) = build_store("hits", 200, 256);
+        let (store, _dir) = build_store("hits", 200, 256);
         let id = store.manifest().dims[0][0].id();
         let mut cache = ChunkCache::new(10 << 20);
         let a = cache.get_or_load(&store, id).unwrap();
@@ -434,24 +431,22 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 1);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn second_load_does_no_io() {
-        let (store, dir) = build_store("noio", 200, 256);
+        let (store, _dir) = build_store("noio", 200, 256);
         let id = store.manifest().dims[0][0].id();
         let mut cache = ChunkCache::new(10 << 20);
         cache.get_or_load(&store, id).unwrap();
         let before = store.tracker().snapshot();
         cache.get_or_load(&store, id).unwrap();
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn evicts_lru_when_over_budget() {
-        let (store, dir) = build_store("evict", 500, 200);
+        let (store, _dir) = build_store("evict", 500, 200);
         let ids: Vec<ChunkId> =
             store.manifest().dims[0].iter().map(|m| m.id()).collect();
         assert!(ids.len() >= 3, "need several chunks for this test");
@@ -471,12 +466,11 @@ mod tests {
         let before = store.tracker().snapshot();
         cache.get_or_load(&store, *ids.last().unwrap()).unwrap();
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn oversized_chunk_bypasses_cache() {
-        let (store, dir) = build_store("bypass", 100, 1 << 20);
+        let (store, _dir) = build_store("bypass", 100, 1 << 20);
         let id = store.manifest().dims[0][0].id();
         let mut cache = ChunkCache::new(8); // absurdly small budget
         cache.get_or_load(&store, id).unwrap();
@@ -488,12 +482,11 @@ mod tests {
         assert_eq!(cache.stats().misses, 0);
         assert_eq!(cache.stats().hit_ratio(), 0.0);
         assert_eq!(cache.stats().bypass_ratio(), 1.0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn clear_resets_usage() {
-        let (store, dir) = build_store("clear", 200, 256);
+        let (store, _dir) = build_store("clear", 200, 256);
         let mut cache = ChunkCache::new(10 << 20);
         for m in &store.manifest().dims[0] {
             cache.get_or_load(&store, m.id()).unwrap();
@@ -502,7 +495,6 @@ mod tests {
         cache.clear();
         assert_eq!(cache.used_bytes(), 0);
         assert!(cache.is_empty());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -527,7 +519,7 @@ mod tests {
 
     #[test]
     fn shared_hit_after_miss_across_handles() {
-        let (store, dir) = build_store("sh-hits", 300, 256);
+        let (store, _dir) = build_store("sh-hits", 300, 256);
         let id = store.manifest().dims[0][0].id();
         let cache = SharedChunkCache::new(10 << 20, 4);
         let a = cache.get_or_load(&store, id).unwrap();
@@ -543,12 +535,11 @@ mod tests {
         assert_eq!(cache.stats().hits, 1);
         // The second handle's hit performed zero modeled I/O.
         assert_eq!(other_tracker.delta(&before).stats.bytes_read, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_spreads_chunks_over_shards() {
-        let (store, dir) = build_store("sh-spread", 1500, 200);
+        let (store, _dir) = build_store("sh-spread", 1500, 200);
         let cache = SharedChunkCache::new(64 << 20, 4);
         for dim in &store.manifest().dims {
             for m in dim {
@@ -563,12 +554,11 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_in_one_shard < total, "chunks spread over shards");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_per_shard_budget_and_evictions() {
-        let (store, dir) = build_store("sh-evict", 2000, 128);
+        let (store, _dir) = build_store("sh-evict", 2000, 128);
         let ids: Vec<ChunkId> = store
             .manifest()
             .dims
@@ -592,12 +582,11 @@ mod tests {
         for shard in &cache.shards {
             assert!(shard.state.lock().used_bytes <= cache.shard_budget_bytes());
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_zero_budget_bypasses_everything() {
-        let (store, dir) = build_store("sh-zero", 200, 256);
+        let (store, _dir) = build_store("sh-zero", 200, 256);
         let cache = SharedChunkCache::new(0, 4);
         let id = store.manifest().dims[0][0].id();
         cache.get_or_load(&store, id).unwrap();
@@ -605,12 +594,11 @@ mod tests {
         assert_eq!(cache.stats().bypasses, 2);
         assert_eq!(cache.stats().misses, 0);
         assert!(cache.is_empty());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_clear_empties_all_shards() {
-        let (store, dir) = build_store("sh-clear", 600, 200);
+        let (store, _dir) = build_store("sh-clear", 600, 200);
         let cache = SharedChunkCache::new(64 << 20, 4);
         for m in &store.manifest().dims[0] {
             cache.get_or_load(&store, m.id()).unwrap();
@@ -619,12 +607,11 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.used_bytes(), 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_get_if_resident_peeks() {
-        let (store, dir) = build_store("sh-peek", 200, 256);
+        let (store, _dir) = build_store("sh-peek", 200, 256);
         let cache = SharedChunkCache::new(64 << 20, 2);
         let id = store.manifest().dims[0][0].id();
         assert!(cache.get_if_resident(id).is_none());
@@ -632,12 +619,11 @@ mod tests {
         cache.get_or_load(&store, id).unwrap();
         assert!(cache.get_if_resident(id).is_some());
         assert_eq!(cache.stats().hits, 1);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_concurrent_single_flight_reads_each_chunk_once() {
-        let (store, dir) = build_store("sh-flight", 2000, 200);
+        let (store, _dir) = build_store("sh-flight", 2000, 200);
         let store = Arc::new(store);
         let cache = Arc::new(SharedChunkCache::new(256 << 20, 4));
         let ids: Vec<ChunkId> = store
@@ -686,7 +672,6 @@ mod tests {
         assert_eq!(s.misses, ids.len() as u64);
         assert_eq!(s.hits, (8 - 1) * ids.len() as u64);
         assert_eq!(s.bypasses, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -704,6 +689,5 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(cache.get_or_load(&store, id).is_ok());
         assert_eq!(cache.stats().misses, 1);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

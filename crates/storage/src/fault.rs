@@ -1,0 +1,488 @@
+//! Deterministic storage fault injection and retry policy.
+//!
+//! Production-scale interactive exploration cannot assume every chunk read
+//! succeeds within the latency threshold σ: devices return transient errors,
+//! files rot, and tail latencies spike. This module provides the two halves
+//! of the fault-tolerance story that live in the storage layer:
+//!
+//! - [`FaultInjector`] — a seed-driven fault source that a [`DiskTracker`]
+//!   consults on every *chunk or manifest* read (data-row files are exempt;
+//!   see [`FaultInjector::applies_to`]). Per operation it can, with
+//!   configured probabilities, (a) fail the read with
+//!   [`UeiError::Transient`], (b) corrupt the returned payload in memory
+//!   (single-bit flip or truncation — the file on disk is untouched), or
+//!   (c) charge a latency spike to the virtual clock. The injector is
+//!   deterministic: the same seed and the same sequence of reads produce the
+//!   same faults, so failing runs replay exactly.
+//! - [`RetryPolicy`] — bounded attempts with exponential backoff. Backoff
+//!   is charged to the tracker's virtual clock (like all modeled costs in
+//!   this workspace), so retried iterations show realistic response-time
+//!   penalties. Only [retryable](UeiError::is_retryable) errors are retried;
+//!   corruption never is, because re-reading bad bytes cannot fix them —
+//!   corrupt reads surface immediately so the caller can fall back to the
+//!   next-ranked cell.
+//!
+//! The injector mutates payloads *after* the real file read, which means the
+//! checksum machinery (per-chunk CRC-32 in the manifest catalog, the chunk
+//! trailer CRC, the manifest sidecar sum) is what detects the corruption —
+//! exactly the path a real bit flip would take.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use uei_types::{Result, Rng, UeiError};
+
+use crate::io::DiskTracker;
+use crate::manifest::{MANIFEST_CHECKSUM_FILE, MANIFEST_FILE};
+
+/// Per-operation fault probabilities and the seed that drives them.
+///
+/// All probabilities are independent per read: one operation can both be
+/// slow and fail transiently. Probabilities are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the injector's private RNG; same seed → same fault sequence.
+    pub seed: u64,
+    /// Probability that a read fails with [`UeiError::Transient`].
+    pub transient_prob: f64,
+    /// Probability that a read returns a corrupted payload (single-bit flip
+    /// or truncation, chosen pseudo-randomly).
+    pub corrupt_prob: f64,
+    /// Probability that a read suffers a latency spike.
+    pub slow_prob: f64,
+    /// Virtual-clock penalty charged when a latency spike fires, seconds.
+    pub slow_penalty_secs: f64,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (all probabilities zero).
+    pub fn off() -> Self {
+        FaultConfig {
+            seed: 0,
+            transient_prob: 0.0,
+            corrupt_prob: 0.0,
+            slow_prob: 0.0,
+            slow_penalty_secs: 0.0,
+        }
+    }
+
+    /// Validates probability ranges and the spike penalty.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("transient_prob", self.transient_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("slow_prob", self.slow_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(UeiError::invalid_config(format!(
+                    "fault {name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !(self.slow_penalty_secs >= 0.0) || !self.slow_penalty_secs.is_finite() {
+            return Err(UeiError::invalid_config(format!(
+                "fault slow_penalty_secs must be finite and >= 0, got {}",
+                self.slow_penalty_secs
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::off()
+    }
+}
+
+/// Cumulative counts of faults the injector has actually applied.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reads the injector was consulted for (chunk/manifest reads only).
+    pub reads_seen: u64,
+    /// Reads failed with [`UeiError::Transient`].
+    pub transient_errors: u64,
+    /// Payloads corrupted in memory (bit flip or truncation).
+    pub corruptions: u64,
+    /// Latency spikes charged to the virtual clock.
+    pub latency_spikes: u64,
+}
+
+/// The faults rolled for one read operation.
+///
+/// Produced by [`FaultInjector::roll_for_read`]; the tracker applies them in
+/// a fixed order: spike (always charged — a slow device is slow whether or
+/// not the read then fails), then transient failure, then payload
+/// corruption. All three dice are thrown on every consulted read so the
+/// random stream — and therefore the whole fault schedule — does not depend
+/// on which faults happened to fire earlier.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedFaults {
+    /// Fail this read with [`UeiError::Transient`].
+    pub transient: bool,
+    /// Corrupt the payload, using these raw draws as `(kind, position)`
+    /// material for [`FaultInjector::corrupt_payload`].
+    pub corrupt: Option<(u64, u64)>,
+    /// Charge this latency spike to the virtual clock.
+    pub spike: Option<Duration>,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: Rng,
+    stats: FaultStats,
+}
+
+/// Deterministic, seed-driven storage fault source.
+///
+/// Attach one to a tracker with [`DiskTracker::set_fault_injector`]; every
+/// clone of that tracker (store handles, loaders) then consults it on chunk
+/// and manifest reads. Thread-safe; a single RNG behind a mutex keeps the
+/// fault sequence globally ordered.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Creates an injector; fails if the configuration is out of range.
+    pub fn new(config: FaultConfig) -> Result<Arc<Self>> {
+        config.validate()?;
+        Ok(Arc::new(FaultInjector {
+            config,
+            state: Mutex::new(InjectorState { rng: Rng::new(config.seed), stats: FaultStats::default() }),
+        }))
+    }
+
+    /// The configuration this injector was built with.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Counts of faults applied so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// Whether faults apply to reads of `path`.
+    ///
+    /// Only chunk files (`*.uei`) and the manifest (plus its checksum
+    /// sidecar) are targeted: those are the reads the degradation ladder
+    /// can recover from. Row-data files used for bootstrap sampling and
+    /// ground-truth scans are exempt so a fault cannot invalidate the
+    /// experiment itself.
+    pub fn applies_to(path: &Path) -> bool {
+        if path.extension().is_some_and(|e| e == "uei") {
+            return true;
+        }
+        path.file_name()
+            .is_some_and(|n| n == MANIFEST_FILE || n == MANIFEST_CHECKSUM_FILE)
+    }
+
+    /// Rolls the fault dice for one read operation and updates [`FaultStats`].
+    pub fn roll_for_read(&self) -> InjectedFaults {
+        let mut s = self.state.lock();
+        s.stats.reads_seen += 1;
+        // Fixed draw order (transient, corrupt kind+position, spike) keeps
+        // the stream aligned across runs regardless of outcomes.
+        let transient = s.rng.bool(self.config.transient_prob);
+        let corrupt_roll = s.rng.bool(self.config.corrupt_prob);
+        let corrupt_kind = s.rng.next_u64();
+        let corrupt_pos = s.rng.next_u64();
+        let spike_roll = s.rng.bool(self.config.slow_prob);
+
+        let spike = if spike_roll {
+            s.stats.latency_spikes += 1;
+            Some(Duration::from_secs_f64(self.config.slow_penalty_secs))
+        } else {
+            None
+        };
+        if transient {
+            s.stats.transient_errors += 1;
+            return InjectedFaults { transient: true, corrupt: None, spike };
+        }
+        let corrupt = if corrupt_roll {
+            s.stats.corruptions += 1;
+            Some((corrupt_kind, corrupt_pos))
+        } else {
+            None
+        };
+        InjectedFaults { transient: false, corrupt, spike }
+    }
+
+    /// Corrupts `data` in place using the raw draws from
+    /// [`FaultInjector::roll_for_read`]: even `kind` flips one bit at a
+    /// pseudo-random position, odd `kind` truncates to a pseudo-random
+    /// prefix. Empty payloads are left alone.
+    pub fn corrupt_payload(data: &mut Vec<u8>, kind: u64, pos: u64) {
+        if data.is_empty() {
+            return;
+        }
+        if kind & 1 == 0 {
+            let byte = (pos as usize) % data.len();
+            let bit = ((pos >> 32) % 8) as u8;
+            data[byte] ^= 1 << bit;
+        } else {
+            let keep = (pos as usize) % data.len();
+            data.truncate(keep);
+        }
+    }
+}
+
+/// Bounded-retry policy with exponential backoff on the virtual clock.
+///
+/// `max_attempts` counts the initial try: `max_attempts == 1` disables
+/// retries entirely. Before the *n*-th retry (0-based) the policy charges
+/// `initial_backoff_secs × backoff_multiplier^n` to the tracker's virtual
+/// clock, so retried operations pay a modeled latency cost visible in
+/// response-time reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, virtual seconds.
+    pub initial_backoff_secs: f64,
+    /// Multiplier applied to the backoff after each retry (must be ≥ 1).
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, initial_backoff_secs: 0.0, backoff_multiplier: 1.0 }
+    }
+
+    /// Validates attempt count and backoff parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(UeiError::invalid_config("retry max_attempts must be >= 1"));
+        }
+        if !(self.initial_backoff_secs >= 0.0) || !self.initial_backoff_secs.is_finite() {
+            return Err(UeiError::invalid_config(format!(
+                "retry initial_backoff_secs must be finite and >= 0, got {}",
+                self.initial_backoff_secs
+            )));
+        }
+        if !(self.backoff_multiplier >= 1.0) || !self.backoff_multiplier.is_finite() {
+            return Err(UeiError::invalid_config(format!(
+                "retry backoff_multiplier must be finite and >= 1, got {}",
+                self.backoff_multiplier
+            )));
+        }
+        Ok(())
+    }
+
+    /// Backoff charged before retry number `retry` (0-based).
+    pub fn backoff_before(&self, retry: u32) -> Duration {
+        Duration::from_secs_f64(
+            self.initial_backoff_secs * self.backoff_multiplier.powi(retry as i32),
+        )
+    }
+
+    /// Runs `op` with this policy, charging backoff between attempts to
+    /// `tracker`'s virtual clock. Returns the successful value together with
+    /// the number of retries that were needed (0 = first try succeeded).
+    /// Non-retryable errors — corruption above all — propagate immediately.
+    pub fn run<T>(
+        &self,
+        tracker: &DiskTracker,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<(T, u64)> {
+        let mut retries: u64 = 0;
+        loop {
+            match op() {
+                Ok(value) => return Ok((value, retries)),
+                Err(e) if e.is_retryable() && retries + 1 < u64::from(self.max_attempts) => {
+                    tracker.charge_delay(self.backoff_before(retries as u32));
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, initial_backoff_secs: 1e-3, backoff_multiplier: 2.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::IoProfile;
+    use std::path::PathBuf;
+
+    #[test]
+    fn config_validation_rejects_out_of_range() {
+        let mut c = FaultConfig::off();
+        c.transient_prob = 1.5;
+        assert!(c.validate().is_err());
+        c = FaultConfig::off();
+        c.corrupt_prob = -0.1;
+        assert!(c.validate().is_err());
+        c = FaultConfig::off();
+        c.slow_penalty_secs = f64::NAN;
+        assert!(c.validate().is_err());
+        assert!(FaultConfig::off().validate().is_ok());
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            seed: 42,
+            transient_prob: 0.3,
+            corrupt_prob: 0.2,
+            slow_prob: 0.1,
+            slow_penalty_secs: 0.5,
+        };
+        let a = FaultInjector::new(cfg).unwrap();
+        let b = FaultInjector::new(cfg).unwrap();
+        for _ in 0..200 {
+            let fa = a.roll_for_read();
+            let fb = b.roll_for_read();
+            assert_eq!(fa.transient, fb.transient);
+            assert_eq!(fa.corrupt, fb.corrupt);
+            assert_eq!(fa.spike, fb.spike);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats().reads_seen, 200);
+    }
+
+    #[test]
+    fn off_config_injects_nothing() {
+        let inj = FaultInjector::new(FaultConfig::off()).unwrap();
+        for _ in 0..100 {
+            let f = inj.roll_for_read();
+            assert!(!f.transient && f.corrupt.is_none() && f.spike.is_none());
+        }
+        let s = inj.stats();
+        assert_eq!(s.reads_seen, 100);
+        assert_eq!(s.transient_errors + s.corruptions + s.latency_spikes, 0);
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_prob: 0.25,
+            corrupt_prob: 0.25,
+            slow_prob: 0.25,
+            slow_penalty_secs: 0.1,
+        };
+        let inj = FaultInjector::new(cfg).unwrap();
+        for _ in 0..4000 {
+            inj.roll_for_read();
+        }
+        let s = inj.stats();
+        // Transients hit ~25% of 4000; corruption only counts when the same
+        // read did not also fail transiently (~25% of the remaining 75%).
+        assert!((800..=1200).contains(&(s.transient_errors as i64)), "{s:?}");
+        assert!((550..=950).contains(&(s.corruptions as i64)), "{s:?}");
+        assert!((800..=1200).contains(&(s.latency_spikes as i64)), "{s:?}");
+    }
+
+    #[test]
+    fn applies_to_targets_chunks_and_manifest_only() {
+        assert!(FaultInjector::applies_to(&PathBuf::from("/data/d03_c0007.uei")));
+        assert!(FaultInjector::applies_to(&PathBuf::from("/data/manifest.json")));
+        assert!(FaultInjector::applies_to(&PathBuf::from("/data/manifest.crc")));
+        assert!(!FaultInjector::applies_to(&PathBuf::from("/data/rows.dat")));
+        assert!(!FaultInjector::applies_to(&PathBuf::from("/data/other.bin")));
+    }
+
+    #[test]
+    fn corrupt_payload_bit_flip_changes_exactly_one_bit() {
+        let orig: Vec<u8> = (0..64u8).collect();
+        let mut data = orig.clone();
+        FaultInjector::corrupt_payload(&mut data, 0, 0x0000_0003_0000_0029);
+        assert_eq!(data.len(), orig.len());
+        let diff_bits: u32 =
+            data.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff_bits, 1);
+    }
+
+    #[test]
+    fn corrupt_payload_truncation_shortens() {
+        let mut data: Vec<u8> = (0..64u8).collect();
+        FaultInjector::corrupt_payload(&mut data, 1, 10);
+        assert_eq!(data.len(), 10);
+        let mut empty: Vec<u8> = vec![];
+        FaultInjector::corrupt_payload(&mut empty, 1, 10);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_until_success() {
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let mut fails_left = 2;
+        let policy = RetryPolicy { max_attempts: 4, initial_backoff_secs: 0.5, backoff_multiplier: 2.0 };
+        let (value, retries) = policy
+            .run(&tracker, || {
+                if fails_left > 0 {
+                    fails_left -= 1;
+                    Err(UeiError::transient("flaky"))
+                } else {
+                    Ok(99)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 99);
+        assert_eq!(retries, 2);
+        // Backoff charged to the virtual clock: 0.5 s + 1.0 s.
+        assert!((tracker.virtual_elapsed().as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_after_max_attempts() {
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let mut calls = 0;
+        let policy = RetryPolicy { max_attempts: 3, initial_backoff_secs: 0.0, backoff_multiplier: 1.0 };
+        let err = policy
+            .run(&tracker, || -> Result<()> {
+                calls += 1;
+                Err(UeiError::transient("always down"))
+            })
+            .unwrap_err();
+        assert!(matches!(err, UeiError::Transient { .. }));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_never_retries_corruption() {
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let mut calls = 0;
+        let err = RetryPolicy::default()
+            .run(&tracker, || -> Result<()> {
+                calls += 1;
+                Err(UeiError::corrupt("bad crc"))
+            })
+            .unwrap_err();
+        assert!(matches!(err, UeiError::Corrupt { .. }));
+        assert_eq!(calls, 1);
+        assert_eq!(tracker.virtual_elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::none().validate().is_ok());
+        let bad = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = RetryPolicy { backoff_multiplier: 0.5, ..RetryPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = RetryPolicy { initial_backoff_secs: -1.0, ..RetryPolicy::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy { max_attempts: 5, initial_backoff_secs: 0.001, backoff_multiplier: 2.0 };
+        assert!((p.backoff_before(0).as_secs_f64() - 0.001).abs() < 1e-12);
+        assert!((p.backoff_before(3).as_secs_f64() - 0.008).abs() < 1e-12);
+    }
+}

@@ -127,6 +127,9 @@ pub struct IoDelta {
 struct TrackerState {
     stats: IoStats,
     virtual_clock: Duration,
+    // Shared by all clones of the tracker so an injector attached after a
+    // store was opened still covers the store's own tracker handle.
+    injector: Option<Arc<crate::fault::FaultInjector>>,
 }
 
 /// Shared I/O accountant: performs real file I/O and charges a virtual clock.
@@ -202,21 +205,80 @@ impl DiskTracker {
         s.virtual_clock += self.profile.write_time(bytes, seeks);
     }
 
+    /// Advances the virtual clock by `delay` without moving any bytes.
+    ///
+    /// Used for modeled waits that are not transfers: retry backoff and
+    /// injected latency spikes.
+    pub fn charge_delay(&self, delay: Duration) {
+        self.state.lock().virtual_clock += delay;
+    }
+
+    /// Attaches (or with `None`, detaches) a fault injector. The injector is
+    /// shared by every clone of this tracker, so store handles opened before
+    /// the attach are covered too. Pass `None` to restore clean reads.
+    pub fn set_fault_injector(&self, injector: Option<Arc<crate::fault::FaultInjector>>) {
+        self.state.lock().injector = injector;
+    }
+
+    /// The currently attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<crate::fault::FaultInjector>> {
+        self.state.lock().injector.clone()
+    }
+
+    // The injector consulted for a read of `path`, if one is attached and
+    // the path is a fault target (chunk file or manifest).
+    fn injector_for(&self, path: &Path) -> Option<Arc<crate::fault::FaultInjector>> {
+        if !crate::fault::FaultInjector::applies_to(path) {
+            return None;
+        }
+        self.state.lock().injector.clone()
+    }
+
     /// Reads an entire file, charging one seek plus its length.
     pub fn read_file(&self, path: &Path) -> Result<Vec<u8>> {
-        let data = std::fs::read(path).map_err(|e| UeiError::io(path, e))?;
+        let faults = self.injector_for(path).map(|inj| inj.roll_for_read());
+        if let Some(f) = &faults {
+            if let Some(spike) = f.spike {
+                self.charge_delay(spike);
+            }
+            if f.transient {
+                return Err(UeiError::transient(format!(
+                    "injected i/o failure reading {}",
+                    path.display()
+                )));
+            }
+        }
+        let mut data = std::fs::read(path).map_err(|e| UeiError::io(path, e))?;
         self.record_read(data.len() as u64, 1);
+        if let Some((kind, pos)) = faults.and_then(|f| f.corrupt) {
+            crate::fault::FaultInjector::corrupt_payload(&mut data, kind, pos);
+        }
         Ok(data)
     }
 
     /// Reads `len` bytes at `offset` from a file, charging one seek.
     pub fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Vec<u8>> {
         use std::io::{Read, Seek, SeekFrom};
+        let faults = self.injector_for(path).map(|inj| inj.roll_for_read());
+        if let Some(f) = &faults {
+            if let Some(spike) = f.spike {
+                self.charge_delay(spike);
+            }
+            if f.transient {
+                return Err(UeiError::transient(format!(
+                    "injected i/o failure reading {} at offset {offset}",
+                    path.display()
+                )));
+            }
+        }
         let mut f = std::fs::File::open(path).map_err(|e| UeiError::io(path, e))?;
         f.seek(SeekFrom::Start(offset)).map_err(|e| UeiError::io(path, e))?;
         let mut buf = vec![0u8; len];
         f.read_exact(&mut buf).map_err(|e| UeiError::io(path, e))?;
         self.record_read(len as u64, 1);
+        if let Some((kind, pos)) = faults.and_then(|f| f.corrupt) {
+            crate::fault::FaultInjector::corrupt_payload(&mut buf, kind, pos);
+        }
         Ok(buf)
     }
 
@@ -297,8 +359,7 @@ mod tests {
 
     #[test]
     fn file_round_trip_is_tracked() {
-        let dir = std::env::temp_dir().join(format!("uei-io-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = crate::testutil::TempDir::new("io-test");
         let path = dir.join("blob.bin");
         let t = DiskTracker::new(IoProfile::instant());
         t.write_file(&path, b"0123456789").unwrap();
@@ -309,7 +370,95 @@ mod tests {
         assert_eq!(s.bytes_read, 10);
         let part = t.read_at(&path, 2, 4).unwrap();
         assert_eq!(part, b"2345");
-        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn charge_delay_advances_virtual_clock_only() {
+        let t = DiskTracker::new(IoProfile::instant());
+        t.charge_delay(Duration::from_secs_f64(0.25));
+        assert!((t.virtual_elapsed().as_secs_f64() - 0.25).abs() < 1e-12);
+        assert_eq!(t.stats(), IoStats::default(), "no bytes or seeks charged");
+    }
+
+    #[test]
+    fn injector_faults_chunk_reads_but_not_row_files() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let dir = crate::testutil::TempDir::new("io-inject");
+        let chunk_path = dir.join("d000_c000000.uei");
+        let rows_path = dir.join("rows.dat");
+        let t = DiskTracker::new(IoProfile::instant());
+        t.write_file(&chunk_path, b"chunk-bytes").unwrap();
+        t.write_file(&rows_path, b"row-bytes").unwrap();
+
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 3,
+            transient_prob: 1.0, // every targeted read fails
+            corrupt_prob: 0.0,
+            slow_prob: 0.0,
+            slow_penalty_secs: 0.0,
+        })
+        .unwrap();
+        t.set_fault_injector(Some(inj.clone()));
+
+        match t.read_file(&chunk_path) {
+            Err(UeiError::Transient { detail }) => {
+                assert!(detail.contains("d000_c000000.uei"), "{detail}");
+            }
+            other => panic!("expected Transient, got {other:?}"),
+        }
+        // Row-data files are exempt from injection.
+        assert_eq!(t.read_file(&rows_path).unwrap(), b"row-bytes");
+        assert_eq!(inj.stats().transient_errors, 1);
+
+        // Clones attached before or after share the injector; detaching
+        // restores clean reads for all of them.
+        let t2 = t.clone();
+        assert!(t2.read_file(&chunk_path).is_err());
+        t2.set_fault_injector(None);
+        assert_eq!(t.read_file(&chunk_path).unwrap(), b"chunk-bytes");
+    }
+
+    #[test]
+    fn injector_spike_charges_virtual_clock() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let dir = crate::testutil::TempDir::new("io-spike");
+        let chunk_path = dir.join("d000_c000001.uei");
+        let t = DiskTracker::new(IoProfile::instant());
+        t.write_file(&chunk_path, b"payload").unwrap();
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 1,
+            transient_prob: 0.0,
+            corrupt_prob: 0.0,
+            slow_prob: 1.0,
+            slow_penalty_secs: 0.125,
+        })
+        .unwrap();
+        t.set_fault_injector(Some(inj));
+        t.read_file(&chunk_path).unwrap();
+        assert!((t.virtual_elapsed().as_secs_f64() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injector_corruption_mutates_payload_in_memory_only() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let dir = crate::testutil::TempDir::new("io-corrupt");
+        let chunk_path = dir.join("d000_c000002.uei");
+        let t = DiskTracker::new(IoProfile::instant());
+        let original = vec![0xAAu8; 256];
+        t.write_file(&chunk_path, &original).unwrap();
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 9,
+            transient_prob: 0.0,
+            corrupt_prob: 1.0,
+            slow_prob: 0.0,
+            slow_penalty_secs: 0.0,
+        })
+        .unwrap();
+        t.set_fault_injector(Some(inj));
+        let read = t.read_file(&chunk_path).unwrap();
+        assert_ne!(read, original, "payload must be corrupted");
+        // The file on disk is untouched; only the returned bytes rot.
+        assert_eq!(std::fs::read(&chunk_path).unwrap(), original);
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //!   [`cache::SharedChunkCache`] shared by the foreground loader and the
 //!   background prefetcher (single-flight per chunk);
 //! - [`lru`] — the generic LRU used by the chunk cache and by the
-//!   `uei-dbms` buffer pool.
+//!   `uei-dbms` buffer pool;
+//! - [`fault`] — deterministic, seed-driven fault injection
+//!   ([`fault::FaultInjector`]) for chunk/manifest reads plus the bounded
+//!   exponential-backoff [`fault::RetryPolicy`], the storage half of the
+//!   degradation ladder (DESIGN.md §8);
+//! - [`testutil`] — RAII temp directories for tests and benches.
 
 #![warn(missing_docs)]
 // Lint policy: `!(a <= b)` comparisons are deliberate — they reject NaN as
@@ -42,16 +47,20 @@ pub mod cache;
 pub mod checksum;
 pub mod chunk;
 pub mod column;
+pub mod fault;
 pub mod io;
 pub mod lru;
 pub mod manifest;
 pub mod merge;
 pub mod postings;
 pub mod store;
+pub mod testutil;
 
 pub use cache::{CacheStats, ChunkCache, SharedChunkCache, DEFAULT_CACHE_SHARDS};
 pub use chunk::{Chunk, ChunkId};
+pub use fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
 pub use io::{DiskTracker, IoProfile, IoSnapshot, IoStats};
+pub use testutil::TempDir;
 pub use column::merge_sources;
 pub use manifest::{ChunkMeta, Manifest};
 pub use merge::{

@@ -7,7 +7,12 @@
 //! without touching the data itself.
 //!
 //! Persisted as JSON (`manifest.json`) so a store directory is
-//! self-describing and inspectable.
+//! self-describing and inspectable. Integrity is covered twice: the catalog
+//! records a CRC-32 per chunk file (verified on every chunk read, before
+//! decode), and the manifest itself is protected by a checksum sidecar
+//! (`manifest.crc`) that [`Manifest::load`] verifies *fail-closed* — a
+//! missing or mismatched sidecar is [`uei_types::UeiError::Corrupt`], never
+//! a silent parse of rotten JSON.
 
 use std::path::Path;
 
@@ -34,6 +39,11 @@ pub struct ChunkMeta {
     pub num_ids: u64,
     /// Size of the chunk file in bytes.
     pub file_size: u64,
+    /// CRC-32 of the encoded chunk file, written at build time and verified
+    /// on every read before decoding. `0` means "unknown" (catalog written
+    /// before checksums existed); verification is skipped for such entries.
+    #[serde(default)]
+    pub crc32: u32,
 }
 
 impl ChunkMeta {
@@ -69,6 +79,10 @@ pub const MANIFEST_VERSION: u32 = 1;
 
 /// File name of the manifest inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// File name of the manifest checksum sidecar: the CRC-32 of
+/// `manifest.json`, as 8 lowercase hex digits.
+pub const MANIFEST_CHECKSUM_FILE: &str = "manifest.crc";
 
 impl Manifest {
     /// Validates internal consistency: one catalog per schema dimension,
@@ -149,16 +163,54 @@ impl Manifest {
         self.dims.iter().flatten().map(|c| c.file_size).sum()
     }
 
-    /// Serializes and writes the manifest into `dir` via the tracker.
+    /// Serializes and writes the manifest into `dir` via the tracker,
+    /// together with its checksum sidecar (`manifest.crc`).
     pub fn save(&self, dir: &Path, tracker: &DiskTracker) -> Result<()> {
         let json = serde_json::to_vec_pretty(self)
             .map_err(|e| UeiError::corrupt(format!("manifest serialization failed: {e}")))?;
-        tracker.write_file(&dir.join(MANIFEST_FILE), &json)
+        tracker.write_file(&dir.join(MANIFEST_FILE), &json)?;
+        let sum = format!("{:08x}\n", crate::checksum::crc32(&json));
+        tracker.write_file(&dir.join(MANIFEST_CHECKSUM_FILE), sum.as_bytes())
     }
 
-    /// Loads and validates the manifest from `dir`.
+    /// Loads, checksum-verifies, and validates the manifest from `dir`.
+    ///
+    /// Fails closed: a missing or unparsable `manifest.crc` sidecar, or a
+    /// CRC mismatch, is reported as [`UeiError::Corrupt`] naming
+    /// `manifest.json` — the store refuses to trust an unverifiable catalog.
     pub fn load(dir: &Path, tracker: &DiskTracker) -> Result<Manifest> {
-        let bytes = tracker.read_file(&dir.join(MANIFEST_FILE))?;
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = tracker.read_file(&path)?;
+        let sum_path = dir.join(MANIFEST_CHECKSUM_FILE);
+        let sum_bytes = match tracker.read_file(&sum_path) {
+            Ok(b) => b,
+            // A transient (possibly injected) failure is the device's
+            // problem, not evidence of rot — let the caller retry it.
+            Err(e) if e.is_retryable() => return Err(e),
+            Err(e) => {
+                return Err(UeiError::corrupt(format!(
+                    "{} has no readable checksum sidecar {} ({e}); refusing to trust it",
+                    path.display(),
+                    MANIFEST_CHECKSUM_FILE
+                )))
+            }
+        };
+        let expected = std::str::from_utf8(&sum_bytes)
+            .ok()
+            .and_then(|s| u32::from_str_radix(s.trim(), 16).ok())
+            .ok_or_else(|| {
+                UeiError::corrupt(format!(
+                    "checksum sidecar for {} is not 8 hex digits",
+                    path.display()
+                ))
+            })?;
+        let actual = crate::checksum::crc32(&bytes);
+        if actual != expected {
+            return Err(UeiError::corrupt(format!(
+                "{} failed its checksum: crc32 {actual:08x} != recorded {expected:08x}",
+                path.display()
+            )));
+        }
         let manifest: Manifest = serde_json::from_slice(&bytes)
             .map_err(|e| UeiError::corrupt(format!("manifest parse failed: {e}")))?;
         if manifest.version != MANIFEST_VERSION {
@@ -186,6 +238,7 @@ mod tests {
             num_entries: 10,
             num_ids: 100,
             file_size: 1024,
+            crc32: 0,
         }
     }
 
@@ -264,29 +317,71 @@ mod tests {
 
     #[test]
     fn save_load_round_trip() {
-        let dir = std::env::temp_dir().join(format!("uei-manifest-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = crate::testutil::TempDir::new("manifest-test");
         let tracker = DiskTracker::default();
         let m = two_dim_manifest();
-        m.save(&dir, &tracker).unwrap();
-        let loaded = Manifest::load(&dir, &tracker).unwrap();
+        m.save(dir.path(), &tracker).unwrap();
+        assert!(dir.join(MANIFEST_CHECKSUM_FILE).is_file(), "sidecar written");
+        let loaded = Manifest::load(dir.path(), &tracker).unwrap();
         assert_eq!(loaded.num_rows, m.num_rows);
         assert_eq!(loaded.dims, m.dims);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn load_rejects_bad_version() {
-        let dir =
-            std::env::temp_dir().join(format!("uei-manifest-ver-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = crate::testutil::TempDir::new("manifest-ver-test");
         let tracker = DiskTracker::default();
         let mut m = two_dim_manifest();
         m.version = 999;
-        let json = serde_json::to_vec(&m).unwrap();
-        std::fs::write(dir.join(MANIFEST_FILE), json).unwrap();
-        assert!(Manifest::load(&dir, &tracker).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
+        // Save writes a valid sidecar, so the version check is what trips.
+        m.save(dir.path(), &tracker).unwrap();
+        let err = Manifest::load(dir.path(), &tracker).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn load_fails_closed_on_corrupt_manifest_naming_the_file() {
+        let dir = crate::testutil::TempDir::new("manifest-corrupt-test");
+        let tracker = DiskTracker::default();
+        two_dim_manifest().save(dir.path(), &tracker).unwrap();
+        // Rot one byte of the JSON on disk; the sidecar still holds the
+        // checksum of the clean bytes.
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        match Manifest::load(dir.path(), &tracker) {
+            Err(UeiError::Corrupt { detail }) => {
+                assert!(detail.contains(MANIFEST_FILE), "must name the file: {detail}");
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_fails_closed_on_missing_sidecar() {
+        let dir = crate::testutil::TempDir::new("manifest-nosum-test");
+        let tracker = DiskTracker::default();
+        two_dim_manifest().save(dir.path(), &tracker).unwrap();
+        std::fs::remove_file(dir.join(MANIFEST_CHECKSUM_FILE)).unwrap();
+        match Manifest::load(dir.path(), &tracker) {
+            Err(UeiError::Corrupt { detail }) => {
+                assert!(detail.contains(MANIFEST_FILE), "must name the file: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_meta_crc_defaults_for_legacy_catalogs() {
+        // A catalog serialized before the crc32 field existed must still
+        // deserialize, with crc32 = 0 meaning "skip verification".
+        let json = br#"{"dim":0,"seq":0,"min_key":0.0,"max_key":1.0,
+                        "num_entries":1,"num_ids":2,"file_size":64}"#;
+        let m: ChunkMeta = serde_json::from_slice(json).unwrap();
+        assert_eq!(m.crc32, 0);
     }
 
     #[test]

@@ -365,17 +365,14 @@ mod tests {
     use super::*;
     use crate::io::{DiskTracker, IoProfile};
     use crate::store::StoreConfig;
-    use std::path::PathBuf;
     use uei_types::{AttributeDef, Rng, Schema};
 
-    fn build(tag: &str, n: usize, chunk_bytes: usize) -> (ColumnStore, Vec<DataPoint>, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-merge-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
+    fn build(
+        tag: &str,
+        n: usize,
+        chunk_bytes: usize,
+    ) -> (ColumnStore, Vec<DataPoint>, crate::testutil::TempDir) {
+        let dir = crate::testutil::TempDir::new(&format!("merge-{tag}"));
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 100.0).unwrap(),
             AttributeDef::new("y", 0.0, 100.0).unwrap(),
@@ -397,7 +394,7 @@ mod tests {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema,
             &rows,
             StoreConfig { chunk_target_bytes: chunk_bytes },
@@ -416,7 +413,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_half_open() {
-        let (store, rows, dir) = build("halfopen", 800, 512);
+        let (store, rows, _dir) = build("halfopen", 800, 512);
         let region = Region::new(vec![20.0, 30.0, 0.0], vec![60.0, 70.0, 50.0]).unwrap();
         let (got, stats) = reconstruct_region(&store, &region, None).unwrap();
         let got_ids: Vec<u64> = got.iter().map(|p| p.id.as_u64()).collect();
@@ -427,21 +424,19 @@ mod tests {
         for p in &got {
             assert_eq!(p, &rows[p.id.as_usize()]);
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn matches_brute_force_closed() {
-        let (store, rows, dir) = build("closed", 500, 512);
+        let (store, rows, _dir) = build("closed", 500, 512);
         let region = Region::closed(vec![0.0, 0.0, 0.0], vec![100.0, 100.0, 100.0]).unwrap();
         let (got, _) = reconstruct_region(&store, &region, None).unwrap();
         assert_eq!(got.len(), rows.len(), "full-space region reconstructs every row");
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn empty_region_short_circuits() {
-        let (store, _, dir) = build("empty", 300, 512);
+        let (store, _, _dir) = build("empty", 300, 512);
         // x-range outside the domain: dimension 0 seeds nothing.
         let region = Region::new(vec![200.0, 0.0, 0.0], vec![300.0, 100.0, 100.0]).unwrap();
         let before = store.tracker().snapshot();
@@ -450,12 +445,11 @@ mod tests {
         assert_eq!(stats.seed_candidates, 0);
         // Later dimensions were skipped, so almost nothing was read.
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn narrow_region_touches_fewer_chunks_than_full() {
-        let (store, _, dir) = build("narrow", 2000, 256);
+        let (store, _, _dir) = build("narrow", 2000, 256);
         let full = Region::new(vec![0.0; 3], vec![100.0; 3]).unwrap();
         let narrow = Region::new(vec![10.0, 10.0, 10.0], vec![15.0, 15.0, 15.0]).unwrap();
         let (_, full_stats) = reconstruct_region(&store, &full, None).unwrap();
@@ -466,12 +460,11 @@ mod tests {
             narrow_stats.chunk_bytes,
             full_stats.chunk_bytes
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn cache_reuse_avoids_rereads() {
-        let (store, _, dir) = build("cached", 800, 512);
+        let (store, _, _dir) = build("cached", 800, 512);
         let region = Region::new(vec![20.0, 20.0, 20.0], vec![80.0, 80.0, 80.0]).unwrap();
         let mut cache = ChunkCache::new(64 << 20);
         let (first, _) = reconstruct_region(&store, &region, Some(&mut cache)).unwrap();
@@ -483,15 +476,13 @@ mod tests {
             0,
             "second reconstruction fully served from cache"
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn dimension_mismatch_rejected() {
-        let (store, _, dir) = build("dims", 50, 512);
+        let (store, _, _dir) = build("dims", 50, 512);
         let region = Region::new(vec![0.0], vec![1.0]).unwrap();
         assert!(reconstruct_region(&store, &region, None).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     fn chunks_for(store: &ColumnStore, region: &Region) -> Vec<Vec<ChunkId>> {
@@ -510,7 +501,7 @@ mod tests {
 
     #[test]
     fn delta_reuses_overlap_and_matches_full_reconstruction() {
-        let (store, rows, dir) = build("delta", 1500, 256);
+        let (store, rows, _dir) = build("delta", 1500, 256);
         let a = Region::new(vec![10.0, 10.0, 10.0], vec![60.0, 60.0, 60.0]).unwrap();
         // Shifted region: heavy overlap with `a` along every dimension.
         let b = Region::new(vec![20.0, 20.0, 20.0], vec![70.0, 70.0, 70.0]).unwrap();
@@ -553,12 +544,11 @@ mod tests {
                 assert!(set_b.contains(id));
             }
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn delta_same_region_reads_nothing() {
-        let (store, _, dir) = build("delta-same", 800, 256);
+        let (store, _, _dir) = build("delta-same", 800, 256);
         let region = Region::new(vec![25.0, 25.0, 25.0], vec![75.0, 75.0, 75.0]).unwrap();
         let chunks = chunks_for(&store, &region);
         let (first, _, set) =
@@ -577,12 +567,11 @@ mod tests {
         assert_eq!(stats.chunks_loaded, 0);
         assert_eq!(stats.chunk_bytes, 0);
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn delta_composes_with_shared_cache() {
-        let (store, _, dir) = build("delta-shared", 1000, 256);
+        let (store, _, _dir) = build("delta-shared", 1000, 256);
         let cache = SharedChunkCache::new(64 << 20, 4);
         let a = Region::new(vec![0.0, 0.0, 0.0], vec![50.0, 50.0, 50.0]).unwrap();
         let b = Region::new(vec![10.0, 10.0, 10.0], vec![60.0, 60.0, 60.0]).unwrap();
@@ -610,12 +599,11 @@ mod tests {
         let (rows_full, _) = reconstruct_region(&store, &b, None).unwrap();
         assert_eq!(rows_b, rows_full);
         assert!(stats_b.chunks_reused > 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn shared_fetch_matches_uncached() {
-        let (store, rows, dir) = build("sharedfetch", 900, 256);
+        let (store, rows, _dir) = build("sharedfetch", 900, 256);
         let region = Region::new(vec![15.0, 5.0, 30.0], vec![85.0, 95.0, 70.0]).unwrap();
         let cache = SharedChunkCache::new(64 << 20, 4);
         let (got, stats) = reconstruct_region_with_chunks(
@@ -639,16 +627,14 @@ mod tests {
         .unwrap();
         assert_eq!(got, again);
         assert_eq!(store.tracker().delta(&before).stats.bytes_read, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn stats_entries_bounded_by_work() {
-        let (store, _, dir) = build("stats", 600, 256);
+        let (store, _, _dir) = build("stats", 600, 256);
         let region = Region::new(vec![40.0, 40.0, 40.0], vec![60.0, 60.0, 60.0]).unwrap();
         let (_, stats) = reconstruct_region(&store, &region, None).unwrap();
         assert!(stats.id_updates >= stats.result_rows * 3, "each result row updated 3 times");
         assert!(stats.seed_candidates >= stats.result_rows);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -64,6 +64,8 @@ impl ColumnStore {
     /// equal-size chunk files.
     ///
     /// `rows` must carry dense ids: a permutation of `0..rows.len()`.
+    #[must_use = "dropping the store discards the only handle to the files just written; \
+                  check the Result — creation performs real disk I/O that can fail"]
     pub fn create(
         dir: impl Into<PathBuf>,
         schema: Schema,
@@ -100,6 +102,10 @@ impl ColumnStore {
                     num_entries: chunk.num_entries() as u64,
                     num_ids: chunk.num_ids() as u64,
                     file_size: bytes.len() as u64,
+                    // Written once at build time, verified on every read
+                    // (before decode) so corruption can never reach the
+                    // learner as plausible rows.
+                    crc32: crate::checksum::crc32(&bytes),
                 };
                 tracker.write_file(&dir.join(chunk.id.file_name()), &bytes)?;
                 catalog.push(meta);
@@ -123,6 +129,8 @@ impl ColumnStore {
     }
 
     /// Opens an existing store directory.
+    #[must_use = "an unchecked open hides manifest corruption until the first read; \
+                  handle the Result"]
     pub fn open(dir: impl Into<PathBuf>, tracker: DiskTracker) -> Result<ColumnStore> {
         let dir = dir.into();
         let manifest = Manifest::load(&dir, &tracker)?;
@@ -168,8 +176,31 @@ impl ColumnStore {
     pub fn read_chunk_bytes(&self, id: ChunkId) -> Result<Vec<u8>> {
         // Existence check against the catalog first: a miss is NotFound,
         // not Io.
-        self.manifest.chunk_meta(id)?;
-        self.tracker.read_file(&self.dir.join(id.file_name()))
+        let meta = self.manifest.chunk_meta(id)?;
+        let expected_crc = meta.crc32;
+        let expected_len = meta.file_size;
+        let bytes = self.tracker.read_file(&self.dir.join(id.file_name()))?;
+        // Catalog-level integrity, checked before any decode work: the
+        // build-time CRC must match the bytes that came off the device.
+        // crc32 == 0 means a legacy catalog without checksums.
+        if expected_crc != 0 {
+            if bytes.len() as u64 != expected_len {
+                return Err(UeiError::corrupt(format!(
+                    "chunk file {} is {} bytes, catalog says {expected_len} (truncated?)",
+                    id.file_name(),
+                    bytes.len()
+                )));
+            }
+            let actual = crate::checksum::crc32(&bytes);
+            if actual != expected_crc {
+                return Err(UeiError::corrupt(format!(
+                    "chunk file {} failed its catalog checksum: \
+                     crc32 {actual:08x} != recorded {expected_crc:08x}",
+                    id.file_name()
+                )));
+            }
+        }
+        Ok(bytes)
     }
 
     /// Decodes bytes read by [`Self::read_chunk_bytes`], validating that
@@ -497,15 +528,8 @@ mod tests {
             .collect()
     }
 
-    fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-store-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
+    fn temp_dir(tag: &str) -> crate::testutil::TempDir {
+        crate::testutil::TempDir::new(&format!("store-{tag}"))
     }
 
     #[test]
@@ -514,7 +538,7 @@ mod tests {
         let rows = make_rows(500);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig { chunk_target_bytes: 256 },
@@ -524,10 +548,9 @@ mod tests {
         assert_eq!(store.num_rows(), 500);
         assert!(store.manifest().total_chunks() > 2, "small target should split chunks");
 
-        let reopened = ColumnStore::open(&dir, tracker).unwrap();
+        let reopened = ColumnStore::open(dir.path(), tracker).unwrap();
         assert_eq!(reopened.num_rows(), 500);
         assert_eq!(reopened.manifest().dims, store.manifest().dims);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -536,7 +559,7 @@ mod tests {
         let rows = make_rows(300);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig { chunk_target_bytes: 200 },
@@ -557,7 +580,6 @@ mod tests {
             all_ids.sort_unstable();
             assert_eq!(all_ids, (0..300u64).collect::<Vec<_>>(), "dim {dim} covers every row");
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -566,7 +588,7 @@ mod tests {
         let rows = make_rows(100);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema2(), &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker).unwrap();
         let got = store.fetch_rows(&[17, 3, 99, 4]).unwrap();
         assert_eq!(got.len(), 4);
         assert_eq!(got[0], rows[17]);
@@ -574,7 +596,6 @@ mod tests {
         assert_eq!(got[2], rows[99]);
         assert_eq!(got[3], rows[4]);
         assert!(store.fetch_rows(&[100]).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -583,7 +604,7 @@ mod tests {
         let rows = make_rows(64);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig::default(),
@@ -598,7 +619,6 @@ mod tests {
         store.fetch_rows(&[1, 30, 60]).unwrap();
         let d = tracker.delta(&before);
         assert_eq!(d.stats.seeks, 3);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -607,7 +627,7 @@ mod tests {
         let rows = make_rows(1000);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig::default(),
@@ -622,7 +642,6 @@ mod tests {
         let d = tracker.delta(&before);
         assert_eq!(d.stats.seeks, 1, "sequential scan charges one seek");
         assert_eq!(d.stats.bytes_read, store.rows_file_bytes());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -631,7 +650,7 @@ mod tests {
         let rows = make_rows(200);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema2(), &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker).unwrap();
         let mut rng = Rng::new(7);
         let sample = store.sample_rows(50, &mut rng).unwrap();
         assert_eq!(sample.len(), 50);
@@ -645,7 +664,6 @@ mod tests {
         // k >= n returns everything.
         let all = store.sample_rows(500, &mut rng).unwrap();
         assert_eq!(all.len(), 200);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -654,7 +672,7 @@ mod tests {
         let tracker = DiskTracker::new(IoProfile::instant());
         let bad = vec![DataPoint::new(5u64, vec![1.0, 1.0])];
         assert!(ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &bad,
             StoreConfig::default(),
@@ -666,9 +684,8 @@ mod tests {
             DataPoint::new(0u64, vec![2.0, 2.0]),
         ];
         assert!(
-            ColumnStore::create(&dir, schema2(), &dup, StoreConfig::default(), tracker).is_err()
+            ColumnStore::create(dir.path(), schema2(), &dup, StoreConfig::default(), tracker).is_err()
         );
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -676,14 +693,13 @@ mod tests {
         let dir = temp_dir("zerochunk");
         let tracker = DiskTracker::new(IoProfile::instant());
         assert!(ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &make_rows(10),
             StoreConfig { chunk_target_bytes: 0 },
             tracker
         )
         .is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -692,7 +708,7 @@ mod tests {
         let rows = make_rows(100);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig { chunk_target_bytes: 128 },
@@ -709,7 +725,6 @@ mod tests {
             Err(UeiError::Corrupt { .. }) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -718,12 +733,11 @@ mod tests {
         let rows = make_rows(10);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema2(), &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker).unwrap();
         match store.read_chunk(ChunkId::new(0, 999)) {
             Err(UeiError::NotFound { .. }) => {}
             other => panic!("expected NotFound, got {other:?}"),
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -732,7 +746,7 @@ mod tests {
         let rows = make_rows(400);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig { chunk_target_bytes: 256 },
@@ -744,7 +758,6 @@ mod tests {
         assert_eq!(report.rows, 400);
         assert_eq!(report.chunks_per_dim.len(), 2);
         assert!(report.chunks_per_dim.iter().all(|&c| c > 1));
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -753,7 +766,7 @@ mod tests {
         let rows = make_rows(300);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir,
+            dir.path(),
             schema2(),
             &rows,
             StoreConfig { chunk_target_bytes: 256 },
@@ -772,7 +785,6 @@ mod tests {
             Err(UeiError::Corrupt { .. }) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -781,13 +793,12 @@ mod tests {
         let rows = make_rows(200);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema2(), &rows, StoreConfig::default(), tracker)
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker)
                 .unwrap();
         let path = dir.join(ROWS_FILE);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
         assert!(store.verify().is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -795,12 +806,11 @@ mod tests {
         let dir = temp_dir("empty");
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema2(), &[], StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &[], StoreConfig::default(), tracker).unwrap();
         assert_eq!(store.num_rows(), 0);
         assert_eq!(store.manifest().total_chunks(), 0);
         let mut count = 0;
         store.scan_all(|_| count += 1).unwrap();
         assert_eq!(count, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

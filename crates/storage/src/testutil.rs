@@ -1,0 +1,97 @@
+//! Test support: RAII temporary directories.
+//!
+//! Tests across the workspace build throwaway column stores on disk. The
+//! historical pattern — `std::fs::create_dir_all` at the top, a manual
+//! `std::fs::remove_dir_all(&dir).unwrap()` at the bottom — leaks the
+//! directory whenever an assertion in between panics, and the leftover
+//! files then poison the next run of the same test. [`TempDir`] removes the
+//! directory in `Drop`, which runs during unwinding too.
+
+use std::path::{Path, PathBuf};
+
+/// A uniquely named temporary directory that is deleted on drop.
+///
+/// The name embeds the caller's tag, the process id, and the thread id, so
+/// parallel test threads (and concurrently running test binaries) never
+/// collide. Any stale directory of the same name from a crashed previous
+/// run is removed on creation.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates (and if necessary first cleans) `$TMPDIR/uei-<tag>-<pid>-<tid>`.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created — tests cannot proceed
+    /// without it.
+    pub fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "uei-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // A stale directory from a killed process would make store creation
+        // (which refuses to overwrite) fail spuriously.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `self.path().join(name)`.
+    pub fn join(&self, name: impl AsRef<Path>) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort cleanup: a failure to delete must not turn a passing
+        // test into a panic-while-panicking abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_on_drop() {
+        let kept_path;
+        {
+            let dir = TempDir::new("testutil-drop");
+            kept_path = dir.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            std::fs::write(dir.join("f.txt"), b"x").unwrap();
+        }
+        assert!(!kept_path.exists(), "directory must be removed on drop");
+    }
+
+    #[test]
+    fn cleans_stale_directory_on_create() {
+        let first = TempDir::new("testutil-stale");
+        let stale_file = first.join("stale.bin");
+        std::fs::write(&stale_file, b"old").unwrap();
+        // Simulate a crashed run: forget the guard so Drop never fires.
+        let path = first.path().to_path_buf();
+        std::mem::forget(first);
+        assert!(stale_file.exists());
+
+        let second = TempDir::new("testutil-stale");
+        assert_eq!(second.path(), path);
+        assert!(!stale_file.exists(), "stale contents must be cleared");
+    }
+}

@@ -95,9 +95,7 @@ proptest! {
         wy in 0.1f64..5.0,
         chunk_bytes in 64usize..2048,
     ) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prop-merge-{}-{:?}", std::process::id(), std::thread::current().id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uei_storage::testutil::TempDir::new("prop-merge");
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 10.0).unwrap(),
             AttributeDef::new("y", 0.0, 10.0).unwrap(),
@@ -109,7 +107,7 @@ proptest! {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir, schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
+            dir.path(), schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
             .unwrap();
         let region = Region::new(
             vec![qx, qy],
@@ -127,8 +125,7 @@ proptest! {
         for p in &got {
             prop_assert_eq!(p, &rows[p.id.as_usize()]);
         }
-        std::fs::remove_dir_all(&dir).ok();
-    }
+            }
 
     /// Every fetch mode — uncached, private LRU, shared concurrent cache,
     /// and delta reconstruction against the previous region — returns
@@ -142,9 +139,7 @@ proptest! {
         chunk_bytes in 64usize..1024,
         budget_sel in 0u8..3,
     ) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prop-modes-{}-{:?}", std::process::id(), std::thread::current().id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uei_storage::testutil::TempDir::new("prop-modes");
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 10.0).unwrap(),
             AttributeDef::new("y", 0.0, 10.0).unwrap(),
@@ -156,7 +151,7 @@ proptest! {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store = ColumnStore::create(
-            &dir, schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
+            dir.path(), schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
             .unwrap();
 
         // 0 = bypass everything, 1 = tight (evictions), 2 = unbounded.
@@ -195,7 +190,54 @@ proptest! {
             let got: Vec<u64> = base.iter().map(|p| p.id.as_u64()).collect();
             prop_assert_eq!(got, expect);
         }
-        std::fs::remove_dir_all(&dir).ok();
+            }
+
+    /// Any single-bit flip anywhere in a chunk *file* is rejected by the
+    /// catalog CRC in `read_chunk_bytes` — i.e. before any decode work —
+    /// so corrupted postings can never reach the learner as plausible rows.
+    #[test]
+    fn single_bit_flip_in_chunk_file_is_caught_before_decode(
+        values in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 20..120),
+        chunk_bytes in 64usize..1024,
+        pick_chunk in any::<prop::sample::Index>(),
+        flip in any::<usize>(),
+    ) {
+        let dir = uei_storage::testutil::TempDir::new("prop-bitflip");
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 10.0).unwrap(),
+            AttributeDef::new("y", 0.0, 10.0).unwrap(),
+        ]).unwrap();
+        let rows: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| DataPoint::new(i as u64, vec![x, y]))
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            dir.path(), schema, &rows, StoreConfig { chunk_target_bytes: chunk_bytes }, tracker)
+            .unwrap();
+        let metas: Vec<_> = store.manifest().dims.iter().flatten().cloned().collect();
+        prop_assert!(!metas.is_empty());
+        let meta = &metas[pick_chunk.index(metas.len())];
+        let path = dir.join(meta.id().file_name());
+        let clean = std::fs::read(&path).unwrap();
+        let mut bad = clean.clone();
+        let bit = flip % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&path, &bad).unwrap();
+        match store.read_chunk_bytes(meta.id()) {
+            Err(uei_types::UeiError::Corrupt { detail }) => {
+                prop_assert!(
+                    detail.contains("checksum"),
+                    "caught by the catalog checksum, before decode: {}", detail
+                );
+            }
+            Err(other) => prop_assert!(false, "expected Corrupt, got {:?}", other),
+            Ok(_) => prop_assert!(false, "bit flip at {} undetected", bit),
+        }
+        // Restoring the clean bytes makes the chunk readable again.
+        std::fs::write(&path, &clean).unwrap();
+        prop_assert!(store.read_chunk(meta.id()).is_ok());
     }
 
     #[test]
@@ -203,9 +245,7 @@ proptest! {
         values in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..80),
         pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..10),
     ) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prop-fetch-{}-{:?}", std::process::id(), std::thread::current().id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uei_storage::testutil::TempDir::new("prop-fetch");
         let schema = Schema::new(vec![
             AttributeDef::new("x", 0.0, 1.0).unwrap(),
             AttributeDef::new("y", 0.0, 1.0).unwrap(),
@@ -217,14 +257,13 @@ proptest! {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema, &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema, &rows, StoreConfig::default(), tracker).unwrap();
         let ids: Vec<u64> = pick.iter().map(|ix| ix.index(rows.len()) as u64).collect();
         let got = store.fetch_rows(&ids).unwrap();
         for (want_id, got_row) in ids.iter().zip(&got) {
             prop_assert_eq!(got_row, &rows[*want_id as usize]);
         }
-        std::fs::remove_dir_all(&dir).ok();
-    }
+            }
 
     /// Model-based LRU test: random op sequences against a naive reference.
     #[test]
@@ -280,9 +319,7 @@ proptest! {
     fn scan_all_yields_rows_in_id_order(
         values in proptest::collection::vec(0.0f64..1.0, 1..200)
     ) {
-        let dir = std::env::temp_dir().join(format!(
-            "uei-prop-scan-{}-{:?}", std::process::id(), std::thread::current().id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uei_storage::testutil::TempDir::new("prop-scan");
         let schema =
             Schema::new(vec![AttributeDef::new("x", 0.0, 1.0).unwrap()]).unwrap();
         let rows: Vec<DataPoint> = values
@@ -292,12 +329,11 @@ proptest! {
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(&dir, schema, &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema, &rows, StoreConfig::default(), tracker).unwrap();
         let mut seen = Vec::new();
         store.scan_all(|p| seen.push(p)).unwrap();
         prop_assert_eq!(seen, rows);
-        std::fs::remove_dir_all(&dir).ok();
-    }
+            }
 }
 
 /// Non-proptest sanity: the LRU reference model itself starts empty.

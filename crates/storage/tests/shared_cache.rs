@@ -4,7 +4,6 @@
 //! of each unique chunk touched — no double-count (two threads both paying
 //! for the same chunk) and no loss (a read charged to nobody).
 
-use std::path::PathBuf;
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -14,13 +13,12 @@ use uei_storage::io::{DiskTracker, IoProfile};
 use uei_storage::store::{ColumnStore, StoreConfig};
 use uei_types::{AttributeDef, DataPoint, Rng, Schema};
 
-fn build_store(tag: &str, rows: usize, chunk_bytes: usize) -> (Arc<ColumnStore>, PathBuf) {
-    let dir = std::env::temp_dir().join(format!(
-        "uei-shared-acct-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
+fn build_store(
+    tag: &str,
+    rows: usize,
+    chunk_bytes: usize,
+) -> (Arc<ColumnStore>, uei_storage::testutil::TempDir) {
+    let dir = uei_storage::testutil::TempDir::new(&format!("shared-acct-{tag}"));
     let schema = Schema::new(vec![
         AttributeDef::new("x", 0.0, 10.0).unwrap(),
         AttributeDef::new("y", 0.0, 10.0).unwrap(),
@@ -33,7 +31,7 @@ fn build_store(tag: &str, rows: usize, chunk_bytes: usize) -> (Arc<ColumnStore>,
         })
         .collect();
     let store = ColumnStore::create(
-        &dir,
+        dir.path(),
         schema,
         &points,
         StoreConfig { chunk_target_bytes: chunk_bytes },
@@ -61,7 +59,7 @@ proptest! {
         seqs in proptest::collection::vec(
             proptest::collection::vec(any::<prop::sample::Index>(), 1..40), 8),
     ) {
-        let (store, dir) = build_store("exact", 1200, 256);
+        let (store, _dir) = build_store("exact", 1200, 256);
         let ids = all_chunk_ids(&store);
         prop_assert!(ids.len() > 4, "fixture must span several chunks");
 
@@ -119,6 +117,5 @@ proptest! {
             prop_assert_eq!(stats.bypasses, 0u64);
             prop_assert_eq!(stats.evictions, 0u64);
         }
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

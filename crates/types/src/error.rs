@@ -46,6 +46,14 @@ pub enum UeiError {
         /// Description of the violated protocol.
         detail: String,
     },
+    /// A transient failure that is expected to succeed if retried — an
+    /// injected fault, a flaky device, an interrupted syscall. Retry
+    /// policies back off and reissue these; they never retry
+    /// [`UeiError::Corrupt`], whose evidence would only be re-read.
+    Transient {
+        /// Description of the transient condition.
+        detail: String,
+    },
 }
 
 impl UeiError {
@@ -73,6 +81,44 @@ impl UeiError {
     pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
         UeiError::Io { path: path.into(), source }
     }
+
+    /// Convenience constructor for [`UeiError::Transient`].
+    pub fn transient(detail: impl Into<String>) -> Self {
+        UeiError::Transient { detail: detail.into() }
+    }
+
+    /// Whether a retry of the failed operation could plausibly succeed.
+    ///
+    /// True for [`UeiError::Transient`] and for [`UeiError::Io`] whose OS
+    /// error kind signals a momentary condition (interrupted syscall,
+    /// timeout, would-block). Corruption is *never* retryable: the bytes on
+    /// disk are wrong and re-reading them cannot fix that.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            UeiError::Transient { .. } => true,
+            UeiError::Io { source, .. } => matches!(
+                source.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
+
+    /// Whether this error originated in the storage layer (failed read,
+    /// exhausted retries, or corruption). Storage faults make an index cell
+    /// *eligible for degradation* — the caller may fall through to the
+    /// next-ranked cell or sample from the resident cache — whereas logic
+    /// errors (bad config, dimension mismatch, protocol misuse) must
+    /// propagate.
+    pub fn is_storage_fault(&self) -> bool {
+        matches!(
+            self,
+            UeiError::Io { .. }
+                | UeiError::Transient { .. }
+                | UeiError::Corrupt { .. }
+                | UeiError::NotFound { .. }
+        )
+    }
 }
 
 impl fmt::Display for UeiError {
@@ -88,6 +134,7 @@ impl fmt::Display for UeiError {
             UeiError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
             UeiError::NotFound { detail } => write!(f, "not found: {detail}"),
             UeiError::InvalidState { detail } => write!(f, "invalid state: {detail}"),
+            UeiError::Transient { detail } => write!(f, "transient failure: {detail}"),
         }
     }
 }
@@ -128,6 +175,35 @@ mod tests {
         let io_err = UeiError::io("/x", io::Error::other("y"));
         assert!(io_err.source().is_some());
         assert!(UeiError::corrupt("bad magic").source().is_none());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(UeiError::transient("injected fault").is_retryable());
+        assert!(UeiError::io("/x", io::Error::from(io::ErrorKind::Interrupted)).is_retryable());
+        assert!(UeiError::io("/x", io::Error::from(io::ErrorKind::TimedOut)).is_retryable());
+        // A hard I/O failure (e.g. missing file) is not worth retrying.
+        assert!(!UeiError::io("/x", io::Error::from(io::ErrorKind::NotFound)).is_retryable());
+        // Corruption must never be retried: the bytes on disk are wrong.
+        assert!(!UeiError::corrupt("bad crc").is_retryable());
+        assert!(!UeiError::invalid_state("untrained").is_retryable());
+    }
+
+    #[test]
+    fn storage_fault_classification() {
+        assert!(UeiError::transient("flaky").is_storage_fault());
+        assert!(UeiError::corrupt("bad crc").is_storage_fault());
+        assert!(UeiError::io("/x", io::Error::other("boom")).is_storage_fault());
+        assert!(UeiError::not_found("chunk 9").is_storage_fault());
+        assert!(!UeiError::invalid_config("k = 0").is_storage_fault());
+        assert!(!UeiError::invalid_state("untrained").is_storage_fault());
+        assert!(!UeiError::DimensionMismatch { expected: 2, actual: 3 }.is_storage_fault());
+    }
+
+    #[test]
+    fn display_transient() {
+        let err = UeiError::transient("injected i/o failure");
+        assert_eq!(err.to_string(), "transient failure: injected i/o failure");
     }
 
     #[test]

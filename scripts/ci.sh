@@ -38,4 +38,13 @@ echo "==> region_load_bench --smoke"
 cargo run -p uei-bench --release --bin region_load_bench -- --smoke --out "$tmp/BENCH_region_load.json"
 test -s "$tmp/BENCH_region_load.json"
 
+# Smoke-run the fault matrix: a seeded sweep of {transient, corrupt, slow}
+# injection against {loader, prefetcher}. The binary asserts transients are
+# absorbed by retries, corruption surfaces without being retried, latency
+# spikes never fail a load, and clean-path checksum verification stays
+# within noise.
+echo "==> fault_matrix --smoke"
+cargo run -p uei-bench --release --bin fault_matrix -- --smoke --out "$tmp/BENCH_fault_matrix.json"
+test -s "$tmp/BENCH_fault_matrix.json"
+
 echo "CI gate passed."
