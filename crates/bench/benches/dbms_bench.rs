@@ -47,10 +47,7 @@ fn bench_scan(c: &mut Criterion) {
     let mut rng = Rng::new(1);
     let rows: Vec<DataPoint> = (0..50_000)
         .map(|i| {
-            DataPoint::new(
-                i as u64,
-                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-            )
+            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
         })
         .collect();
     let tracker = DiskTracker::new(IoProfile::instant());
@@ -69,8 +66,7 @@ fn bench_scan(c: &mut Criterion) {
         })
     });
     group.bench_function("warm_scan_full_pool", |b| {
-        let mut pool =
-            BufferPool::new(table.num_pages() as usize + 1, tracker.clone()).unwrap();
+        let mut pool = BufferPool::new(table.num_pages() as usize + 1, tracker.clone()).unwrap();
         table.scan(&mut pool, |_| {}).unwrap(); // warm it
         b.iter(|| {
             let mut count = 0u64;

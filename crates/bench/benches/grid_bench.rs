@@ -38,29 +38,14 @@ fn bench_grid(c: &mut Criterion) {
     let grid = Grid::new(&schema, 5).unwrap();
     let mut rng = Rng::new(1);
     let points: Vec<Vec<f64>> = (0..1000)
-        .map(|_| {
-            schema
-                .attributes()
-                .iter()
-                .map(|a| rng.range_f64(a.min, a.max))
-                .collect()
-        })
+        .map(|_| schema.attributes().iter().map(|a| rng.range_f64(a.min, a.max)).collect())
         .collect();
     let mut group = c.benchmark_group("grid");
     group.bench_function("cell_of_1k_points", |b| {
-        b.iter(|| {
-            points
-                .iter()
-                .map(|p| grid.cell_of(p).unwrap())
-                .sum::<usize>()
-        })
+        b.iter(|| points.iter().map(|p| grid.cell_of(p).unwrap()).sum::<usize>())
     });
     group.bench_function("cell_region_all_3125", |b| {
-        b.iter(|| {
-            grid.cell_ids()
-                .map(|id| grid.cell_region(id).unwrap().volume())
-                .sum::<f64>()
-        })
+        b.iter(|| grid.cell_ids().map(|id| grid.cell_region(id).unwrap().volume()).sum::<f64>())
     });
     group.finish();
 }

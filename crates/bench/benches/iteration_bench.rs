@@ -5,10 +5,10 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use uei_explore::backend::{DbmsBackend, ExplorationBackend, UeiBackend};
-use uei_explore::synth::{generate_sdss_like, SynthConfig};
 use uei_dbms::buffer::BufferPool;
 use uei_dbms::table::Table;
+use uei_explore::backend::{DbmsBackend, ExplorationBackend, UeiBackend};
+use uei_explore::synth::{generate_sdss_like, SynthConfig};
 use uei_index::config::UeiConfig;
 use uei_learn::dataset::LabeledSet;
 use uei_learn::strategy::UncertaintyMeasure;
@@ -30,9 +30,7 @@ fn trained_model(rows_hint: &[(Vec<f64>, Label)]) -> ScaledClassifier {
 
 fn examples() -> Vec<(Vec<f64>, Label)> {
     let rows = generate_sdss_like(&SynthConfig { rows: 60, ..Default::default() });
-    rows.iter()
-        .map(|p| (p.values.clone(), Label::from_bool(p.values[2] < 180.0)))
-        .collect()
+    rows.iter().map(|p| (p.values.clone(), Label::from_bool(p.values[2] < 180.0))).collect()
 }
 
 fn bench_uei_iteration(c: &mut Criterion) {

@@ -21,9 +21,8 @@ fn labeled_examples(n: usize, seed: u64) -> Vec<(Vec<f64>, Label)> {
 
 fn bench_kdtree(c: &mut Criterion) {
     let mut rng = Rng::new(7);
-    let points: Vec<Vec<f64>> = (0..10_000)
-        .map(|_| (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect())
-        .collect();
+    let points: Vec<Vec<f64>> =
+        (0..10_000).map(|_| (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect()).collect();
     let tree = KdTree::build(points.clone()).unwrap();
 
     let mut group = c.benchmark_group("kdtree");
@@ -59,9 +58,8 @@ fn bench_dwknn(c: &mut Criterion) {
     // whole pool with the estimator.
     group.bench_function("score_10k_pool", |b| {
         let mut qrng = Rng::new(3);
-        let pool: Vec<Vec<f64>> = (0..10_000)
-            .map(|_| (0..5).map(|_| qrng.range_f64(0.0, 1.0)).collect())
-            .collect();
+        let pool: Vec<Vec<f64>> =
+            (0..10_000).map(|_| (0..5).map(|_| qrng.range_f64(0.0, 1.0)).collect()).collect();
         b.iter(|| pool.iter().map(|q| model.predict_proba(q)).sum::<f64>())
     });
     group.finish();
@@ -78,12 +76,7 @@ fn bench_svm_and_strategy(c: &mut Criterion) {
         let model = EstimatorKind::Dwknn { k: 5 }.train(&examples).unwrap();
         let mut rng = Rng::new(5);
         let pool: Vec<DataPoint> = (0..2000)
-            .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect(),
-                )
-            })
+            .map(|i| DataPoint::new(i as u64, (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect()))
             .collect();
         let mut strategy = UncertaintySampling::new(UncertaintyMeasure::LeastConfidence);
         b.iter(|| strategy.select(&model, &pool).unwrap())

@@ -10,6 +10,7 @@ use uei_index::loader::RegionLoader;
 use uei_index::mapping::ChunkMapping;
 use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::source::ChunkSource;
 use uei_storage::store::{ColumnStore, StoreConfig};
 use uei_types::{AttributeDef, DataPoint, Rng, Schema};
 
@@ -21,16 +22,17 @@ fn schema2() -> Schema {
     .unwrap()
 }
 
+fn src(store: &Arc<ColumnStore>) -> Arc<dyn ChunkSource> {
+    Arc::clone(store) as Arc<dyn ChunkSource>
+}
+
 fn fixture(n: usize) -> (Arc<ColumnStore>, Grid, ChunkMapping, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("uei-bench-regload-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut rng = Rng::new(41);
     let rows: Vec<DataPoint> = (0..n)
         .map(|i| {
-            DataPoint::new(
-                i as u64,
-                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-            )
+            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
         })
         .collect();
     let store = ColumnStore::create(
@@ -55,7 +57,7 @@ fn bench_region_load_modes(c: &mut Criterion) {
 
     group.bench_function("cold_walk_4_cells", |b| {
         b.iter(|| {
-            let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+            let mut loader = RegionLoader::new(src(&store), 0);
             WALK.iter()
                 .map(|&cell| loader.load_cell(&grid, &mapping, cell).unwrap().0.len())
                 .sum::<usize>()
@@ -64,13 +66,12 @@ fn bench_region_load_modes(c: &mut Criterion) {
 
     group.bench_function("warm_shared_walk_4_cells", |b| {
         let cache = Arc::new(SharedChunkCache::new(256 << 20, 8));
-        let mut warmer = RegionLoader::with_shared(Arc::clone(&store), Arc::clone(&cache), false);
+        let mut warmer = RegionLoader::with_shared(src(&store), Arc::clone(&cache), false);
         for &cell in &WALK {
             warmer.load_cell(&grid, &mapping, cell).unwrap();
         }
         b.iter(|| {
-            let mut loader =
-                RegionLoader::with_shared(Arc::clone(&store), Arc::clone(&cache), false);
+            let mut loader = RegionLoader::with_shared(src(&store), Arc::clone(&cache), false);
             WALK.iter()
                 .map(|&cell| loader.load_cell(&grid, &mapping, cell).unwrap().0.len())
                 .sum::<usize>()
@@ -80,7 +81,7 @@ fn bench_region_load_modes(c: &mut Criterion) {
     group.bench_function("delta_walk_4_cells", |b| {
         b.iter(|| {
             let cache = Arc::new(SharedChunkCache::new(0, 8));
-            let mut loader = RegionLoader::with_shared(Arc::clone(&store), cache, true);
+            let mut loader = RegionLoader::with_shared(src(&store), cache, true);
             WALK.iter()
                 .map(|&cell| loader.load_cell(&grid, &mapping, cell).unwrap().0.len())
                 .sum::<usize>()

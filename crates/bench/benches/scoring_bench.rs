@@ -22,16 +22,13 @@ fn bench_scoring(c: &mut Criterion) {
     let model = EstimatorKind::Dwknn { k: 5 }.train(&examples(200, 11)).unwrap();
     let measure = UncertaintyMeasure::LeastConfidence;
     let mut rng = Rng::new(29);
-    let pool: Vec<Vec<f64>> = (0..4096)
-        .map(|_| (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect())
-        .collect();
+    let pool: Vec<Vec<f64>> =
+        (0..4096).map(|_| (0..3).map(|_| rng.range_f64(-1.0, 1.0)).collect()).collect();
     let refs: Vec<&[f64]> = pool.iter().map(|p| p.as_slice()).collect();
 
     let mut group = c.benchmark_group("scoring_4096");
     group.bench_function("sequential", |b| {
-        b.iter(|| {
-            pool.iter().map(|p| measure.score(model.predict_proba(p))).collect::<Vec<f64>>()
-        })
+        b.iter(|| pool.iter().map(|p| measure.score(model.predict_proba(p))).collect::<Vec<f64>>())
     });
     group.bench_function("batch", |b| b.iter(|| measure.score_points(model.as_ref(), &refs)));
     group.finish();

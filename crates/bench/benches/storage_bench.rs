@@ -48,9 +48,7 @@ fn bench_chunk_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("chunk_codec");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
     group.bench_function("encode_2k_entries", |b| b.iter(|| chunk.encode()));
-    group.bench_function("decode_2k_entries", |b| {
-        b.iter(|| Chunk::decode(&encoded).unwrap())
-    });
+    group.bench_function("decode_2k_entries", |b| b.iter(|| Chunk::decode(&encoded).unwrap()));
     group.finish();
 }
 
@@ -106,8 +104,7 @@ fn bench_store_reads(c: &mut Criterion) {
     group.bench_function("fetch_100_scattered_rows", |b| {
         let mut rng = Rng::new(3);
         b.iter(|| {
-            let mut ids: Vec<u64> =
-                (0..100).map(|_| rng.below(store.num_rows())).collect();
+            let mut ids: Vec<u64> = (0..100).map(|_| rng.below(store.num_rows())).collect();
             ids.sort_unstable();
             ids.dedup();
             store.fetch_rows(&ids).unwrap()
@@ -121,11 +118,7 @@ fn bench_store_reads(c: &mut Criterion) {
         })
     });
     group.bench_function("reconstruct_10pct_region", |b| {
-        let region = Region::new(
-            vec![20.0, 0.0, 0.0],
-            vec![30.0, 100.0, 100.0],
-        )
-        .unwrap();
+        let region = Region::new(vec![20.0, 0.0, 0.0], vec![30.0, 100.0, 100.0]).unwrap();
         b.iter(|| reconstruct_region(&store, &region, None).unwrap().0.len())
     });
     group.finish();

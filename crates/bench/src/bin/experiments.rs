@@ -16,9 +16,9 @@
 use std::path::PathBuf;
 
 use uei_bench::experiments::{
-    ablation_chunk_size, ablation_estimator, ablation_gamma, ablation_grid,
-    ablation_batch, ablation_prefetch, ablation_regions, ablation_strategy, complexity, fig6_response_time, fig_accuracy, table1,
-    AccuracyFigure, ResponseTimeFigure,
+    ablation_batch, ablation_chunk_size, ablation_estimator, ablation_gamma, ablation_grid,
+    ablation_prefetch, ablation_regions, ablation_strategy, complexity, fig6_response_time,
+    fig_accuracy, table1, AccuracyFigure, ResponseTimeFigure,
 };
 use uei_bench::fixture::{ExperimentScale, Fixture};
 use uei_explore::workload::RegionSize;
@@ -86,8 +86,7 @@ fn accuracy_scale(opts: &Options) -> ExperimentScale {
 }
 
 fn response_scale(opts: &Options) -> ExperimentScale {
-    let base =
-        if opts.quick { ExperimentScale::quick() } else { ExperimentScale::response_time() };
+    let base = if opts.quick { ExperimentScale::quick() } else { ExperimentScale::response_time() };
     apply_overrides(base, opts)
 }
 
@@ -248,10 +247,7 @@ fn ablation_fixture(opts: &Options) -> Fixture {
 
 fn print_ablation(ab: &uei_bench::experiments::Ablation) {
     println!("\n=== ablation — {} ===", ab.parameter);
-    println!(
-        "{:>16} {:>16} {:>12} {:>18}",
-        "value", "mean resp (ms)", "final F", "bytes/iter"
-    );
+    println!("{:>16} {:>16} {:>12} {:>18}", "value", "mean resp (ms)", "final F", "bytes/iter");
     for p in &ab.points {
         println!(
             "{:>16} {:>16.3} {:>12.4} {:>18.0}",

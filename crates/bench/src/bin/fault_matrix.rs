@@ -11,8 +11,7 @@
 use std::path::PathBuf;
 
 use uei_bench::fault_matrix::{
-    full_fault_matrix_report, smoke_fault_matrix_report, validate_fault_matrix,
-    FaultMatrixReport,
+    full_fault_matrix_report, smoke_fault_matrix_report, validate_fault_matrix, FaultMatrixReport,
 };
 
 fn print_report(report: &FaultMatrixReport) {
@@ -29,8 +28,17 @@ fn print_report(report: &FaultMatrixReport) {
     );
     println!(
         "{:<12} {:<10} {:>6} {:>6} {:>7} {:>8} {:>8} {:>10} {:>8} {:>7} {:>10}",
-        "component", "fault", "cells", "ok", "failed", "retries", "reads", "transient",
-        "corrupt", "spikes", "virt"
+        "component",
+        "fault",
+        "cells",
+        "ok",
+        "failed",
+        "retries",
+        "reads",
+        "transient",
+        "corrupt",
+        "spikes",
+        "virt"
     );
     for c in &report.cases {
         println!(

@@ -1,0 +1,70 @@
+//! Concurrent multi-session exploration over one shared engine.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin multi_session            # full run
+//! cargo run -p uei-bench --release --bin multi_session -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_multi_session.json` (schema: `BENCH_SCHEMA.json`) to the
+//! current directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::multi_session::{
+    full_multi_session_report, smoke_multi_session_report, validate_multi_session,
+    MultiSessionReport,
+};
+
+fn print_report(report: &MultiSessionReport) {
+    println!(
+        "concurrent sessions over one engine — {} rows, {} B chunks, {} labels/session, γ = {}\n",
+        report.dataset_rows, report.chunk_target_bytes, report.max_labels, report.gamma
+    );
+    println!(
+        "{:>8} {:>6} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7} {:>12}",
+        "sessions",
+        "iters",
+        "labels",
+        "p50 wall",
+        "p95 wall",
+        "total",
+        "hits",
+        "misses",
+        "ratio",
+        "phys bytes"
+    );
+    for c in &report.cases {
+        println!(
+            "{:>8} {:>6} {:>7} {:>8.2}ms {:>8.2}ms {:>8.0}ms {:>9} {:>9} {:>6.1}% {:>10} B",
+            c.sessions,
+            c.iterations,
+            c.labels_used,
+            c.wall_p50_ms,
+            c.wall_p95_ms,
+            c.total_wall_ms,
+            c.cache_hits,
+            c.cache_misses,
+            c.cache_hit_ratio * 100.0,
+            c.physical_bytes_read,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_multi_session.json"));
+
+    let report = if smoke { smoke_multi_session_report() } else { full_multi_session_report() };
+    print_report(&report);
+    validate_multi_session(&report);
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

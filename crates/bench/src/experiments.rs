@@ -44,8 +44,7 @@ impl Scheme {
 }
 
 /// Per-run variation knobs on top of a scale (used by the ablations).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Variation {
     /// Override the UEI grid resolution.
     pub cells_per_dim: Option<usize>,
@@ -64,14 +63,9 @@ pub struct Variation {
     pub random_strategy: bool,
 }
 
-
 /// Generates the per-run oracles for one region-size class: run `i` of
 /// both schemes explores the same region.
-pub fn oracles_for_runs(
-    fixture: &Fixture,
-    size: RegionSize,
-    runs: usize,
-) -> Result<Vec<Oracle>> {
+pub fn oracles_for_runs(fixture: &Fixture, size: RegionSize, runs: usize) -> Result<Vec<Oracle>> {
     let discriminator = match size {
         RegionSize::Small => 1,
         RegionSize::Medium => 2,
@@ -80,8 +74,7 @@ pub fn oracles_for_runs(
     let mut out = Vec::with_capacity(runs);
     for run in 0..runs {
         let mut rng = Rng::new(fixture.scale.seed ^ (discriminator << 32) ^ run as u64);
-        let target =
-            generate_target_region(&fixture.rows, &Schema::sdss(), size, &mut rng)?;
+        let target = generate_target_region(&fixture.rows, &Schema::sdss(), size, &mut rng)?;
         out.push(Oracle::new(target));
     }
     Ok(out)
@@ -191,8 +184,8 @@ pub fn fig_accuracy(fixture: &Fixture, size: RegionSize) -> Result<AccuracyFigur
         RegionSize::Large => "fig5",
     };
     let oracles = oracles_for_runs(fixture, size, fixture.scale.runs)?;
-    let fraction_mean = oracles.iter().map(|o| o.target().fraction).sum::<f64>()
-        / oracles.len() as f64;
+    let fraction_mean =
+        oracles.iter().map(|o| o.target().fraction).sum::<f64>() / oracles.len() as f64;
     let uei = run_scheme(fixture, Scheme::Uei, size, &Variation::default())?;
     let dbms = run_scheme(fixture, Scheme::Dbms, size, &Variation::default())?;
     Ok(AccuracyFigure {
@@ -249,11 +242,7 @@ pub fn fig6_response_time(fixture: &Fixture) -> Result<ResponseTimeFigure> {
         for scheme in [Scheme::Uei, Scheme::Dbms] {
             let summary = run_scheme(fixture, scheme, size, &Variation::default())?;
             let mean = summary.overall_response_virtual_ms;
-            let bytes = summary
-                .series
-                .iter()
-                .map(|p| p.bytes_read_mean)
-                .sum::<f64>()
+            let bytes = summary.series.iter().map(|p| p.bytes_read_mean).sum::<f64>()
                 / summary.series.len().max(1) as f64;
             match scheme {
                 Scheme::Uei => uei_means.push(mean),
@@ -321,28 +310,14 @@ pub fn complexity(fixture: &Fixture) -> Result<ComplexityReport> {
     let uei_run = run_session(fixture, Scheme::Uei, &oracles[0], 0, &Variation::default())?;
     let dbms_run = run_session(fixture, Scheme::Dbms, &oracles[0], 0, &Variation::default())?;
 
-    let uei_rows: Vec<f64> = uei_run
-        .traces
-        .iter()
-        .filter_map(|t| t.region_rows.map(|r| r as f64))
-        .collect();
-    let dbms_examined: Vec<f64> = dbms_run
-        .traces
-        .iter()
-        .filter_map(|t| t.examined.map(|e| e as f64))
-        .collect();
+    let uei_rows: Vec<f64> =
+        uei_run.traces.iter().filter_map(|t| t.region_rows.map(|r| r as f64)).collect();
+    let dbms_examined: Vec<f64> =
+        dbms_run.traces.iter().filter_map(|t| t.examined.map(|e| e as f64)).collect();
 
-    let uei_bytes = uei
-        .series
-        .iter()
-        .map(|p| p.bytes_read_mean)
-        .sum::<f64>()
-        / uei.series.len().max(1) as f64;
-    let dbms_bytes = dbms
-        .series
-        .iter()
-        .map(|p| p.bytes_read_mean)
-        .sum::<f64>()
+    let uei_bytes =
+        uei.series.iter().map(|p| p.bytes_read_mean).sum::<f64>() / uei.series.len().max(1) as f64;
+    let dbms_bytes = dbms.series.iter().map(|p| p.bytes_read_mean).sum::<f64>()
         / dbms.series.len().max(1) as f64;
 
     let e = mean_of(&uei_rows);
@@ -368,10 +343,7 @@ pub fn table1(scale: &ExperimentScale) -> Vec<(String, String)> {
         ("Number of runs per result".into(), scale.runs.to_string()),
         ("Number of dimensions (D)".into(), "5".into()),
         ("Number of relevant regions".into(), "1".into()),
-        (
-            "Cardinality of relevant regions".into(),
-            "0.1% (S), 0.4% (M), 0.8% (L)".into(),
-        ),
+        ("Cardinality of relevant regions".into(), "0.1% (S), 0.4% (M), 0.8% (L)".into()),
         ("Uncertainty Estimator".into(), "DWKNN [Gou et al. 2012]".into()),
         ("Label Type".into(), "Binary".into()),
         ("Data Storage Engine".into(), "UEI, MySQL-like row store".into()),
@@ -379,17 +351,11 @@ pub fn table1(scale: &ExperimentScale) -> Vec<(String, String)> {
             "Size of Individual Data Chunk".into(),
             format!("{} KB (paper: 470 KB at 40 GB scale)", scale.chunk_target_bytes / 1024),
         ),
-        (
-            "Number of Symbolic Index Points".into(),
-            format!("{}", scale.cells_per_dim.pow(5)),
-        ),
+        ("Number of Symbolic Index Points".into(), format!("{}", scale.cells_per_dim.pow(5))),
         ("Latency Threshold".into(), "500ms".into()),
         ("Performance Measurement".into(), "F-Measure (Accuracy)".into()),
         ("Dataset rows (paper: 10^7)".into(), scale.rows.to_string()),
-        (
-            "Memory budget".into(),
-            format!("{:.1}% of dataset", scale.memory_fraction * 100.0),
-        ),
+        ("Memory budget".into(), format!("{:.1}% of dataset", scale.memory_fraction * 100.0)),
     ]
 }
 
@@ -440,11 +406,7 @@ pub fn ablation_grid(fixture: &Fixture, cells: &[usize]) -> Result<Ablation> {
     let mut points = Vec::new();
     for &c in cells {
         let variation = Variation { cells_per_dim: Some(c), ..Variation::default() };
-        points.push(summarize_variation(
-            fixture,
-            &variation,
-            format!("{c}^5={}", c.pow(5)),
-        )?);
+        points.push(summarize_variation(fixture, &variation, format!("{c}^5={}", c.pow(5)))?);
     }
     Ok(Ablation { parameter: "symbolic index points".into(), points })
 }
@@ -480,11 +442,7 @@ pub fn ablation_estimator(fixture: &Fixture) -> Result<Ablation> {
 /// motivation for uncertainty sampling).
 pub fn ablation_strategy(fixture: &Fixture) -> Result<Ablation> {
     let mut points = Vec::new();
-    points.push(summarize_variation(
-        fixture,
-        &Variation::default(),
-        "uncertainty".into(),
-    )?);
+    points.push(summarize_variation(fixture, &Variation::default(), "uncertainty".into())?);
     let random = Variation { random_strategy: true, ..Variation::default() };
     points.push(summarize_variation(fixture, &random, "random".into())?);
     Ok(Ablation { parameter: "query strategy".into(), points })
@@ -604,12 +562,8 @@ mod tests {
         // Response time is flat in region size for both schemes (paper:
         // "the response time remains the same across all three target
         // interest regions sizes").
-        let uei: Vec<f64> = fig
-            .rows
-            .iter()
-            .filter(|r| r.scheme == "UEI")
-            .map(|r| r.mean_response_ms)
-            .collect();
+        let uei: Vec<f64> =
+            fig.rows.iter().filter(|r| r.scheme == "UEI").map(|r| r.mean_response_ms).collect();
         let spread = (uei.iter().cloned().fold(f64::MIN, f64::max)
             - uei.iter().cloned().fold(f64::MAX, f64::min))
             / mean_of(&uei).max(1e-9);
@@ -635,9 +589,8 @@ mod tests {
     #[test]
     fn table1_lists_paper_parameters() {
         let rows = table1(&ExperimentScale::accuracy());
-        let find = |k: &str| {
-            rows.iter().find(|(key, _)| key.contains(k)).map(|(_, v)| v.clone()).unwrap()
-        };
+        let find =
+            |k: &str| rows.iter().find(|(key, _)| key.contains(k)).map(|(_, v)| v.clone()).unwrap();
         assert_eq!(find("Symbolic Index Points"), "3125");
         assert_eq!(find("Latency"), "500ms");
         assert!(find("Cardinality").contains("0.1%"));

@@ -151,10 +151,7 @@ fn random_rows(n: usize, seed: u64) -> Vec<DataPoint> {
     let mut rng = Rng::new(seed);
     (0..n)
         .map(|i| {
-            DataPoint::new(
-                i as u64,
-                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-            )
+            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
         })
         .collect()
 }
@@ -191,13 +188,11 @@ fn loader_sweep(
     // Open the store *before* attaching the injector so the manifest read
     // is clean; the sweep targets steady-state chunk reads.
     let tracker = DiskTracker::new(IoProfile::instant());
-    let store =
-        Arc::new(ColumnStore::open(dir, tracker.clone()).expect("open loader handle"));
-    let injector =
-        FaultInjector::new(single_fault(kind, config, config.seed)).expect("injector");
+    let store = Arc::new(ColumnStore::open(dir, tracker.clone()).expect("open loader handle"));
+    let injector = FaultInjector::new(single_fault(kind, config, config.seed)).expect("injector");
     tracker.set_fault_injector(Some(Arc::clone(&injector)));
 
-    let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+    let mut loader = RegionLoader::new(Arc::clone(&store) as Arc<dyn uei_storage::ChunkSource>, 0);
     loader.set_retry_policy(RetryPolicy::default());
     let before = tracker.snapshot();
     let mut cells_ok = 0usize;
@@ -240,9 +235,8 @@ fn prefetcher_sweep(
 ) -> FaultMatrixCase {
     let pre = Prefetcher::spawn(dir, IoProfile::instant(), grid.clone(), mapping.clone())
         .expect("spawn prefetcher");
-    let injector =
-        FaultInjector::new(single_fault(kind, config, config.seed ^ 0x9E37_79B9))
-            .expect("injector");
+    let injector = FaultInjector::new(single_fault(kind, config, config.seed ^ 0x9E37_79B9))
+        .expect("injector");
     pre.background_tracker().set_fault_injector(Some(Arc::clone(&injector)));
     let before = pre.background_tracker().snapshot();
 
@@ -255,8 +249,7 @@ fn prefetcher_sweep(
             cells_ok += 1;
         }
     }
-    let virtual_ms =
-        pre.background_tracker().delta(&before).virtual_elapsed.as_secs_f64() * 1e3;
+    let virtual_ms = pre.background_tracker().delta(&before).virtual_elapsed.as_secs_f64() * 1e3;
     let cells_failed = pre.total_failures() as usize;
     assert_eq!(
         cells_ok + cells_failed,
@@ -292,7 +285,8 @@ fn timed_clean_walk(
     let mut best_ns = u64::MAX;
     let mut checksum = 0u64;
     for _ in 0..samples.max(1) {
-        let mut loader = RegionLoader::new(Arc::clone(store), 0);
+        let mut loader =
+            RegionLoader::new(Arc::clone(store) as Arc<dyn uei_storage::ChunkSource>, 0);
         let start = Instant::now();
         let mut sum = 0u64;
         for &cell in walk {
@@ -363,9 +357,8 @@ pub fn run_fault_matrix_bench(config: &FaultMatrixConfig) -> FaultMatrixReport {
     }
     manifest.save(&legacy_dir, &legacy_tracker).expect("rewrite legacy manifest");
     drop(legacy);
-    let legacy = Arc::new(
-        ColumnStore::open(&legacy_dir, legacy_tracker).expect("reopen legacy store"),
-    );
+    let legacy =
+        Arc::new(ColumnStore::open(&legacy_dir, legacy_tracker).expect("reopen legacy store"));
 
     let (checked_wall_ns, checked_sum) =
         timed_clean_walk(&store, &grid, &mapping, &walk, config.samples);
@@ -411,13 +404,8 @@ pub fn validate_fault_matrix(report: &FaultMatrixReport) {
                 .unwrap_or_else(|| panic!("missing matrix cell {component}/{kind}"));
             assert_eq!(case.cells_ok + case.cells_failed, case.cells);
             assert!(case.reads_seen > 0, "{component}/{kind}: injector saw no reads");
-            let fired = (
-                case.transient_errors > 0,
-                case.corruptions > 0,
-                case.latency_spikes > 0,
-            );
-            let expected =
-                (kind == "transient", kind == "corrupt", kind == "slow");
+            let fired = (case.transient_errors > 0, case.corruptions > 0, case.latency_spikes > 0);
+            let expected = (kind == "transient", kind == "corrupt", kind == "slow");
             assert_eq!(
                 fired, expected,
                 "{component}/{kind}: injected faults {fired:?} do not match the \

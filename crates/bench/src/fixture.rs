@@ -117,8 +117,7 @@ impl Fixture {
     /// a store of the same scale (the initialization phase runs once per
     /// dataset, §3.1).
     pub fn build(root: &Path, scale: ExperimentScale) -> Result<Fixture> {
-        std::fs::create_dir_all(root)
-            .map_err(|e| uei_types::UeiError::io(root, e))?;
+        std::fs::create_dir_all(root).map_err(|e| uei_types::UeiError::io(root, e))?;
         let rows = generate_sdss_like(&SynthConfig {
             rows: scale.rows,
             seed: scale.seed,

@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod fault_matrix;
 pub mod fixture;
+pub mod multi_session;
 pub mod region_load;
 pub mod scoring;
 
@@ -29,6 +30,10 @@ pub use fault_matrix::{
     validate_fault_matrix, FaultMatrixCase, FaultMatrixConfig, FaultMatrixReport,
 };
 pub use fixture::{ExperimentScale, Fixture};
+pub use multi_session::{
+    full_multi_session_report, run_multi_session_bench, smoke_multi_session_report,
+    validate_multi_session, MultiSessionCase, MultiSessionConfig, MultiSessionReport,
+};
 pub use region_load::{
     full_region_load_report, run_region_load_bench, smoke_region_load_report, RegionLoadCase,
     RegionLoadConfig, RegionLoadReport,

@@ -1,0 +1,303 @@
+//! Concurrent multi-session exploration over one shared [`EngineCore`].
+//!
+//! Measures the tentpole claim of the engine/session split (DESIGN.md
+//! §10): N independent exploration sessions can run on N threads over a
+//! *single* engine — one on-disk store, one shared chunk cache, zero data
+//! copies — and the shared cache gets *more* effective as sessions are
+//! added, because the sessions' working sets overlap. For each N the
+//! bench reports per-iteration wall-time percentiles and the engine's
+//! aggregate cache hit ratio; acceptance requires the N = 4 ratio to be
+//! at least the single-session ratio.
+//!
+//! Results serialize to the `BENCH_multi_session.json` shape documented
+//! in `BENCH_SCHEMA.json` at the repository root.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use uei_explore::multi::{run_sessions_concurrently, SessionSpec};
+use uei_explore::oracle::Oracle;
+use uei_explore::session::SessionConfig;
+use uei_explore::synth::{generate_sdss_like, SynthConfig};
+use uei_explore::workload::generate_target_region_fraction;
+use uei_index::config::UeiConfig;
+use uei_index::engine::EngineCore;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{Rng, Schema};
+
+/// Fixture and measurement knobs.
+#[derive(Debug, Clone)]
+pub struct MultiSessionConfig {
+    /// Dataset rows (SDSS-like synthetic).
+    pub rows: usize,
+    /// Grid resolution of the engine.
+    pub cells_per_dim: usize,
+    /// Chunk size of the column store.
+    pub chunk_target_bytes: usize,
+    /// Shared-cache budget of each engine.
+    pub chunk_cache_bytes: usize,
+    /// Session counts to measure; a fresh engine (fresh cache, fresh
+    /// physical ledger) is built over the same on-disk store for each.
+    pub session_counts: Vec<usize>,
+    /// Labels per session.
+    pub max_labels: usize,
+    /// Bootstrap labels per session.
+    pub bootstrap_size: usize,
+    /// Evaluation-sample size per session.
+    pub eval_sample: usize,
+    /// Unlabeled-pool sample size γ per session.
+    pub gamma: usize,
+    /// Target-region cardinality as a fraction of the dataset.
+    pub target_fraction: f64,
+    /// Seed for the dataset, the target region, and the session seeds.
+    pub seed: u64,
+}
+
+impl Default for MultiSessionConfig {
+    fn default() -> Self {
+        MultiSessionConfig {
+            rows: 20_000,
+            cells_per_dim: 3,
+            chunk_target_bytes: 8192,
+            chunk_cache_bytes: 64 << 20,
+            session_counts: vec![1, 2, 4, 8],
+            max_labels: 25,
+            bootstrap_size: 150,
+            eval_sample: 300,
+            gamma: 200,
+            target_fraction: 0.02,
+            seed: 71,
+        }
+    }
+}
+
+/// One measured session count.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiSessionCase {
+    /// Concurrent sessions run over the engine.
+    pub sessions: usize,
+    /// Iterations completed across all sessions.
+    pub iterations: usize,
+    /// Labels consumed across all sessions.
+    pub labels_used: usize,
+    /// Median per-iteration wall time across all sessions, milliseconds.
+    pub wall_p50_ms: f64,
+    /// 95th-percentile per-iteration wall time, milliseconds.
+    pub wall_p95_ms: f64,
+    /// End-to-end wall time of the whole concurrent run, milliseconds.
+    pub total_wall_ms: f64,
+    /// Aggregate shared-cache hits across all sessions.
+    pub cache_hits: u64,
+    /// Aggregate shared-cache misses (admitted fills).
+    pub cache_misses: u64,
+    /// `hits / (hits + misses + bypasses)` of the engine's shared cache.
+    pub cache_hit_ratio: f64,
+    /// Unique physical bytes billed to the engine's ledger (reads that
+    /// actually hit the store; shared-cache hits cost nothing here).
+    pub physical_bytes_read: u64,
+}
+
+/// The full report written to `BENCH_multi_session.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiSessionReport {
+    /// Dataset rows of the fixture.
+    pub dataset_rows: usize,
+    /// Store chunk size.
+    pub chunk_target_bytes: usize,
+    /// Shared-cache budget per engine.
+    pub chunk_cache_bytes: usize,
+    /// Labels per session.
+    pub max_labels: usize,
+    /// Unlabeled-pool sample size γ per session.
+    pub gamma: usize,
+    /// One case per measured session count.
+    pub cases: Vec<MultiSessionCase>,
+}
+
+/// Nearest-rank percentile of an unsorted sample, `q` in `[0, 1]`.
+fn percentile_ms(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+fn session_specs(config: &MultiSessionConfig, n: usize) -> Vec<SessionSpec> {
+    (0..n as u64)
+        .map(|i| SessionSpec {
+            session: SessionConfig {
+                max_labels: config.max_labels,
+                bootstrap_size: config.bootstrap_size,
+                eval_sample: config.eval_sample,
+                seed: config.seed.wrapping_mul(1_000) + i,
+                ..SessionConfig::default()
+            },
+            sample_seed: config.seed.wrapping_mul(2_000) + i,
+            gamma: config.gamma,
+        })
+        .collect()
+}
+
+/// Runs the session-count sweep over one on-disk fixture.
+pub fn run_multi_session_bench(config: &MultiSessionConfig) -> MultiSessionReport {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "uei-multi-session-bench-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rows = generate_sdss_like(&SynthConfig { rows: config.rows, ..Default::default() });
+    let mut rng = Rng::new(config.seed);
+    let target =
+        generate_target_region_fraction(&rows, &Schema::sdss(), config.target_fraction, &mut rng)
+            .expect("target region");
+    let oracle = Oracle::new(target);
+
+    // The store is created once; every engine below re-opens the same
+    // files, so no case pays index-initialization and no data is copied.
+    ColumnStore::create(
+        &dir,
+        Schema::sdss(),
+        &rows,
+        StoreConfig { chunk_target_bytes: config.chunk_target_bytes },
+        DiskTracker::new(IoProfile::nvme()),
+    )
+    .expect("create fixture store");
+
+    let mut cases = Vec::new();
+    for &n in &config.session_counts {
+        let store = Arc::new(
+            ColumnStore::open(&dir, DiskTracker::new(IoProfile::nvme()))
+                .expect("open fixture store"),
+        );
+        let engine = EngineCore::new(
+            store,
+            UeiConfig {
+                cells_per_dim: config.cells_per_dim,
+                chunk_cache_bytes: config.chunk_cache_bytes,
+                prefetch: false,
+                ..UeiConfig::default()
+            },
+        )
+        .expect("engine over fixture store");
+
+        let specs = session_specs(config, n);
+        let wall_start = Instant::now();
+        let results =
+            run_sessions_concurrently(&engine, &oracle, &specs).expect("concurrent sessions");
+        let total_wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+        let mut walls: Vec<f64> =
+            results.iter().flat_map(|r| r.traces.iter().map(|t| t.response_wall_ms)).collect();
+        let stats = engine.cache_stats();
+        let lookups = stats.hits + stats.misses + stats.bypasses;
+        cases.push(MultiSessionCase {
+            sessions: n,
+            iterations: walls.len(),
+            labels_used: results.iter().map(|r| r.labels_used).sum(),
+            wall_p50_ms: percentile_ms(&mut walls, 0.50),
+            wall_p95_ms: percentile_ms(&mut walls, 0.95),
+            total_wall_ms,
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+            cache_hit_ratio: if lookups == 0 { 0.0 } else { stats.hits as f64 / lookups as f64 },
+            physical_bytes_read: engine.io_ledger().stats().bytes_read,
+        });
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    MultiSessionReport {
+        dataset_rows: config.rows,
+        chunk_target_bytes: config.chunk_target_bytes,
+        chunk_cache_bytes: config.chunk_cache_bytes,
+        max_labels: config.max_labels,
+        gamma: config.gamma,
+        cases,
+    }
+}
+
+/// Panics unless the report upholds the acceptance criteria: every case
+/// completed its sessions, and sharing the cache across 4 sessions yields
+/// an aggregate hit ratio at least as good as a single session's.
+pub fn validate_multi_session(report: &MultiSessionReport) {
+    assert!(!report.cases.is_empty(), "report has no cases");
+    for c in &report.cases {
+        assert!(c.iterations > 0, "{} sessions completed no iterations", c.sessions);
+        assert!(
+            c.labels_used >= c.sessions * report.max_labels.min(1),
+            "{} sessions consumed no labels",
+            c.sessions
+        );
+        assert!(
+            (0.0..=1.0).contains(&c.cache_hit_ratio),
+            "hit ratio out of range for {} sessions",
+            c.sessions
+        );
+    }
+    let ratio = |n: usize| {
+        report
+            .cases
+            .iter()
+            .find(|c| c.sessions == n)
+            .unwrap_or_else(|| panic!("report is missing the {n}-session case"))
+            .cache_hit_ratio
+    };
+    assert!(
+        ratio(4) >= ratio(1),
+        "4-session aggregate hit ratio ({:.4}) fell below single-session ({:.4})",
+        ratio(4),
+        ratio(1)
+    );
+}
+
+/// The default full-size run: N ∈ {1, 2, 4, 8}.
+pub fn full_multi_session_report() -> MultiSessionReport {
+    run_multi_session_bench(&MultiSessionConfig::default())
+}
+
+/// A seconds-scale smoke run used by CI. Panics if any acceptance
+/// criterion fails.
+pub fn smoke_multi_session_report() -> MultiSessionReport {
+    let report = run_multi_session_bench(&MultiSessionConfig {
+        rows: 2_500,
+        session_counts: vec![1, 4],
+        max_labels: 8,
+        bootstrap_size: 80,
+        eval_sample: 150,
+        gamma: 120,
+        ..MultiSessionConfig::default()
+    });
+    validate_multi_session(&report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile_ms(&mut v, 0.50), 2.0);
+        assert_eq!(percentile_ms(&mut v, 0.95), 4.0);
+        assert_eq!(percentile_ms(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_upholds_acceptance_criteria() {
+        let report = smoke_multi_session_report();
+        assert_eq!(report.cases.len(), 2);
+        let four = report.cases.iter().find(|c| c.sessions == 4).unwrap();
+        let one = report.cases.iter().find(|c| c.sessions == 1).unwrap();
+        assert!(four.iterations > one.iterations);
+        assert!(four.cache_hit_ratio >= one.cache_hit_ratio);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"cache_hit_ratio\""));
+    }
+}

@@ -22,6 +22,7 @@ use uei_index::loader::RegionLoader;
 use uei_index::mapping::ChunkMapping;
 use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::source::ChunkSource;
 use uei_storage::store::{ColumnStore, StoreConfig};
 use uei_types::{AttributeDef, DataPoint, Rng, Schema};
 
@@ -113,12 +114,14 @@ fn random_rows(n: usize, seed: u64) -> Vec<DataPoint> {
     let mut rng = Rng::new(seed);
     (0..n)
         .map(|i| {
-            DataPoint::new(
-                i as u64,
-                vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-            )
+            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
         })
         .collect()
+}
+
+/// The store handle as the trait object [`RegionLoader`] is built over.
+fn src(store: &Arc<ColumnStore>) -> Arc<dyn ChunkSource> {
+    Arc::clone(store) as Arc<dyn ChunkSource>
 }
 
 /// Serpentine (boustrophedon) walk over the 2-D grid: consecutive cells
@@ -128,8 +131,7 @@ fn random_rows(n: usize, seed: u64) -> Vec<DataPoint> {
 fn serpentine_walk(cells_per_dim: usize) -> Vec<usize> {
     let mut walk = Vec::with_capacity(cells_per_dim * cells_per_dim);
     for x in 0..cells_per_dim {
-        let row: Vec<usize> =
-            (0..cells_per_dim).map(|y| x * cells_per_dim + y).collect();
+        let row: Vec<usize> = (0..cells_per_dim).map(|y| x * cells_per_dim + y).collect();
         if x % 2 == 0 {
             walk.extend(row);
         } else {
@@ -157,7 +159,7 @@ fn run_walk(
     mapping: &ChunkMapping,
     walk: &[usize],
 ) -> WalkOutcome {
-    let tracker = loader.store().tracker().clone();
+    let tracker = loader.source().tracker().clone();
     let before = tracker.snapshot();
     let wall_start = Instant::now();
     let mut rows = 0u64;
@@ -216,16 +218,15 @@ pub fn run_region_load_bench(config: &RegionLoadConfig) -> RegionLoadReport {
     // prefetch cost is attributed to the background and never shows up in
     // the foreground numbers.
     let bg_tracker = DiskTracker::new(IoProfile::nvme());
-    let bg_store = Arc::new(
-        ColumnStore::open(&dir, bg_tracker.clone()).expect("open background handle"),
-    );
+    let bg_store =
+        Arc::new(ColumnStore::open(&dir, bg_tracker.clone()).expect("open background handle"));
 
     let mut cases = Vec::new();
 
     // Cold: no cache, no delta — every cell pays full fetch + decode.
     let mut best: Option<WalkOutcome> = None;
     for _ in 0..samples {
-        let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+        let mut loader = RegionLoader::new(src(&store), 0);
         let outcome = run_walk(&mut loader, &grid, &mapping, &walk);
         best = Some(match best {
             Some(b) if b.wall_ns <= outcome.wall_ns => b,
@@ -251,15 +252,12 @@ pub fn run_region_load_bench(config: &RegionLoadConfig) -> RegionLoadReport {
     let mut best: Option<WalkOutcome> = None;
     let mut bg_bytes = 0u64;
     for _ in 0..samples {
-        let cache =
-            Arc::new(SharedChunkCache::new(config.cache_budget_bytes, config.cache_shards));
+        let cache = Arc::new(SharedChunkCache::new(config.cache_budget_bytes, config.cache_shards));
         let bg_before = bg_tracker.snapshot();
-        let mut warmer =
-            RegionLoader::with_shared(Arc::clone(&bg_store), Arc::clone(&cache), false);
+        let mut warmer = RegionLoader::with_shared(src(&bg_store), Arc::clone(&cache), false);
         run_walk(&mut warmer, &grid, &mapping, &walk);
         bg_bytes = bg_tracker.delta(&bg_before).stats.bytes_read;
-        let mut loader =
-            RegionLoader::with_shared(Arc::clone(&store), Arc::clone(&cache), false);
+        let mut loader = RegionLoader::with_shared(src(&store), Arc::clone(&cache), false);
         let outcome = run_walk(&mut loader, &grid, &mapping, &walk);
         best = Some(match best {
             Some(b) if b.wall_ns <= outcome.wall_ns => b,
@@ -285,7 +283,7 @@ pub fn run_region_load_bench(config: &RegionLoadConfig) -> RegionLoadReport {
     let mut best: Option<WalkOutcome> = None;
     for _ in 0..samples {
         let cache = Arc::new(SharedChunkCache::new(0, config.cache_shards));
-        let mut loader = RegionLoader::with_shared(Arc::clone(&store), cache, true);
+        let mut loader = RegionLoader::with_shared(src(&store), cache, true);
         let outcome = run_walk(&mut loader, &grid, &mapping, &walk);
         best = Some(match best {
             Some(b) if b.wall_ns <= outcome.wall_ns => b,
@@ -323,9 +321,11 @@ pub fn run_region_load_bench(config: &RegionLoadConfig) -> RegionLoadReport {
 /// modeled I/O bytes *and* wall time.
 pub fn validate_report(report: &RegionLoadReport) {
     let case = |mode: &str| {
-        report.cases.iter().find(|c| c.mode == mode).unwrap_or_else(|| {
-            panic!("report is missing the `{mode}` case")
-        })
+        report
+            .cases
+            .iter()
+            .find(|c| c.mode == mode)
+            .unwrap_or_else(|| panic!("report is missing the `{mode}` case"))
     };
     let cold = case("cold");
     let warm = case("warm-shared");

@@ -98,10 +98,8 @@ impl BPlusTree {
         let key = (value, row);
         if let Some((split_key, new_node)) = self.insert_into(self.root, key) {
             let old_root = self.root;
-            self.nodes.push(Node::Internal {
-                keys: vec![split_key],
-                children: vec![old_root, new_node],
-            });
+            self.nodes
+                .push(Node::Internal { keys: vec![split_key], children: vec![old_root, new_node] });
             self.root = self.nodes.len() - 1;
         }
         self.len += 1;
@@ -151,10 +149,7 @@ impl BPlusTree {
                     let right_keys = keys.split_off(mid + 1);
                     keys.pop(); // remove up_key from the left node
                     let right_children = children.split_off(mid + 1);
-                    self.nodes.push(Node::Internal {
-                        keys: right_keys,
-                        children: right_children,
-                    });
+                    self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
                     return Some((up_key, self.nodes.len() - 1));
                 }
                 unreachable!("node kind cannot change mid-insert");
@@ -279,11 +274,8 @@ mod tests {
     fn ascending_and_descending_insert_orders() {
         for order_mode in 0..2 {
             let mut t = BPlusTree::new(4).unwrap();
-            let values: Vec<u64> = if order_mode == 0 {
-                (0..500).collect()
-            } else {
-                (0..500).rev().collect()
-            };
+            let values: Vec<u64> =
+                if order_mode == 0 { (0..500).collect() } else { (0..500).rev().collect() };
             for &r in &values {
                 t.insert(r as f64, r).unwrap();
             }

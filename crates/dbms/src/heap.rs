@@ -77,11 +77,7 @@ impl HeapFile {
                 "heap file length {len} is not a multiple of the page size"
             )));
         }
-        Ok(HeapFile {
-            path,
-            num_pages: (len / PAGE_SIZE as u64) as u32,
-            charge_factor: 1.0,
-        })
+        Ok(HeapFile { path, num_pages: (len / PAGE_SIZE as u64) as u32, charge_factor: 1.0 })
     }
 
     /// Sets the modeled-bytes multiplier for page reads (see
@@ -124,12 +120,7 @@ impl HeapFile {
     /// Reads one page from disk, charging the tracker. `sequential` skips
     /// the seek charge (the buffer pool passes `true` when this read
     /// directly follows the previous page).
-    pub fn read_page(
-        &self,
-        id: PageId,
-        tracker: &DiskTracker,
-        sequential: bool,
-    ) -> Result<Page> {
+    pub fn read_page(&self, id: PageId, tracker: &DiskTracker, sequential: bool) -> Result<Page> {
         if id >= self.num_pages {
             return Err(UeiError::not_found(format!(
                 "page {id} (heap has {} pages)",
@@ -169,8 +160,7 @@ mod tests {
         let path = temp_path("roundtrip");
         let tracker = DiskTracker::new(IoProfile::instant());
         let tuples: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_le_bytes().to_vec()).collect();
-        let heap =
-            HeapFile::create(&path, tuples.iter().map(|t| t.as_slice()), &tracker).unwrap();
+        let heap = HeapFile::create(&path, tuples.iter().map(|t| t.as_slice()), &tracker).unwrap();
         assert!(heap.num_pages() >= 1);
 
         let reopened = HeapFile::open(&path).unwrap();

@@ -32,7 +32,6 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod btree;
 pub mod buffer;
 pub mod heap;

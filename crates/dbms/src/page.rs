@@ -12,8 +12,8 @@
 //!
 //! Each slot-directory entry is `(offset: u16, len: u16)`.
 
-use uei_types::{Result, UeiError};
 use uei_storage::checksum::crc32;
+use uei_types::{Result, UeiError};
 
 /// Page size in bytes. 8 KiB, a typical row-store page.
 pub const PAGE_SIZE: usize = 8192;
@@ -40,12 +40,7 @@ pub struct Page {
 impl Page {
     /// Creates an empty page.
     pub fn new(id: PageId) -> Page {
-        Page {
-            id,
-            buf: Box::new([0u8; PAGE_SIZE]),
-            num_slots: 0,
-            free_off: HEADER_LEN as u16,
-        }
+        Page { id, buf: Box::new([0u8; PAGE_SIZE]), num_slots: 0, free_off: HEADER_LEN as u16 }
     }
 
     /// The page's id.
@@ -75,8 +70,7 @@ impl Page {
         let slot = self.num_slots;
         let dir_off = PAGE_SIZE - CRC_LEN - (slot as usize + 1) * SLOT_LEN;
         self.buf[dir_off..dir_off + 2].copy_from_slice(&(off as u16).to_le_bytes());
-        self.buf[dir_off + 2..dir_off + 4]
-            .copy_from_slice(&(tuple.len() as u16).to_le_bytes());
+        self.buf[dir_off + 2..dir_off + 4].copy_from_slice(&(tuple.len() as u16).to_le_bytes());
         self.num_slots += 1;
         self.free_off = (off + tuple.len()) as u16;
         Some(slot)
@@ -91,11 +85,10 @@ impl Page {
             )));
         }
         let dir_off = PAGE_SIZE - CRC_LEN - (slot as usize + 1) * SLOT_LEN;
-        let off = u16::from_le_bytes(self.buf[dir_off..dir_off + 2].try_into().expect("2b"))
-            as usize;
+        let off =
+            u16::from_le_bytes(self.buf[dir_off..dir_off + 2].try_into().expect("2b")) as usize;
         let len =
-            u16::from_le_bytes(self.buf[dir_off + 2..dir_off + 4].try_into().expect("2b"))
-                as usize;
+            u16::from_le_bytes(self.buf[dir_off + 2..dir_off + 4].try_into().expect("2b")) as usize;
         if off + len > PAGE_SIZE - CRC_LEN {
             return Err(UeiError::corrupt(format!(
                 "slot {slot} of page {} points outside the page",
@@ -130,14 +123,10 @@ impl Page {
                 bytes.len()
             )));
         }
-        let stored_crc = u32::from_le_bytes(
-            bytes[PAGE_SIZE - CRC_LEN..].try_into().expect("4b"),
-        );
+        let stored_crc = u32::from_le_bytes(bytes[PAGE_SIZE - CRC_LEN..].try_into().expect("4b"));
         let actual = crc32(&bytes[..PAGE_SIZE - CRC_LEN]);
         if stored_crc != actual {
-            return Err(UeiError::corrupt(format!(
-                "page {expected_id} crc mismatch"
-            )));
+            return Err(UeiError::corrupt(format!("page {expected_id} crc mismatch")));
         }
         let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4b"));
         if magic != PAGE_MAGIC {
@@ -145,18 +134,14 @@ impl Page {
         }
         let id = u32::from_le_bytes(bytes[4..8].try_into().expect("4b"));
         if id != expected_id {
-            return Err(UeiError::corrupt(format!(
-                "page claims id {id}, expected {expected_id}"
-            )));
+            return Err(UeiError::corrupt(format!("page claims id {id}, expected {expected_id}")));
         }
         let num_slots = u16::from_le_bytes(bytes[8..10].try_into().expect("2b"));
         let free_off = u16::from_le_bytes(bytes[10..12].try_into().expect("2b"));
         if (free_off as usize) < HEADER_LEN
             || free_off as usize + num_slots as usize * SLOT_LEN > PAGE_SIZE - CRC_LEN
         {
-            return Err(UeiError::corrupt(format!(
-                "page {expected_id} header inconsistent"
-            )));
+            return Err(UeiError::corrupt(format!("page {expected_id} header inconsistent")));
         }
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         buf.copy_from_slice(bytes);

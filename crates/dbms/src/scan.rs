@@ -46,8 +46,7 @@ pub fn exhaustive_most_uncertain(
         }
         let score = measure.score(model.predict_proba(&point.values));
         let better = score > best_score
-            || (score == best_score
-                && best.as_ref().map(|b| point.id < b.id).unwrap_or(true));
+            || (score == best_score && best.as_ref().map(|b| point.id < b.id).unwrap_or(true));
         if better {
             best_score = score;
             best = Some(point);
@@ -84,11 +83,8 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let schema = Schema::new(vec![AttributeDef::new("x", 0.0, 100.0).unwrap()]).unwrap();
-        let rows: Vec<DataPoint> = xs
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| DataPoint::new(i as u64, vec![x]))
-            .collect();
+        let rows: Vec<DataPoint> =
+            xs.iter().enumerate().map(|(i, &x)| DataPoint::new(i as u64, vec![x])).collect();
         let tracker = DiskTracker::new(IoProfile::instant());
         let table = Table::create(&dir, schema, &rows, &tracker).unwrap();
         (table, tracker, dir)
@@ -169,10 +165,7 @@ mod tests {
         // trained model.
         let xs: Vec<f64> = (0..5000).map(|i| (i % 100) as f64).collect();
         let (table, tracker, dir) = build("reread", &xs);
-        let examples = vec![
-            (vec![10.0], Label::Negative),
-            (vec![90.0], Label::Positive),
-        ];
+        let examples = vec![(vec![10.0], Label::Negative), (vec![90.0], Label::Positive)];
         let model = uei_learn::Dwknn::fit(1, &examples).unwrap();
         let mut pool = BufferPool::new(1, tracker.clone()).unwrap();
         for _ in 0..3 {

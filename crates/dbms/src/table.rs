@@ -40,18 +40,13 @@ fn encode_tuple(point: &DataPoint) -> Vec<u8> {
 fn decode_tuple(bytes: &[u8], dims: usize) -> Result<DataPoint> {
     let want = 8 + dims * 8;
     if bytes.len() != want {
-        return Err(UeiError::corrupt(format!(
-            "tuple is {} bytes, expected {want}",
-            bytes.len()
-        )));
+        return Err(UeiError::corrupt(format!("tuple is {} bytes, expected {want}", bytes.len())));
     }
     let id = u64::from_le_bytes(bytes[..8].try_into().expect("8b"));
     let mut values = Vec::with_capacity(dims);
     for d in 0..dims {
         let s = 8 + d * 8;
-        values.push(f64::from_bits(u64::from_le_bytes(
-            bytes[s..s + 8].try_into().expect("8b"),
-        )));
+        values.push(f64::from_bits(u64::from_le_bytes(bytes[s..s + 8].try_into().expect("8b"))));
     }
     Ok(DataPoint::new(id, values))
 }
@@ -162,11 +157,7 @@ impl Table {
 
     /// Streams every row through `visit`, page by page via the pool —
     /// the exhaustive scan of Algorithm 1.
-    pub fn scan(
-        &self,
-        pool: &mut BufferPool,
-        mut visit: impl FnMut(DataPoint),
-    ) -> Result<()> {
+    pub fn scan(&self, pool: &mut BufferPool, mut visit: impl FnMut(DataPoint)) -> Result<()> {
         let dims = self.schema.dims();
         for pid in 0..self.heap.num_pages() {
             let page = pool.fetch(&self.heap, pid as PageId)?;
@@ -217,10 +208,7 @@ mod tests {
         let mut rng = Rng::new(4);
         (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect()
     }
@@ -288,8 +276,7 @@ mod tests {
         assert!(table.num_pages() >= 10);
         // The paper's regime: pool ≈ 1 % of the table (at least 1 page).
         let mut pool =
-            BufferPool::new((table.num_pages() as usize / 100).max(1), tracker.clone())
-                .unwrap();
+            BufferPool::new((table.num_pages() as usize / 100).max(1), tracker.clone()).unwrap();
         let before = tracker.snapshot();
         let mut count = 0;
         table.scan(&mut pool, |_| count += 1).unwrap();

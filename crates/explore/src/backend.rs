@@ -18,6 +18,7 @@ use uei_dbms::buffer::BufferPool;
 use uei_dbms::scan::exhaustive_most_uncertain;
 use uei_dbms::table::Table;
 use uei_index::config::UeiConfig;
+use uei_index::engine::EngineCore;
 use uei_index::uei::{LoadSource, UeiIndex};
 use uei_learn::dataset::{LabeledSet, UnlabeledPool};
 use uei_learn::strategy::{QueryStrategy, RandomSampling, UncertaintyMeasure, UncertaintySampling};
@@ -114,6 +115,27 @@ fn flush_retrieve_block(model: &dyn Classifier, block: &mut Vec<DataPoint>, out:
     block.clear();
 }
 
+/// The shared body of [`ExplorationBackend::retrieve_results`]: drives any
+/// row-streaming `scan` (the UEI column store's `scan_all`, the DBMS heap
+/// scan), buffers rows into [`RETRIEVE_BLOCK_ROWS`]-sized blocks, and scores
+/// each block through the batch prediction path. Returned ids are in stream
+/// order — callers whose scan is not id-ordered sort afterwards.
+fn retrieve_streaming<S>(model: &dyn Classifier, scan: S) -> Result<Vec<u64>>
+where
+    S: FnOnce(&mut dyn FnMut(DataPoint)) -> Result<()>,
+{
+    let mut out = Vec::new();
+    let mut block = Vec::with_capacity(RETRIEVE_BLOCK_ROWS);
+    scan(&mut |p| {
+        block.push(p);
+        if block.len() >= RETRIEVE_BLOCK_ROWS {
+            flush_retrieve_block(model, &mut block, &mut out);
+        }
+    })?;
+    flush_retrieve_block(model, &mut block, &mut out);
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // UEI scheme
 // ---------------------------------------------------------------------------
@@ -144,6 +166,28 @@ impl UeiBackend {
             index,
             pool: UnlabeledPool::with_region_capacity(sample, regions_in_memory),
             strategy: Box::new(UncertaintySampling::new(measure)),
+            gamma,
+        })
+    }
+
+    /// Builds the scheme as one session of a shared [`EngineCore`]: the
+    /// store, manifest, grid, mapping, and decoded-chunk cache are shared
+    /// with every other session of the engine (by `Arc`, zero data copies),
+    /// while the index-point scores, unlabeled cache `U`, virtual disk
+    /// clock, and degradation counters are private to this backend.
+    ///
+    /// The per-session I/O model lives on the session's store handle:
+    /// drive the returned backend with an
+    /// [`ExplorationSession`](crate::session::ExplorationSession) built
+    /// over `backend.index().store().tracker()`.
+    pub fn from_engine(engine: &EngineCore, gamma: usize, rng: &mut Rng) -> Result<UeiBackend> {
+        let index = engine.open_session()?;
+        let regions_in_memory = index.config().regions_in_memory;
+        let sample = index.sample_unlabeled(gamma, rng)?;
+        Ok(UeiBackend {
+            index,
+            pool: UnlabeledPool::with_region_capacity(sample, regions_in_memory),
+            strategy: Box::new(UncertaintySampling::new(engine.measure())),
             gamma,
         })
     }
@@ -263,18 +307,10 @@ impl ExplorationBackend for UeiBackend {
     }
 
     fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>> {
-        // scan_all streams in ascending id order, and blocks are flushed in
-        // stream order, so the output is ascending without a final sort.
-        let mut out = Vec::new();
-        let mut block = Vec::with_capacity(RETRIEVE_BLOCK_ROWS);
-        self.index.store().scan_all(|p| {
-            block.push(p);
-            if block.len() >= RETRIEVE_BLOCK_ROWS {
-                flush_retrieve_block(model, &mut block, &mut out);
-            }
-        })?;
-        flush_retrieve_block(model, &mut block, &mut out);
-        Ok(out)
+        // scan_all streams in ascending id order, so the stream-ordered
+        // output is already ascending without a final sort.
+        let store = self.index.store();
+        retrieve_streaming(model, |emit| store.scan_all(emit))
     }
 }
 
@@ -370,17 +406,11 @@ impl ExplorationBackend for DbmsBackend {
         model: &dyn Classifier,
         labeled: &LabeledSet,
     ) -> Result<Option<(DataPoint, SelectionInfo)>> {
-        let outcome = exhaustive_most_uncertain(
-            &self.table,
-            &mut self.pool,
-            model,
-            self.measure,
-            |id| labeled.contains(id),
-        )?;
-        let info = SelectionInfo {
-            examined: Some(outcome.examined),
-            ..SelectionInfo::default()
-        };
+        let outcome =
+            exhaustive_most_uncertain(&self.table, &mut self.pool, model, self.measure, |id| {
+                labeled.contains(id)
+            })?;
+        let info = SelectionInfo { examined: Some(outcome.examined), ..SelectionInfo::default() };
         Ok(outcome.best.map(|p| (p, info)))
     }
 
@@ -389,15 +419,9 @@ impl ExplorationBackend for DbmsBackend {
     }
 
     fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>> {
-        let mut out = Vec::new();
-        let mut block = Vec::with_capacity(RETRIEVE_BLOCK_ROWS);
-        self.table.scan(&mut self.pool, |p| {
-            block.push(p);
-            if block.len() >= RETRIEVE_BLOCK_ROWS {
-                flush_retrieve_block(model, &mut block, &mut out);
-            }
-        })?;
-        flush_retrieve_block(model, &mut block, &mut out);
+        let table = &self.table;
+        let pool = &mut self.pool;
+        let mut out = retrieve_streaming(model, |emit| table.scan(pool, emit))?;
         out.sort_unstable();
         Ok(out)
     }
@@ -458,8 +482,7 @@ mod tests {
             Table::create(dir.join("table"), uei_types::Schema::sdss(), &sdss_rows(n), &tracker)
                 .unwrap();
         let pool = BufferPool::new(4, tracker.clone()).unwrap();
-        let backend =
-            DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
+        let backend = DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
         (backend, tracker, dir)
     }
 
@@ -564,10 +587,7 @@ mod tests {
         dbms.select_next(&model_d, &labeled).unwrap().unwrap();
         let dbms_bytes = dbms_tracker.delta(&before).stats.bytes_read;
 
-        assert!(
-            uei_bytes * 3 < dbms_bytes,
-            "UEI read {uei_bytes} B vs DBMS {dbms_bytes} B"
-        );
+        assert!(uei_bytes * 3 < dbms_bytes, "UEI read {uei_bytes} B vs DBMS {dbms_bytes} B");
         std::fs::remove_dir_all(&d1).unwrap();
         std::fs::remove_dir_all(&d2).unwrap();
     }

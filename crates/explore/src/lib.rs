@@ -17,7 +17,11 @@
 //!   implementations: [`backend::UeiBackend`] (Algorithm 2) and
 //!   [`backend::DbmsBackend`] (Algorithm 1 over the MySQL-like row store);
 //! - [`session`] — the iteration loop, response-time measurement, and
-//!   per-iteration F-measure traces;
+//!   per-iteration F-measure traces, split into a thin
+//!   [`session::ExplorationSession`] driver over a
+//!   [`session::SessionState`];
+//! - [`multi`] — concurrent multi-session runs over one shared
+//!   `uei_index::engine::EngineCore`;
 //! - [`report`] — multi-run averaging and serializable results.
 
 #![warn(missing_docs)]
@@ -28,8 +32,8 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod backend;
+pub mod multi;
 pub mod oracle;
 pub mod report;
 pub mod session;
@@ -37,8 +41,11 @@ pub mod synth;
 pub mod workload;
 
 pub use backend::{DbmsBackend, ExplorationBackend, UeiBackend};
+pub use multi::{run_one_session, run_sessions, run_sessions_concurrently, SessionSpec};
 pub use oracle::Oracle;
 pub use report::{average_traces, AveragedIteration, RunSummary};
-pub use session::{ExplorationSession, IterationTrace, SessionConfig, SessionResult};
+pub use session::{ExplorationSession, IterationTrace, SessionConfig, SessionResult, SessionState};
 pub use synth::{generate_sdss_like, SynthConfig};
-pub use workload::{generate_target_region, generate_target_region_fraction, RegionSize, TargetRegion};
+pub use workload::{
+    generate_target_region, generate_target_region_fraction, RegionSize, TargetRegion,
+};

@@ -1,0 +1,147 @@
+//! Concurrent multi-session exploration over one shared engine.
+//!
+//! One [`EngineCore`] serves any number of independent analysts: each
+//! session gets its own [`UeiBackend`] (private index-point scores,
+//! unlabeled cache `U`, virtual disk clock, ghost cache ledger) over the
+//! engine's `Arc`-shared store, manifest, grid, mapping, and decoded-chunk
+//! cache — zero data copies per session.
+//!
+//! Because each session's *modeled* I/O is decided by its private ghost
+//! ledger (never by the momentary contents of the shared cache), a
+//! session's [`SessionResult`] is bit-identical whether it runs alone,
+//! sequentially after other sessions, or concurrently with them — only
+//! wall-clock times differ. [`run_sessions`] is the sequential baseline and
+//! [`run_sessions_concurrently`] the N-thread path; the `multi_session`
+//! integration test pins the two against each other.
+
+use std::thread;
+
+use uei_index::engine::EngineCore;
+use uei_types::{Result, Rng, UeiError};
+
+use crate::backend::UeiBackend;
+use crate::oracle::Oracle;
+use crate::session::{ExplorationSession, SessionConfig, SessionResult};
+
+/// Everything one session of a multi-session run needs: the loop
+/// parameters (with the session's master seed) plus the backend's own
+/// sampling knobs.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Exploration-loop parameters; `session.seed` is the per-session
+    /// master seed, so give every session a distinct one.
+    pub session: SessionConfig,
+    /// Seed of the uniform γ-sample that fills the session's unlabeled
+    /// cache `U`.
+    pub sample_seed: u64,
+    /// Uniform-sample size γ.
+    pub gamma: usize,
+}
+
+/// Opens one engine session and runs it to completion.
+///
+/// This is the unit both runners share, and the sequential baseline the
+/// concurrent path must reproduce bit-for-bit (wall-clock fields aside).
+pub fn run_one_session(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    spec: &SessionSpec,
+) -> Result<SessionResult> {
+    let mut rng = Rng::new(spec.sample_seed);
+    let mut backend = UeiBackend::from_engine(engine, spec.gamma, &mut rng)?;
+    // The session's response times come from its own virtual clock.
+    let tracker = backend.index().store().tracker().clone();
+    ExplorationSession::new(&mut backend, oracle, spec.session.clone(), tracker).run()
+}
+
+/// Runs the sessions one after another on the calling thread, in spec
+/// order.
+pub fn run_sessions(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    specs: &[SessionSpec],
+) -> Result<Vec<SessionResult>> {
+    specs.iter().map(|spec| run_one_session(engine, oracle, spec)).collect()
+}
+
+/// Runs every session concurrently, one OS thread per spec, against the
+/// shared engine. Results come back in spec order regardless of thread
+/// interleaving.
+pub fn run_sessions_concurrently(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    specs: &[SessionSpec],
+) -> Result<Vec<SessionResult>> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| scope.spawn(move || run_one_session(engine, oracle, spec)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| UeiError::invalid_state("session thread panicked"))?)
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_sdss_like, SynthConfig};
+    use crate::workload::generate_target_region_fraction;
+    use std::sync::Arc;
+    use uei_index::config::UeiConfig;
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::{ColumnStore, StoreConfig};
+    use uei_types::Schema;
+
+    #[test]
+    fn concurrent_sessions_complete_and_share_one_cache() {
+        let rows = generate_sdss_like(&SynthConfig { rows: 2500, ..Default::default() });
+        let mut rng = Rng::new(13);
+        let target =
+            generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+        let oracle = Oracle::new(target);
+
+        let dir = uei_storage::TempDir::new("multi-smoke");
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = ColumnStore::create(
+            dir.path(),
+            Schema::sdss(),
+            &rows,
+            StoreConfig { chunk_target_bytes: 8192 },
+            tracker,
+        )
+        .unwrap();
+        let engine = EngineCore::new(
+            Arc::new(store),
+            UeiConfig { cells_per_dim: 3, prefetch: false, ..UeiConfig::default() },
+        )
+        .unwrap();
+
+        let specs: Vec<SessionSpec> = (0..4)
+            .map(|i| SessionSpec {
+                session: SessionConfig {
+                    max_labels: 8,
+                    bootstrap_size: 100,
+                    eval_sample: 100,
+                    seed: 100 + i,
+                    ..SessionConfig::default()
+                },
+                sample_seed: 200 + i,
+                gamma: 150,
+            })
+            .collect();
+
+        let results = run_sessions_concurrently(&engine, &oracle, &specs).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(engine.sessions_opened(), 4);
+        for r in &results {
+            assert_eq!(r.backend, "uei");
+            assert!(r.labels_used >= 2);
+        }
+        // All four sessions fed the one engine-wide cache.
+        let agg = engine.cache_stats();
+        assert!(agg.hits + agg.misses > 0, "shared cache saw traffic");
+    }
+}

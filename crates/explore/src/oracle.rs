@@ -87,8 +87,7 @@ mod tests {
         let rows = generate_sdss_like(&SynthConfig { rows: 5_000, ..Default::default() });
         let schema = Schema::sdss();
         let mut rng = Rng::new(21);
-        let target =
-            generate_target_region(&rows, &schema, RegionSize::Large, &mut rng).unwrap();
+        let target = generate_target_region(&rows, &schema, RegionSize::Large, &mut rng).unwrap();
         (Oracle::new(target), rows)
     }
 
@@ -147,10 +146,7 @@ mod tests {
     #[test]
     fn relevant_count_matches_ids() {
         let (oracle, rows) = oracle_fixture();
-        let brute = rows
-            .iter()
-            .filter(|r| oracle.region().contains(&r.values).unwrap())
-            .count();
+        let brute = rows.iter().filter(|r| oracle.region().contains(&r.values).unwrap()).count();
         assert_eq!(oracle.num_relevant(), brute);
         assert_eq!(oracle.relevant_ids().len(), brute);
     }

@@ -132,10 +132,8 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         });
     }
 
-    let mut all_virtual: Vec<f64> = results
-        .iter()
-        .flat_map(|r| r.traces.iter().map(|t| t.response_virtual_ms))
-        .collect();
+    let mut all_virtual: Vec<f64> =
+        results.iter().flat_map(|r| r.traces.iter().map(|t| t.response_virtual_ms)).collect();
     all_virtual.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let overall = if all_virtual.is_empty() {
         0.0
@@ -180,11 +178,7 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
 /// The number of labels needed to first reach an F-measure threshold
 /// (compares convergence speed between schemes, Figures 3–5).
 pub fn labels_to_reach(summary: &RunSummary, f_threshold: f64) -> Option<usize> {
-    summary
-        .series
-        .iter()
-        .find(|p| p.f_measure_mean >= f_threshold)
-        .map(|p| p.labels)
+    summary.series.iter().find(|p| p.f_measure_mean >= f_threshold).map(|p| p.labels)
 }
 
 #[cfg(test)]
@@ -255,10 +249,7 @@ mod tests {
     #[test]
     fn ragged_runs_align_on_labels() {
         let r1 = result(vec![trace(2, Some(0.1), 1.0)], 0.2);
-        let r2 = result(
-            vec![trace(2, Some(0.3), 3.0), trace(3, Some(0.5), 5.0)],
-            0.6,
-        );
+        let r2 = result(vec![trace(2, Some(0.3), 3.0), trace(3, Some(0.5), 5.0)], 0.6);
         let summary = average_traces(&[r1, r2]);
         assert_eq!(summary.series.len(), 2);
         assert_eq!(summary.series[0].runs, 2);
@@ -268,11 +259,7 @@ mod tests {
     #[test]
     fn labels_to_reach_threshold() {
         let r = result(
-            vec![
-                trace(2, Some(0.3), 1.0),
-                trace(3, Some(0.6), 1.0),
-                trace(4, Some(0.9), 1.0),
-            ],
+            vec![trace(2, Some(0.3), 1.0), trace(3, Some(0.6), 1.0), trace(4, Some(0.9), 1.0)],
             0.9,
         );
         let summary = average_traces(&[r]);
@@ -341,8 +328,7 @@ mod tests {
 
     #[test]
     fn percentile_reporting() {
-        let traces: Vec<IterationTrace> =
-            (0..100).map(|i| trace(i + 2, None, i as f64)).collect();
+        let traces: Vec<IterationTrace> = (0..100).map(|i| trace(i + 2, None, i as f64)).collect();
         let summary = average_traces(&[result(traces, 0.0)]);
         assert!(summary.p95_response_virtual_ms >= 90.0);
         assert!((summary.overall_response_virtual_ms - 49.5).abs() < 1e-9);

@@ -148,6 +148,53 @@ pub struct SessionResult {
     pub labels_used: usize,
 }
 
+/// The mutable state of one exploration session: everything that changes as
+/// labels arrive — the labeled set `L`, the current model, the fixed
+/// evaluation sample, and the per-iteration traces.
+///
+/// Splitting this out of the driver makes the concurrency story explicit:
+/// an [`ExplorationSession`] is a thin loop over a `SessionState` plus a
+/// backend, and N independent `SessionState`s (each with its own backend
+/// opened via `EngineCore::open_session` and its own virtual disk clock)
+/// can run on N threads against one shared engine. See DESIGN.md §10.
+pub struct SessionState {
+    scaler: MinMaxScaler,
+    labeled: LabeledSet,
+    model: Option<ScaledClassifier>,
+    labels_at_last_train: usize,
+    /// Fixed uniform evaluation sample drawn once at session start.
+    eval_points: Vec<DataPoint>,
+    eval_truth: Vec<bool>,
+    traces: Vec<IterationTrace>,
+    iteration: usize,
+}
+
+impl SessionState {
+    /// The labeled set `L` accumulated so far.
+    pub fn labeled(&self) -> &LabeledSet {
+        &self.labeled
+    }
+
+    /// Per-iteration traces recorded so far.
+    pub fn traces(&self) -> &[IterationTrace] {
+        &self.traces
+    }
+
+    /// 1-based number of completed iterations.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+}
+
+impl std::fmt::Debug for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionState")
+            .field("labels", &self.labeled.len())
+            .field("iteration", &self.iteration)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Drives one exploration session of a backend against an oracle.
 pub struct ExplorationSession<'a> {
     backend: &'a mut dyn ExplorationBackend,
@@ -158,7 +205,9 @@ pub struct ExplorationSession<'a> {
 
 impl<'a> ExplorationSession<'a> {
     /// Creates a session. `tracker` must be the same I/O model the
-    /// backend's storage charges, so response times cover its reads.
+    /// backend's storage charges, so response times cover its reads. For a
+    /// backend opened from a shared engine, that is the *session* store's
+    /// tracker (`backend.index().store().tracker()`), never the engine's.
     pub fn new(
         backend: &'a mut dyn ExplorationBackend,
         oracle: &'a Oracle,
@@ -170,6 +219,22 @@ impl<'a> ExplorationSession<'a> {
 
     /// Runs the session to completion.
     pub fn run(mut self) -> Result<SessionResult> {
+        let mut state = self.start()?;
+        while state.labeled.len() < self.config.max_labels {
+            if !self.step(&mut state)? {
+                break; // candidate pool exhausted
+            }
+        }
+        self.finish(state)
+    }
+
+    /// Initializes the per-session state: validates the config, draws the
+    /// fixed evaluation sample, and bootstraps the initial labeled set
+    /// (one positive + one negative example).
+    pub fn start(&mut self) -> Result<SessionState> {
+        if self.config.batch_size == 0 {
+            return Err(UeiError::invalid_config("batch_size must be >= 1"));
+        }
         let mut rng = Rng::new(self.config.seed);
         let scaler = MinMaxScaler::from_schema(self.backend.schema());
 
@@ -179,96 +244,106 @@ impl<'a> ExplorationSession<'a> {
         } else {
             Vec::new()
         };
-        let eval_truth: Vec<bool> = eval_points
-            .iter()
-            .map(|p| self.oracle.is_relevant_id(p.id.as_u64()))
-            .collect();
+        let eval_truth: Vec<bool> =
+            eval_points.iter().map(|p| self.oracle.is_relevant_id(p.id.as_u64())).collect();
 
         // Bootstrap the initial labeled set (one positive + one negative).
         let mut labeled = LabeledSet::new();
         self.bootstrap(&mut labeled, &mut rng)?;
 
-        if self.config.batch_size == 0 {
-            return Err(UeiError::invalid_config("batch_size must be >= 1"));
-        }
-
-        let mut traces: Vec<IterationTrace> = Vec::new();
-        let mut iteration = 0usize;
-        let mut model: Option<ScaledClassifier> = None;
-        let mut labels_at_last_train = 0usize;
-        while labeled.len() < self.config.max_labels {
-            iteration += 1;
-            let labels_at_train = labeled.len();
-
-            let wall_start = Instant::now();
-            let io_before = self.tracker.snapshot();
-
-            // Retrain on L every `B` labels (Algorithm 1 lines 5–11 /
-            // Algorithm 2 line 16). With B = 1 this is every iteration.
-            if model.is_none()
-                || labeled.len() - labels_at_last_train >= self.config.batch_size
-            {
-                model = Some(ScaledClassifier::train(
-                    self.config.estimator,
-                    scaler.clone(),
-                    &labeled.training_data(),
-                )?);
-                labels_at_last_train = labeled.len();
-            }
-            let model = model.as_ref().expect("trained above");
-
-            // Select the next example (lines 17–21 / line 6).
-            let selected = self.backend.select_next(model, &labeled)?;
-            let delta = self.tracker.delta(&io_before);
-            let wall = wall_start.elapsed();
-
-            let Some((point, info)) = selected else {
-                break; // candidate pool exhausted
-            };
-
-            // Solicit the user's label (line 22).
-            let label = self.oracle.label(&point)?;
-            labeled.add(point.clone(), label)?;
-            self.backend.mark_labeled(point.id);
-
-            // Accuracy estimate for the model that made this selection.
-            let f_measure = if !eval_points.is_empty()
-                && (iteration.is_multiple_of(self.config.eval_every) || labeled.len() >= self.config.max_labels)
-            {
-                Some(estimate_f(model, &eval_points, &eval_truth))
-            } else {
-                None
-            };
-
-            traces.push(IterationTrace {
-                iteration,
-                labels: labels_at_train,
-                f_measure,
-                response_virtual_ms: delta.virtual_elapsed.as_secs_f64() * 1e3,
-                response_wall_ms: wall.as_secs_f64() * 1e3,
-                bytes_read: delta.stats.bytes_read,
-                seeks: delta.stats.seeks,
-                label_positive: label.is_positive(),
-                region_rows: info.region_rows,
-                prefetched: info.prefetched,
-                cache_hits: info.cache_hits,
-                cache_misses: info.cache_misses,
-                cache_evictions: info.cache_evictions,
-                cache_bypasses: info.cache_bypasses,
-                prefetch_bytes_read: info.prefetch_bytes_read,
-                retries: info.retries,
-                fallback_cells: info.fallback_cells,
-                degraded: info.degraded,
-                examined: info.examined,
-            });
-        }
-
-        // Final exact F-measure via result retrieval (line 26).
-        let final_model = ScaledClassifier::train(
-            self.config.estimator,
+        Ok(SessionState {
             scaler,
-            &labeled.training_data(),
-        )?;
+            labeled,
+            model: None,
+            labels_at_last_train: 0,
+            eval_points,
+            eval_truth,
+            traces: Vec::new(),
+            iteration: 0,
+        })
+    }
+
+    /// Runs one exploration iteration: retrain if due, select the next
+    /// example, solicit its label, and record the trace. Returns `false`
+    /// when the candidate pool is exhausted (no trace is recorded then).
+    pub fn step(&mut self, state: &mut SessionState) -> Result<bool> {
+        state.iteration += 1;
+        let labels_at_train = state.labeled.len();
+
+        let wall_start = Instant::now();
+        let io_before = self.tracker.snapshot();
+
+        // Retrain on L every `B` labels (Algorithm 1 lines 5–11 /
+        // Algorithm 2 line 16). With B = 1 this is every iteration.
+        if state.model.is_none()
+            || state.labeled.len() - state.labels_at_last_train >= self.config.batch_size
+        {
+            state.model = Some(ScaledClassifier::train(
+                self.config.estimator,
+                state.scaler.clone(),
+                &state.labeled.training_data(),
+            )?);
+            state.labels_at_last_train = state.labeled.len();
+        }
+
+        // Select the next example (lines 17–21 / line 6).
+        let selected = {
+            let model = state.model.as_ref().expect("trained above");
+            self.backend.select_next(model, &state.labeled)?
+        };
+        let delta = self.tracker.delta(&io_before);
+        let wall = wall_start.elapsed();
+
+        let Some((point, info)) = selected else {
+            return Ok(false); // candidate pool exhausted
+        };
+
+        // Solicit the user's label (line 22).
+        let label = self.oracle.label(&point)?;
+        state.labeled.add(point.clone(), label)?;
+        self.backend.mark_labeled(point.id);
+
+        // Accuracy estimate for the model that made this selection.
+        let f_measure = if !state.eval_points.is_empty()
+            && (state.iteration.is_multiple_of(self.config.eval_every)
+                || state.labeled.len() >= self.config.max_labels)
+        {
+            let model = state.model.as_ref().expect("trained above");
+            Some(estimate_f(model, &state.eval_points, &state.eval_truth))
+        } else {
+            None
+        };
+
+        state.traces.push(IterationTrace {
+            iteration: state.iteration,
+            labels: labels_at_train,
+            f_measure,
+            response_virtual_ms: delta.virtual_elapsed.as_secs_f64() * 1e3,
+            response_wall_ms: wall.as_secs_f64() * 1e3,
+            bytes_read: delta.stats.bytes_read,
+            seeks: delta.stats.seeks,
+            label_positive: label.is_positive(),
+            region_rows: info.region_rows,
+            prefetched: info.prefetched,
+            cache_hits: info.cache_hits,
+            cache_misses: info.cache_misses,
+            cache_evictions: info.cache_evictions,
+            cache_bypasses: info.cache_bypasses,
+            prefetch_bytes_read: info.prefetch_bytes_read,
+            retries: info.retries,
+            fallback_cells: info.fallback_cells,
+            degraded: info.degraded,
+            examined: info.examined,
+        });
+        Ok(true)
+    }
+
+    /// Final exact F-measure via result retrieval (Algorithm 2 line 26)
+    /// and result assembly.
+    pub fn finish(&mut self, state: SessionState) -> Result<SessionResult> {
+        let SessionState { scaler, labeled, traces, .. } = state;
+        let final_model =
+            ScaledClassifier::train(self.config.estimator, scaler, &labeled.training_data())?;
         let mut predicted = self.backend.retrieve_results(&final_model)?;
         predicted.sort_unstable();
         predicted.dedup();
@@ -318,11 +393,8 @@ impl<'a> ExplorationSession<'a> {
                 .relevant_ids()
                 .first()
                 .ok_or_else(|| UeiError::invalid_state("target region is empty"))?;
-            let row = self
-                .backend
-                .fetch_rows(&[seed_id])?
-                .pop()
-                .expect("fetch of one id yields one row");
+            let row =
+                self.backend.fetch_rows(&[seed_id])?.pop().expect("fetch of one id yields one row");
             self.backend.mark_labeled(row.id);
             labeled.add(row, Label::Positive)?;
         }
@@ -330,9 +402,7 @@ impl<'a> ExplorationSession<'a> {
             // Degenerate dataset where everything is relevant; synthesize a
             // negative from the sample (cannot happen for the paper's
             // ≤0.8 % regions, but keeps the API total).
-            return Err(UeiError::invalid_state(
-                "bootstrap could not find a negative example",
-            ));
+            return Err(UeiError::invalid_state("bootstrap could not find a negative example"));
         }
         Ok(())
     }
@@ -385,8 +455,7 @@ mod tests {
         let rows = generate_sdss_like(&SynthConfig { rows: n, ..Default::default() });
         let mut rng = Rng::new(13);
         let target =
-            generate_target_region_fraction(&rows, &Schema::sdss(), fraction, &mut rng)
-                .unwrap();
+            generate_target_region_fraction(&rows, &Schema::sdss(), fraction, &mut rng).unwrap();
         (rows, Oracle::new(target), temp_dir(tag))
     }
 
@@ -421,9 +490,7 @@ mod tests {
         )
         .unwrap();
         let result =
-            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker)
-                .run()
-                .unwrap();
+            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker).run().unwrap();
         assert_eq!(result.backend, "uei");
         assert!(result.labels_used >= 20, "used {} labels", result.labels_used);
         assert!(!result.traces.is_empty());
@@ -444,12 +511,9 @@ mod tests {
         let tracker = DiskTracker::new(IoProfile::instant());
         let table = Table::create(dir.join("t"), Schema::sdss(), &rows, &tracker).unwrap();
         let pool = BufferPool::new(2, tracker.clone()).unwrap();
-        let mut backend =
-            DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
+        let mut backend = DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
         let result =
-            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker)
-                .run()
-                .unwrap();
+            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker).run().unwrap();
         assert_eq!(result.backend, "dbms");
         assert!(result.traces.iter().all(|t| t.examined == Some(3000)));
         assert!(result.final_f_measure > 0.0);
@@ -478,9 +542,7 @@ mod tests {
         )
         .unwrap();
         let result =
-            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker)
-                .run()
-                .unwrap();
+            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker).run().unwrap();
         for (i, t) in result.traces.iter().enumerate() {
             assert_eq!(t.iteration, i + 1);
             assert!(t.labels >= 2, "model always trained on both classes");
@@ -526,9 +588,7 @@ mod tests {
             eval_sample: 200,
             ..SessionConfig::default()
         };
-        let result = ExplorationSession::new(&mut backend, &oracle, config, tracker)
-            .run()
-            .unwrap();
+        let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
         assert!(result.labels_used >= 2, "bootstrap found both classes");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -562,9 +622,7 @@ mod tests {
                 eval_sample: 300,
                 ..SessionConfig::default()
             };
-            ExplorationSession::new(&mut backend, &oracle, config, tracker)
-                .run()
-                .unwrap()
+            ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap()
         };
         let every = run(1, "b1");
         let batched = run(5, "b5");
@@ -595,11 +653,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let config =
-            SessionConfig { batch_size: 0, max_labels: 5, ..SessionConfig::default() };
-        assert!(ExplorationSession::new(&mut backend, &oracle, config, tracker)
-            .run()
-            .is_err());
+        let config = SessionConfig { batch_size: 0, max_labels: 5, ..SessionConfig::default() };
+        assert!(ExplorationSession::new(&mut backend, &oracle, config, tracker).run().is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -625,9 +680,7 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker)
-                .run()
-                .unwrap()
+            ExplorationSession::new(&mut backend, &oracle, quick_config(), tracker).run().unwrap()
         };
         let a = run("a");
         let b = run("b");

@@ -46,13 +46,7 @@ pub fn generate_sdss_like(config: &SynthConfig) -> Vec<DataPoint> {
 
     // Sky patches: (ra center, dec center, spread).
     let patches: Vec<(f64, f64, f64)> = (0..config.sky_clusters.max(1))
-        .map(|_| {
-            (
-                rng.range_f64(10.0, 350.0),
-                rng.range_f64(-60.0, 60.0),
-                rng.range_f64(2.0, 12.0),
-            )
-        })
+        .map(|_| (rng.range_f64(10.0, 350.0), rng.range_f64(-60.0, 60.0), rng.range_f64(2.0, 12.0)))
         .collect();
 
     let mut rows = Vec::with_capacity(config.rows);
@@ -66,10 +60,7 @@ pub fn generate_sdss_like(config: &SynthConfig) -> Vec<DataPoint> {
                 rng.normal(cdec, spread * 0.5).clamp(attrs[3].min, attrs[3].max),
             )
         } else {
-            (
-                rng.range_f64(attrs[2].min, attrs[2].max),
-                rng.range_f64(attrs[3].min, attrs[3].max),
-            )
+            (rng.range_f64(attrs[2].min, attrs[2].max), rng.range_f64(attrs[3].min, attrs[3].max))
         };
         // Discrete field number: heavy reuse of a limited value set.
         let field = rng.below(1000) as f64;
@@ -84,11 +75,7 @@ pub fn generate_uniform(schema: &Schema, rows: usize, seed: u64) -> Vec<DataPoin
     let mut rng = Rng::new(seed);
     (0..rows)
         .map(|id| {
-            let values = schema
-                .attributes()
-                .iter()
-                .map(|a| rng.range_f64(a.min, a.max))
-                .collect();
+            let values = schema.attributes().iter().map(|a| rng.range_f64(a.min, a.max)).collect();
             DataPoint::new(id as u64, values)
         })
         .collect()
@@ -142,8 +129,7 @@ mod tests {
             hist[bin] += 1;
         }
         let mean = rows.len() as f64 / 36.0;
-        let var: f64 =
-            hist.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / 36.0;
+        let var: f64 = hist.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / 36.0;
         // Uniform occupancy would give variance ≈ mean (Poisson); clusters
         // push it far higher.
         assert!(var > 4.0 * mean, "ra histogram variance {var} vs mean {mean}");

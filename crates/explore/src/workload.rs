@@ -98,8 +98,7 @@ pub fn generate_target_region_fraction(
     // Base half-widths proportional to each attribute's domain, so the
     // region has the same relative extent in every dimension (equal
     // data-space coverage per dimension, like the paper's tasks).
-    let base: Vec<f64> =
-        schema.attributes().iter().map(|a| 0.5 * a.width().max(1e-12)).collect();
+    let base: Vec<f64> = schema.attributes().iter().map(|a| 0.5 * a.width().max(1e-12)).collect();
 
     // Try a handful of centers; clustered data can make some centers
     // unable to reach the target cardinality at reasonable scales.
@@ -122,8 +121,7 @@ pub fn generate_target_region_fraction(
             let better = match &best_here {
                 None => true,
                 Some((s, ids)) => {
-                    (count as i64 - target as i64).abs()
-                        < (ids.len() as i64 - target as i64).abs()
+                    (count as i64 - target as i64).abs() < (ids.len() as i64 - target as i64).abs()
                         || ((count as i64 - target as i64).abs()
                             == (ids.len() as i64 - target as i64).abs()
                             && mid < *s)
@@ -151,9 +149,7 @@ pub fn generate_target_region_fraction(
             };
             let better = match &best {
                 None => true,
-                Some(b) => {
-                    (candidate.fraction - fraction).abs() < (b.fraction - fraction).abs()
-                }
+                Some(b) => (candidate.fraction - fraction).abs() < (b.fraction - fraction).abs(),
             };
             if better {
                 best = Some(candidate);
@@ -207,8 +203,7 @@ mod tests {
         let rows = generate_sdss_like(&SynthConfig { rows: 5_000, ..Default::default() });
         let schema = Schema::sdss();
         let mut rng = Rng::new(3);
-        let target =
-            generate_target_region(&rows, &schema, RegionSize::Large, &mut rng).unwrap();
+        let target = generate_target_region(&rows, &schema, RegionSize::Large, &mut rng).unwrap();
         let brute: Vec<u64> = rows
             .iter()
             .filter(|r| target.region.contains(&r.values).unwrap())
@@ -234,22 +229,18 @@ mod tests {
         let mut rng = Rng::new(1);
         assert!(generate_target_region(&[], &schema, RegionSize::Small, &mut rng).is_err());
         let rows = generate_sdss_like(&SynthConfig { rows: 100, ..Default::default() });
-        assert!(
-            generate_target_region_fraction(&rows, &schema, 0.0, &mut rng).is_err()
-        );
-        assert!(
-            generate_target_region_fraction(&rows, &schema, 1.5, &mut rng).is_err()
-        );
+        assert!(generate_target_region_fraction(&rows, &schema, 0.0, &mut rng).is_err());
+        assert!(generate_target_region_fraction(&rows, &schema, 1.5, &mut rng).is_err());
     }
 
     #[test]
     fn deterministic_per_rng_seed() {
         let rows = generate_sdss_like(&SynthConfig { rows: 2_000, ..Default::default() });
         let schema = Schema::sdss();
-        let a = generate_target_region(&rows, &schema, RegionSize::Small, &mut Rng::new(5))
-            .unwrap();
-        let b = generate_target_region(&rows, &schema, RegionSize::Small, &mut Rng::new(5))
-            .unwrap();
+        let a =
+            generate_target_region(&rows, &schema, RegionSize::Small, &mut Rng::new(5)).unwrap();
+        let b =
+            generate_target_region(&rows, &schema, RegionSize::Small, &mut Rng::new(5)).unwrap();
         assert_eq!(a.relevant_ids, b.relevant_ids);
         assert_eq!(a.center, b.center);
     }

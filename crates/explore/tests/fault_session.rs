@@ -25,8 +25,7 @@ fn fifty_iterations_survive_transient_and_corrupt_faults() {
     let dir = TempDir::new("fault-session");
     let rows = generate_sdss_like(&SynthConfig { rows: 6000, ..Default::default() });
     let mut rng = Rng::new(13);
-    let target =
-        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let target = generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
     let oracle = Oracle::new(target);
 
     let tracker = DiskTracker::new(IoProfile::instant());
@@ -103,8 +102,7 @@ fn clean_session_reports_zero_fault_counters() {
     let dir = TempDir::new("clean-session");
     let rows = generate_sdss_like(&SynthConfig { rows: 3000, ..Default::default() });
     let mut rng = Rng::new(13);
-    let target =
-        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let target = generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
     let oracle = Oracle::new(target);
 
     let tracker = DiskTracker::new(IoProfile::instant());
@@ -131,9 +129,7 @@ fn clean_session_reports_zero_fault_counters() {
         eval_sample: 200,
         ..SessionConfig::default()
     };
-    let result = ExplorationSession::new(&mut backend, &oracle, config, tracker)
-        .run()
-        .unwrap();
+    let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
     assert!(result.traces.iter().all(|t| t.retries == 0));
     assert!(result.traces.iter().all(|t| t.fallback_cells == 0));
     assert!(result.traces.iter().all(|t| !t.degraded));

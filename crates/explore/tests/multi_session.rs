@@ -1,0 +1,175 @@
+//! Determinism of concurrent multi-session exploration (DESIGN.md §10).
+//!
+//! N sessions with fixed seeds over one shared `EngineCore` must produce
+//! **bit-identical** per-iteration traces whether they run sequentially or
+//! concurrently on N threads: every modeled quantity (virtual response
+//! time, bytes, seeks, cache counters, F-measures, selections) is decided
+//! by per-session state — only wall-clock times may differ. The shared
+//! cache's byte accounting must also stay exact under concurrent fills.
+//!
+//! Prefetch and fault injection stay off here: the prefetcher races the
+//! foreground by design (a prefetched region legitimately changes
+//! `prefetched`/`virtual_time` fields), so determinism is only promised
+//! without it.
+
+use std::sync::Arc;
+
+use uei_explore::multi::{run_sessions, run_sessions_concurrently, SessionSpec};
+use uei_explore::oracle::Oracle;
+use uei_explore::session::{IterationTrace, SessionConfig, SessionResult};
+use uei_explore::synth::{generate_sdss_like, SynthConfig};
+use uei_explore::workload::generate_target_region_fraction;
+use uei_index::config::UeiConfig;
+use uei_index::engine::EngineCore;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_types::{Rng, Schema};
+
+const SESSIONS: usize = 4;
+
+fn build_engine(dir: &std::path::Path, rows: &[uei_types::DataPoint]) -> EngineCore {
+    let tracker = DiskTracker::new(IoProfile::nvme());
+    let store = ColumnStore::create(
+        dir,
+        Schema::sdss(),
+        rows,
+        StoreConfig { chunk_target_bytes: 8192 },
+        tracker,
+    )
+    .unwrap();
+    EngineCore::new(
+        Arc::new(store),
+        UeiConfig {
+            cells_per_dim: 3,
+            // Small budget so eviction/bypass paths are exercised, not just
+            // all-resident hits.
+            chunk_cache_bytes: 256 << 10,
+            prefetch: false,
+            ..UeiConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn specs() -> Vec<SessionSpec> {
+    (0..SESSIONS as u64)
+        .map(|i| SessionSpec {
+            session: SessionConfig {
+                max_labels: 12,
+                bootstrap_size: 120,
+                eval_sample: 200,
+                seed: 1000 + i,
+                ..SessionConfig::default()
+            },
+            sample_seed: 2000 + i,
+            gamma: 150,
+        })
+        .collect()
+}
+
+/// Everything in a trace except wall-clock time, which legitimately varies
+/// across runs and threads.
+fn modeled_fields(t: &IterationTrace) -> impl std::fmt::Debug + PartialEq {
+    (
+        (
+            t.iteration,
+            t.labels,
+            t.f_measure.map(f64::to_bits),
+            t.response_virtual_ms.to_bits(),
+            t.bytes_read,
+            t.seeks,
+            t.label_positive,
+        ),
+        (
+            t.region_rows,
+            t.prefetched,
+            t.cache_hits,
+            t.cache_misses,
+            t.cache_evictions,
+            t.cache_bypasses,
+            t.prefetch_bytes_read,
+            t.retries,
+            t.fallback_cells,
+            t.degraded,
+            t.examined,
+        ),
+    )
+}
+
+fn assert_bit_identical(seq: &[SessionResult], conc: &[SessionResult]) {
+    assert_eq!(seq.len(), conc.len());
+    for (i, (a, b)) in seq.iter().zip(conc).enumerate() {
+        assert_eq!(a.labels_used, b.labels_used, "session {i}: labels_used");
+        assert_eq!(
+            a.final_f_measure.to_bits(),
+            b.final_f_measure.to_bits(),
+            "session {i}: final F-measure"
+        );
+        assert_eq!(a.traces.len(), b.traces.len(), "session {i}: trace count");
+        for (j, (ta, tb)) in a.traces.iter().zip(&b.traces).enumerate() {
+            assert_eq!(
+                modeled_fields(ta),
+                modeled_fields(tb),
+                "session {i}, iteration {j}: modeled trace fields diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_sessions_are_bit_identical_to_sequential() {
+    let rows = generate_sdss_like(&SynthConfig { rows: 3000, ..Default::default() });
+    let mut rng = Rng::new(13);
+    let target = generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let oracle = Oracle::new(target);
+
+    // Separate store directories so the sequential baseline cannot warm
+    // anything for the concurrent run.
+    let d1 = uei_storage::TempDir::new("ms-seq");
+    let d2 = uei_storage::TempDir::new("ms-conc");
+    let engine_seq = build_engine(d1.path(), &rows);
+    let engine_conc = build_engine(d2.path(), &rows);
+
+    let specs = specs();
+    let seq = run_sessions(&engine_seq, &oracle, &specs).unwrap();
+    let conc = run_sessions_concurrently(&engine_conc, &oracle, &specs).unwrap();
+
+    assert_eq!(engine_conc.sessions_opened(), SESSIONS as u64);
+    assert_bit_identical(&seq, &conc);
+    assert!(seq.iter().all(|r| !r.traces.is_empty()));
+}
+
+#[test]
+fn shared_cache_byte_accounting_stays_exact_under_concurrency() {
+    let rows = generate_sdss_like(&SynthConfig { rows: 3000, ..Default::default() });
+    let mut rng = Rng::new(17);
+    let target = generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let oracle = Oracle::new(target);
+
+    let dir = uei_storage::TempDir::new("ms-bytes");
+    let engine = build_engine(dir.path(), &rows);
+    run_sessions_concurrently(&engine, &oracle, &specs()).unwrap();
+
+    let cache = engine.shared_cache().expect("engine built with shared cache");
+    // Recompute the exact expected occupancy from the resident chunks: the
+    // cache's internal ledger must equal the sum of its residents' sizes
+    // and respect the budget, even after four threads filled and evicted
+    // concurrently.
+    let mut resident_bytes = 0usize;
+    let mut resident_chunks = 0usize;
+    for meta in engine.store().manifest().dims.iter().flatten() {
+        if let Some(chunk) = cache.get_if_resident(meta.id()) {
+            resident_bytes += uei_storage::approx_chunk_bytes(&chunk);
+            resident_chunks += 1;
+        }
+    }
+    assert_eq!(cache.len(), resident_chunks, "resident-chunk count drifted");
+    assert_eq!(
+        cache.used_bytes(),
+        resident_bytes,
+        "cache used_bytes ledger drifted from the resident set"
+    );
+    assert!(cache.used_bytes() <= cache.budget_bytes(), "budget overrun");
+    let agg = engine.cache_stats();
+    assert!(agg.hits + agg.misses > 0, "cache saw traffic");
+}

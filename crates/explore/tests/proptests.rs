@@ -114,8 +114,7 @@ fn sessions_replay_bit_for_bit() {
 
     let rows = generate_sdss_like(&SynthConfig { rows: 3000, seed: 5, ..Default::default() });
     let mut rng = Rng::new(77);
-    let target =
-        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+    let target = generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
     let oracle = Oracle::new(target);
 
     let run = |tag: &str| {
@@ -145,10 +144,8 @@ fn sessions_replay_bit_for_bit() {
             &mut rng,
         )
         .unwrap();
-        let config =
-            SessionConfig { max_labels: 20, eval_sample: 300, ..SessionConfig::default() };
-        let result =
-            ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
+        let config = SessionConfig { max_labels: 20, eval_sample: 300, ..SessionConfig::default() };
+        let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
         std::fs::remove_dir_all(&dir).ok();
         result
     };

@@ -1,0 +1,341 @@
+//! The shared engine core for concurrent multi-session exploration.
+//!
+//! The paper's experiments run one analyst against one UEI. Serving many
+//! analysts over the *same* dataset does not need one index copy per
+//! analyst: everything heavy is immutable after the initialization phase
+//! (Algorithm 2 lines 2–11) — the on-disk chunk files, their manifest
+//! catalog, the grid geometry, the point→chunk mapping `m` — and the
+//! decoded-chunk cache is explicitly designed to be shared. [`EngineCore`]
+//! owns exactly that immutable half behind `Arc`s, and
+//! [`EngineCore::open_session`] stamps out independent per-session
+//! [`UeiIndex`] drivers over it:
+//!
+//! - **shared, `Arc`-owned by the core**: the [`ColumnStore`] handle (chunk
+//!   files + manifest), the [`SharedChunkCache`], the [`Grid`], and the
+//!   [`ChunkMapping`];
+//! - **private to each session**: the symbolic index-point scores, the
+//!   region loader with its [ghost ledger](uei_storage::cache::SessionChunkView),
+//!   the optional prefetcher, the degradation counters, and a fresh
+//!   [`DiskTracker`] whose virtual clock models that session's disk alone.
+//!
+//! Sessions opened from one core may run concurrently on separate threads
+//! with **zero copies of the store**: a session's store handle shares the
+//! directory path and `Arc<Manifest>` of the core's and differs only in its
+//! tracker. Physical chunk reads that fill the shared cache are billed to
+//! the core's I/O ledger; each session's *modeled* I/O is decided by its
+//! private ghost ledger, so a session's iteration traces are bit-identical
+//! whether it runs alone or next to seven noisy neighbours.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_storage::cache::{CacheStats, SessionChunkView, SharedChunkCache};
+use uei_storage::io::DiskTracker;
+use uei_storage::source::ChunkSource;
+use uei_storage::store::ColumnStore;
+use uei_types::Result;
+
+use crate::config::UeiConfig;
+use crate::grid::Grid;
+use crate::loader::RegionLoader;
+use crate::mapping::ChunkMapping;
+use crate::points::IndexPoints;
+use crate::prefetch::Prefetcher;
+use crate::uei::UeiIndex;
+
+/// The thread-safe shared core of a multi-session UEI deployment.
+///
+/// Owns the immutable resources every session reads — store handle,
+/// manifest catalog, grid geometry, chunk mapping, shared decoded-chunk
+/// cache — and opens independent [`UeiIndex`] sessions over them. See the
+/// [module docs](self) for the ownership split.
+pub struct EngineCore {
+    /// The core's own store handle; its tracker is the engine I/O ledger
+    /// that physical cache-fill reads are billed to.
+    store: Arc<ColumnStore>,
+    /// The same handle, pre-coerced to the trait object the read path uses.
+    physical: Arc<dyn ChunkSource>,
+    grid: Arc<Grid>,
+    mapping: Arc<ChunkMapping>,
+    /// Freshly scored index points, cloned into each new session.
+    points_template: IndexPoints,
+    /// The engine-wide decoded-chunk cache (None when
+    /// [`UeiConfig::shared_cache`] is off — sessions then keep private
+    /// caches and share only the immutable store).
+    cache: Option<Arc<SharedChunkCache>>,
+    config: UeiConfig,
+    measure: UncertaintyMeasure,
+    sessions_opened: AtomicU64,
+}
+
+impl std::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("grid", &self.grid)
+            .field("config", &self.config)
+            .field("sessions_opened", &self.sessions_opened)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineCore {
+    /// Builds an engine core over an initialized column store with the
+    /// default uncertainty measure.
+    ///
+    /// Validates `config` against the store's schema up front
+    /// ([`UeiConfig::validate`]) so a degenerate knob fails here, once,
+    /// rather than inside every session.
+    pub fn new(store: Arc<ColumnStore>, config: UeiConfig) -> Result<EngineCore> {
+        Self::with_measure(store, config, UncertaintyMeasure::LeastConfidence)
+    }
+
+    /// [`EngineCore::new`] with an explicit uncertainty measure.
+    pub fn with_measure(
+        store: Arc<ColumnStore>,
+        config: UeiConfig,
+        measure: UncertaintyMeasure,
+    ) -> Result<EngineCore> {
+        config.validate(store.schema().dims())?;
+        let grid = Arc::new(Grid::new(store.schema(), config.cells_per_dim)?);
+        let mapping = Arc::new(ChunkMapping::build(&grid, store.manifest())?);
+        let points_template = IndexPoints::from_grid(&grid)?;
+        let physical: Arc<dyn ChunkSource> = Arc::clone(&store) as Arc<dyn ChunkSource>;
+        let cache = config.shared_cache.then(|| {
+            Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards))
+        });
+        Ok(EngineCore {
+            store,
+            physical,
+            grid,
+            mapping,
+            points_template,
+            cache,
+            config,
+            measure,
+            sessions_opened: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an independent exploration session against this core.
+    ///
+    /// The returned [`UeiIndex`] shares the core's store, grid, mapping,
+    /// and decoded-chunk cache (all by `Arc` — no data is copied) but owns
+    /// its index-point scores, region loader, ghost cache ledger, optional
+    /// prefetcher, degradation counters, and a fresh virtual disk clock.
+    /// Sessions are `Send` and safe to drive from separate threads.
+    pub fn open_session(&self) -> Result<UeiIndex> {
+        let profile = self.store.tracker().profile();
+        let session_store = Arc::new(self.store.with_tracker(DiskTracker::new(profile)));
+        let source: Arc<dyn ChunkSource> = Arc::clone(&session_store) as Arc<dyn ChunkSource>;
+        let mut loader = match &self.cache {
+            Some(cache) => RegionLoader::with_session_view(
+                Arc::clone(&source),
+                SessionChunkView::new(
+                    Arc::clone(cache),
+                    Arc::clone(&self.physical),
+                    self.config.chunk_cache_bytes,
+                ),
+                self.config.delta_reconstruction,
+            ),
+            None => {
+                let mut l = RegionLoader::new(Arc::clone(&source), self.config.chunk_cache_bytes);
+                l.set_delta(self.config.delta_reconstruction);
+                l
+            }
+        };
+        loader.set_retry_policy(self.config.retry);
+        let prefetcher = if self.config.prefetch {
+            // The prefetcher's background I/O gets its own tracker so it
+            // never perturbs the session's foreground virtual clock.
+            let bg: Arc<dyn ChunkSource> =
+                Arc::new(self.store.with_tracker(DiskTracker::new(profile)))
+                    as Arc<dyn ChunkSource>;
+            Some(Prefetcher::spawn_with_source(
+                bg,
+                Arc::clone(&self.grid),
+                Arc::clone(&self.mapping),
+                self.cache.as_ref().map(Arc::clone),
+            )?)
+        } else {
+            None
+        };
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(UeiIndex::from_parts(
+            session_store,
+            Arc::clone(&self.grid),
+            Arc::clone(&self.mapping),
+            self.points_template.clone(),
+            loader,
+            prefetcher,
+            // Sessions report their own ghost-ledger cache stats; the
+            // engine-wide aggregate stays on `EngineCore::cache_stats`.
+            None,
+            self.config.clone(),
+            self.measure,
+        ))
+    }
+
+    /// The shared column store handle (engine I/O ledger tracker).
+    pub fn store(&self) -> &Arc<ColumnStore> {
+        &self.store
+    }
+
+    /// The grid of subspaces shared by every session.
+    pub fn grid(&self) -> &Arc<Grid> {
+        &self.grid
+    }
+
+    /// The point→chunk mapping `m` shared by every session.
+    pub fn mapping(&self) -> &Arc<ChunkMapping> {
+        &self.mapping
+    }
+
+    /// The validated engine configuration.
+    pub fn config(&self) -> &UeiConfig {
+        &self.config
+    }
+
+    /// The uncertainty measure sessions are opened with.
+    pub fn measure(&self) -> UncertaintyMeasure {
+        self.measure
+    }
+
+    /// The engine-wide decoded-chunk cache, when sharing is enabled.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedChunkCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Aggregate statistics of the engine-wide chunk cache across all
+    /// sessions (zeros when sharing is off).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// The engine I/O ledger: every physical read that filled the shared
+    /// cache, regardless of which session triggered it.
+    pub fn io_ledger(&self) -> &DiskTracker {
+        self.store.tracker()
+    }
+
+    /// How many sessions have been opened over this core so far.
+    pub fn sessions_opened(&self) -> u64 {
+        self.sessions_opened.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_storage::io::IoProfile;
+    use uei_storage::store::StoreConfig;
+    use uei_storage::TempDir;
+    use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+    fn build_store(tag: &str, n: usize) -> (Arc<ColumnStore>, TempDir) {
+        let dir = TempDir::new(&format!("engine-{tag}"));
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", 0.0, 100.0).unwrap(),
+            AttributeDef::new("y", 0.0, 100.0).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = Rng::new(11);
+        let rows: Vec<DataPoint> = (0..n)
+            .map(|i| {
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
+            })
+            .collect();
+        let tracker = DiskTracker::new(IoProfile::nvme());
+        let store = ColumnStore::create(
+            dir.path(),
+            schema,
+            &rows,
+            StoreConfig { chunk_target_bytes: 512 },
+            tracker,
+        )
+        .unwrap();
+        (Arc::new(store), dir)
+    }
+
+    fn test_config() -> UeiConfig {
+        UeiConfig {
+            cells_per_dim: 3,
+            chunk_cache_bytes: 1 << 20,
+            prefetch: false,
+            parallel: false,
+            ..UeiConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_config_at_construction() {
+        let (store, _dir) = build_store("validate", 64);
+        let cfg = UeiConfig { cells_per_dim: 0, ..test_config() };
+        assert!(EngineCore::new(store, cfg).is_err());
+    }
+
+    #[test]
+    fn sessions_share_store_and_cache_but_not_clocks() {
+        let (store, _dir) = build_store("share", 256);
+        let engine = EngineCore::new(Arc::clone(&store), test_config()).unwrap();
+        let mut a = engine.open_session().unwrap();
+        let mut b = engine.open_session().unwrap();
+        assert_eq!(engine.sessions_opened(), 2);
+
+        // Both sessions resolve the same shared cache instance.
+        let ca = Arc::as_ptr(a.shared_cache().unwrap());
+        let cb = Arc::as_ptr(b.shared_cache().unwrap());
+        assert_eq!(ca, cb, "sessions must share one cache");
+        assert_eq!(ca, Arc::as_ptr(engine.shared_cache().unwrap()));
+
+        // Both share the manifest (no store copies), but have distinct
+        // trackers: loading in one session leaves the other's clock at 0.
+        let cell = a.grid().cell_of(&[10.0, 10.0]).unwrap();
+        a.load_cell(cell).unwrap();
+        assert!(a.store().tracker().virtual_elapsed() > std::time::Duration::ZERO);
+        assert_eq!(
+            b.store().tracker().virtual_elapsed(),
+            std::time::Duration::ZERO,
+            "session B's modeled clock must be untouched by session A"
+        );
+
+        // The physical fill was billed to the engine ledger, once.
+        let engine_bytes = engine.io_ledger().stats().bytes_read;
+        assert!(engine_bytes > 0);
+
+        // B loading the same cell hits the shared cache: no new physical
+        // bytes, but B's modeled clock is charged exactly like A's was.
+        b.load_cell(cell).unwrap();
+        assert_eq!(engine.io_ledger().stats().bytes_read, engine_bytes);
+        assert_eq!(
+            a.store().tracker().stats().bytes_read,
+            b.store().tracker().stats().bytes_read,
+            "both sessions must model identical I/O for the same access"
+        );
+    }
+
+    #[test]
+    fn session_traces_match_standalone_index() {
+        // A session over a shared engine must behave exactly like a
+        // standalone index built over its own store handle.
+        let (store, _dir) = build_store("parity", 256);
+        let engine = EngineCore::new(Arc::clone(&store), test_config()).unwrap();
+        let mut session = engine.open_session().unwrap();
+
+        let solo_tracker = DiskTracker::new(store.tracker().profile());
+        let solo_store = Arc::new(store.with_tracker(solo_tracker));
+        let mut solo = UeiIndex::build(solo_store, test_config()).unwrap();
+
+        for probe in [[10.0, 10.0], [50.0, 50.0], [90.0, 90.0], [10.0, 10.0]] {
+            let cell = solo.grid().cell_of(&probe).unwrap();
+            let (rows_solo, _) = solo.load_cell(cell).unwrap();
+            let (rows_sess, _) = session.load_cell(cell).unwrap();
+            assert_eq!(rows_solo, rows_sess, "region contents must match");
+        }
+        let st = solo.store().tracker();
+        let se = session.store().tracker();
+        assert_eq!(st.stats(), se.stats());
+        assert_eq!(st.virtual_elapsed(), se.virtual_elapsed());
+        assert_eq!(solo.cache_stats(), session.cache_stats());
+    }
+}

@@ -246,10 +246,7 @@ mod tests {
     fn out_of_domain_points_clamp() {
         let grid = Grid::new(&schema2(), 3).unwrap();
         assert_eq!(grid.cell_of(&[-100.0, 0.0]).unwrap(), grid.cell_of(&[0.0, 0.0]).unwrap());
-        assert_eq!(
-            grid.cell_of(&[100.0, 100.0]).unwrap(),
-            grid.cell_of(&[10.0, 5.0]).unwrap()
-        );
+        assert_eq!(grid.cell_of(&[100.0, 100.0]).unwrap(), grid.cell_of(&[10.0, 5.0]).unwrap());
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! [`uei::UeiIndex`] is the facade: it owns the grid, the mapping, a
 //! byte-budgeted chunk cache, and the optional background
 //! [`prefetch::Prefetcher`] (the σ/θ tuning of §3.2).
+//!
+//! For concurrent multi-session exploration over one dataset,
+//! [`engine::EngineCore`] owns the `Arc`-shared immutable half (store
+//! handle, manifest, grid, mapping, shared chunk cache) and
+//! [`engine::EngineCore::open_session`] stamps out independent per-session
+//! `UeiIndex` drivers with private scores, ghost cache ledgers, and
+//! virtual disk clocks.
 
 #![warn(missing_docs)]
 // Lint policy: `!(a <= b)` comparisons are deliberate — they reject NaN as
@@ -27,8 +34,8 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod config;
+pub mod engine;
 pub mod grid;
 pub mod loader;
 pub mod mapping;
@@ -37,6 +44,7 @@ pub mod prefetch;
 pub mod uei;
 
 pub use config::UeiConfig;
+pub use engine::EngineCore;
 pub use grid::{CellId, Grid};
 pub use loader::{LoadStats, RegionLoader};
 pub use mapping::ChunkMapping;

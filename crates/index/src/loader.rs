@@ -9,13 +9,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use uei_storage::cache::{CacheStats, ChunkCache, SharedChunkCache};
+use uei_storage::cache::{CacheStats, ChunkCache, SessionChunkView, SharedChunkCache};
 use uei_storage::fault::RetryPolicy;
 use uei_storage::merge::{
     reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch, MergeStats,
     RegionChunkSet,
 };
-use uei_storage::store::ColumnStore;
+use uei_storage::source::ChunkSource;
 use uei_types::stats::Welford;
 use uei_types::{DataPoint, Result};
 
@@ -37,18 +37,20 @@ pub struct LoadStats {
     pub retries: u64,
 }
 
-/// The cache behind a [`RegionLoader`]: either a private single-owner LRU
-/// or a handle to the concurrent cache shared with the prefetcher.
+/// The cache behind a [`RegionLoader`]: a private single-owner LRU, a
+/// handle to the concurrent cache shared with the prefetcher, or a
+/// per-session view over an engine's shared cache (deterministic ghost
+/// accounting).
 #[derive(Debug)]
 enum LoaderCache {
     Local(ChunkCache),
     Shared(Arc<SharedChunkCache>),
+    Session(SessionChunkView),
 }
 
-/// Loads grid cells from the column store through a bounded chunk cache.
-#[derive(Debug)]
+/// Loads grid cells from a [`ChunkSource`] through a bounded chunk cache.
 pub struct RegionLoader {
-    store: Arc<ColumnStore>,
+    source: Arc<dyn ChunkSource>,
     cache: LoaderCache,
     /// Reuse decoded chunks of the previously loaded region (delta
     /// reconstruction) instead of refetching the overlap.
@@ -59,12 +61,23 @@ pub struct RegionLoader {
     total_retries: u64,
 }
 
+impl std::fmt::Debug for RegionLoader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionLoader")
+            .field("cache", &self.cache)
+            .field("delta", &self.delta)
+            .field("loads", &self.load_times.count())
+            .field("retry", &self.retry)
+            .finish_non_exhaustive()
+    }
+}
+
 impl RegionLoader {
     /// Creates a loader with a private chunk cache of the given byte
     /// budget and delta reconstruction off — the original layout.
-    pub fn new(store: Arc<ColumnStore>, cache_bytes: usize) -> RegionLoader {
+    pub fn new(source: Arc<dyn ChunkSource>, cache_bytes: usize) -> RegionLoader {
         RegionLoader {
-            store,
+            source,
             cache: LoaderCache::Local(ChunkCache::new(cache_bytes)),
             delta: false,
             prev: None,
@@ -77,13 +90,33 @@ impl RegionLoader {
     /// Creates a loader on a [`SharedChunkCache`] (typically also handed
     /// to the prefetcher), optionally with delta reconstruction.
     pub fn with_shared(
-        store: Arc<ColumnStore>,
+        source: Arc<dyn ChunkSource>,
         cache: Arc<SharedChunkCache>,
         delta: bool,
     ) -> RegionLoader {
         RegionLoader {
-            store,
+            source,
             cache: LoaderCache::Shared(cache),
+            delta,
+            prev: None,
+            load_times: Welford::new(),
+            retry: RetryPolicy::default(),
+            total_retries: 0,
+        }
+    }
+
+    /// Creates a per-session loader over an engine's shared cache:
+    /// `source` is the session's handle (its tracker is billed the
+    /// session's modeled I/O), `view` decides the billing with its ghost
+    /// ledger and serves bytes from the shared cache.
+    pub fn with_session_view(
+        source: Arc<dyn ChunkSource>,
+        view: SessionChunkView,
+        delta: bool,
+    ) -> RegionLoader {
+        RegionLoader {
+            source,
+            cache: LoaderCache::Session(view),
             delta,
             prev: None,
             load_times: Welford::new(),
@@ -121,24 +154,29 @@ impl RegionLoader {
         self.delta
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &Arc<ColumnStore> {
-        &self.store
+    /// The underlying chunk source.
+    pub fn source(&self) -> &Arc<dyn ChunkSource> {
+        &self.source
     }
 
-    /// Chunk-cache statistics (of whichever cache backs this loader).
+    /// Chunk-cache statistics (of whichever cache backs this loader). For
+    /// a session loader these are the deterministic ghost counters, not
+    /// the shared cache's aggregate.
     pub fn cache_stats(&self) -> CacheStats {
         match &self.cache {
             LoaderCache::Local(c) => c.stats(),
             LoaderCache::Shared(c) => c.stats(),
+            LoaderCache::Session(v) => v.stats(),
         }
     }
 
-    /// The shared cache handle, when this loader runs on one.
+    /// The shared cache handle, when this loader runs on one (directly or
+    /// through a session view).
     pub fn shared_cache(&self) -> Option<&Arc<SharedChunkCache>> {
         match &self.cache {
             LoaderCache::Local(_) => None,
             LoaderCache::Shared(c) => Some(c),
+            LoaderCache::Session(v) => Some(v.shared()),
         }
     }
 
@@ -162,7 +200,7 @@ impl RegionLoader {
         let region = grid.cell_region(id)?;
         let chunks = mapping.chunks_for_cell(grid, id)?;
         let wall_start = Instant::now();
-        let io_before = self.store.tracker().snapshot();
+        let io_before = self.source.tracker().snapshot();
         // Delta mode: reuse the previous region's decoded chunks for the
         // overlap; only the chunk-ID delta goes through the fetch path. The
         // new region's set replaces the old one afterwards, whether the
@@ -173,25 +211,26 @@ impl RegionLoader {
         let prev = if self.delta { self.prev.take() } else { None };
         let policy = self.retry;
         let delta = self.delta;
-        let store = &self.store;
+        let source = self.source.as_ref();
         let cache = &mut self.cache;
         // Transient read errors (flaky device, injected fault) are retried
         // with backoff charged to the virtual clock; corruption and hard
         // I/O errors propagate immediately for the caller's fallback
         // ladder. Reconstruction has no partial side effects — the merge
         // table is rebuilt per attempt — so a retry is a clean re-run.
-        let ((rows, merge, set), retries) = policy.run(store.tracker(), || {
+        let ((rows, merge, set), retries) = policy.run(source.tracker(), || {
             let fetch = match cache {
                 LoaderCache::Local(c) => ChunkFetch::Cached(c),
                 LoaderCache::Shared(c) => ChunkFetch::Shared(c),
+                LoaderCache::Session(v) => ChunkFetch::Session(v),
             };
             if delta {
                 let (rows, merge, set) =
-                    reconstruct_region_delta(store, &region, &chunks, prev.as_ref(), fetch)?;
+                    reconstruct_region_delta(source, &region, &chunks, prev.as_ref(), fetch)?;
                 Ok((rows, merge, Some(set)))
             } else {
                 let (rows, merge) =
-                    reconstruct_region_with_chunks(store, &region, &chunks, fetch)?;
+                    reconstruct_region_with_chunks(source, &region, &chunks, fetch)?;
                 Ok((rows, merge, None))
             }
         })?;
@@ -199,7 +238,7 @@ impl RegionLoader {
             self.prev = set;
         }
         self.total_retries += retries;
-        let virtual_time = self.store.tracker().delta(&io_before).virtual_elapsed;
+        let virtual_time = self.source.tracker().delta(&io_before).virtual_elapsed;
         let wall_time = wall_start.elapsed();
         self.load_times.push(virtual_time.as_secs_f64());
         let stats = LoadStats { merge, virtual_time, wall_time, rows: rows.len(), retries };
@@ -208,11 +247,14 @@ impl RegionLoader {
 
     /// Drops all cached chunks and the retained delta set (e.g. between
     /// experiment runs). On a shared cache this also evicts chunks the
-    /// prefetcher warmed.
+    /// prefetcher warmed. A session loader only clears its *own* ghost
+    /// ledger — the engine's shared cache belongs to every session and is
+    /// never cleared from here.
     pub fn clear_cache(&mut self) {
         match &mut self.cache {
             LoaderCache::Local(c) => c.clear(),
             LoaderCache::Shared(c) => c.clear(),
+            LoaderCache::Session(v) => v.clear_ghost(),
         }
         self.prev = None;
     }
@@ -222,7 +264,7 @@ impl RegionLoader {
 mod tests {
     use super::*;
     use uei_storage::io::{DiskTracker, IoProfile};
-    use uei_storage::store::StoreConfig;
+    use uei_storage::store::{ColumnStore, StoreConfig};
     use uei_types::{AttributeDef, Rng, Schema};
 
     fn build(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, uei_storage::TempDir) {
@@ -235,10 +277,7 @@ mod tests {
         let mut rng = Rng::new(77);
         let rows: Vec<DataPoint> = (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect();
         let tracker = DiskTracker::new(IoProfile::nvme());
@@ -253,12 +292,16 @@ mod tests {
         (Arc::new(store), rows, dir)
     }
 
+    fn src(store: &Arc<ColumnStore>) -> Arc<dyn ChunkSource> {
+        Arc::clone(store) as Arc<dyn ChunkSource>
+    }
+
     #[test]
     fn loads_exactly_the_cell_population() {
         let (store, rows, _dir) = build("population", 2000);
         let grid = Grid::new(store.schema(), 4).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
-        let mut loader = RegionLoader::new(Arc::clone(&store), 32 << 20);
+        let mut loader = RegionLoader::new(src(&store), 32 << 20);
         let mut total = 0usize;
         for cell in grid.cell_ids() {
             let (loaded, stats) = loader.load_cell(&grid, &mapping, cell).unwrap();
@@ -281,7 +324,7 @@ mod tests {
         let (store, _, _dir) = build("tau", 1000);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
-        let mut loader = RegionLoader::new(Arc::clone(&store), 0); // no caching
+        let mut loader = RegionLoader::new(src(&store), 0); // no caching
         assert_eq!(loader.loads(), 0);
         for cell in [0usize, 4, 8] {
             loader.load_cell(&grid, &mapping, cell).unwrap();
@@ -295,7 +338,7 @@ mod tests {
         let (store, _, _dir) = build("cachehit", 1500);
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
-        let mut loader = RegionLoader::new(Arc::clone(&store), 256 << 20);
+        let mut loader = RegionLoader::new(src(&store), 256 << 20);
         let (first, _) = loader.load_cell(&grid, &mapping, 4).unwrap();
         let before = store.tracker().snapshot();
         let (second, stats) = loader.load_cell(&grid, &mapping, 4).unwrap();
@@ -310,8 +353,8 @@ mod tests {
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let shared = Arc::new(SharedChunkCache::new(64 << 20, 4));
-        let mut a = RegionLoader::new(Arc::clone(&store), 64 << 20);
-        let mut b = RegionLoader::with_shared(Arc::clone(&store), shared, false);
+        let mut a = RegionLoader::new(src(&store), 64 << 20);
+        let mut b = RegionLoader::with_shared(src(&store), shared, false);
         for cell in [0usize, 4, 5, 8] {
             let (ra, _) = a.load_cell(&grid, &mapping, cell).unwrap();
             let (rb, _) = b.load_cell(&grid, &mapping, cell).unwrap();
@@ -330,7 +373,7 @@ mod tests {
         // Zero cache budget: everything bypasses; only the delta set can
         // make the reload free.
         let shared = Arc::new(SharedChunkCache::new(0, 2));
-        let mut loader = RegionLoader::with_shared(Arc::clone(&store), shared, true);
+        let mut loader = RegionLoader::with_shared(src(&store), shared, true);
         let (first, _) = loader.load_cell(&grid, &mapping, 4).unwrap();
         let before = store.tracker().snapshot();
         let (second, stats) = loader.load_cell(&grid, &mapping, 4).unwrap();
@@ -354,7 +397,7 @@ mod tests {
         let grid = Grid::new(store.schema(), 3).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
         let shared = Arc::new(SharedChunkCache::new(0, 2)); // delta only
-        let mut loader = RegionLoader::with_shared(Arc::clone(&store), shared, true);
+        let mut loader = RegionLoader::with_shared(src(&store), shared, true);
         loader.load_cell(&grid, &mapping, 0).unwrap();
         // Adjacent cell in x: shares the y-dimension chunk range entirely.
         let (got, stats) = loader.load_cell(&grid, &mapping, 1).unwrap();
@@ -376,7 +419,7 @@ mod tests {
         let (store, _, _dir) = build("fraction", 4000);
         let grid = Grid::new(store.schema(), 5).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
-        let mut loader = RegionLoader::new(Arc::clone(&store), 0);
+        let mut loader = RegionLoader::new(src(&store), 0);
         let (_, stats) = loader.load_cell(&grid, &mapping, 12).unwrap();
         let all_chunk_bytes = store.manifest().total_chunk_bytes();
         assert!(

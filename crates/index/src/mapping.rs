@@ -104,10 +104,7 @@ mod tests {
         let mut rng = Rng::new(3);
         let rows: Vec<DataPoint> = (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
@@ -166,10 +163,8 @@ mod tests {
         let map_coarse = ChunkMapping::build(&coarse, store.manifest()).unwrap();
         let map_fine = ChunkMapping::build(&fine, store.manifest()).unwrap();
         let avg = |grid: &Grid, m: &ChunkMapping| -> f64 {
-            let total: usize = grid
-                .cell_ids()
-                .map(|c| m.chunk_count_for_cell(grid, c).unwrap())
-                .sum();
+            let total: usize =
+                grid.cell_ids().map(|c| m.chunk_count_for_cell(grid, c).unwrap()).sum();
             total as f64 / grid.num_cells() as f64
         };
         assert!(

@@ -177,8 +177,7 @@ mod tests {
         let top = points.ranked_top(9).unwrap();
         assert_eq!(top.len(), 9);
         for w in top.windows(2) {
-            let (a, b) =
-                (points.uncertainty(w[0]).unwrap(), points.uncertainty(w[1]).unwrap());
+            let (a, b) = (points.uncertainty(w[0]).unwrap(), points.uncertainty(w[1]).unwrap());
             assert!(a > b || (a == b && w[0] < w[1]));
         }
         // Deterministic.
@@ -220,7 +219,11 @@ mod tests {
         struct PartiallyNan;
         impl Classifier for PartiallyNan {
             fn predict_proba(&self, x: &[f64]) -> f64 {
-                if x[0] < 1.0 { f64::NAN } else { 0.5 }
+                if x[0] < 1.0 {
+                    f64::NAN
+                } else {
+                    0.5
+                }
             }
             fn dims(&self) -> usize {
                 2
@@ -234,9 +237,8 @@ mod tests {
         // The three NaN-scored cells (x-coord 0 → ids 0, 3, 6 in row-major
         // y-x order, whichever layout: exactly three cells have center x <
         // 1) come last, in id order.
-        let nan_cells: Vec<CellId> = (0..9)
-            .filter(|&id| points.uncertainty(id).unwrap().is_nan())
-            .collect();
+        let nan_cells: Vec<CellId> =
+            (0..9).filter(|&id| points.uncertainty(id).unwrap().is_nan()).collect();
         assert_eq!(nan_cells.len(), 3);
         assert_eq!(ranked[6..], nan_cells[..]);
         // The winner is a real-scored cell.

@@ -27,6 +27,7 @@ use parking_lot::{Condvar, Mutex};
 use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::{DiskTracker, IoProfile, IoStats};
 use uei_storage::merge::{reconstruct_region_with_chunks, ChunkFetch, MergeStats};
+use uei_storage::source::ChunkSource;
 use uei_storage::store::ColumnStore;
 use uei_types::{DataPoint, Result, UeiError};
 
@@ -95,7 +96,21 @@ impl Prefetcher {
         cache: Option<Arc<SharedChunkCache>>,
     ) -> Result<Prefetcher> {
         let tracker = DiskTracker::new(profile);
-        let store = ColumnStore::open(store_dir, tracker.clone())?;
+        let store: Arc<dyn ChunkSource> = Arc::new(ColumnStore::open(store_dir, tracker)?);
+        Prefetcher::spawn_with_source(store, Arc::new(grid), Arc::new(mapping), cache)
+    }
+
+    /// Spawns the worker over any [`ChunkSource`] handle. The source's own
+    /// tracker becomes the background ledger, and the grid and mapping are
+    /// shared by `Arc` — this is the constructor an `EngineCore` uses to
+    /// give each session a prefetcher without copying any store data.
+    pub fn spawn_with_source(
+        source: Arc<dyn ChunkSource>,
+        grid: Arc<Grid>,
+        mapping: Arc<ChunkMapping>,
+        cache: Option<Arc<SharedChunkCache>>,
+    ) -> Result<Prefetcher> {
+        let tracker = source.tracker().clone();
         let shared: Arc<(Mutex<Shared>, Condvar)> = Arc::new(Default::default());
         let (tx, rx) = unbounded::<Request>();
         let worker_shared = Arc::clone(&shared);
@@ -108,7 +123,7 @@ impl Prefetcher {
                         Request::Load(c) => c,
                     };
                     let outcome =
-                        load_cell_raw(&store, &grid, &mapping, cell, cache.as_deref());
+                        load_cell_raw(source.as_ref(), &grid, &mapping, cell, cache.as_deref());
                     let (lock, cvar) = &*worker_shared;
                     let mut s = lock.lock();
                     s.pending.remove(&cell);
@@ -118,9 +133,7 @@ impl Prefetcher {
                         }
                         Err(e) => {
                             s.failed_total += 1;
-                            if s.failed.len() >= MAX_FAILED_CELLS
-                                && !s.failed.contains_key(&cell)
-                            {
+                            if s.failed.len() >= MAX_FAILED_CELLS && !s.failed.contains_key(&cell) {
                                 if let Some(&evict) = s.failed.keys().next() {
                                     s.failed.remove(&evict);
                                 }
@@ -200,7 +213,7 @@ impl Prefetcher {
     }
 
     /// How many distinct cells currently have a recorded failure (bounded
-    /// by [`MAX_FAILED_CELLS`]).
+    /// by `MAX_FAILED_CELLS`).
     pub fn failure_count(&self) -> usize {
         let (lock, _) = &*self.shared;
         lock.lock().failed.len()
@@ -249,7 +262,7 @@ impl Drop for Prefetcher {
 }
 
 fn load_cell_raw(
-    store: &ColumnStore,
+    source: &dyn ChunkSource,
     grid: &Grid,
     mapping: &ChunkMapping,
     cell: CellId,
@@ -263,7 +276,7 @@ fn load_cell_raw(
         // No cache: the background thread streams chunk-at-a-time.
         None => ChunkFetch::Uncached,
     };
-    reconstruct_region_with_chunks(store, &region, &chunks, fetch)
+    reconstruct_region_with_chunks(source, &region, &chunks, fetch)
 }
 
 #[cfg(test)]
@@ -284,10 +297,7 @@ mod tests {
         let mut rng = Rng::new(2);
         let rows: Vec<DataPoint> = (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
@@ -316,19 +326,14 @@ mod tests {
     #[test]
     fn prefetch_matches_synchronous_load() {
         let (store, grid, mapping, _dir) = build("match", 1500);
-        let pre = Prefetcher::spawn(
-            store.dir(),
-            IoProfile::instant(),
-            grid.clone(),
-            mapping.clone(),
-        )
-        .unwrap();
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid.clone(), mapping.clone())
+                .unwrap();
         pre.request(4);
-        let (rows, stats) = pre
-            .take_blocking(4, Duration::from_secs(10))
-            .expect("prefetch completes");
+        let (rows, stats) =
+            pre.take_blocking(4, Duration::from_secs(10)).expect("prefetch completes");
         let (sync_rows, sync_stats) =
-            load_cell_raw(&store, &grid, &mapping, 4, None).unwrap();
+            load_cell_raw(store.as_ref(), &grid, &mapping, 4, None).unwrap();
         assert_eq!(rows, sync_rows);
         assert_eq!(stats.result_rows, sync_stats.result_rows);
         assert!(stats.result_rows > 0);
@@ -338,8 +343,7 @@ mod tests {
     fn background_io_is_tracked_separately() {
         let (store, grid, mapping, _dir) = build("separate", 1000);
         let foreground_before = store.tracker().stats();
-        let pre =
-            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         pre.request(0);
         pre.take_blocking(0, Duration::from_secs(10)).unwrap();
         assert!(pre.background_io().bytes_read > 0);
@@ -350,8 +354,7 @@ mod tests {
     #[test]
     fn take_is_one_shot_and_duplicate_requests_coalesce() {
         let (store, grid, mapping, _dir) = build("oneshot", 800);
-        let pre =
-            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         pre.request(1);
         pre.request(1);
         pre.request(1);
@@ -362,8 +365,7 @@ mod tests {
     #[test]
     fn take_unrequested_cell_returns_none() {
         let (store, grid, mapping, _dir) = build("unreq", 500);
-        let pre =
-            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         assert!(pre.take(7).is_none());
         assert!(pre.take_blocking(7, Duration::from_millis(50)).is_none());
         assert!(!pre.is_pending(7));
@@ -372,8 +374,7 @@ mod tests {
     #[test]
     fn clear_ready_drops_stale_regions() {
         let (store, grid, mapping, _dir) = build("stale", 800);
-        let pre =
-            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         pre.request(2);
         // Wait for completion, then clear without taking.
         while pre.is_pending(2) {
@@ -386,8 +387,7 @@ mod tests {
     #[test]
     fn take_blocking_times_out_on_stuck_pending_cell() {
         let (store, grid, mapping, _dir) = build("timeout", 400);
-        let pre =
-            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         // Mark a cell pending by hand, bypassing the worker queue: no load
         // will ever complete it, so take_blocking must hit its deadline
         // (deterministically — no race against a real load).
@@ -409,13 +409,9 @@ mod tests {
     #[test]
     fn failed_background_load_reports_failure_and_unblocks() {
         let (store, grid, mapping, dir) = build("fail", 600);
-        let pre = Prefetcher::spawn(
-            store.dir(),
-            IoProfile::instant(),
-            grid.clone(),
-            mapping.clone(),
-        )
-        .unwrap();
+        let pre =
+            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid.clone(), mapping.clone())
+                .unwrap();
         // Remove every chunk file: any background load must error.
         for entry in std::fs::read_dir(dir.path()).unwrap() {
             let path = entry.unwrap().path();
@@ -428,10 +424,7 @@ mod tests {
         // not ready) rather than hanging until the deadline.
         let start = std::time::Instant::now();
         assert!(pre.take_blocking(3, Duration::from_secs(10)).is_none());
-        assert!(
-            start.elapsed() < Duration::from_secs(10),
-            "failure unblocks before the deadline"
-        );
+        assert!(start.elapsed() < Duration::from_secs(10), "failure unblocks before the deadline");
         assert!(pre.failure(3).is_some(), "error message recorded");
         assert!(!pre.is_pending(3));
         assert!(!pre.has_ready(3));
@@ -446,8 +439,7 @@ mod tests {
     #[test]
     fn failure_map_is_capped_and_counter_is_cumulative() {
         let (store, grid, mapping, _dir) = build("cap", 300);
-        let pre =
-            Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
+        let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
         // Out-of-range cells fail immediately in the worker, giving an
         // unbounded supply of distinct failures without touching disk.
         let total = MAX_FAILED_CELLS + 40;
@@ -486,14 +478,8 @@ mod tests {
         // Foreground load of the same cell through the shared cache: every
         // chunk is already resident, so zero foreground chunk reads.
         let before = store.tracker().snapshot();
-        let (fg_rows, stats) = load_cell_raw(
-            &store,
-            &grid,
-            &mapping,
-            4,
-            Some(&cache),
-        )
-        .unwrap();
+        let (fg_rows, stats) =
+            load_cell_raw(store.as_ref(), &grid, &mapping, 4, Some(&cache)).unwrap();
         assert_eq!(fg_rows, pre_rows);
         assert!(stats.chunks_loaded > 0, "chunks came through the cache");
         assert_eq!(
@@ -507,9 +493,7 @@ mod tests {
     fn shutdown_on_drop_is_clean() {
         let (store, grid, mapping, _dir) = build("drop", 300);
         {
-            let pre =
-                Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping)
-                    .unwrap();
+            let pre = Prefetcher::spawn(store.dir(), IoProfile::instant(), grid, mapping).unwrap();
             pre.request(0);
             // Drop immediately; worker must exit without deadlock.
         }

@@ -21,6 +21,7 @@ use uei_learn::Classifier;
 use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::IoStats;
 use uei_storage::merge::MergeStats;
+use uei_storage::source::ChunkSource;
 use uei_storage::store::ColumnStore;
 use uei_types::{DataPoint, Result, Rng};
 
@@ -88,9 +89,7 @@ impl DegradeCounters {
             sigma_deadline_misses: self
                 .sigma_deadline_misses
                 .saturating_sub(earlier.sigma_deadline_misses),
-            failed_selections: self
-                .failed_selections
-                .saturating_sub(earlier.failed_selections),
+            failed_selections: self.failed_selections.saturating_sub(earlier.failed_selections),
         }
     }
 }
@@ -98,8 +97,8 @@ impl DegradeCounters {
 /// The Uncertainty Estimation Index.
 pub struct UeiIndex {
     store: Arc<ColumnStore>,
-    grid: Grid,
-    mapping: ChunkMapping,
+    grid: Arc<Grid>,
+    mapping: Arc<ChunkMapping>,
     points: IndexPoints,
     loader: RegionLoader,
     prefetcher: Option<Prefetcher>,
@@ -135,20 +134,21 @@ impl UeiIndex {
         measure: UncertaintyMeasure,
     ) -> Result<UeiIndex> {
         config.validate(store.schema().dims())?;
-        let grid = Grid::new(store.schema(), config.cells_per_dim)?;
-        let mapping = ChunkMapping::build(&grid, store.manifest())?;
+        let grid = Arc::new(Grid::new(store.schema(), config.cells_per_dim)?);
+        let mapping = Arc::new(ChunkMapping::build(&grid, store.manifest())?);
         let points = IndexPoints::from_grid(&grid)?;
-        let shared_cache = config
-            .shared_cache
-            .then(|| Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards)));
+        let source: Arc<dyn ChunkSource> = Arc::clone(&store) as Arc<dyn ChunkSource>;
+        let shared_cache = config.shared_cache.then(|| {
+            Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards))
+        });
         let mut loader = match &shared_cache {
             Some(cache) => RegionLoader::with_shared(
-                Arc::clone(&store),
+                Arc::clone(&source),
                 Arc::clone(cache),
                 config.delta_reconstruction,
             ),
             None => {
-                let mut l = RegionLoader::new(Arc::clone(&store), config.chunk_cache_bytes);
+                let mut l = RegionLoader::new(Arc::clone(&source), config.chunk_cache_bytes);
                 l.set_delta(config.delta_reconstruction);
                 l
             }
@@ -158,8 +158,8 @@ impl UeiIndex {
             Some(Prefetcher::spawn_with_cache(
                 store.dir(),
                 store.tracker().profile(),
-                grid.clone(),
-                mapping.clone(),
+                Grid::clone(&grid),
+                ChunkMapping::clone(&mapping),
                 shared_cache.as_ref().map(Arc::clone),
             )?)
         } else {
@@ -181,6 +181,45 @@ impl UeiIndex {
             sigma_deadline_misses: 0,
             failed_selections: 0,
         })
+    }
+
+    /// Assembles an index from pre-built parts. Used by
+    /// [`crate::engine::EngineCore::open_session`], which shares the grid,
+    /// mapping, and chunk cache across sessions; the legacy
+    /// [`UeiIndex::build`] path constructs everything itself.
+    ///
+    /// `shared_cache` here is the *stats-reporting* handle: engine sessions
+    /// pass `None` so [`UeiIndex::cache_stats`] reads the session's own
+    /// deterministic ghost ledger instead of the cross-session shared
+    /// counters (which remain reachable via [`UeiIndex::shared_cache`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        store: Arc<ColumnStore>,
+        grid: Arc<Grid>,
+        mapping: Arc<ChunkMapping>,
+        points: IndexPoints,
+        loader: RegionLoader,
+        prefetcher: Option<Prefetcher>,
+        shared_cache: Option<Arc<SharedChunkCache>>,
+        config: UeiConfig,
+        measure: UncertaintyMeasure,
+    ) -> UeiIndex {
+        UeiIndex {
+            store,
+            grid,
+            mapping,
+            points,
+            loader,
+            prefetcher,
+            shared_cache,
+            config,
+            measure,
+            last_cell: None,
+            deferred_swaps: 0,
+            fallback_cells: 0,
+            sigma_deadline_misses: 0,
+            failed_selections: 0,
+        }
     }
 
     /// The grid of subspaces.
@@ -379,7 +418,9 @@ impl UeiIndex {
 
     /// Chunk-cache statistics: of the shared cache when sharing is on
     /// (hits include the prefetcher's), of the private loader cache
-    /// otherwise.
+    /// otherwise. Engine-opened sessions report their own deterministic
+    /// ghost-ledger stats; the engine-wide aggregate lives on
+    /// [`crate::engine::EngineCore::cache_stats`].
     pub fn cache_stats(&self) -> uei_storage::cache::CacheStats {
         match &self.shared_cache {
             Some(c) => c.stats(),
@@ -387,9 +428,11 @@ impl UeiIndex {
         }
     }
 
-    /// The cache shared between loader and prefetcher, when enabled.
+    /// The cache shared between loader and prefetcher, when enabled. For
+    /// engine-opened sessions this is the engine-wide shared cache reached
+    /// through the session's ghost view.
     pub fn shared_cache(&self) -> Option<&Arc<SharedChunkCache>> {
-        self.shared_cache.as_ref()
+        self.shared_cache.as_ref().or_else(|| self.loader.shared_cache())
     }
 
     /// Background I/O accumulated by the prefetcher, if enabled.
@@ -431,10 +474,7 @@ mod tests {
         let mut rng = Rng::new(6);
         let rows: Vec<DataPoint> = (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect();
         let tracker = DiskTracker::new(IoProfile::nvme());
@@ -490,8 +530,7 @@ mod tests {
         assert_eq!(load.source, LoadSource::Synchronous);
         // Loaded rows are exactly the population of the cell.
         let region = index.grid().cell_region(load.cell).unwrap();
-        let expected: usize =
-            rows.iter().filter(|p| region.contains(&p.values).unwrap()).count();
+        let expected: usize = rows.iter().filter(|p| region.contains(&p.values).unwrap()).count();
         assert_eq!(load.rows.len(), expected);
         assert!(load.stats.virtual_time > Duration::ZERO);
     }
@@ -574,8 +613,7 @@ mod tests {
         index.update_uncertainty(&boundary_model(10.0));
         let left = index.grid().id_to_coords(index.points().most_uncertain().unwrap()).unwrap();
         index.update_uncertainty(&boundary_model(90.0));
-        let right =
-            index.grid().id_to_coords(index.points().most_uncertain().unwrap()).unwrap();
+        let right = index.grid().id_to_coords(index.points().most_uncertain().unwrap()).unwrap();
         assert!(left[0] < right[0], "boundary shift moves the chosen column");
     }
 
@@ -652,12 +690,9 @@ mod tests {
             ..UeiConfig::default()
         };
         let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        let injector = FaultInjector::new(FaultConfig {
-            seed: 3,
-            transient_prob: 1.0,
-            ..FaultConfig::off()
-        })
-        .unwrap();
+        let injector =
+            FaultInjector::new(FaultConfig { seed: 3, transient_prob: 1.0, ..FaultConfig::off() })
+                .unwrap();
         store.tracker().set_fault_injector(Some(injector));
         index.update_uncertainty(&boundary_model(50.0));
         let err = index.select_and_load().unwrap_err();
@@ -710,10 +745,7 @@ mod tests {
         let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
         let pre = index.prefetcher.as_ref().unwrap();
         pre.request(9);
-        assert!(
-            pre.take_blocking(9, Duration::from_secs(10)).is_some(),
-            "prefetch completes"
-        );
+        assert!(pre.take_blocking(9, Duration::from_secs(10)).is_some(), "prefetch completes");
         // Buffer it again (take was destructive) and leave it untaken.
         pre.request(9);
         while index.prefetcher.as_ref().unwrap().is_pending(9) {

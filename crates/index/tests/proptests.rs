@@ -79,7 +79,8 @@ proptest! {
             StoreConfig { chunk_target_bytes: chunk_bytes }, tracker).unwrap());
         let grid = Grid::new(store.schema(), cells).unwrap();
         let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
-        let mut loader = RegionLoader::new(Arc::clone(&store), 1 << 20);
+        let mut loader =
+            RegionLoader::new(Arc::clone(&store) as Arc<dyn uei_storage::ChunkSource>, 1 << 20);
 
         let mut total = 0usize;
         let mut seen = std::collections::HashSet::new();

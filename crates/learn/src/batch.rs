@@ -98,15 +98,11 @@ mod tests {
     fn map_batch_with_scratch_matches_plain() {
         let data: Vec<Vec<f64>> = (0..600).map(|i| vec![i as f64, 1.0]).collect();
         let refs: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
-        let with_scratch = map_batch_with(
-            &refs,
-            Vec::<f64>::new,
-            |buf, x| {
-                buf.clear();
-                buf.extend_from_slice(x);
-                buf.iter().sum::<f64>()
-            },
-        );
+        let with_scratch = map_batch_with(&refs, Vec::<f64>::new, |buf, x| {
+            buf.clear();
+            buf.extend_from_slice(x);
+            buf.iter().sum::<f64>()
+        });
         let plain: Vec<f64> = refs.iter().map(|x| x.iter().sum()).collect();
         assert_eq!(with_scratch, plain);
     }

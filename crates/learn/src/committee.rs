@@ -58,11 +58,8 @@ impl Committee {
 
     /// Vote-entropy disagreement on `x`, in bits (0 = unanimous, 1 = split).
     pub fn vote_entropy(&self, x: &[f64]) -> f64 {
-        let votes_pos = self
-            .members
-            .iter()
-            .filter(|m| m.predict(x) == Label::Positive)
-            .count() as f64;
+        let votes_pos =
+            self.members.iter().filter(|m| m.predict(x) == Label::Positive).count() as f64;
         let n = self.members.len() as f64;
         let p = votes_pos / n;
         let term = |q: f64| if q <= 0.0 { 0.0 } else { -q * q.log2() };

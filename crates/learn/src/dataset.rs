@@ -39,10 +39,7 @@ impl LabeledSet {
     /// presented an already-labeled point — a protocol bug).
     pub fn add(&mut self, point: DataPoint, label: Label) -> Result<()> {
         if self.by_id.contains_key(&point.id) {
-            return Err(UeiError::invalid_state(format!(
-                "row {} labeled twice",
-                point.id
-            )));
+            return Err(UeiError::invalid_state(format!("row {} labeled twice", point.id)));
         }
         self.by_id.insert(point.id, self.entries.len());
         self.entries.push((point, label));
@@ -158,12 +155,8 @@ impl UnlabeledPool {
     /// removed are filtered out; rows already present in a resident region
     /// are dropped to keep candidates unique.
     pub fn swap_region(&mut self, region_rows: Vec<DataPoint>) {
-        let resident: std::collections::HashSet<RowId> = self
-            .regions
-            .iter()
-            .flatten()
-            .map(|p| p.id)
-            .collect();
+        let resident: std::collections::HashSet<RowId> =
+            self.regions.iter().flatten().map(|p| p.id).collect();
         let fresh: Vec<DataPoint> = region_rows
             .into_iter()
             .filter(|p| !self.removed.contains_key(&p.id) && !resident.contains(&p.id))

@@ -136,8 +136,7 @@ impl Dwknn {
             // All weight on the boundary (k = 1 gives w = [1.0], so this
             // only happens when every weight degenerated to 0); fall back
             // to an unweighted vote.
-            let votes =
-                neighbors.iter().filter(|(_, i)| self.labels[*i].is_positive()).count();
+            let votes = neighbors.iter().filter(|(_, i)| self.labels[*i].is_positive()).count();
             return votes as f64 / neighbors.len() as f64;
         }
         pos / total
@@ -231,10 +230,7 @@ mod tests {
 
     #[test]
     fn k_clamped_to_training_size() {
-        let small = vec![
-            (vec![0.0, 0.0], Label::Negative),
-            (vec![1.0, 1.0], Label::Positive),
-        ];
+        let small = vec![(vec![0.0, 0.0], Label::Negative), (vec![1.0, 1.0], Label::Positive)];
         let model = Dwknn::fit(50, &small).unwrap();
         let p = model.predict_proba(&[1.0, 1.0]);
         assert!(p > 0.5);

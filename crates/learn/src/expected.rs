@@ -85,11 +85,7 @@ impl ExpectedErrorReduction {
         total / eval.len() as f64
     }
 
-    fn subsample<'a>(
-        rng: &mut Rng,
-        pool: &'a [DataPoint],
-        k: usize,
-    ) -> Vec<&'a DataPoint> {
+    fn subsample<'a>(rng: &mut Rng, pool: &'a [DataPoint], k: usize) -> Vec<&'a DataPoint> {
         rng.sample_indices(pool.len(), k).into_iter().map(|i| &pool[i]).collect()
     }
 
@@ -111,9 +107,7 @@ impl ExpectedErrorReduction {
             let candidate = &pool[i];
             let p_pos = model.predict_proba(&candidate.values).clamp(0.0, 1.0);
             let mut expected = 0.0;
-            for (label, weight) in
-                [(Label::Positive, p_pos), (Label::Negative, 1.0 - p_pos)]
-            {
+            for (label, weight) in [(Label::Positive, p_pos), (Label::Negative, 1.0 - p_pos)] {
                 if weight <= 0.0 {
                     continue;
                 }
@@ -124,9 +118,7 @@ impl ExpectedErrorReduction {
             }
             scored.push((i, expected));
         }
-        scored.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("finite scores").then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then(a.0.cmp(&b.0)));
         Ok(scored)
     }
 }
@@ -167,15 +159,9 @@ impl ExpectedModelChange {
         self.labeled.push((x, label));
     }
 
-    fn model_shift(
-        before: &dyn Classifier,
-        after: &dyn Classifier,
-        eval: &[&DataPoint],
-    ) -> f64 {
+    fn model_shift(before: &dyn Classifier, after: &dyn Classifier, eval: &[&DataPoint]) -> f64 {
         eval.iter()
-            .map(|p| {
-                (before.predict_proba(&p.values) - after.predict_proba(&p.values)).abs()
-            })
+            .map(|p| (before.predict_proba(&p.values) - after.predict_proba(&p.values)).abs())
             .sum()
     }
 }
@@ -197,9 +183,7 @@ impl QueryStrategy for ExpectedModelChange {
             let candidate = &pool[i];
             let p_pos = model.predict_proba(&candidate.values).clamp(0.0, 1.0);
             let mut expected_change = 0.0;
-            for (label, weight) in
-                [(Label::Positive, p_pos), (Label::Negative, 1.0 - p_pos)]
-            {
+            for (label, weight) in [(Label::Positive, p_pos), (Label::Negative, 1.0 - p_pos)] {
                 if weight <= 0.0 {
                     continue;
                 }
@@ -212,9 +196,7 @@ impl QueryStrategy for ExpectedModelChange {
             }
             let better = match best {
                 None => true,
-                Some((b, bi)) => {
-                    expected_change > b || (expected_change == b && i < bi)
-                }
+                Some((b, bi)) => expected_change > b || (expected_change == b && i < bi),
             };
             if better {
                 best = Some((expected_change, i));
@@ -257,11 +239,8 @@ mod tests {
 
     #[test]
     fn eer_prefers_the_boundary_point() {
-        let config = ExpectationConfig {
-            max_candidates: 10,
-            max_evaluation: 10,
-            ..Default::default()
-        };
+        let config =
+            ExpectationConfig { max_candidates: 10, max_evaluation: 10, ..Default::default() };
         let mut eer = ExpectedErrorReduction::new(config, labeled_clusters());
         let model = current_model();
         let pick = eer.select(&model, &pool()).unwrap();
@@ -271,8 +250,7 @@ mod tests {
 
     #[test]
     fn eer_scores_are_ordered_and_finite() {
-        let mut eer =
-            ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        let mut eer = ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
         let model = current_model();
         let scored = eer.score_candidates(&model, &pool()).unwrap();
         assert_eq!(scored.len(), 3);
@@ -287,15 +265,13 @@ mod tests {
         let mut empty = ExpectedErrorReduction::new(ExpectationConfig::default(), vec![]);
         let model = current_model();
         assert!(empty.select(&model, &pool()).is_none());
-        let mut ok =
-            ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        let mut ok = ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
         assert!(ok.select(&model, &[]).is_none());
     }
 
     #[test]
     fn eer_observe_grows_training_set() {
-        let mut eer =
-            ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
+        let mut eer = ExpectedErrorReduction::new(ExpectationConfig::default(), labeled_clusters());
         assert_eq!(eer.known_labels(), 4);
         eer.observe(vec![0.5, 0.5], Label::Positive);
         assert_eq!(eer.known_labels(), 5);
@@ -303,11 +279,8 @@ mod tests {
 
     #[test]
     fn emc_prefers_influential_points() {
-        let config = ExpectationConfig {
-            max_candidates: 10,
-            max_evaluation: 10,
-            ..Default::default()
-        };
+        let config =
+            ExpectationConfig { max_candidates: 10, max_evaluation: 10, ..Default::default() };
         let mut emc = ExpectedModelChange::new(config, labeled_clusters());
         let model = current_model();
         let pick = emc.select(&model, &pool()).unwrap();

@@ -167,9 +167,9 @@ impl KdTree {
         }
         self.search(self.root, query, k, &mut scratch.heap);
         scratch.out.extend(scratch.heap.drain().map(|e| (e.dist2, e.index)));
-        scratch.out.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("no NaN distances").then(a.1.cmp(&b.1))
-        });
+        scratch
+            .out
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances").then(a.1.cmp(&b.1)));
         Ok(&scratch.out)
     }
 
@@ -190,12 +190,13 @@ impl KdTree {
         }
         let dim = node.dim as usize;
         let diff = query[dim] - point[dim];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         self.search(near, query, k, heap);
         // Prune the far side unless the splitting plane is closer than the
         // current k-th neighbour (or we have fewer than k).
-        let must_visit = heap.len() < k
-            || diff * diff <= heap.peek().expect("non-empty heap").dist2;
+        let must_visit =
+            heap.len() < k || diff * diff <= heap.peek().expect("non-empty heap").dist2;
         if must_visit {
             self.search(far, query, k, heap);
         }
@@ -207,10 +208,7 @@ impl KdTree {
             return Ok(Vec::new());
         }
         if region.dims() != self.dims {
-            return Err(UeiError::DimensionMismatch {
-                expected: self.dims,
-                actual: region.dims(),
-            });
+            return Err(UeiError::DimensionMismatch { expected: self.dims, actual: region.dims() });
         }
         let mut out = Vec::new();
         self.range_recursive(self.root, region, &mut out)?;
@@ -306,9 +304,7 @@ mod tests {
 
     fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = Rng::new(seed);
-        (0..n)
-            .map(|_| (0..dims).map(|_| rng.range_f64(-10.0, 10.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dims).map(|_| rng.range_f64(-10.0, 10.0)).collect()).collect()
     }
 
     #[test]

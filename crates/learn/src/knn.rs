@@ -123,10 +123,7 @@ mod tests {
     fn inverse_distance_breaks_ties() {
         // k = 2 with one neighbour of each class: uniform vote gives 0.5,
         // inverse distance leans toward the closer one.
-        let ex = vec![
-            (vec![0.0], Label::Negative),
-            (vec![10.0], Label::Positive),
-        ];
+        let ex = vec![(vec![0.0], Label::Negative), (vec![10.0], Label::Positive)];
         let uniform = Knn::fit(2, &ex).unwrap();
         assert!((uniform.predict_proba(&[1.0]) - 0.5).abs() < 1e-9);
         let weighted = Knn::fit_weighted(2, KnnWeighting::InverseDistance, &ex).unwrap();
@@ -144,8 +141,7 @@ mod tests {
     fn uncertainty_peaks_between_clusters() {
         // With k = all and uniform weights every query ties at 0.5, so use
         // inverse-distance weighting to expose the gradient.
-        let model =
-            Knn::fit_weighted(6, KnnWeighting::InverseDistance, &examples()).unwrap();
+        let model = Knn::fit_weighted(6, KnnWeighting::InverseDistance, &examples()).unwrap();
         let between = model.uncertainty(&[2.5, 2.5]);
         let inside = model.uncertainty(&[5.0, 5.05]);
         assert!(between > inside, "between={between} inside={inside}");

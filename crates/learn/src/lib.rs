@@ -34,7 +34,6 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod batch;
 pub mod committee;
 pub mod dataset;

@@ -108,16 +108,14 @@ impl EstimatorKind {
     pub fn train(&self, examples: &[(Vec<f64>, Label)]) -> Result<Box<dyn Classifier>> {
         check_two_classes(examples)?;
         match *self {
-            EstimatorKind::Dwknn { k } => {
-                Ok(Box::new(crate::dwknn::Dwknn::fit(k, examples)?))
-            }
+            EstimatorKind::Dwknn { k } => Ok(Box::new(crate::dwknn::Dwknn::fit(k, examples)?)),
             EstimatorKind::Knn { k } => Ok(Box::new(crate::knn::Knn::fit(k, examples)?)),
             EstimatorKind::NaiveBayes => {
                 Ok(Box::new(crate::naive_bayes::GaussianNb::fit(examples)?))
             }
-            EstimatorKind::LinearSvm { epochs, lambda } => Ok(Box::new(
-                crate::svm::LinearSvm::fit(examples, epochs, lambda, 0x5EED)?,
-            )),
+            EstimatorKind::LinearSvm { epochs, lambda } => {
+                Ok(Box::new(crate::svm::LinearSvm::fit(examples, epochs, lambda, 0x5EED)?))
+            }
         }
     }
 
@@ -205,10 +203,7 @@ mod tests {
         assert!(kind.train(&[]).is_err());
         let single = xy(&[(0.0, 0.0, Label::Positive), (1.0, 1.0, Label::Positive)]);
         assert!(kind.train(&single).is_err());
-        let ragged = vec![
-            (vec![0.0, 0.0], Label::Positive),
-            (vec![1.0], Label::Negative),
-        ];
+        let ragged = vec![(vec![0.0, 0.0], Label::Positive), (vec![1.0], Label::Negative)];
         assert!(kind.train(&ragged).is_err());
     }
 

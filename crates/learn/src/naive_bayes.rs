@@ -112,14 +112,8 @@ mod tests {
         let mut rng = Rng::new(seed);
         let mut ex = Vec::new();
         for _ in 0..n {
-            ex.push((
-                vec![rng.normal(3.0, 0.5), rng.normal(3.0, 0.5)],
-                Label::Positive,
-            ));
-            ex.push((
-                vec![rng.normal(-3.0, 0.5), rng.normal(-3.0, 0.5)],
-                Label::Negative,
-            ));
+            ex.push((vec![rng.normal(3.0, 0.5), rng.normal(3.0, 0.5)], Label::Positive));
+            ex.push((vec![rng.normal(-3.0, 0.5), rng.normal(-3.0, 0.5)], Label::Negative));
         }
         ex
     }

@@ -30,10 +30,8 @@ impl PlattScaler {
         // Regularized targets (avoid 0/1 exactly).
         let hi_target = (prior1 + 1.0) / (prior1 + 2.0);
         let lo_target = 1.0 / (prior0 + 2.0);
-        let targets: Vec<f64> = labels
-            .iter()
-            .map(|l| if l.is_positive() { hi_target } else { lo_target })
-            .collect();
+        let targets: Vec<f64> =
+            labels.iter().map(|l| if l.is_positive() { hi_target } else { lo_target }).collect();
 
         let mut a = 0.0f64;
         let mut b = ((prior0 + 1.0) / (prior1 + 1.0)).ln();

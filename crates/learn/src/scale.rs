@@ -8,7 +8,6 @@
 
 use uei_types::{Result, Schema, UeiError};
 
-
 /// A per-dimension linear map onto `[0, 1]`.
 ///
 /// ```
@@ -37,9 +36,7 @@ impl MinMaxScaler {
         }
         for d in 0..lo.len() {
             if !(lo[d] <= hi[d]) {
-                return Err(UeiError::invalid_config(format!(
-                    "scaler bounds inverted in dim {d}"
-                )));
+                return Err(UeiError::invalid_config(format!("scaler bounds inverted in dim {d}")));
             }
         }
         Ok(MinMaxScaler { lo, hi })
@@ -121,10 +118,8 @@ impl ScaledClassifier {
         scaler: MinMaxScaler,
         examples: &[(Vec<f64>, uei_types::Label)],
     ) -> Result<ScaledClassifier> {
-        let scaled: Result<Vec<(Vec<f64>, uei_types::Label)>> = examples
-            .iter()
-            .map(|(x, l)| Ok((scaler.transform(x)?, *l)))
-            .collect();
+        let scaled: Result<Vec<(Vec<f64>, uei_types::Label)>> =
+            examples.iter().map(|(x, l)| Ok((scaler.transform(x)?, *l))).collect();
         let inner = kind.train(&scaled?)?;
         Ok(ScaledClassifier { inner, scaler })
     }
@@ -242,8 +237,7 @@ mod tests {
             (vec![1010.0, -85.0], Label::Negative),
         ];
         let model =
-            ScaledClassifier::train(EstimatorKind::Dwknn { k: 3 }, scaler, &examples)
-                .unwrap();
+            ScaledClassifier::train(EstimatorKind::Dwknn { k: 3 }, scaler, &examples).unwrap();
         assert_eq!(model.dims(), 2);
         assert_eq!(model.predict(&[1005.0, 82.0]), Label::Positive);
         assert_eq!(model.predict(&[1005.0, -82.0]), Label::Negative);
@@ -252,13 +246,9 @@ mod tests {
     #[test]
     fn scaled_classifier_wrong_dims_is_uncertain() {
         let scaler = MinMaxScaler::new(vec![0.0], vec![1.0]).unwrap();
-        let examples = vec![
-            (vec![0.1], Label::Negative),
-            (vec![0.9], Label::Positive),
-        ];
+        let examples = vec![(vec![0.1], Label::Negative), (vec![0.9], Label::Positive)];
         let model =
-            ScaledClassifier::train(EstimatorKind::Dwknn { k: 1 }, scaler, &examples)
-                .unwrap();
+            ScaledClassifier::train(EstimatorKind::Dwknn { k: 1 }, scaler, &examples).unwrap();
         assert_eq!(model.predict_proba(&[0.5, 0.5]), 0.5);
     }
 }

@@ -130,9 +130,7 @@ impl QueryStrategy for UncertaintySampling {
             let u = scores[i];
             let better = match best {
                 None => true,
-                Some((bu, bi)) => {
-                    u > bu || (u == bu && point.id < pool[bi].id)
-                }
+                Some((bu, bi)) => u > bu || (u == bu && point.id < pool[bi].id),
             };
             if better {
                 best = Some((u, i));
@@ -300,12 +298,10 @@ mod tests {
     #[test]
     fn select_batch_sizes() {
         let pool = pool(&[0.05, 0.5, 0.8, 0.45]);
-        let batch =
-            select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 2).unwrap();
+        let batch = select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 2).unwrap();
         assert_eq!(batch, vec![1, 3]);
         assert!(select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 0).is_err());
-        let all =
-            select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 99).unwrap();
+        let all = select_batch(&CoordModel, &pool, UncertaintyMeasure::Margin, 99).unwrap();
         assert_eq!(all.len(), 4);
     }
 
@@ -327,7 +323,11 @@ mod tests {
         struct NanModel;
         impl Classifier for NanModel {
             fn predict_proba(&self, x: &[f64]) -> f64 {
-                if x[0] < 0.0 { f64::NAN } else { x[0] }
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    x[0]
+                }
             }
             fn dims(&self) -> usize {
                 1
@@ -337,8 +337,7 @@ mod tests {
         let ranked = rank_pool(&NanModel, &pool, UncertaintyMeasure::LeastConfidence);
         assert_eq!(ranked[0].0, 1);
         assert_eq!(ranked[2].0, 0, "NaN-scored point must rank last");
-        let batch =
-            select_batch(&NanModel, &pool, UncertaintyMeasure::LeastConfidence, 2).unwrap();
+        let batch = select_batch(&NanModel, &pool, UncertaintyMeasure::LeastConfidence, 2).unwrap();
         assert_eq!(batch, vec![1, 2]);
     }
 

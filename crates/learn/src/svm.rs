@@ -72,8 +72,7 @@ impl LinearSvm {
         let scaled: Vec<(Vec<f64>, f64)> = examples
             .iter()
             .map(|(x, l)| {
-                let z: Vec<f64> =
-                    (0..dims).map(|d| (x[d] - means[d]) / stds[d]).collect();
+                let z: Vec<f64> = (0..dims).map(|d| (x[d] - means[d]) / stds[d]).collect();
                 (z, l.as_sign())
             })
             .collect();
@@ -110,14 +109,7 @@ impl LinearSvm {
         let labels: Vec<Label> = examples.iter().map(|(_, l)| *l).collect();
         let platt = PlattScaler::fit(&scores, &labels);
 
-        Ok(LinearSvm {
-            weights: w,
-            bias: b,
-            feature_means: means,
-            feature_stds: stds,
-            platt,
-            dims,
-        })
+        Ok(LinearSvm { weights: w, bias: b, feature_means: means, feature_stds: stds, platt, dims })
     }
 
     /// The raw (uncalibrated) decision value for `x`.

@@ -11,18 +11,12 @@ use uei_types::point::squared_distance;
 use uei_types::{Label, Region};
 
 fn points_strategy(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, dims),
-        1..80,
-    )
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, dims), 1..80)
 }
 
 fn brute_knn(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(f64, usize)> {
-    let mut all: Vec<(f64, usize)> = points
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (squared_distance(p, q).unwrap(), i))
-        .collect();
+    let mut all: Vec<(f64, usize)> =
+        points.iter().enumerate().map(|(i, p)| (squared_distance(p, q).unwrap(), i)).collect();
     all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
     all.truncate(k);
     all

@@ -19,10 +19,12 @@ fn coord(i: u64, d: u64) -> f64 {
 fn training_examples() -> Vec<(Vec<f64>, Label)> {
     let mut examples = Vec::new();
     for i in 0..12u64 {
-        examples.push((vec![coord(i, 0).abs(), coord(i, 1).abs(), coord(i, 2).abs()],
-                       Label::Positive));
-        examples.push((vec![-coord(i, 3).abs(), -coord(i, 4).abs(), -coord(i, 5).abs()],
-                       Label::Negative));
+        examples
+            .push((vec![coord(i, 0).abs(), coord(i, 1).abs(), coord(i, 2).abs()], Label::Positive));
+        examples.push((
+            vec![-coord(i, 3).abs(), -coord(i, 4).abs(), -coord(i, 5).abs()],
+            Label::Negative,
+        ));
     }
     examples
 }

@@ -19,10 +19,18 @@
 //!   shard owns its own `parking_lot::Mutex<LruMap>` and byte account, and
 //!   duplicate in-flight loads of one chunk coalesce into a single read
 //!   (single-flight). Because the *caller* performs the physical read with
-//!   its own [`ColumnStore`] handle, modeled I/O stays attributed to the
+//!   its own [`ChunkSource`] handle, modeled I/O stays attributed to the
 //!   thread that actually issued it: foreground misses charge the
 //!   foreground tracker, prefetcher misses charge the background tracker,
-//!   and hits charge nobody.
+//!   and hits charge nobody;
+//! - [`SessionChunkView`] — a per-session *accounting view* over a
+//!   [`SharedChunkCache`]: chunk bytes come from the shared cache (so N
+//!   sessions keep one decoded copy), but each session's modeled I/O is
+//!   charged by a private ghost LRU that behaves exactly like a
+//!   [`ChunkCache`] of the same budget. Session traces therefore stay
+//!   bit-identical regardless of what other sessions do to the shared
+//!   cache — determinism the raw shared counters cannot offer, because
+//!   *which* thread pays for a shared miss depends on thread scheduling.
 
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
@@ -34,7 +42,7 @@ use uei_types::Result;
 
 use crate::chunk::{Chunk, ChunkId};
 use crate::lru::LruMap;
-use crate::store::ColumnStore;
+use crate::source::ChunkSource;
 
 /// Cache hit/miss counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +97,7 @@ impl CacheStats {
     }
 }
 
-/// A byte-budgeted LRU chunk cache in front of a [`ColumnStore`].
+/// A byte-budgeted LRU chunk cache in front of a [`ChunkSource`].
 #[derive(Debug)]
 pub struct ChunkCache {
     budget_bytes: usize,
@@ -129,17 +137,17 @@ impl ChunkCache {
         self.stats
     }
 
-    /// Returns the chunk, reading it from the store on a miss.
+    /// Returns the chunk, reading it from the source on a miss.
     ///
     /// Chunks larger than the whole budget are returned without being
     /// cached (they would immediately evict everything and then
     /// themselves); such lookups count as [`CacheStats::bypasses`].
-    pub fn get_or_load(&mut self, store: &ColumnStore, id: ChunkId) -> Result<Arc<Chunk>> {
+    pub fn get_or_load(&mut self, source: &dyn ChunkSource, id: ChunkId) -> Result<Arc<Chunk>> {
         if let Some((chunk, _)) = self.lru.get(&id) {
             self.stats.hits += 1;
             return Ok(Arc::clone(chunk));
         }
-        let chunk = Arc::new(store.read_chunk(id)?);
+        let chunk = Arc::new(source.read_chunk(id)?);
         let size = approx_chunk_bytes(&chunk);
         if size > self.budget_bytes {
             self.stats.bypasses += 1;
@@ -208,10 +216,10 @@ struct Shard {
 ///
 /// ## I/O attribution
 ///
-/// `get_or_load` takes the caller's own [`ColumnStore`] handle, so a miss
+/// `get_or_load` takes the caller's own [`ChunkSource`] handle, so a miss
 /// is charged to whichever [`crate::io::DiskTracker`] that handle carries.
-/// The foreground loader and the background prefetcher open the same
-/// directory with separate trackers; sharing the cache therefore never
+/// The foreground loader and the background prefetcher hold handles over
+/// the same data with separate trackers; sharing the cache therefore never
 /// mixes their byte accounting, and a hit records zero modeled I/O on
 /// either side.
 #[derive(Debug)]
@@ -298,14 +306,14 @@ impl SharedChunkCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Returns the chunk, reading it through `store` on a miss.
+    /// Returns the chunk, reading it through `source` on a miss.
     ///
     /// Concurrent callers asking for the same absent chunk coalesce: one
-    /// performs the read (charging *its* store's tracker), the rest wait
+    /// performs the read (charging *its* source's tracker), the rest wait
     /// and take the published chunk as a hit with zero modeled I/O.
     /// Chunks larger than the shard budget bypass admission and count in
     /// [`CacheStats::bypasses`].
-    pub fn get_or_load(&self, store: &ColumnStore, id: ChunkId) -> Result<Arc<Chunk>> {
+    pub fn get_or_load(&self, source: &dyn ChunkSource, id: ChunkId) -> Result<Arc<Chunk>> {
         let shard = self.shard(id);
         {
             let mut state = shard.state.lock();
@@ -327,7 +335,7 @@ impl SharedChunkCache {
         // Read without holding the shard lock so other chunks of this
         // shard stay available, and so the condvar wait above can't
         // deadlock against the I/O.
-        let outcome = store.read_chunk(id);
+        let outcome = source.read_chunk(id);
         let mut state = shard.state.lock();
         state.inflight.remove(&id);
         shard.flights.notify_all();
@@ -376,8 +384,141 @@ impl SharedChunkCache {
     }
 }
 
-/// Approximate decoded in-memory footprint of a chunk.
-pub(crate) fn approx_chunk_bytes(chunk: &Chunk) -> usize {
+// ---------------------------------------------------------------------------
+// Per-session accounting view
+// ---------------------------------------------------------------------------
+
+/// A per-session view over a [`SharedChunkCache`].
+///
+/// The view separates *where the bytes live* from *who is charged for
+/// them*:
+///
+/// - **Bytes** always come from the shared cache, fetched on a shared miss
+///   through the engine's `physical` source handle — so N sessions keep at
+///   most one decoded copy of each chunk, and physical reads are billed to
+///   the engine's global ledger.
+/// - **Modeled I/O** is decided by a session-private *ghost LRU*: a map of
+///   chunk id → approximate decoded size with exactly the budget,
+///   admission, eviction, and bypass rules of a private [`ChunkCache`]. A
+///   ghost miss charges the session's own tracker one seek plus the
+///   chunk's encoded file size (what a private read would have cost); a
+///   ghost hit charges nothing.
+///
+/// Charging off the shared counters instead would make per-session traces
+/// depend on thread scheduling (single-flight bills the race winner;
+/// cross-session hits bill nobody). The ghost ledger keeps each session's
+/// modeled I/O — and hence its `IterationTrace` — bit-identical to a run
+/// with a private cache, while the shared cache still delivers the real
+/// wall-clock and memory wins of sharing.
+pub struct SessionChunkView {
+    shared: Arc<SharedChunkCache>,
+    physical: Arc<dyn ChunkSource>,
+    budget_bytes: usize,
+    used_bytes: usize,
+    ghost: LruMap<ChunkId, usize>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for SessionChunkView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionChunkView")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("used_bytes", &self.used_bytes)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionChunkView {
+    /// Creates a view over `shared` whose ghost ledger models a private
+    /// cache of `budget_bytes`. `physical` is the engine's source handle:
+    /// shared misses read through it, charging the engine's tracker.
+    pub fn new(
+        shared: Arc<SharedChunkCache>,
+        physical: Arc<dyn ChunkSource>,
+        budget_bytes: usize,
+    ) -> SessionChunkView {
+        SessionChunkView {
+            shared,
+            physical,
+            budget_bytes,
+            used_bytes: 0,
+            ghost: LruMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The shared cache backing this view.
+    pub fn shared(&self) -> &Arc<SharedChunkCache> {
+        &self.shared
+    }
+
+    /// The ghost ledger's budget (mirrors a private cache's budget).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// This session's deterministic cache counters (the ghost ledger's,
+    /// not the shared cache's).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Empties the ghost ledger (counters are kept, like
+    /// [`ChunkCache::clear`]). The shared cache is untouched — it belongs
+    /// to every session of the engine.
+    pub fn clear_ghost(&mut self) {
+        self.ghost.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Returns the chunk, always via the shared cache, charging `session`'s
+    /// tracker if and only if a private cache of the same budget would have
+    /// read the chunk. `session` supplies the catalog lookup for the
+    /// modeled cost and the tracker to bill it to.
+    pub fn get_or_load(&mut self, session: &dyn ChunkSource, id: ChunkId) -> Result<Arc<Chunk>> {
+        if self.ghost.get(&id).is_some() {
+            self.stats.hits += 1;
+            // Served from "our" cache in the model. Physically the chunk
+            // may have been evicted from the shared cache by other
+            // sessions; re-fetching it then bills the engine ledger, never
+            // this session.
+            return self.shared.get_or_load(self.physical.as_ref(), id);
+        }
+        // Ghost miss: a private cache would have read the file here, so
+        // bill the session the catalog cost of that read (one seek plus
+        // the encoded length) — a fixed amount that cannot depend on other
+        // sessions' behaviour. Failed fetches charge nothing, matching the
+        // private path where a read errors before any bytes move.
+        let file_size = session.chunk_file_size(id)?;
+        let chunk = self.shared.get_or_load(self.physical.as_ref(), id)?;
+        session.tracker().record_read(file_size, 1);
+        let size = approx_chunk_bytes(&chunk);
+        if size > self.budget_bytes {
+            self.stats.bypasses += 1;
+            return Ok(chunk);
+        }
+        self.stats.misses += 1;
+        self.used_bytes += size;
+        self.ghost.insert(id, size);
+        while self.used_bytes > self.budget_bytes {
+            if let Some((_, sz)) = self.ghost.pop_lru() {
+                self.used_bytes -= sz;
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(chunk)
+    }
+}
+
+/// Approximate decoded in-memory footprint of a chunk — the unit of every
+/// cache's byte accounting (budgets, [`ChunkCache::used_bytes`],
+/// [`SharedChunkCache::used_bytes`], and the ghost ledgers of
+/// [`SessionChunkView`]), exposed so tests can recompute a cache's exact
+/// expected occupancy from its resident chunks.
+pub fn approx_chunk_bytes(chunk: &Chunk) -> usize {
     // Per posting list: key (8) + Vec header (~24); per id: 8.
     chunk.num_entries() * 32 + chunk.num_ids() * 8
 }
@@ -386,7 +527,7 @@ pub(crate) fn approx_chunk_bytes(chunk: &Chunk) -> usize {
 mod tests {
     use super::*;
     use crate::io::{DiskTracker, IoProfile};
-    use crate::store::StoreConfig;
+    use crate::store::{ColumnStore, StoreConfig};
     use uei_types::{AttributeDef, DataPoint, Rng, Schema};
 
     fn build_store(
@@ -403,10 +544,7 @@ mod tests {
         let mut rng = Rng::new(1);
         let rows: Vec<DataPoint> = (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect();
         let tracker = DiskTracker::new(IoProfile::instant());
@@ -447,8 +585,7 @@ mod tests {
     #[test]
     fn evicts_lru_when_over_budget() {
         let (store, _dir) = build_store("evict", 500, 200);
-        let ids: Vec<ChunkId> =
-            store.manifest().dims[0].iter().map(|m| m.id()).collect();
+        let ids: Vec<ChunkId> = store.manifest().dims[0].iter().map(|m| m.id()).collect();
         assert!(ids.len() >= 3, "need several chunks for this test");
         // Budget sized for roughly one chunk.
         let one = {
@@ -549,23 +686,15 @@ mod tests {
         let total = store.manifest().total_chunks();
         assert_eq!(cache.len(), total);
         // With many chunks and a hash distribution, no shard holds all.
-        let max_in_one_shard = (0..cache.num_shards())
-            .map(|i| cache.shards[i].state.lock().lru.len())
-            .max()
-            .unwrap();
+        let max_in_one_shard =
+            (0..cache.num_shards()).map(|i| cache.shards[i].state.lock().lru.len()).max().unwrap();
         assert!(max_in_one_shard < total, "chunks spread over shards");
     }
 
     #[test]
     fn shared_per_shard_budget_and_evictions() {
         let (store, _dir) = build_store("sh-evict", 2000, 128);
-        let ids: Vec<ChunkId> = store
-            .manifest()
-            .dims
-            .iter()
-            .flatten()
-            .map(|m| m.id())
-            .collect();
+        let ids: Vec<ChunkId> = store.manifest().dims.iter().flatten().map(|m| m.id()).collect();
         assert!(ids.len() > 8);
         let one = {
             let c = SharedChunkCache::new(usize::MAX, 1);
@@ -626,15 +755,8 @@ mod tests {
         let (store, _dir) = build_store("sh-flight", 2000, 200);
         let store = Arc::new(store);
         let cache = Arc::new(SharedChunkCache::new(256 << 20, 4));
-        let ids: Vec<ChunkId> = store
-            .manifest()
-            .dims
-            .iter()
-            .flatten()
-            .map(|m| m.id())
-            .collect();
-        let unique_bytes: u64 =
-            store.manifest().dims.iter().flatten().map(|m| m.file_size).sum();
+        let ids: Vec<ChunkId> = store.manifest().dims.iter().flatten().map(|m| m.id()).collect();
+        let unique_bytes: u64 = store.manifest().dims.iter().flatten().map(|m| m.file_size).sum();
 
         // Every worker opens its own handle (own tracker) and loads the
         // full chunk list; single-flight must keep total physical bytes at
@@ -662,16 +784,108 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let total_read: u64 =
-            trackers.iter().map(|(t, s)| t.delta(s).stats.bytes_read).sum();
-        assert_eq!(
-            total_read, unique_bytes,
-            "each chunk read exactly once across all threads"
-        );
+        let total_read: u64 = trackers.iter().map(|(t, s)| t.delta(s).stats.bytes_read).sum();
+        assert_eq!(total_read, unique_bytes, "each chunk read exactly once across all threads");
         let s = cache.stats();
         assert_eq!(s.misses, ids.len() as u64);
         assert_eq!(s.hits, (8 - 1) * ids.len() as u64);
         assert_eq!(s.bypasses, 0);
+    }
+
+    // -- SessionChunkView ---------------------------------------------------
+
+    #[test]
+    fn session_view_accounting_matches_private_cache_despite_interference() {
+        let (store, _dir) = build_store("sv-ghost", 1500, 200);
+        let ids: Vec<ChunkId> = store.manifest().dims.iter().flatten().map(|m| m.id()).collect();
+        assert!(ids.len() >= 6);
+        // Access sequence with revisits so hits, misses, and evictions all
+        // occur.
+        let mut seq = ids.clone();
+        seq.extend(ids.iter().rev().cloned());
+        seq.extend_from_slice(&ids[..ids.len() / 2]);
+
+        let one = {
+            let mut c = ChunkCache::new(usize::MAX);
+            let t = DiskTracker::new(IoProfile::default());
+            let h = store.with_tracker(t);
+            approx_chunk_bytes(&c.get_or_load(&h, ids[0]).unwrap())
+        };
+        let budget = one * 3;
+
+        // Reference: a private cache with its own tracker.
+        let private_tracker = DiskTracker::new(IoProfile::default());
+        let private_store = store.with_tracker(private_tracker.clone());
+        let mut private = ChunkCache::new(budget);
+        for &id in &seq {
+            private.get_or_load(&private_store, id).unwrap();
+        }
+
+        // Session view over a shared cache that is deliberately smaller
+        // than the ghost budget and disturbed by another session between
+        // every access.
+        let engine_tracker = DiskTracker::new(IoProfile::instant());
+        let engine_store: Arc<dyn ChunkSource> =
+            Arc::new(store.with_tracker(engine_tracker.clone()));
+        let shared = Arc::new(SharedChunkCache::new(one * 2, 2));
+        let session_tracker = DiskTracker::new(IoProfile::default());
+        let session_store = store.with_tracker(session_tracker.clone());
+        let mut view =
+            SessionChunkView::new(Arc::clone(&shared), Arc::clone(&engine_store), budget);
+        let disturber_tracker = DiskTracker::new(IoProfile::instant());
+        let disturber = store.with_tracker(disturber_tracker);
+        for (i, &id) in seq.iter().enumerate() {
+            view.get_or_load(&session_store, id).unwrap();
+            // Another "session" churns the shared cache.
+            shared.get_or_load(&disturber, ids[(i * 7) % ids.len()]).unwrap();
+        }
+
+        assert_eq!(view.stats(), private.stats(), "ghost counters match a private cache");
+        assert_eq!(
+            session_tracker.stats().bytes_read,
+            private_tracker.stats().bytes_read,
+            "session modeled bytes match a private-cache run"
+        );
+        assert_eq!(session_tracker.stats().seeks, private_tracker.stats().seeks);
+        assert_eq!(session_tracker.stats().reads, private_tracker.stats().reads);
+        assert_eq!(
+            session_tracker.virtual_elapsed(),
+            private_tracker.virtual_elapsed(),
+            "session virtual clock matches a private-cache run"
+        );
+        // The session itself never performed a physical read.
+        assert_eq!(session_tracker.stats().writes, 0);
+    }
+
+    #[test]
+    fn session_view_physical_reads_bill_the_engine_ledger() {
+        let (store, _dir) = build_store("sv-ledger", 600, 256);
+        let ids: Vec<ChunkId> = store.manifest().dims.iter().flatten().map(|m| m.id()).collect();
+        let engine_tracker = DiskTracker::new(IoProfile::instant());
+        let engine_store: Arc<dyn ChunkSource> =
+            Arc::new(store.with_tracker(engine_tracker.clone()));
+        let shared = Arc::new(SharedChunkCache::new(256 << 20, 4));
+        let session_tracker = DiskTracker::new(IoProfile::instant());
+        let session_store = store.with_tracker(session_tracker.clone());
+        let mut view = SessionChunkView::new(Arc::clone(&shared), engine_store, 256 << 20);
+        for &id in &ids {
+            view.get_or_load(&session_store, id).unwrap();
+        }
+        let unique_bytes: u64 = store.manifest().dims.iter().flatten().map(|m| m.file_size).sum();
+        // Physical reads happened exactly once per chunk, on the engine
+        // ledger; the session ledger carries the same amount as *modeled*
+        // cost without having touched the disk.
+        assert_eq!(engine_tracker.stats().bytes_read, unique_bytes);
+        assert_eq!(session_tracker.stats().bytes_read, unique_bytes);
+        // A second pass is all ghost hits: nobody is charged anything.
+        let e0 = engine_tracker.snapshot();
+        let s0 = session_tracker.snapshot();
+        for &id in &ids {
+            view.get_or_load(&session_store, id).unwrap();
+        }
+        assert_eq!(engine_tracker.delta(&e0).stats.bytes_read, 0);
+        assert_eq!(session_tracker.delta(&s0).stats.bytes_read, 0);
+        assert_eq!(view.stats().hits, ids.len() as u64);
     }
 
     #[test]

@@ -195,15 +195,11 @@ mod tests {
     fn validation() {
         let id = ChunkId::new(0, 0);
         assert!(Chunk::new(id, vec![]).is_err());
-        let unordered = vec![
-            PostingList::new(2.0, vec![1]).unwrap(),
-            PostingList::new(1.0, vec![2]).unwrap(),
-        ];
+        let unordered =
+            vec![PostingList::new(2.0, vec![1]).unwrap(), PostingList::new(1.0, vec![2]).unwrap()];
         assert!(Chunk::new(id, unordered).is_err());
-        let dup = vec![
-            PostingList::new(1.0, vec![1]).unwrap(),
-            PostingList::new(1.0, vec![2]).unwrap(),
-        ];
+        let dup =
+            vec![PostingList::new(1.0, vec![1]).unwrap(), PostingList::new(1.0, vec![2]).unwrap()];
         assert!(Chunk::new(id, dup).is_err());
     }
 

@@ -47,10 +47,7 @@ pub fn vertical_decompose(rows: &[DataPoint], dims: usize) -> Result<Vec<Inverte
         }
         for (d, &v) in row.values.iter().enumerate() {
             if v.is_nan() {
-                return Err(UeiError::corrupt(format!(
-                    "row {} has NaN in dimension {d}",
-                    row.id
-                )));
+                return Err(UeiError::corrupt(format!("row {} has NaN in dimension {d}", row.id)));
             }
             pairs[d].push((v, row.id.as_u64()));
         }
@@ -91,12 +88,7 @@ pub fn vertical_decompose(rows: &[DataPoint], dims: usize) -> Result<Vec<Inverte
 /// source order and re-identified `0..n`; every row must share one
 /// dimensionality.
 pub fn merge_sources(sources: &[Vec<DataPoint>]) -> Result<Vec<DataPoint>> {
-    let dims = sources
-        .iter()
-        .flat_map(|s| s.first())
-        .map(|p| p.dims())
-        .next()
-        .unwrap_or(0);
+    let dims = sources.iter().flat_map(|s| s.first()).map(|p| p.dims()).next().unwrap_or(0);
     let mut merged = Vec::with_capacity(sources.iter().map(|s| s.len()).sum());
     for source in sources {
         for row in source {
@@ -184,10 +176,8 @@ mod tests {
         let nan = vec![DataPoint::new(0u64, vec![1.0, f64::NAN])];
         assert!(vertical_decompose(&nan, 2).is_err());
 
-        let dup_ids = vec![
-            DataPoint::new(7u64, vec![1.0, 1.0]),
-            DataPoint::new(7u64, vec![1.0, 2.0]),
-        ];
+        let dup_ids =
+            vec![DataPoint::new(7u64, vec![1.0, 1.0]), DataPoint::new(7u64, vec![1.0, 2.0])];
         assert!(vertical_decompose(&dup_ids, 2).is_err());
     }
 
@@ -242,10 +232,7 @@ mod tests {
 
     #[test]
     fn merge_sources_reassigns_dense_ids() {
-        let a = vec![
-            DataPoint::new(10u64, vec![1.0, 2.0]),
-            DataPoint::new(99u64, vec![3.0, 4.0]),
-        ];
+        let a = vec![DataPoint::new(10u64, vec![1.0, 2.0]), DataPoint::new(99u64, vec![3.0, 4.0])];
         let b = vec![DataPoint::new(10u64, vec![5.0, 6.0])]; // id collides with a's
         let merged = merge_sources(&[a, b]).unwrap();
         assert_eq!(merged.len(), 3);

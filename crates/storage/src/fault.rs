@@ -153,7 +153,10 @@ impl FaultInjector {
         config.validate()?;
         Ok(Arc::new(FaultInjector {
             config,
-            state: Mutex::new(InjectorState { rng: Rng::new(config.seed), stats: FaultStats::default() }),
+            state: Mutex::new(InjectorState {
+                rng: Rng::new(config.seed),
+                stats: FaultStats::default(),
+            }),
         }))
     }
 
@@ -178,8 +181,7 @@ impl FaultInjector {
         if path.extension().is_some_and(|e| e == "uei") {
             return true;
         }
-        path.file_name()
-            .is_some_and(|n| n == MANIFEST_FILE || n == MANIFEST_CHECKSUM_FILE)
+        path.file_name().is_some_and(|n| n == MANIFEST_FILE || n == MANIFEST_CHECKSUM_FILE)
     }
 
     /// Rolls the fault dice for one read operation and updates [`FaultStats`].
@@ -401,8 +403,7 @@ mod tests {
         let mut data = orig.clone();
         FaultInjector::corrupt_payload(&mut data, 0, 0x0000_0003_0000_0029);
         assert_eq!(data.len(), orig.len());
-        let diff_bits: u32 =
-            data.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let diff_bits: u32 = data.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(diff_bits, 1);
     }
 
@@ -420,7 +421,8 @@ mod tests {
     fn retry_policy_retries_transient_until_success() {
         let tracker = DiskTracker::new(IoProfile::instant());
         let mut fails_left = 2;
-        let policy = RetryPolicy { max_attempts: 4, initial_backoff_secs: 0.5, backoff_multiplier: 2.0 };
+        let policy =
+            RetryPolicy { max_attempts: 4, initial_backoff_secs: 0.5, backoff_multiplier: 2.0 };
         let (value, retries) = policy
             .run(&tracker, || {
                 if fails_left > 0 {
@@ -441,7 +443,8 @@ mod tests {
     fn retry_policy_gives_up_after_max_attempts() {
         let tracker = DiskTracker::new(IoProfile::instant());
         let mut calls = 0;
-        let policy = RetryPolicy { max_attempts: 3, initial_backoff_secs: 0.0, backoff_multiplier: 1.0 };
+        let policy =
+            RetryPolicy { max_attempts: 3, initial_backoff_secs: 0.0, backoff_multiplier: 1.0 };
         let err = policy
             .run(&tracker, || -> Result<()> {
                 calls += 1;
@@ -481,7 +484,8 @@ mod tests {
 
     #[test]
     fn backoff_grows_exponentially() {
-        let p = RetryPolicy { max_attempts: 5, initial_backoff_secs: 0.001, backoff_multiplier: 2.0 };
+        let p =
+            RetryPolicy { max_attempts: 5, initial_backoff_secs: 0.001, backoff_multiplier: 2.0 };
         assert!((p.backoff_before(0).as_secs_f64() - 0.001).abs() < 1e-12);
         assert!((p.backoff_before(3).as_secs_f64() - 0.008).abs() < 1e-12);
     }

@@ -40,35 +40,27 @@ pub struct IoProfile {
 impl IoProfile {
     /// The paper's evaluation device: NVMe SSD, ~3.4 GB/s reads (§4.2).
     pub fn nvme() -> Self {
-        IoProfile {
-            read_bandwidth: 3.4e9,
-            write_bandwidth: 2.0e9,
-            seek_latency: 20e-6,
-        }
+        IoProfile { read_bandwidth: 3.4e9, write_bandwidth: 2.0e9, seek_latency: 20e-6 }
     }
 
     /// A SATA SSD: ~550 MB/s, 100 µs access.
     pub fn sata_ssd() -> Self {
-        IoProfile {
-            read_bandwidth: 550e6,
-            write_bandwidth: 500e6,
-            seek_latency: 100e-6,
-        }
+        IoProfile { read_bandwidth: 550e6, write_bandwidth: 500e6, seek_latency: 100e-6 }
     }
 
     /// A 7200 rpm hard disk: ~150 MB/s, 8 ms average access.
     pub fn hdd() -> Self {
-        IoProfile {
-            read_bandwidth: 150e6,
-            write_bandwidth: 140e6,
-            seek_latency: 8e-3,
-        }
+        IoProfile { read_bandwidth: 150e6, write_bandwidth: 140e6, seek_latency: 8e-3 }
     }
 
     /// An infinitely fast device; useful in unit tests that only care about
     /// byte counts.
     pub fn instant() -> Self {
-        IoProfile { read_bandwidth: f64::INFINITY, write_bandwidth: f64::INFINITY, seek_latency: 0.0 }
+        IoProfile {
+            read_bandwidth: f64::INFINITY,
+            write_bandwidth: f64::INFINITY,
+            seek_latency: 0.0,
+        }
     }
 
     /// Modeled time to read `bytes` with `seeks` discontiguous accesses.

@@ -23,9 +23,14 @@
 //! - [`merge`] — hash-table reconstruction of a subspace from its chunks
 //!   (Algorithm 2 line 19), chunk-at-a-time to bound memory;
 //! - [`cache`] — byte-budgeted LRU chunk caches: a single-owner
-//!   [`cache::ChunkCache`] and a sharded, lock-striped
-//!   [`cache::SharedChunkCache`] shared by the foreground loader and the
-//!   background prefetcher (single-flight per chunk);
+//!   [`cache::ChunkCache`], a sharded, lock-striped
+//!   [`cache::SharedChunkCache`] shared by the foreground loader, the
+//!   background prefetcher, and every session of an engine (single-flight
+//!   per chunk), and the per-session [`cache::SessionChunkView`] whose
+//!   ghost ledger keeps per-session modeled I/O deterministic;
+//! - [`source`](mod@source) — the [`source::ChunkSource`] trait the read path is
+//!   programmed against, implemented by [`store::ColumnStore`] and by the
+//!   in-memory [`source::MemChunkSource`] test double;
 //! - [`lru`] — the generic LRU used by the chunk cache and by the
 //!   `uei-dbms` buffer pool;
 //! - [`fault`] — deterministic, seed-driven fault injection
@@ -42,7 +47,6 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod cache;
 pub mod checksum;
 pub mod chunk;
@@ -53,19 +57,24 @@ pub mod lru;
 pub mod manifest;
 pub mod merge;
 pub mod postings;
+pub mod source;
 pub mod store;
 pub mod testutil;
 
-pub use cache::{CacheStats, ChunkCache, SharedChunkCache, DEFAULT_CACHE_SHARDS};
+pub use cache::{
+    approx_chunk_bytes, CacheStats, ChunkCache, SessionChunkView, SharedChunkCache,
+    DEFAULT_CACHE_SHARDS,
+};
 pub use chunk::{Chunk, ChunkId};
+pub use column::merge_sources;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
 pub use io::{DiskTracker, IoProfile, IoSnapshot, IoStats};
-pub use testutil::TempDir;
-pub use column::merge_sources;
 pub use manifest::{ChunkMeta, Manifest};
 pub use merge::{
     reconstruct_region, reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch,
     MergeStats, RegionChunkSet,
 };
 pub use postings::PostingList;
+pub use source::{ChunkSource, MemChunkSource};
 pub use store::{ColumnStore, StoreConfig};
+pub use testutil::TempDir;

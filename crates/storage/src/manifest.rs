@@ -133,10 +133,8 @@ impl Manifest {
     /// Because chunk ranges are sorted and disjoint, this is a binary search
     /// for the first overlapping chunk plus a linear walk.
     pub fn chunks_overlapping(&self, dim: usize, lo: f64, hi: f64) -> Result<&[ChunkMeta]> {
-        let chunks = self
-            .dims
-            .get(dim)
-            .ok_or_else(|| UeiError::not_found(format!("dimension {dim}")))?;
+        let chunks =
+            self.dims.get(dim).ok_or_else(|| UeiError::not_found(format!("dimension {dim}")))?;
         let start = chunks.partition_point(|c| c.max_key < lo);
         let mut end = start;
         while end < chunks.len() && chunks[end].min_key <= hi {

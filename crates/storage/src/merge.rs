@@ -21,8 +21,9 @@ use std::sync::Arc;
 use rayon::prelude::*;
 use uei_types::{DataPoint, Region, Result, UeiError};
 
-use crate::cache::{ChunkCache, SharedChunkCache};
+use crate::cache::{ChunkCache, SessionChunkView, SharedChunkCache};
 use crate::chunk::{Chunk, ChunkId};
+use crate::source::ChunkSource;
 use crate::store::ColumnStore;
 
 /// Work counters from one reconstruction; these are the `e` of the paper's
@@ -60,9 +61,14 @@ pub enum ChunkFetch<'a> {
     Cached(&'a mut ChunkCache),
     /// Fetch through a [`SharedChunkCache`] — the concurrent cache shared
     /// by the foreground loader and the background prefetcher. Physical
-    /// reads are charged to `store`'s own tracker, so each caller passes
-    /// its own handle and I/O attribution stays per-thread.
+    /// reads are charged to the caller's own source tracker, so each
+    /// caller passes its own handle and I/O attribution stays per-thread.
     Shared(&'a SharedChunkCache),
+    /// Fetch through a per-session [`SessionChunkView`]: bytes come from
+    /// the shared cache (physical reads bill the engine's ledger), modeled
+    /// I/O is charged to the session's source tracker by the view's
+    /// deterministic ghost LRU.
+    Session(&'a mut SessionChunkView),
 }
 
 /// The decoded chunks of one reconstructed region, keyed by [`ChunkId`].
@@ -148,17 +154,17 @@ pub fn reconstruct_region(
 }
 
 /// Like [`reconstruct_region`], but reads exactly the chunks the caller
-/// names (per dimension). This is the entry point the Uncertainty
-/// Estimation Index uses: its mapping method `m` has already resolved the
-/// chunk set for the chosen subspace, so no catalog lookup happens here.
+/// names (per dimension) from any [`ChunkSource`]. This is the entry point
+/// the Uncertainty Estimation Index uses: its mapping method `m` has
+/// already resolved the chunk set for the chosen subspace, so no catalog
+/// lookup happens here.
 pub fn reconstruct_region_with_chunks(
-    store: &ColumnStore,
+    source: &dyn ChunkSource,
     region: &Region,
     chunks_per_dim: &[Vec<ChunkId>],
     fetch: ChunkFetch<'_>,
 ) -> Result<(Vec<DataPoint>, MergeStats)> {
-    let (rows, stats, _) =
-        reconstruct_inner(store, region, chunks_per_dim, fetch, None, false)?;
+    let (rows, stats, _) = reconstruct_inner(source, region, chunks_per_dim, fetch, None, false)?;
     Ok((rows, stats))
 }
 
@@ -174,26 +180,25 @@ pub fn reconstruct_region_with_chunks(
 /// machinery rests on (§3.2) — so the delta is usually a small fraction of
 /// the region.
 pub fn reconstruct_region_delta(
-    store: &ColumnStore,
+    source: &dyn ChunkSource,
     region: &Region,
     chunks_per_dim: &[Vec<ChunkId>],
     prev: Option<&RegionChunkSet>,
     fetch: ChunkFetch<'_>,
 ) -> Result<(Vec<DataPoint>, MergeStats, RegionChunkSet)> {
-    let (rows, stats, set) =
-        reconstruct_inner(store, region, chunks_per_dim, fetch, prev, true)?;
+    let (rows, stats, set) = reconstruct_inner(source, region, chunks_per_dim, fetch, prev, true)?;
     Ok((rows, stats, set.expect("collect=true always builds a set")))
 }
 
 fn reconstruct_inner(
-    store: &ColumnStore,
+    source: &dyn ChunkSource,
     region: &Region,
     chunks_per_dim: &[Vec<ChunkId>],
     mut fetch: ChunkFetch<'_>,
     prev: Option<&RegionChunkSet>,
     collect: bool,
 ) -> Result<(Vec<DataPoint>, MergeStats, Option<RegionChunkSet>)> {
-    let dims = store.schema().dims();
+    let dims = source.dims();
     if region.dims() != dims {
         return Err(UeiError::DimensionMismatch { expected: dims, actual: region.dims() });
     }
@@ -219,7 +224,7 @@ fn reconstruct_inner(
         // mode reads every missing file sequentially (deterministic
         // modeled I/O) and then runs the CPU-bound CRC-validating decodes
         // in parallel.
-        let loaded = load_dimension(store, &chunks_per_dim[d], &mut fetch, prev)?;
+        let loaded = load_dimension(source, &chunks_per_dim[d], &mut fetch, prev)?;
         for (chunk, file_size, reused) in loaded {
             if reused {
                 stats.chunks_reused += 1;
@@ -238,11 +243,14 @@ fn reconstruct_inner(
                         stats.id_updates += 1;
                         table.insert(
                             id,
-                            Candidate { values: {
-                                let mut v = vec![0.0; dims];
-                                v[0] = entry.key;
-                                v
-                            }, seen: bit },
+                            Candidate {
+                                values: {
+                                    let mut v = vec![0.0; dims];
+                                    v[0] = entry.key;
+                                    v
+                                },
+                                seen: bit,
+                            },
                         );
                     } else if let Some(c) = table.get_mut(&id) {
                         stats.id_updates += 1;
@@ -283,16 +291,14 @@ fn reconstruct_inner(
 /// chunk as reused (`true`, taken from `prev` with zero I/O) or fetched
 /// (`false`, materialized through `fetch`).
 fn load_dimension(
-    store: &ColumnStore,
+    source: &dyn ChunkSource,
     chunk_ids: &[ChunkId],
     fetch: &mut ChunkFetch<'_>,
     prev: Option<&RegionChunkSet>,
 ) -> Result<Vec<(Arc<Chunk>, u64, bool)>> {
     // Resolve reuse first so the fetch path only sees the delta.
-    let mut slots: Vec<Option<(Arc<Chunk>, u64)>> = chunk_ids
-        .iter()
-        .map(|&id| prev.and_then(|p| p.get(id)))
-        .collect();
+    let mut slots: Vec<Option<(Arc<Chunk>, u64)>> =
+        chunk_ids.iter().map(|&id| prev.and_then(|p| p.get(id))).collect();
     let missing: Vec<ChunkId> = chunk_ids
         .iter()
         .zip(&slots)
@@ -301,20 +307,28 @@ fn load_dimension(
         .collect();
 
     let fetched: Vec<(Arc<Chunk>, u64)> = match fetch {
-        ChunkFetch::Uncached => decode_chunks_uncached(store, &missing)?,
+        ChunkFetch::Uncached => decode_chunks_uncached(source, &missing)?,
         ChunkFetch::Cached(cache) => {
             let mut v = Vec::with_capacity(missing.len());
             for &id in &missing {
-                let file_size = store.manifest().chunk_meta(id)?.file_size;
-                v.push((cache.get_or_load(store, id)?, file_size));
+                let file_size = source.chunk_file_size(id)?;
+                v.push((cache.get_or_load(source, id)?, file_size));
             }
             v
         }
         ChunkFetch::Shared(cache) => {
             let mut v = Vec::with_capacity(missing.len());
             for &id in &missing {
-                let file_size = store.manifest().chunk_meta(id)?.file_size;
-                v.push((cache.get_or_load(store, id)?, file_size));
+                let file_size = source.chunk_file_size(id)?;
+                v.push((cache.get_or_load(source, id)?, file_size));
+            }
+            v
+        }
+        ChunkFetch::Session(view) => {
+            let mut v = Vec::with_capacity(missing.len());
+            for &id in &missing {
+                let file_size = source.chunk_file_size(id)?;
+                v.push((view.get_or_load(source, id)?, file_size));
             }
             v
         }
@@ -340,16 +354,16 @@ fn load_dimension(
 /// list deserialization, pure CPU — fan out across cores. Returns
 /// `(chunk, file_size)` pairs in the caller's chunk order.
 fn decode_chunks_uncached(
-    store: &ColumnStore,
+    source: &dyn ChunkSource,
     chunk_ids: &[ChunkId],
 ) -> Result<Vec<(Arc<Chunk>, u64)>> {
     let mut raw = Vec::with_capacity(chunk_ids.len());
     for &chunk_id in chunk_ids {
-        let file_size = store.manifest().chunk_meta(chunk_id)?.file_size;
-        raw.push((chunk_id, file_size, store.read_chunk_bytes(chunk_id)?));
+        let file_size = source.chunk_file_size(chunk_id)?;
+        raw.push((chunk_id, file_size, source.read_chunk_bytes(chunk_id)?));
     }
     let decode = |(chunk_id, file_size, bytes): &(ChunkId, u64, Vec<u8>)| {
-        store.decode_chunk(*chunk_id, bytes).map(|c| (Arc::new(c), *file_size))
+        source.decode_chunk(*chunk_id, bytes).map(|c| (Arc::new(c), *file_size))
     };
     let decoded: Vec<Result<(Arc<Chunk>, u64)>> =
         if raw.len() >= 2 && rayon::current_num_threads() > 1 {
@@ -405,10 +419,7 @@ mod tests {
     }
 
     fn brute_force(rows: &[DataPoint], region: &Region) -> Vec<u64> {
-        rows.iter()
-            .filter(|p| region.contains(&p.values).unwrap())
-            .map(|p| p.id.as_u64())
-            .collect()
+        rows.iter().filter(|p| region.contains(&p.values).unwrap()).map(|p| p.id.as_u64()).collect()
     }
 
     #[test]
@@ -552,17 +563,11 @@ mod tests {
         let region = Region::new(vec![25.0, 25.0, 25.0], vec![75.0, 75.0, 75.0]).unwrap();
         let chunks = chunks_for(&store, &region);
         let (first, _, set) =
-            reconstruct_region_delta(&store, &region, &chunks, None, ChunkFetch::Uncached)
-                .unwrap();
+            reconstruct_region_delta(&store, &region, &chunks, None, ChunkFetch::Uncached).unwrap();
         let before = store.tracker().snapshot();
-        let (second, stats, _) = reconstruct_region_delta(
-            &store,
-            &region,
-            &chunks,
-            Some(&set),
-            ChunkFetch::Uncached,
-        )
-        .unwrap();
+        let (second, stats, _) =
+            reconstruct_region_delta(&store, &region, &chunks, Some(&set), ChunkFetch::Uncached)
+                .unwrap();
         assert_eq!(first, second);
         assert_eq!(stats.chunks_loaded, 0);
         assert_eq!(stats.chunk_bytes, 0);

@@ -17,6 +17,7 @@
 //! model, so it is charged like any other secondary-storage access.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use uei_types::{DataPoint, Result, Schema, UeiError};
@@ -53,7 +54,7 @@ impl Default for StoreConfig {
 #[derive(Debug)]
 pub struct ColumnStore {
     dir: PathBuf,
-    manifest: Manifest,
+    manifest: Arc<Manifest>,
     tracker: DiskTracker,
 }
 
@@ -88,9 +89,8 @@ impl ColumnStore {
         for column in columns {
             let dim = column.dim as u32;
             let mut catalog = Vec::new();
-            for (seq, run) in split_into_chunks(column, config.chunk_target_bytes)
-                .into_iter()
-                .enumerate()
+            for (seq, run) in
+                split_into_chunks(column, config.chunk_target_bytes).into_iter().enumerate()
             {
                 let chunk = Chunk::new(ChunkId::new(dim, seq as u32), run)?;
                 let bytes = chunk.encode();
@@ -125,7 +125,7 @@ impl ColumnStore {
         manifest.validate()?;
         manifest.save(&dir, &tracker)?;
 
-        Ok(ColumnStore { dir, manifest, tracker })
+        Ok(ColumnStore { dir, manifest: Arc::new(manifest), tracker })
     }
 
     /// Opens an existing store directory.
@@ -134,7 +134,15 @@ impl ColumnStore {
     pub fn open(dir: impl Into<PathBuf>, tracker: DiskTracker) -> Result<ColumnStore> {
         let dir = dir.into();
         let manifest = Manifest::load(&dir, &tracker)?;
-        Ok(ColumnStore { dir, manifest, tracker })
+        Ok(ColumnStore { dir, manifest: Arc::new(manifest), tracker })
+    }
+
+    /// A handle over the same store files and catalog charging a different
+    /// tracker. The directory path and the decoded manifest are shared
+    /// (`Arc`), so opening one handle per session copies no store data:
+    /// sessions differ only in which I/O ledger their reads are billed to.
+    pub fn with_tracker(&self, tracker: DiskTracker) -> ColumnStore {
+        ColumnStore { dir: self.dir.clone(), manifest: Arc::clone(&self.manifest), tracker }
     }
 
     /// The store's root directory.
@@ -144,7 +152,7 @@ impl ColumnStore {
 
     /// The chunk catalog.
     pub fn manifest(&self) -> &Manifest {
-        &self.manifest
+        self.manifest.as_ref()
     }
 
     /// Dataset schema.
@@ -273,9 +281,8 @@ impl ColumnStore {
                     let mut values = Vec::with_capacity(dims);
                     for d in 0..dims {
                         let s = base + d * 8;
-                        let bits = u64::from_le_bytes(
-                            buf[s..s + 8].try_into().expect("slice is 8 bytes"),
-                        );
+                        let bits =
+                            u64::from_le_bytes(buf[s..s + 8].try_into().expect("slice is 8 bytes"));
                         values.push(f64::from_bits(bits));
                     }
                     (first + i as u64, values)
@@ -296,9 +303,7 @@ impl ColumnStore {
         }
         Ok(ids
             .iter()
-            .map(|&id| {
-                DataPoint::new(id, by_id.get(&id).expect("fetched above").clone())
-            })
+            .map(|&id| DataPoint::new(id, by_id.get(&id).expect("fetched above").clone()))
             .collect())
     }
 
@@ -307,8 +312,7 @@ impl ColumnStore {
     /// exploration phase fills the unlabeled cache `U` (Algorithm 2 line 12).
     pub fn sample_rows(&self, k: usize, rng: &mut uei_types::Rng) -> Result<Vec<DataPoint>> {
         let n = self.num_rows() as usize;
-        let mut ids: Vec<u64> =
-            rng.sample_indices(n, k).into_iter().map(|i| i as u64).collect();
+        let mut ids: Vec<u64> = rng.sample_indices(n, k).into_iter().map(|i| i as u64).collect();
         ids.sort_unstable();
         self.fetch_rows(&ids)
     }
@@ -343,8 +347,7 @@ impl ColumnStore {
                 let mut values = Vec::with_capacity(dims);
                 for d in 0..dims {
                     let s = base + d * 8;
-                    let bits =
-                        u64::from_le_bytes(buf[s..s + 8].try_into().expect("8-byte slice"));
+                    let bits = u64::from_le_bytes(buf[s..s + 8].try_into().expect("8-byte slice"));
                     values.push(f64::from_bits(bits));
                 }
                 visit(DataPoint::new(next_id, values));
@@ -396,12 +399,9 @@ impl ColumnStore {
                 last_key = chunk.max_key();
                 for entry in &chunk.entries {
                     for &id in &entry.ids {
-                        let slot =
-                            covered.get_mut(id as usize).ok_or_else(|| {
-                                UeiError::corrupt(format!(
-                                    "dim {d}: posting id {id} out of range"
-                                ))
-                            })?;
+                        let slot = covered.get_mut(id as usize).ok_or_else(|| {
+                            UeiError::corrupt(format!("dim {d}: posting id {id} out of range"))
+                        })?;
                         if *slot {
                             return Err(UeiError::corrupt(format!(
                                 "dim {d}: row {id} posted twice"
@@ -420,9 +420,7 @@ impl ColumnStore {
         }
         // rows.dat header + length.
         let rows_path = self.dir.join(ROWS_FILE);
-        let len = std::fs::metadata(&rows_path)
-            .map_err(|e| UeiError::io(&rows_path, e))?
-            .len();
+        let len = std::fs::metadata(&rows_path).map_err(|e| UeiError::io(&rows_path, e))?.len();
         if len != self.rows_file_bytes() {
             return Err(UeiError::corrupt(format!(
                 "rows.dat is {len} bytes, expected {}",
@@ -468,8 +466,7 @@ fn write_rows_file(
     rows: &[DataPoint],
     tracker: &DiskTracker,
 ) -> Result<()> {
-    let mut buf =
-        Vec::with_capacity(ROWS_HEADER_LEN as usize + rows.len() * dims * 8);
+    let mut buf = Vec::with_capacity(ROWS_HEADER_LEN as usize + rows.len() * dims * 8);
     buf.extend_from_slice(ROWS_MAGIC);
     buf.extend_from_slice(&(dims as u32).to_le_bytes());
     buf.extend_from_slice(&(rows.len() as u64).to_le_bytes());
@@ -520,10 +517,7 @@ mod tests {
         let mut rng = Rng::new(42);
         (0..n)
             .map(|i| {
-                DataPoint::new(
-                    i as u64,
-                    vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)],
-                )
+                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
             })
             .collect()
     }
@@ -588,7 +582,8 @@ mod tests {
         let rows = make_rows(100);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker)
+                .unwrap();
         let got = store.fetch_rows(&[17, 3, 99, 4]).unwrap();
         assert_eq!(got.len(), 4);
         assert_eq!(got[0], rows[17]);
@@ -650,7 +645,8 @@ mod tests {
         let rows = make_rows(200);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker)
+                .unwrap();
         let mut rng = Rng::new(7);
         let sample = store.sample_rows(50, &mut rng).unwrap();
         assert_eq!(sample.len(), 50);
@@ -679,13 +675,9 @@ mod tests {
             tracker.clone()
         )
         .is_err());
-        let dup = vec![
-            DataPoint::new(0u64, vec![1.0, 1.0]),
-            DataPoint::new(0u64, vec![2.0, 2.0]),
-        ];
-        assert!(
-            ColumnStore::create(dir.path(), schema2(), &dup, StoreConfig::default(), tracker).is_err()
-        );
+        let dup = vec![DataPoint::new(0u64, vec![1.0, 1.0]), DataPoint::new(0u64, vec![2.0, 2.0])];
+        assert!(ColumnStore::create(dir.path(), schema2(), &dup, StoreConfig::default(), tracker)
+            .is_err());
     }
 
     #[test]
@@ -733,7 +725,8 @@ mod tests {
         let rows = make_rows(10);
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &rows, StoreConfig::default(), tracker)
+                .unwrap();
         match store.read_chunk(ChunkId::new(0, 999)) {
             Err(UeiError::NotFound { .. }) => {}
             other => panic!("expected NotFound, got {other:?}"),
@@ -806,7 +799,8 @@ mod tests {
         let dir = temp_dir("empty");
         let tracker = DiskTracker::new(IoProfile::instant());
         let store =
-            ColumnStore::create(dir.path(), schema2(), &[], StoreConfig::default(), tracker).unwrap();
+            ColumnStore::create(dir.path(), schema2(), &[], StoreConfig::default(), tracker)
+                .unwrap();
         assert_eq!(store.num_rows(), 0);
         assert_eq!(store.manifest().total_chunks(), 0);
         let mut count = 0;

@@ -34,13 +34,9 @@ fn chunks_for(store: &ColumnStore, region: &Region) -> Vec<Vec<ChunkId>> {
 }
 
 fn posting_strategy() -> impl Strategy<Value = PostingList> {
-    (
-        -1e6f64..1e6,
-        proptest::collection::btree_set(0u64..100_000, 1..30),
-    )
-        .prop_map(|(key, ids)| {
-            PostingList::new(key, ids.into_iter().collect()).expect("sorted dedup ids")
-        })
+    (-1e6f64..1e6, proptest::collection::btree_set(0u64..100_000, 1..30)).prop_map(|(key, ids)| {
+        PostingList::new(key, ids.into_iter().collect()).expect("sorted dedup ids")
+    })
 }
 
 fn chunk_strategy() -> impl Strategy<Value = Chunk> {
@@ -54,9 +50,7 @@ fn chunk_strategy() -> impl Strategy<Value = Chunk> {
     .prop_map(|entries| {
         let postings: Vec<PostingList> = entries
             .into_iter()
-            .map(|(k, ids)| {
-                PostingList::new(k as f64 * 0.25, ids.into_iter().collect()).unwrap()
-            })
+            .map(|(k, ids)| PostingList::new(k as f64 * 0.25, ids.into_iter().collect()).unwrap())
             .collect();
         Chunk::new(ChunkId::new(1, 2), postings).unwrap()
     })

@@ -26,9 +26,7 @@ fn build_store(
     .unwrap();
     let mut rng = Rng::new(7);
     let points: Vec<DataPoint> = (0..rows)
-        .map(|i| {
-            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 10.0), rng.range_f64(0.0, 10.0)])
-        })
+        .map(|i| DataPoint::new(i as u64, vec![rng.range_f64(0.0, 10.0), rng.range_f64(0.0, 10.0)]))
         .collect();
     let store = ColumnStore::create(
         dir.path(),

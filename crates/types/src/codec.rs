@@ -239,9 +239,9 @@ pub fn decode_ascending_ids(r: &mut Reader<'_>) -> Result<Vec<u64>> {
         let delta = r.read_varint()?;
         let id = match prev {
             None => delta,
-            Some(p) => p
-                .checked_add(delta)
-                .ok_or_else(|| UeiError::corrupt("posting id overflow"))?,
+            Some(p) => {
+                p.checked_add(delta).ok_or_else(|| UeiError::corrupt("posting id overflow"))?
+            }
         };
         if let Some(p) = prev {
             if id <= p {
@@ -305,8 +305,7 @@ mod tests {
 
     #[test]
     fn varint_round_trips_boundaries() {
-        let values =
-            [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX];
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX];
         let mut w = Writer::new();
         for &v in &values {
             w.write_varint(v);

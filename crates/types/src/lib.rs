@@ -26,7 +26,6 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod codec;
 pub mod error;
 pub mod label;

@@ -123,7 +123,10 @@ impl Region {
     /// Whether this region and `other` overlap in every dimension.
     pub fn intersects(&self, other: &Region) -> Result<bool> {
         if other.dims() != self.dims() {
-            return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: other.dims() });
+            return Err(UeiError::DimensionMismatch {
+                expected: self.dims(),
+                actual: other.dims(),
+            });
         }
         for d in 0..self.dims() {
             // Treat both boxes conservatively as closed for overlap tests;

@@ -150,12 +150,9 @@ fn main() -> uei::types::Result<()> {
         }
     }
 
-    let final_model =
-        ScaledClassifier::train(EstimatorKind::Dwknn { k: 5 }, scaler, &labeled)?;
-    let predicted_matches = pairs
-        .iter()
-        .filter(|p| final_model.predict(&p.values).is_positive())
-        .count();
+    let final_model = ScaledClassifier::train(EstimatorKind::Dwknn { k: 5 }, scaler, &labeled)?;
+    let predicted_matches =
+        pairs.iter().filter(|p| final_model.predict(&p.values).is_positive()).count();
     println!(
         "\nlabeled {} of {} pairs ({:.2} %) to build the matcher; it flags {} pairs as matches",
         labeled.len(),

@@ -73,10 +73,7 @@ fn main() -> uei::types::Result<()> {
             if t.prefetched { "  (prefetched)" } else { "" }
         );
     }
-    println!(
-        "\nfinal F-measure (exact, full result retrieval): {:.3}",
-        result.final_f_measure
-    );
+    println!("\nfinal F-measure (exact, full result retrieval): {:.3}", result.final_f_measure);
     println!(
         "mean response time: {:.2} ms over {} iterations",
         result.total_virtual_secs * 1e3 / result.traces.len().max(1) as f64,

@@ -43,8 +43,7 @@ fn main() -> uei::types::Result<()> {
         StoreConfig { chunk_target_bytes: 16 * 1024 },
         uei_tracker.clone(),
     )?);
-    let cache_bytes =
-        (store.manifest().total_chunk_bytes() as f64 * MEMORY_FRACTION) as usize;
+    let cache_bytes = (store.manifest().total_chunk_bytes() as f64 * MEMORY_FRACTION) as usize;
     let mut uei_rng = Rng::new(1);
     let mut uei_backend = UeiBackend::new(
         store,
@@ -58,8 +57,7 @@ fn main() -> uei::types::Result<()> {
         &mut uei_rng,
     )?;
     let uei_result =
-        ExplorationSession::new(&mut uei_backend, &oracle, config.clone(), uei_tracker)
-            .run()?;
+        ExplorationSession::new(&mut uei_backend, &oracle, config.clone(), uei_tracker).run()?;
 
     // --- MySQL-like scheme ----------------------------------------------
     let dbms_tracker = DiskTracker::new(IoProfile::nvme());
@@ -71,8 +69,7 @@ fn main() -> uei::types::Result<()> {
         / uei::dbms::page::PAGE_SIZE)
         .max(1);
     let pool = BufferPool::new(pool_pages, dbms_tracker.clone())?;
-    let mut dbms_backend =
-        DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
+    let mut dbms_backend = DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
     let dbms_result =
         ExplorationSession::new(&mut dbms_backend, &oracle, config, dbms_tracker).run()?;
 
@@ -91,8 +88,10 @@ fn main() -> uei::types::Result<()> {
     }
     let uei_mean = uei_result.total_virtual_secs * 1e3 / uei_result.traces.len() as f64;
     let dbms_mean = dbms_result.total_virtual_secs * 1e3 / dbms_result.traces.len() as f64;
-    println!("\nfinal F-measure:  UEI {:.3}   MySQL-like {:.3}", uei_result.final_f_measure,
-        dbms_result.final_f_measure);
+    println!(
+        "\nfinal F-measure:  UEI {:.3}   MySQL-like {:.3}",
+        uei_result.final_f_measure, dbms_result.final_f_measure
+    );
     println!(
         "mean response:    UEI {uei_mean:.2} ms   MySQL-like {dbms_mean:.2} ms   ({:.0}x)",
         dbms_mean / uei_mean.max(1e-9)

@@ -13,8 +13,7 @@ use uei::prelude::*;
 use uei::storage::store::ColumnStore;
 
 fn main() -> uei::types::Result<()> {
-    let rows =
-        generate_sdss_like(&SynthConfig { rows: 15_000, seed: 31, ..Default::default() });
+    let rows = generate_sdss_like(&SynthConfig { rows: 15_000, seed: 31, ..Default::default() });
     let dir = std::env::temp_dir().join("uei-example-inspect");
     let _ = std::fs::remove_dir_all(&dir);
 

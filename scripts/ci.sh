@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: build, tests, lint, and a smoke run of the scoring bench.
+# CI gate: formatting, lint, docs, tests, build, and smoke runs of the
+# scoring, region-load, fault-matrix, and multi-session benches.
 #
 #   ./scripts/ci.sh          # full gate
 #   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
@@ -11,8 +12,17 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
+# Formatting gate covers the uei packages only: the vendor stand-ins keep
+# their upstream style and are not ours to reformat.
+uei_pkgs=(-p uei -p uei-types -p uei-storage -p uei-learn -p uei-index -p uei-dbms -p uei-explore -p uei-bench)
+echo "==> cargo fmt --check (uei packages)"
+cargo fmt "${uei_pkgs[@]}" --check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
@@ -46,5 +56,12 @@ test -s "$tmp/BENCH_region_load.json"
 echo "==> fault_matrix --smoke"
 cargo run -p uei-bench --release --bin fault_matrix -- --smoke --out "$tmp/BENCH_fault_matrix.json"
 test -s "$tmp/BENCH_fault_matrix.json"
+
+# Smoke-run the multi-session bench: 1 vs. 4 concurrent sessions over one
+# shared EngineCore. The binary asserts every session completes and that
+# the 4-session aggregate cache hit ratio is at least the 1-session ratio.
+echo "==> multi_session --smoke"
+cargo run -p uei-bench --release --bin multi_session -- --smoke --out "$tmp/BENCH_multi_session.json"
+test -s "$tmp/BENCH_multi_session.json"
 
 echo "CI gate passed."

@@ -71,13 +71,13 @@ pub mod prelude {
     pub use uei_dbms::{BufferPool, Table};
     pub use uei_explore::{
         average_traces, generate_sdss_like, generate_target_region,
-        generate_target_region_fraction, DbmsBackend, ExplorationBackend,
-        ExplorationSession, Oracle, RegionSize, SessionConfig, SynthConfig, UeiBackend,
+        generate_target_region_fraction, DbmsBackend, ExplorationBackend, ExplorationSession,
+        Oracle, RegionSize, SessionConfig, SynthConfig, UeiBackend,
     };
     pub use uei_index::{UeiConfig, UeiIndex};
     pub use uei_learn::{
-        Classifier, Dwknn, EstimatorKind, MinMaxScaler, ScaledClassifier,
-        UncertaintyMeasure, UncertaintySampling,
+        Classifier, Dwknn, EstimatorKind, MinMaxScaler, ScaledClassifier, UncertaintyMeasure,
+        UncertaintySampling,
     };
     pub use uei_storage::{ColumnStore, DiskTracker, IoProfile, StoreConfig};
     pub use uei_types::{DataPoint, Label, Region, Rng, RowId, Schema};

@@ -68,8 +68,7 @@ fn run_dbms(
     let tracker = DiskTracker::new(IoProfile::nvme());
     let table =
         Table::create_padded(dir.join("table"), Schema::sdss(), rows, 4048, &tracker).unwrap();
-    let pool_pages =
-        ((table.size_bytes() / 100) as usize / uei::dbms::page::PAGE_SIZE).max(1);
+    let pool_pages = ((table.size_bytes() / 100) as usize / uei::dbms::page::PAGE_SIZE).max(1);
     let pool = BufferPool::new(pool_pages, tracker.clone()).unwrap();
     let mut backend = DbmsBackend::with_pool(table, pool, UncertaintyMeasure::LeastConfidence);
     let config = SessionConfig { max_labels: labels, eval_sample: 1000, ..Default::default() };
@@ -91,15 +90,9 @@ fn both_schemes_learn_the_target_region() {
     // Accuracy improves over the session: the late-stage estimate beats
     // the early-stage one for both schemes.
     for result in [&uei, &dbms] {
-        let early: Vec<f64> =
-            result.traces.iter().take(10).filter_map(|t| t.f_measure).collect();
-        let late: Vec<f64> = result
-            .traces
-            .iter()
-            .rev()
-            .take(10)
-            .filter_map(|t| t.f_measure)
-            .collect();
+        let early: Vec<f64> = result.traces.iter().take(10).filter_map(|t| t.f_measure).collect();
+        let late: Vec<f64> =
+            result.traces.iter().rev().take(10).filter_map(|t| t.f_measure).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         assert!(
             mean(&late) > mean(&early),
@@ -121,9 +114,8 @@ fn uei_is_much_faster_per_iteration() {
     let uei = run_uei(&dir, &rows, &oracle, 25);
     let dbms = run_dbms(&dir, &rows, &oracle, 25);
 
-    let mean = |r: &uei::explore::SessionResult| {
-        r.total_virtual_secs * 1e3 / r.traces.len().max(1) as f64
-    };
+    let mean =
+        |r: &uei::explore::SessionResult| r.total_virtual_secs * 1e3 / r.traces.len().max(1) as f64;
     let (u, d) = (mean(&uei), mean(&dbms));
     assert!(
         d > 10.0 * u,
@@ -161,8 +153,7 @@ fn store_survives_reopen_between_sessions() {
 
     // Second session opens the existing store from disk — the
     // initialization phase runs once per dataset (paper §3.1).
-    let store =
-        Arc::new(ColumnStore::open(dir.join("store"), tracker.clone()).unwrap());
+    let store = Arc::new(ColumnStore::open(dir.join("store"), tracker.clone()).unwrap());
     let mut rng = Rng::new(3);
     let mut backend = UeiBackend::new(
         store,
@@ -174,8 +165,7 @@ fn store_survives_reopen_between_sessions() {
     .unwrap();
     let oracle = make_oracle(&rows, 0.02, 13);
     let config = SessionConfig { max_labels: 15, eval_sample: 300, ..Default::default() };
-    let result =
-        ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
+    let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
     assert!(result.labels_used >= 10);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -208,10 +198,8 @@ fn prefetch_session_matches_unprefetched_results() {
             &mut rng,
         )
         .unwrap();
-        let config =
-            SessionConfig { max_labels: 20, eval_sample: 400, ..Default::default() };
-        let result =
-            ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
+        let config = SessionConfig { max_labels: 20, eval_sample: 400, ..Default::default() };
+        let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
         std::fs::remove_dir_all(&dir).ok();
         result
     };

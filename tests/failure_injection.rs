@@ -56,11 +56,9 @@ fn corrupt_chunk_file_yields_corrupt_error_not_panic() {
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, bytes).unwrap();
     }
-    let mut index = UeiIndex::build(
-        Arc::clone(&store),
-        UeiConfig { cells_per_dim: 3, ..UeiConfig::default() },
-    )
-    .unwrap();
+    let mut index =
+        UeiIndex::build(Arc::clone(&store), UeiConfig { cells_per_dim: 3, ..UeiConfig::default() })
+            .unwrap();
     index.update_uncertainty(&Anywhere);
     match index.select_and_load() {
         Err(UeiError::Corrupt { .. }) => {}
@@ -76,11 +74,9 @@ fn missing_chunk_file_yields_io_error() {
     for meta in &store.manifest().dims[2] {
         std::fs::remove_file(dir.join(meta.id().file_name())).unwrap();
     }
-    let mut index = UeiIndex::build(
-        Arc::clone(&store),
-        UeiConfig { cells_per_dim: 3, ..UeiConfig::default() },
-    )
-    .unwrap();
+    let mut index =
+        UeiIndex::build(Arc::clone(&store), UeiConfig { cells_per_dim: 3, ..UeiConfig::default() })
+            .unwrap();
     index.update_uncertainty(&Anywhere);
     match index.select_and_load() {
         Err(UeiError::Io { .. }) => {}

@@ -10,11 +10,11 @@
 //! 4. §3.2 — uncertainty-directed region choice tracks the decision
 //!    boundary (the loaded cell contains boundary points).
 
+use uei::explore::workload::RegionSize;
 use uei_bench::experiments::{
     complexity, fig6_response_time, oracles_for_runs, run_session, Scheme, Variation,
 };
 use uei_bench::fixture::{ExperimentScale, Fixture};
-use uei::explore::workload::RegionSize;
 
 fn scale() -> ExperimentScale {
     ExperimentScale {
@@ -59,28 +59,17 @@ fn complexity_e_much_smaller_than_n() {
 fn response_time_flat_across_region_sizes_for_uei() {
     let (fixture, root) = fixture("flat");
     let fig = fig6_response_time(&fixture).unwrap();
-    let uei: Vec<f64> = fig
-        .rows
-        .iter()
-        .filter(|r| r.scheme == "UEI")
-        .map(|r| r.mean_response_ms)
-        .collect();
-    let dbms: Vec<f64> = fig
-        .rows
-        .iter()
-        .filter(|r| r.scheme != "UEI")
-        .map(|r| r.mean_response_ms)
-        .collect();
+    let uei: Vec<f64> =
+        fig.rows.iter().filter(|r| r.scheme == "UEI").map(|r| r.mean_response_ms).collect();
+    let dbms: Vec<f64> =
+        fig.rows.iter().filter(|r| r.scheme != "UEI").map(|r| r.mean_response_ms).collect();
     assert_eq!(uei.len(), 3);
     // Paper: "the response time remains the same across all three target
     // interest regions sizes" — for BOTH schemes.
     for series in [&uei, &dbms] {
         let max = series.iter().cloned().fold(f64::MIN, f64::max);
         let min = series.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            max < min * 4.0,
-            "response should not scale with region size: {series:?}"
-        );
+        assert!(max < min * 4.0, "response should not scale with region size: {series:?}");
     }
     // And the gap between schemes is large at every size.
     for (u, d) in uei.iter().zip(&dbms) {
@@ -94,8 +83,7 @@ fn baseline_rereads_table_uei_reads_bounded_slice() {
     let (fixture, root) = fixture("reread");
     let oracles = oracles_for_runs(&fixture, RegionSize::Medium, 1).unwrap();
 
-    let dbms =
-        run_session(&fixture, Scheme::Dbms, &oracles[0], 0, &Variation::default()).unwrap();
+    let dbms = run_session(&fixture, Scheme::Dbms, &oracles[0], 0, &Variation::default()).unwrap();
     let (table, _, _) = fixture.open_table(uei::storage::IoProfile::nvme()).unwrap();
     for trace in &dbms.traces {
         // Per-page charges round down, so allow a sliver under the total.
@@ -108,8 +96,7 @@ fn baseline_rereads_table_uei_reads_bounded_slice() {
         );
     }
 
-    let uei =
-        run_session(&fixture, Scheme::Uei, &oracles[0], 0, &Variation::default()).unwrap();
+    let uei = run_session(&fixture, Scheme::Uei, &oracles[0], 0, &Variation::default()).unwrap();
     let (store, _) = fixture.open_store(uei::storage::IoProfile::nvme()).unwrap();
     let full = store.manifest().total_chunk_bytes();
     for trace in &uei.traces {
@@ -132,14 +119,9 @@ fn region_loads_track_the_decision_boundary() {
     // rather than constant negatives.
     let (fixture, root) = fixture("boundary");
     let oracles = oracles_for_runs(&fixture, RegionSize::Large, 1).unwrap();
-    let result =
-        run_session(&fixture, Scheme::Uei, &oracles[0], 0, &Variation::default()).unwrap();
-    let late_positive = result
-        .traces
-        .iter()
-        .skip(result.traces.len() / 2)
-        .filter(|t| t.label_positive)
-        .count();
+    let result = run_session(&fixture, Scheme::Uei, &oracles[0], 0, &Variation::default()).unwrap();
+    let late_positive =
+        result.traces.iter().skip(result.traces.len() / 2).filter(|t| t.label_positive).count();
     assert!(
         late_positive > 0,
         "uncertainty-directed loading should surface positives in the later stage"
