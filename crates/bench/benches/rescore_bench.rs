@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of incremental index-point rescoring: one
+//! full tracked rescore vs. one delta-pruned incremental pass on the
+//! paper's default estimator (DWkNN) at the Table-1 grid size (5⁵ = 3125
+//! index points), after the model gained one boundary-local label.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_index::grid::Grid;
+use uei_index::points::IndexPoints;
+use uei_learn::strategy::UncertaintyMeasure;
+use uei_learn::EstimatorKind;
+use uei_types::{AttributeDef, Label, Rng, Schema};
+
+fn schema5() -> Schema {
+    Schema::new(
+        (0..5).map(|i| AttributeDef::new(format!("a{i}"), 0.0, 1.0).unwrap()).collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+fn examples(n: usize, seed: u64) -> Vec<(Vec<f64>, Label)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..5).map(|_| rng.range_f64(0.0, 1.0)).collect();
+            let label = Label::from_bool(x.iter().sum::<f64>() > 2.5);
+            (x, label)
+        })
+        .collect()
+}
+
+fn bench_rescore(c: &mut Criterion) {
+    let measure = UncertaintyMeasure::LeastConfidence;
+    let grid = Grid::new(&schema5(), 5).unwrap();
+    let mut train = examples(300, 11);
+    let old_model = EstimatorKind::Dwknn { k: 5 }.train(&train).unwrap();
+
+    // One new boundary-local label, then a retrained model: the state an
+    // exploration iteration hands to the rescoring layer.
+    let added_point = vec![0.55, 0.45, 0.52, 0.48, 0.50];
+    train.push((added_point.clone(), Label::Positive));
+    let model = EstimatorKind::Dwknn { k: 5 }.train(&train).unwrap();
+    let added: [&[f64]; 1] = [added_point.as_slice()];
+
+    let mut seeded = IndexPoints::from_grid(&grid).unwrap();
+    seeded.update_tracked(old_model.as_ref(), measure);
+
+    let mut group = c.benchmark_group("rescore_3125");
+    group.bench_function("full", |b| {
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        b.iter(|| points.update_tracked(model.as_ref(), measure))
+    });
+    group.bench_function("incremental", |b| {
+        // Clone the warm cache each iteration so every measured pass prunes
+        // against the same pre-label radii.
+        b.iter_batched(
+            || seeded.clone(),
+            |mut points| points.update_incremental(model.as_ref(), measure, &added, 0.0, 0),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rescore);
+criterion_main!(benches);

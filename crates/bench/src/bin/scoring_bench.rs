@@ -50,8 +50,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_scoring.json"));
+    // The 256-point cases finish in single-digit microseconds, so the
+    // best-of min needs a few dozen samples to converge on a shared host.
+    let samples: usize = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
 
-    let report = if smoke { smoke_report() } else { full_report(5) };
+    let report = if smoke { smoke_report() } else { full_report(samples) };
     print_report(&report);
 
     let diverged: Vec<_> = report.cases.iter().filter(|c| !c.identical).collect();

@@ -22,6 +22,7 @@ pub mod fault_matrix;
 pub mod fixture;
 pub mod multi_session;
 pub mod region_load;
+pub mod rescore;
 pub mod scoring;
 
 pub use experiments::*;
@@ -37,5 +38,9 @@ pub use multi_session::{
 pub use region_load::{
     full_region_load_report, run_region_load_bench, smoke_region_load_report, RegionLoadCase,
     RegionLoadConfig, RegionLoadReport,
+};
+pub use rescore::{
+    full_rescore_report, run_rescore_bench, smoke_rescore_report, validate_rescore, RescoreCase,
+    RescoreReport,
 };
 pub use scoring::{full_report, run_scoring_bench, smoke_report, ScoringCase, ScoringReport};

@@ -56,6 +56,13 @@ pub struct SelectionInfo {
     /// failed with a storage fault, so the selection was served from the
     /// resident pool `U` without a fresh region.
     pub degraded: bool,
+    /// UEI: index points actually rescored this selection. Under
+    /// incremental rescoring this is the dirty-set size; under full
+    /// rescoring it equals the index-point count.
+    pub points_rescored: u64,
+    /// UEI: index points served verbatim from the per-session score cache
+    /// this selection (zero under full rescoring).
+    pub points_cached: u64,
     /// DBMS: tuples examined by the exhaustive scan.
     pub examined: Option<u64>,
 }
@@ -146,6 +153,16 @@ pub struct UeiBackend {
     pool: UnlabeledPool,
     strategy: Box<dyn QueryStrategy + Send>,
     gamma: usize,
+    /// Training length of the model at the last rescoring pass. The
+    /// exploration loop always retrains on the full (append-only) labeled
+    /// set, so the labeled entries between this watermark and the current
+    /// model's [`Classifier::training_len`] are exactly the examples the
+    /// model gained since the index points were last scored — the
+    /// influence sources for incremental invalidation. Tracking the
+    /// *training* length (not the labeled-set length) matters: labels
+    /// accrue for several iterations before one retrain folds them all in,
+    /// and every one of them must participate in the dirty test.
+    rescored_train_len: usize,
 }
 
 impl UeiBackend {
@@ -167,6 +184,7 @@ impl UeiBackend {
             pool: UnlabeledPool::with_region_capacity(sample, regions_in_memory),
             strategy: Box::new(UncertaintySampling::new(measure)),
             gamma,
+            rescored_train_len: 0,
         })
     }
 
@@ -189,6 +207,7 @@ impl UeiBackend {
             pool: UnlabeledPool::with_region_capacity(sample, regions_in_memory),
             strategy: Box::new(UncertaintySampling::new(engine.measure())),
             gamma,
+            rescored_train_len: 0,
         })
     }
 
@@ -248,7 +267,29 @@ impl ExplorationBackend for UeiBackend {
         let cache_before = self.index.cache_stats();
         let bg_before = self.index.background_io().map_or(0, |s| s.bytes_read);
         let degrade_before = self.index.degrade_counters();
-        self.index.update_uncertainty(model);
+        let rescore_before = self.index.rescore_counters();
+        match model.training_len() {
+            // The labeled entries between the previous and current training
+            // lengths are exactly the examples the model gained since the
+            // last rescore (the loop retrains on the full append-only
+            // labeled set). An unchanged model yields an empty slice — and
+            // an empty dirty set; a model whose training data is not drawn
+            // from `labeled` (external bootstrap) clamps to a harmless
+            // superset of labeled entries.
+            Some(train_len) => {
+                let entries = labeled.entries();
+                let to = train_len.min(entries.len());
+                let from = self.rescored_train_len.min(to);
+                let added: Vec<&[f64]> =
+                    entries[from..to].iter().map(|(p, _)| p.values.as_slice()).collect();
+                self.index.update_uncertainty_incremental(model, &added);
+                self.rescored_train_len = to;
+            }
+            // No training size ⇒ no way to recover what changed ⇒ full
+            // rescore (committees and other opaque models).
+            None => self.index.update_uncertainty(model),
+        }
+        let rescore = self.index.rescore_counters().since(&rescore_before);
         let (cell, region_rows, prefetched, degraded) = match self.index.select_and_load() {
             Ok(load) => {
                 let region_rows = if load.source == LoadSource::Retained {
@@ -290,6 +331,8 @@ impl ExplorationBackend for UeiBackend {
             retries: degrade.retries,
             fallback_cells: degrade.fallback_cells,
             degraded,
+            points_rescored: rescore.points_rescored,
+            points_cached: rescore.points_cached,
             examined: None,
         };
         match self.strategy.select(model, &candidates) {

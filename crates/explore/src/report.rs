@@ -75,6 +75,14 @@ pub struct RunSummary {
     /// candidate region failed (the last degradation rung).
     #[serde(default)]
     pub degraded_iterations_per_run: f64,
+    /// Mean index points rescored per run (the work incremental rescoring
+    /// actually performed).
+    #[serde(default)]
+    pub points_rescored_per_run: f64,
+    /// Mean index points served from the score cache per run (the work
+    /// incremental rescoring skipped).
+    #[serde(default)]
+    pub points_cached_per_run: f64,
 }
 
 /// Averages repeated sessions into one series.
@@ -148,6 +156,7 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
 
     let (mut hits, mut lookups, mut evictions, mut prefetch_bytes) = (0u64, 0u64, 0u64, 0u64);
     let (mut retries, mut fallback_cells, mut degraded) = (0u64, 0u64, 0u64);
+    let (mut points_rescored, mut points_cached) = (0u64, 0u64);
     for t in results.iter().flat_map(|r| r.traces.iter()) {
         hits += t.cache_hits;
         lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
@@ -156,6 +165,8 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         retries += t.retries;
         fallback_cells += t.fallback_cells;
         degraded += u64::from(t.degraded);
+        points_rescored += t.points_rescored;
+        points_cached += t.points_cached;
     }
 
     RunSummary {
@@ -172,6 +183,8 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         retries_per_run: retries as f64 / results.len() as f64,
         fallback_cells_per_run: fallback_cells as f64 / results.len() as f64,
         degraded_iterations_per_run: degraded as f64 / results.len() as f64,
+        points_rescored_per_run: points_rescored as f64 / results.len() as f64,
+        points_cached_per_run: points_cached as f64 / results.len() as f64,
     }
 }
 
@@ -206,6 +219,8 @@ mod tests {
             retries: 0,
             fallback_cells: 0,
             degraded: false,
+            points_rescored: 0,
+            points_cached: 0,
             examined: None,
         }
     }
@@ -310,6 +325,21 @@ mod tests {
         assert_eq!(t.retries, 0);
         assert_eq!(t.fallback_cells, 0);
         assert!(!t.degraded);
+        assert_eq!(t.points_rescored, 0);
+        assert_eq!(t.points_cached, 0);
+    }
+
+    #[test]
+    fn rescore_counters_are_aggregated_per_run() {
+        let mut a = trace(2, None, 1.0);
+        a.points_rescored = 100;
+        a.points_cached = 3025;
+        let mut b = trace(2, None, 1.0);
+        b.points_rescored = 3125;
+        b.points_cached = 0;
+        let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
+        assert!((summary.points_rescored_per_run - 1612.5).abs() < 1e-12);
+        assert!((summary.points_cached_per_run - 1512.5).abs() < 1e-12);
     }
 
     #[test]

@@ -127,6 +127,14 @@ pub struct IterationTrace {
     /// every ranked candidate region failed with a storage fault.
     #[serde(default)]
     pub degraded: bool,
+    /// UEI: index points actually rescored this iteration (the dirty set
+    /// under incremental rescoring; all of them under full rescoring).
+    #[serde(default)]
+    pub points_rescored: u64,
+    /// UEI: index points served verbatim from the per-session score cache
+    /// this iteration.
+    #[serde(default)]
+    pub points_cached: u64,
     /// DBMS: tuples examined by the exhaustive scan, if applicable.
     pub examined: Option<u64>,
 }
@@ -333,6 +341,8 @@ impl<'a> ExplorationSession<'a> {
             retries: info.retries,
             fallback_cells: info.fallback_cells,
             degraded: info.degraded,
+            points_rescored: info.points_rescored,
+            points_cached: info.points_cached,
             examined: info.examined,
         });
         Ok(true)

@@ -139,6 +139,112 @@ fn concurrent_sessions_are_bit_identical_to_sequential() {
     assert!(seq.iter().all(|r| !r.traces.is_empty()));
 }
 
+mod score_cache_independence {
+    use super::*;
+    use uei_explore::backend::{ExplorationBackend, UeiBackend};
+    use uei_learn::dataset::LabeledSet;
+    use uei_learn::EstimatorKind;
+    use uei_types::{DataPoint, Label};
+
+    fn teacher(p: &DataPoint) -> Label {
+        Label::from_bool(p.values[2] < 180.0)
+    }
+
+    pub(super) fn open_driver(
+        engine: &EngineCore,
+        sample_seed: u64,
+        rows: &[DataPoint],
+    ) -> (UeiBackend, LabeledSet) {
+        let mut rng = Rng::new(sample_seed);
+        let mut backend = UeiBackend::from_engine(engine, 150, &mut rng).unwrap();
+        let mut labeled = LabeledSet::new();
+        let (mut pos, mut neg) = (0usize, 0usize);
+        for p in rows {
+            if pos >= 3 && neg >= 3 {
+                break;
+            }
+            let label = teacher(p);
+            let quota = if label.is_positive() { &mut pos } else { &mut neg };
+            if *quota >= 3 {
+                continue;
+            }
+            *quota += 1;
+            labeled.add(p.clone(), label).unwrap();
+            backend.mark_labeled(p.id);
+        }
+        (backend, labeled)
+    }
+
+    /// One labeling iteration: retrain on the session's own labeled set,
+    /// select, label, fold in. Returns the selection for comparison.
+    pub(super) fn step(backend: &mut UeiBackend, labeled: &mut LabeledSet) -> (Option<usize>, u64) {
+        let model = EstimatorKind::Dwknn { k: 3 }.train(&labeled.training_data()).unwrap();
+        let (point, info) = backend.select_next(model.as_ref(), labeled).unwrap().unwrap();
+        let picked = (info.cell, point.id.as_u64());
+        let label = teacher(&point);
+        labeled.add(point.clone(), label).unwrap();
+        backend.mark_labeled(point.id);
+        picked
+    }
+}
+
+/// Two sessions of one engine keep fully independent score caches: a
+/// session's selections, rescore counters, and cache version are
+/// bit-identical whether a second session labels away concurrently or the
+/// session runs alone. (`EngineCore::open_session` clones the index-point
+/// template, so each session carries its own cached scores, influence
+/// radii, and model version.)
+#[test]
+fn per_session_score_caches_are_independent() {
+    use score_cache_independence::{open_driver, step};
+
+    let rows = generate_sdss_like(&SynthConfig { rows: 3000, ..Default::default() });
+    let d1 = uei_storage::TempDir::new("ms-cache-solo");
+    let d2 = uei_storage::TempDir::new("ms-cache-pair");
+    let engine_solo = build_engine(d1.path(), &rows);
+    let engine_pair = build_engine(d2.path(), &rows);
+    const A_STEPS: usize = 8;
+    const B_STEPS: usize = 5;
+
+    // Baseline: session A alone.
+    let (mut a_solo, mut a_solo_labeled) = open_driver(&engine_solo, 2024, &rows);
+    let solo_picks: Vec<_> = (0..A_STEPS).map(|_| step(&mut a_solo, &mut a_solo_labeled)).collect();
+
+    // Same session A, now interleaved with an independently labeling B.
+    let (mut a, mut a_labeled) = open_driver(&engine_pair, 2024, &rows);
+    let (mut b, mut b_labeled) = open_driver(&engine_pair, 9090, &rows);
+    let mut pair_picks = Vec::new();
+    for i in 0..A_STEPS {
+        pair_picks.push(step(&mut a, &mut a_labeled));
+        if i < B_STEPS {
+            step(&mut b, &mut b_labeled);
+        }
+    }
+
+    assert_eq!(solo_picks, pair_picks, "B's labeling leaked into A's selections");
+    assert_eq!(
+        a_solo.index().rescore_counters(),
+        a.index().rescore_counters(),
+        "B's rescoring leaked into A's score cache"
+    );
+    assert_eq!(
+        a_solo.index().points().model_version(),
+        a.index().points().model_version(),
+        "cache versions diverged between solo and interleaved runs"
+    );
+
+    // B really did advance its own, separate cache.
+    let b_counters = b.index().rescore_counters();
+    assert!(b_counters.points_rescored > 0, "B never rescored");
+    assert_eq!(b.index().points().model_version(), B_STEPS as u64);
+    assert_eq!(a.index().points().model_version(), A_STEPS as u64);
+    // Every pass accounts for every index point, in both sessions.
+    let cells = a.index().grid().num_cells() as u64;
+    let a_counters = a.index().rescore_counters();
+    assert_eq!(a_counters.points_rescored + a_counters.points_cached, A_STEPS as u64 * cells);
+    assert_eq!(b_counters.points_rescored + b_counters.points_cached, B_STEPS as u64 * cells);
+}
+
 #[test]
 fn shared_cache_byte_accounting_stays_exact_under_concurrency() {
     let rows = generate_sdss_like(&SynthConfig { rows: 3000, ..Default::default() });

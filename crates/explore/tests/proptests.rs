@@ -100,6 +100,188 @@ proptest! {
     }
 }
 
+/// Incremental rescoring must never change *what gets selected*: for every
+/// estimator kind — including the committee, which falls back to full
+/// rescoring through the conservative [`uei_learn::ModelDelta::Global`]
+/// contract — the sequence of chosen cells and examples over a long
+/// session must be bit-identical to a twin session that rescores every
+/// index point from scratch each iteration. Retraining only every third
+/// label lets labels accrue between retrains, exercising the
+/// training-length watermark rather than the trivial
+/// one-label-per-retrain case.
+mod incremental_vs_full {
+    use super::*;
+    use proptest::TestCaseError;
+    use std::sync::Arc;
+    use uei_explore::backend::{ExplorationBackend, UeiBackend};
+    use uei_explore::synth::generate_sdss_like;
+    use uei_index::config::UeiConfig;
+    use uei_learn::committee::Committee;
+    use uei_learn::dataset::LabeledSet;
+    use uei_learn::strategy::UncertaintyMeasure;
+    use uei_learn::{Classifier, EstimatorKind};
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::{ColumnStore, StoreConfig};
+    use uei_types::Label;
+
+    const ITERATIONS: usize = 32;
+
+    fn teacher(p: &DataPoint) -> Label {
+        // Arbitrary but consistent: ra < 180 is positive — splits SDSS-like
+        // data roughly in half, so every estimator trains cleanly.
+        Label::from_bool(p.values[2] < 180.0)
+    }
+
+    type Trainer = Box<dyn Fn(&[(Vec<f64>, Label)]) -> Box<dyn Classifier>>;
+
+    fn trainers() -> Vec<(&'static str, bool, Trainer)> {
+        // (name, expects kNN-family locality pruning, trainer)
+        vec![
+            ("dwknn", true, Box::new(|ex: &[_]| EstimatorKind::Dwknn { k: 3 }.train(ex).unwrap())),
+            ("knn", true, Box::new(|ex: &[_]| EstimatorKind::Knn { k: 3 }.train(ex).unwrap())),
+            (
+                "naive-bayes",
+                false,
+                Box::new(|ex: &[_]| EstimatorKind::NaiveBayes.train(ex).unwrap()),
+            ),
+            (
+                "linear-svm",
+                false,
+                Box::new(|ex: &[_]| {
+                    EstimatorKind::LinearSvm { epochs: 30, lambda: 0.01 }.train(ex).unwrap()
+                }),
+            ),
+            (
+                "committee",
+                false,
+                Box::new(|ex: &[_]| {
+                    Box::new(Committee::train(EstimatorKind::Dwknn { k: 3 }, 3, ex, 7).unwrap())
+                }),
+            ),
+        ]
+    }
+
+    pub(super) fn check(seed: u64) -> Result<(), TestCaseError> {
+        let rows = generate_sdss_like(&SynthConfig { rows: 2000, seed, ..Default::default() });
+        let dir = std::env::temp_dir().join(format!(
+            "uei-prop-rescore-{seed}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let store = Arc::new(
+            ColumnStore::create(
+                &dir,
+                Schema::sdss(),
+                &rows,
+                StoreConfig { chunk_target_bytes: 8192 },
+                tracker,
+            )
+            .unwrap(),
+        );
+
+        for (name, prunes, train) in &trainers() {
+            let mk_backend = |incremental: bool| {
+                let mut rng = Rng::new(seed ^ 0xA5);
+                UeiBackend::new(
+                    store.clone(),
+                    UeiConfig {
+                        cells_per_dim: 3,
+                        incremental_rescore: incremental,
+                        ..UeiConfig::default()
+                    },
+                    UncertaintyMeasure::LeastConfidence,
+                    250,
+                    &mut rng,
+                )
+                .unwrap()
+            };
+            let mut inc = mk_backend(true);
+            let mut full = mk_backend(false);
+
+            // Teacher-labeled bootstrap: the first three rows of each class.
+            let mut labeled = LabeledSet::new();
+            let (mut pos, mut neg) = (0usize, 0usize);
+            for p in &rows {
+                if pos >= 3 && neg >= 3 {
+                    break;
+                }
+                let label = teacher(p);
+                let quota = if label.is_positive() { &mut pos } else { &mut neg };
+                if *quota >= 3 {
+                    continue;
+                }
+                *quota += 1;
+                labeled.add(p.clone(), label).unwrap();
+                inc.mark_labeled(p.id);
+                full.mark_labeled(p.id);
+            }
+
+            let mut model = train(&labeled.training_data());
+            for it in 0..ITERATIONS {
+                if it % 3 == 0 {
+                    model = train(&labeled.training_data());
+                }
+                let (pa, ia) = inc
+                    .select_next(model.as_ref(), &labeled)
+                    .unwrap()
+                    .expect("incremental pool non-empty");
+                let (pb, ib) = full
+                    .select_next(model.as_ref(), &labeled)
+                    .unwrap()
+                    .expect("full pool non-empty");
+                prop_assert_eq!(
+                    ia.cell,
+                    ib.cell,
+                    "{}: iteration {} chose different cells",
+                    name,
+                    it
+                );
+                prop_assert_eq!(
+                    pa.id,
+                    pb.id,
+                    "{}: iteration {} chose different examples",
+                    name,
+                    it
+                );
+                prop_assert_eq!(
+                    ib.points_cached,
+                    0,
+                    "{}: full mode must never serve cached scores",
+                    name
+                );
+                let label = teacher(&pa);
+                labeled.add(pa.clone(), label).unwrap();
+                inc.mark_labeled(pa.id);
+                full.mark_labeled(pb.id);
+            }
+
+            let counters = inc.index().rescore_counters();
+            if *prunes {
+                prop_assert!(
+                    counters.points_cached > 0,
+                    "{}: a kNN-family session must actually prune (counters {:?})",
+                    name,
+                    counters
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+}
+
+proptest! {
+    // Real storage + five estimators per case: keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn incremental_rescoring_selects_identical_cells_for_every_estimator(seed in 0u64..1_000) {
+        incremental_vs_full::check(seed)?;
+    }
+}
+
 /// Session determinism over random seeds, with real storage; kept as one
 /// deterministic case per run to stay fast.
 #[test]

@@ -78,6 +78,25 @@ pub struct UeiConfig {
     /// taken only when every better-ranked cell failed with a storage
     /// fault.
     pub fallback_candidates: usize,
+    /// Incremental index-point rescoring: consult the model's
+    /// [`uei_learn::ModelDelta`] each iteration and rescore only the index
+    /// points whose score may have changed (for kNN-family models, those
+    /// inside the influence balls of the newly labeled examples), keeping
+    /// every other cached score verbatim. Scores — and therefore region
+    /// selection — are bit-identical to a full rescore; the win is skipped
+    /// work. Models with global updates (NB, SVM, committees) fall back to
+    /// full rescoring automatically. Requires `parallel` (the batch path);
+    /// ignored when `parallel` is off.
+    pub incremental_rescore: bool,
+    /// Safety margin on the kNN influence radii used for incremental
+    /// rescoring: each radius is inflated by `(1 + rescore_margin)` before
+    /// the dirty test. Any non-negative margin preserves soundness (it can
+    /// only mark *more* points dirty); the default 0 is already exact.
+    pub rescore_margin: f64,
+    /// Force a full (tracked) rescore after this many consecutive
+    /// incremental passes — a belt-and-braces staleness bound for long
+    /// sessions. Must be ≥ 1; 1 disables incremental reuse entirely.
+    pub full_rescore_every: usize,
 }
 
 impl Default for UeiConfig {
@@ -95,6 +114,9 @@ impl Default for UeiConfig {
             parallel: true,
             retry: RetryPolicy::default(),
             fallback_candidates: 4,
+            incremental_rescore: true,
+            rescore_margin: 0.0,
+            full_rescore_every: 50,
         }
     }
 }
@@ -130,6 +152,12 @@ impl UeiConfig {
         }
         if self.fallback_candidates == 0 {
             return Err(UeiError::invalid_config("fallback_candidates must be >= 1"));
+        }
+        if !(self.rescore_margin >= 0.0) || !self.rescore_margin.is_finite() {
+            return Err(UeiError::invalid_config("rescore_margin must be finite and >= 0"));
+        }
+        if self.full_rescore_every == 0 {
+            return Err(UeiError::invalid_config("full_rescore_every must be >= 1"));
         }
         self.retry.validate()?;
         Ok(())
@@ -169,6 +197,18 @@ mod tests {
         assert!(c.validate(5).is_err());
 
         let c = UeiConfig { fallback_candidates: 0, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig { rescore_margin: -0.1, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig { rescore_margin: f64::NAN, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig { rescore_margin: f64::INFINITY, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig { full_rescore_every: 0, ..UeiConfig::default() };
         assert!(c.validate(5).is_err());
 
         let c = UeiConfig {

@@ -48,6 +48,6 @@ pub use engine::EngineCore;
 pub use grid::{CellId, Grid};
 pub use loader::{LoadStats, RegionLoader};
 pub use mapping::ChunkMapping;
-pub use points::IndexPoints;
-pub use prefetch::Prefetcher;
+pub use points::{IndexPoints, RescoreStats};
+pub use prefetch::{Ewma, Prefetcher};
 pub use uei::{DegradeCounters, RegionLoad, UeiIndex};

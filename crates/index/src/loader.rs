@@ -21,6 +21,7 @@ use uei_types::{DataPoint, Result};
 
 use crate::grid::{CellId, Grid};
 use crate::mapping::ChunkMapping;
+use crate::prefetch::Ewma;
 
 /// Measurements from one region load.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +58,10 @@ pub struct RegionLoader {
     delta: bool,
     prev: Option<RegionChunkSet>,
     load_times: Welford,
+    /// Exponentially weighted τ: what the horizon θ = ⌈τ/σ⌉ actually uses,
+    /// so warm-cache steady state is not dragged by cold-start loads. The
+    /// Welford mean above stays as the all-time diagnostic.
+    recent_load: Ewma,
     retry: RetryPolicy,
     total_retries: u64,
 }
@@ -82,6 +87,7 @@ impl RegionLoader {
             delta: false,
             prev: None,
             load_times: Welford::new(),
+            recent_load: Ewma::default(),
             retry: RetryPolicy::default(),
             total_retries: 0,
         }
@@ -100,6 +106,7 @@ impl RegionLoader {
             delta,
             prev: None,
             load_times: Welford::new(),
+            recent_load: Ewma::default(),
             retry: RetryPolicy::default(),
             total_retries: 0,
         }
@@ -120,6 +127,7 @@ impl RegionLoader {
             delta,
             prev: None,
             load_times: Welford::new(),
+            recent_load: Ewma::default(),
             retry: RetryPolicy::default(),
             total_retries: 0,
         }
@@ -180,9 +188,18 @@ impl RegionLoader {
         }
     }
 
-    /// Average region load time τ (virtual seconds), used for θ = ⌈τ/σ⌉.
+    /// All-time average region load time (virtual seconds) — a diagnostic;
+    /// θ derivation uses [`Self::recent_load_secs`].
     pub fn average_load_secs(&self) -> f64 {
         self.load_times.mean()
+    }
+
+    /// Exponentially weighted recent region load time τ (virtual seconds),
+    /// used for θ = ⌈τ/σ⌉ and swap deferral. Unlike the plain average it
+    /// adapts to cache warm-up: a few warm loads pull it down even after an
+    /// expensive cold start.
+    pub fn recent_load_secs(&self) -> f64 {
+        self.recent_load.value()
     }
 
     /// Number of loads performed.
@@ -241,6 +258,7 @@ impl RegionLoader {
         let virtual_time = self.source.tracker().delta(&io_before).virtual_elapsed;
         let wall_time = wall_start.elapsed();
         self.load_times.push(virtual_time.as_secs_f64());
+        self.recent_load.push(virtual_time.as_secs_f64());
         let stats = LoadStats { merge, virtual_time, wall_time, rows: rows.len(), retries };
         Ok((rows, stats))
     }
@@ -331,6 +349,26 @@ mod tests {
         }
         assert_eq!(loader.loads(), 3);
         assert!(loader.average_load_secs() > 0.0, "NVMe-modeled loads take time");
+    }
+
+    #[test]
+    fn recent_load_time_adapts_to_cache_warmup() {
+        let (store, _, _dir) = build("ewmatau", 1000);
+        let grid = Grid::new(store.schema(), 3).unwrap();
+        let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
+        let mut loader = RegionLoader::new(src(&store), 256 << 20);
+        loader.load_cell(&grid, &mapping, 4).unwrap(); // cold: pays I/O
+        let cold = loader.recent_load_secs();
+        assert!(cold > 0.0, "cold load has modeled cost");
+        assert_eq!(cold, loader.average_load_secs(), "single sample: estimators agree");
+        // Warm reloads are free (cache hits, zero virtual time): the EWMA
+        // sheds the cold start geometrically while the all-time mean keeps
+        // a full share of it.
+        for _ in 0..10 {
+            loader.load_cell(&grid, &mapping, 4).unwrap();
+        }
+        assert!(loader.recent_load_secs() < cold * 0.1, "EWMA forgets the cold start");
+        assert!(loader.recent_load_secs() < loader.average_load_secs());
     }
 
     #[test]

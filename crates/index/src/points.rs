@@ -7,18 +7,65 @@
 //! chosen" (§3.2, Eq. 3).
 
 use uei_learn::strategy::UncertaintyMeasure;
-use uei_learn::Classifier;
+use uei_learn::{Classifier, ModelDelta};
 use uei_types::{Result, UeiError};
 
 use crate::grid::{CellId, Grid};
 
+/// Work accounting of one rescoring pass: how many index points were
+/// actually pushed through the model versus served from the score cache.
+///
+/// The counters are plain sums, so the same type doubles as a cumulative
+/// tally (see [`Self::since`] for window deltas).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RescoreStats {
+    /// Points scored through the model this pass (dirty or full).
+    pub points_rescored: u64,
+    /// Points whose cached score was provably still valid and kept.
+    pub points_cached: u64,
+}
+
+impl RescoreStats {
+    /// Adds another pass's counts into this tally.
+    pub fn accumulate(&mut self, other: RescoreStats) {
+        self.points_rescored += other.points_rescored;
+        self.points_cached += other.points_cached;
+    }
+
+    /// The counter deltas accumulated since `earlier` (saturating, so a
+    /// stale snapshot cannot underflow).
+    pub fn since(&self, earlier: &RescoreStats) -> RescoreStats {
+        RescoreStats {
+            points_rescored: self.points_rescored.saturating_sub(earlier.points_rescored),
+            points_cached: self.points_cached.saturating_sub(earlier.points_cached),
+        }
+    }
+}
+
 /// The index set `P`: one symbolic point (cell center) per grid cell, with
 /// the current uncertainty estimate of each.
+///
+/// The uncertainty vector doubles as a **score cache**: each full tracked
+/// rescore also captures per-point influence radii, and subsequent
+/// [`Self::update_incremental`] passes consult the model's
+/// [`ModelDelta`] to rescore only the points whose score may have changed,
+/// keeping every other score verbatim. `model_version` tags the cache with
+/// the (monotonically increasing) generation of the model that produced
+/// it.
 #[derive(Debug, Clone)]
 pub struct IndexPoints {
     centers: Vec<Vec<f64>>,
     uncertainty: Vec<f64>,
     updated: bool,
+    /// Squared influence radii from the last tracked rescore; `None` when
+    /// the last pass was untracked or the model does not report radii.
+    radii2: Option<Vec<f64>>,
+    /// Generation counter of the cached scores: bumped on every rescoring
+    /// pass, of any kind.
+    model_version: u64,
+    /// Incremental passes since the last full rescore — drives the
+    /// periodic-full-rescore staleness bound.
+    incremental_passes: usize,
 }
 
 impl IndexPoints {
@@ -29,7 +76,14 @@ impl IndexPoints {
             centers.push(grid.cell_center(id)?);
         }
         let n = centers.len();
-        Ok(IndexPoints { centers, uncertainty: vec![0.0; n], updated: false })
+        Ok(IndexPoints {
+            centers,
+            uncertainty: vec![0.0; n],
+            updated: false,
+            radii2: None,
+            model_version: 0,
+            incremental_passes: 0,
+        })
     }
 
     /// Number of index points (`|P|`).
@@ -68,7 +122,7 @@ impl IndexPoints {
     pub fn update(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
         let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
         self.uncertainty = measure.score_points(model, &refs);
-        self.updated = true;
+        self.finish_full_pass(None);
     }
 
     /// The pre-batching scoring loop: one independent `predict_proba` call
@@ -78,7 +132,120 @@ impl IndexPoints {
         for (i, center) in self.centers.iter().enumerate() {
             self.uncertainty[i] = measure.score(model.predict_proba(center));
         }
+        self.finish_full_pass(None);
+    }
+
+    /// Full rescore through the tracked batch path: same bit-identical
+    /// scores as [`Self::update`], but also captures each point's influence
+    /// radius so the next [`Self::update_incremental`] pass can prune.
+    pub fn update_tracked(
+        &mut self,
+        model: &dyn Classifier,
+        measure: UncertaintyMeasure,
+    ) -> RescoreStats {
+        let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+        let scored = model.predict_proba_batch_tracked(&refs);
+        self.uncertainty = scored.probs;
+        for u in &mut self.uncertainty {
+            *u = measure.score(*u);
+        }
+        self.finish_full_pass(scored.radii2);
+        RescoreStats { points_rescored: self.centers.len() as u64, points_cached: 0 }
+    }
+
+    /// Rescores only the points the model reports as possibly changed by
+    /// the `added` training examples; every other score (and influence
+    /// radius — a clean point's neighbour set is unchanged, so its radius
+    /// is still exact) is kept verbatim from the cache.
+    ///
+    /// Scores are **bit-identical** to a full rescore: the delta contract
+    /// guarantees clean points would reproduce their cached value, and the
+    /// batch path is element-wise independent, so scoring the dirty subset
+    /// equals scoring those points inside a full batch. `margin ≥ 0`
+    /// inflates the influence radii (more dirty points, never fewer);
+    /// `full_every` forces a full tracked rescore after that many
+    /// consecutive incremental passes, bounding drift in long sessions.
+    /// Falls back to a full tracked rescore whenever the cache is cold, the
+    /// model reports a global delta, or the delta is malformed.
+    ///
+    /// Debug builds cross-check the result against a from-scratch full
+    /// rescore and assert bit equality.
+    pub fn update_incremental(
+        &mut self,
+        model: &dyn Classifier,
+        measure: UncertaintyMeasure,
+        added: &[&[f64]],
+        margin: f64,
+        full_every: usize,
+    ) -> RescoreStats {
+        let full_due = full_every > 0 && self.incremental_passes + 1 >= full_every;
+        let stats = if !self.updated || full_due || self.radii2.is_none() {
+            self.update_tracked(model, measure)
+        } else {
+            let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+            let radii2 = self.radii2.as_ref().expect("checked above");
+            match model.model_delta(&refs, radii2, added, margin) {
+                ModelDelta::Dirty(mask) if mask.len() == refs.len() => {
+                    let dirty: Vec<usize> = (0..refs.len()).filter(|&i| mask[i]).collect();
+                    let dirty_refs: Vec<&[f64]> = dirty.iter().map(|&i| refs[i]).collect();
+                    let scored = model.predict_proba_batch_tracked(&dirty_refs);
+                    for (j, &i) in dirty.iter().enumerate() {
+                        self.uncertainty[i] = measure.score(scored.probs[j]);
+                    }
+                    match (self.radii2.as_mut(), scored.radii2) {
+                        (Some(cached), Some(fresh)) => {
+                            for (j, &i) in dirty.iter().enumerate() {
+                                cached[i] = fresh[j];
+                            }
+                        }
+                        // The model stopped reporting radii mid-flight:
+                        // drop the cache so the next pass goes full.
+                        _ => self.radii2 = None,
+                    }
+                    self.model_version += 1;
+                    self.incremental_passes += 1;
+                    RescoreStats {
+                        points_rescored: dirty.len() as u64,
+                        points_cached: (refs.len() - dirty.len()) as u64,
+                    }
+                }
+                // Global delta, or a mask of the wrong length: full rescore.
+                _ => self.update_tracked(model, measure),
+            }
+        };
+        #[cfg(debug_assertions)]
+        self.debug_cross_check(model, measure);
+        stats
+    }
+
+    /// Bookkeeping shared by all full-rescore variants.
+    fn finish_full_pass(&mut self, radii2: Option<Vec<f64>>) {
         self.updated = true;
+        self.radii2 = radii2;
+        self.model_version += 1;
+        self.incremental_passes = 0;
+    }
+
+    /// Generation counter of the cached scores: increases by one on every
+    /// rescoring pass (full or incremental), never decreases.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Asserts that the cached scores equal a from-scratch full rescore,
+    /// bit for bit. Debug builds run this after every incremental pass.
+    #[cfg(debug_assertions)]
+    fn debug_cross_check(&self, model: &dyn Classifier, measure: UncertaintyMeasure) {
+        let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+        let full = measure.score_points(model, &refs);
+        for (i, (got, want)) in self.uncertainty.iter().zip(&full).enumerate() {
+            debug_assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "incremental rescore diverged at point {i} (model version \
+                 {}): cached {got:?} vs full {want:?}",
+                self.model_version,
+            );
+        }
     }
 
     /// The most uncertain index point `p*` (Eq. 3); ties break toward the
@@ -243,6 +410,112 @@ mod tests {
         assert_eq!(ranked[6..], nan_cells[..]);
         // The winner is a real-scored cell.
         assert!(!points.uncertainty(points.most_uncertain().unwrap()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn incremental_rescore_is_bit_identical_and_skips_work() {
+        use uei_learn::Dwknn;
+        use uei_types::Label;
+        // Training points spread across the 0..3 domain so every index
+        // point has a saturated (finite-radius) neighbourhood.
+        let mut examples = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                let p = vec![x as f64 * 0.8 + 0.2, y as f64 * 0.8 + 0.2];
+                examples.push((p, Label::from_bool((x + y) % 2 == 0)));
+            }
+        }
+        let grid = grid3();
+        let model_a = Dwknn::fit(3, &examples).unwrap();
+        let mut inc = IndexPoints::from_grid(&grid).unwrap();
+        inc.update_tracked(&model_a, UncertaintyMeasure::LeastConfidence);
+        let v0 = inc.model_version();
+
+        // One new label near the (0, 0) corner: far cells must stay clean.
+        let new_point = vec![0.1, 0.1];
+        let mut extended = examples.clone();
+        extended.push((new_point.clone(), Label::Positive));
+        let model_b = Dwknn::fit(3, &extended).unwrap();
+        let added_refs: Vec<&[f64]> = vec![new_point.as_slice()];
+        let stats = inc.update_incremental(
+            &model_b,
+            UncertaintyMeasure::LeastConfidence,
+            &added_refs,
+            0.0,
+            0,
+        );
+
+        let mut full = IndexPoints::from_grid(&grid).unwrap();
+        full.update(&model_b, UncertaintyMeasure::LeastConfidence);
+        for id in 0..9 {
+            assert_eq!(
+                inc.uncertainty(id).unwrap().to_bits(),
+                full.uncertainty(id).unwrap().to_bits(),
+                "cell {id}"
+            );
+        }
+        assert_eq!(inc.ranked_top(9).unwrap(), full.ranked_top(9).unwrap());
+        assert_eq!(stats.points_rescored + stats.points_cached, 9);
+        assert!(stats.points_cached > 0, "a corner insertion must leave far cells cached");
+        assert!(inc.model_version() > v0, "every pass bumps the version");
+    }
+
+    #[test]
+    fn cold_cache_and_global_deltas_rescore_fully() {
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        // Cold cache: nothing to prune against.
+        let stats = points.update_incremental(
+            &BoundaryAtX(1.5),
+            UncertaintyMeasure::LeastConfidence,
+            &[],
+            0.0,
+            0,
+        );
+        assert_eq!(stats, RescoreStats { points_rescored: 9, points_cached: 0 });
+        // BoundaryAtX uses the default (Global) delta: full again, even
+        // though no examples were added.
+        let stats = points.update_incremental(
+            &BoundaryAtX(1.5),
+            UncertaintyMeasure::LeastConfidence,
+            &[],
+            0.0,
+            0,
+        );
+        assert_eq!(stats, RescoreStats { points_rescored: 9, points_cached: 0 });
+    }
+
+    #[test]
+    fn periodic_full_rescore_bounds_staleness() {
+        use uei_learn::Dwknn;
+        use uei_types::Label;
+        let mut examples = Vec::new();
+        for i in 0..8 {
+            let p = vec![i as f64 * 0.4, 3.0 - i as f64 * 0.4];
+            examples.push((p, Label::from_bool(i % 2 == 0)));
+        }
+        let model = Dwknn::fit(3, &examples).unwrap();
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        points.update_tracked(&model, UncertaintyMeasure::LeastConfidence);
+        // No added examples: the first incremental pass keeps everything…
+        let stats =
+            points.update_incremental(&model, UncertaintyMeasure::LeastConfidence, &[], 0.0, 2);
+        assert_eq!(stats, RescoreStats { points_rescored: 0, points_cached: 9 });
+        // …and the second hits the full_every = 2 staleness bound.
+        let stats =
+            points.update_incremental(&model, UncertaintyMeasure::LeastConfidence, &[], 0.0, 2);
+        assert_eq!(stats, RescoreStats { points_rescored: 9, points_cached: 0 });
+    }
+
+    #[test]
+    fn rescore_stats_windows() {
+        let mut total = RescoreStats::default();
+        total.accumulate(RescoreStats { points_rescored: 5, points_cached: 4 });
+        let snapshot = total;
+        total.accumulate(RescoreStats { points_rescored: 2, points_cached: 7 });
+        assert_eq!(total.since(&snapshot), RescoreStats { points_rescored: 2, points_cached: 7 });
+        assert_eq!(snapshot.since(&total), RescoreStats::default(), "saturates, never underflows");
     }
 
     #[test]

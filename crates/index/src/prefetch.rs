@@ -42,6 +42,69 @@ pub fn horizon(tau_secs: f64, sigma_secs: f64) -> usize {
     (tau_secs / sigma_secs).ceil().max(1.0) as usize
 }
 
+/// Smoothing factor of the τ estimator: each new load contributes 30%,
+/// so roughly the last ~6 loads dominate the estimate. High enough to
+/// shed cold-start loads within a handful of iterations, low enough that
+/// one outlier load does not whipsaw θ.
+pub const TAU_EWMA_ALPHA: f64 = 0.3;
+
+/// An exponentially weighted moving average.
+///
+/// The θ = ⌈τ/σ⌉ horizon wants the *current* region-load cost, but a plain
+/// running mean is dragged indefinitely by cold-start loads: once the
+/// chunk cache is warm (or delta reconstruction kicks in), real loads are
+/// far cheaper than the mean suggests, and θ stays pinned too high. The
+/// EWMA forgets old samples geometrically, so τ tracks the warmed-up
+/// steady state after a few loads.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    count: u64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; values
+    /// outside that range are clamped. `alpha = 1` degenerates to
+    /// "latest sample wins".
+    pub fn new(alpha: f64) -> Ewma {
+        let alpha = if alpha.is_finite() { alpha.clamp(f64::MIN_POSITIVE, 1.0) } else { 1.0 };
+        Ewma { alpha, value: 0.0, count: 0 }
+    }
+
+    /// Folds in one sample. The first sample initializes the average
+    /// directly (no bias toward zero).
+    pub fn push(&mut self, sample: f64) {
+        self.count += 1;
+        if self.count == 1 {
+            self.value = sample;
+        } else {
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value;
+        }
+    }
+
+    /// The current average, or 0 before any sample.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.value
+        }
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Default for Ewma {
+    /// The τ-estimator configuration: [`TAU_EWMA_ALPHA`].
+    fn default() -> Ewma {
+        Ewma::new(TAU_EWMA_ALPHA)
+    }
+}
+
 enum Request {
     Load(CellId),
     Shutdown,
@@ -321,6 +384,43 @@ mod tests {
         assert_eq!(horizon(1.3, 0.5), 3);
         assert_eq!(horizon(0.0, 0.5), 1);
         assert_eq!(horizon(1.0, 0.0), 1);
+    }
+
+    #[test]
+    fn ewma_sheds_cold_start_loads() {
+        // Three expensive cold loads, then a warm steady state of 0.1 s.
+        // The plain mean stays dragged by the cold start; the EWMA
+        // converges onto the recent cost, so θ = ⌈τ/σ⌉ shrinks with it.
+        let mut ewma = Ewma::default();
+        let mut sum = 0.0;
+        let samples = [2.0, 2.0, 2.0, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
+        for s in samples {
+            ewma.push(s);
+            sum += s;
+        }
+        let mean = sum / samples.len() as f64;
+        assert_eq!(ewma.count(), samples.len() as u64);
+        assert!(ewma.value() < 0.3, "EWMA tracks the warm cost: {}", ewma.value());
+        assert!(mean > 0.6, "plain mean stays dragged: {mean}");
+        assert!(horizon(ewma.value(), 0.5) < horizon(mean, 0.5));
+    }
+
+    #[test]
+    fn ewma_edge_cases() {
+        assert_eq!(Ewma::default().value(), 0.0, "no samples yet");
+        // First sample initializes directly.
+        let mut e = Ewma::new(0.25);
+        e.push(4.0);
+        assert_eq!(e.value(), 4.0);
+        e.push(0.0);
+        assert_eq!(e.value(), 3.0, "0.25·0 + 0.75·4");
+        // α = 1 degenerates to latest-sample-wins; invalid α clamps there.
+        for alpha in [1.0, f64::NAN, 7.0] {
+            let mut e = Ewma::new(alpha);
+            e.push(5.0);
+            e.push(1.0);
+            assert_eq!(e.value(), 1.0, "alpha {alpha}");
+        }
     }
 
     #[test]

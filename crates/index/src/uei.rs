@@ -29,7 +29,7 @@ use crate::config::UeiConfig;
 use crate::grid::{CellId, Grid};
 use crate::loader::{LoadStats, RegionLoader};
 use crate::mapping::ChunkMapping;
-use crate::points::IndexPoints;
+use crate::points::{IndexPoints, RescoreStats};
 use crate::prefetch::{horizon, Prefetcher};
 
 /// How the region of one iteration was obtained.
@@ -117,6 +117,8 @@ pub struct UeiIndex {
     sigma_deadline_misses: u64,
     /// Iterations where every ranked candidate failed.
     failed_selections: u64,
+    /// Cumulative rescoring work (model-scored vs cache-served points).
+    rescore_stats: RescoreStats,
 }
 
 impl UeiIndex {
@@ -180,6 +182,7 @@ impl UeiIndex {
             fallback_cells: 0,
             sigma_deadline_misses: 0,
             failed_selections: 0,
+            rescore_stats: RescoreStats::default(),
         })
     }
 
@@ -219,6 +222,7 @@ impl UeiIndex {
             fallback_cells: 0,
             sigma_deadline_misses: 0,
             failed_selections: 0,
+            rescore_stats: RescoreStats::default(),
         }
     }
 
@@ -258,14 +262,53 @@ impl UeiIndex {
     /// than the model — the ranking that justified them is gone; keeping
     /// them would serve regions chosen by a stale boundary.
     pub fn update_uncertainty(&mut self, model: &dyn Classifier) {
-        if self.config.parallel {
-            self.points.update(model, self.measure);
-        } else {
+        let stats = if !self.config.parallel {
             self.points.update_sequential(model, self.measure);
-        }
+            RescoreStats { points_rescored: self.points.len() as u64, points_cached: 0 }
+        } else if self.config.incremental_rescore {
+            // Full pass, but through the tracked path so the influence
+            // radii are captured and the *next* incremental call can prune.
+            self.points.update_tracked(model, self.measure)
+        } else {
+            self.points.update(model, self.measure);
+            RescoreStats { points_rescored: self.points.len() as u64, points_cached: 0 }
+        };
+        self.rescore_stats.accumulate(stats);
         // Note: ready-but-untaken prefetches remain valid as *data* (cell
         // contents do not change), so they are kept; only their priority
         // was stale, and `select_and_load` re-ranks every iteration anyway.
+    }
+
+    /// [`UeiIndex::update_uncertainty`] with locality-pruned invalidation:
+    /// `added` are the raw-space training examples labeled since the last
+    /// rescoring pass, and only the index points inside their influence
+    /// balls (per the model's [`uei_learn::ModelDelta`]) are rescored — the
+    /// rest are served from the score cache. Selection is bit-identical to
+    /// a full rescore; see [`IndexPoints::update_incremental`].
+    ///
+    /// Falls back to the full paths of [`UeiIndex::update_uncertainty`]
+    /// when incremental rescoring (or the batch path) is disabled.
+    pub fn update_uncertainty_incremental(&mut self, model: &dyn Classifier, added: &[&[f64]]) {
+        if !self.config.parallel || !self.config.incremental_rescore {
+            self.update_uncertainty(model);
+            return;
+        }
+        let stats = self.points.update_incremental(
+            model,
+            self.measure,
+            added,
+            self.config.rescore_margin,
+            self.config.full_rescore_every,
+        );
+        self.rescore_stats.accumulate(stats);
+    }
+
+    /// Cumulative rescoring work counters: how many index points were
+    /// scored through the model versus served from the score cache, summed
+    /// over all rescoring passes. Snapshot before an iteration and
+    /// [`RescoreStats::since`] after it for per-iteration deltas.
+    pub fn rescore_counters(&self) -> RescoreStats {
+        self.rescore_stats
     }
 
     /// Picks the most uncertain cell and loads its subspace (Algorithm 2
@@ -291,7 +334,7 @@ impl UeiIndex {
             if let Some(last) = self.last_cell {
                 let would_swap = cell != last;
                 if would_swap && !self.prefetched_ready(cell) {
-                    let tau = self.loader.average_load_secs();
+                    let tau = self.loader.recent_load_secs();
                     if tau > self.config.latency_threshold_secs {
                         // Defer: the last-served region stays current; the
                         // caller already holds its rows, so no I/O at all.
@@ -398,7 +441,7 @@ impl UeiIndex {
         let Some(pre) = &self.prefetcher else {
             return Ok(());
         };
-        let tau = self.loader.average_load_secs();
+        let tau = self.loader.recent_load_secs();
         let theta = horizon(tau, self.config.latency_threshold_secs);
         // The likely next regions are the runners-up of the current
         // ranking (the boundary moves slowly between iterations).
@@ -411,9 +454,15 @@ impl UeiIndex {
         Ok(())
     }
 
-    /// Average region load time τ in virtual seconds.
+    /// All-time average region load time in virtual seconds (diagnostic).
     pub fn average_load_secs(&self) -> f64 {
         self.loader.average_load_secs()
+    }
+
+    /// Exponentially weighted recent region load time τ in virtual
+    /// seconds — what the prefetch horizon and swap deferral consult.
+    pub fn recent_load_secs(&self) -> f64 {
+        self.loader.recent_load_secs()
     }
 
     /// Chunk-cache statistics: of the shared cache when sharing is on
@@ -717,6 +766,51 @@ mod tests {
         index.update_uncertainty(&boundary_model(50.0));
         index.select_and_load().unwrap();
         assert!(index.degrade_counters().sigma_deadline_misses >= 1);
+    }
+
+    #[test]
+    fn incremental_rescoring_prunes_and_matches_full() {
+        use uei_learn::Dwknn;
+        use uei_types::Label;
+        let (store, _, _dir) = build_store("increscore", 1500);
+        let mut inc = UeiIndex::build(Arc::clone(&store), small_config()).unwrap();
+        let full_cfg =
+            UeiConfig { cells_per_dim: 4, incremental_rescore: false, ..UeiConfig::default() };
+        let mut full = UeiIndex::build(Arc::clone(&store), full_cfg).unwrap();
+
+        // Labeled examples spread across the whole 0..100 domain.
+        let mut examples: Vec<(Vec<f64>, Label)> = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                let p = vec![i as f64 * 20.0 + 10.0, j as f64 * 20.0 + 10.0];
+                examples.push((p, Label::from_bool((i + j) % 2 == 0)));
+            }
+        }
+        let mut last_added: Option<Vec<f64>> = None;
+        for step in 0..5 {
+            let model = Dwknn::fit(3, &examples).unwrap();
+            match &last_added {
+                None => inc.update_uncertainty(&model),
+                Some(p) => {
+                    let added: Vec<&[f64]> = vec![p.as_slice()];
+                    inc.update_uncertainty_incremental(&model, &added);
+                }
+            }
+            full.update_uncertainty(&model);
+            assert_eq!(
+                inc.points().ranked_top(16).unwrap(),
+                full.points().ranked_top(16).unwrap(),
+                "step {step}: incremental selection must be bit-identical"
+            );
+            // One new label near the middle of the domain each step.
+            let p = vec![48.0 + step as f64, 52.0 - step as f64];
+            examples.push((p.clone(), Label::from_bool(step % 2 == 0)));
+            last_added = Some(p);
+        }
+        let counters = inc.rescore_counters();
+        assert!(counters.points_cached > 0, "locality pruning served some points: {counters:?}");
+        assert_eq!(counters.points_rescored + counters.points_cached, 5 * 16);
+        assert_eq!(full.rescore_counters().points_cached, 0, "full mode never caches");
     }
 
     #[test]

@@ -22,11 +22,24 @@ use rayon::prelude::*;
 /// thread fan-out costs more than the scoring itself. The value is far
 /// below the paper's default grid (5⁵ = 3125 index points) so real
 /// rescoring passes parallelize, while per-cell pools often stay under it.
+///
+/// This is the *generic* cutoff, tuned for per-query work on the order of
+/// a kd-tree traversal. Cheap models (a handful of flops per query) raise
+/// their own cutoff via
+/// [`crate::model::Classifier::parallel_batch_threshold`], because for
+/// them the fork/join overhead dominates far past 256 queries — the
+/// scoring benchmark showed GaussianNB at 0.57× and LinearSVM at 0.26×
+/// the sequential loop when parallelized at 256 points.
 pub const PARALLEL_THRESHOLD: usize = 256;
 
 /// Whether a batch of `n` queries should be scored in parallel.
 pub fn should_parallelize(n: usize) -> bool {
-    n >= PARALLEL_THRESHOLD && rayon::current_num_threads() > 1
+    should_parallelize_at(n, PARALLEL_THRESHOLD)
+}
+
+/// [`should_parallelize`] against an explicit per-model work-size cutoff.
+pub fn should_parallelize_at(n: usize, threshold: usize) -> bool {
+    n >= threshold && rayon::current_num_threads() > 1
 }
 
 /// Maps `op` over `xs`, in parallel when the batch is large enough.
@@ -39,7 +52,19 @@ where
     R: Send,
     F: Fn(&[f64]) -> R + Send + Sync,
 {
-    if should_parallelize(xs.len()) {
+    map_batch_at(xs, PARALLEL_THRESHOLD, op)
+}
+
+/// [`map_batch`] with an explicit sequential-fallback threshold: the fan-out
+/// only engages for batches of at least `threshold` queries. Values are
+/// identical either way — the threshold trades thread overhead against
+/// per-query cost, never results.
+pub fn map_batch_at<R, F>(xs: &[&[f64]], threshold: usize, op: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&[f64]) -> R + Send + Sync,
+{
+    if should_parallelize_at(xs.len(), threshold) {
         xs.par_iter().map(|x| op(x)).collect()
     } else {
         xs.iter().map(|x| op(x)).collect()
@@ -60,7 +85,17 @@ where
     I: Fn() -> S + Send + Sync,
     F: Fn(&mut S, &[f64]) -> R + Send + Sync,
 {
-    if should_parallelize(xs.len()) {
+    map_batch_with_at(xs, PARALLEL_THRESHOLD, init, op)
+}
+
+/// [`map_batch_with`] with an explicit sequential-fallback threshold.
+pub fn map_batch_with_at<S, R, I, F>(xs: &[&[f64]], threshold: usize, init: I, op: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Send + Sync,
+    F: Fn(&mut S, &[f64]) -> R + Send + Sync,
+{
+    if should_parallelize_at(xs.len(), threshold) {
         let threads = rayon::current_num_threads();
         let chunk = xs.len().div_ceil(threads).max(1);
         let per_chunk: Vec<Vec<R>> = xs
@@ -110,5 +145,28 @@ mod tests {
     #[test]
     fn tiny_batches_stay_sequential() {
         assert!(!should_parallelize(PARALLEL_THRESHOLD - 1));
+    }
+
+    #[test]
+    fn per_model_threshold_gates_fanout() {
+        // A cheap model's raised cutoff keeps mid-size batches sequential
+        // where the generic cutoff would have forked.
+        assert!(!should_parallelize_at(1024, 8192));
+        assert!(!should_parallelize_at(8191, 8192));
+        // At or past its own cutoff the fan-out engages again (when a pool
+        // exists at all).
+        assert_eq!(should_parallelize_at(8192, 8192), rayon::current_num_threads() > 1);
+    }
+
+    #[test]
+    fn threshold_variants_match_defaults_elementwise() {
+        let data: Vec<Vec<f64>> = (0..700).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+        let default_path = map_batch(&refs, |x| x[0].sin());
+        for threshold in [1, 256, 701, usize::MAX] {
+            assert_eq!(map_batch_at(&refs, threshold, |x| x[0].sin()), default_path);
+            let with_scratch = map_batch_with_at(&refs, threshold, || 0.0f64, |_, x| x[0].sin());
+            assert_eq!(with_scratch, default_path);
+        }
     }
 }

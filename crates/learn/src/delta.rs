@@ -1,0 +1,203 @@
+//! The model-delta contract behind incremental index-point rescoring.
+//!
+//! The exploration loop retrains its model after every label, yet a label
+//! is one point: for the nearest-neighbour family (the paper's DWKNN,
+//! Table 1) the posterior of a query `q` can only change when the new
+//! training example *enters q's k-nearest-neighbour set*, i.e. when
+//!
+//! ```text
+//! dist(q, x_new) < r_k(q)
+//! ```
+//!
+//! where `r_k(q)` is the distance from `q` to its k-th nearest neighbour
+//! under the previous model. Everything farther away is provably
+//! untouched — its neighbour set, tie-breaks, and summation order are
+//! unchanged, so its posterior is *bit-identical*. A caller that caches
+//! each query's previous score plus its `r_k` radius can therefore rescore
+//! only the queries inside the influence ball of the newly added examples
+//! and keep every other score verbatim.
+//!
+//! Models whose updates are global (Naive Bayes class statistics, SVM
+//! weights, a committee of bootstrap resamples) cannot bound their change
+//! spatially; they report [`ModelDelta::Global`] — the conservative
+//! invalidate-all default — and the caller falls back to a full rescore.
+//!
+//! Two soundness details the kNN-family implementations rely on:
+//!
+//! - **Exact ties.** The kd-tree resolves equal distances toward the lower
+//!   build index, and retraining appends new examples *after* all previous
+//!   ones (the labeled set is append-only), so at exact distance equality
+//!   the new example always *loses* the tie. The strict `<` test above is
+//!   therefore exactly the "neighbour set changed" predicate, not an
+//!   approximation of it.
+//! - **Unsaturated neighbourhoods.** While fewer than `k` training
+//!   examples exist, every new example joins every query's neighbour set;
+//!   such queries carry an infinite radius and are always dirty.
+
+/// A scored batch with optional per-query influence radii.
+///
+/// Produced by
+/// [`Classifier::predict_proba_batch_tracked`](crate::model::Classifier::predict_proba_batch_tracked).
+/// `probs[i]` is bit-identical to `predict_proba(xs[i])`; `radii2`, when
+/// present, holds each query's *squared* k-th-neighbour distance in the
+/// model's own input space. Radii are opaque to callers: they are stored
+/// verbatim and handed back to
+/// [`Classifier::model_delta`](crate::model::Classifier::model_delta) on
+/// the next iteration, never interpreted.
+#[derive(Debug, Clone)]
+pub struct ScoredBatch {
+    /// Posterior probabilities, in input order.
+    pub probs: Vec<f64>,
+    /// Squared influence radii per query, when the model can bound its
+    /// updates spatially (`None` for globally updating models).
+    pub radii2: Option<Vec<f64>>,
+}
+
+/// Which cached scores a model update may have changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelDelta {
+    /// The update is (or must be assumed) global: every cached score may
+    /// have changed. The conservative default.
+    Global,
+    /// `dirty[i]` marks whether query `i`'s score may have changed; clean
+    /// entries are guaranteed bit-identical under the new model.
+    Dirty(Vec<bool>),
+}
+
+impl ModelDelta {
+    /// Number of dirty entries, or `points` for a global delta.
+    pub fn dirty_count(&self, points: usize) -> usize {
+        match self {
+            ModelDelta::Global => points,
+            ModelDelta::Dirty(mask) => mask.iter().filter(|&&d| d).count(),
+        }
+    }
+}
+
+/// Squared Euclidean distance over the shared prefix of two slices.
+/// Slices of equal length (the only case the delta computations feed it)
+/// get the true squared distance.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..a.len().min(b.len()) {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// The shared kNN-family delta: `dirty[i]` iff some added example falls
+/// strictly inside query `i`'s (margin-inflated) influence ball, or the
+/// query's radius is unknown/unbounded.
+///
+/// `margin ≥ 0` inflates every radius by `(1 + margin)` — a safety factor
+/// that can only *add* dirty points, never hide one, so any margin keeps
+/// the delta sound. Dimension disagreements between `points` and `added`
+/// degrade to [`ModelDelta::Global`] rather than guess.
+pub fn knn_influence_delta(
+    points: &[&[f64]],
+    radii2: &[f64],
+    added: &[&[f64]],
+    margin: f64,
+    parallel_threshold: usize,
+) -> ModelDelta {
+    if radii2.len() != points.len() || !(margin >= 0.0) || !margin.is_finite() {
+        return ModelDelta::Global;
+    }
+    let dims = points.first().map_or(0, |p| p.len());
+    if points.iter().chain(added).any(|p| p.len() != dims) {
+        return ModelDelta::Global;
+    }
+    let inflate = (1.0 + margin) * (1.0 + margin);
+    let compute = |i: usize| -> bool {
+        let r2 = radii2[i];
+        if !r2.is_finite() {
+            return true;
+        }
+        let bound = r2 * inflate;
+        added.iter().any(|a| dist2(points[i], a) < bound)
+    };
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let dirty: Vec<bool> = if crate::batch::should_parallelize_at(points.len(), parallel_threshold)
+    {
+        use rayon::prelude::*;
+        indices.par_iter().map(|&i| compute(i)).collect()
+    } else {
+        indices.iter().map(|&i| compute(i)).collect()
+    };
+    ModelDelta::Dirty(dirty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_matches_euclidean() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn delta_marks_only_points_inside_influence_balls() {
+        let points: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]];
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let radii2 = [4.0, 4.0, 150.0]; // last radius covers the new point
+        let added = [vec![1.0, 0.0]];
+        let added_refs: Vec<&[f64]> = added.iter().map(|p| p.as_slice()).collect();
+        let delta = knn_influence_delta(&refs, &radii2, &added_refs, 0.0, usize::MAX);
+        assert_eq!(delta, ModelDelta::Dirty(vec![true, false, true]));
+        assert_eq!(delta.dirty_count(3), 2);
+    }
+
+    #[test]
+    fn boundary_distance_is_clean_under_strict_comparison() {
+        // dist² == radius² exactly: the new example loses the kd-tree tie
+        // (it has the highest build index), so the point must stay clean.
+        let points: Vec<Vec<f64>> = vec![vec![0.0]];
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let added = [vec![2.0]];
+        let added_refs: Vec<&[f64]> = added.iter().map(|p| p.as_slice()).collect();
+        let delta = knn_influence_delta(&refs, &[4.0], &added_refs, 0.0, usize::MAX);
+        assert_eq!(delta, ModelDelta::Dirty(vec![false]));
+        // A margin inflates the ball and flips it dirty — margins only add.
+        let delta = knn_influence_delta(&refs, &[4.0], &added_refs, 0.1, usize::MAX);
+        assert_eq!(delta, ModelDelta::Dirty(vec![true]));
+    }
+
+    #[test]
+    fn infinite_radius_is_always_dirty() {
+        let points: Vec<Vec<f64>> = vec![vec![0.0]];
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let added = [vec![1e9]];
+        let added_refs: Vec<&[f64]> = added.iter().map(|p| p.as_slice()).collect();
+        let delta = knn_influence_delta(&refs, &[f64::INFINITY], &added_refs, 0.0, usize::MAX);
+        assert_eq!(delta, ModelDelta::Dirty(vec![true]));
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_global() {
+        let points: Vec<Vec<f64>> = vec![vec![0.0, 0.0]];
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let ragged = [vec![1.0]];
+        let ragged_refs: Vec<&[f64]> = ragged.iter().map(|p| p.as_slice()).collect();
+        // Radii length mismatch.
+        assert_eq!(knn_influence_delta(&refs, &[], &ragged_refs, 0.0, 256), ModelDelta::Global);
+        // Added point of the wrong dimensionality.
+        assert_eq!(knn_influence_delta(&refs, &[1.0], &ragged_refs, 0.0, 256), ModelDelta::Global);
+        // Invalid margins.
+        let ok = [vec![1.0, 1.0]];
+        let ok_refs: Vec<&[f64]> = ok.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(knn_influence_delta(&refs, &[1.0], &ok_refs, -0.5, 256), ModelDelta::Global);
+        assert_eq!(knn_influence_delta(&refs, &[1.0], &ok_refs, f64::NAN, 256), ModelDelta::Global);
+    }
+
+    #[test]
+    fn no_added_points_means_all_clean() {
+        let points: Vec<Vec<f64>> = vec![vec![0.0], vec![5.0]];
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let delta = knn_influence_delta(&refs, &[1.0, 1.0], &[], 0.0, 256);
+        assert_eq!(delta, ModelDelta::Dirty(vec![false, false]));
+    }
+}

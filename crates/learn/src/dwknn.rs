@@ -17,6 +17,7 @@
 
 use uei_types::{Label, Result, UeiError};
 
+use crate::delta::{knn_influence_delta, ModelDelta, ScoredBatch};
 use crate::kdtree::{KdTree, NearestScratch};
 use crate::model::{check_two_classes, Classifier};
 
@@ -113,13 +114,28 @@ impl Dwknn {
     /// The posterior computation, parameterized over reusable scratch so
     /// both the scalar and batch paths run the exact same code.
     fn proba_with(&self, scratch: &mut DwknnScratch, x: &[f64]) -> f64 {
+        self.proba_radius_with(scratch, x).0
+    }
+
+    /// The posterior plus the query's squared influence radius — the
+    /// distance to its k-th nearest neighbour, straight off the same tree
+    /// traversal that scored it. The radius is infinite when the
+    /// neighbourhood is unsaturated (fewer than `k` training examples) or
+    /// the query could not be answered, i.e. whenever *any* future
+    /// training example could change the score.
+    fn proba_radius_with(&self, scratch: &mut DwknnScratch, x: &[f64]) -> (f64, f64) {
         let neighbors = match self.tree.nearest_with(&mut scratch.nearest, x, self.k) {
             Ok(n) => n,
-            Err(_) => return 0.5, // dimension mismatch: maximally uncertain
+            Err(_) => return (0.5, f64::INFINITY), // dimension mismatch
         };
         if neighbors.is_empty() {
-            return 0.5;
+            return (0.5, f64::INFINITY);
         }
+        let radius2 = if neighbors.len() == self.k {
+            neighbors[neighbors.len() - 1].0 // already squared
+        } else {
+            f64::INFINITY
+        };
         // kd-tree returns squared distances; DWKNN weights use true distances.
         scratch.distances.clear();
         scratch.distances.extend(neighbors.iter().map(|(d2, _)| d2.sqrt()));
@@ -137,9 +153,9 @@ impl Dwknn {
             // only happens when every weight degenerated to 0); fall back
             // to an unweighted vote.
             let votes = neighbors.iter().filter(|(_, i)| self.labels[*i].is_positive()).count();
-            return votes as f64 / neighbors.len() as f64;
+            return (votes as f64 / neighbors.len() as f64, radius2);
         }
-        pos / total
+        (pos / total, radius2)
     }
 }
 
@@ -150,6 +166,33 @@ impl Classifier for Dwknn {
 
     fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
         crate::batch::map_batch_with(xs, DwknnScratch::default, |s, x| self.proba_with(s, x))
+    }
+
+    fn predict_proba_batch_tracked(&self, xs: &[&[f64]]) -> ScoredBatch {
+        let pairs = crate::batch::map_batch_with(xs, DwknnScratch::default, |s, x| {
+            self.proba_radius_with(s, x)
+        });
+        let mut probs = Vec::with_capacity(pairs.len());
+        let mut radii2 = Vec::with_capacity(pairs.len());
+        for (p, r2) in pairs {
+            probs.push(p);
+            radii2.push(r2);
+        }
+        ScoredBatch { probs, radii2: Some(radii2) }
+    }
+
+    fn model_delta(
+        &self,
+        points: &[&[f64]],
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        knn_influence_delta(points, radii2, added, margin, self.parallel_batch_threshold())
+    }
+
+    fn training_len(&self) -> Option<usize> {
+        Some(self.labels.len())
     }
 
     fn dims(&self) -> usize {
@@ -263,5 +306,74 @@ mod tests {
         assert_eq!(model.k(), 3);
         assert_eq!(model.num_examples(), 16);
         assert_eq!(model.dims(), 2);
+    }
+
+    #[test]
+    fn tracked_batch_matches_plain_and_reports_radii() {
+        let model = Dwknn::fit(3, &cluster_examples()).unwrap();
+        let queries: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![-2.0, 0.5]];
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let plain = model.predict_proba_batch(&refs);
+        let tracked = model.predict_proba_batch_tracked(&refs);
+        for (a, b) in plain.iter().zip(&tracked.probs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let radii2 = tracked.radii2.expect("kNN-family models report radii");
+        // 16 training examples ≥ k = 3: every neighbourhood is saturated.
+        assert!(radii2.iter().all(|r| r.is_finite() && *r > 0.0), "{radii2:?}");
+    }
+
+    #[test]
+    fn unsaturated_neighbourhood_has_infinite_radius() {
+        let small = vec![(vec![0.0, 0.0], Label::Negative), (vec![1.0, 1.0], Label::Positive)];
+        let model = Dwknn::fit(5, &small).unwrap();
+        let q = [0.5, 0.5];
+        let qs: Vec<&[f64]> = vec![&q];
+        let tracked = model.predict_proba_batch_tracked(&qs);
+        assert!(
+            tracked.radii2.unwrap()[0].is_infinite(),
+            "fewer than k examples: any added point changes the neighbourhood"
+        );
+    }
+
+    #[test]
+    fn clean_points_score_bit_identically_after_append() {
+        // The delta soundness contract end to end: score a query grid and
+        // capture radii under model A; append one training example (the
+        // labeled set is append-only, so B extends A); every point B
+        // reports clean must produce a bit-identical posterior.
+        let examples = cluster_examples();
+        let a = Dwknn::fit(3, &examples).unwrap();
+        let grid: Vec<Vec<f64>> = (0..20)
+            .flat_map(|i| (0..20).map(move |j| vec![i as f64 * 0.2 - 2.0, j as f64 * 0.2 - 2.0]))
+            .collect();
+        let refs: Vec<&[f64]> = grid.iter().map(|p| p.as_slice()).collect();
+        let before = a.predict_proba_batch_tracked(&refs);
+        let radii2 = before.radii2.unwrap();
+
+        let new_point = vec![0.3, -0.2];
+        let mut extended = examples.clone();
+        extended.push((new_point.clone(), Label::Positive));
+        let b = Dwknn::fit(3, &extended).unwrap();
+
+        let added_refs: Vec<&[f64]> = vec![new_point.as_slice()];
+        let delta = b.model_delta(&refs, &radii2, &added_refs, 0.0);
+        let crate::delta::ModelDelta::Dirty(mask) = delta else {
+            panic!("kNN-family deltas are spatial");
+        };
+        let after = b.predict_proba_batch(&refs);
+        let mut clean = 0;
+        for i in 0..refs.len() {
+            if !mask[i] {
+                clean += 1;
+                assert_eq!(
+                    before.probs[i].to_bits(),
+                    after[i].to_bits(),
+                    "clean point {i} changed score"
+                );
+            }
+        }
+        assert!(clean > 0, "a local insertion must leave some points clean");
+        assert!(clean < refs.len(), "points near the insertion must be dirty");
     }
 }

@@ -6,6 +6,7 @@
 
 use uei_types::{Label, Result, UeiError};
 
+use crate::delta::{knn_influence_delta, ModelDelta, ScoredBatch};
 use crate::kdtree::{KdTree, NearestScratch};
 use crate::model::{check_two_classes, Classifier};
 
@@ -53,13 +54,26 @@ impl Knn {
     /// The posterior computation with reusable kd-tree scratch — the one
     /// code path behind both the scalar and batch entry points.
     fn proba_with(&self, scratch: &mut NearestScratch, x: &[f64]) -> f64 {
+        self.proba_radius_with(scratch, x).0
+    }
+
+    /// Posterior plus the squared k-th-neighbour distance — the influence
+    /// radius the incremental-rescoring delta relies on. Any query whose
+    /// neighbourhood is unsaturated (or whose traversal failed) reports an
+    /// infinite radius, meaning "always dirty".
+    fn proba_radius_with(&self, scratch: &mut NearestScratch, x: &[f64]) -> (f64, f64) {
         let neighbors = match self.tree.nearest_with(scratch, x, self.k) {
             Ok(n) => n,
-            Err(_) => return 0.5,
+            Err(_) => return (0.5, f64::INFINITY),
         };
         if neighbors.is_empty() {
-            return 0.5;
+            return (0.5, f64::INFINITY);
         }
+        let radius2 = if neighbors.len() == self.k {
+            neighbors[neighbors.len() - 1].0
+        } else {
+            f64::INFINITY
+        };
         let mut pos = 0.0;
         let mut total = 0.0;
         for (d2, idx) in neighbors {
@@ -72,7 +86,7 @@ impl Knn {
                 pos += w;
             }
         }
-        pos / total
+        (pos / total, radius2)
     }
 }
 
@@ -83,6 +97,33 @@ impl Classifier for Knn {
 
     fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
         crate::batch::map_batch_with(xs, NearestScratch::new, |s, x| self.proba_with(s, x))
+    }
+
+    fn predict_proba_batch_tracked(&self, xs: &[&[f64]]) -> ScoredBatch {
+        let pairs = crate::batch::map_batch_with(xs, NearestScratch::new, |s, x| {
+            self.proba_radius_with(s, x)
+        });
+        let mut probs = Vec::with_capacity(pairs.len());
+        let mut radii2 = Vec::with_capacity(pairs.len());
+        for (p, r2) in pairs {
+            probs.push(p);
+            radii2.push(r2);
+        }
+        ScoredBatch { probs, radii2: Some(radii2) }
+    }
+
+    fn model_delta(
+        &self,
+        points: &[&[f64]],
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        knn_influence_delta(points, radii2, added, margin, self.parallel_batch_threshold())
+    }
+
+    fn training_len(&self) -> Option<usize> {
+        Some(self.labels.len())
     }
 
     fn dims(&self) -> usize {
@@ -135,6 +176,26 @@ mod tests {
     fn fit_validations() {
         assert!(Knn::fit(0, &examples()).is_err());
         assert!(Knn::fit(3, &[]).is_err());
+    }
+
+    #[test]
+    fn tracked_batch_matches_plain_batch() {
+        let model = Knn::fit_weighted(3, KnnWeighting::InverseDistance, &examples()).unwrap();
+        let queries: Vec<Vec<f64>> = vec![vec![2.5, 2.5], vec![0.0, 0.0], vec![5.05, 5.0]];
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let plain = model.predict_proba_batch(&refs);
+        let tracked = model.predict_proba_batch_tracked(&refs);
+        for (a, b) in plain.iter().zip(&tracked.probs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Six examples ≥ k = 3: saturated neighbourhoods report finite radii.
+        assert!(tracked.radii2.unwrap().iter().all(|r| r.is_finite()));
+        // A distant insertion leaves every query clean.
+        let far = [vec![100.0, 100.0]];
+        let far_refs: Vec<&[f64]> = far.iter().map(|p| p.as_slice()).collect();
+        let tracked = model.predict_proba_batch_tracked(&refs);
+        let delta = model.model_delta(&refs, tracked.radii2.as_ref().unwrap(), &far_refs, 0.0);
+        assert_eq!(delta.dirty_count(refs.len()), 0);
     }
 
     #[test]

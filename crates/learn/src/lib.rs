@@ -37,6 +37,7 @@
 pub mod batch;
 pub mod committee;
 pub mod dataset;
+pub mod delta;
 pub mod dwknn;
 pub mod expected;
 pub mod kdtree;
@@ -49,9 +50,13 @@ pub mod scale;
 pub mod strategy;
 pub mod svm;
 
-pub use batch::{map_batch, map_batch_with, should_parallelize, PARALLEL_THRESHOLD};
+pub use batch::{
+    map_batch, map_batch_at, map_batch_with, map_batch_with_at, should_parallelize,
+    should_parallelize_at, PARALLEL_THRESHOLD,
+};
 pub use committee::Committee;
 pub use dataset::{LabeledSet, UnlabeledPool};
+pub use delta::{knn_influence_delta, ModelDelta, ScoredBatch};
 pub use dwknn::Dwknn;
 pub use expected::{ExpectationConfig, ExpectedErrorReduction, ExpectedModelChange};
 pub use kdtree::{KdTree, NearestScratch};

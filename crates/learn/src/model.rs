@@ -8,6 +8,8 @@
 
 use uei_types::{Label, Result, UeiError};
 
+use crate::delta::{ModelDelta, ScoredBatch};
+
 /// A trained binary probabilistic classifier.
 pub trait Classifier: Send + Sync {
     /// Posterior probability that `x` is [`Label::Positive`], in `[0, 1]`.
@@ -21,11 +23,74 @@ pub trait Classifier: Send + Sync {
     /// so callers can switch between the scalar and batch paths (or
     /// between thread counts) without perturbing selection order. The
     /// default implementation fans the scalar calls out across cores for
-    /// large batches (see [`crate::batch`]); models override it when they
-    /// can amortize work across queries (shared kd-tree traversal scratch,
-    /// one member pass per committee).
+    /// batches of at least [`Self::parallel_batch_threshold`] queries (see
+    /// [`crate::batch`]); models override it when they can amortize work
+    /// across queries (shared kd-tree traversal scratch, one member pass
+    /// per committee).
     fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
-        crate::batch::map_batch(xs, |x| self.predict_proba(x))
+        crate::batch::map_batch_at(xs, self.parallel_batch_threshold(), |x| self.predict_proba(x))
+    }
+
+    /// [`Self::predict_proba_batch`] plus per-query influence radii, when
+    /// the model can bound its future updates spatially.
+    ///
+    /// `probs` must be bit-identical to `predict_proba_batch(xs)`. The
+    /// kNN-family estimators return each query's squared k-th-neighbour
+    /// distance as its radius — captured during the very same tree
+    /// traversal that scored the query, so tracking costs nothing extra —
+    /// while globally updating models return `radii2: None`. Callers hand
+    /// the radii back verbatim to [`Self::model_delta`]; they are in the
+    /// model's own input space and opaque outside it.
+    fn predict_proba_batch_tracked(&self, xs: &[&[f64]]) -> ScoredBatch {
+        ScoredBatch { probs: self.predict_proba_batch(xs), radii2: None }
+    }
+
+    /// Which of `points`'s cached scores this model may score differently
+    /// than the predecessor model it extends by the `added` training
+    /// examples.
+    ///
+    /// `radii2` are the influence radii the *previous* scoring pass
+    /// captured via [`Self::predict_proba_batch_tracked`] (same length and
+    /// order as `points`); `margin ≥ 0` inflates each influence ball by
+    /// `1 + margin` as a safety factor. The contract: a point reported
+    /// clean must produce a bit-identical posterior under `self`. The
+    /// default is the conservative [`ModelDelta::Global`] — correct for
+    /// every model, incremental for none; the kNN family overrides it with
+    /// the strict influence-ball test of
+    /// [`crate::delta::knn_influence_delta`].
+    fn model_delta(
+        &self,
+        _points: &[&[f64]],
+        _radii2: &[f64],
+        _added: &[&[f64]],
+        _margin: f64,
+    ) -> ModelDelta {
+        ModelDelta::Global
+    }
+
+    /// Number of training examples this model was fitted on, in fit order,
+    /// when the model can report it.
+    ///
+    /// Incremental rescoring uses this to recover *which* examples a
+    /// retrained model gained: the exploration loop always retrains on the
+    /// full labeled set, so the labeled entries between the previous and
+    /// current training lengths are exactly the `added` influence sources
+    /// for [`Self::model_delta`]. Models that cannot report a training
+    /// size return `None`, and callers must fall back to a full rescore.
+    fn training_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Batch size below which this model's batch scoring stays sequential.
+    ///
+    /// The generic default ([`crate::batch::PARALLEL_THRESHOLD`]) is tuned
+    /// for kd-tree-traversal-sized per-query work; models whose per-query
+    /// cost is a handful of flops (Naive Bayes, a linear SVM) raise it,
+    /// because for them the rayon fork/join overhead exceeds the scoring
+    /// until batches are far larger. Thresholds affect scheduling only —
+    /// results stay bit-identical at every batch size.
+    fn parallel_batch_threshold(&self) -> usize {
+        crate::batch::PARALLEL_THRESHOLD
     }
 
     /// Hard prediction at the 0.5 threshold.
@@ -54,6 +119,24 @@ impl<C: Classifier + ?Sized> Classifier for Box<C> {
     }
     fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
         (**self).predict_proba_batch(xs)
+    }
+    fn predict_proba_batch_tracked(&self, xs: &[&[f64]]) -> ScoredBatch {
+        (**self).predict_proba_batch_tracked(xs)
+    }
+    fn model_delta(
+        &self,
+        points: &[&[f64]],
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        (**self).model_delta(points, radii2, added, margin)
+    }
+    fn training_len(&self) -> Option<usize> {
+        (**self).training_len()
+    }
+    fn parallel_batch_threshold(&self) -> usize {
+        (**self).parallel_batch_threshold()
     }
     fn predict(&self, x: &[f64]) -> Label {
         (**self).predict(x)
@@ -191,6 +274,23 @@ mod tests {
         assert_eq!(boxed.predict_proba(&[0.0]), 0.8);
         assert_eq!(boxed.predict(&[0.0]), Label::Positive);
         assert_eq!(boxed.dims(), 1);
+        assert_eq!(boxed.parallel_batch_threshold(), crate::batch::PARALLEL_THRESHOLD);
+    }
+
+    #[test]
+    fn default_delta_contract_is_conservative() {
+        let model = Constant(0.3);
+        let x = [0.0f64];
+        let xs: Vec<&[f64]> = vec![&x];
+        let tracked = model.predict_proba_batch_tracked(&xs);
+        assert_eq!(tracked.probs, vec![0.3]);
+        assert!(tracked.radii2.is_none(), "a global model reports no influence radii");
+        // Without radii the delta must be invalidate-all, no matter what
+        // was (or wasn't) added.
+        assert_eq!(model.model_delta(&xs, &[], &[], 0.0), crate::delta::ModelDelta::Global);
+        let boxed: Box<dyn Classifier> = Box::new(Constant(0.3));
+        assert_eq!(boxed.model_delta(&xs, &[], &xs, 0.5), crate::delta::ModelDelta::Global);
+        assert!(boxed.predict_proba_batch_tracked(&xs).radii2.is_none());
     }
 
     fn xy(examples: &[(f64, f64, Label)]) -> Vec<(Vec<f64>, Label)> {

@@ -147,7 +147,9 @@ impl crate::model::Classifier for ScaledClassifier {
         // Scale every valid row (in parallel for large batches), score the
         // valid ones through the inner model's batch path, and splice the
         // 0.5 fallback back in for rows of the wrong dimensionality.
-        let transformed = crate::batch::map_batch(xs, |x| self.scaler.transform(x).ok());
+        let threshold = self.inner.parallel_batch_threshold();
+        let transformed =
+            crate::batch::map_batch_at(xs, threshold, |x| self.scaler.transform(x).ok());
         let valid: Vec<&[f64]> = transformed.iter().flatten().map(|z| z.as_slice()).collect();
         let mut probs = self.inner.predict_proba_batch(&valid).into_iter();
         transformed
@@ -157,6 +159,90 @@ impl crate::model::Classifier for ScaledClassifier {
                 None => 0.5,
             })
             .collect()
+    }
+
+    fn predict_proba_batch_tracked(&self, xs: &[&[f64]]) -> crate::delta::ScoredBatch {
+        // Same splicing as the plain batch path, carrying the inner radii
+        // through when present: invalid rows get the 0.5 fallback with an
+        // infinite radius (always dirty), so the delta stays sound for them.
+        let threshold = self.inner.parallel_batch_threshold();
+        let transformed =
+            crate::batch::map_batch_at(xs, threshold, |x| self.scaler.transform(x).ok());
+        let valid: Vec<&[f64]> = transformed.iter().flatten().map(|z| z.as_slice()).collect();
+        let inner = self.inner.predict_proba_batch_tracked(&valid);
+        let mut probs_it = inner.probs.into_iter();
+        let probs: Vec<f64> = transformed
+            .iter()
+            .map(|t| match t {
+                Some(_) => probs_it.next().expect("one probability per valid row"),
+                None => 0.5,
+            })
+            .collect();
+        let radii2 = inner.radii2.map(|inner_radii| {
+            let mut radii_it = inner_radii.into_iter();
+            transformed
+                .iter()
+                .map(|t| match t {
+                    Some(_) => radii_it.next().expect("one radius per valid row"),
+                    None => f64::INFINITY,
+                })
+                .collect()
+        });
+        crate::delta::ScoredBatch { probs, radii2 }
+    }
+
+    fn model_delta(
+        &self,
+        points: &[&[f64]],
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> crate::delta::ModelDelta {
+        // Radii were produced by the inner model in *scaled* space, so the
+        // geometry test must run there too. An added example that cannot be
+        // transformed leaves the influence source unknown — conservative
+        // global delta; a *point* that cannot be transformed is merely
+        // marked dirty on its own (it always scores the 0.5 fallback).
+        if radii2.len() != points.len() {
+            return crate::delta::ModelDelta::Global;
+        }
+        let mut scaled_added = Vec::with_capacity(added.len());
+        for a in added {
+            match self.scaler.transform(a) {
+                Ok(z) => scaled_added.push(z),
+                Err(_) => return crate::delta::ModelDelta::Global,
+            }
+        }
+        let mut valid_idx = Vec::with_capacity(points.len());
+        let mut scaled_points = Vec::with_capacity(points.len());
+        let mut valid_radii = Vec::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            if let Ok(z) = self.scaler.transform(p) {
+                valid_idx.push(i);
+                scaled_points.push(z);
+                valid_radii.push(radii2[i]);
+            }
+        }
+        let point_refs: Vec<&[f64]> = scaled_points.iter().map(|z| z.as_slice()).collect();
+        let added_refs: Vec<&[f64]> = scaled_added.iter().map(|z| z.as_slice()).collect();
+        match self.inner.model_delta(&point_refs, &valid_radii, &added_refs, margin) {
+            crate::delta::ModelDelta::Global => crate::delta::ModelDelta::Global,
+            crate::delta::ModelDelta::Dirty(sub) => {
+                let mut mask = vec![true; points.len()];
+                for (j, &i) in valid_idx.iter().enumerate() {
+                    mask[i] = sub[j];
+                }
+                crate::delta::ModelDelta::Dirty(mask)
+            }
+        }
+    }
+
+    fn training_len(&self) -> Option<usize> {
+        self.inner.training_len()
+    }
+
+    fn parallel_batch_threshold(&self) -> usize {
+        self.inner.parallel_batch_threshold()
     }
 
     fn dims(&self) -> usize {
@@ -241,6 +327,50 @@ mod tests {
         assert_eq!(model.dims(), 2);
         assert_eq!(model.predict(&[1005.0, 82.0]), Label::Positive);
         assert_eq!(model.predict(&[1005.0, -82.0]), Label::Negative);
+    }
+
+    #[test]
+    fn tracked_and_delta_forward_through_scaling() {
+        let scaler = MinMaxScaler::new(vec![0.0, -90.0], vec![2048.0, 90.0]).unwrap();
+        let examples = vec![
+            (vec![1000.0, 80.0], Label::Positive),
+            (vec![1010.0, 85.0], Label::Positive),
+            (vec![1000.0, -80.0], Label::Negative),
+            (vec![1010.0, -85.0], Label::Negative),
+        ];
+        let model =
+            ScaledClassifier::train(EstimatorKind::Dwknn { k: 3 }, scaler, &examples).unwrap();
+        let queries: Vec<Vec<f64>> = vec![
+            vec![1005.0, 82.0],
+            vec![1005.0], // wrong dims: spliced 0.5 / infinite radius
+            vec![1005.0, -82.0],
+        ];
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let plain = model.predict_proba_batch(&refs);
+        let tracked = model.predict_proba_batch_tracked(&refs);
+        for (a, b) in plain.iter().zip(&tracked.probs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let radii2 = tracked.radii2.expect("inner DWKNN reports radii");
+        assert!(radii2[0].is_finite());
+        assert!(radii2[1].is_infinite(), "invalid rows must stay always-dirty");
+        assert!(radii2[2].is_finite());
+
+        // A raw-space added point yields a spatial delta (geometry runs in
+        // scaled space); the invalid row is dirty through its ∞ radius.
+        let added = [vec![1005.0, 83.0]];
+        let added_refs: Vec<&[f64]> = added.iter().map(|p| p.as_slice()).collect();
+        match model.model_delta(&refs, &radii2, &added_refs, 0.0) {
+            crate::delta::ModelDelta::Dirty(mask) => assert!(mask[1]),
+            crate::delta::ModelDelta::Global => panic!("scaled kNN delta should be spatial"),
+        }
+        // An added point the scaler cannot transform degrades to Global.
+        let ragged = [vec![1005.0]];
+        let ragged_refs: Vec<&[f64]> = ragged.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(
+            model.model_delta(&refs, &radii2, &ragged_refs, 0.0),
+            crate::delta::ModelDelta::Global
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lint, docs, tests, build, and smoke runs of the
-# scoring, region-load, fault-matrix, and multi-session benches.
+# scoring, region-load, fault-matrix, multi-session, and rescore benches.
 #
 #   ./scripts/ci.sh          # full gate
 #   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
@@ -63,5 +63,14 @@ test -s "$tmp/BENCH_fault_matrix.json"
 echo "==> multi_session --smoke"
 cargo run -p uei-bench --release --bin multi_session -- --smoke --out "$tmp/BENCH_multi_session.json"
 test -s "$tmp/BENCH_multi_session.json"
+
+# Smoke-run the rescore bench: incremental vs. full index-point rescoring
+# on a small grid. The binary asserts the two paths hold bit-identical
+# scores after every iteration, that no incremental pass rescores more
+# than |P| points (cache accounting sanity), and that rescored + cached
+# covers every point every iteration.
+echo "==> rescore_bench --smoke"
+cargo run -p uei-bench --release --bin rescore_bench -- --smoke --out "$tmp/BENCH_rescore.json"
+test -s "$tmp/BENCH_rescore.json"
 
 echo "CI gate passed."
