@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the flat SoA kd-tree against the legacy
+//! `Vec<Vec<f64>>` recursive layout: build and query throughput at the
+//! mid-size grid point (n = 4096, d = 4) plus the extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uei_bench::kdtree::baseline::{OldKdTree, OldScratch};
+use uei_learn::kdtree::{KdTree, NearestScratch};
+use uei_types::Rng;
+
+fn points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| (0..dims).map(|_| rng.range_f64(0.0, 1.0)).collect()).collect()
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    for (n, dims) in [(4096usize, 4usize), (256, 2), (65536, 8)] {
+        let pts = points(n, dims, 42);
+        let queries = points(512, dims, 77);
+        let old = OldKdTree::build(pts.clone());
+        let flat = KdTree::build(pts.clone()).unwrap();
+
+        let mut group = c.benchmark_group(format!("kdtree_n{n}_d{dims}"));
+        group.bench_function("build_old", |b| b.iter(|| OldKdTree::build(pts.clone()).len()));
+        group
+            .bench_function("build_flat", |b| b.iter(|| KdTree::build(pts.clone()).unwrap().len()));
+        group.bench_function("query_old", |b| {
+            let mut scratch = OldScratch::default();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                old.nearest_with(&mut scratch, q, 5)[0].1
+            })
+        });
+        group.bench_function("query_flat", |b| {
+            let mut scratch = NearestScratch::new();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                flat.nearest_with(&mut scratch, q, 5).unwrap()[0].1
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

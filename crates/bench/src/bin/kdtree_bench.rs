@@ -1,0 +1,72 @@
+//! Flat SoA kd-tree vs. legacy `Vec<Vec<f64>>` layout comparison.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin kdtree_bench            # full run
+//! cargo run -p uei-bench --release --bin kdtree_bench -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_kdtree.json` (schema: `BENCH_SCHEMA.json`) to the current
+//! directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::kdtree::{full_kdtree_report, smoke_kdtree_report, validate_kdtree, KdtreeReport};
+
+fn print_report(report: &KdtreeReport) {
+    println!(
+        "flat SoA kd-tree vs legacy layout — leaf size {}, best of {} repeats\n",
+        report.leaf_size, report.repeats
+    );
+    println!(
+        "{:>7} {:>4} {:>3} {:>8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>10}",
+        "n",
+        "d",
+        "k",
+        "queries",
+        "build-old",
+        "build-flat",
+        "speedup",
+        "query-old",
+        "query-flat",
+        "speedup",
+        "identical"
+    );
+    for c in &report.cases {
+        println!(
+            "{:>7} {:>4} {:>3} {:>8} {:>10.1}us {:>10.1}us {:>7.2}x {:>10.1}us {:>10.1}us \
+             {:>7.2}x {:>10}",
+            c.n,
+            c.dims,
+            c.k,
+            c.queries,
+            c.build_baseline_ns as f64 / 1e3,
+            c.build_flat_ns as f64 / 1e3,
+            c.build_speedup,
+            c.query_baseline_ns as f64 / 1e3,
+            c.query_flat_ns as f64 / 1e3,
+            c.query_speedup,
+            c.identical,
+        );
+    }
+    #[cfg(debug_assertions)]
+    println!("\nnote: debug build — timings are meaningless here.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_kdtree.json"));
+
+    let report = if smoke { smoke_kdtree_report() } else { full_kdtree_report() };
+    print_report(&report);
+    validate_kdtree(&report);
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

@@ -1,0 +1,399 @@
+//! Flat SoA kd-tree vs. the legacy `Vec<Vec<f64>>` layout.
+//!
+//! Measures the tentpole claim of the flat-layout rewrite: bucketed leaves
+//! over one contiguous row-major matrix, scanned with blocked distance
+//! kernels, answer exact-kNN queries substantially faster than the
+//! pointer-chasing recursive tree — while returning **bit-identical**
+//! `(dist², index)` results. The baseline below is a faithful copy of the
+//! pre-rewrite implementation (one heap-allocated `Vec` per point, one
+//! node per point, recursive traversal), so the comparison isolates the
+//! memory layout and kernel, not algorithmic differences: both trees split
+//! on the largest-spread dimension at the median and prune with the same
+//! bound.
+//!
+//! Every case bit-compares the two trees' neighbour lists over every
+//! query, so a layout bug cannot produce a flattering number silently.
+//!
+//! Results serialize to the `BENCH_kdtree.json` schema documented in
+//! `BENCH_SCHEMA.json` at the repository root.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use uei_learn::kdtree::{KdTree, NearestScratch, LEAF_SIZE};
+use uei_types::Rng;
+
+/// A faithful reproduction of the pre-rewrite kd-tree: `Vec<Vec<f64>>`
+/// point storage, one arena node per point, recursive traversal with
+/// per-point scalar distance calls. Kept here (not in `uei-learn`) so the
+/// production crate carries exactly one tree.
+pub mod baseline {
+    use std::collections::BinaryHeap;
+
+    use uei_types::point::squared_distance;
+
+    struct Node {
+        point: u32,
+        dim: u8,
+        left: u32,
+        right: u32,
+    }
+
+    const NONE: u32 = u32::MAX;
+
+    /// The legacy recursive tree. Input must be non-empty, rectangular,
+    /// and NaN-free (the bench generates it that way); the same validation
+    /// scans the production tree runs are kept so build timings compare
+    /// like for like.
+    pub struct OldKdTree {
+        points: Vec<Vec<f64>>,
+        nodes: Vec<Node>,
+        root: u32,
+        dims: usize,
+    }
+
+    /// Reusable query buffers, mirroring the production scratch.
+    #[derive(Default)]
+    pub struct OldScratch {
+        heap: BinaryHeap<HeapEntry>,
+        out: Vec<(f64, usize)>,
+    }
+
+    #[derive(PartialEq)]
+    struct HeapEntry {
+        dist2: f64,
+        index: usize,
+    }
+
+    impl Eq for HeapEntry {}
+    impl PartialOrd for HeapEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapEntry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.dist2
+                .partial_cmp(&other.dist2)
+                .expect("distances are never NaN")
+                .then(self.index.cmp(&other.index))
+        }
+    }
+
+    impl OldKdTree {
+        /// Builds the tree (recursive median split on the largest-spread
+        /// dimension — the same policy as the flat tree).
+        pub fn build(points: Vec<Vec<f64>>) -> OldKdTree {
+            let dims = points.first().map(|p| p.len()).expect("bench data is non-empty");
+            for p in &points {
+                assert_eq!(p.len(), dims);
+                assert!(p.iter().all(|v| !v.is_nan()));
+            }
+            let mut indices: Vec<u32> = (0..points.len() as u32).collect();
+            let mut nodes = Vec::with_capacity(points.len());
+            let root = build_recursive(&points, &mut indices[..], &mut nodes, dims);
+            OldKdTree { points, nodes, root, dims }
+        }
+
+        /// Number of points.
+        pub fn len(&self) -> usize {
+            self.points.len()
+        }
+
+        /// Whether the tree is empty.
+        pub fn is_empty(&self) -> bool {
+            self.points.is_empty()
+        }
+
+        /// The `k` nearest neighbours, ascending `(dist², build index)`.
+        pub fn nearest_with<'s>(
+            &self,
+            scratch: &'s mut OldScratch,
+            query: &[f64],
+            k: usize,
+        ) -> &'s [(f64, usize)] {
+            scratch.heap.clear();
+            scratch.out.clear();
+            if self.points.is_empty() || k == 0 {
+                return &scratch.out;
+            }
+            assert_eq!(query.len(), self.dims);
+            self.search(self.root, query, k, &mut scratch.heap);
+            scratch.out.extend(scratch.heap.drain().map(|e| (e.dist2, e.index)));
+            scratch.out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1)));
+            &scratch.out
+        }
+
+        fn search(&self, node_idx: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapEntry>) {
+            if node_idx == NONE {
+                return;
+            }
+            let node = &self.nodes[node_idx as usize];
+            let point = &self.points[node.point as usize];
+            let d2 = squared_distance(point, query).expect("dims validated");
+            if heap.len() < k {
+                heap.push(HeapEntry { dist2: d2, index: node.point as usize });
+            } else if let Some(top) = heap.peek() {
+                if d2 < top.dist2 || (d2 == top.dist2 && (node.point as usize) < top.index) {
+                    heap.pop();
+                    heap.push(HeapEntry { dist2: d2, index: node.point as usize });
+                }
+            }
+            let dim = node.dim as usize;
+            let diff = query[dim] - point[dim];
+            let (near, far) =
+                if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+            self.search(near, query, k, heap);
+            let must_visit =
+                heap.len() < k || diff * diff <= heap.peek().expect("non-empty heap").dist2;
+            if must_visit {
+                self.search(far, query, k, heap);
+            }
+        }
+    }
+
+    // Kept structurally verbatim from the pre-rewrite implementation so
+    // the baseline's codegen matches what shipped, lint style included.
+    #[allow(clippy::needless_range_loop)]
+    fn build_recursive(
+        points: &[Vec<f64>],
+        indices: &mut [u32],
+        nodes: &mut Vec<Node>,
+        dims: usize,
+    ) -> u32 {
+        if indices.is_empty() {
+            return NONE;
+        }
+        let mut best_dim = 0;
+        let mut best_spread = f64::NEG_INFINITY;
+        for d in 0..dims {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in indices.iter() {
+                let v = points[i as usize][d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let spread = hi - lo;
+            if spread > best_spread {
+                best_spread = spread;
+                best_dim = d;
+            }
+        }
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize][best_dim]
+                .partial_cmp(&points[b as usize][best_dim])
+                .expect("no NaN")
+                .then(a.cmp(&b))
+        });
+        let point = indices[mid];
+        let node_idx = nodes.len() as u32;
+        nodes.push(Node { point, dim: best_dim as u8, left: NONE, right: NONE });
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = build_recursive(points, left_slice, nodes, dims);
+        let right = build_recursive(points, right_slice, nodes, dims);
+        nodes[node_idx as usize].left = left;
+        nodes[node_idx as usize].right = right;
+        node_idx
+    }
+}
+
+/// One `(n, dims)` comparison between the two layouts.
+#[derive(Debug, Clone, Serialize)]
+pub struct KdtreeCase {
+    /// Number of points in the tree.
+    pub n: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Neighbours per query.
+    pub k: usize,
+    /// Queries timed per measurement.
+    pub queries: usize,
+    /// Legacy-layout build time, nanoseconds (best of `repeats`).
+    pub build_baseline_ns: u64,
+    /// Flat-layout build time, nanoseconds (best of `repeats`).
+    pub build_flat_ns: u64,
+    /// `build_baseline_ns / build_flat_ns`.
+    pub build_speedup: f64,
+    /// Legacy-layout time for all `queries`, nanoseconds (best of
+    /// `repeats`).
+    pub query_baseline_ns: u64,
+    /// Flat-layout time for all `queries`, nanoseconds (best of
+    /// `repeats`).
+    pub query_flat_ns: u64,
+    /// `query_baseline_ns / query_flat_ns` — the headline number.
+    pub query_speedup: f64,
+    /// Whether both layouts returned bit-identical `(dist², index)` lists
+    /// for every query (must be true).
+    pub identical: bool,
+}
+
+/// The full report written to `BENCH_kdtree.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct KdtreeReport {
+    /// Leaf bucket size of the flat tree.
+    pub leaf_size: usize,
+    /// Timing repeats per measurement (best-of).
+    pub repeats: usize,
+    pub cases: Vec<KdtreeCase>,
+}
+
+fn gen_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| (0..dims).map(|_| rng.range_f64(0.0, 1.0)).collect()).collect()
+}
+
+/// Times `f` `repeats` times and keeps the fastest run — the standard
+/// best-of estimator, robust to scheduler noise on shared CI hosts.
+fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (u64, T) {
+    let mut best_ns = u64::MAX;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let value = f();
+        best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+        last = Some(value);
+    }
+    (best_ns, last.expect("repeats >= 1"))
+}
+
+fn bench_case(n: usize, dims: usize, k: usize, queries: usize, repeats: usize) -> KdtreeCase {
+    let points = gen_points(n, dims, 0xBEEF ^ (n as u64) << 8 ^ dims as u64);
+    let query_set = gen_points(queries, dims, 0xF00D ^ (n as u64) << 8 ^ dims as u64);
+
+    let (build_baseline_ns, old_tree) =
+        best_of(repeats, || baseline::OldKdTree::build(points.clone()));
+    let (build_flat_ns, flat_tree) =
+        best_of(repeats, || KdTree::build(points.clone()).expect("valid bench data"));
+
+    // Exactness first (untimed): every query's full neighbour list must
+    // match bit for bit, tie-breaks included.
+    let mut old_scratch = baseline::OldScratch::default();
+    let mut flat_scratch = NearestScratch::new();
+    let mut identical = true;
+    for q in &query_set {
+        let want = old_tree.nearest_with(&mut old_scratch, q, k);
+        let got = flat_tree.nearest_with(&mut flat_scratch, q, k).expect("valid query");
+        identical &= want.len() == got.len()
+            && want
+                .iter()
+                .zip(got)
+                .all(|((wd, wi), (gd, gi))| wd.to_bits() == gd.to_bits() && wi == gi);
+    }
+
+    // Warm both layouts (caches, branch predictors) right before their
+    // timed loops; the identity pass above ran earlier and interleaved.
+    for q in &query_set {
+        old_tree.nearest_with(&mut old_scratch, q, k);
+        flat_tree.nearest_with(&mut flat_scratch, q, k).expect("valid query");
+    }
+
+    // A checksum keeps the optimizer from eliding the timed loops.
+    let (query_baseline_ns, sink_old) = best_of(repeats, || {
+        let mut sink = 0u64;
+        for q in &query_set {
+            let nn = old_tree.nearest_with(&mut old_scratch, q, k);
+            sink = sink.wrapping_add(nn[0].1 as u64).wrapping_add(nn[0].0.to_bits());
+        }
+        sink
+    });
+    let (query_flat_ns, sink_flat) = best_of(repeats, || {
+        let mut sink = 0u64;
+        for q in &query_set {
+            let nn = flat_tree.nearest_with(&mut flat_scratch, q, k).expect("valid query");
+            sink = sink.wrapping_add(nn[0].1 as u64).wrapping_add(nn[0].0.to_bits());
+        }
+        sink
+    });
+    identical &= sink_old == sink_flat;
+
+    KdtreeCase {
+        n,
+        dims,
+        k,
+        queries,
+        build_baseline_ns,
+        build_flat_ns,
+        build_speedup: build_baseline_ns as f64 / (build_flat_ns as f64).max(1.0),
+        query_baseline_ns,
+        query_flat_ns,
+        query_speedup: query_baseline_ns as f64 / (query_flat_ns as f64).max(1.0),
+        identical,
+    }
+}
+
+/// Runs the layout comparison over the `sizes × dims` grid.
+pub fn run_kdtree_bench(
+    sizes: &[usize],
+    dims_list: &[usize],
+    k: usize,
+    queries: usize,
+    repeats: usize,
+) -> KdtreeReport {
+    let mut cases = Vec::with_capacity(sizes.len() * dims_list.len());
+    for &n in sizes {
+        for &dims in dims_list {
+            cases.push(bench_case(n, dims, k, queries, repeats));
+        }
+    }
+    KdtreeReport { leaf_size: LEAF_SIZE, repeats, cases }
+}
+
+/// The checked-in grid: n ∈ {256, 4096, 65536} × d ∈ {2, 4, 8}, k = 5
+/// (the DWKNN default), 2000 queries per measurement.
+pub fn full_kdtree_report() -> KdtreeReport {
+    run_kdtree_bench(&[256, 4096, 65536], &[2, 4, 8], 5, 2000, 5)
+}
+
+/// A seconds-scale CI smoke run. Panics (via [`validate_kdtree`]) if any
+/// case diverged bitwise or if the flat layout's aggregate query
+/// throughput fell below the legacy scalar baseline.
+pub fn smoke_kdtree_report() -> KdtreeReport {
+    let report = run_kdtree_bench(&[256, 4096], &[2, 4], 5, 600, 3);
+    validate_kdtree(&report);
+    report
+}
+
+/// Invariants every report must satisfy, smoke or full.
+pub fn validate_kdtree(report: &KdtreeReport) {
+    for case in &report.cases {
+        assert!(
+            case.identical,
+            "n={} d={}: flat tree diverged bitwise from the legacy layout",
+            case.n, case.dims
+        );
+    }
+    // Aggregate throughput gate: tolerant of per-case jitter on noisy CI
+    // hosts, strict about the claim that the rewrite never loses overall.
+    let baseline: u64 = report.cases.iter().map(|c| c.query_baseline_ns).sum();
+    let flat: u64 = report.cases.iter().map(|c| c.query_flat_ns).sum();
+    assert!(
+        flat <= baseline,
+        "flat-layout query throughput regressed: {flat} ns vs {baseline} ns baseline"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_agree_bitwise_at_test_scale() {
+        let report = run_kdtree_bench(&[64, 300], &[1, 3], 5, 50, 1);
+        assert_eq!(report.cases.len(), 4);
+        assert!(report.cases.iter().all(|c| c.identical));
+        for c in &report.cases {
+            assert!(c.query_baseline_ns > 0 && c.query_flat_ns > 0);
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = run_kdtree_bench(&[64], &[2], 3, 20, 1);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"query_speedup\""));
+        assert!(json.contains("\"leaf_size\""));
+    }
+}

@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod fault_matrix;
 pub mod fixture;
+pub mod kdtree;
 pub mod multi_session;
 pub mod region_load;
 pub mod rescore;
@@ -31,6 +32,10 @@ pub use fault_matrix::{
     validate_fault_matrix, FaultMatrixCase, FaultMatrixConfig, FaultMatrixReport,
 };
 pub use fixture::{ExperimentScale, Fixture};
+pub use kdtree::{
+    full_kdtree_report, run_kdtree_bench, smoke_kdtree_report, validate_kdtree, KdtreeCase,
+    KdtreeReport,
+};
 pub use multi_session::{
     full_multi_session_report, run_multi_session_bench, smoke_multi_session_report,
     validate_multi_session, MultiSessionCase, MultiSessionConfig, MultiSessionReport,

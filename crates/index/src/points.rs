@@ -8,7 +8,7 @@
 
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::{Classifier, ModelDelta};
-use uei_types::{Result, UeiError};
+use uei_types::{PointMatrix, Result, UeiError};
 
 use crate::grid::{CellId, Grid};
 
@@ -54,7 +54,9 @@ impl RescoreStats {
 /// it.
 #[derive(Debug, Clone)]
 pub struct IndexPoints {
-    centers: Vec<Vec<f64>>,
+    /// Cell centers in one flat row-major matrix: batch scoring and the
+    /// influence-ball delta sweep it linearly, no per-center allocation.
+    centers: PointMatrix,
     uncertainty: Vec<f64>,
     updated: bool,
     /// Squared influence radii from the last tracked rescore; `None` when
@@ -71,9 +73,9 @@ pub struct IndexPoints {
 impl IndexPoints {
     /// Materializes the index points of a grid (Algorithm 2 lines 7–11).
     pub fn from_grid(grid: &Grid) -> Result<IndexPoints> {
-        let mut centers = Vec::with_capacity(grid.num_cells());
+        let mut centers = PointMatrix::with_capacity(grid.num_cells(), grid.dims());
         for id in grid.cell_ids() {
-            centers.push(grid.cell_center(id)?);
+            centers.push_row(&grid.cell_center(id)?)?;
         }
         let n = centers.len();
         Ok(IndexPoints {
@@ -98,10 +100,11 @@ impl IndexPoints {
 
     /// The symbolic point of cell `id`.
     pub fn center(&self, id: CellId) -> Result<&[f64]> {
-        self.centers
-            .get(id)
-            .map(|c| c.as_slice())
-            .ok_or_else(|| UeiError::not_found(format!("index point {id}")))
+        if id < self.centers.len() {
+            Ok(self.centers.row(id))
+        } else {
+            Err(UeiError::not_found(format!("index point {id}")))
+        }
     }
 
     /// The last computed uncertainty of cell `id`.
@@ -120,7 +123,7 @@ impl IndexPoints {
     /// per-worker traversal scratch) each iteration; the resulting scores
     /// are bit-identical to [`Self::update_sequential`].
     pub fn update(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
-        let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+        let refs = self.centers.row_refs();
         self.uncertainty = measure.score_points(model, &refs);
         self.finish_full_pass(None);
     }
@@ -129,7 +132,7 @@ impl IndexPoints {
     /// per index point. Kept as the baseline the scoring benchmark (and
     /// the `parallel: false` config knob) compares against.
     pub fn update_sequential(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
-        for (i, center) in self.centers.iter().enumerate() {
+        for (i, center) in self.centers.rows().enumerate() {
             self.uncertainty[i] = measure.score(model.predict_proba(center));
         }
         self.finish_full_pass(None);
@@ -143,7 +146,7 @@ impl IndexPoints {
         model: &dyn Classifier,
         measure: UncertaintyMeasure,
     ) -> RescoreStats {
-        let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+        let refs = self.centers.row_refs();
         let scored = model.predict_proba_batch_tracked(&refs);
         self.uncertainty = scored.probs;
         for u in &mut self.uncertainty {
@@ -182,12 +185,15 @@ impl IndexPoints {
         let stats = if !self.updated || full_due || self.radii2.is_none() {
             self.update_tracked(model, measure)
         } else {
-            let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+            let n = self.centers.len();
             let radii2 = self.radii2.as_ref().expect("checked above");
-            match model.model_delta(&refs, radii2, added, margin) {
-                ModelDelta::Dirty(mask) if mask.len() == refs.len() => {
-                    let dirty: Vec<usize> = (0..refs.len()).filter(|&i| mask[i]).collect();
-                    let dirty_refs: Vec<&[f64]> = dirty.iter().map(|&i| refs[i]).collect();
+            // The delta runs over the flat matrix directly — no Vec of row
+            // refs is materialized unless some points actually go dirty.
+            match model.model_delta_matrix(&self.centers, radii2, added, margin) {
+                ModelDelta::Dirty(mask) if mask.len() == n => {
+                    let dirty: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+                    let dirty_refs: Vec<&[f64]> =
+                        dirty.iter().map(|&i| self.centers.row(i)).collect();
                     let scored = model.predict_proba_batch_tracked(&dirty_refs);
                     for (j, &i) in dirty.iter().enumerate() {
                         self.uncertainty[i] = measure.score(scored.probs[j]);
@@ -206,7 +212,7 @@ impl IndexPoints {
                     self.incremental_passes += 1;
                     RescoreStats {
                         points_rescored: dirty.len() as u64,
-                        points_cached: (refs.len() - dirty.len()) as u64,
+                        points_cached: (n - dirty.len()) as u64,
                     }
                 }
                 // Global delta, or a mask of the wrong length: full rescore.
@@ -236,7 +242,7 @@ impl IndexPoints {
     /// bit for bit. Debug builds run this after every incremental pass.
     #[cfg(debug_assertions)]
     fn debug_cross_check(&self, model: &dyn Classifier, measure: UncertaintyMeasure) {
-        let refs: Vec<&[f64]> = self.centers.iter().map(|c| c.as_slice()).collect();
+        let refs = self.centers.row_refs();
         let full = measure.score_points(model, &refs);
         for (i, (got, want)) in self.uncertainty.iter().zip(&full).enumerate() {
             debug_assert!(

@@ -74,6 +74,8 @@ impl ModelDelta {
     }
 }
 
+use uei_types::{point::squared_distances_block, PointMatrix};
+
 /// Squared Euclidean distance over the shared prefix of two slices.
 /// Slices of equal length (the only case the delta computations feed it)
 /// get the true squared distance.
@@ -126,6 +128,71 @@ pub fn knn_influence_delta(
     } else {
         indices.iter().map(|&i| compute(i)).collect()
     };
+    ModelDelta::Dirty(dirty)
+}
+
+/// Rows per work unit in [`knn_influence_delta_flat`]: big enough that the
+/// blocked distance kernel amortizes its setup, small enough to spread
+/// across cores.
+const FLAT_DELTA_BLOCK: usize = 1024;
+
+/// [`knn_influence_delta`] over the flat row-major layout: the influence
+/// test runs as blocked distance sweeps over contiguous storage (one
+/// linear pass per added example) instead of a pointer chase per point.
+///
+/// The dirty mask is *identical* to the slice-of-refs variant: each
+/// squared distance is accumulated in the same ascending-dimension order,
+/// and the strict `<` comparison against the inflated radius is the same
+/// predicate — only the iteration order over (point, added) pairs differs,
+/// and a boolean OR is order-independent.
+pub fn knn_influence_delta_flat(
+    points: &PointMatrix,
+    radii2: &[f64],
+    added: &[&[f64]],
+    margin: f64,
+    parallel_threshold: usize,
+) -> ModelDelta {
+    let n = points.len();
+    if radii2.len() != n || !(margin >= 0.0) || !margin.is_finite() {
+        return ModelDelta::Global;
+    }
+    let dims = points.dims();
+    if added.iter().any(|a| a.len() != dims) {
+        return ModelDelta::Global;
+    }
+    let inflate = (1.0 + margin) * (1.0 + margin);
+    let flat = points.as_flat();
+    let compute_range = |lo: usize, hi: usize| -> Vec<bool> {
+        let mut dirty: Vec<bool> = radii2[lo..hi].iter().map(|r| !r.is_finite()).collect();
+        let mut dists = Vec::with_capacity(hi - lo);
+        for a in added {
+            dists.clear();
+            if squared_distances_block(a, &flat[lo * dims..hi * dims], dims, &mut dists).is_err() {
+                // Unreachable after the dims check above; stay conservative.
+                dirty.iter_mut().for_each(|d| *d = true);
+                return dirty;
+            }
+            for (j, &d2) in dists.iter().enumerate() {
+                let r2 = radii2[lo + j];
+                if !dirty[j] && r2.is_finite() && d2 < r2 * inflate {
+                    dirty[j] = true;
+                }
+            }
+        }
+        dirty
+    };
+    let ranges: Vec<(usize, usize)> =
+        (0..n).step_by(FLAT_DELTA_BLOCK).map(|lo| (lo, (lo + FLAT_DELTA_BLOCK).min(n))).collect();
+    let blocks: Vec<Vec<bool>> = if crate::batch::should_parallelize_at(n, parallel_threshold) {
+        use rayon::prelude::*;
+        ranges.par_iter().map(|&(lo, hi)| compute_range(lo, hi)).collect()
+    } else {
+        ranges.iter().map(|&(lo, hi)| compute_range(lo, hi)).collect()
+    };
+    let mut dirty = Vec::with_capacity(n);
+    for block in blocks {
+        dirty.extend(block);
+    }
     ModelDelta::Dirty(dirty)
 }
 
@@ -199,5 +266,47 @@ mod tests {
         let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
         let delta = knn_influence_delta(&refs, &[1.0, 1.0], &[], 0.0, 256);
         assert_eq!(delta, ModelDelta::Dirty(vec![false, false]));
+    }
+
+    #[test]
+    fn flat_delta_matches_ref_delta() {
+        use uei_types::Rng;
+        let mut rng = Rng::new(0xD17A);
+        // Enough points to span multiple FLAT_DELTA_BLOCK work units.
+        let n = 2 * super::FLAT_DELTA_BLOCK + 37;
+        let mut points = Vec::with_capacity(n);
+        let mut radii2 = Vec::with_capacity(n);
+        for i in 0..n {
+            points.push(vec![rng.range_f64(-4.0, 4.0), rng.range_f64(-4.0, 4.0)]);
+            radii2.push(if i % 97 == 0 { f64::INFINITY } else { rng.range_f64(0.01, 2.0) });
+        }
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let matrix = PointMatrix::from_rows(&points).unwrap();
+        let added = [vec![0.5, -0.5], vec![-3.0, 3.0]];
+        let added_refs: Vec<&[f64]> = added.iter().map(|p| p.as_slice()).collect();
+        for margin in [0.0, 0.25] {
+            let want = knn_influence_delta(&refs, &radii2, &added_refs, margin, usize::MAX);
+            // Exercise both the sequential and the parallel flat path.
+            for threshold in [usize::MAX, 1] {
+                let got =
+                    knn_influence_delta_flat(&matrix, &radii2, &added_refs, margin, threshold);
+                assert_eq!(got, want, "margin {margin}, threshold {threshold}");
+            }
+        }
+        // Degenerate inputs degrade to Global exactly like the ref variant.
+        let bad = [vec![1.0]];
+        let bad_refs: Vec<&[f64]> = bad.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(
+            knn_influence_delta_flat(&matrix, &radii2, &bad_refs, 0.0, 256),
+            ModelDelta::Global
+        );
+        assert_eq!(
+            knn_influence_delta_flat(&matrix, &radii2[1..], &added_refs, 0.0, 256),
+            ModelDelta::Global
+        );
+        assert_eq!(
+            knn_influence_delta_flat(&matrix, &radii2, &added_refs, f64::NAN, 256),
+            ModelDelta::Global
+        );
     }
 }

@@ -15,9 +15,9 @@
 //! positive class is the weight share of positive neighbours, which makes
 //! the classifier *probabilistic*, as uncertainty sampling requires.
 
-use uei_types::{Label, Result, UeiError};
+use uei_types::{Label, PointMatrix, Result, UeiError};
 
-use crate::delta::{knn_influence_delta, ModelDelta, ScoredBatch};
+use crate::delta::{knn_influence_delta, knn_influence_delta_flat, ModelDelta, ScoredBatch};
 use crate::kdtree::{KdTree, NearestScratch};
 use crate::model::{check_two_classes, Classifier};
 
@@ -69,9 +69,15 @@ impl Dwknn {
         }
         check_two_classes(examples)?;
         let dims = examples[0].0.len();
-        let points: Vec<Vec<f64>> = examples.iter().map(|(x, _)| x.clone()).collect();
-        let labels: Vec<Label> = examples.iter().map(|(_, l)| *l).collect();
-        let tree = KdTree::build(points)?;
+        // One pass over the examples slice into contiguous flat storage —
+        // the per-iteration refit no longer allocates O(n) point Vecs.
+        let mut points = PointMatrix::with_capacity(examples.len(), dims);
+        let mut labels: Vec<Label> = Vec::with_capacity(examples.len());
+        for (x, l) in examples {
+            points.push_row(x)?;
+            labels.push(*l);
+        }
+        let tree = KdTree::from_matrix(points)?;
         Ok(Dwknn { k, tree, labels, dims })
     }
 
@@ -189,6 +195,16 @@ impl Classifier for Dwknn {
         margin: f64,
     ) -> ModelDelta {
         knn_influence_delta(points, radii2, added, margin, self.parallel_batch_threshold())
+    }
+
+    fn model_delta_matrix(
+        &self,
+        points: &PointMatrix,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        knn_influence_delta_flat(points, radii2, added, margin, self.parallel_batch_threshold())
     }
 
     fn training_len(&self) -> Option<usize> {

@@ -77,11 +77,17 @@ impl ExpectedErrorReduction {
     }
 
     /// Mean least-confidence uncertainty of `model` over `eval`.
+    ///
+    /// Goes through [`Classifier::predict_proba_batch`] — the same blocked,
+    /// scratch-reusing path index-point scoring uses — which is contractually
+    /// bit-identical to per-point [`Classifier::uncertainty`] calls.
     fn expected_error(model: &dyn Classifier, eval: &[&DataPoint]) -> f64 {
         if eval.is_empty() {
             return 0.0;
         }
-        let total: f64 = eval.iter().map(|p| model.uncertainty(&p.values)).sum();
+        let refs: Vec<&[f64]> = eval.iter().map(|p| p.values.as_slice()).collect();
+        let measure = crate::strategy::UncertaintyMeasure::LeastConfidence;
+        let total: f64 = measure.score_points(model, &refs).into_iter().sum();
         total / eval.len() as f64
     }
 
@@ -159,10 +165,14 @@ impl ExpectedModelChange {
         self.labeled.push((x, label));
     }
 
+    /// Posterior-weighted L1 shift over `eval`, scored through the batch
+    /// path of both models (bit-identical to the scalar loop, one tree
+    /// traversal scratch per worker instead of one per call).
     fn model_shift(before: &dyn Classifier, after: &dyn Classifier, eval: &[&DataPoint]) -> f64 {
-        eval.iter()
-            .map(|p| (before.predict_proba(&p.values) - after.predict_proba(&p.values)).abs())
-            .sum()
+        let refs: Vec<&[f64]> = eval.iter().map(|p| p.values.as_slice()).collect();
+        let pb = before.predict_proba_batch(&refs);
+        let pa = after.predict_proba_batch(&refs);
+        pb.iter().zip(&pa).map(|(b, a)| (b - a).abs()).sum()
     }
 }
 

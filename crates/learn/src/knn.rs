@@ -4,9 +4,9 @@
 //! benches; the probability is the (optionally weighted) share of positive
 //! neighbours.
 
-use uei_types::{Label, Result, UeiError};
+use uei_types::{Label, PointMatrix, Result, UeiError};
 
-use crate::delta::{knn_influence_delta, ModelDelta, ScoredBatch};
+use crate::delta::{knn_influence_delta, knn_influence_delta_flat, ModelDelta, ScoredBatch};
 use crate::kdtree::{KdTree, NearestScratch};
 use crate::model::{check_two_classes, Classifier};
 
@@ -46,9 +46,15 @@ impl Knn {
         }
         check_two_classes(examples)?;
         let dims = examples[0].0.len();
-        let points: Vec<Vec<f64>> = examples.iter().map(|(x, _)| x.clone()).collect();
-        let labels: Vec<Label> = examples.iter().map(|(_, l)| *l).collect();
-        Ok(Knn { k, weighting, tree: KdTree::build(points)?, labels, dims })
+        // Build the flat matrix straight off the examples slice: one O(n·d)
+        // copy into contiguous storage, no per-point Vec allocations.
+        let mut points = PointMatrix::with_capacity(examples.len(), dims);
+        let mut labels: Vec<Label> = Vec::with_capacity(examples.len());
+        for (x, l) in examples {
+            points.push_row(x)?;
+            labels.push(*l);
+        }
+        Ok(Knn { k, weighting, tree: KdTree::from_matrix(points)?, labels, dims })
     }
 
     /// The posterior computation with reusable kd-tree scratch — the one
@@ -120,6 +126,16 @@ impl Classifier for Knn {
         margin: f64,
     ) -> ModelDelta {
         knn_influence_delta(points, radii2, added, margin, self.parallel_batch_threshold())
+    }
+
+    fn model_delta_matrix(
+        &self,
+        points: &PointMatrix,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        knn_influence_delta_flat(points, radii2, added, margin, self.parallel_batch_threshold())
     }
 
     fn training_len(&self) -> Option<usize> {

@@ -6,7 +6,7 @@
 //! [`Classifier`] trait captures exactly what both need: a posterior
 //! `P(positive | x)` for binary labels.
 
-use uei_types::{Label, Result, UeiError};
+use uei_types::{Label, PointMatrix, Result, UeiError};
 
 use crate::delta::{ModelDelta, ScoredBatch};
 
@@ -66,6 +66,26 @@ pub trait Classifier: Send + Sync {
         _margin: f64,
     ) -> ModelDelta {
         ModelDelta::Global
+    }
+
+    /// [`Self::model_delta`] over a flat row-major point matrix — the form
+    /// the index-point rescoring path uses, so the hot loop never
+    /// materializes a `Vec<Vec<f64>>`.
+    ///
+    /// Must return the exact same delta as
+    /// `self.model_delta(&points.row_refs(), …)` — the default does
+    /// literally that, and the kNN family overrides it with a blocked sweep
+    /// over the contiguous storage
+    /// ([`crate::delta::knn_influence_delta_flat`]).
+    fn model_delta_matrix(
+        &self,
+        points: &PointMatrix,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        let refs = points.row_refs();
+        self.model_delta(&refs, radii2, added, margin)
     }
 
     /// Number of training examples this model was fitted on, in fit order,
@@ -131,6 +151,15 @@ impl<C: Classifier + ?Sized> Classifier for Box<C> {
         margin: f64,
     ) -> ModelDelta {
         (**self).model_delta(points, radii2, added, margin)
+    }
+    fn model_delta_matrix(
+        &self,
+        points: &PointMatrix,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        (**self).model_delta_matrix(points, radii2, added, margin)
     }
     fn training_len(&self) -> Option<usize> {
         (**self).training_len()

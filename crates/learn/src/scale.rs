@@ -6,7 +6,7 @@
 //! distance. All models and index points in this workspace therefore
 //! operate on coordinates mapped to the unit cube via the schema's domains.
 
-use uei_types::{Result, Schema, UeiError};
+use uei_types::{PointMatrix, Result, Schema, UeiError};
 
 /// A per-dimension linear map onto `[0, 1]`.
 ///
@@ -75,19 +75,27 @@ impl MinMaxScaler {
 
     /// Maps a point into the unit cube. Constant dimensions map to 0.5.
     pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(x.len());
+        self.transform_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::transform`] into a caller-provided buffer (cleared first) —
+    /// the allocation-free form the batch scoring paths use.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if x.len() != self.dims() {
             return Err(UeiError::DimensionMismatch { expected: self.dims(), actual: x.len() });
         }
-        Ok((0..x.len())
-            .map(|d| {
-                let w = self.hi[d] - self.lo[d];
-                if w > 0.0 {
-                    (x[d] - self.lo[d]) / w
-                } else {
-                    0.5
-                }
-            })
-            .collect())
+        out.clear();
+        out.extend((0..x.len()).map(|d| {
+            let w = self.hi[d] - self.lo[d];
+            if w > 0.0 {
+                (x[d] - self.lo[d]) / w
+            } else {
+                0.5
+            }
+        }));
+        Ok(())
     }
 
     /// Maps a unit-cube point back to the original space.
@@ -133,6 +141,25 @@ impl ScaledClassifier {
     pub fn scaler(&self) -> &MinMaxScaler {
         &self.scaler
     }
+
+    /// Scales a batch into one flat row-major matrix plus a validity mask
+    /// (`valid[i]` is false for rows of the wrong dimensionality, which
+    /// score the 0.5 fallback). Scaling is element-wise, so filling the
+    /// matrix sequentially produces bit-identical coordinates to any
+    /// per-row schedule; the expensive part — inner-model scoring — still
+    /// parallelizes downstream.
+    fn scale_batch(&self, xs: &[&[f64]]) -> (PointMatrix, Vec<bool>) {
+        let dims = self.scaler.dims();
+        let mut matrix = PointMatrix::with_capacity(xs.len(), dims);
+        let mut valid = Vec::with_capacity(xs.len());
+        let mut buf = Vec::with_capacity(dims);
+        for x in xs {
+            let ok =
+                self.scaler.transform_into(x, &mut buf).is_ok() && matrix.push_row(&buf).is_ok();
+            valid.push(ok);
+        }
+        (matrix, valid)
+    }
 }
 
 impl crate::model::Classifier for ScaledClassifier {
@@ -144,20 +171,15 @@ impl crate::model::Classifier for ScaledClassifier {
     }
 
     fn predict_proba_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
-        // Scale every valid row (in parallel for large batches), score the
-        // valid ones through the inner model's batch path, and splice the
-        // 0.5 fallback back in for rows of the wrong dimensionality.
-        let threshold = self.inner.parallel_batch_threshold();
-        let transformed =
-            crate::batch::map_batch_at(xs, threshold, |x| self.scaler.transform(x).ok());
-        let valid: Vec<&[f64]> = transformed.iter().flatten().map(|z| z.as_slice()).collect();
-        let mut probs = self.inner.predict_proba_batch(&valid).into_iter();
-        transformed
+        // Scale into one flat matrix, score the valid rows through the
+        // inner model's batch path, and splice the 0.5 fallback back in for
+        // rows of the wrong dimensionality.
+        let (matrix, valid) = self.scale_batch(xs);
+        let refs = matrix.row_refs();
+        let mut probs = self.inner.predict_proba_batch(&refs).into_iter();
+        valid
             .iter()
-            .map(|t| match t {
-                Some(_) => probs.next().expect("one probability per valid row"),
-                None => 0.5,
-            })
+            .map(|&ok| if ok { probs.next().expect("one probability per valid row") } else { 0.5 })
             .collect()
     }
 
@@ -165,26 +187,32 @@ impl crate::model::Classifier for ScaledClassifier {
         // Same splicing as the plain batch path, carrying the inner radii
         // through when present: invalid rows get the 0.5 fallback with an
         // infinite radius (always dirty), so the delta stays sound for them.
-        let threshold = self.inner.parallel_batch_threshold();
-        let transformed =
-            crate::batch::map_batch_at(xs, threshold, |x| self.scaler.transform(x).ok());
-        let valid: Vec<&[f64]> = transformed.iter().flatten().map(|z| z.as_slice()).collect();
-        let inner = self.inner.predict_proba_batch_tracked(&valid);
+        let (matrix, valid) = self.scale_batch(xs);
+        let refs = matrix.row_refs();
+        let inner = self.inner.predict_proba_batch_tracked(&refs);
         let mut probs_it = inner.probs.into_iter();
-        let probs: Vec<f64> = transformed
+        let probs: Vec<f64> = valid
             .iter()
-            .map(|t| match t {
-                Some(_) => probs_it.next().expect("one probability per valid row"),
-                None => 0.5,
-            })
+            .map(
+                |&ok| {
+                    if ok {
+                        probs_it.next().expect("one probability per valid row")
+                    } else {
+                        0.5
+                    }
+                },
+            )
             .collect();
         let radii2 = inner.radii2.map(|inner_radii| {
             let mut radii_it = inner_radii.into_iter();
-            transformed
+            valid
                 .iter()
-                .map(|t| match t {
-                    Some(_) => radii_it.next().expect("one radius per valid row"),
-                    None => f64::INFINITY,
+                .map(|&ok| {
+                    if ok {
+                        radii_it.next().expect("one radius per valid row")
+                    } else {
+                        f64::INFINITY
+                    }
                 })
                 .collect()
         });
@@ -214,18 +242,19 @@ impl crate::model::Classifier for ScaledClassifier {
             }
         }
         let mut valid_idx = Vec::with_capacity(points.len());
-        let mut scaled_points = Vec::with_capacity(points.len());
+        let mut scaled_points = PointMatrix::with_capacity(points.len(), self.scaler.dims());
         let mut valid_radii = Vec::with_capacity(points.len());
+        let mut buf = Vec::with_capacity(self.scaler.dims());
         for (i, p) in points.iter().enumerate() {
-            if let Ok(z) = self.scaler.transform(p) {
+            if self.scaler.transform_into(p, &mut buf).is_ok()
+                && scaled_points.push_row(&buf).is_ok()
+            {
                 valid_idx.push(i);
-                scaled_points.push(z);
                 valid_radii.push(radii2[i]);
             }
         }
-        let point_refs: Vec<&[f64]> = scaled_points.iter().map(|z| z.as_slice()).collect();
         let added_refs: Vec<&[f64]> = scaled_added.iter().map(|z| z.as_slice()).collect();
-        match self.inner.model_delta(&point_refs, &valid_radii, &added_refs, margin) {
+        match self.inner.model_delta_matrix(&scaled_points, &valid_radii, &added_refs, margin) {
             crate::delta::ModelDelta::Global => crate::delta::ModelDelta::Global,
             crate::delta::ModelDelta::Dirty(sub) => {
                 let mut mask = vec![true; points.len()];
@@ -235,6 +264,40 @@ impl crate::model::Classifier for ScaledClassifier {
                 crate::delta::ModelDelta::Dirty(mask)
             }
         }
+    }
+
+    fn model_delta_matrix(
+        &self,
+        points: &PointMatrix,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> crate::delta::ModelDelta {
+        // The matrix guarantees uniform dimensionality, so either every row
+        // transforms or none does — no per-row validity splicing needed.
+        if radii2.len() != points.len() {
+            return crate::delta::ModelDelta::Global;
+        }
+        if points.dims() != self.scaler.dims() && !points.is_empty() {
+            return crate::delta::ModelDelta::Global;
+        }
+        let mut scaled_added = Vec::with_capacity(added.len());
+        for a in added {
+            match self.scaler.transform(a) {
+                Ok(z) => scaled_added.push(z),
+                Err(_) => return crate::delta::ModelDelta::Global,
+            }
+        }
+        let mut scaled = PointMatrix::with_capacity(points.len(), self.scaler.dims());
+        let mut buf = Vec::with_capacity(self.scaler.dims());
+        for row in points.rows() {
+            if self.scaler.transform_into(row, &mut buf).is_err() || scaled.push_row(&buf).is_err()
+            {
+                return crate::delta::ModelDelta::Global;
+            }
+        }
+        let added_refs: Vec<&[f64]> = scaled_added.iter().map(|z| z.as_slice()).collect();
+        self.inner.model_delta_matrix(&scaled, radii2, &added_refs, margin)
     }
 
     fn training_len(&self) -> Option<usize> {

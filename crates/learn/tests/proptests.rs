@@ -3,7 +3,7 @@
 //! scaler.
 
 use proptest::prelude::*;
-use uei_learn::kdtree::KdTree;
+use uei_learn::kdtree::{KdTree, NearestScratch};
 use uei_learn::metrics::{set_f_measure, ConfusionMatrix};
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::{Classifier, Committee, EstimatorKind, MinMaxScaler, ScaledClassifier};
@@ -35,6 +35,86 @@ proptest! {
         let got = tree.nearest(&query, k).unwrap();
         let want = brute_knn(&points, &query, k);
         prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_bit_identical_across_dims(
+        (points, query, k) in (1usize..=8).prop_flat_map(|dims| (
+            proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, dims), 1..60),
+            proptest::collection::vec(-60.0f64..60.0, dims),
+            1usize..70, // exceeds the point count: covers k >= n
+        )),
+    ) {
+        // The flat bucketed tree must return *bit-identical* (dist², index)
+        // sequences to brute force — same distances down to the last ulp
+        // (identical accumulation order), same tie-breaking by build index.
+        let tree = KdTree::build(points.clone()).unwrap();
+        let got = tree.nearest(&query, k).unwrap();
+        let want = brute_knn(&points, &query, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (i, ((gd, gi), (wd, wi))) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                (gd.to_bits(), *gi), (wd.to_bits(), *wi),
+                "rank {i}: got ({gd}, {gi}) want ({wd}, {wi})"
+            );
+        }
+    }
+
+    #[test]
+    fn kdtree_bit_identical_on_duplicate_heavy_sets(
+        (points, query, k) in (1usize..=4).prop_flat_map(|dims| (
+            proptest::collection::vec(
+                proptest::collection::vec((-2i32..3).prop_map(f64::from), dims), 1..80),
+            proptest::collection::vec((-2i32..3).prop_map(f64::from), dims),
+            1usize..90,
+        )),
+    ) {
+        // Coordinates drawn from five integers: masses of exact duplicates
+        // and exact distance ties, so the build-index tie-break carries all
+        // the ordering. Duplicates also stress the median partition (equal
+        // keys must still split into two non-empty sides).
+        let tree = KdTree::build(points.clone()).unwrap();
+        let got = tree.nearest(&query, k).unwrap();
+        let want = brute_knn(&points, &query, k);
+        prop_assert_eq!(got.len(), want.len());
+        for ((gd, gi), (wd, wi)) in got.iter().zip(&want) {
+            prop_assert_eq!((gd.to_bits(), *gi), (wd.to_bits(), *wi));
+        }
+    }
+
+    #[test]
+    fn nearest_scratch_reuse_never_leaks_state(
+        (a_pts, a_qs, b_pts, b_qs, k) in ((1usize..=6), (1usize..=6)).prop_flat_map(|(da, db)| (
+            proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, da), 1..40),
+            proptest::collection::vec(
+                proptest::collection::vec(-12.0f64..12.0, da), 1..6),
+            proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, db), 1..40),
+            proptest::collection::vec(
+                proptest::collection::vec(-12.0f64..12.0, db), 1..6),
+            1usize..50,
+        )),
+    ) {
+        // One scratch shared across two trees of independent shapes and
+        // dimensionalities, queries interleaved: every answer must equal
+        // the fresh-scratch answer bit for bit.
+        let ta = KdTree::build(a_pts.clone()).unwrap();
+        let tb = KdTree::build(b_pts.clone()).unwrap();
+        let mut scratch = NearestScratch::new();
+        for i in 0..a_qs.len().max(b_qs.len()) {
+            if let Some(q) = a_qs.get(i) {
+                let shared = ta.nearest_with(&mut scratch, q, k).unwrap().to_vec();
+                let fresh = ta.nearest(q, k).unwrap();
+                prop_assert_eq!(shared, fresh);
+            }
+            if let Some(q) = b_qs.get(i) {
+                let shared = tb.nearest_with(&mut scratch, q, k).unwrap().to_vec();
+                let fresh = tb.nearest(q, k).unwrap();
+                prop_assert_eq!(shared, fresh);
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod stats;
 
 pub use error::{Result, UeiError};
 pub use label::Label;
-pub use point::{DataPoint, RowId};
+pub use point::{DataPoint, PointMatrix, RowId};
 pub use region::Region;
 pub use rng::Rng;
 pub use schema::{AttributeDef, Schema};

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lint, docs, tests, build, and smoke runs of the
-# scoring, region-load, fault-matrix, multi-session, and rescore benches.
+# scoring, region-load, fault-matrix, multi-session, rescore, and kd-tree
+# layout benches.
 #
 #   ./scripts/ci.sh          # full gate
 #   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
@@ -72,5 +73,13 @@ test -s "$tmp/BENCH_multi_session.json"
 echo "==> rescore_bench --smoke"
 cargo run -p uei-bench --release --bin rescore_bench -- --smoke --out "$tmp/BENCH_rescore.json"
 test -s "$tmp/BENCH_rescore.json"
+
+# Smoke-run the kd-tree layout bench: flat SoA bucketed-leaf tree vs. the
+# legacy recursive layout on a reduced grid. The binary asserts every
+# query's neighbour list is bit-identical across layouts and fails if the
+# flat layout's aggregate query throughput drops below the baseline's.
+echo "==> kdtree_bench --smoke"
+cargo run -p uei-bench --release --bin kdtree_bench -- --smoke --out "$tmp/BENCH_kdtree.json"
+test -s "$tmp/BENCH_kdtree.json"
 
 echo "CI gate passed."
