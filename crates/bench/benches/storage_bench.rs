@@ -44,10 +44,10 @@ fn sample_chunk(entries: usize) -> Chunk {
 
 fn bench_chunk_codec(c: &mut Criterion) {
     let chunk = sample_chunk(2_000);
-    let encoded = chunk.encode();
+    let encoded = chunk.encode().unwrap();
     let mut group = c.benchmark_group("chunk_codec");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode_2k_entries", |b| b.iter(|| chunk.encode()));
+    group.bench_function("encode_2k_entries", |b| b.iter(|| chunk.encode().unwrap()));
     group.bench_function("decode_2k_entries", |b| b.iter(|| Chunk::decode(&encoded).unwrap()));
     group.finish();
 }

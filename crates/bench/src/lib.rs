@@ -22,6 +22,7 @@ pub mod fault_matrix;
 pub mod fixture;
 pub mod kdtree;
 pub mod multi_session;
+pub mod recovery;
 pub mod region_load;
 pub mod rescore;
 pub mod scoring;
@@ -39,6 +40,10 @@ pub use kdtree::{
 pub use multi_session::{
     full_multi_session_report, run_multi_session_bench, smoke_multi_session_report,
     validate_multi_session, MultiSessionCase, MultiSessionConfig, MultiSessionReport,
+};
+pub use recovery::{
+    full_recovery_report, run_recovery_bench, smoke_recovery_report, validate_recovery,
+    RecoveryConfig, RecoveryReport,
 };
 pub use region_load::{
     full_region_load_report, run_region_load_bench, smoke_region_load_report, RegionLoadCase,

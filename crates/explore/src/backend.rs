@@ -63,6 +63,9 @@ pub struct SelectionInfo {
     /// UEI: index points served verbatim from the per-session score cache
     /// this selection (zero under full rescoring).
     pub points_cached: u64,
+    /// Stamped by the session driver (never by backends): the selection
+    /// happened in a session resumed from its journal after a crash.
+    pub recovered: bool,
     /// DBMS: tuples examined by the exhaustive scan.
     pub examined: Option<u64>,
 }
@@ -333,6 +336,7 @@ impl ExplorationBackend for UeiBackend {
             degraded,
             points_rescored: rescore.points_rescored,
             points_cached: rescore.points_cached,
+            recovered: false,
             examined: None,
         };
         match self.strategy.select(model, &candidates) {

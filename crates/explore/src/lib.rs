@@ -41,7 +41,11 @@ pub mod synth;
 pub mod workload;
 
 pub use backend::{DbmsBackend, ExplorationBackend, UeiBackend};
-pub use multi::{run_one_session, run_sessions, run_sessions_concurrently, SessionSpec};
+pub use multi::{
+    recover_one_session, run_one_session, run_sessions, run_sessions_concurrently,
+    run_sessions_supervised, run_sessions_supervised_with, summarize_outcomes, SessionOutcome,
+    SessionSpec,
+};
 pub use oracle::Oracle;
 pub use report::{average_traces, AveragedIteration, RunSummary};
 pub use session::{ExplorationSession, IterationTrace, SessionConfig, SessionResult, SessionState};

@@ -13,7 +13,21 @@
 //! wall-clock times differ. [`run_sessions`] is the sequential baseline and
 //! [`run_sessions_concurrently`] the N-thread path; the `multi_session`
 //! integration test pins the two against each other.
+//!
+//! ## Supervision
+//!
+//! The concurrent path is a *supervisor* ([`run_sessions_supervised`]):
+//! each session thread runs under `catch_unwind`, so one panicking or
+//! erroring session never poisons its siblings or the shared cache (all
+//! engine-side locks are `parking_lot`, which does not poison). A dead
+//! session with a [`SessionSpec::journal_dir`] is recovered from its
+//! write-ahead journal and driven to completion (DESIGN.md §13); without
+//! one — or when recovery itself fails — it is reported as aborted in its
+//! [`SessionOutcome`], and [`summarize_outcomes`] carries the
+//! `aborted`/`recovered` counts into the [`RunSummary`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::thread;
 
 use uei_index::engine::EngineCore;
@@ -21,6 +35,7 @@ use uei_types::{Result, Rng, UeiError};
 
 use crate::backend::UeiBackend;
 use crate::oracle::Oracle;
+use crate::report::{average_traces, RunSummary};
 use crate::session::{ExplorationSession, SessionConfig, SessionResult};
 
 /// Everything one session of a multi-session run needs: the loop
@@ -36,9 +51,38 @@ pub struct SessionSpec {
     pub sample_seed: u64,
     /// Uniform-sample size γ.
     pub gamma: usize,
+    /// Root of this session's write-ahead journal. `Some` journals every
+    /// label (durability knobs come from the engine's
+    /// `UeiConfig::journal`) and lets the supervisor resume the session
+    /// after a crash; `None` runs without durability. Give every session
+    /// its own empty directory.
+    pub journal_dir: Option<PathBuf>,
 }
 
-/// Opens one engine session and runs it to completion.
+/// What became of one supervised session.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The completed result; `None` if the session aborted.
+    pub result: Option<SessionResult>,
+    /// The session died (panic or error) and was successfully resumed
+    /// from its journal and run to completion.
+    pub recovered: bool,
+    /// The session died and could not be recovered (no journal, or
+    /// recovery failed).
+    pub aborted: bool,
+    /// The failure that killed the session (and, for aborted outcomes,
+    /// why recovery did not save it).
+    pub error: Option<String>,
+}
+
+/// How the supervisor drives one session. [`run_sessions_supervised`]
+/// passes [`run_one_session`]; tests and benches substitute runners that
+/// inject failures.
+pub type SessionRunner<'r> =
+    dyn Fn(&EngineCore, &Oracle, &SessionSpec) -> Result<SessionResult> + Sync + 'r;
+
+/// Opens one engine session and runs it to completion, journaling to
+/// [`SessionSpec::journal_dir`] when set.
 ///
 /// This is the unit both runners share, and the sequential baseline the
 /// concurrent path must reproduce bit-for-bit (wall-clock fields aside).
@@ -51,7 +95,38 @@ pub fn run_one_session(
     let mut backend = UeiBackend::from_engine(engine, spec.gamma, &mut rng)?;
     // The session's response times come from its own virtual clock.
     let tracker = backend.index().store().tracker().clone();
-    ExplorationSession::new(&mut backend, oracle, spec.session.clone(), tracker).run()
+    let mut session = ExplorationSession::new(&mut backend, oracle, spec.session.clone(), tracker);
+    if let Some(dir) = &spec.journal_dir {
+        session.attach_journal(dir, engine.config().journal)?;
+    }
+    session.run()
+}
+
+/// Resumes a crashed session of `spec` from its journal and runs it to
+/// completion. Requires [`SessionSpec::journal_dir`]. The rebuilt backend
+/// uses the same sampling seed as the original, so the recovered session's
+/// future traces are bit-identical to an uninterrupted run's.
+pub fn recover_one_session(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    spec: &SessionSpec,
+) -> Result<SessionResult> {
+    let dir = spec
+        .journal_dir
+        .as_ref()
+        .ok_or_else(|| UeiError::invalid_state("session has no journal to recover from"))?;
+    let mut rng = Rng::new(spec.sample_seed);
+    let mut backend = UeiBackend::from_engine(engine, spec.gamma, &mut rng)?;
+    let tracker = backend.index().store().tracker().clone();
+    let (session, state) = ExplorationSession::recover(
+        &mut backend,
+        oracle,
+        spec.session.clone(),
+        tracker,
+        dir,
+        engine.config().journal,
+    )?;
+    session.run_from(state)
 }
 
 /// Runs the sessions one after another on the calling thread, in spec
@@ -64,24 +139,169 @@ pub fn run_sessions(
     specs.iter().map(|spec| run_one_session(engine, oracle, spec)).collect()
 }
 
+/// Runs every session concurrently under supervision, one OS thread per
+/// spec. Outcomes come back in spec order regardless of thread
+/// interleaving; a session that panics or errors is recovered from its
+/// journal when it has one, and reported aborted otherwise — its siblings
+/// always run to completion either way.
+pub fn run_sessions_supervised(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    specs: &[SessionSpec],
+) -> Vec<SessionOutcome> {
+    run_sessions_supervised_with(engine, oracle, specs, &run_one_session)
+}
+
+/// [`run_sessions_supervised`] with a custom per-session runner (the seam
+/// fault-injection tests use to plant panicking backends).
+pub fn run_sessions_supervised_with(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    specs: &[SessionSpec],
+    runner: &SessionRunner<'_>,
+) -> Vec<SessionOutcome> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| scope.spawn(move || supervise_one(engine, oracle, spec, runner)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // `supervise_one` catches session panics, so a join error
+                // can only come from the supervision scaffolding itself.
+                h.join().unwrap_or_else(|_| SessionOutcome {
+                    result: None,
+                    recovered: false,
+                    aborted: true,
+                    error: Some("supervisor thread panicked".to_string()),
+                })
+            })
+            .collect()
+    })
+}
+
 /// Runs every session concurrently, one OS thread per spec, against the
 /// shared engine. Results come back in spec order regardless of thread
 /// interleaving.
+///
+/// This is the strict façade over [`run_sessions_supervised`]: every
+/// session still runs to completion under supervision (one dying session
+/// cannot poison its siblings), but any aborted session turns the whole
+/// call into an error. Callers that want per-session outcomes use the
+/// supervised form directly.
 pub fn run_sessions_concurrently(
     engine: &EngineCore,
     oracle: &Oracle,
     specs: &[SessionSpec],
 ) -> Result<Vec<SessionResult>> {
-    thread::scope(|scope| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|spec| scope.spawn(move || run_one_session(engine, oracle, spec)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(|_| UeiError::invalid_state("session thread panicked"))?)
-            .collect()
-    })
+    run_sessions_supervised(engine, oracle, specs)
+        .into_iter()
+        .map(|outcome| {
+            outcome.result.ok_or_else(|| {
+                UeiError::invalid_state(format!(
+                    "session aborted: {}",
+                    outcome.error.unwrap_or_else(|| "unknown failure".to_string())
+                ))
+            })
+        })
+        .collect()
+}
+
+fn supervise_one(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    spec: &SessionSpec,
+    runner: &SessionRunner<'_>,
+) -> SessionOutcome {
+    match catch_unwind(AssertUnwindSafe(|| runner(engine, oracle, spec))) {
+        Ok(Ok(result)) => {
+            SessionOutcome { result: Some(result), recovered: false, aborted: false, error: None }
+        }
+        Ok(Err(e)) => attempt_recovery(engine, oracle, spec, format!("session failed: {e}")),
+        Err(payload) => attempt_recovery(
+            engine,
+            oracle,
+            spec,
+            format!("session panicked: {}", panic_message(payload.as_ref())),
+        ),
+    }
+}
+
+/// Tries to resume a dead session from its journal; reports it aborted if
+/// it has none or recovery fails. Recovery runs under its own
+/// `catch_unwind` so even a panicking replay cannot take down the
+/// supervisor.
+fn attempt_recovery(
+    engine: &EngineCore,
+    oracle: &Oracle,
+    spec: &SessionSpec,
+    cause: String,
+) -> SessionOutcome {
+    if spec.journal_dir.is_none() {
+        return SessionOutcome {
+            result: None,
+            recovered: false,
+            aborted: true,
+            error: Some(cause),
+        };
+    }
+    let error = match catch_unwind(AssertUnwindSafe(|| recover_one_session(engine, oracle, spec))) {
+        Ok(Ok(result)) => {
+            return SessionOutcome {
+                result: Some(result),
+                recovered: true,
+                aborted: false,
+                error: Some(cause),
+            }
+        }
+        Ok(Err(e)) => format!("{cause}; recovery failed: {e}"),
+        Err(payload) => format!("{cause}; recovery panicked: {}", panic_message(payload.as_ref())),
+    };
+    SessionOutcome { result: None, recovered: false, aborted: true, error: Some(error) }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Aggregates supervised outcomes into a [`RunSummary`]: the completed
+/// sessions are averaged as usual and the `aborted_runs` /
+/// `recovered_runs` counters report the supervisor's interventions. All
+/// sessions aborted yields an empty summary rather than a panic.
+pub fn summarize_outcomes(outcomes: &[SessionOutcome]) -> RunSummary {
+    let results: Vec<SessionResult> = outcomes.iter().filter_map(|o| o.result.clone()).collect();
+    let mut summary = if results.is_empty() {
+        RunSummary {
+            backend: String::new(),
+            runs: 0,
+            series: Vec::new(),
+            final_f_measure_mean: 0.0,
+            overall_response_virtual_ms: 0.0,
+            p95_response_virtual_ms: 0.0,
+            cache_hit_ratio: 0.0,
+            cache_evictions_per_run: 0.0,
+            prefetch_bytes_per_run: 0.0,
+            retries_per_run: 0.0,
+            fallback_cells_per_run: 0.0,
+            degraded_iterations_per_run: 0.0,
+            points_rescored_per_run: 0.0,
+            points_cached_per_run: 0.0,
+            aborted_runs: 0,
+            recovered_runs: 0,
+        }
+    } else {
+        average_traces(&results)
+    };
+    summary.aborted_runs = outcomes.iter().filter(|o| o.aborted).count();
+    summary.recovered_runs = outcomes.iter().filter(|o| o.recovered).count();
+    summary
 }
 
 #[cfg(test)]
@@ -130,6 +350,7 @@ mod tests {
                 },
                 sample_seed: 200 + i,
                 gamma: 150,
+                journal_dir: None,
             })
             .collect();
 

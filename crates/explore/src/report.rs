@@ -83,6 +83,19 @@ pub struct RunSummary {
     /// incremental rescoring skipped).
     #[serde(default)]
     pub points_cached_per_run: f64,
+    /// Sessions that died (panic or error) and could not be recovered from
+    /// a journal; they contribute no traces. Only
+    /// [`crate::multi::summarize_outcomes`] can report a non-zero count —
+    /// [`average_traces`] never sees aborted runs.
+    #[serde(default)]
+    pub aborted_runs: usize,
+    /// Sessions resumed from their journal after a crash and run to
+    /// completion (their traces carry [`IterationTrace::recovered`]
+    /// iterations).
+    ///
+    /// [`IterationTrace::recovered`]: crate::session::IterationTrace::recovered
+    #[serde(default)]
+    pub recovered_runs: usize,
 }
 
 /// Averages repeated sessions into one series.
@@ -185,6 +198,8 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         degraded_iterations_per_run: degraded as f64 / results.len() as f64,
         points_rescored_per_run: points_rescored as f64 / results.len() as f64,
         points_cached_per_run: points_cached as f64 / results.len() as f64,
+        aborted_runs: 0,
+        recovered_runs: results.iter().filter(|r| r.traces.iter().any(|t| t.recovered)).count(),
     }
 }
 
@@ -221,6 +236,7 @@ mod tests {
             degraded: false,
             points_rescored: 0,
             points_cached: 0,
+            recovered: false,
             examined: None,
         }
     }

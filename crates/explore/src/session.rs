@@ -21,7 +21,26 @@
 //! substitute: if the bootstrap pool contains no positive, the simulated
 //! user supplies one relevant tuple (fetched by id through the backend,
 //! charged to the same I/O model). DESIGN.md documents this substitution.
+//!
+//! ## Durability (DESIGN.md §13)
+//!
+//! A session may attach a write-ahead journal
+//! ([`ExplorationSession::attach_journal`]): every labeled example is
+//! appended as a CRC-framed record the moment it enters `L`, and a
+//! `SessionSnapshot`-shaped snapshot lands every
+//! `JournalConfig::snapshot_every` iterations. After a crash,
+//! [`ExplorationSession::recover`] rebuilds a **bit-identical** session by
+//! *deterministic replay*: the whole stack is seed-deterministic, so
+//! recovery re-executes bootstrap and every journaled selection against a
+//! fresh backend, verifying each re-derived choice against the journal,
+//! while the recorded traces are restored verbatim (the expensive
+//! per-iteration F-measure estimates are *not* recomputed — that is what
+//! makes recovery cheaper than the original run). Journal appends happen
+//! strictly outside the measured response-time window of each iteration,
+//! so an uninterrupted run's traces are unchanged by journaling except for
+//! the modeled write charge on the cumulative ledger.
 
+use std::path::Path;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -29,6 +48,7 @@ use uei_learn::dataset::LabeledSet;
 use uei_learn::metrics::set_f_measure;
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::{Classifier, EstimatorKind, MinMaxScaler, ScaledClassifier};
+use uei_storage::journal::{JournalConfig, SessionJournal};
 use uei_storage::DiskTracker;
 use uei_types::{DataPoint, Label, Result, Rng, UeiError};
 
@@ -135,8 +155,105 @@ pub struct IterationTrace {
     /// this iteration.
     #[serde(default)]
     pub points_cached: u64,
+    /// The iteration ran in a session resumed from its journal after a
+    /// crash (replayed iterations keep the original `false`; only
+    /// iterations executed *after* recovery are marked).
+    #[serde(default)]
+    pub recovered: bool,
     /// DBMS: tuples examined by the exhaustive scan, if applicable.
     pub examined: Option<u64>,
+}
+
+/// Everything about a session that must match between the run that wrote
+/// a journal and the run that replays it. Recovery refuses a journal whose
+/// fingerprint disagrees with the provided config — replaying under
+/// different parameters would silently diverge instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ConfigFingerprint {
+    seed: u64,
+    max_labels: usize,
+    batch_size: usize,
+    bootstrap_size: usize,
+    eval_sample: usize,
+    eval_every: usize,
+    backend: String,
+}
+
+impl ConfigFingerprint {
+    fn new(config: &SessionConfig, backend: &str) -> ConfigFingerprint {
+        ConfigFingerprint {
+            seed: config.seed,
+            max_labels: config.max_labels,
+            batch_size: config.batch_size,
+            bootstrap_size: config.bootstrap_size,
+            eval_sample: config.eval_sample,
+            eval_every: config.eval_every,
+            backend: backend.to_string(),
+        }
+    }
+}
+
+/// One labeled example as journaled: the row id plus the user's verdict.
+/// The point's values are *not* stored — replay re-derives them from the
+/// backend and the id equality check catches any divergence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct JournaledLabel {
+    id: u64,
+    positive: bool,
+}
+
+fn journaled_labels(labeled: &LabeledSet) -> Vec<JournaledLabel> {
+    labeled
+        .entries()
+        .iter()
+        .map(|(p, l)| JournaledLabel { id: p.id.as_u64(), positive: l.is_positive() })
+        .collect()
+}
+
+/// One record of the session journal (serialized as JSON inside a CRC
+/// frame; see `uei_storage::journal` for the framing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum JournalRecord {
+    /// First record of every journal: pins the config fingerprint.
+    Start(ConfigFingerprint),
+    /// The labeled set produced by bootstrap, in add order.
+    Bootstrap(BootstrapRecord),
+    /// One completed iteration: the label that was acknowledged and the
+    /// trace it produced. `Ok` from this append *is* the acknowledgement —
+    /// an acked label always survives recovery.
+    Label(LabelRecord),
+}
+
+/// Payload of [`JournalRecord::Bootstrap`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BootstrapRecord {
+    entries: Vec<JournaledLabel>,
+}
+
+/// Payload of [`JournalRecord::Label`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LabelRecord {
+    iteration: usize,
+    entry: JournaledLabel,
+    trace: IterationTrace,
+}
+
+/// The periodic snapshot payload: the full (append-only) label history
+/// plus every trace recorded so far. Snapshot + journal suffix is always
+/// sufficient to replay the session — older segments are garbage-collected
+/// once a snapshot lands.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SessionSnapshot {
+    fingerprint: ConfigFingerprint,
+    /// Completed iterations at snapshot time (equals `traces.len()`).
+    iteration: usize,
+    /// How many leading `entries` came from bootstrap (no trace).
+    bootstrap_labels: usize,
+    /// Full labeled history in add order: bootstrap entries first, then
+    /// one entry per completed iteration.
+    entries: Vec<JournaledLabel>,
+    /// Every trace recorded so far, restored verbatim on recovery.
+    traces: Vec<IterationTrace>,
 }
 
 /// The outcome of a whole session.
@@ -175,6 +292,9 @@ pub struct SessionState {
     eval_truth: Vec<bool>,
     traces: Vec<IterationTrace>,
     iteration: usize,
+    /// How many leading entries of `labeled` came from bootstrap (needed
+    /// by snapshots to separate bootstrap labels from iteration labels).
+    bootstrap_labels: usize,
 }
 
 impl SessionState {
@@ -209,6 +329,10 @@ pub struct ExplorationSession<'a> {
     oracle: &'a Oracle,
     config: SessionConfig,
     tracker: DiskTracker,
+    journal: Option<SessionJournal>,
+    /// Set by [`ExplorationSession::recover`]: iterations executed from
+    /// here on are stamped [`IterationTrace::recovered`].
+    recovered: bool,
 }
 
 impl<'a> ExplorationSession<'a> {
@@ -222,12 +346,34 @@ impl<'a> ExplorationSession<'a> {
         config: SessionConfig,
         tracker: DiskTracker,
     ) -> ExplorationSession<'a> {
-        ExplorationSession { backend, oracle, config, tracker }
+        ExplorationSession { backend, oracle, config, tracker, journal: None, recovered: false }
+    }
+
+    /// Attaches a fresh write-ahead journal rooted at `dir` (which must
+    /// not already hold one — resuming an existing journal goes through
+    /// [`ExplorationSession::recover`] instead). Call before
+    /// [`ExplorationSession::start`]; every label acknowledged after this
+    /// point is durably journaled. Journal writes are charged to the
+    /// session's modeled disk but land outside each iteration's measured
+    /// response-time window.
+    pub fn attach_journal(&mut self, dir: &Path, journal_config: JournalConfig) -> Result<()> {
+        self.journal = Some(SessionJournal::create(dir, journal_config, self.tracker.clone())?);
+        Ok(())
+    }
+
+    /// Whether this session was resumed from a journal after a crash.
+    pub fn is_recovered(&self) -> bool {
+        self.recovered
     }
 
     /// Runs the session to completion.
     pub fn run(mut self) -> Result<SessionResult> {
-        let mut state = self.start()?;
+        let state = self.start()?;
+        self.run_from(state)
+    }
+
+    /// Runs an already-initialized (or recovered) session to completion.
+    pub fn run_from(mut self, mut state: SessionState) -> Result<SessionResult> {
         while state.labeled.len() < self.config.max_labels {
             if !self.step(&mut state)? {
                 break; // candidate pool exhausted
@@ -257,10 +403,18 @@ impl<'a> ExplorationSession<'a> {
 
         // Bootstrap the initial labeled set (one positive + one negative).
         let mut labeled = LabeledSet::new();
+        self.journal_append(&JournalRecord::Start(ConfigFingerprint::new(
+            &self.config,
+            self.backend.name(),
+        )))?;
         self.bootstrap(&mut labeled, &mut rng)?;
+        self.journal_append(&JournalRecord::Bootstrap(BootstrapRecord {
+            entries: journaled_labels(&labeled),
+        }))?;
 
         Ok(SessionState {
             scaler,
+            bootstrap_labels: labeled.len(),
             labeled,
             model: None,
             labels_at_last_train: 0,
@@ -302,9 +456,10 @@ impl<'a> ExplorationSession<'a> {
         let delta = self.tracker.delta(&io_before);
         let wall = wall_start.elapsed();
 
-        let Some((point, info)) = selected else {
+        let Some((point, mut info)) = selected else {
             return Ok(false); // candidate pool exhausted
         };
+        info.recovered = self.recovered;
 
         // Solicit the user's label (line 22).
         let label = self.oracle.label(&point)?;
@@ -343,14 +498,277 @@ impl<'a> ExplorationSession<'a> {
             degraded: info.degraded,
             points_rescored: info.points_rescored,
             points_cached: info.points_cached,
+            recovered: info.recovered,
             examined: info.examined,
         });
+        // Journal the acknowledged label — outside the measured window
+        // above, so journaling never perturbs the iteration's trace.
+        self.journal_iteration(state, &point, label)?;
         Ok(true)
+    }
+
+    /// Appends one record to the attached journal (no-op without one).
+    fn journal_append(&mut self, record: &JournalRecord) -> Result<()> {
+        let Some(journal) = &mut self.journal else { return Ok(()) };
+        let payload = serde_json::to_vec(record).map_err(|e| {
+            UeiError::invalid_state(format!("journal record serialization failed: {e}"))
+        })?;
+        journal.append(&payload)
+    }
+
+    /// Journals one completed iteration's label + trace, then snapshots
+    /// the session every `JournalConfig::snapshot_every` iterations.
+    fn journal_iteration(
+        &mut self,
+        state: &SessionState,
+        point: &DataPoint,
+        label: Label,
+    ) -> Result<()> {
+        let Some(snapshot_every) = self.journal.as_ref().map(|j| j.config().snapshot_every) else {
+            return Ok(());
+        };
+        let trace = state.traces.last().expect("pushed above").clone();
+        self.journal_append(&JournalRecord::Label(LabelRecord {
+            iteration: state.iteration,
+            entry: JournaledLabel { id: point.id.as_u64(), positive: label.is_positive() },
+            trace,
+        }))?;
+        if state.iteration.is_multiple_of(snapshot_every as usize) {
+            let snap = SessionSnapshot {
+                fingerprint: ConfigFingerprint::new(&self.config, self.backend.name()),
+                iteration: state.iteration,
+                bootstrap_labels: state.bootstrap_labels,
+                entries: journaled_labels(&state.labeled),
+                traces: state.traces.clone(),
+            };
+            let payload = serde_json::to_vec(&snap).map_err(|e| {
+                UeiError::invalid_state(format!("session snapshot serialization failed: {e}"))
+            })?;
+            self.journal.as_mut().expect("journal present").snapshot(&payload)?;
+        }
+        Ok(())
+    }
+
+    /// Resumes a crashed session from its journal by deterministic replay.
+    ///
+    /// `backend` must be constructed exactly as the original run's (same
+    /// engine/store, same sampling seed): the whole stack is
+    /// seed-deterministic, so recovery re-executes the bootstrap and every
+    /// journaled selection against it, checking each re-derived row id and
+    /// label against the journal ([`UeiError::Corrupt`] "journal
+    /// divergence" on any mismatch) while restoring the recorded traces
+    /// verbatim. Per-iteration F-measure estimation is skipped for
+    /// replayed iterations — their traces already hold the original
+    /// values — which is what makes recovery cheaper than re-running.
+    ///
+    /// The returned session has the journal re-attached (appending
+    /// resumes where the journal left off) and stamps
+    /// [`IterationTrace::recovered`] on every subsequent iteration; drive
+    /// it with [`ExplorationSession::run_from`]. An empty or never-started
+    /// journal recovers to a fresh start. Future traces are bit-identical
+    /// to an uninterrupted run's (wall-clock fields aside).
+    pub fn recover(
+        backend: &'a mut dyn ExplorationBackend,
+        oracle: &'a Oracle,
+        config: SessionConfig,
+        tracker: DiskTracker,
+        dir: &Path,
+        journal_config: JournalConfig,
+    ) -> Result<(ExplorationSession<'a>, SessionState)> {
+        let (contents, journal) = SessionJournal::recover(dir, journal_config, tracker.clone())?;
+        let mut session = ExplorationSession {
+            backend,
+            oracle,
+            config,
+            tracker,
+            journal: Some(journal),
+            recovered: true,
+        };
+        let state = session.replay(contents)?;
+        Ok((session, state))
+    }
+
+    /// Rebuilds the session state from recovered journal contents by
+    /// re-executing the deterministic run against the fresh backend.
+    fn replay(&mut self, contents: uei_storage::journal::JournalContents) -> Result<SessionState> {
+        fn decode<T: serde::Deserialize>(what: &str, bytes: &[u8]) -> Result<T> {
+            serde_json::from_slice(bytes)
+                .map_err(|e| UeiError::corrupt(format!("journal {what} failed to decode: {e}")))
+        }
+
+        let fingerprint = ConfigFingerprint::new(&self.config, self.backend.name());
+        let check_fingerprint = |found: &ConfigFingerprint| -> Result<()> {
+            if *found != fingerprint {
+                return Err(UeiError::invalid_state(format!(
+                    "journal was written under a different session config \
+                     (journal {found:?}, recovery {fingerprint:?})"
+                )));
+            }
+            Ok(())
+        };
+
+        // Assemble the authoritative history: the snapshot (if any) plus
+        // the record suffix. Records the snapshot already covers may
+        // survive a crash between snapshot publish and segment GC; they
+        // are deduplicated by iteration number.
+        let mut started = false;
+        let mut bootstrap: Option<Vec<JournaledLabel>> = None;
+        let mut labels: Vec<(JournaledLabel, IterationTrace)> = Vec::new();
+        if let Some(bytes) = &contents.snapshot {
+            let snap: SessionSnapshot = decode("snapshot", bytes)?;
+            check_fingerprint(&snap.fingerprint)?;
+            let iterations = snap.entries.len().saturating_sub(snap.bootstrap_labels);
+            if snap.traces.len() != iterations || snap.iteration != iterations {
+                return Err(UeiError::corrupt(format!(
+                    "journal snapshot inconsistent: {} entries ({} bootstrap), {} traces, \
+                     iteration {}",
+                    snap.entries.len(),
+                    snap.bootstrap_labels,
+                    snap.traces.len(),
+                    snap.iteration
+                )));
+            }
+            started = true;
+            bootstrap = Some(snap.entries[..snap.bootstrap_labels].to_vec());
+            labels =
+                snap.entries[snap.bootstrap_labels..].iter().cloned().zip(snap.traces).collect();
+        }
+        for bytes in &contents.records {
+            match decode::<JournalRecord>("record", bytes)? {
+                JournalRecord::Start(found) => {
+                    check_fingerprint(&found)?;
+                    started = true;
+                }
+                JournalRecord::Bootstrap(BootstrapRecord { entries }) => match &bootstrap {
+                    // A pre-snapshot segment surviving GC replays the same
+                    // bootstrap; anything else is divergence.
+                    Some(known) if *known == entries => {}
+                    Some(_) => {
+                        return Err(UeiError::corrupt(
+                            "journal divergence: conflicting bootstrap records",
+                        ))
+                    }
+                    None => bootstrap = Some(entries),
+                },
+                JournalRecord::Label(LabelRecord { iteration, entry, trace }) => {
+                    if iteration <= labels.len() {
+                        continue; // already covered by the snapshot
+                    }
+                    if iteration != labels.len() + 1 {
+                        return Err(UeiError::corrupt(format!(
+                            "journal gap: record for iteration {iteration} after {} \
+                             recovered iterations",
+                            labels.len()
+                        )));
+                    }
+                    labels.push((entry, trace));
+                }
+            }
+        }
+        if !started && (bootstrap.is_some() || !labels.is_empty()) {
+            return Err(UeiError::corrupt("journal has labels but no start record"));
+        }
+        if bootstrap.is_none() && !labels.is_empty() {
+            return Err(UeiError::corrupt("journal has iteration labels but no bootstrap"));
+        }
+
+        // Re-execute the deterministic start phase. A journal that never
+        // acked its start record recovers to a fresh start (which appends
+        // it); one that acked `Start` but not `Bootstrap` re-runs the
+        // bootstrap and appends the record now.
+        if self.config.batch_size == 0 {
+            return Err(UeiError::invalid_config("batch_size must be >= 1"));
+        }
+        if !started {
+            return self.start();
+        }
+        let mut rng = Rng::new(self.config.seed);
+        let scaler = MinMaxScaler::from_schema(self.backend.schema());
+        let eval_points = if self.config.eval_sample > 0 {
+            self.backend.sample_rows(self.config.eval_sample, &mut rng)?
+        } else {
+            Vec::new()
+        };
+        let eval_truth: Vec<bool> =
+            eval_points.iter().map(|p| self.oracle.is_relevant_id(p.id.as_u64())).collect();
+        let mut labeled = LabeledSet::new();
+        self.bootstrap(&mut labeled, &mut rng)?;
+        match &bootstrap {
+            Some(journaled) if *journaled == journaled_labels(&labeled) => {}
+            Some(_) => {
+                return Err(UeiError::corrupt(
+                    "journal divergence: replayed bootstrap disagrees with the journal",
+                ))
+            }
+            None => {
+                self.journal_append(&JournalRecord::Bootstrap(BootstrapRecord {
+                    entries: journaled_labels(&labeled),
+                }))?;
+            }
+        }
+        let mut state = SessionState {
+            scaler,
+            bootstrap_labels: labeled.len(),
+            labeled,
+            model: None,
+            labels_at_last_train: 0,
+            eval_points,
+            eval_truth,
+            traces: Vec::new(),
+            iteration: 0,
+        };
+
+        // Replay every journaled iteration: retrain-if-due + select_next
+        // exactly as `step` would, but take the label and trace from the
+        // journal instead of re-estimating.
+        for (entry, trace) in labels {
+            state.iteration += 1;
+            if state.model.is_none()
+                || state.labeled.len() - state.labels_at_last_train >= self.config.batch_size
+            {
+                state.model = Some(ScaledClassifier::train(
+                    self.config.estimator,
+                    state.scaler.clone(),
+                    &state.labeled.training_data(),
+                )?);
+                state.labels_at_last_train = state.labeled.len();
+            }
+            let selected = {
+                let model = state.model.as_ref().expect("trained above");
+                self.backend.select_next(model, &state.labeled)?
+            };
+            let Some((point, _)) = selected else {
+                return Err(UeiError::corrupt(format!(
+                    "journal divergence: pool exhausted replaying iteration {}",
+                    state.iteration
+                )));
+            };
+            if point.id.as_u64() != entry.id {
+                return Err(UeiError::corrupt(format!(
+                    "journal divergence: iteration {} selected row {}, journal says {}",
+                    state.iteration, point.id, entry.id
+                )));
+            }
+            let label = self.oracle.label(&point)?;
+            if label.is_positive() != entry.positive {
+                return Err(UeiError::corrupt(format!(
+                    "journal divergence: iteration {} label disagrees for row {}",
+                    state.iteration, entry.id
+                )));
+            }
+            state.labeled.add(point.clone(), label)?;
+            self.backend.mark_labeled(point.id);
+            state.traces.push(trace);
+        }
+        Ok(state)
     }
 
     /// Final exact F-measure via result retrieval (Algorithm 2 line 26)
     /// and result assembly.
     pub fn finish(&mut self, state: SessionState) -> Result<SessionResult> {
+        if let Some(journal) = &mut self.journal {
+            journal.sync()?;
+        }
         let SessionState { scaler, labeled, traces, .. } = state;
         let final_model =
             ScaledClassifier::train(self.config.estimator, scaler, &labeled.training_data())?;

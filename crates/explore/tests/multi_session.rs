@@ -63,6 +63,7 @@ fn specs() -> Vec<SessionSpec> {
             },
             sample_seed: 2000 + i,
             gamma: 150,
+            journal_dir: None,
         })
         .collect()
 }

@@ -1,6 +1,7 @@
 //! UEI configuration.
 
 use uei_storage::fault::RetryPolicy;
+use uei_storage::journal::JournalConfig;
 use uei_types::{Result, UeiError};
 
 /// Tunables of the Uncertainty Estimation Index.
@@ -97,6 +98,11 @@ pub struct UeiConfig {
     /// incremental passes — a belt-and-braces staleness bound for long
     /// sessions. Must be ≥ 1; 1 disables incremental reuse entirely.
     pub full_rescore_every: usize,
+    /// Durability knobs for sessions that attach a write-ahead journal:
+    /// fsync policy for record appends, segment rotation size, and the
+    /// snapshot cadence in iterations (DESIGN.md §13). Sessions without a
+    /// journal directory ignore this entirely.
+    pub journal: JournalConfig,
 }
 
 impl Default for UeiConfig {
@@ -117,6 +123,7 @@ impl Default for UeiConfig {
             incremental_rescore: true,
             rescore_margin: 0.0,
             full_rescore_every: 50,
+            journal: JournalConfig::default(),
         }
     }
 }
@@ -160,6 +167,7 @@ impl UeiConfig {
             return Err(UeiError::invalid_config("full_rescore_every must be >= 1"));
         }
         self.retry.validate()?;
+        self.journal.validate()?;
         Ok(())
     }
 
@@ -213,6 +221,18 @@ mod tests {
 
         let c = UeiConfig {
             retry: RetryPolicy { max_attempts: 0, ..RetryPolicy::default() },
+            ..UeiConfig::default()
+        };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig {
+            journal: JournalConfig { snapshot_every: 0, ..JournalConfig::default() },
+            ..UeiConfig::default()
+        };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig {
+            journal: JournalConfig { segment_bytes: 0, ..JournalConfig::default() },
             ..UeiConfig::default()
         };
         assert!(c.validate(5).is_err());

@@ -102,19 +102,21 @@ impl Chunk {
         self.entries.iter().map(|e| e.len()).sum()
     }
 
-    /// Serializes the chunk to its file representation.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the chunk to its file representation. Fails only if the
+    /// chunk's entry invariants were violated after construction; the
+    /// store's write path propagates this instead of panicking mid-build.
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut w = Writer::with_capacity(64 + self.entries.len() * 24);
         w.write_bytes(CHUNK_MAGIC);
         w.write_u32(self.id.dim);
         w.write_u32(self.id.seq);
         w.write_u32(self.entries.len() as u32);
         for e in &self.entries {
-            e.encode(&mut w).expect("validated chunk entries encode");
+            e.encode(&mut w)?;
         }
         let crc = crc32(w.as_bytes());
         w.write_u32(crc);
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Parses and validates a chunk file image.
@@ -216,21 +218,21 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let c = sample_chunk();
-        let bytes = c.encode();
+        let bytes = c.encode().unwrap();
         let got = Chunk::decode(&bytes).unwrap();
         assert_eq!(got, c);
     }
 
     #[test]
     fn decode_rejects_bad_magic() {
-        let mut bytes = sample_chunk().encode();
+        let mut bytes = sample_chunk().encode().unwrap();
         bytes[0] ^= 0xFF;
         assert!(Chunk::decode(&bytes).is_err());
     }
 
     #[test]
     fn decode_rejects_bit_flip_anywhere() {
-        let bytes = sample_chunk().encode();
+        let bytes = sample_chunk().encode().unwrap();
         for pos in [0, 8, 12, 20, bytes.len() / 2, bytes.len() - 5, bytes.len() - 1] {
             let mut copy = bytes.clone();
             copy[pos] ^= 0x01;
@@ -240,7 +242,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation() {
-        let bytes = sample_chunk().encode();
+        let bytes = sample_chunk().encode().unwrap();
         for cut in [0, 1, 10, bytes.len() - 1] {
             assert!(Chunk::decode(&bytes[..cut]).is_err(), "truncation at {cut} undetected");
         }
@@ -249,7 +251,7 @@ mod tests {
     #[test]
     fn decode_rejects_trailing_garbage() {
         // Appending bytes invalidates the CRC position, so this must fail.
-        let mut bytes = sample_chunk().encode();
+        let mut bytes = sample_chunk().encode().unwrap();
         bytes.extend_from_slice(&[0, 0, 0, 0]);
         assert!(Chunk::decode(&bytes).is_err());
     }

@@ -111,12 +111,15 @@ pub fn merge_sources(sources: &[Vec<DataPoint>]) -> Result<Vec<DataPoint>> {
 /// of each chunk can be adjusted based on the size of the data and the
 /// available hardware resources"). A posting list is never split across
 /// chunks, preserving the invariant that chunk key ranges are disjoint.
-pub fn split_into_chunks(column: InvertedColumn, target_bytes: usize) -> Vec<Vec<PostingList>> {
+pub fn split_into_chunks(
+    column: InvertedColumn,
+    target_bytes: usize,
+) -> Result<Vec<Vec<PostingList>>> {
     let mut runs: Vec<Vec<PostingList>> = Vec::new();
     let mut current: Vec<PostingList> = Vec::new();
     let mut current_bytes = 0usize;
     for posting in column.postings {
-        let len = posting.encoded_len();
+        let len = posting.encoded_len()?;
         current_bytes += len;
         current.push(posting);
         if current_bytes >= target_bytes {
@@ -127,7 +130,7 @@ pub fn split_into_chunks(column: InvertedColumn, target_bytes: usize) -> Vec<Vec
     if !current.is_empty() {
         runs.push(current);
     }
-    runs
+    Ok(runs)
 }
 
 #[cfg(test)]
@@ -193,15 +196,15 @@ mod tests {
         let postings: Vec<PostingList> =
             (0..100).map(|i| PostingList::new(i as f64, vec![i]).unwrap()).collect();
         let column = InvertedColumn { dim: 0, postings: postings.clone() };
-        let per_list = postings[50].encoded_len();
-        let runs = split_into_chunks(column, per_list * 10);
+        let per_list = postings[50].encoded_len().unwrap();
+        let runs = split_into_chunks(column, per_list * 10).unwrap();
         assert!(runs.len() > 1);
         // All postings survive, in order.
         let flat: Vec<f64> = runs.iter().flatten().map(|p| p.key).collect();
         assert_eq!(flat, (0..100).map(|i| i as f64).collect::<Vec<_>>());
         // Every run except the last hits the target.
         for run in &runs[..runs.len() - 1] {
-            let bytes: usize = run.iter().map(|p| p.encoded_len()).sum();
+            let bytes: usize = run.iter().map(|p| p.encoded_len().unwrap()).sum();
             assert!(bytes >= per_list * 10);
         }
     }
@@ -210,7 +213,7 @@ mod tests {
     fn split_single_giant_target_yields_one_chunk() {
         let postings = vec![PostingList::new(1.0, vec![0]).unwrap()];
         let column = InvertedColumn { dim: 0, postings };
-        let runs = split_into_chunks(column, usize::MAX);
+        let runs = split_into_chunks(column, usize::MAX).unwrap();
         assert_eq!(runs.len(), 1);
     }
 
@@ -219,7 +222,7 @@ mod tests {
         let postings: Vec<PostingList> =
             (0..10).map(|i| PostingList::new(i as f64, vec![i]).unwrap()).collect();
         let column = InvertedColumn { dim: 0, postings };
-        let runs = split_into_chunks(column, 1);
+        let runs = split_into_chunks(column, 1).unwrap();
         assert_eq!(runs.len(), 10);
         assert!(runs.iter().all(|r| r.len() == 1));
     }
@@ -227,7 +230,7 @@ mod tests {
     #[test]
     fn split_empty_column() {
         let column = InvertedColumn { dim: 0, postings: vec![] };
-        assert!(split_into_chunks(column, 100).is_empty());
+        assert!(split_into_chunks(column, 100).unwrap().is_empty());
     }
 
     #[test]

@@ -26,6 +26,29 @@
 //! checksum machinery (per-chunk CRC-32 in the manifest catalog, the chunk
 //! trailer CRC, the manifest sidecar sum) is what detects the corruption —
 //! exactly the path a real bit flip would take.
+//!
+//! # Dice order
+//!
+//! All faults — read and write — draw from **one** seeded RNG behind a
+//! mutex, so a seed plus the global sequence of consulted operations
+//! replays one fault schedule exactly. Per operation the draw order is
+//! fixed and every die is always thrown, even when an earlier one already
+//! fired, so outcomes never shift the stream:
+//!
+//! - read ([`FaultInjector::roll_for_read`]): `transient` →
+//!   `corrupt?` → `corrupt kind` → `corrupt position` → `spike`;
+//! - journal write ([`FaultInjector::roll_for_journal_write`]): `torn
+//!   append` → `rename failure` → `fsync failure`.
+//!
+//! Write faults are consulted explicitly by [`SessionJournal`] on each of
+//! its write operations (appends, segment rotations, snapshots, manifest
+//! updates), not path-gated like read faults; journal files are exempt
+//! from the *read* dice so recovery itself replays deterministically. On
+//! top of the probabilistic dice, [`FaultInjector::arm_journal_kill`]
+//! plants a one-shot simulated crash at an exact write-operation index —
+//! the kill-point matrix test uses it to crash at every write boundary.
+//!
+//! [`SessionJournal`]: crate::journal::SessionJournal
 
 use std::path::Path;
 use std::sync::Arc;
@@ -54,6 +77,15 @@ pub struct FaultConfig {
     pub slow_prob: f64,
     /// Virtual-clock penalty charged when a latency spike fires, seconds.
     pub slow_penalty_secs: f64,
+    /// Probability that a journal append is torn mid-frame (the partial
+    /// frame reaches disk, then the process "crashes").
+    pub torn_append_prob: f64,
+    /// Probability that an atomic tmp+rename publish fails after the tmp
+    /// file is written but before the rename lands.
+    pub rename_fail_prob: f64,
+    /// Probability that an fsync requested by the journal's durability
+    /// policy reports an error.
+    pub fsync_fail_prob: f64,
 }
 
 impl FaultConfig {
@@ -65,6 +97,9 @@ impl FaultConfig {
             corrupt_prob: 0.0,
             slow_prob: 0.0,
             slow_penalty_secs: 0.0,
+            torn_append_prob: 0.0,
+            rename_fail_prob: 0.0,
+            fsync_fail_prob: 0.0,
         }
     }
 
@@ -74,6 +109,9 @@ impl FaultConfig {
             ("transient_prob", self.transient_prob),
             ("corrupt_prob", self.corrupt_prob),
             ("slow_prob", self.slow_prob),
+            ("torn_append_prob", self.torn_append_prob),
+            ("rename_fail_prob", self.rename_fail_prob),
+            ("fsync_fail_prob", self.fsync_fail_prob),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(UeiError::invalid_config(format!(
@@ -108,6 +146,16 @@ pub struct FaultStats {
     pub corruptions: u64,
     /// Latency spikes charged to the virtual clock.
     pub latency_spikes: u64,
+    /// Journal write operations the injector was consulted for.
+    pub writes_seen: u64,
+    /// Journal appends torn mid-frame.
+    pub torn_appends: u64,
+    /// tmp+rename publishes failed before the rename.
+    pub rename_failures: u64,
+    /// fsyncs that reported an injected error.
+    pub fsync_failures: u64,
+    /// Armed kill points that fired.
+    pub kills_fired: u64,
 }
 
 /// The faults rolled for one read operation.
@@ -129,10 +177,56 @@ pub struct InjectedFaults {
     pub spike: Option<Duration>,
 }
 
+/// Where, relative to a journal write operation, an armed kill fires.
+///
+/// Together the three modes cover every crash boundary the recovery path
+/// must survive: nothing written (`BeforeWrite`), a torn artifact on disk
+/// (`Torn` — a partial frame for appends, a tmp file that never renamed
+/// for rotations/snapshots/manifest updates), and a completed write whose
+/// *successors* never happened (`AfterWrite` — e.g. a renamed snapshot
+/// with a stale manifest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Crash before the operation touches disk.
+    BeforeWrite,
+    /// Crash halfway through: the operation's torn artifact stays on disk.
+    Torn,
+    /// Crash after the operation completed durably.
+    AfterWrite,
+}
+
+/// The faults rolled for one journal write operation.
+///
+/// Produced by [`FaultInjector::roll_for_journal_write`]. `kill` comes from
+/// an armed one-shot kill point and overrides the probabilistic dice; the
+/// journal interprets `torn` only for appends and `rename_fail` only for
+/// tmp+rename publishes, but all dice are always thrown to keep the stream
+/// aligned.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedWriteFaults {
+    /// A one-shot armed kill fires at this operation.
+    pub kill: Option<KillMode>,
+    /// Tear this append mid-frame and simulate a crash.
+    pub torn: bool,
+    /// Fail this tmp+rename publish after the tmp write.
+    pub rename_fail: bool,
+    /// Report an error from this operation's fsync.
+    pub fsync_fail: bool,
+}
+
+impl InjectedWriteFaults {
+    /// No faults for this operation.
+    pub fn none() -> Self {
+        InjectedWriteFaults { kill: None, torn: false, rename_fail: false, fsync_fail: false }
+    }
+}
+
 #[derive(Debug)]
 struct InjectorState {
     rng: Rng,
     stats: FaultStats,
+    /// One-shot kill armed at an absolute write-operation index.
+    armed_kill: Option<(u64, KillMode)>,
 }
 
 /// Deterministic, seed-driven storage fault source.
@@ -156,6 +250,7 @@ impl FaultInjector {
             state: Mutex::new(InjectorState {
                 rng: Rng::new(config.seed),
                 stats: FaultStats::default(),
+                armed_kill: None,
             }),
         }))
     }
@@ -213,6 +308,55 @@ impl FaultInjector {
             None
         };
         InjectedFaults { transient: false, corrupt, spike }
+    }
+
+    /// Arms a one-shot simulated crash at journal write operation
+    /// `op_index` (absolute, 0-based — the injector's write counter starts
+    /// at zero when it is created). The kill fires at most once; arming
+    /// again replaces any previous armed kill.
+    pub fn arm_journal_kill(&self, op_index: u64, mode: KillMode) {
+        self.state.lock().armed_kill = Some((op_index, mode));
+    }
+
+    /// The armed kill point, if it has not fired yet.
+    pub fn armed_journal_kill(&self) -> Option<(u64, KillMode)> {
+        self.state.lock().armed_kill
+    }
+
+    /// Rolls the write-path dice for one journal write operation and
+    /// updates [`FaultStats`]. Dice order: torn append, rename failure,
+    /// fsync failure (all always drawn). An armed kill at this operation's
+    /// index is consumed and overrides the dice.
+    pub fn roll_for_journal_write(&self) -> InjectedWriteFaults {
+        let mut s = self.state.lock();
+        let idx = s.stats.writes_seen;
+        s.stats.writes_seen += 1;
+        let torn = s.rng.bool(self.config.torn_append_prob);
+        let rename_fail = s.rng.bool(self.config.rename_fail_prob);
+        let fsync_fail = s.rng.bool(self.config.fsync_fail_prob);
+
+        if let Some((at, mode)) = s.armed_kill {
+            if at == idx {
+                s.armed_kill = None;
+                s.stats.kills_fired += 1;
+                return InjectedWriteFaults {
+                    kill: Some(mode),
+                    torn: false,
+                    rename_fail: false,
+                    fsync_fail: false,
+                };
+            }
+        }
+        if torn {
+            s.stats.torn_appends += 1;
+        }
+        if rename_fail {
+            s.stats.rename_failures += 1;
+        }
+        if fsync_fail {
+            s.stats.fsync_failures += 1;
+        }
+        InjectedWriteFaults { kill: None, torn, rename_fail, fsync_fail }
     }
 
     /// Corrupts `data` in place using the raw draws from
@@ -341,6 +485,7 @@ mod tests {
             corrupt_prob: 0.2,
             slow_prob: 0.1,
             slow_penalty_secs: 0.5,
+            ..FaultConfig::off()
         };
         let a = FaultInjector::new(cfg).unwrap();
         let b = FaultInjector::new(cfg).unwrap();
@@ -375,6 +520,7 @@ mod tests {
             corrupt_prob: 0.25,
             slow_prob: 0.25,
             slow_penalty_secs: 0.1,
+            ..FaultConfig::off()
         };
         let inj = FaultInjector::new(cfg).unwrap();
         for _ in 0..4000 {
@@ -415,6 +561,80 @@ mod tests {
         let mut empty: Vec<u8> = vec![];
         FaultInjector::corrupt_payload(&mut empty, 1, 10);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn write_dice_are_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            seed: 99,
+            torn_append_prob: 0.2,
+            rename_fail_prob: 0.15,
+            fsync_fail_prob: 0.1,
+            ..FaultConfig::off()
+        };
+        let a = FaultInjector::new(cfg).unwrap();
+        let b = FaultInjector::new(cfg).unwrap();
+        for _ in 0..300 {
+            let fa = a.roll_for_journal_write();
+            let fb = b.roll_for_journal_write();
+            assert_eq!(fa.torn, fb.torn);
+            assert_eq!(fa.rename_fail, fb.rename_fail);
+            assert_eq!(fa.fsync_fail, fb.fsync_fail);
+            assert!(fa.kill.is_none() && fb.kill.is_none());
+        }
+        let s = a.stats();
+        assert_eq!(s, b.stats());
+        assert_eq!(s.writes_seen, 300);
+        assert!(s.torn_appends > 0 && s.rename_failures > 0 && s.fsync_failures > 0);
+    }
+
+    #[test]
+    fn read_and_write_dice_share_one_stream() {
+        // Interleaving write rolls between read rolls shifts the read
+        // schedule: the contract is one global stream, not two.
+        let cfg = FaultConfig { seed: 5, transient_prob: 0.5, ..FaultConfig::off() };
+        let pure = FaultInjector::new(cfg).unwrap();
+        let mixed = FaultInjector::new(cfg).unwrap();
+        let pure_seq: Vec<bool> = (0..64).map(|_| pure.roll_for_read().transient).collect();
+        let mut mixed_seq = Vec::new();
+        for i in 0..64 {
+            if i == 32 {
+                mixed.roll_for_journal_write();
+            }
+            mixed_seq.push(mixed.roll_for_read().transient);
+        }
+        assert_eq!(pure_seq[..32], mixed_seq[..32]);
+        assert_ne!(pure_seq[32..], mixed_seq[32..], "write roll should advance the shared RNG");
+    }
+
+    #[test]
+    fn armed_kill_fires_exactly_once_at_its_index() {
+        let inj = FaultInjector::new(FaultConfig::off()).unwrap();
+        inj.arm_journal_kill(3, KillMode::Torn);
+        for i in 0..8u64 {
+            let f = inj.roll_for_journal_write();
+            if i == 3 {
+                assert_eq!(f.kill, Some(KillMode::Torn), "kill must fire at op 3");
+            } else {
+                assert!(f.kill.is_none(), "kill leaked to op {i}");
+            }
+        }
+        assert_eq!(inj.armed_journal_kill(), None);
+        let s = inj.stats();
+        assert_eq!(s.kills_fired, 1);
+        assert_eq!(s.writes_seen, 8);
+    }
+
+    #[test]
+    fn off_config_write_path_injects_nothing() {
+        let inj = FaultInjector::new(FaultConfig::off()).unwrap();
+        for _ in 0..50 {
+            let f = inj.roll_for_journal_write();
+            assert!(f.kill.is_none() && !f.torn && !f.rename_fail && !f.fsync_fail);
+        }
+        let s = inj.stats();
+        assert_eq!(s.writes_seen, 50);
+        assert_eq!(s.torn_appends + s.rename_failures + s.fsync_failures + s.kills_fired, 0);
     }
 
     #[test]

@@ -388,6 +388,7 @@ mod tests {
             corrupt_prob: 0.0,
             slow_prob: 0.0,
             slow_penalty_secs: 0.0,
+            ..FaultConfig::off()
         })
         .unwrap();
         t.set_fault_injector(Some(inj.clone()));
@@ -423,6 +424,7 @@ mod tests {
             corrupt_prob: 0.0,
             slow_prob: 1.0,
             slow_penalty_secs: 0.125,
+            ..FaultConfig::off()
         })
         .unwrap();
         t.set_fault_injector(Some(inj));
@@ -444,6 +446,7 @@ mod tests {
             corrupt_prob: 1.0,
             slow_prob: 0.0,
             slow_penalty_secs: 0.0,
+            ..FaultConfig::off()
         })
         .unwrap();
         t.set_fault_injector(Some(inj));

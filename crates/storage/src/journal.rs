@@ -1,0 +1,916 @@
+//! Durable per-session write-ahead journal (DESIGN.md §13).
+//!
+//! Interactive exploration accumulates irreplaceable analyst state: every
+//! label costs real user effort, so a process crash must never lose one.
+//! This module provides the storage half of the durability story — an
+//! append-only, CRC-framed journal with periodic snapshots — while the
+//! exploration layer decides *what* to journal and how to replay it
+//! (`uei_explore::session`).
+//!
+//! # On-disk layout
+//!
+//! A journal is a directory holding:
+//!
+//! - `seg-NNNNNN.wal` — append-only record segments, numbered from 1.
+//!   Each record is framed as `[len: u32 LE][crc32(payload): u32 LE]
+//!   [payload]`; payloads are opaque bytes to this layer. Segments are
+//!   created atomically (tmp + rename of an empty file) and rotated when
+//!   they exceed [`JournalConfig::segment_bytes`].
+//! - `snap-NNNNNN.snap` — state snapshots, one CRC frame per file,
+//!   written tmp + fsync + rename so a snapshot is either absent or
+//!   whole. After a snapshot lands, the journal rotates to a fresh
+//!   segment and garbage-collects all older segments: the snapshot
+//!   payload must therefore capture everything the discarded records did.
+//! - `journal.json` / `journal.crc` — an *advisory* manifest naming the
+//!   newest snapshot and segment. Recovery verifies it against the
+//!   sidecar but never trusts it over the directory: a stale manifest
+//!   (crash after a snapshot rename, before the manifest update) only
+//!   means recovery replays a longer suffix.
+//! - `*.tmp` — torn tmp+rename publishes; ignored and deleted.
+//!
+//! # Recovery invariants
+//!
+//! [`SessionJournal::recover`] scans the directory and returns the newest
+//! valid snapshot plus every surviving record in append order. A torn
+//! frame at the tail of the *newest* segment marks the end of the journal
+//! and is truncated; a bad frame anywhere else is [`UeiError::Corrupt`].
+//! An acknowledged append — one that returned `Ok` — is always
+//! recovered, because `Ok` is only returned once the whole frame reached
+//! the segment file (and, per [`FsyncPolicy`], the device).
+//!
+//! # Fault injection
+//!
+//! Every write operation (append, rotation, snapshot, manifest update)
+//! consults the tracker's [`FaultInjector`](crate::fault::FaultInjector)
+//! via [`roll_for_journal_write`][crate::fault::FaultInjector::roll_for_journal_write],
+//! honoring both the
+//! probabilistic write dice and armed one-shot kill points
+//! ([`KillMode`]). After any failed write the journal poisons itself:
+//! further operations return [`UeiError::InvalidState`], forcing the
+//! caller through recovery rather than appending after a torn frame.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use uei_types::{Result, UeiError};
+
+use crate::checksum::crc32;
+use crate::fault::{InjectedWriteFaults, KillMode};
+use crate::io::DiskTracker;
+
+/// File name of the advisory journal manifest.
+pub const JOURNAL_MANIFEST_FILE: &str = "journal.json";
+/// File name of the manifest's checksum sidecar.
+pub const JOURNAL_MANIFEST_CHECKSUM_FILE: &str = "journal.crc";
+
+/// Bytes of frame header: `len: u32 LE` + `crc32: u32 LE`.
+const FRAME_HEADER_BYTES: usize = 8;
+/// Upper bound on a single record payload; larger lengths in a frame
+/// header are treated as corruption (or a torn tail), never allocated.
+const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// When appends are flushed to the device with `fsync`.
+///
+/// Every tmp+rename publish (segment creation, snapshot, manifest) syncs
+/// the tmp file before the rename regardless of policy; this knob only
+/// governs record appends. `Ok` from an append always means the frame
+/// reached the segment file (process-crash durability); `fsync` extends
+/// that to power loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: no acknowledged record is ever lost,
+    /// even to power failure.
+    Always,
+    /// `fsync` after every n-th append (n ≥ 1). Bounds the power-loss
+    /// exposure window to n records while amortizing the sync cost.
+    Interval(u32),
+    /// Never `fsync` appends; durability is bounded by the OS page cache.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Validates the interval.
+    pub fn validate(&self) -> Result<()> {
+        if let FsyncPolicy::Interval(n) = self {
+            if *n == 0 {
+                return Err(UeiError::invalid_config("fsync interval must be >= 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Durability knobs for a session journal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JournalConfig {
+    /// When appended records are fsynced (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Segment size that triggers rotation to a new `seg-*.wal`.
+    pub segment_bytes: u64,
+    /// Exploration iterations between snapshots (consumed by the session
+    /// layer; the journal itself snapshots only when asked).
+    pub snapshot_every: u32,
+}
+
+impl JournalConfig {
+    /// Validates all fields.
+    pub fn validate(&self) -> Result<()> {
+        self.fsync.validate()?;
+        if self.segment_bytes == 0 {
+            return Err(UeiError::invalid_config("journal segment_bytes must be >= 1"));
+        }
+        if self.snapshot_every == 0 {
+            return Err(UeiError::invalid_config("journal snapshot_every must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            fsync: FsyncPolicy::Interval(16),
+            segment_bytes: 256 << 10,
+            snapshot_every: 25,
+        }
+    }
+}
+
+/// Advisory manifest contents; recovery verifies but never trusts it
+/// over the directory scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct JournalManifest {
+    /// Newest snapshot sequence number (0 = none).
+    snapshot_seq: u64,
+    /// Segment receiving appends when the manifest was written.
+    segment_seq: u64,
+}
+
+/// Everything a recovery scan found: the newest valid snapshot payload
+/// and all surviving record payloads, oldest first.
+#[derive(Debug)]
+pub struct JournalContents {
+    /// Payload of the newest valid snapshot, if any snapshot survived.
+    pub snapshot: Option<Vec<u8>>,
+    /// Surviving record payloads in append order. With snapshots this
+    /// can include records the snapshot already covers (a snapshot can
+    /// land mid-segment); the replaying layer deduplicates.
+    pub records: Vec<Vec<u8>>,
+    /// Whether the advisory manifest was present, checksum-valid, and in
+    /// agreement with the directory scan.
+    pub manifest_fresh: bool,
+    /// Bytes of torn tail truncated from the newest segment.
+    pub torn_tail_bytes: u64,
+}
+
+/// A durable, CRC-framed, crash-recoverable write-ahead journal.
+///
+/// One journal belongs to one exploration session; it is not thread-safe
+/// (sessions are single-threaded by construction) and poisons itself on
+/// the first failed write.
+#[derive(Debug)]
+pub struct SessionJournal {
+    dir: PathBuf,
+    config: JournalConfig,
+    tracker: DiskTracker,
+    seg_seq: u64,
+    seg_file: File,
+    seg_bytes: u64,
+    snap_seq: u64,
+    appends_since_sync: u32,
+    poisoned: bool,
+}
+
+impl SessionJournal {
+    /// Creates a fresh journal in `dir` (created if missing), opening
+    /// segment 1. Fails with [`UeiError::InvalidState`] if the directory
+    /// already holds journal artifacts — recover those instead of
+    /// silently appending to them.
+    pub fn create(dir: &Path, config: JournalConfig, tracker: DiskTracker) -> Result<Self> {
+        config.validate()?;
+        std::fs::create_dir_all(dir).map_err(|e| UeiError::io(dir, e))?;
+        let scan = scan_dir(dir)?;
+        if !scan.segments.is_empty() || !scan.snapshots.is_empty() {
+            return Err(UeiError::invalid_state(format!(
+                "journal directory {} is not empty; recover it instead of creating over it",
+                dir.display()
+            )));
+        }
+        let mut journal = SessionJournal {
+            dir: dir.to_path_buf(),
+            config,
+            tracker,
+            seg_seq: 0,
+            // Replaced by the rotation below; a placeholder handle on the
+            // directory would complicate errors, so open lazily instead.
+            seg_file: File::open(dir).map_err(|e| UeiError::io(dir, e))?,
+            seg_bytes: 0,
+            snap_seq: 0,
+            appends_since_sync: 0,
+            poisoned: false,
+        };
+        journal.rotate_segment()?;
+        Ok(journal)
+    }
+
+    /// Scans `dir`, truncates any torn tail off the newest segment, and
+    /// reopens the journal for appending. Returns the surviving contents
+    /// together with the reopened journal. An empty or missing directory
+    /// recovers to an empty journal (no snapshot, no records).
+    pub fn recover(
+        dir: &Path,
+        config: JournalConfig,
+        tracker: DiskTracker,
+    ) -> Result<(JournalContents, Self)> {
+        config.validate()?;
+        std::fs::create_dir_all(dir).map_err(|e| UeiError::io(dir, e))?;
+        let scan = scan_dir(dir)?;
+        for tmp in &scan.tmp_files {
+            // Torn tmp+rename publishes: never valid, always discarded.
+            std::fs::remove_file(tmp).map_err(|e| UeiError::io(tmp, e))?;
+        }
+
+        // Newest snapshot whose single frame validates wins; invalid
+        // snapshot files are skipped (renames are atomic, so these only
+        // arise from external damage), older valid ones still count.
+        let mut snapshot = None;
+        let mut snap_seq = 0;
+        for (seq, path) in scan.snapshots.iter().rev() {
+            let data = tracker.read_file(path)?;
+            if let Some(payload) = parse_snapshot_frame(&data) {
+                snapshot = Some(payload);
+                snap_seq = *seq;
+                break;
+            }
+        }
+
+        // All surviving records, oldest segment first. Only the newest
+        // segment may end in a torn frame.
+        let mut records = Vec::new();
+        let mut torn_tail_bytes = 0u64;
+        let mut last_valid_len = 0u64;
+        for (i, (_, path)) in scan.segments.iter().enumerate() {
+            let newest = i + 1 == scan.segments.len();
+            let data = tracker.read_file(path)?;
+            let (mut frames, valid_len) = parse_frames(&data, path, newest)?;
+            records.append(&mut frames);
+            if newest {
+                torn_tail_bytes = (data.len() - valid_len) as u64;
+                last_valid_len = valid_len as u64;
+                if torn_tail_bytes > 0 {
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| UeiError::io(path, e))?;
+                    f.set_len(last_valid_len).map_err(|e| UeiError::io(path, e))?;
+                    f.sync_all().map_err(|e| UeiError::io(path, e))?;
+                }
+            }
+        }
+
+        let manifest_fresh = match read_manifest(dir, &tracker) {
+            Some(m) => {
+                m.snapshot_seq == snap_seq
+                    && m.segment_seq == scan.segments.last().map_or(0, |&(s, _)| s)
+            }
+            None => false,
+        };
+
+        let (seg_seq, seg_file, seg_bytes) = match scan.segments.last() {
+            Some((seq, path)) => {
+                let f = OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| UeiError::io(path, e))?;
+                (*seq, f, last_valid_len)
+            }
+            None => {
+                // No segment survived (crash before the first rotation
+                // renamed one): recreate segment 1 below via rotation.
+                let placeholder = File::open(dir).map_err(|e| UeiError::io(dir, e))?;
+                (0, placeholder, 0)
+            }
+        };
+
+        let mut journal = SessionJournal {
+            dir: dir.to_path_buf(),
+            config,
+            tracker,
+            seg_seq,
+            seg_file,
+            seg_bytes,
+            snap_seq,
+            appends_since_sync: 0,
+            poisoned: false,
+        };
+        if journal.seg_seq == 0 {
+            journal.rotate_segment()?;
+        }
+        Ok((JournalContents { snapshot, records, manifest_fresh, torn_tail_bytes }, journal))
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The durability configuration.
+    pub fn config(&self) -> JournalConfig {
+        self.config
+    }
+
+    /// Appends one record, framing it with length and CRC-32. `Ok` means
+    /// the whole frame reached the current segment file (and the device,
+    /// per the [`FsyncPolicy`]): the record will survive recovery.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        self.check_usable()?;
+        if payload.len() as u64 > u64::from(MAX_RECORD_BYTES) {
+            return Err(UeiError::invalid_config(format!(
+                "journal record of {} bytes exceeds the {} byte limit",
+                payload.len(),
+                MAX_RECORD_BYTES
+            )));
+        }
+        if self.seg_bytes >= self.config.segment_bytes {
+            self.rotate_segment()?;
+        }
+        let faults = self.roll();
+        let seg_path = self.segment_path(self.seg_seq);
+        let frame = frame_record(payload);
+        if faults.kill == Some(KillMode::BeforeWrite) {
+            return Err(self.poison_crash(&seg_path, "before append"));
+        }
+        if faults.kill == Some(KillMode::Torn) || faults.torn {
+            // Half the frame reaches disk, then the process "dies".
+            let torn = &frame[..FRAME_HEADER_BYTES + payload.len() / 2];
+            self.seg_file.write_all(torn).map_err(|e| UeiError::io(&seg_path, e))?;
+            self.seg_file.flush().map_err(|e| UeiError::io(&seg_path, e))?;
+            return Err(self.poison_crash(&seg_path, "torn append"));
+        }
+        self.seg_file.write_all(&frame).map_err(|e| self.poison_io(&seg_path, e))?;
+        self.seg_file.flush().map_err(|e| self.poison_io(&seg_path, e))?;
+        self.seg_bytes += frame.len() as u64;
+        self.tracker.record_write(frame.len() as u64, 1);
+        self.maybe_fsync(&seg_path, &faults)?;
+        if faults.kill == Some(KillMode::AfterWrite) {
+            return Err(self.poison_crash(&seg_path, "after append"));
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot, rotates to a fresh segment, updates the
+    /// advisory manifest, and garbage-collects all pre-snapshot
+    /// segments. The payload must capture everything the discarded
+    /// records did. `Ok` means the snapshot is durable.
+    pub fn snapshot(&mut self, payload: &[u8]) -> Result<()> {
+        self.check_usable()?;
+        let seq = self.snap_seq + 1;
+        let path = self.dir.join(format!("snap-{seq:06}.snap"));
+        self.publish_atomic(&path, &frame_record(payload))?;
+        self.snap_seq = seq;
+        let old_seg = self.seg_seq;
+        self.rotate_segment()?;
+        self.write_manifest()?;
+        for gc in 1..=old_seg {
+            let seg = self.segment_path(gc);
+            if seg.exists() {
+                std::fs::remove_file(&seg).map_err(|e| UeiError::io(&seg, e))?;
+            }
+        }
+        // Retire superseded snapshots too; only the newest is ever read.
+        for old in 1..seq {
+            let snap = self.dir.join(format!("snap-{old:06}.snap"));
+            if snap.exists() {
+                std::fs::remove_file(&snap).map_err(|e| UeiError::io(&snap, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the current segment regardless of policy.
+    /// Call before an orderly shutdown.
+    pub fn sync(&mut self) -> Result<()> {
+        self.check_usable()?;
+        let path = self.segment_path(self.seg_seq);
+        self.seg_file.flush().map_err(|e| self.poison_io(&path, e))?;
+        self.seg_file.sync_all().map_err(|e| self.poison_io(&path, e))?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn check_usable(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(UeiError::invalid_state(format!(
+                "journal {} is poisoned after a failed write; recover it before appending",
+                self.dir.display()
+            )));
+        }
+        Ok(())
+    }
+
+    fn segment_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("seg-{seq:06}.wal"))
+    }
+
+    fn roll(&self) -> InjectedWriteFaults {
+        match self.tracker.fault_injector() {
+            Some(inj) => inj.roll_for_journal_write(),
+            None => InjectedWriteFaults::none(),
+        }
+    }
+
+    fn poison_crash(&mut self, path: &Path, what: &str) -> UeiError {
+        self.poisoned = true;
+        UeiError::io(path, std::io::Error::other(format!("injected crash: {what}")))
+    }
+
+    fn poison_io(&mut self, path: &Path, e: std::io::Error) -> UeiError {
+        self.poisoned = true;
+        UeiError::io(path, e)
+    }
+
+    /// Publishes `data` at `path` atomically: tmp write, fsync, rename.
+    /// One injector-consulted write operation.
+    fn publish_atomic(&mut self, path: &Path, data: &[u8]) -> Result<()> {
+        let faults = self.roll();
+        if faults.kill == Some(KillMode::BeforeWrite) {
+            return Err(self.poison_crash(path, "before publish"));
+        }
+        let tmp = tmp_sibling(path);
+        std::fs::write(&tmp, data).map_err(|e| self.poison_io(&tmp, e))?;
+        let tf = File::open(&tmp).map_err(|e| self.poison_io(&tmp, e))?;
+        if faults.fsync_fail {
+            self.poisoned = true;
+            return Err(UeiError::io(&tmp, std::io::Error::other("injected fsync failure")));
+        }
+        tf.sync_all().map_err(|e| self.poison_io(&tmp, e))?;
+        if faults.kill == Some(KillMode::Torn) || faults.rename_fail {
+            // The tmp file exists but the rename never lands.
+            let what = if faults.rename_fail {
+                "injected rename failure"
+            } else {
+                "injected crash: torn publish"
+            };
+            self.poisoned = true;
+            return Err(UeiError::io(path, std::io::Error::other(what)));
+        }
+        std::fs::rename(&tmp, path).map_err(|e| self.poison_io(path, e))?;
+        self.tracker.record_write(data.len() as u64, 1);
+        if faults.kill == Some(KillMode::AfterWrite) {
+            return Err(self.poison_crash(path, "after publish"));
+        }
+        Ok(())
+    }
+
+    /// Opens the next segment via atomic empty-file creation. One
+    /// injector-consulted write operation.
+    fn rotate_segment(&mut self) -> Result<()> {
+        let seq = self.seg_seq + 1;
+        let path = self.segment_path(seq);
+        self.publish_atomic(&path, &[])?;
+        self.seg_file =
+            OpenOptions::new().append(true).open(&path).map_err(|e| self.poison_io(&path, e))?;
+        self.seg_seq = seq;
+        self.seg_bytes = 0;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Updates the advisory manifest (json + crc sidecar). One
+    /// injector-consulted write operation covering both files.
+    fn write_manifest(&mut self) -> Result<()> {
+        let manifest = JournalManifest { snapshot_seq: self.snap_seq, segment_seq: self.seg_seq };
+        let json = serde_json::to_vec_pretty(&manifest)
+            .map_err(|e| UeiError::corrupt(format!("journal manifest failed to serialize: {e}")))?;
+        let path = self.dir.join(JOURNAL_MANIFEST_FILE);
+        self.publish_atomic(&path, &json)?;
+        let sum = format!("{:08x}\n", crc32(&json));
+        let crc_path = self.dir.join(JOURNAL_MANIFEST_CHECKSUM_FILE);
+        let tmp = tmp_sibling(&crc_path);
+        std::fs::write(&tmp, sum.as_bytes()).map_err(|e| self.poison_io(&tmp, e))?;
+        std::fs::rename(&tmp, &crc_path).map_err(|e| self.poison_io(&crc_path, e))?;
+        Ok(())
+    }
+
+    fn maybe_fsync(&mut self, path: &Path, faults: &InjectedWriteFaults) -> Result<()> {
+        self.appends_since_sync += 1;
+        let due = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Interval(n) => self.appends_since_sync >= n,
+            FsyncPolicy::Never => false,
+        };
+        if !due {
+            return Ok(());
+        }
+        if faults.fsync_fail {
+            self.poisoned = true;
+            return Err(UeiError::io(path, std::io::Error::other("injected fsync failure")));
+        }
+        self.seg_file.sync_all().map_err(|e| self.poison_io(path, e))?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Frames one record: length, CRC-32 of the payload, payload.
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Parses the frames of one segment. Returns the payloads plus the byte
+/// length of the valid prefix. In the newest segment an invalid frame
+/// marks a torn tail (stop, truncate); anywhere else it is corruption.
+fn parse_frames(data: &[u8], path: &Path, newest: bool) -> Result<(Vec<Vec<u8>>, usize)> {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    while off < data.len() {
+        let bad = match frame_at(data, off) {
+            Ok(Some(payload)) => {
+                off += FRAME_HEADER_BYTES + payload.len();
+                frames.push(payload);
+                continue;
+            }
+            Ok(None) => format!("{}: torn or truncated frame at offset {off}", path.display()),
+            Err(detail) => format!("{}: {detail} at offset {off}", path.display()),
+        };
+        if newest {
+            // End of the journal: the crash interrupted this frame.
+            break;
+        }
+        return Err(UeiError::corrupt(bad));
+    }
+    Ok((frames, off))
+}
+
+/// Decodes the frame starting at `off`. `Ok(Some(payload))` for a whole
+/// valid frame, `Ok(None)` for a frame cut short by the end of the data,
+/// `Err` for one that is present but fails validation.
+fn frame_at(data: &[u8], off: usize) -> std::result::Result<Option<Vec<u8>>, String> {
+    let Some(header) = data.get(off..off + FRAME_HEADER_BYTES) else { return Ok(None) };
+    let len_bytes: [u8; 4] = header[0..4].try_into().map_err(|_| "short header".to_string())?;
+    let crc_bytes: [u8; 4] = header[4..8].try_into().map_err(|_| "short header".to_string())?;
+    let len = u32::from_le_bytes(len_bytes);
+    let crc = u32::from_le_bytes(crc_bytes);
+    if len > MAX_RECORD_BYTES {
+        return Err(format!("frame claims {len} bytes, over the {MAX_RECORD_BYTES} byte limit"));
+    }
+    let start = off + FRAME_HEADER_BYTES;
+    let Some(payload) = data.get(start..start + len as usize) else { return Ok(None) };
+    if crc32(payload) != crc {
+        return Err("frame failed its checksum".to_string());
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+/// Parses a snapshot file: exactly one frame spanning the whole file.
+fn parse_snapshot_frame(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < FRAME_HEADER_BYTES {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[0..4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(data[4..8].try_into().ok()?);
+    if data.len() != FRAME_HEADER_BYTES + len {
+        return None;
+    }
+    let payload = &data[FRAME_HEADER_BYTES..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+struct DirScan {
+    /// `(seq, path)` sorted ascending by sequence number.
+    segments: Vec<(u64, PathBuf)>,
+    /// `(seq, path)` sorted ascending by sequence number.
+    snapshots: Vec<(u64, PathBuf)>,
+    tmp_files: Vec<PathBuf>,
+}
+
+fn scan_dir(dir: &Path) -> Result<DirScan> {
+    let mut scan = DirScan { segments: Vec::new(), snapshots: Vec::new(), tmp_files: Vec::new() };
+    let entries = std::fs::read_dir(dir).map_err(|e| UeiError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| UeiError::io(dir, e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.ends_with(".tmp") {
+            scan.tmp_files.push(path);
+        } else if let Some(seq) = parse_seq(name, "seg-", ".wal") {
+            scan.segments.push((seq, path));
+        } else if let Some(seq) = parse_seq(name, "snap-", ".snap") {
+            scan.snapshots.push((seq, path));
+        }
+    }
+    scan.segments.sort();
+    scan.snapshots.sort();
+    Ok(scan)
+}
+
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+/// Reads and verifies the advisory manifest; `None` if missing, damaged,
+/// or its sidecar disagrees — recovery then relies on the scan alone.
+fn read_manifest(dir: &Path, tracker: &DiskTracker) -> Option<JournalManifest> {
+    let json = tracker.read_file(&dir.join(JOURNAL_MANIFEST_FILE)).ok()?;
+    let sum = tracker.read_file(&dir.join(JOURNAL_MANIFEST_CHECKSUM_FILE)).ok()?;
+    let expected = u32::from_str_radix(std::str::from_utf8(&sum).ok()?.trim(), 16).ok()?;
+    if crc32(&json) != expected {
+        return None;
+    }
+    serde_json::from_slice(&json).ok()
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultInjector};
+    use crate::io::IoProfile;
+    use crate::testutil::TempDir;
+    use std::sync::Arc;
+
+    fn tracker() -> DiskTracker {
+        DiskTracker::new(IoProfile::instant())
+    }
+
+    fn small_config() -> JournalConfig {
+        JournalConfig { fsync: FsyncPolicy::Never, segment_bytes: 128, snapshot_every: 5 }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(JournalConfig::default().validate().is_ok());
+        let bad = JournalConfig { segment_bytes: 0, ..JournalConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = JournalConfig { snapshot_every: 0, ..JournalConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = JournalConfig { fsync: FsyncPolicy::Interval(0), ..JournalConfig::default() };
+        assert!(bad.validate().is_err());
+        assert!(FsyncPolicy::Always.validate().is_ok());
+        assert!(FsyncPolicy::Never.validate().is_ok());
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = TempDir::new("journal-rt");
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 1 + i as usize]).collect();
+        {
+            let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+            for p in &payloads {
+                j.append(p).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let (contents, _j) =
+            SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.records, payloads);
+        assert!(contents.snapshot.is_none());
+        assert_eq!(contents.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn rotation_splits_segments_without_losing_records() {
+        let dir = TempDir::new("journal-rot");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        // 40-byte payloads + 8-byte headers against a 128-byte segment
+        // cap: rotation must fire several times.
+        let payloads: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i; 40]).collect();
+        for p in &payloads {
+            j.append(p).unwrap();
+        }
+        drop(j);
+        let segs = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".wal"))
+            .count();
+        assert!(segs > 1, "expected rotation to create multiple segments, got {segs}");
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.records, payloads);
+    }
+
+    #[test]
+    fn snapshot_gcs_old_segments_and_survives_recovery() {
+        let dir = TempDir::new("journal-snap");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        for i in 0..10u8 {
+            j.append(&[i; 30]).unwrap();
+        }
+        j.snapshot(b"state-at-10").unwrap();
+        j.append(b"post-snap-1").unwrap();
+        j.append(b"post-snap-2").unwrap();
+        drop(j);
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.snapshot.as_deref(), Some(b"state-at-10".as_slice()));
+        assert_eq!(contents.records, vec![b"post-snap-1".to_vec(), b"post-snap-2".to_vec()]);
+        assert!(contents.manifest_fresh, "manifest was written after the snapshot");
+    }
+
+    #[test]
+    fn second_snapshot_retires_the_first() {
+        let dir = TempDir::new("journal-snap2");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        j.append(b"a").unwrap();
+        j.snapshot(b"s1").unwrap();
+        j.append(b"b").unwrap();
+        j.snapshot(b"s2").unwrap();
+        j.append(b"c").unwrap();
+        drop(j);
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.snapshot.as_deref(), Some(b"s2".as_slice()));
+        assert_eq!(contents.records, vec![b"c".to_vec()]);
+        assert!(!dir.join("snap-000001.snap").exists(), "superseded snapshot retired");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_acked_records_survive() {
+        let dir = TempDir::new("journal-torn");
+        let cfg = JournalConfig { segment_bytes: 1 << 20, ..small_config() };
+        {
+            let mut j = SessionJournal::create(dir.path(), cfg, tracker()).unwrap();
+            for i in 0..5u8 {
+                j.append(&[i; 16]).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        // Simulate a torn final append: a frame header plus half a payload.
+        let seg = dir.join("seg-000001.wal");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let torn = frame_record(&[9u8; 16]);
+        bytes.extend_from_slice(&torn[..torn.len() - 8]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (contents, mut j) = SessionJournal::recover(dir.path(), cfg, tracker()).unwrap();
+        assert_eq!(contents.records.len(), 5, "all acked records survive");
+        assert!(contents.torn_tail_bytes > 0);
+        // The journal is usable again and appends cleanly after the
+        // truncation.
+        j.append(b"after-recovery").unwrap();
+        drop(j);
+        let (contents, _) = SessionJournal::recover(dir.path(), cfg, tracker()).unwrap();
+        assert_eq!(contents.records.len(), 6);
+        assert_eq!(contents.records[5], b"after-recovery".to_vec());
+    }
+
+    #[test]
+    fn corrupt_frame_in_older_segment_fails_closed() {
+        let dir = TempDir::new("journal-corrupt-mid");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        for i in 0..12u8 {
+            j.append(&[i; 40]).unwrap();
+        }
+        drop(j);
+        // Flip a payload byte in the first (non-newest) segment.
+        let seg = dir.join("seg-000001.wal");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap_err();
+        assert!(matches!(err, UeiError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn stale_manifest_is_advisory_only() {
+        let dir = TempDir::new("journal-stale-manifest");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        j.append(b"x").unwrap();
+        j.snapshot(b"s1").unwrap();
+        // Simulate a crash between a later snapshot rename and its
+        // manifest update: plant a newer snapshot by hand.
+        let snap2 = frame_record(b"s2");
+        std::fs::write(dir.join("snap-000002.snap"), &snap2).unwrap();
+        drop(j);
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.snapshot.as_deref(), Some(b"s2".as_slice()), "scan beats manifest");
+        assert!(!contents.manifest_fresh, "stale manifest detected");
+    }
+
+    #[test]
+    fn tmp_files_are_ignored_and_cleaned() {
+        let dir = TempDir::new("journal-tmp");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        j.append(b"real").unwrap();
+        drop(j);
+        std::fs::write(dir.join("snap-000009.snap.tmp"), b"torn snapshot").unwrap();
+        std::fs::write(dir.join("seg-000009.wal.tmp"), b"torn segment").unwrap();
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.records, vec![b"real".to_vec()]);
+        assert!(contents.snapshot.is_none());
+        assert!(!dir.join("snap-000009.snap.tmp").exists());
+        assert!(!dir.join("seg-000009.wal.tmp").exists());
+    }
+
+    #[test]
+    fn recover_empty_directory_yields_fresh_journal() {
+        let dir = TempDir::new("journal-empty");
+        let (contents, mut j) =
+            SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert!(contents.snapshot.is_none());
+        assert!(contents.records.is_empty());
+        j.append(b"first").unwrap();
+        drop(j);
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), tracker()).unwrap();
+        assert_eq!(contents.records, vec![b"first".to_vec()]);
+    }
+
+    #[test]
+    fn create_refuses_existing_journal() {
+        let dir = TempDir::new("journal-exists");
+        let mut j = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap();
+        j.append(b"x").unwrap();
+        drop(j);
+        let err = SessionJournal::create(dir.path(), small_config(), tracker()).unwrap_err();
+        assert!(matches!(err, UeiError::InvalidState { .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_torn_append_poisons_but_recovery_keeps_acked_records() {
+        let dir = TempDir::new("journal-inj-torn");
+        let t = tracker();
+        let inj = FaultInjector::new(FaultConfig::off()).unwrap();
+        t.set_fault_injector(Some(Arc::clone(&inj)));
+        let mut j = SessionJournal::create(dir.path(), small_config(), t.clone()).unwrap();
+        j.append(&[1u8; 16]).unwrap();
+        j.append(&[2u8; 16]).unwrap();
+        // Ops so far: rotation (op 0) + two appends. Tear the next append.
+        inj.arm_journal_kill(inj.stats().writes_seen, KillMode::Torn);
+        let err = j.append(&[3u8; 16]).unwrap_err();
+        assert!(matches!(err, UeiError::Io { .. }), "{err}");
+        // Poisoned: no further writes allowed.
+        let err = j.append(&[4u8; 16]).unwrap_err();
+        assert!(matches!(err, UeiError::InvalidState { .. }), "{err}");
+        drop(j);
+        t.set_fault_injector(None);
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), t).unwrap();
+        assert_eq!(contents.records, vec![vec![1u8; 16], vec![2u8; 16]]);
+        assert!(contents.torn_tail_bytes > 0, "the torn half-frame was on disk");
+        assert_eq!(inj.stats().kills_fired, 1);
+    }
+
+    #[test]
+    fn injected_rename_failure_leaves_snapshot_unpublished() {
+        let dir = TempDir::new("journal-inj-rename");
+        let t = tracker();
+        let inj = FaultInjector::new(FaultConfig::off()).unwrap();
+        t.set_fault_injector(Some(Arc::clone(&inj)));
+        let mut j = SessionJournal::create(dir.path(), small_config(), t.clone()).unwrap();
+        j.append(b"a").unwrap();
+        // Next write op is the snapshot publish; tear its rename.
+        inj.arm_journal_kill(inj.stats().writes_seen, KillMode::Torn);
+        let err = j.snapshot(b"s1").unwrap_err();
+        assert!(matches!(err, UeiError::Io { .. }), "{err}");
+        drop(j);
+        t.set_fault_injector(None);
+        let (contents, _) = SessionJournal::recover(dir.path(), small_config(), t).unwrap();
+        assert!(contents.snapshot.is_none(), "torn snapshot publish never became visible");
+        assert_eq!(contents.records, vec![b"a".to_vec()]);
+    }
+
+    #[test]
+    fn injected_fsync_failure_is_a_contextual_error() {
+        let dir = TempDir::new("journal-inj-fsync");
+        let t = tracker();
+        let inj =
+            FaultInjector::new(FaultConfig { seed: 1, fsync_fail_prob: 1.0, ..FaultConfig::off() })
+                .unwrap();
+        let cfg = JournalConfig { fsync: FsyncPolicy::Always, ..small_config() };
+        // Creation itself publishes segment 1, whose sync is also faulted.
+        t.set_fault_injector(Some(inj));
+        let err = SessionJournal::create(dir.path(), cfg, t).unwrap_err();
+        match err {
+            UeiError::Io { path, source } => {
+                assert!(path.to_string_lossy().contains("seg-000001.wal"), "{path:?}");
+                assert!(source.to_string().contains("fsync"), "{source}");
+            }
+            other => panic!("expected Io, got {other}"),
+        }
+    }
+
+    #[test]
+    fn appends_charge_modeled_io() {
+        let dir = TempDir::new("journal-modeled");
+        let t = tracker();
+        let before = t.snapshot();
+        let mut j = SessionJournal::create(dir.path(), small_config(), t.clone()).unwrap();
+        j.append(&[0u8; 100]).unwrap();
+        let delta = t.delta(&before);
+        let written = delta.stats.bytes_written;
+        assert!(written >= 108, "frame bytes charged, got {written}");
+    }
+}

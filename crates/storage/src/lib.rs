@@ -34,9 +34,13 @@
 //! - [`lru`] — the generic LRU used by the chunk cache and by the
 //!   `uei-dbms` buffer pool;
 //! - [`fault`] — deterministic, seed-driven fault injection
-//!   ([`fault::FaultInjector`]) for chunk/manifest reads plus the bounded
-//!   exponential-backoff [`fault::RetryPolicy`], the storage half of the
-//!   degradation ladder (DESIGN.md §8);
+//!   ([`fault::FaultInjector`]) for chunk/manifest reads and journal
+//!   writes (torn appends, failed renames, fsync errors, armed kill
+//!   points) plus the bounded exponential-backoff [`fault::RetryPolicy`],
+//!   the storage half of the degradation ladder (DESIGN.md §8);
+//! - [`journal`] — the durable per-session write-ahead journal
+//!   ([`journal::SessionJournal`]): CRC-framed records, atomic segment
+//!   rotation, snapshots, and crash recovery (DESIGN.md §13);
 //! - [`testutil`] — RAII temp directories for tests and benches.
 
 #![warn(missing_docs)]
@@ -53,6 +57,7 @@ pub mod chunk;
 pub mod column;
 pub mod fault;
 pub mod io;
+pub mod journal;
 pub mod lru;
 pub mod manifest;
 pub mod merge;
@@ -67,8 +72,11 @@ pub use cache::{
 };
 pub use chunk::{Chunk, ChunkId};
 pub use column::merge_sources;
-pub use fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
+pub use fault::{
+    FaultConfig, FaultInjector, FaultStats, InjectedWriteFaults, KillMode, RetryPolicy,
+};
 pub use io::{DiskTracker, IoProfile, IoSnapshot, IoStats};
+pub use journal::{FsyncPolicy, JournalConfig, JournalContents, SessionJournal};
 pub use manifest::{ChunkMeta, Manifest};
 pub use merge::{
     reconstruct_region, reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch,

@@ -52,10 +52,12 @@ impl PostingList {
     }
 
     /// Serialized size in bytes (exact, by encoding into a scratch writer).
-    pub fn encoded_len(&self) -> usize {
+    /// Fails only if the list's invariants were violated after
+    /// construction — the write path propagates this instead of panicking.
+    pub fn encoded_len(&self) -> Result<usize> {
         let mut w = Writer::new();
-        self.encode(&mut w).expect("validated list encodes");
-        w.len()
+        self.encode(&mut w)?;
+        Ok(w.len())
     }
 
     /// Appends the binary encoding of this list to `w`.
@@ -126,7 +128,7 @@ mod tests {
         let list = PostingList::new(3.25, vec![10, 20, 4096]).unwrap();
         let mut w = Writer::new();
         list.encode(&mut w).unwrap();
-        assert_eq!(list.encoded_len(), w.len());
+        assert_eq!(list.encoded_len().unwrap(), w.len());
     }
 
     #[test]
@@ -146,7 +148,7 @@ mod tests {
         // 1000 consecutive ids should cost ~1 byte each after the header.
         let ids: Vec<u64> = (1_000_000..1_001_000).collect();
         let list = PostingList::new(42.0, ids).unwrap();
-        let len = list.encoded_len();
+        let len = list.encoded_len().unwrap();
         assert!(len < 8 + 3 + 4 + 1000 + 16, "encoded len {len} not compact");
     }
 }

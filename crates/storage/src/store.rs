@@ -90,10 +90,10 @@ impl ColumnStore {
             let dim = column.dim as u32;
             let mut catalog = Vec::new();
             for (seq, run) in
-                split_into_chunks(column, config.chunk_target_bytes).into_iter().enumerate()
+                split_into_chunks(column, config.chunk_target_bytes)?.into_iter().enumerate()
             {
                 let chunk = Chunk::new(ChunkId::new(dim, seq as u32), run)?;
-                let bytes = chunk.encode();
+                let bytes = chunk.encode()?;
                 let meta = ChunkMeta {
                     dim,
                     seq: seq as u32,
@@ -228,7 +228,9 @@ impl ColumnStore {
 
     /// Fetches one row by id from `rows.dat`.
     pub fn fetch_row(&self, id: u64) -> Result<DataPoint> {
-        Ok(self.fetch_rows(&[id])?.pop().expect("one id yields one row"))
+        self.fetch_rows(&[id])?
+            .pop()
+            .ok_or_else(|| UeiError::not_found(format!("row {id} not present in rows.dat")))
     }
 
     /// Fetches rows by id from `rows.dat`.
@@ -773,7 +775,7 @@ mod tests {
         let mut entries = chunk.entries.clone();
         entries.pop();
         let forged = crate::chunk::Chunk::new(meta.id(), entries).unwrap();
-        std::fs::write(dir.join(meta.id().file_name()), forged.encode()).unwrap();
+        std::fs::write(dir.join(meta.id().file_name()), forged.encode().unwrap()).unwrap();
         match store.verify() {
             Err(UeiError::Corrupt { .. }) => {}
             other => panic!("expected Corrupt, got {other:?}"),

@@ -1,13 +1,16 @@
 //! Property-based tests for the storage engine: chunk codec, store
-//! round-trips, subspace reconstruction vs brute force, and a model-based
-//! LRU check.
+//! round-trips, subspace reconstruction vs brute force, a model-based
+//! LRU check, and journal durability (replay fidelity, acked-record
+//! survival across kills at arbitrary write boundaries).
 
 use std::collections::HashMap;
 
 use proptest::prelude::*;
 use uei_storage::cache::{ChunkCache, SharedChunkCache};
 use uei_storage::chunk::{Chunk, ChunkId};
+use uei_storage::fault::{FaultConfig, FaultInjector, KillMode};
 use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::journal::{FsyncPolicy, JournalConfig, SessionJournal};
 use uei_storage::lru::LruMap;
 use uei_storage::merge::{
     reconstruct_region, reconstruct_region_delta, reconstruct_region_with_chunks, ChunkFetch,
@@ -70,7 +73,7 @@ proptest! {
 
     #[test]
     fn chunk_roundtrip_and_corruption_detected(chunk in chunk_strategy(), flip in any::<usize>()) {
-        let bytes = chunk.encode();
+        let bytes = chunk.encode().unwrap();
         let got = Chunk::decode(&bytes).unwrap();
         prop_assert_eq!(&got, &chunk);
         // Any single bit flip is caught by the CRC.
@@ -328,6 +331,146 @@ proptest! {
         store.scan_all(|p| seen.push(p)).unwrap();
         prop_assert_eq!(seen, rows);
             }
+}
+
+/// Length-prefixed concatenation: the snapshot stand-in the journal
+/// proptests use for "everything the discarded records captured".
+fn encode_state(records: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+        out.extend_from_slice(r);
+    }
+    out
+}
+
+fn decode_state(mut bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        out.push(bytes[4..4 + len].to_vec());
+        bytes = &bytes[4 + len..];
+    }
+    out
+}
+
+/// Small byte alphabet and short payloads: duplicates (including exact
+/// duplicate records) are common, and empty payloads are legal.
+fn payload_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..4, 0..12), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replay fidelity: for ANY append sequence (duplicates, empty
+    /// payloads, empty sessions) interleaved with snapshots at arbitrary
+    /// points, `snapshot state + surviving records` reconstructs the full
+    /// appended sequence bit-identically — across tiny segments (many
+    /// rotations) and any fsync policy.
+    #[test]
+    fn journal_replay_reconstructs_any_label_sequence(
+        payloads in payload_strategy(),
+        snap_after in proptest::collection::vec(any::<bool>(), 0..40),
+        segment_bytes in 32u64..256,
+        fsync_sel in 0u8..3,
+    ) {
+        let dir = uei_storage::testutil::TempDir::new("prop-journal");
+        let fsync = match fsync_sel {
+            0 => FsyncPolicy::Always,
+            1 => FsyncPolicy::Never,
+            _ => FsyncPolicy::Interval(3),
+        };
+        let config = JournalConfig { fsync, segment_bytes, snapshot_every: 1000 };
+        let tracker = DiskTracker::new(IoProfile::instant());
+        let mut journal = SessionJournal::create(dir.path(), config, tracker.clone()).unwrap();
+
+        let mut committed: Vec<Vec<u8>> = Vec::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            journal.append(payload).unwrap();
+            committed.push(payload.clone());
+            if snap_after.get(i).copied().unwrap_or(false) {
+                journal.snapshot(&encode_state(&committed)).unwrap();
+            }
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        let (contents, _reopened) =
+            SessionJournal::recover(dir.path(), config, tracker).unwrap();
+        prop_assert_eq!(contents.torn_tail_bytes, 0, "clean shutdown has no torn tail");
+        let mut replayed = match &contents.snapshot {
+            Some(snap) => decode_state(snap),
+            None => Vec::new(),
+        };
+        replayed.extend(contents.records.iter().cloned());
+        prop_assert_eq!(replayed, committed);
+    }
+
+    /// Durability: kill the process (before / torn / after the write) at an
+    /// arbitrary journal write boundary. Every append that returned `Ok`
+    /// before the crash MUST survive recovery, in order; at most the one
+    /// in-flight unacknowledged record may additionally appear.
+    #[test]
+    fn kill_at_any_write_boundary_never_loses_an_acked_record(
+        payloads in proptest::collection::vec(proptest::collection::vec(0u8..4, 0..12), 1..40),
+        kill_op in any::<u64>(),
+        mode_sel in 0u8..3,
+        segment_bytes in 32u64..256,
+    ) {
+        let dir = uei_storage::testutil::TempDir::new("prop-journal-kill");
+        let config = JournalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_bytes,
+            snapshot_every: 1000,
+        };
+        let mode = match mode_sel {
+            0 => KillMode::BeforeWrite,
+            1 => KillMode::Torn,
+            _ => KillMode::AfterWrite,
+        };
+        let injector = FaultInjector::new(FaultConfig { seed: 7, ..FaultConfig::off() }).unwrap();
+        let tracker = DiskTracker::new(IoProfile::instant());
+        tracker.set_fault_injector(Some(injector.clone()));
+        let mut journal = SessionJournal::create(dir.path(), config, tracker.clone()).unwrap();
+
+        // Appends consult the dice roughly once per record plus rotations;
+        // aim the kill inside (or just past) that window so some cases run
+        // to completion unharmed.
+        let writes_per_append = 3;
+        let window = payloads.len() as u64 * writes_per_append + 2;
+        injector.arm_journal_kill(injector.stats().writes_seen + kill_op % window, mode);
+
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        let mut crashed = false;
+        for payload in &payloads {
+            match journal.append(payload) {
+                Ok(()) => acked.push(payload.clone()),
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if crashed {
+            // Poisoned after the crash: the journal refuses further use.
+            prop_assert!(journal.append(b"x").is_err());
+        }
+        drop(journal);
+
+        // Recovery runs on a pristine tracker: the dead process's injector
+        // state is irrelevant to the recovering one.
+        let clean = DiskTracker::new(IoProfile::instant());
+        let (contents, _reopened) = SessionJournal::recover(dir.path(), config, clean).unwrap();
+        prop_assert!(
+            contents.records.len() >= acked.len()
+                && contents.records.len() <= acked.len() + 1,
+            "{} acked, {} recovered",
+            acked.len(),
+            contents.records.len()
+        );
+        prop_assert_eq!(&contents.records[..acked.len()], &acked[..], "acked prefix lost");
+    }
 }
 
 /// Non-proptest sanity: the LRU reference model itself starts empty.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lint, docs, tests, build, and smoke runs of the
-# scoring, region-load, fault-matrix, multi-session, rescore, and kd-tree
-# layout benches.
+# scoring, region-load, fault-matrix, multi-session, rescore, kd-tree
+# layout, and journal-recovery benches.
 #
 #   ./scripts/ci.sh          # full gate
 #   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
@@ -81,5 +81,14 @@ test -s "$tmp/BENCH_rescore.json"
 echo "==> kdtree_bench --smoke"
 cargo run -p uei-bench --release --bin kdtree_bench -- --smoke --out "$tmp/BENCH_kdtree.json"
 test -s "$tmp/BENCH_kdtree.json"
+
+# Smoke-run the recovery bench: one fixed-seed session without and with
+# the write-ahead journal, plus a crash injected at the middle journal
+# write followed by recovery. The binary asserts clean-path journaling
+# overhead stays at or under 5% of session wall time and that every
+# recovered run reproduces the uninterrupted run's traces bit-identically.
+echo "==> recovery_bench --smoke"
+cargo run -p uei-bench --release --bin recovery_bench -- --smoke --out "$tmp/BENCH_recovery.json"
+test -s "$tmp/BENCH_recovery.json"
 
 echo "CI gate passed."

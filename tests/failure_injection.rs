@@ -1,30 +1,25 @@
 //! Failure injection: damaged on-disk artifacts must surface as typed
 //! errors — never panics, never silently wrong exploration results.
+//!
+//! Hand-crafted corruption (byte flips, truncation, deleted files) covers
+//! deterministic damage; the seeded [`FaultInjector`] covers probabilistic
+//! read faults under its seed-replay contract.
 
-use std::path::PathBuf;
 use std::sync::Arc;
 
 use uei::index::uei::UeiIndex;
 use uei::prelude::*;
+use uei::storage::fault::{FaultConfig, FaultInjector};
 use uei::storage::store::ColumnStore;
+use uei::storage::testutil::TempDir;
 use uei::types::UeiError;
 
-fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "uei-fail-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn build_store(dir: &PathBuf, rows: usize) -> Arc<ColumnStore> {
+fn build_store(dir: &TempDir, rows: usize) -> Arc<ColumnStore> {
     let data = generate_sdss_like(&SynthConfig { rows, seed: 5, ..Default::default() });
     let tracker = DiskTracker::new(IoProfile::instant());
     Arc::new(
         ColumnStore::create(
-            dir,
+            dir.path(),
             Schema::sdss(),
             &data,
             StoreConfig { chunk_target_bytes: 4096 },
@@ -46,7 +41,7 @@ impl uei::learn::Classifier for Anywhere {
 
 #[test]
 fn corrupt_chunk_file_yields_corrupt_error_not_panic() {
-    let dir = temp_dir("chunk");
+    let dir = TempDir::new("fail-chunk");
     let store = build_store(&dir, 2000);
     // Flip a byte in the middle of every chunk of dimension 0.
     for meta in &store.manifest().dims[0] {
@@ -64,12 +59,11 @@ fn corrupt_chunk_file_yields_corrupt_error_not_panic() {
         Err(UeiError::Corrupt { .. }) => {}
         other => panic!("expected Corrupt, got {other:?}"),
     }
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn missing_chunk_file_yields_io_error() {
-    let dir = temp_dir("missing");
+    let dir = TempDir::new("fail-missing");
     let store = build_store(&dir, 2000);
     for meta in &store.manifest().dims[2] {
         std::fs::remove_file(dir.join(meta.id().file_name())).unwrap();
@@ -82,12 +76,11 @@ fn missing_chunk_file_yields_io_error() {
         Err(UeiError::Io { .. }) => {}
         other => panic!("expected Io, got {other:?}"),
     }
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn truncated_rows_file_yields_error_on_fetch() {
-    let dir = temp_dir("rows");
+    let dir = TempDir::new("fail-rows");
     let store = build_store(&dir, 2000);
     let rows_path = dir.join("rows.dat");
     let bytes = std::fs::read(&rows_path).unwrap();
@@ -98,12 +91,11 @@ fn truncated_rows_file_yields_error_on_fetch() {
         Err(UeiError::Io { .. }) => {}
         other => panic!("expected Io, got {other:?}"),
     }
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn tampered_manifest_rejected_at_open() {
-    let dir = temp_dir("manifest");
+    let dir = TempDir::new("fail-manifest");
     let _store = build_store(&dir, 500);
     let manifest_path = dir.join("manifest.json");
     let text = std::fs::read_to_string(&manifest_path).unwrap();
@@ -111,11 +103,10 @@ fn tampered_manifest_rejected_at_open() {
     let tampered = text.replacen("\"version\": 1", "\"version\": 9", 1);
     std::fs::write(&manifest_path, tampered).unwrap();
     let tracker = DiskTracker::new(IoProfile::instant());
-    match ColumnStore::open(&dir, tracker) {
+    match ColumnStore::open(dir.path(), tracker) {
         Err(UeiError::Corrupt { .. }) => {}
         other => panic!("expected Corrupt, got {:?}", other.map(|s| s.num_rows())),
     }
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -124,7 +115,7 @@ fn prefetcher_records_failure_and_foreground_still_errors_typed() {
     use uei::index::mapping::ChunkMapping;
     use uei::index::prefetch::Prefetcher;
 
-    let dir = temp_dir("prefetchfail");
+    let dir = TempDir::new("fail-prefetch");
     let store = build_store(&dir, 2000);
     let grid = Grid::new(store.schema(), 3).unwrap();
     let mapping = ChunkMapping::build(&grid, store.manifest()).unwrap();
@@ -147,17 +138,16 @@ fn prefetcher_records_failure_and_foreground_still_errors_typed() {
     assert!(pre.take(0).is_none(), "failed prefetch yields no data");
     let failure = pre.failure(0).expect("failure recorded");
     assert!(failure.contains("corrupt") || failure.contains("crc"), "{failure}");
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn corrupt_dbms_page_detected_during_scan() {
     use uei::dbms::table::Table;
 
-    let dir = temp_dir("dbmspage");
+    let dir = TempDir::new("fail-dbmspage");
     let data = generate_sdss_like(&SynthConfig { rows: 2000, seed: 9, ..Default::default() });
     let tracker = DiskTracker::new(IoProfile::instant());
-    let table = Table::create(&dir, Schema::sdss(), &data, &tracker).unwrap();
+    let table = Table::create(dir.path(), Schema::sdss(), &data, &tracker).unwrap();
     // Flip a byte in the second page of the heap.
     let heap_path = dir.join("heap.db");
     let mut bytes = std::fs::read(&heap_path).unwrap();
@@ -170,5 +160,45 @@ fn corrupt_dbms_page_detected_during_scan() {
         Err(UeiError::Corrupt { .. }) => {}
         other => panic!("expected Corrupt, got {other:?}"),
     }
-    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Probabilistic read faults through the seeded injector: every failure is
+/// a typed `Corrupt` or `Transient` (never a panic, never silently wrong
+/// data), and the same seed replays the identical fault sequence.
+#[test]
+fn injected_read_faults_are_typed_and_replay_by_seed() {
+    let dir = TempDir::new("fail-injected");
+    let store = build_store(&dir, 2000);
+    let faults =
+        FaultConfig { seed: 0xD1CE, transient_prob: 0.2, corrupt_prob: 0.3, ..FaultConfig::off() };
+    let metas: Vec<_> = store.manifest().dims.iter().flatten().map(|m| m.id()).collect();
+    assert!(metas.len() >= 4);
+
+    let run = || {
+        let injector = FaultInjector::new(faults).unwrap();
+        store.tracker().set_fault_injector(Some(injector.clone()));
+        let mut outcomes = Vec::new();
+        for _ in 0..10 {
+            for id in &metas {
+                match store.read_chunk(*id) {
+                    Ok(chunk) => {
+                        // A read that "succeeds" must be the real chunk.
+                        assert_eq!(chunk.id, *id);
+                        outcomes.push(0u8);
+                    }
+                    Err(UeiError::Corrupt { .. }) => outcomes.push(1),
+                    Err(UeiError::Transient { .. }) => outcomes.push(2),
+                    Err(other) => panic!("untyped fault escaped: {other:?}"),
+                }
+            }
+        }
+        store.tracker().set_fault_injector(None);
+        let stats = injector.stats();
+        (outcomes, stats.transient_errors, stats.corruptions)
+    };
+
+    let first = run();
+    let second = run();
+    assert!(first.1 > 0 && first.2 > 0, "probabilities high enough to fire");
+    assert_eq!(first, second, "same seed must replay the same fault sequence");
 }
