@@ -1,0 +1,71 @@
+//! Sharded vs. single-shard index-plane comparison.
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin shard_bench            # full run
+//! cargo run -p uei-bench --release --bin shard_bench -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_shard.json` (schema: `BENCH_SCHEMA.json`) to the
+//! current directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::shard::{full_shard_report, smoke_shard_report, validate_shard, ShardReport};
+
+fn print_report(report: &ShardReport) {
+    println!(
+        "sharded vs. single-shard index plane — {} rayon thread(s), \
+         {} iterations per case, top-θ depth 8\n",
+        report.threads, report.iterations
+    );
+    println!(
+        "{:>8} {:>7} {:>14} {:>12} {:>12} {:>9} {:>9} {:>8} {:>8}",
+        "cells",
+        "shards",
+        "update+select",
+        "update",
+        "select",
+        "speedup",
+        "touched",
+        "pruned",
+        "match"
+    );
+    for c in &report.cases {
+        println!(
+            "{:>8} {:>7} {:>12.2}us {:>10.2}us {:>10.2}us {:>8.2}x {:>9} {:>8} {:>8}",
+            c.cells,
+            c.shards,
+            c.update_select_ns as f64 / 1e3,
+            c.update_ns as f64 / 1e3,
+            c.select_ns as f64 / 1e3,
+            c.speedup_vs_single,
+            c.shards_touched,
+            c.shards_pruned,
+            c.selections_match,
+        );
+    }
+    #[cfg(debug_assertions)]
+    println!(
+        "\nnote: debug build — every incremental pass also runs the full \
+         cross-check, so the timing columns are meaningless here."
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_shard.json"));
+
+    let report = if smoke { smoke_shard_report() } else { full_shard_report() };
+    print_report(&report);
+    validate_shard(&report);
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

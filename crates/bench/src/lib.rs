@@ -26,6 +26,7 @@ pub mod recovery;
 pub mod region_load;
 pub mod rescore;
 pub mod scoring;
+pub mod shard;
 
 pub use experiments::*;
 pub use fault_matrix::{
@@ -54,3 +55,6 @@ pub use rescore::{
     RescoreReport,
 };
 pub use scoring::{full_report, run_scoring_bench, smoke_report, ScoringCase, ScoringReport};
+pub use shard::{
+    full_shard_report, run_shard_bench, smoke_shard_report, validate_shard, ShardCase, ShardReport,
+};

@@ -60,6 +60,10 @@ pub struct SelectionInfo {
     /// incremental rescoring this is the dirty-set size; under full
     /// rescoring it equals the index-point count.
     pub points_rescored: u64,
+    /// UEI: index-plane shards whose scores were touched this selection —
+    /// every shard on a full rescoring pass, only the dirty shards under
+    /// incremental rescoring (zero when the model did not change).
+    pub shards_touched: u64,
     /// UEI: index points served verbatim from the per-session score cache
     /// this selection (zero under full rescoring).
     pub points_cached: u64,
@@ -271,6 +275,7 @@ impl ExplorationBackend for UeiBackend {
         let bg_before = self.index.background_io().map_or(0, |s| s.bytes_read);
         let degrade_before = self.index.degrade_counters();
         let rescore_before = self.index.rescore_counters();
+        let shards_before = self.index.shards_touched();
         match model.training_len() {
             // The labeled entries between the previous and current training
             // lengths are exactly the examples the model gained since the
@@ -293,6 +298,7 @@ impl ExplorationBackend for UeiBackend {
             None => self.index.update_uncertainty(model),
         }
         let rescore = self.index.rescore_counters().since(&rescore_before);
+        let shards_touched = self.index.shards_touched() - shards_before;
         let (cell, region_rows, prefetched, degraded) = match self.index.select_and_load() {
             Ok(load) => {
                 let region_rows = if load.source == LoadSource::Retained {
@@ -335,6 +341,7 @@ impl ExplorationBackend for UeiBackend {
             fallback_cells: degrade.fallback_cells,
             degraded,
             points_rescored: rescore.points_rescored,
+            shards_touched,
             points_cached: rescore.points_cached,
             recovered: false,
             examined: None,

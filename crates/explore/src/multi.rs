@@ -293,6 +293,7 @@ pub fn summarize_outcomes(outcomes: &[SessionOutcome]) -> RunSummary {
             degraded_iterations_per_run: 0.0,
             points_rescored_per_run: 0.0,
             points_cached_per_run: 0.0,
+            shards_touched_per_run: 0.0,
             aborted_runs: 0,
             recovered_runs: 0,
         }

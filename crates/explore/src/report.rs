@@ -83,6 +83,10 @@ pub struct RunSummary {
     /// incremental rescoring skipped).
     #[serde(default)]
     pub points_cached_per_run: f64,
+    /// Mean index-plane shards touched per run (every shard on a full
+    /// rescoring pass, only the dirty shards under incremental rescoring).
+    #[serde(default)]
+    pub shards_touched_per_run: f64,
     /// Sessions that died (panic or error) and could not be recovered from
     /// a journal; they contribute no traces. Only
     /// [`crate::multi::summarize_outcomes`] can report a non-zero count —
@@ -170,6 +174,7 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
     let (mut hits, mut lookups, mut evictions, mut prefetch_bytes) = (0u64, 0u64, 0u64, 0u64);
     let (mut retries, mut fallback_cells, mut degraded) = (0u64, 0u64, 0u64);
     let (mut points_rescored, mut points_cached) = (0u64, 0u64);
+    let mut shards_touched = 0u64;
     for t in results.iter().flat_map(|r| r.traces.iter()) {
         hits += t.cache_hits;
         lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
@@ -180,6 +185,7 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         degraded += u64::from(t.degraded);
         points_rescored += t.points_rescored;
         points_cached += t.points_cached;
+        shards_touched += t.shards_touched;
     }
 
     RunSummary {
@@ -198,6 +204,7 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         degraded_iterations_per_run: degraded as f64 / results.len() as f64,
         points_rescored_per_run: points_rescored as f64 / results.len() as f64,
         points_cached_per_run: points_cached as f64 / results.len() as f64,
+        shards_touched_per_run: shards_touched as f64 / results.len() as f64,
         aborted_runs: 0,
         recovered_runs: results.iter().filter(|r| r.traces.iter().any(|t| t.recovered)).count(),
     }
@@ -235,6 +242,7 @@ mod tests {
             fallback_cells: 0,
             degraded: false,
             points_rescored: 0,
+            shards_touched: 0,
             points_cached: 0,
             recovered: false,
             examined: None,
@@ -343,6 +351,44 @@ mod tests {
         assert!(!t.degraded);
         assert_eq!(t.points_rescored, 0);
         assert_eq!(t.points_cached, 0);
+        assert_eq!(t.shards_touched, 0);
+    }
+
+    #[test]
+    fn pre_shard_summary_json_deserializes_with_defaults() {
+        // A RunSummary archived before the index plane was sharded: every
+        // post-seed counter (cache, fault, rescore, shard) is absent and
+        // must come back as its default.
+        let old = r#"{
+            "backend": "uei", "runs": 2,
+            "series": [{
+                "labels": 2, "f_measure_mean": 0.5, "f_measure_std": 0.1,
+                "response_virtual_ms_mean": 1.0, "response_wall_ms_mean": 2.0,
+                "bytes_read_mean": 100.0, "runs": 2
+            }],
+            "final_f_measure_mean": 0.5,
+            "overall_response_virtual_ms": 1.0,
+            "p95_response_virtual_ms": 1.5
+        }"#;
+        let s: RunSummary = serde_json::from_str(old).unwrap();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.series.len(), 1);
+        assert_eq!(s.series[0].cache_hit_ratio, 0.0);
+        assert_eq!(s.cache_hit_ratio, 0.0);
+        assert_eq!(s.points_rescored_per_run, 0.0);
+        assert_eq!(s.shards_touched_per_run, 0.0);
+        assert_eq!(s.aborted_runs, 0);
+        assert_eq!(s.recovered_runs, 0);
+    }
+
+    #[test]
+    fn shard_counters_are_aggregated_per_run() {
+        let mut a = trace(2, None, 1.0);
+        a.shards_touched = 8;
+        let mut b = trace(2, None, 1.0);
+        b.shards_touched = 1;
+        let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
+        assert!((summary.shards_touched_per_run - 4.5).abs() < 1e-12);
     }
 
     #[test]

@@ -151,6 +151,11 @@ pub struct IterationTrace {
     /// under incremental rescoring; all of them under full rescoring).
     #[serde(default)]
     pub points_rescored: u64,
+    /// UEI: index-plane shards whose scores were touched this iteration —
+    /// every shard on a full rescoring pass, only the dirty shards under
+    /// incremental rescoring.
+    #[serde(default)]
+    pub shards_touched: u64,
     /// UEI: index points served verbatim from the per-session score cache
     /// this iteration.
     #[serde(default)]
@@ -497,6 +502,7 @@ impl<'a> ExplorationSession<'a> {
             fallback_cells: info.fallback_cells,
             degraded: info.degraded,
             points_rescored: info.points_rescored,
+            shards_touched: info.shards_touched,
             points_cached: info.points_cached,
             recovered: info.recovered,
             examined: info.examined,

@@ -49,9 +49,11 @@ const GOLDEN: &[&str] = &[
     "23:24:1:4",
 ];
 
-#[test]
-fn fixed_seed_session_trace_is_pinned() {
-    let dir = TempDir::new("golden-trace");
+/// Runs the pinned fixed-seed session with the given index-plane shard
+/// count and returns its `iteration:labels:label_positive:region_rows`
+/// fingerprint.
+fn run_pinned_session(tag: &str, shards: usize) -> Vec<String> {
+    let dir = TempDir::new(&format!("golden-trace-{tag}"));
     let rows = generate_sdss_like(&SynthConfig { rows: 4000, ..Default::default() });
     let mut rng = Rng::new(13);
     let target = generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
@@ -69,7 +71,7 @@ fn fixed_seed_session_trace_is_pinned() {
     let mut backend_rng = Rng::new(1);
     let mut backend = UeiBackend::new(
         Arc::new(store),
-        UeiConfig { cells_per_dim: 3, ..UeiConfig::default() },
+        UeiConfig { cells_per_dim: 3, shards, ..UeiConfig::default() },
         UncertaintyMeasure::LeastConfidence,
         300,
         &mut backend_rng,
@@ -83,7 +85,7 @@ fn fixed_seed_session_trace_is_pinned() {
     };
     let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
 
-    let fingerprint: Vec<String> = result
+    result
         .traces
         .iter()
         .map(|t| {
@@ -95,6 +97,20 @@ fn fixed_seed_session_trace_is_pinned() {
                 t.region_rows.unwrap_or(0)
             )
         })
-        .collect();
+        .collect()
+}
+
+#[test]
+fn fixed_seed_session_trace_is_pinned() {
+    let fingerprint = run_pinned_session("auto", 0);
     assert_eq!(fingerprint, GOLDEN, "fixed-seed session diverged from the pinned pre-change trace");
+}
+
+/// The same pinned trace must survive an explicit shard count: splitting
+/// the index plane into four shards changes only who computes each score
+/// and how the top-θ ranking is merged, never the selection itself.
+#[test]
+fn four_shard_session_reproduces_the_pinned_trace() {
+    let fingerprint = run_pinned_session("sharded", 4);
+    assert_eq!(fingerprint, GOLDEN, "four-shard session diverged from the pinned trace");
 }

@@ -282,6 +282,122 @@ proptest! {
     }
 }
 
+/// The sharded index plane promises that the shard count is invisible to
+/// exploration: partitioning the grid cells changes *where* scores live
+/// and *who* rescored them, never which cell ranks first or which example
+/// is selected. For every estimator kind, a fixed-seed session must
+/// produce bit-identical [`IterationTrace`] sequences at 1, 2, and 8
+/// shards — every field except wall-clock time (noise) and
+/// `shards_touched` (inherently shard-count-dependent: a full pass touches
+/// all shards, however many there are).
+///
+/// [`IterationTrace`]: uei_explore::session::IterationTrace
+mod shard_invariance {
+    use super::*;
+    use proptest::TestCaseError;
+    use std::sync::Arc;
+    use uei_explore::backend::UeiBackend;
+    use uei_explore::oracle::Oracle;
+    use uei_explore::session::{ExplorationSession, IterationTrace, SessionConfig};
+    use uei_index::config::UeiConfig;
+    use uei_learn::strategy::UncertaintyMeasure;
+    use uei_learn::EstimatorKind;
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::{ColumnStore, StoreConfig};
+
+    const ESTIMATORS: &[(&str, EstimatorKind)] = &[
+        ("dwknn", EstimatorKind::Dwknn { k: 3 }),
+        ("knn", EstimatorKind::Knn { k: 3 }),
+        ("naive-bayes", EstimatorKind::NaiveBayes),
+        ("linear-svm", EstimatorKind::LinearSvm { epochs: 30, lambda: 0.01 }),
+    ];
+
+    /// The trace minus the two fields that legitimately vary, serialized
+    /// so the comparison covers every remaining bit.
+    fn canon(t: &IterationTrace) -> String {
+        let mut t = t.clone();
+        t.response_wall_ms = 0.0;
+        t.shards_touched = 0;
+        serde_json::to_string(&t).expect("traces serialize")
+    }
+
+    pub(super) fn check(seed: u64) -> Result<(), TestCaseError> {
+        let rows = generate_sdss_like(&SynthConfig { rows: 2000, seed, ..Default::default() });
+        let mut rng = Rng::new(seed ^ 0x51);
+        let target =
+            generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).unwrap();
+        let oracle = Oracle::new(target);
+
+        for (name, estimator) in ESTIMATORS {
+            let run = |shards: usize| -> Vec<IterationTrace> {
+                let dir = std::env::temp_dir().join(format!(
+                    "uei-prop-shard-{seed}-{name}-{shards}-{}-{:?}",
+                    std::process::id(),
+                    std::thread::current().id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let tracker = DiskTracker::new(IoProfile::instant());
+                let store = Arc::new(
+                    ColumnStore::create(
+                        &dir,
+                        Schema::sdss(),
+                        &rows,
+                        StoreConfig { chunk_target_bytes: 8192 },
+                        tracker.clone(),
+                    )
+                    .unwrap(),
+                );
+                let mut rng = Rng::new(seed ^ 0x52);
+                let mut backend = UeiBackend::new(
+                    store,
+                    UeiConfig { cells_per_dim: 3, shards, ..UeiConfig::default() },
+                    UncertaintyMeasure::LeastConfidence,
+                    250,
+                    &mut rng,
+                )
+                .unwrap();
+                let config = SessionConfig {
+                    estimator: *estimator,
+                    max_labels: 12,
+                    bootstrap_size: 150,
+                    eval_sample: 200,
+                    ..SessionConfig::default()
+                };
+                let result =
+                    ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
+                std::fs::remove_dir_all(&dir).ok();
+                result.traces
+            };
+
+            let reference = run(1);
+            prop_assert!(!reference.is_empty(), "{name}: session recorded no iterations");
+            let reference: Vec<String> = reference.iter().map(canon).collect();
+            for shards in [2usize, 8] {
+                let sharded: Vec<String> = run(shards).iter().map(canon).collect();
+                prop_assert_eq!(
+                    &reference,
+                    &sharded,
+                    "{}: traces diverged between 1 and {} shards",
+                    name,
+                    shards
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    // Four estimators x three shard counts with real storage per case:
+    // keep the case count minimal.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn traces_are_bit_identical_at_any_shard_count(seed in 0u64..1_000) {
+        shard_invariance::check(seed)?;
+    }
+}
+
 /// Session determinism over random seeds, with real storage; kept as one
 /// deterministic case per run to stay fast.
 #[test]

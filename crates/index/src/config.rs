@@ -103,6 +103,15 @@ pub struct UeiConfig {
     /// snapshot cadence in iterations (DESIGN.md §13). Sessions without a
     /// journal directory ignore this entirely.
     pub journal: JournalConfig,
+    /// Number of contiguous cell-range shards the index-point plane is
+    /// partitioned into (DESIGN.md §14). Each shard owns its slice of the
+    /// score/radius arrays, its own dirty set, and its own cached top-θ
+    /// candidate list; rescoring fans out across shards and selection is a
+    /// deterministic k-way merge of the per-shard lists, so scores and
+    /// selection are **bit-identical at every shard count**. `0` (the
+    /// default) sizes the shard count automatically from the cell count;
+    /// explicit values are clamped to `[1, num_cells]`.
+    pub shards: usize,
 }
 
 impl Default for UeiConfig {
@@ -124,6 +133,7 @@ impl Default for UeiConfig {
             rescore_margin: 0.0,
             full_rescore_every: 50,
             journal: JournalConfig::default(),
+            shards: 0,
         }
     }
 }
@@ -165,6 +175,12 @@ impl UeiConfig {
         }
         if self.full_rescore_every == 0 {
             return Err(UeiError::invalid_config("full_rescore_every must be >= 1"));
+        }
+        if self.shards > crate::shard::MAX_SHARDS {
+            return Err(UeiError::invalid_config(format!(
+                "shards must be <= {} (0 = auto)",
+                crate::shard::MAX_SHARDS
+            )));
         }
         self.retry.validate()?;
         self.journal.validate()?;
@@ -238,6 +254,17 @@ mod tests {
         assert!(c.validate(5).is_err());
 
         assert!(UeiConfig::default().validate(0).is_err());
+    }
+
+    #[test]
+    fn shard_knob_defaults_to_auto_and_rejects_absurd_counts() {
+        let c = UeiConfig::default();
+        assert_eq!(c.shards, 0, "0 = auto-sized from the cell count");
+        c.validate(5).unwrap();
+        let c = UeiConfig { shards: 8, ..UeiConfig::default() };
+        c.validate(5).unwrap();
+        let c = UeiConfig { shards: crate::shard::MAX_SHARDS + 1, ..UeiConfig::default() };
+        assert!(c.validate(5).is_err());
     }
 
     #[test]

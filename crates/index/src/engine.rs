@@ -58,7 +58,9 @@ pub struct EngineCore {
     physical: Arc<dyn ChunkSource>,
     grid: Arc<Grid>,
     mapping: Arc<ChunkMapping>,
-    /// Freshly scored index points, cloned into each new session.
+    /// Index-point template cloned into each new session. The immutable
+    /// halves inside — cell centers and shard layout — are `Arc`-shared,
+    /// so a clone copies only per-session score state.
     points_template: IndexPoints,
     /// The engine-wide decoded-chunk cache (None when
     /// [`UeiConfig::shared_cache`] is off — sessions then keep private
@@ -99,7 +101,7 @@ impl EngineCore {
         config.validate(store.schema().dims())?;
         let grid = Arc::new(Grid::new(store.schema(), config.cells_per_dim)?);
         let mapping = Arc::new(ChunkMapping::build(&grid, store.manifest())?);
-        let points_template = IndexPoints::from_grid(&grid)?;
+        let points_template = IndexPoints::from_grid_with_shards(&grid, config.shards)?;
         let physical: Arc<dyn ChunkSource> = Arc::clone(&store) as Arc<dyn ChunkSource>;
         let cache = config.shared_cache.then(|| {
             Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards))

@@ -37,17 +37,26 @@
 pub mod config;
 pub mod engine;
 pub mod grid;
+pub mod load;
 pub mod loader;
 pub mod mapping;
 pub mod points;
 pub mod prefetch;
+pub mod select;
+pub mod shard;
 pub mod uei;
+
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use config::UeiConfig;
 pub use engine::EngineCore;
 pub use grid::{CellId, Grid};
+pub use load::{LoadSource, RegionFetcher, RegionLoad};
 pub use loader::{LoadStats, RegionLoader};
 pub use mapping::ChunkMapping;
 pub use points::{IndexPoints, RescoreStats};
 pub use prefetch::{Ewma, Prefetcher};
-pub use uei::{DegradeCounters, RegionLoad, UeiIndex};
+pub use select::{DegradeCounters, ShardTops};
+pub use shard::ShardLayout;
+pub use uei::UeiIndex;

@@ -5,12 +5,23 @@
 //! which serves as the uncertainty estimator. […] Then, the index point
 //! p*_i for which the current exploration model is most uncertain will be
 //! chosen" (§3.2, Eq. 3).
+//!
+//! The score plane is sharded (DESIGN.md §14): a [`ShardLayout`] partitions
+//! the flat score/radius arrays into contiguous cell ranges, rescoring fans
+//! out shard-parallel, and each shard keeps a cached top-θ candidate list
+//! ([`ShardTops`]) that selection merges deterministically. Scores and
+//! selection are **bit-identical at every shard count**.
 
+use std::sync::Arc;
+
+use rayon::prelude::*;
 use uei_learn::strategy::UncertaintyMeasure;
-use uei_learn::{Classifier, ModelDelta};
-use uei_types::{PointMatrix, Result, UeiError};
+use uei_learn::{Classifier, ModelDelta, ScoredBatch};
+use uei_types::{PointMatrix, Result, ShardId, UeiError};
 
 use crate::grid::{CellId, Grid};
+use crate::select::ShardTops;
+use crate::shard::ShardLayout;
 
 /// Work accounting of one rescoring pass: how many index points were
 /// actually pushed through the model versus served from the score cache.
@@ -42,6 +53,85 @@ impl RescoreStats {
     }
 }
 
+/// Shard-granular locality-prune state derived from one full tracked
+/// pass: each shard's axis-aligned bounding box of center positions in
+/// the model's influence space ([`Classifier::influence_position`]),
+/// plus its largest cached squared influence radius. Incremental passes
+/// skip the delta sweep of every shard whose inflated max radius cannot
+/// reach any added example — the shard is provably all-clean, so the
+/// result stays bit-identical (DESIGN.md §14).
+///
+/// Center positions are computed once per full pass and reused across
+/// the retrained successor models of the session (the
+/// [`Classifier::influence_position`] contract requires the embedding of
+/// a fixed input to be training-set-independent); `max_r2` is
+/// re-derived for a shard whenever dirty rescoring patches its radii.
+#[derive(Debug, Clone)]
+struct ShardPrune {
+    /// Influence-space dimensionality of the cached boxes.
+    dims: usize,
+    /// Per-shard box corners, shard `s` occupying `s*dims..(s+1)*dims`.
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Per-shard maximum cached squared radius; `+∞` (some radius
+    /// non-finite, hence unconditionally dirty) keeps the shard
+    /// unprunable.
+    max_r2: Vec<f64>,
+    /// Shards containing a center the model could not position.
+    opaque: Vec<bool>,
+}
+
+impl ShardPrune {
+    /// Whether shard `s` is provably untouched: every added example's
+    /// influence-space position sits at least the shard's inflated max
+    /// radius away from the shard's bounding box, so no (margin-inflated)
+    /// influence ball in the shard can contain it.
+    fn shard_is_clean(&self, s: usize, added_pos: &[Vec<f64>], inflate: f64) -> bool {
+        if self.opaque[s] {
+            return false;
+        }
+        let bound = self.max_r2[s] * inflate;
+        if !bound.is_finite() {
+            return false;
+        }
+        let lo = &self.lo[s * self.dims..(s + 1) * self.dims];
+        let hi = &self.hi[s * self.dims..(s + 1) * self.dims];
+        added_pos.iter().all(|a| dist2_to_box(a, lo, hi) >= bound)
+    }
+}
+
+/// Squared Euclidean distance from `p` to the axis-aligned box `[lo, hi]`
+/// (zero inside the box).
+fn dist2_to_box(p: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..p.len() {
+        let gap = if p[d] < lo[d] {
+            lo[d] - p[d]
+        } else if p[d] > hi[d] {
+            p[d] - hi[d]
+        } else {
+            0.0
+        };
+        acc += gap * gap;
+    }
+    acc
+}
+
+/// Maximum of a shard's cached squared radii; any non-finite entry (an
+/// unconditionally dirty point) collapses to `+∞`, disabling pruning.
+fn max_radius2(radii2: &[f64]) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &r in radii2 {
+        if !r.is_finite() {
+            return f64::INFINITY;
+        }
+        if r > max {
+            max = r;
+        }
+    }
+    max
+}
+
 /// The index set `P`: one symbolic point (cell center) per grid cell, with
 /// the current uncertainty estimate of each.
 ///
@@ -52,39 +142,69 @@ impl RescoreStats {
 /// keeping every other score verbatim. `model_version` tags the cache with
 /// the (monotonically increasing) generation of the model that produced
 /// it.
+///
+/// The immutable halves — cell centers and shard layout — sit behind
+/// `Arc`s, so cloning an `IndexPoints` (one clone per engine session)
+/// shares the geometry and copies only the per-session score state.
 #[derive(Debug, Clone)]
 pub struct IndexPoints {
     /// Cell centers in one flat row-major matrix: batch scoring and the
     /// influence-ball delta sweep it linearly, no per-center allocation.
-    centers: PointMatrix,
+    centers: Arc<PointMatrix>,
+    /// The contiguous-range shard partition of `0..len`.
+    layout: Arc<ShardLayout>,
     uncertainty: Vec<f64>,
     updated: bool,
     /// Squared influence radii from the last tracked rescore; `None` when
     /// the last pass was untracked or the model does not report radii.
     radii2: Option<Vec<f64>>,
+    /// Per-shard cached top-θ candidate lists for selection.
+    tops: ShardTops,
+    /// Shard-granular locality-prune cache; rebuilt lazily after every
+    /// full pass, `None` while radii are absent.
+    prune: Option<ShardPrune>,
+    /// Cumulative shards whose delta sweep the locality prune skipped.
+    shards_pruned: u64,
     /// Generation counter of the cached scores: bumped on every rescoring
     /// pass, of any kind.
     model_version: u64,
     /// Incremental passes since the last full rescore — drives the
     /// periodic-full-rescore staleness bound.
     incremental_passes: usize,
+    /// Cumulative shards whose scores a rescoring pass recomputed (full
+    /// passes count every shard; incremental passes only the dirty ones).
+    shards_touched: u64,
 }
 
 impl IndexPoints {
-    /// Materializes the index points of a grid (Algorithm 2 lines 7–11).
+    /// Materializes the index points of a grid (Algorithm 2 lines 7–11)
+    /// with the shard count sized automatically from the cell count.
     pub fn from_grid(grid: &Grid) -> Result<IndexPoints> {
+        Self::from_grid_with_shards(grid, 0)
+    }
+
+    /// [`Self::from_grid`] with an explicit shard count (`0` = auto, other
+    /// values clamped to `[1, num_cells]` — see [`ShardLayout::new`]).
+    pub fn from_grid_with_shards(grid: &Grid, shards: usize) -> Result<IndexPoints> {
         let mut centers = PointMatrix::with_capacity(grid.num_cells(), grid.dims());
         for id in grid.cell_ids() {
             centers.push_row(&grid.cell_center(id)?)?;
         }
         let n = centers.len();
+        let layout = ShardLayout::new(n, shards);
+        let tops = ShardTops::new(layout.num_shards());
         Ok(IndexPoints {
-            centers,
+            centers: Arc::new(centers),
+            layout: Arc::new(layout),
             uncertainty: vec![0.0; n],
             updated: false,
             radii2: None,
+            tops,
+            prune: None,
+            shards_pruned: 0,
             model_version: 0,
             incremental_passes: 0,
+            shards_touched: 0,
         })
     }
 
@@ -96,6 +216,30 @@ impl IndexPoints {
     /// Whether the set is empty (never true for a valid grid).
     pub fn is_empty(&self) -> bool {
         self.centers.is_empty()
+    }
+
+    /// The shard partition of the score plane.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of shards the score plane is partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.layout.num_shards()
+    }
+
+    /// Cumulative count of shards recomputed across all rescoring passes
+    /// (full passes add every shard, incremental passes only the dirty
+    /// ones). Snapshot-and-subtract for per-iteration deltas.
+    pub fn shards_touched(&self) -> u64 {
+        self.shards_touched
+    }
+
+    /// Cumulative count of shards whose delta sweep the locality prune
+    /// skipped outright (the shard was provably beyond every added
+    /// example's inflated influence ball).
+    pub fn shards_pruned(&self) -> u64 {
+        self.shards_pruned
     }
 
     /// The symbolic point of cell `id`.
@@ -118,13 +262,22 @@ impl IndexPoints {
     /// Re-scores every index point with the current model
     /// (`updateUncertainty(P, M)`, Algorithm 2 line 17).
     ///
-    /// Scoring goes through [`Classifier::predict_proba_batch`], so a grid
-    /// of thousands of index points is rescored across cores (and with
-    /// per-worker traversal scratch) each iteration; the resulting scores
-    /// are bit-identical to [`Self::update_sequential`].
+    /// Scoring fans out shard-parallel, each shard batching its slice
+    /// through [`Classifier::predict_proba_batch`]; the batch contract is
+    /// element-wise, so the resulting scores are bit-identical to
+    /// [`Self::update_sequential`] at any shard count.
     pub fn update(&mut self, model: &dyn Classifier, measure: UncertaintyMeasure) {
-        let refs = self.centers.row_refs();
-        self.uncertainty = measure.score_points(model, &refs);
+        let layout = Arc::clone(&self.layout);
+        let centers = Arc::clone(&self.centers);
+        let parts: Vec<Vec<f64>> = (0..layout.num_shards())
+            .into_par_iter()
+            .map(|s| {
+                let range = layout.range(s);
+                let refs: Vec<&[f64]> = range.map(|i| centers.row(i)).collect();
+                measure.score_points(model, &refs)
+            })
+            .collect();
+        self.uncertainty = parts.concat();
         self.finish_full_pass(None);
     }
 
@@ -146,20 +299,50 @@ impl IndexPoints {
         model: &dyn Classifier,
         measure: UncertaintyMeasure,
     ) -> RescoreStats {
-        let refs = self.centers.row_refs();
-        let scored = model.predict_proba_batch_tracked(&refs);
-        self.uncertainty = scored.probs;
-        for u in &mut self.uncertainty {
-            *u = measure.score(*u);
+        let layout = Arc::clone(&self.layout);
+        let centers = Arc::clone(&self.centers);
+        let parts: Vec<(Vec<f64>, Option<Vec<f64>>)> = (0..layout.num_shards())
+            .into_par_iter()
+            .map(|s| {
+                let range = layout.range(s);
+                let refs: Vec<&[f64]> = range.map(|i| centers.row(i)).collect();
+                let scored = model.predict_proba_batch_tracked(&refs);
+                let mut probs = scored.probs;
+                for u in &mut probs {
+                    *u = measure.score(*u);
+                }
+                (probs, scored.radii2)
+            })
+            .collect();
+        let n = self.centers.len();
+        // Radii survive only if every shard reported them (models either
+        // always report radii or never do, so mixed shards mean a bug —
+        // treated conservatively as "no radii").
+        let mut radii2 = parts.iter().all(|(_, r)| r.is_some()).then(|| Vec::with_capacity(n));
+        let mut uncertainty = Vec::with_capacity(n);
+        for (probs, fresh) in parts {
+            uncertainty.extend(probs);
+            if let (Some(acc), Some(fresh)) = (radii2.as_mut(), fresh) {
+                acc.extend(fresh);
+            }
         }
-        self.finish_full_pass(scored.radii2);
-        RescoreStats { points_rescored: self.centers.len() as u64, points_cached: 0 }
+        self.uncertainty = uncertainty;
+        self.finish_full_pass(radii2);
+        RescoreStats { points_rescored: n as u64, points_cached: 0 }
     }
 
     /// Rescores only the points the model reports as possibly changed by
     /// the `added` training examples; every other score (and influence
     /// radius — a clean point's neighbour set is unchanged, so its radius
     /// is still exact) is kept verbatim from the cache.
+    ///
+    /// The dirty test runs shard-parallel through
+    /// [`Classifier::model_delta_matrix_range`]: the delta predicate is
+    /// per-point, so the concatenated per-shard masks equal the full-matrix
+    /// mask, and any shard reporting a global delta escalates the whole
+    /// pass to a full tracked rescore (global-ness is range-independent).
+    /// Dirty shards then rescore their own dirty points in parallel and
+    /// invalidate only their own cached top-θ lists.
     ///
     /// Scores are **bit-identical** to a full rescore: the delta contract
     /// guarantees clean points would reproduce their cached value, and the
@@ -186,15 +369,69 @@ impl IndexPoints {
             self.update_tracked(model, measure)
         } else {
             let n = self.centers.len();
-            let radii2 = self.radii2.as_ref().expect("checked above");
-            // The delta runs over the flat matrix directly — no Vec of row
-            // refs is materialized unless some points actually go dirty.
-            match model.model_delta_matrix(&self.centers, radii2, added, margin) {
-                ModelDelta::Dirty(mask) if mask.len() == n => {
-                    let dirty: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
-                    let dirty_refs: Vec<&[f64]> =
-                        dirty.iter().map(|&i| self.centers.row(i)).collect();
-                    let scored = model.predict_proba_batch_tracked(&dirty_refs);
+            let layout = Arc::clone(&self.layout);
+            let centers = Arc::clone(&self.centers);
+            if self.prune.is_none() {
+                self.prune = Some(self.build_prune(model));
+            }
+            let pruned = self.pruned_shards(model, added, margin);
+            self.shards_pruned += pruned.iter().filter(|&&p| p).count() as u64;
+            let deltas: Vec<ModelDelta> = {
+                let radii2 = self.radii2.as_deref().expect("checked above");
+                (0..layout.num_shards())
+                    .into_par_iter()
+                    .map(|s| {
+                        let range = layout.range(s);
+                        if pruned[s] {
+                            // Provably clean: the prune geometry implies
+                            // the delta's all-false mask without the sweep.
+                            return ModelDelta::Dirty(vec![false; range.len()]);
+                        }
+                        model.model_delta_matrix_range(
+                            &centers,
+                            range.clone(),
+                            &radii2[range],
+                            added,
+                            margin,
+                        )
+                    })
+                    .collect()
+            };
+            let well_formed = deltas.iter().enumerate().all(|(s, d)| match d {
+                ModelDelta::Dirty(mask) => mask.len() == layout.range(s).len(),
+                ModelDelta::Global => false,
+            });
+            if !well_formed {
+                // Any shard going global (or malformed): full rescore.
+                self.update_tracked(model, measure)
+            } else {
+                // Global cell ids of each shard's dirty points.
+                let dirty_shards: Vec<(usize, Vec<usize>)> = deltas
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, d)| {
+                        let ModelDelta::Dirty(mask) = d else { unreachable!() };
+                        let base = layout.range(s).start;
+                        let dirty: Vec<usize> = mask
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(j, &m)| m.then_some(base + j))
+                            .collect();
+                        (!dirty.is_empty()).then_some((s, dirty))
+                    })
+                    .collect();
+                let rescored: Vec<(usize, Vec<usize>, ScoredBatch)> = dirty_shards
+                    .into_par_iter()
+                    .map(|(s, dirty)| {
+                        let refs: Vec<&[f64]> = dirty.iter().map(|&i| centers.row(i)).collect();
+                        let scored = model.predict_proba_batch_tracked(&refs);
+                        (s, dirty, scored)
+                    })
+                    .collect();
+                let mut rescored_total = 0u64;
+                let mut drop_radii = false;
+                for (s, dirty, scored) in rescored {
+                    rescored_total += dirty.len() as u64;
                     for (j, &i) in dirty.iter().enumerate() {
                         self.uncertainty[i] = measure.score(scored.probs[j]);
                     }
@@ -206,17 +443,28 @@ impl IndexPoints {
                         }
                         // The model stopped reporting radii mid-flight:
                         // drop the cache so the next pass goes full.
-                        _ => self.radii2 = None,
+                        _ => drop_radii = true,
                     }
-                    self.model_version += 1;
-                    self.incremental_passes += 1;
-                    RescoreStats {
-                        points_rescored: dirty.len() as u64,
-                        points_cached: (n - dirty.len()) as u64,
+                    // Patched radii change the shard's reach: refresh its
+                    // prune bound from the updated cache.
+                    if let (Some(prune), Some(cached)) =
+                        (self.prune.as_mut(), self.radii2.as_deref())
+                    {
+                        prune.max_r2[s] = max_radius2(&cached[layout.range(s)]);
                     }
+                    self.tops.invalidate(ShardId::from(s));
+                    self.shards_touched += 1;
                 }
-                // Global delta, or a mask of the wrong length: full rescore.
-                _ => self.update_tracked(model, measure),
+                if drop_radii {
+                    self.radii2 = None;
+                    self.prune = None;
+                }
+                self.model_version += 1;
+                self.incremental_passes += 1;
+                RescoreStats {
+                    points_rescored: rescored_total,
+                    points_cached: n as u64 - rescored_total,
+                }
             }
         };
         #[cfg(debug_assertions)]
@@ -224,12 +472,94 @@ impl IndexPoints {
         stats
     }
 
+    /// Derives the locality-prune cache from the current radii and the
+    /// model's influence-space embedding of the centers. Requires cached
+    /// radii (only the incremental path builds it). A model without
+    /// positions yields an all-opaque cache in `O(1)`.
+    fn build_prune(&self, model: &dyn Classifier) -> ShardPrune {
+        let radii2 = self.radii2.as_deref().expect("prune is built only while radii are cached");
+        let shards = self.layout.num_shards();
+        let dims = match self.centers.rows().next().and_then(|c| model.influence_position(c)) {
+            Some(p) => p.len(),
+            None => {
+                // All-opaque sentinel: never prunes, but keeps full-size
+                // per-shard vectors so the dirty-rescore bookkeeping can
+                // still index it.
+                return ShardPrune {
+                    dims: 0,
+                    lo: Vec::new(),
+                    hi: Vec::new(),
+                    max_r2: vec![f64::INFINITY; shards],
+                    opaque: vec![true; shards],
+                };
+            }
+        };
+        let mut prune = ShardPrune {
+            dims,
+            lo: vec![f64::INFINITY; shards * dims],
+            hi: vec![f64::NEG_INFINITY; shards * dims],
+            max_r2: vec![f64::INFINITY; shards],
+            opaque: vec![false; shards],
+        };
+        for s in 0..shards {
+            let range = self.layout.range(s);
+            for i in range.clone() {
+                match model.influence_position(self.centers.row(i)) {
+                    Some(p) if p.len() == dims && p.iter().all(|v| v.is_finite()) => {
+                        for (d, &v) in p.iter().enumerate() {
+                            let at = s * dims + d;
+                            prune.lo[at] = prune.lo[at].min(v);
+                            prune.hi[at] = prune.hi[at].max(v);
+                        }
+                    }
+                    _ => {
+                        prune.opaque[s] = true;
+                        break;
+                    }
+                }
+            }
+            prune.max_r2[s] = max_radius2(&radii2[range]);
+        }
+        prune
+    }
+
+    /// Which shards this pass's added examples provably cannot dirty.
+    /// Conservative on every edge the delta path treats specially: an
+    /// invalid margin, an unmappable added example, or a position of the
+    /// wrong shape disables pruning for the whole pass (all-false).
+    fn pruned_shards(&self, model: &dyn Classifier, added: &[&[f64]], margin: f64) -> Vec<bool> {
+        let shards = self.layout.num_shards();
+        let no_prune = vec![false; shards];
+        let Some(prune) = self.prune.as_ref() else {
+            return no_prune;
+        };
+        if !(margin >= 0.0) || !margin.is_finite() {
+            return no_prune;
+        }
+        let mut added_pos = Vec::with_capacity(added.len());
+        for a in added {
+            match model.influence_position(a) {
+                Some(p) if p.len() == prune.dims && p.iter().all(|v| v.is_finite()) => {
+                    added_pos.push(p)
+                }
+                _ => return no_prune,
+            }
+        }
+        let inflate = (1.0 + margin) * (1.0 + margin);
+        (0..shards).map(|s| prune.shard_is_clean(s, &added_pos, inflate)).collect()
+    }
+
     /// Bookkeeping shared by all full-rescore variants.
     fn finish_full_pass(&mut self, radii2: Option<Vec<f64>>) {
         self.updated = true;
         self.radii2 = radii2;
+        // Full passes replace every radius; the prune boxes and bounds are
+        // rebuilt lazily by the next incremental pass.
+        self.prune = None;
         self.model_version += 1;
         self.incremental_passes = 0;
+        self.tops.invalidate_all();
+        self.shards_touched += self.layout.num_shards() as u64;
     }
 
     /// Generation counter of the cached scores: increases by one on every
@@ -262,6 +592,10 @@ impl IndexPoints {
 
     /// The `n` most uncertain cells, descending (ties toward lower ids).
     /// Used by the prefetcher to pick the likely next region.
+    ///
+    /// This is the uncached reference path: it re-partitions the full
+    /// score array every call. The selection hot loop uses
+    /// [`Self::ranked_top_cached`], which returns bit-identical results.
     pub fn ranked_top(&self, n: usize) -> Result<Vec<CellId>> {
         if !self.updated {
             return Err(UeiError::invalid_state(
@@ -274,6 +608,29 @@ impl IndexPoints {
         // Partial top-n selection (O(|P| + n log n), not a full sort); a
         // NaN score ranks last instead of panicking the comparator.
         Ok(uei_learn::strategy::top_k_desc(&self.uncertainty, n))
+    }
+
+    /// [`Self::ranked_top`] through the per-shard candidate caches: shards
+    /// untouched since the last ranking reuse their cached top lists, so
+    /// after an incremental rescore only the dirty shards re-rank. The
+    /// deterministic merge makes the result bit-identical to
+    /// [`Self::ranked_top`] at any shard count (DESIGN.md §14).
+    pub fn ranked_top_cached(&mut self, n: usize) -> Result<Vec<CellId>> {
+        if !self.updated {
+            return Err(UeiError::invalid_state(
+                "index points have not been scored yet; call update() first",
+            ));
+        }
+        if self.centers.is_empty() || n == 0 {
+            return Err(UeiError::invalid_state("no index points to rank"));
+        }
+        let ranked = self.tops.top_k(&self.layout, &self.uncertainty, n);
+        debug_assert_eq!(
+            ranked,
+            uei_learn::strategy::top_k_desc(&self.uncertainty, n),
+            "cached ranking must be bit-identical to the global reference",
+        );
+        Ok(ranked)
     }
 
     /// Mean uncertainty across all points (a convergence diagnostic: it
@@ -325,8 +682,9 @@ mod tests {
 
     #[test]
     fn must_update_before_ranking() {
-        let points = IndexPoints::from_grid(&grid3()).unwrap();
+        let mut points = IndexPoints::from_grid(&grid3()).unwrap();
         assert!(points.most_uncertain().is_err());
+        assert!(points.ranked_top_cached(3).is_err());
     }
 
     #[test]
@@ -355,6 +713,32 @@ mod tests {
         }
         // Deterministic.
         assert_eq!(points.ranked_top(3).unwrap(), points.ranked_top(9).unwrap()[..3]);
+    }
+
+    #[test]
+    fn sharded_scoring_and_ranking_match_single_shard() {
+        let grid = grid3();
+        let mut reference = IndexPoints::from_grid_with_shards(&grid, 1).unwrap();
+        reference.update(&BoundaryAtX(1.2), UncertaintyMeasure::Entropy);
+        for shards in [2, 3, 8, 9] {
+            let mut points = IndexPoints::from_grid_with_shards(&grid, shards).unwrap();
+            assert_eq!(points.num_shards(), shards.min(9));
+            points.update(&BoundaryAtX(1.2), UncertaintyMeasure::Entropy);
+            for id in 0..points.len() {
+                assert_eq!(
+                    points.uncertainty(id).unwrap().to_bits(),
+                    reference.uncertainty(id).unwrap().to_bits(),
+                    "cell {id}, {shards} shards"
+                );
+            }
+            for n in [1, 3, 9] {
+                assert_eq!(
+                    points.ranked_top_cached(n).unwrap(),
+                    reference.ranked_top(n).unwrap(),
+                    "n={n}, {shards} shards"
+                );
+            }
+        }
     }
 
     #[test]
@@ -403,7 +787,7 @@ mod tests {
             }
         }
         let grid = grid3();
-        let mut points = IndexPoints::from_grid(&grid).unwrap();
+        let mut points = IndexPoints::from_grid_with_shards(&grid, 3).unwrap();
         points.update(&PartiallyNan, UncertaintyMeasure::LeastConfidence);
         let ranked = points.ranked_top(9).unwrap();
         assert_eq!(ranked.len(), 9);
@@ -416,6 +800,8 @@ mod tests {
         assert_eq!(ranked[6..], nan_cells[..]);
         // The winner is a real-scored cell.
         assert!(!points.uncertainty(points.most_uncertain().unwrap()).unwrap().is_nan());
+        // The sharded merge ranks NaNs identically.
+        assert_eq!(points.ranked_top_cached(9).unwrap(), ranked);
     }
 
     #[test]
@@ -433,9 +819,10 @@ mod tests {
         }
         let grid = grid3();
         let model_a = Dwknn::fit(3, &examples).unwrap();
-        let mut inc = IndexPoints::from_grid(&grid).unwrap();
+        let mut inc = IndexPoints::from_grid_with_shards(&grid, 3).unwrap();
         inc.update_tracked(&model_a, UncertaintyMeasure::LeastConfidence);
         let v0 = inc.model_version();
+        assert_eq!(inc.shards_touched(), 3, "full pass touches every shard");
 
         // One new label near the (0, 0) corner: far cells must stay clean.
         let new_point = vec![0.1, 0.1];
@@ -461,9 +848,69 @@ mod tests {
             );
         }
         assert_eq!(inc.ranked_top(9).unwrap(), full.ranked_top(9).unwrap());
+        assert_eq!(inc.ranked_top_cached(9).unwrap(), full.ranked_top(9).unwrap());
         assert_eq!(stats.points_rescored + stats.points_cached, 9);
         assert!(stats.points_cached > 0, "a corner insertion must leave far cells cached");
         assert!(inc.model_version() > v0, "every pass bumps the version");
+        assert!(
+            inc.shards_touched() < 6,
+            "a corner insertion must leave some shards untouched: {}",
+            inc.shards_touched()
+        );
+        assert!(
+            inc.shards_pruned() >= 1,
+            "shards beyond the insertion's influence reach must skip their \
+             delta sweep entirely: pruned {}",
+            inc.shards_pruned()
+        );
+    }
+
+    #[test]
+    fn models_without_influence_space_skip_pruning_but_stay_exact() {
+        use uei_learn::knn_influence_delta;
+        /// Reports kNN-style influence radii but exposes no influence
+        /// space — the locality prune must stay disabled while incremental
+        /// rescoring still works off the delta masks.
+        struct OpaqueRadii;
+        impl Classifier for OpaqueRadii {
+            fn predict_proba(&self, x: &[f64]) -> f64 {
+                ((x[0] * 0.17 + x[1] * 0.05).sin() * 0.5 + 0.5).clamp(0.0, 1.0)
+            }
+            fn predict_proba_batch_tracked(&self, xs: &[&[f64]]) -> ScoredBatch {
+                ScoredBatch {
+                    probs: xs.iter().map(|x| self.predict_proba(x)).collect(),
+                    radii2: Some(vec![0.5; xs.len()]),
+                }
+            }
+            fn model_delta(
+                &self,
+                points: &[&[f64]],
+                radii2: &[f64],
+                added: &[&[f64]],
+                margin: f64,
+            ) -> ModelDelta {
+                knn_influence_delta(points, radii2, added, margin, usize::MAX)
+            }
+            fn dims(&self) -> usize {
+                2
+            }
+        }
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid_with_shards(&grid, 3).unwrap();
+        points.update_tracked(&OpaqueRadii, UncertaintyMeasure::LeastConfidence);
+        let added = [0.1f64, 0.1];
+        let added_refs: Vec<&[f64]> = vec![&added];
+        let stats = points.update_incremental(
+            &OpaqueRadii,
+            UncertaintyMeasure::LeastConfidence,
+            &added_refs,
+            0.0,
+            0,
+        );
+        assert_eq!(points.shards_pruned(), 0, "no influence space, no pruning");
+        // The per-point delta still prunes the far cells individually.
+        assert!(stats.points_cached > 0);
+        assert!(stats.points_rescored > 0, "the corner cell sits inside its influence ball");
     }
 
     #[test]
@@ -512,6 +959,28 @@ mod tests {
         let stats =
             points.update_incremental(&model, UncertaintyMeasure::LeastConfidence, &[], 0.0, 2);
         assert_eq!(stats, RescoreStats { points_rescored: 9, points_cached: 0 });
+    }
+
+    #[test]
+    fn clean_incremental_pass_touches_no_shards() {
+        use uei_learn::Dwknn;
+        use uei_types::Label;
+        let mut examples = Vec::new();
+        for i in 0..12 {
+            let p = vec![(i % 4) as f64 * 0.9 + 0.2, (i / 4) as f64 * 1.1 + 0.3];
+            examples.push((p, Label::from_bool(i % 2 == 0)));
+        }
+        let model = Dwknn::fit(3, &examples).unwrap();
+        let grid = grid3();
+        let mut points = IndexPoints::from_grid_with_shards(&grid, 3).unwrap();
+        points.update_tracked(&model, UncertaintyMeasure::LeastConfidence);
+        let after_full = points.shards_touched();
+        let stats =
+            points.update_incremental(&model, UncertaintyMeasure::LeastConfidence, &[], 0.0, 0);
+        assert_eq!(stats.points_rescored, 0, "nothing added, nothing dirty");
+        assert_eq!(points.shards_touched(), after_full, "no shard recomputed");
+        // The cached ranking survives the clean pass verbatim.
+        assert_eq!(points.ranked_top_cached(5).unwrap(), points.ranked_top(5).unwrap());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Selection and ranking over the sharded index-point plane.
+//!
+//! Each shard keeps a cached list of its own top-scoring cells, sorted by
+//! the same total order the global ranking uses (`score` descending via
+//! NaN-last `total_cmp`, ties toward the lower cell id). Ranking the whole
+//! plane is then a deterministic k-way merge of the per-shard lists —
+//! bit-identical to [`uei_learn::strategy::top_k_desc`] over the full score
+//! array at **any** shard count, because the shard ranges partition the
+//! cell ids and every list is sorted by the identical total order
+//! (DESIGN.md §14).
+//!
+//! The payoff is incremental: a rescoring pass that dirtied only some
+//! shards invalidates only their lists, so selection re-ranks the dirty
+//! slices and merges against the cached rest instead of re-partitioning
+//! all `|P|` scores every iteration.
+
+use uei_learn::strategy::{cmp_score_desc, top_k_desc};
+use uei_types::ShardId;
+
+use crate::grid::CellId;
+use crate::shard::ShardLayout;
+
+/// Floor on the per-shard list length: computing a handful of extra slots
+/// per refresh is nearly free and lets later, slightly deeper rankings
+/// (the prefetch horizon grows with τ) reuse the cache instead of
+/// recomputing it.
+const MIN_CACHED: usize = 16;
+
+/// One shard's cached ranking.
+#[derive(Debug, Clone, Default)]
+struct ShardTop {
+    /// Cell ids of this shard, best first, sorted by
+    /// `(score desc, id asc)` — the global selection order.
+    ids: Vec<CellId>,
+    /// The list holds the shard's top `min(k_computed, shard_len)` cells.
+    k_computed: usize,
+    /// False after the shard's scores changed; the list must be rebuilt
+    /// before the next merge.
+    valid: bool,
+}
+
+/// Per-shard top-θ candidate caches plus the deterministic merge.
+///
+/// Owned by [`crate::points::IndexPoints`]; rescoring passes invalidate the
+/// shards they touched and [`ShardTops::top_k`] lazily rebuilds exactly
+/// those before merging.
+#[derive(Debug, Clone)]
+pub struct ShardTops {
+    per_shard: Vec<ShardTop>,
+}
+
+impl ShardTops {
+    /// Empty (all-invalid) caches for `num_shards` shards.
+    pub fn new(num_shards: usize) -> ShardTops {
+        ShardTops { per_shard: vec![ShardTop::default(); num_shards] }
+    }
+
+    /// Invalidates every shard's cached list (full rescore).
+    pub fn invalidate_all(&mut self) {
+        for top in &mut self.per_shard {
+            top.valid = false;
+        }
+    }
+
+    /// Invalidates one shard's cached list (incremental rescore).
+    pub fn invalidate(&mut self, shard: ShardId) {
+        self.per_shard[shard.as_usize()].valid = false;
+    }
+
+    /// How many shard lists are currently valid (diagnostics/tests).
+    pub fn valid_count(&self) -> usize {
+        self.per_shard.iter().filter(|t| t.valid).count()
+    }
+
+    /// The `k` highest-scoring cells across all shards, descending, ties
+    /// toward the lower cell id — bit-identical to
+    /// `top_k_desc(scores, k)` regardless of the shard count.
+    ///
+    /// `scores` must be the full score array the `layout` partitions.
+    pub fn top_k(&mut self, layout: &ShardLayout, scores: &[f64], k: usize) -> Vec<CellId> {
+        debug_assert_eq!(layout.num_shards(), self.per_shard.len());
+        debug_assert_eq!(layout.num_cells(), scores.len());
+        let k = k.min(scores.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        for s in 0..self.per_shard.len() {
+            self.ensure(layout, scores, s, k);
+        }
+        let lists: Vec<&[CellId]> = self.per_shard.iter().map(|t| t.ids.as_slice()).collect();
+        merge_top_k(&lists, scores, k)
+    }
+
+    /// Rebuilds shard `s`'s list if it is invalid or shallower than `k`.
+    fn ensure(&mut self, layout: &ShardLayout, scores: &[f64], s: usize, k: usize) {
+        let range = layout.range(s);
+        let top = &mut self.per_shard[s];
+        if top.valid && (top.k_computed >= k || top.k_computed >= range.len()) {
+            return;
+        }
+        // Compute a little deeper than asked (MIN_CACHED floor) so the
+        // cache survives the prefetch horizon wobbling between iterations.
+        let depth = k.max(MIN_CACHED);
+        let local = top_k_desc(&scores[range.clone()], depth);
+        top.ids.clear();
+        top.ids.extend(local.into_iter().map(|i| i + range.start));
+        top.k_computed = depth;
+        top.valid = true;
+    }
+}
+
+/// Deterministic k-way merge of per-shard rankings.
+///
+/// Each list must be sorted by `(score desc, id asc)` and the lists must
+/// hold disjoint cell ids (a shard partition). The merge repeatedly takes
+/// the best head under the same order, so the output equals the global
+/// `top_k_desc` prefix — see DESIGN.md §14 for the argument.
+pub fn merge_top_k(lists: &[&[CellId]], scores: &[f64], k: usize) -> Vec<CellId> {
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let mut best: Option<(usize, CellId)> = None;
+        for (l, &cur) in cursors.iter().enumerate() {
+            let Some(&cand) = lists[l].get(cur) else { continue };
+            best = match best {
+                None => Some((l, cand)),
+                Some((_, b))
+                    if cmp_score_desc(scores[cand], scores[b]).then(cand.cmp(&b)).is_lt() =>
+                {
+                    Some((l, cand))
+                }
+                keep => keep,
+            };
+        }
+        let Some((l, cell)) = best else { break };
+        cursors[l] += 1;
+        out.push(cell);
+    }
+    out
+}
+
+/// Cumulative graceful-degradation counters of an index.
+///
+/// Every counter only grows; take a snapshot before an iteration and
+/// [`DegradeCounters::since`] after it to get per-iteration deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeCounters {
+    /// Transient storage errors absorbed by the foreground retry policy.
+    pub retries: u64,
+    /// Candidate ranks skipped past storage-faulted cells (each successful
+    /// fallback adds its rank, so one iteration can add more than 1).
+    pub fallback_cells: u64,
+    /// Iterations whose synchronous load exceeded the σ threshold.
+    pub sigma_deadline_misses: u64,
+    /// Iterations where every ranked candidate failed with a storage fault
+    /// (the caller must degrade further, e.g. sample from the resident
+    /// cache `U`).
+    pub failed_selections: u64,
+}
+
+impl DegradeCounters {
+    /// The counter deltas accumulated since an `earlier` snapshot.
+    ///
+    /// The counters are monotone by construction, so `earlier` exceeding
+    /// `self` means the snapshots were swapped (or taken from different
+    /// indexes) — debug builds assert instead of silently saturating;
+    /// release builds still clamp at zero rather than underflow.
+    pub fn since(&self, earlier: &DegradeCounters) -> DegradeCounters {
+        debug_assert!(
+            self.retries >= earlier.retries
+                && self.fallback_cells >= earlier.fallback_cells
+                && self.sigma_deadline_misses >= earlier.sigma_deadline_misses
+                && self.failed_selections >= earlier.failed_selections,
+            "degrade counters are monotone: snapshot {earlier:?} is newer than {self:?}",
+        );
+        DegradeCounters {
+            retries: self.retries.saturating_sub(earlier.retries),
+            fallback_cells: self.fallback_cells.saturating_sub(earlier.fallback_cells),
+            sigma_deadline_misses: self
+                .sigma_deadline_misses
+                .saturating_sub(earlier.sigma_deadline_misses),
+            failed_selections: self.failed_selections.saturating_sub(earlier.failed_selections),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uei_types::Rng;
+
+    fn check_against_global(scores: &[f64], shards: usize) {
+        let layout = ShardLayout::new(scores.len(), shards);
+        let mut tops = ShardTops::new(layout.num_shards());
+        for k in [0, 1, 3, scores.len() / 2, scores.len(), scores.len() + 5] {
+            assert_eq!(
+                tops.top_k(&layout, scores, k),
+                top_k_desc(scores, k),
+                "k={k} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_ranking_matches_global_at_any_shard_count() {
+        let mut rng = Rng::new(0xC0FFEE);
+        let mut scores: Vec<f64> = (0..257).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        // Ties and NaNs exercise the id tie-break and the NaN-last rule.
+        scores[13] = scores[200];
+        scores[77] = f64::NAN;
+        scores[78] = f64::NAN;
+        for shards in [1, 2, 3, 8, 16, 257] {
+            check_against_global(&scores, shards);
+        }
+    }
+
+    #[test]
+    fn uniform_scores_rank_by_id_across_shards() {
+        let scores = vec![0.5; 64];
+        for shards in [1, 2, 7] {
+            check_against_global(&scores, shards);
+        }
+    }
+
+    #[test]
+    fn invalidation_tracks_score_mutations() {
+        let mut rng = Rng::new(7);
+        let mut scores: Vec<f64> = (0..100).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let layout = ShardLayout::new(scores.len(), 4);
+        let mut tops = ShardTops::new(4);
+        assert_eq!(tops.top_k(&layout, &scores, 5), top_k_desc(&scores, 5));
+        assert_eq!(tops.valid_count(), 4);
+        // Promote a mid-pack cell to the global maximum, invalidating only
+        // its shard: the merge must still see the change.
+        scores[42] = 2.0;
+        tops.invalidate(layout.shard_of(42));
+        assert_eq!(tops.valid_count(), 3);
+        let ranked = tops.top_k(&layout, &scores, 5);
+        assert_eq!(ranked, top_k_desc(&scores, 5));
+        assert_eq!(ranked[0], 42);
+    }
+
+    #[test]
+    fn deeper_requests_refresh_shallow_caches() {
+        let mut rng = Rng::new(9);
+        let scores: Vec<f64> = (0..200).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let layout = ShardLayout::new(scores.len(), 2);
+        let mut tops = ShardTops::new(2);
+        assert_eq!(tops.top_k(&layout, &scores, 2), top_k_desc(&scores, 2));
+        // 150 > the MIN_CACHED floor: the shard lists must deepen.
+        assert_eq!(tops.top_k(&layout, &scores, 150), top_k_desc(&scores, 150));
+    }
+
+    #[test]
+    fn degrade_counter_deltas() {
+        let a = DegradeCounters { retries: 2, fallback_cells: 1, ..Default::default() };
+        let b = DegradeCounters {
+            retries: 5,
+            fallback_cells: 1,
+            sigma_deadline_misses: 3,
+            failed_selections: 0,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.fallback_cells, 0);
+        assert_eq!(d.sigma_deadline_misses, 3);
+        assert_eq!(d.failed_selections, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotone")]
+    fn swapped_snapshots_are_a_bug_not_a_zero() {
+        let newer = DegradeCounters { retries: 5, ..Default::default() };
+        let older = DegradeCounters { retries: 2, ..Default::default() };
+        let _ = older.since(&newer);
+    }
+}

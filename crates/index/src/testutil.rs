@@ -1,0 +1,57 @@
+//! Shared fixtures for the crate's unit tests: a small on-disk store over
+//! a 2-D 0..100 domain and a sigmoid boundary model.
+
+use std::sync::Arc;
+
+use uei_learn::Classifier;
+use uei_storage::io::{DiskTracker, IoProfile};
+use uei_storage::store::{ColumnStore, StoreConfig};
+use uei_storage::TempDir;
+use uei_types::{AttributeDef, DataPoint, Rng, Schema};
+
+use crate::config::UeiConfig;
+
+/// Builds a 2-D column store of `n` uniform rows under a fresh temp dir.
+pub(crate) fn build_store(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, TempDir) {
+    let dir = TempDir::new(&format!("facade-{tag}"));
+    let schema = Schema::new(vec![
+        AttributeDef::new("x", 0.0, 100.0).unwrap(),
+        AttributeDef::new("y", 0.0, 100.0).unwrap(),
+    ])
+    .unwrap();
+    let mut rng = Rng::new(6);
+    let rows: Vec<DataPoint> = (0..n)
+        .map(|i| {
+            DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
+        })
+        .collect();
+    let tracker = DiskTracker::new(IoProfile::nvme());
+    let store = ColumnStore::create(
+        dir.path(),
+        schema,
+        &rows,
+        StoreConfig { chunk_target_bytes: 512 },
+        tracker,
+    )
+    .unwrap();
+    (Arc::new(store), rows, dir)
+}
+
+/// A sigmoid classifier whose decision boundary sits at `x = x_split`.
+pub(crate) fn boundary_model(x_split: f64) -> impl Classifier {
+    struct M(f64);
+    impl Classifier for M {
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            1.0 / (1.0 + (-(x[0] - self.0) * 0.5).exp())
+        }
+        fn dims(&self) -> usize {
+            2
+        }
+    }
+    M(x_split)
+}
+
+/// The 4×4-cell configuration most facade tests run with.
+pub(crate) fn small_config() -> UeiConfig {
+    UeiConfig { cells_per_dim: 4, ..UeiConfig::default() }
+}

@@ -12,9 +12,13 @@
 //!   (from the prefetcher when it got there first, otherwise
 //!   synchronously), and queue the θ next-most-uncertain cells for
 //!   background prefetch.
+//!
+//! The facade is thin composition: ranking lives on
+//! [`crate::points::IndexPoints`] (sharded per DESIGN.md §14, merged by
+//! [`crate::select`]), region fetching and the degradation ladder on
+//! [`crate::load::RegionFetcher`].
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::Classifier;
@@ -27,72 +31,15 @@ use uei_types::{DataPoint, Result, Rng};
 
 use crate::config::UeiConfig;
 use crate::grid::{CellId, Grid};
+use crate::load::RegionFetcher;
 use crate::loader::{LoadStats, RegionLoader};
 use crate::mapping::ChunkMapping;
 use crate::points::{IndexPoints, RescoreStats};
-use crate::prefetch::{horizon, Prefetcher};
+use crate::prefetch::Prefetcher;
 
-/// How the region of one iteration was obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LoadSource {
-    /// Read synchronously from disk during the iteration.
-    Synchronous,
-    /// Served from a completed background prefetch (no foreground I/O).
-    Prefetched,
-    /// A deferred swap: the previously served region is still current, so
-    /// nothing was read — the caller keeps using the rows it already holds
-    /// (`rows` is empty in the [`RegionLoad`]).
-    Retained,
-}
-
-/// The result of one `select_and_load` iteration step.
-#[derive(Debug)]
-pub struct RegionLoad {
-    /// The chosen most-uncertain cell `p*`.
-    pub cell: CellId,
-    /// Every tuple of the subspace `g*`.
-    pub rows: Vec<DataPoint>,
-    /// Load measurements (virtual time is zero for prefetched regions).
-    pub stats: LoadStats,
-    /// Where the region came from.
-    pub source: LoadSource,
-    /// How many better-ranked candidates failed with a storage fault
-    /// before this cell loaded (0 = the true `p*` was served).
-    pub fallback_rank: u64,
-}
-
-/// Cumulative graceful-degradation counters of an index.
-///
-/// Every counter only grows; take a snapshot before an iteration and
-/// [`DegradeCounters::since`] after it to get per-iteration deltas.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct DegradeCounters {
-    /// Transient storage errors absorbed by the foreground retry policy.
-    pub retries: u64,
-    /// Candidate ranks skipped past storage-faulted cells (each successful
-    /// fallback adds its rank, so one iteration can add more than 1).
-    pub fallback_cells: u64,
-    /// Iterations whose synchronous load exceeded the σ threshold.
-    pub sigma_deadline_misses: u64,
-    /// Iterations where every ranked candidate failed with a storage fault
-    /// (the caller must degrade further, e.g. sample from the resident
-    /// cache `U`).
-    pub failed_selections: u64,
-}
-
-impl DegradeCounters {
-    /// The counter deltas accumulated since an `earlier` snapshot.
-    pub fn since(&self, earlier: &DegradeCounters) -> DegradeCounters {
-        DegradeCounters {
-            retries: self.retries.saturating_sub(earlier.retries),
-            fallback_cells: self.fallback_cells.saturating_sub(earlier.fallback_cells),
-            sigma_deadline_misses: self
-                .sigma_deadline_misses
-                .saturating_sub(earlier.sigma_deadline_misses),
-            failed_selections: self.failed_selections.saturating_sub(earlier.failed_selections),
-        }
-    }
-}
+// Split out of this facade; re-exported so `uei::…` paths keep working.
+pub use crate::load::{LoadSource, RegionLoad};
+pub use crate::select::DegradeCounters;
 
 /// The Uncertainty Estimation Index.
 pub struct UeiIndex {
@@ -100,23 +47,12 @@ pub struct UeiIndex {
     grid: Arc<Grid>,
     mapping: Arc<ChunkMapping>,
     points: IndexPoints,
-    loader: RegionLoader,
-    prefetcher: Option<Prefetcher>,
+    fetcher: RegionFetcher,
     /// The cache shared between loader and prefetcher, when enabled —
     /// kept here so stats stay readable regardless of loader internals.
     shared_cache: Option<Arc<SharedChunkCache>>,
     config: UeiConfig,
     measure: UncertaintyMeasure,
-    /// The most recently served cell (for σ-driven swap deferral).
-    last_cell: Option<CellId>,
-    /// Swaps deferred so far (diagnostics).
-    deferred_swaps: u64,
-    /// Candidate ranks skipped past failed cells (degradation ladder).
-    fallback_cells: u64,
-    /// Iterations whose synchronous load blew the σ threshold.
-    sigma_deadline_misses: u64,
-    /// Iterations where every ranked candidate failed.
-    failed_selections: u64,
     /// Cumulative rescoring work (model-scored vs cache-served points).
     rescore_stats: RescoreStats,
 }
@@ -138,7 +74,7 @@ impl UeiIndex {
         config.validate(store.schema().dims())?;
         let grid = Arc::new(Grid::new(store.schema(), config.cells_per_dim)?);
         let mapping = Arc::new(ChunkMapping::build(&grid, store.manifest())?);
-        let points = IndexPoints::from_grid(&grid)?;
+        let points = IndexPoints::from_grid_with_shards(&grid, config.shards)?;
         let source: Arc<dyn ChunkSource> = Arc::clone(&store) as Arc<dyn ChunkSource>;
         let shared_cache = config.shared_cache.then(|| {
             Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards))
@@ -172,16 +108,10 @@ impl UeiIndex {
             grid,
             mapping,
             points,
-            loader,
-            prefetcher,
+            fetcher: RegionFetcher::new(loader, prefetcher),
             shared_cache,
             config,
             measure,
-            last_cell: None,
-            deferred_swaps: 0,
-            fallback_cells: 0,
-            sigma_deadline_misses: 0,
-            failed_selections: 0,
             rescore_stats: RescoreStats::default(),
         })
     }
@@ -212,16 +142,10 @@ impl UeiIndex {
             grid,
             mapping,
             points,
-            loader,
-            prefetcher,
+            fetcher: RegionFetcher::new(loader, prefetcher),
             shared_cache,
             config,
             measure,
-            last_cell: None,
-            deferred_swaps: 0,
-            fallback_cells: 0,
-            sigma_deadline_misses: 0,
-            failed_selections: 0,
             rescore_stats: RescoreStats::default(),
         }
     }
@@ -249,6 +173,13 @@ impl UeiIndex {
     /// The active configuration.
     pub fn config(&self) -> &UeiConfig {
         &self.config
+    }
+
+    /// The background prefetcher, when enabled (the load-ladder tests
+    /// reach it through here).
+    #[cfg(test)]
+    pub(crate) fn prefetcher(&self) -> Option<&Prefetcher> {
+        self.fetcher.prefetcher()
     }
 
     /// Uniformly samples `gamma` rows for the unlabeled cache `U`
@@ -311,158 +242,42 @@ impl UeiIndex {
         self.rescore_stats
     }
 
-    /// Picks the most uncertain cell and loads its subspace (Algorithm 2
-    /// lines 18–19), preferring a completed prefetch. Afterwards queues
-    /// the θ = ⌈τ/σ⌉ next-most-uncertain cells for background loading.
-    ///
-    /// With [`UeiConfig::defer_swaps`] on, a swap to a *new* cell is
-    /// deferred for this iteration when loading it would be expected to
-    /// exceed σ and no prefetched copy is ready — the current region is
-    /// served again instead (§3.2 "Tuning Interactive Exploration").
-    ///
-    /// Storage faults degrade gracefully instead of aborting the iteration:
-    /// when loading the top-ranked cell fails with a retryable-or-corrupt
-    /// storage error (transient errors are already retried inside the
-    /// loader per [`UeiConfig::retry`]), the next-ranked index point is
-    /// tried, up to [`UeiConfig::fallback_candidates`] in total. Only when
-    /// every candidate fails does the call return the last storage error —
-    /// the caller's final rung is to uncertainty-sample from the resident
-    /// cache `U` instead of a fresh region.
-    pub fn select_and_load(&mut self) -> Result<RegionLoad> {
-        let cell = self.points.most_uncertain()?;
-        if self.config.defer_swaps {
-            if let Some(last) = self.last_cell {
-                let would_swap = cell != last;
-                if would_swap && !self.prefetched_ready(cell) {
-                    let tau = self.loader.recent_load_secs();
-                    if tau > self.config.latency_threshold_secs {
-                        // Defer: the last-served region stays current; the
-                        // caller already holds its rows, so no I/O at all.
-                        self.deferred_swaps += 1;
-                        self.queue_prefetches(last)?;
-                        return Ok(RegionLoad {
-                            cell: last,
-                            rows: Vec::new(),
-                            stats: LoadStats {
-                                merge: MergeStats::default(),
-                                virtual_time: Duration::ZERO,
-                                wall_time: Duration::ZERO,
-                                rows: 0,
-                                retries: 0,
-                            },
-                            source: LoadSource::Retained,
-                            fallback_rank: 0,
-                        });
-                    }
-                }
-            }
-        }
-        let want = self.config.fallback_candidates.min(self.points.len());
-        let candidates = self.points.ranked_top(want)?;
-        let mut last_err: Option<uei_types::UeiError> = None;
-        for (rank, &candidate) in candidates.iter().enumerate() {
-            let mut load = match self.fetch_cell(candidate) {
-                Ok(load) => load,
-                // Storage faults fall through to the next-ranked index
-                // point; anything else (config/state bugs) aborts as usual.
-                Err(e) if e.is_storage_fault() => {
-                    last_err = Some(e);
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            load.fallback_rank = rank as u64;
-            self.fallback_cells += rank as u64;
-            if load.stats.virtual_time.as_secs_f64() > self.config.latency_threshold_secs {
-                self.sigma_deadline_misses += 1;
-            }
-            self.last_cell = Some(candidate);
-            self.queue_prefetches(candidate)?;
-            return Ok(load);
-        }
-        self.failed_selections += 1;
-        Err(last_err.unwrap_or_else(|| {
-            uei_types::UeiError::invalid_state("no candidate cells to select from")
-        }))
+    /// Cumulative count of shards recomputed by rescoring passes — the
+    /// shard-parallel analogue of [`UeiIndex::rescore_counters`]. Snapshot
+    /// and subtract for per-iteration deltas.
+    pub fn shards_touched(&self) -> u64 {
+        self.points.shards_touched()
     }
 
-    fn prefetched_ready(&self, cell: CellId) -> bool {
-        // `take` is destructive; peek via is_pending + failure bookkeeping
-        // is not enough, so ask cheaply: a ready result is one that is
-        // neither pending nor failed after having been requested. The
-        // prefetcher exposes take() only, so probe pending state — a cell
-        // that is still pending is certainly not ready.
-        match &self.prefetcher {
-            None => false,
-            Some(p) => !p.is_pending(cell) && p.has_ready(cell),
-        }
+    /// Picks the most uncertain cell and loads its subspace (Algorithm 2
+    /// lines 18–19), preferring a completed prefetch; afterwards queues
+    /// the θ = ⌈τ/σ⌉ next-most-uncertain cells for background loading.
+    /// Swap deferral and the storage-fault fallback ladder are documented
+    /// on [`RegionFetcher::select_and_load`].
+    pub fn select_and_load(&mut self) -> Result<RegionLoad> {
+        self.fetcher.select_and_load(&self.grid, &self.mapping, &self.config, &mut self.points)
     }
 
     /// How many region swaps were deferred to hold the latency threshold.
     pub fn deferred_swaps(&self) -> u64 {
-        self.deferred_swaps
+        self.fetcher.deferred_swaps()
     }
 
     /// Cumulative graceful-degradation counters (retries, fallbacks,
     /// σ-deadline misses, exhausted selections).
     pub fn degrade_counters(&self) -> DegradeCounters {
-        DegradeCounters {
-            retries: self.loader.total_retries(),
-            fallback_cells: self.fallback_cells,
-            sigma_deadline_misses: self.sigma_deadline_misses,
-            failed_selections: self.failed_selections,
-        }
-    }
-
-    fn fetch_cell(&mut self, cell: CellId) -> Result<RegionLoad> {
-        if let Some(pre) = &self.prefetcher {
-            if let Some((rows, merge)) = pre.take(cell) {
-                let stats = LoadStats {
-                    merge,
-                    virtual_time: Duration::ZERO,
-                    wall_time: Duration::ZERO,
-                    rows: rows.len(),
-                    retries: 0,
-                };
-                return Ok(RegionLoad {
-                    cell,
-                    rows,
-                    stats,
-                    source: LoadSource::Prefetched,
-                    fallback_rank: 0,
-                });
-            }
-        }
-        let (rows, stats) = self.loader.load_cell(&self.grid, &self.mapping, cell)?;
-        Ok(RegionLoad { cell, rows, stats, source: LoadSource::Synchronous, fallback_rank: 0 })
-    }
-
-    fn queue_prefetches(&mut self, just_loaded: CellId) -> Result<()> {
-        let Some(pre) = &self.prefetcher else {
-            return Ok(());
-        };
-        let tau = self.loader.recent_load_secs();
-        let theta = horizon(tau, self.config.latency_threshold_secs);
-        // The likely next regions are the runners-up of the current
-        // ranking (the boundary moves slowly between iterations).
-        let top = self.points.ranked_top((theta + 1).min(self.points.len()))?;
-        for cell in top {
-            if cell != just_loaded {
-                pre.request(cell);
-            }
-        }
-        Ok(())
+        self.fetcher.degrade_counters()
     }
 
     /// All-time average region load time in virtual seconds (diagnostic).
     pub fn average_load_secs(&self) -> f64 {
-        self.loader.average_load_secs()
+        self.fetcher.loader().average_load_secs()
     }
 
     /// Exponentially weighted recent region load time τ in virtual
     /// seconds — what the prefetch horizon and swap deferral consult.
     pub fn recent_load_secs(&self) -> f64 {
-        self.loader.recent_load_secs()
+        self.fetcher.loader().recent_load_secs()
     }
 
     /// Chunk-cache statistics: of the shared cache when sharing is on
@@ -473,7 +288,7 @@ impl UeiIndex {
     pub fn cache_stats(&self) -> uei_storage::cache::CacheStats {
         match &self.shared_cache {
             Some(c) => c.stats(),
-            None => self.loader.cache_stats(),
+            None => self.fetcher.loader().cache_stats(),
         }
     }
 
@@ -481,17 +296,17 @@ impl UeiIndex {
     /// engine-opened sessions this is the engine-wide shared cache reached
     /// through the session's ghost view.
     pub fn shared_cache(&self) -> Option<&Arc<SharedChunkCache>> {
-        self.shared_cache.as_ref().or_else(|| self.loader.shared_cache())
+        self.shared_cache.as_ref().or_else(|| self.fetcher.loader().shared_cache())
     }
 
     /// Background I/O accumulated by the prefetcher, if enabled.
     pub fn background_io(&self) -> Option<IoStats> {
-        self.prefetcher.as_ref().map(|p| p.background_io())
+        self.fetcher.prefetcher().map(|p| p.background_io())
     }
 
     /// Directly loads one cell (diagnostics / ablations).
     pub fn load_cell(&mut self, cell: CellId) -> Result<(Vec<DataPoint>, LoadStats)> {
-        self.loader.load_cell(&self.grid, &self.mapping, cell)
+        self.fetcher.loader_mut().load_cell(&self.grid, &self.mapping, cell)
     }
 
     /// Merge statistics of the last N loads are not retained; this exposes
@@ -507,53 +322,8 @@ pub type RegionMergeStats = MergeStats;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uei_storage::fault::{FaultConfig, FaultInjector, RetryPolicy};
-    use uei_storage::io::{DiskTracker, IoProfile};
-    use uei_storage::store::StoreConfig;
-    use uei_storage::TempDir;
-    use uei_types::{AttributeDef, Schema};
-
-    fn build_store(tag: &str, n: usize) -> (Arc<ColumnStore>, Vec<DataPoint>, TempDir) {
-        let dir = TempDir::new(&format!("facade-{tag}"));
-        let schema = Schema::new(vec![
-            AttributeDef::new("x", 0.0, 100.0).unwrap(),
-            AttributeDef::new("y", 0.0, 100.0).unwrap(),
-        ])
-        .unwrap();
-        let mut rng = Rng::new(6);
-        let rows: Vec<DataPoint> = (0..n)
-            .map(|i| {
-                DataPoint::new(i as u64, vec![rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)])
-            })
-            .collect();
-        let tracker = DiskTracker::new(IoProfile::nvme());
-        let store = ColumnStore::create(
-            dir.path(),
-            schema,
-            &rows,
-            StoreConfig { chunk_target_bytes: 512 },
-            tracker,
-        )
-        .unwrap();
-        (Arc::new(store), rows, dir)
-    }
-
-    fn boundary_model(x_split: f64) -> impl Classifier {
-        struct M(f64);
-        impl Classifier for M {
-            fn predict_proba(&self, x: &[f64]) -> f64 {
-                1.0 / (1.0 + (-(x[0] - self.0) * 0.5).exp())
-            }
-            fn dims(&self) -> usize {
-                2
-            }
-        }
-        M(x_split)
-    }
-
-    fn small_config() -> UeiConfig {
-        UeiConfig { cells_per_dim: 4, ..UeiConfig::default() }
-    }
+    use crate::testutil::{boundary_model, build_store, small_config};
+    use std::time::Duration;
 
     #[test]
     fn build_and_basic_accessors() {
@@ -582,6 +352,26 @@ mod tests {
         let expected: usize = rows.iter().filter(|p| region.contains(&p.values).unwrap()).count();
         assert_eq!(load.rows.len(), expected);
         assert!(load.stats.virtual_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn sharded_sessions_select_identically() {
+        // The headline determinism claim at the facade level: the same
+        // store and model produce the same selection at every shard count.
+        let (store, _, _dir) = build_store("shardsel", 2000);
+        let mut reference =
+            UeiIndex::build(Arc::clone(&store), UeiConfig { shards: 1, ..small_config() }).unwrap();
+        reference.update_uncertainty(&boundary_model(42.0));
+        let want = reference.select_and_load().unwrap().cell;
+        let ranked = reference.points().ranked_top(16).unwrap();
+        for shards in [2, 4, 8] {
+            let mut index =
+                UeiIndex::build(Arc::clone(&store), UeiConfig { shards, ..small_config() })
+                    .unwrap();
+            index.update_uncertainty(&boundary_model(42.0));
+            assert_eq!(index.select_and_load().unwrap().cell, want, "{shards} shards");
+            assert_eq!(index.points().ranked_top(16).unwrap(), ranked, "{shards} shards");
+        }
     }
 
     #[test]
@@ -622,40 +412,6 @@ mod tests {
     }
 
     #[test]
-    fn prefetch_serves_second_iteration() {
-        let (store, _, _dir) = build_store("prefetch", 2000);
-        let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        index.update_uncertainty(&boundary_model(50.0));
-        let first = index.select_and_load().unwrap();
-        assert_eq!(first.source, LoadSource::Synchronous);
-
-        // Give the background worker time to finish the runner-up.
-        std::thread::sleep(Duration::from_millis(300));
-
-        // Same model → same ranking; the previous top cell is cheap to
-        // reload (cache) but the point of this test is the runner-up: force
-        // selection of it by re-scoring and loading twice.
-        index.update_uncertainty(&boundary_model(50.0));
-        let second = index.select_and_load().unwrap();
-        let third_cell_candidates = index.points().ranked_top(3).unwrap();
-        // At least one of the next loads should be served by prefetch.
-        let mut served = second.source == LoadSource::Prefetched;
-        for cell in third_cell_candidates {
-            if served {
-                break;
-            }
-            if let Some(pre_rows) = index.load_prefetched_for_test(cell) {
-                served = pre_rows;
-            }
-        }
-        assert!(
-            served || index.background_io().unwrap().bytes_read > 0,
-            "prefetcher did background work"
-        );
-    }
-
-    #[test]
     fn uncertainty_moves_with_model() {
         let (store, _, _dir) = build_store("moves", 1000);
         let mut index = UeiIndex::build(store, small_config()).unwrap();
@@ -666,116 +422,13 @@ mod tests {
         assert!(left[0] < right[0], "boundary shift moves the chosen column");
     }
 
-    impl UeiIndex {
-        /// Test helper: whether a prefetched region is ready for `cell`.
-        fn load_prefetched_for_test(&self, cell: CellId) -> Option<bool> {
-            self.prefetcher.as_ref().map(|p| p.take(cell).is_some())
-        }
-    }
-
-    #[test]
-    fn transient_faults_are_absorbed_by_retries() {
-        let (store, _, _dir) = build_store("retrysess", 2000);
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            chunk_cache_bytes: 0, // every load pays real reads → injector fires
-            ..UeiConfig::default()
-        };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        let injector = FaultInjector::new(FaultConfig {
-            seed: 11,
-            transient_prob: 0.05,
-            ..FaultConfig::off()
-        })
-        .unwrap();
-        store.tracker().set_fault_injector(Some(injector));
-        for split in [20.0, 35.0, 50.0, 65.0, 80.0] {
-            index.update_uncertainty(&boundary_model(split));
-            index.select_and_load().expect("retries absorb transient faults");
-        }
-        let counters = index.degrade_counters();
-        assert!(counters.retries > 0, "some reads must have been retried: {counters:?}");
-        assert_eq!(counters.failed_selections, 0);
-    }
-
-    #[test]
-    fn corrupt_top_cell_falls_back_to_next_ranked() {
-        let (store, _, dir) = build_store("fallback", 2000);
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            chunk_cache_bytes: 0,
-            fallback_candidates: 16, // allow walking the whole ranking
-            ..UeiConfig::default()
-        };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        index.update_uncertainty(&boundary_model(50.0));
-        let top = index.points().most_uncertain().unwrap();
-        // Corrupt every chunk file the top cell needs: its load now fails
-        // the catalog checksum, so selection must fall through the ranking.
-        for ids in index.mapping().chunks_for_cell(index.grid(), top).unwrap() {
-            for id in ids {
-                let path = dir.path().join(id.file_name());
-                let mut bytes = std::fs::read(&path).unwrap();
-                let mid = bytes.len() / 2;
-                bytes[mid] ^= 0x01;
-                std::fs::write(&path, &bytes).unwrap();
-            }
-        }
-        let load = index.select_and_load().expect("a clean lower-ranked cell exists");
-        assert_ne!(load.cell, top, "corrupt p* cannot be served");
-        assert!(load.fallback_rank > 0);
-        let counters = index.degrade_counters();
-        assert_eq!(counters.fallback_cells, load.fallback_rank);
-        assert_eq!(counters.failed_selections, 0);
-    }
-
-    #[test]
-    fn exhausted_candidates_surface_the_storage_error() {
-        let (store, _, _dir) = build_store("exhaust", 1500);
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            chunk_cache_bytes: 0,
-            retry: RetryPolicy::none(),
-            ..UeiConfig::default()
-        };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        let injector =
-            FaultInjector::new(FaultConfig { seed: 3, transient_prob: 1.0, ..FaultConfig::off() })
-                .unwrap();
-        store.tracker().set_fault_injector(Some(injector));
-        index.update_uncertainty(&boundary_model(50.0));
-        let err = index.select_and_load().unwrap_err();
-        assert!(err.is_storage_fault(), "ladder exhaustion returns the last fault: {err}");
-        assert_eq!(index.degrade_counters().failed_selections, 1);
-        // Detaching the injector heals the next selection.
-        store.tracker().set_fault_injector(None);
-        index.select_and_load().expect("selection recovers once faults stop");
-        assert_eq!(index.degrade_counters().failed_selections, 1);
-    }
-
-    #[test]
-    fn sigma_deadline_misses_are_counted() {
-        let (store, _, _dir) = build_store("sigma", 2000);
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            chunk_cache_bytes: 0,
-            latency_threshold_secs: 1e-9, // modeled NVMe always exceeds 1 ns
-            ..UeiConfig::default()
-        };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        index.update_uncertainty(&boundary_model(50.0));
-        index.select_and_load().unwrap();
-        assert!(index.degrade_counters().sigma_deadline_misses >= 1);
-    }
-
     #[test]
     fn incremental_rescoring_prunes_and_matches_full() {
         use uei_learn::Dwknn;
         use uei_types::Label;
         let (store, _, _dir) = build_store("increscore", 1500);
         let mut inc = UeiIndex::build(Arc::clone(&store), small_config()).unwrap();
-        let full_cfg =
-            UeiConfig { cells_per_dim: 4, incremental_rescore: false, ..UeiConfig::default() };
+        let full_cfg = UeiConfig { incremental_rescore: false, ..small_config() };
         let mut full = UeiIndex::build(Arc::clone(&store), full_cfg).unwrap();
 
         // Labeled examples spread across the whole 0..100 domain.
@@ -814,131 +467,15 @@ mod tests {
     }
 
     #[test]
-    fn degrade_counter_deltas() {
-        let a = DegradeCounters { retries: 2, fallback_cells: 1, ..Default::default() };
-        let b = DegradeCounters {
-            retries: 5,
-            fallback_cells: 1,
-            sigma_deadline_misses: 3,
-            failed_selections: 0,
-        };
-        let d = b.since(&a);
-        assert_eq!(d.retries, 3);
-        assert_eq!(d.fallback_cells, 0);
-        assert_eq!(d.sigma_deadline_misses, 3);
-        assert_eq!(d.failed_selections, 0);
-    }
-
-    #[test]
-    fn ready_prefetch_survives_model_update() {
-        // The invalidation rule: a model update re-ranks the cells, but a
-        // ready-but-untaken prefetched region stays valid as *data* (cell
-        // contents never change), so update_uncertainty must keep it.
-        let (store, _, _dir) = build_store("survive", 1500);
-        let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        let pre = index.prefetcher.as_ref().unwrap();
-        pre.request(9);
-        assert!(pre.take_blocking(9, Duration::from_secs(10)).is_some(), "prefetch completes");
-        // Buffer it again (take was destructive) and leave it untaken.
-        pre.request(9);
-        while index.prefetcher.as_ref().unwrap().is_pending(9) {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        assert!(index.prefetcher.as_ref().unwrap().has_ready(9));
-
-        index.update_uncertainty(&boundary_model(50.0));
-        assert!(
-            index.prefetcher.as_ref().unwrap().has_ready(9),
-            "model update must not drop ready prefetches"
-        );
-        // And the retained result is actually served on selection.
-        assert_eq!(index.load_prefetched_for_test(9), Some(true));
-    }
-
-    #[test]
-    fn prefetcher_warmed_chunks_cost_foreground_nothing() {
-        // Acceptance: a prefetched-then-swapped region performs zero
-        // foreground chunk reads for chunks the prefetcher already loaded.
-        let (store, _, _dir) = build_store("warmzero", 1500);
-        let config = UeiConfig { cells_per_dim: 4, prefetch: true, ..UeiConfig::default() };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        let pre = index.prefetcher.as_ref().unwrap();
-        pre.request(5);
-        pre.take_blocking(5, Duration::from_secs(10)).expect("prefetch completes");
-        // The ready buffer is now empty for cell 5, so this foreground
-        // load goes through the loader — but every chunk is resident in
-        // the shared cache the prefetcher filled.
-        let before = store.tracker().snapshot();
-        let (rows, stats) = index.load_cell(5).unwrap();
-        assert!(!rows.is_empty());
-        assert!(stats.merge.chunks_loaded > 0);
-        assert_eq!(
-            store.tracker().delta(&before).stats.bytes_read,
-            0,
-            "zero foreground chunk reads for prefetcher-warmed chunks"
-        );
-        assert_eq!(stats.virtual_time, Duration::ZERO);
-    }
-
-    #[test]
     fn shared_cache_off_restores_private_layout() {
         let (store, _, _dir) = build_store("nosharing", 800);
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            shared_cache: false,
-            delta_reconstruction: false,
-            ..UeiConfig::default()
-        };
+        let config =
+            UeiConfig { shared_cache: false, delta_reconstruction: false, ..small_config() };
         let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
         assert!(index.shared_cache().is_none());
         index.update_uncertainty(&boundary_model(50.0));
         let load = index.select_and_load().unwrap();
         assert!(!load.rows.is_empty());
         assert!(index.cache_stats().misses > 0, "private loader cache used");
-    }
-
-    #[test]
-    fn defer_swaps_holds_current_region_when_loads_are_slow() {
-        let (store, _, _dir) = build_store("defer", 2000);
-        // τ will exceed σ immediately: every region load on modeled NVMe
-        // takes > 1 ns threshold.
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            defer_swaps: true,
-            latency_threshold_secs: 1e-9,
-            chunk_cache_bytes: 0, // no cache: every load pays I/O
-            ..UeiConfig::default()
-        };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-
-        index.update_uncertainty(&boundary_model(20.0));
-        let first = index.select_and_load().unwrap();
-        assert_eq!(index.deferred_swaps(), 0, "first load cannot be deferred");
-
-        // Move the boundary: the ranking now prefers a different cell, but
-        // the swap is deferred because τ > σ and nothing is prefetched.
-        index.update_uncertainty(&boundary_model(80.0));
-        let second = index.select_and_load().unwrap();
-        assert_eq!(second.cell, first.cell, "swap deferred, same region served");
-        assert_eq!(index.deferred_swaps(), 1);
-    }
-
-    #[test]
-    fn defer_swaps_noop_when_loads_are_fast() {
-        let (store, _, _dir) = build_store("nodefer", 2000);
-        let config = UeiConfig {
-            cells_per_dim: 4,
-            defer_swaps: true,
-            latency_threshold_secs: 10.0, // σ far above any load time
-            ..UeiConfig::default()
-        };
-        let mut index = UeiIndex::build(Arc::clone(&store), config).unwrap();
-        index.update_uncertainty(&boundary_model(20.0));
-        let first = index.select_and_load().unwrap();
-        index.update_uncertainty(&boundary_model(80.0));
-        let second = index.select_and_load().unwrap();
-        assert_ne!(second.cell, first.cell, "fast loads never defer");
-        assert_eq!(index.deferred_swaps(), 0);
     }
 }

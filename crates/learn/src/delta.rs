@@ -120,13 +120,12 @@ pub fn knn_influence_delta(
         let bound = r2 * inflate;
         added.iter().any(|a| dist2(points[i], a) < bound)
     };
-    let indices: Vec<usize> = (0..points.len()).collect();
     let dirty: Vec<bool> = if crate::batch::should_parallelize_at(points.len(), parallel_threshold)
     {
         use rayon::prelude::*;
-        indices.par_iter().map(|&i| compute(i)).collect()
+        (0..points.len()).into_par_iter().map(compute).collect()
     } else {
-        indices.iter().map(|&i| compute(i)).collect()
+        (0..points.len()).map(compute).collect()
     };
     ModelDelta::Dirty(dirty)
 }
@@ -152,7 +151,38 @@ pub fn knn_influence_delta_flat(
     margin: f64,
     parallel_threshold: usize,
 ) -> ModelDelta {
-    let n = points.len();
+    knn_influence_delta_flat_range(
+        points,
+        0..points.len(),
+        radii2,
+        added,
+        margin,
+        parallel_threshold,
+    )
+}
+
+/// [`knn_influence_delta_flat`] restricted to the row range `rows` of the
+/// matrix — the shard-local form the partitioned index-point plane uses to
+/// map each new example's influence ball onto the shards it intersects.
+///
+/// `radii2` holds the radii of the *range* only (`radii2.len() ==
+/// rows.len()`), and the returned mask covers the range in row order. The
+/// dirty decision is a per-point predicate, so for any partition of
+/// `0..points.len()` into ranges the concatenated range masks equal the
+/// full-matrix mask bit for bit — block boundaries only change iteration
+/// order of a boolean OR.
+pub fn knn_influence_delta_flat_range(
+    points: &PointMatrix,
+    rows: std::ops::Range<usize>,
+    radii2: &[f64],
+    added: &[&[f64]],
+    margin: f64,
+    parallel_threshold: usize,
+) -> ModelDelta {
+    if rows.start > rows.end || rows.end > points.len() {
+        return ModelDelta::Global;
+    }
+    let n = rows.len();
     if radii2.len() != n || !(margin >= 0.0) || !margin.is_finite() {
         return ModelDelta::Global;
     }
@@ -162,12 +192,16 @@ pub fn knn_influence_delta_flat(
     }
     let inflate = (1.0 + margin) * (1.0 + margin);
     let flat = points.as_flat();
+    let base = rows.start;
+    // `lo`/`hi` are offsets within the range; the flat buffer is addressed
+    // at `base + offset`.
     let compute_range = |lo: usize, hi: usize| -> Vec<bool> {
         let mut dirty: Vec<bool> = radii2[lo..hi].iter().map(|r| !r.is_finite()).collect();
         let mut dists = Vec::with_capacity(hi - lo);
         for a in added {
             dists.clear();
-            if squared_distances_block(a, &flat[lo * dims..hi * dims], dims, &mut dists).is_err() {
+            let block = &flat[(base + lo) * dims..(base + hi) * dims];
+            if squared_distances_block(a, block, dims, &mut dists).is_err() {
                 // Unreachable after the dims check above; stay conservative.
                 dirty.iter_mut().for_each(|d| *d = true);
                 return dirty;
@@ -306,6 +340,64 @@ mod tests {
         );
         assert_eq!(
             knn_influence_delta_flat(&matrix, &radii2, &added_refs, f64::NAN, 256),
+            ModelDelta::Global
+        );
+    }
+
+    #[test]
+    fn range_masks_partition_the_full_mask() {
+        use uei_types::Rng;
+        let mut rng = Rng::new(0x5A4D);
+        let n = super::FLAT_DELTA_BLOCK + 513;
+        let mut points = Vec::with_capacity(n);
+        let mut radii2 = Vec::with_capacity(n);
+        for i in 0..n {
+            points.push(vec![rng.range_f64(-4.0, 4.0), rng.range_f64(-4.0, 4.0)]);
+            radii2.push(if i % 89 == 0 { f64::INFINITY } else { rng.range_f64(0.01, 2.0) });
+        }
+        let matrix = PointMatrix::from_rows(&points).unwrap();
+        let added = [vec![0.25, -0.75], vec![2.0, 2.0]];
+        let added_refs: Vec<&[f64]> = added.iter().map(|p| p.as_slice()).collect();
+        let ModelDelta::Dirty(want) =
+            knn_influence_delta_flat(&matrix, &radii2, &added_refs, 0.1, usize::MAX)
+        else {
+            panic!("flat delta must prune");
+        };
+        // Unaligned partitions (nothing divides FLAT_DELTA_BLOCK) must
+        // reassemble the exact full mask, sequentially and in parallel.
+        for cuts in [vec![0, n], vec![0, 7, n], vec![0, 300, 301, 1500, n]] {
+            for threshold in [usize::MAX, 1] {
+                let mut got = Vec::with_capacity(n);
+                for w in cuts.windows(2) {
+                    let (lo, hi) = (w[0], w[1]);
+                    match knn_influence_delta_flat_range(
+                        &matrix,
+                        lo..hi,
+                        &radii2[lo..hi],
+                        &added_refs,
+                        0.1,
+                        threshold,
+                    ) {
+                        ModelDelta::Dirty(mask) => got.extend(mask),
+                        ModelDelta::Global => panic!("range {lo}..{hi} degraded to Global"),
+                    }
+                }
+                assert_eq!(got, want, "cuts {cuts:?}, threshold {threshold}");
+            }
+        }
+        // Degenerate ranges degrade to Global like every other bad input.
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 5..3;
+        assert_eq!(
+            knn_influence_delta_flat_range(&matrix, reversed, &[], &added_refs, 0.0, 256),
+            ModelDelta::Global
+        );
+        assert_eq!(
+            knn_influence_delta_flat_range(&matrix, 0..n + 1, &radii2, &added_refs, 0.0, 256),
+            ModelDelta::Global
+        );
+        assert_eq!(
+            knn_influence_delta_flat_range(&matrix, 0..4, &radii2[..3], &added_refs, 0.0, 256),
             ModelDelta::Global
         );
     }

@@ -207,6 +207,31 @@ impl Classifier for Dwknn {
         knn_influence_delta_flat(points, radii2, added, margin, self.parallel_batch_threshold())
     }
 
+    fn model_delta_matrix_range(
+        &self,
+        points: &PointMatrix,
+        rows: std::ops::Range<usize>,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        crate::delta::knn_influence_delta_flat_range(
+            points,
+            rows,
+            radii2,
+            added,
+            margin,
+            self.parallel_batch_threshold(),
+        )
+    }
+
+    fn influence_position(&self, x: &[f64]) -> Option<Vec<f64>> {
+        // Same influence geometry as plain kNN: radii are raw-input-space
+        // k-th-neighbour distances, so the influence space is the input
+        // space and dimension mismatches map to `None`.
+        (x.len() == self.dims).then(|| x.to_vec())
+    }
+
     fn training_len(&self) -> Option<usize> {
         Some(self.labels.len())
     }

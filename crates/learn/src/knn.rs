@@ -138,6 +138,31 @@ impl Classifier for Knn {
         knn_influence_delta_flat(points, radii2, added, margin, self.parallel_batch_threshold())
     }
 
+    fn model_delta_matrix_range(
+        &self,
+        points: &PointMatrix,
+        rows: std::ops::Range<usize>,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        crate::delta::knn_influence_delta_flat_range(
+            points,
+            rows,
+            radii2,
+            added,
+            margin,
+            self.parallel_batch_threshold(),
+        )
+    }
+
+    fn influence_position(&self, x: &[f64]) -> Option<Vec<f64>> {
+        // Influence radii are raw-input-space k-th-neighbour distances, so
+        // the influence space is the input space itself. Inputs the delta
+        // path would reject (wrong dimensionality) map to `None`.
+        (x.len() == self.dims).then(|| x.to_vec())
+    }
+
     fn training_len(&self) -> Option<usize> {
         Some(self.labels.len())
     }
@@ -212,6 +237,16 @@ mod tests {
         let tracked = model.predict_proba_batch_tracked(&refs);
         let delta = model.model_delta(&refs, tracked.radii2.as_ref().unwrap(), &far_refs, 0.0);
         assert_eq!(delta.dirty_count(refs.len()), 0);
+    }
+
+    #[test]
+    fn influence_position_is_the_identity() {
+        let model = Knn::fit(3, &examples()).unwrap();
+        // Radii are raw-input-space distances, so the influence space is
+        // the input space itself…
+        assert_eq!(model.influence_position(&[2.5, 2.5]), Some(vec![2.5, 2.5]));
+        // …and inputs the delta path would reject have no position.
+        assert!(model.influence_position(&[2.5]).is_none());
     }
 
     #[test]

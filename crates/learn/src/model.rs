@@ -88,6 +88,56 @@ pub trait Classifier: Send + Sync {
         self.model_delta(&refs, radii2, added, margin)
     }
 
+    /// [`Self::model_delta_matrix`] restricted to the row range `rows` —
+    /// the shard-local form the partitioned index-point plane calls once
+    /// per shard, in parallel, so each new example's influence ball is
+    /// mapped onto exactly the shards it intersects.
+    ///
+    /// `radii2` holds the radii of the range only (`radii2.len() ==
+    /// rows.len()`) and the returned mask covers the range in row order.
+    /// The contract: for any partition of `0..points.len()` into ranges,
+    /// the concatenation of the range masks must equal
+    /// `self.model_delta_matrix(points, …)` — dirtiness is a per-point
+    /// predicate and must not depend on where shard boundaries fall. The
+    /// default materializes the range's row-refs view and delegates to
+    /// [`Self::model_delta`]; the kNN family overrides it with the blocked
+    /// [`crate::delta::knn_influence_delta_flat_range`] sweep.
+    fn model_delta_matrix_range(
+        &self,
+        points: &PointMatrix,
+        rows: std::ops::Range<usize>,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        if rows.start > rows.end || rows.end > points.len() {
+            return ModelDelta::Global;
+        }
+        let refs: Vec<&[f64]> = rows.map(|i| points.row(i)).collect();
+        self.model_delta(&refs, radii2, added, margin)
+    }
+
+    /// The image of `x` in the model's *influence space* — the space its
+    /// reported influence radii ([`ScoredBatch::radii2`]) measure
+    /// distances in — or `None` when the model has no spatial locality
+    /// structure or cannot map this input.
+    ///
+    /// The contract mirrors [`Self::model_delta`]: whenever a query `p`
+    /// and an added example `a` both map to `Some` position, and the
+    /// squared Euclidean distance between those positions is at least
+    /// `r2 * (1 + margin)²` for the finite radius `r2` that
+    /// [`Self::predict_proba_batch_tracked`] reported for `p`, the delta
+    /// must report `p` clean with respect to `a`. Callers use this for
+    /// conservative geometric pre-filtering (the sharded index plane skips
+    /// whole shards that no inflated influence ball can reach); returning
+    /// `None` merely disables that pruning, so the default is always
+    /// sound. Implementations must return `None` for inputs the delta
+    /// path would refuse (wrong dimensionality, untransformable rows)
+    /// rather than guess.
+    fn influence_position(&self, _x: &[f64]) -> Option<Vec<f64>> {
+        None
+    }
+
     /// Number of training examples this model was fitted on, in fit order,
     /// when the model can report it.
     ///
@@ -160,6 +210,19 @@ impl<C: Classifier + ?Sized> Classifier for Box<C> {
         margin: f64,
     ) -> ModelDelta {
         (**self).model_delta_matrix(points, radii2, added, margin)
+    }
+    fn model_delta_matrix_range(
+        &self,
+        points: &PointMatrix,
+        rows: std::ops::Range<usize>,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> ModelDelta {
+        (**self).model_delta_matrix_range(points, rows, radii2, added, margin)
+    }
+    fn influence_position(&self, x: &[f64]) -> Option<Vec<f64>> {
+        (**self).influence_position(x)
     }
     fn training_len(&self) -> Option<usize> {
         (**self).training_len()
@@ -320,6 +383,9 @@ mod tests {
         let boxed: Box<dyn Classifier> = Box::new(Constant(0.3));
         assert_eq!(boxed.model_delta(&xs, &[], &xs, 0.5), crate::delta::ModelDelta::Global);
         assert!(boxed.predict_proba_batch_tracked(&xs).radii2.is_none());
+        // No spatial structure, no influence space: geometric prefiltering
+        // stays disabled by default.
+        assert!(boxed.influence_position(&x).is_none());
     }
 
     fn xy(examples: &[(f64, f64, Label)]) -> Vec<(Vec<f64>, Label)> {

@@ -300,6 +300,56 @@ impl crate::model::Classifier for ScaledClassifier {
         self.inner.model_delta_matrix(&scaled, radii2, &added_refs, margin)
     }
 
+    fn model_delta_matrix_range(
+        &self,
+        points: &PointMatrix,
+        rows: std::ops::Range<usize>,
+        radii2: &[f64],
+        added: &[&[f64]],
+        margin: f64,
+    ) -> crate::delta::ModelDelta {
+        // Same geometry-in-scaled-space argument as the full-matrix form,
+        // but only the range's rows are transformed: the shard-parallel
+        // rescoring path calls this once per shard, so the scaling work is
+        // proportional to the shard, not the whole plane. A row that cannot
+        // be transformed degrades this range to Global, which the caller
+        // escalates to a full rescore — exactly what the full-matrix form
+        // would have done for the whole plane.
+        if rows.start > rows.end || rows.end > points.len() || radii2.len() != rows.len() {
+            return crate::delta::ModelDelta::Global;
+        }
+        if points.dims() != self.scaler.dims() && !points.is_empty() {
+            return crate::delta::ModelDelta::Global;
+        }
+        let mut scaled_added = Vec::with_capacity(added.len());
+        for a in added {
+            match self.scaler.transform(a) {
+                Ok(z) => scaled_added.push(z),
+                Err(_) => return crate::delta::ModelDelta::Global,
+            }
+        }
+        let mut scaled = PointMatrix::with_capacity(rows.len(), self.scaler.dims());
+        let mut buf = Vec::with_capacity(self.scaler.dims());
+        for i in rows {
+            if self.scaler.transform_into(points.row(i), &mut buf).is_err()
+                || scaled.push_row(&buf).is_err()
+            {
+                return crate::delta::ModelDelta::Global;
+            }
+        }
+        let added_refs: Vec<&[f64]> = scaled_added.iter().map(|z| z.as_slice()).collect();
+        let len = scaled.len();
+        self.inner.model_delta_matrix_range(&scaled, 0..len, radii2, &added_refs, margin)
+    }
+
+    fn influence_position(&self, x: &[f64]) -> Option<Vec<f64>> {
+        // The inner model's radii live in scaled space, so the influence
+        // position is the scaled image; a raw point the scaler rejects has
+        // no known position (the delta path degrades it to Global / dirty,
+        // so pruning against it must be disabled).
+        self.scaler.transform(x).ok().and_then(|z| self.inner.influence_position(&z))
+    }
+
     fn training_len(&self) -> Option<usize> {
         self.inner.training_len()
     }
@@ -372,6 +422,25 @@ mod tests {
         let s = MinMaxScaler::new(vec![0.0], vec![10.0]).unwrap();
         assert_eq!(s.transform(&[-5.0]).unwrap(), vec![-0.5]);
         assert_eq!(s.transform(&[20.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn influence_position_is_the_scaled_image() {
+        let scaler = MinMaxScaler::new(vec![0.0, 0.0], vec![10.0, 4.0]).unwrap();
+        let examples = vec![
+            (vec![1.0, 1.0], Label::Negative),
+            (vec![9.0, 3.0], Label::Positive),
+            (vec![2.0, 3.0], Label::Negative),
+            (vec![8.0, 1.0], Label::Positive),
+        ];
+        let model =
+            ScaledClassifier::train(EstimatorKind::Knn { k: 1 }, scaler, &examples).unwrap();
+        // The kNN influence radii live in scaled space, so the position is
+        // the scaled image of the raw point.
+        assert_eq!(model.influence_position(&[5.0, 1.0]), Some(vec![0.5, 0.25]));
+        // A point the scaler rejects has no position (and the delta path
+        // would degrade it to Global — pruning against it must not happen).
+        assert!(model.influence_position(&[5.0]).is_none());
     }
 
     #[test]

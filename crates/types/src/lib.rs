@@ -33,6 +33,7 @@ pub mod point;
 pub mod region;
 pub mod rng;
 pub mod schema;
+pub mod shard;
 pub mod stats;
 
 pub use error::{Result, UeiError};
@@ -41,3 +42,4 @@ pub use point::{DataPoint, PointMatrix, RowId};
 pub use region::Region;
 pub use rng::Rng;
 pub use schema::{AttributeDef, Schema};
+pub use shard::ShardId;

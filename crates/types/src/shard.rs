@@ -1,0 +1,51 @@
+//! Shard identifiers for partitioned index planes.
+//!
+//! The index-point plane partitions its grid cells into contiguous-range
+//! shards so that rescoring and top-θ selection can run shard-parallel
+//! (see `uei-index`'s `shard` module for the layout itself). The id type
+//! lives here, next to [`crate::RowId`], because traces and benches in
+//! higher crates name shards without depending on the index crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one contiguous cell-range shard of the index-point plane.
+///
+/// Shard ids are dense (`0..num_shards`) and index directly into the
+/// per-shard state arrays of the owning shard layout.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The raw id as an index into dense per-shard arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for ShardId {
+    fn from(v: usize) -> Self {
+        ShardId(u32::try_from(v).expect("shard counts fit in u32"))
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_id_round_trips() {
+        let s = ShardId::from(7usize);
+        assert_eq!(s.as_usize(), 7);
+        assert_eq!(s.to_string(), "shard#7");
+        assert!(ShardId(1) < ShardId(2));
+    }
+}

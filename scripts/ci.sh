@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lint, docs, tests, build, and smoke runs of the
 # scoring, region-load, fault-matrix, multi-session, rescore, kd-tree
-# layout, and journal-recovery benches.
+# layout, journal-recovery, and sharded-index-plane benches.
 #
 #   ./scripts/ci.sh          # full gate
 #   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
@@ -90,5 +90,13 @@ test -s "$tmp/BENCH_kdtree.json"
 echo "==> recovery_bench --smoke"
 cargo run -p uei-bench --release --bin recovery_bench -- --smoke --out "$tmp/BENCH_recovery.json"
 test -s "$tmp/BENCH_recovery.json"
+
+# Smoke-run the shard bench: sharded vs. single-shard index plane over
+# small fixed-seed sessions at 1/2/4/8 shards. The binary asserts every
+# iteration's full top-θ selection is bit-identical to the single-shard
+# reference at every shard count and grid size.
+echo "==> shard_bench --smoke"
+cargo run -p uei-bench --release --bin shard_bench -- --smoke --out "$tmp/BENCH_shard.json"
+test -s "$tmp/BENCH_shard.json"
 
 echo "CI gate passed."
