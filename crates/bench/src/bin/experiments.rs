@@ -8,12 +8,22 @@
 //!
 //! Subcommands: `table1`, `fig3`, `fig4`, `fig5`, `fig6`, `complexity`,
 //! `ablation-grid`, `ablation-gamma`, `ablation-estimator`,
-//! `ablation-prefetch`, `ablation-chunk`, `all`.
+//! `ablation-prefetch`, `ablation-chunk`, `telemetry`, `all`.
 //! Flags: `--quick` (CI-size runs), `--rows N`, `--runs R`,
 //! `--out DIR` (default `results/`), `--data DIR` (fixture cache,
 //! default `target/uei-experiments`).
+//!
+//! The `telemetry` subcommand runs one telemetry-enabled engine session
+//! and exports the observability artifacts (DESIGN.md §15):
+//! `--metrics-out PATH` (metrics snapshot JSON, default
+//! `<out>/metrics.json`), `--prom-out PATH` (Prometheus text, default
+//! `<out>/metrics.prom`), and `--flight-out PATH` (flight-recorder dump,
+//! default `<out>/flight.json`). `--cells N` sets the grid resolution
+//! per dimension (default 5, i.e. 3 125 index points on the 5-D SDSS
+//! schema) so the phase breakdown can be compared across plane sizes.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use uei_bench::experiments::{
     ablation_batch, ablation_chunk_size, ablation_estimator, ablation_gamma, ablation_grid,
@@ -30,6 +40,10 @@ struct Options {
     runs: Option<usize>,
     out: PathBuf,
     data: PathBuf,
+    metrics_out: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
+    cells: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +54,10 @@ fn parse_args() -> Options {
         runs: None,
         out: PathBuf::from("results"),
         data: PathBuf::from("target/uei-experiments"),
+        metrics_out: None,
+        prom_out: None,
+        flight_out: None,
+        cells: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +78,18 @@ fn parse_args() -> Options {
                 if let Some(v) = args.next() {
                     opts.data = PathBuf::from(v);
                 }
+            }
+            "--metrics-out" => {
+                opts.metrics_out = args.next().map(PathBuf::from);
+            }
+            "--prom-out" => {
+                opts.prom_out = args.next().map(PathBuf::from);
+            }
+            "--flight-out" => {
+                opts.flight_out = args.next().map(PathBuf::from);
+            }
+            "--cells" => {
+                opts.cells = args.next().and_then(|v| v.parse().ok());
             }
             other => opts.commands.push(other.to_string()),
         }
@@ -173,6 +203,7 @@ fn main() {
             "ablation-regions" => run_ablation_regions(&opts),
             "ablation-strategy" => run_ablation_strategy(&opts),
             "ablation-chunk" => run_ablation_chunk(&opts),
+            "telemetry" => run_telemetry(&opts),
             "all" => {
                 run_table1(&opts);
                 run_fig(&opts, RegionSize::Small);
@@ -308,6 +339,94 @@ fn run_ablation_strategy(opts: &Options) {
     let ab = ablation_strategy(&fixture).expect("strategy ablation");
     print_ablation(&ab);
     save_json(opts, "ablation_strategy", &ab);
+}
+
+/// Runs one telemetry-enabled, journaled engine session over a synthetic
+/// fixture and exports the three observability artifacts: a metrics
+/// snapshot (diffable JSON), a Prometheus text dump, and the
+/// flight-recorder contents.
+fn run_telemetry(opts: &Options) {
+    use uei_explore::multi::{run_one_session, SessionSpec};
+    use uei_explore::oracle::Oracle;
+    use uei_explore::report::average_traces;
+    use uei_explore::session::SessionConfig;
+    use uei_explore::synth::{generate_sdss_like, SynthConfig};
+    use uei_explore::workload::generate_target_region_fraction;
+    use uei_index::config::UeiConfig;
+    use uei_index::engine::EngineCore;
+    use uei_obs::TelemetryConfig;
+    use uei_storage::io::{DiskTracker, IoProfile};
+    use uei_storage::store::{ColumnStore, StoreConfig};
+    use uei_types::{Rng, Schema};
+
+    let n = opts.rows.unwrap_or(if opts.quick { 5_000 } else { 20_000 });
+    let cells_per_dim = opts.cells.unwrap_or(5);
+    let dir = opts.data.join("telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "\n=== telemetry — one instrumented session over {n} rows, {} index points ===",
+        cells_per_dim.pow(5)
+    );
+    let rows = generate_sdss_like(&SynthConfig { rows: n, ..Default::default() });
+    let mut rng = Rng::new(13);
+    let target =
+        generate_target_region_fraction(&rows, &Schema::sdss(), 0.02, &mut rng).expect("target");
+    let oracle = Oracle::new(target);
+
+    let tracker = DiskTracker::new(IoProfile::nvme());
+    let store = ColumnStore::create(
+        dir.join("store"),
+        Schema::sdss(),
+        &rows,
+        StoreConfig { chunk_target_bytes: 8192 },
+        tracker,
+    )
+    .expect("fixture store");
+    let engine = EngineCore::new(
+        Arc::new(store),
+        UeiConfig { cells_per_dim, telemetry: TelemetryConfig::on(), ..UeiConfig::default() },
+    )
+    .expect("engine");
+
+    let spec = SessionSpec {
+        session: SessionConfig {
+            max_labels: if opts.quick { 15 } else { 40 },
+            bootstrap_size: 150,
+            eval_sample: 1_000,
+            seed: 42,
+            ..SessionConfig::default()
+        },
+        sample_seed: 7,
+        gamma: 1_000,
+        journal_dir: Some(dir.join("journal")),
+        postmortem_dir: None,
+    };
+    let result = run_one_session(&engine, &oracle, &spec).expect("telemetry session");
+    let summary = average_traces(std::slice::from_ref(&result));
+
+    println!("{:>16} {:>12} {:>12} {:>8}", "phase", "wall (ms)", "virtual (ms)", "spans");
+    for p in &summary.phase_ms {
+        println!("{:>16} {:>12.2} {:>12.2} {:>8}", p.phase, p.wall_ms, p.virtual_ms, p.count);
+    }
+
+    std::fs::create_dir_all(&opts.out).expect("create results dir");
+    let telemetry = engine.telemetry();
+
+    let metrics_path = opts.metrics_out.clone().unwrap_or_else(|| opts.out.join("metrics.json"));
+    let json = serde_json::to_vec_pretty(&telemetry.snapshot()).expect("serialize snapshot");
+    std::fs::write(&metrics_path, json).expect("write metrics snapshot");
+    println!("  [saved {}]", metrics_path.display());
+
+    let prom_path = opts.prom_out.clone().unwrap_or_else(|| opts.out.join("metrics.prom"));
+    std::fs::write(&prom_path, telemetry.to_prometheus()).expect("write prometheus dump");
+    println!("  [saved {}]", prom_path.display());
+
+    let flight_path = opts.flight_out.clone().unwrap_or_else(|| opts.out.join("flight.json"));
+    let dump = telemetry.postmortem("manual", "telemetry subcommand flight-recorder dump");
+    let json = serde_json::to_vec_pretty(&dump).expect("serialize flight dump");
+    std::fs::write(&flight_path, json).expect("write flight dump");
+    println!("  [saved {}]", flight_path.display());
 }
 
 fn run_ablation_chunk(opts: &Options) {

@@ -1,0 +1,53 @@
+//! Telemetry overhead and coverage measurement (DESIGN.md §15).
+//!
+//! ```text
+//! cargo run -p uei-bench --release --bin obs_bench            # full run
+//! cargo run -p uei-bench --release --bin obs_bench -- --smoke # CI smoke
+//! ```
+//!
+//! Writes `BENCH_obs.json` (schema: `BENCH_SCHEMA.json`) to the current
+//! directory, or to the path given with `--out`.
+
+use std::path::PathBuf;
+
+use uei_bench::obs::{full_obs_report, smoke_obs_report, validate_obs, ObsReport};
+
+fn print_report(report: &ObsReport) {
+    println!(
+        "telemetry overhead — {} rows, {} labels, γ={}, best of {} repeats\n",
+        report.dataset_rows, report.max_labels, report.gamma, report.repeats
+    );
+    println!(
+        "session wall     disabled {:>9.2} ms   enabled {:>9.2} ms   overhead {:>+6.2}%",
+        report.disabled_wall_ms, report.enabled_wall_ms, report.enabled_overhead_pct
+    );
+    println!(
+        "disabled span    {:>6.2} ns/op × {} spans/session → {:.4}% of session wall",
+        report.disabled_span_ns, report.spans_per_session, report.disabled_overhead_est_pct
+    );
+    println!(
+        "coverage         {} phases observed, modeled traces identical: {}",
+        report.phases_observed, report.modeled_identical
+    );
+    #[cfg(debug_assertions)]
+    println!("\nnote: debug build — timings are meaningless here.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_obs.json"));
+
+    let report = if smoke { smoke_obs_report() } else { full_obs_report() };
+    print_report(&report);
+    validate_obs(&report);
+
+    let json = serde_json::to_vec_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\n[saved {}]", out.display());
+}

@@ -22,6 +22,7 @@ pub mod fault_matrix;
 pub mod fixture;
 pub mod kdtree;
 pub mod multi_session;
+pub mod obs;
 pub mod recovery;
 pub mod region_load;
 pub mod rescore;
@@ -41,6 +42,9 @@ pub use kdtree::{
 pub use multi_session::{
     full_multi_session_report, run_multi_session_bench, smoke_multi_session_report,
     validate_multi_session, MultiSessionCase, MultiSessionConfig, MultiSessionReport,
+};
+pub use obs::{
+    full_obs_report, run_obs_bench, smoke_obs_report, validate_obs, ObsConfig, ObsReport,
 };
 pub use recovery::{
     full_recovery_report, run_recovery_bench, smoke_recovery_report, validate_recovery,

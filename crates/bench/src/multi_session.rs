@@ -140,6 +140,7 @@ fn session_specs(config: &MultiSessionConfig, n: usize) -> Vec<SessionSpec> {
             sample_seed: config.seed.wrapping_mul(2_000) + i,
             gamma: config.gamma,
             journal_dir: None,
+            postmortem_dir: None,
         })
         .collect()
 }

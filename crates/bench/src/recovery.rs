@@ -136,14 +136,14 @@ fn modeled(t: &IterationTrace) -> impl PartialEq {
         (
             t.region_rows,
             t.prefetched,
-            t.cache_hits,
-            t.cache_misses,
-            t.cache_evictions,
-            t.cache_bypasses,
-            t.prefetch_bytes_read,
-            t.retries,
-            t.fallback_cells,
-            t.degraded,
+            t.counters.cache_hits,
+            t.counters.cache_misses,
+            t.counters.cache_evictions,
+            t.counters.cache_bypasses,
+            t.counters.prefetch_bytes_read,
+            t.counters.retries,
+            t.counters.fallback_cells,
+            t.counters.degraded,
             t.examined,
         ),
     )

@@ -23,11 +23,12 @@ use uei_index::uei::{LoadSource, UeiIndex};
 use uei_learn::dataset::{LabeledSet, UnlabeledPool};
 use uei_learn::strategy::{QueryStrategy, RandomSampling, UncertaintyMeasure, UncertaintySampling};
 use uei_learn::Classifier;
+use uei_obs::{FlightEventKind, ObsCounters, PhaseMs, SessionTelemetry};
 use uei_storage::store::ColumnStore;
 use uei_types::{DataPoint, Result, Rng, RowId, Schema, UeiError};
 
 /// Per-selection diagnostics reported by a backend.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct SelectionInfo {
     /// UEI: the chosen cell id.
     pub cell: Option<usize>,
@@ -37,41 +38,19 @@ pub struct SelectionInfo {
     pub prefetched: bool,
     /// UEI: current candidate-pool size.
     pub pool_size: Option<usize>,
-    /// UEI: chunk-cache hits during this selection.
-    pub cache_hits: u64,
-    /// UEI: chunk-cache misses during this selection.
-    pub cache_misses: u64,
-    /// UEI: chunk-cache evictions during this selection.
-    pub cache_evictions: u64,
-    /// UEI: oversized-chunk cache bypasses during this selection.
-    pub cache_bypasses: u64,
-    /// UEI: bytes the background prefetcher read during this selection.
-    pub prefetch_bytes_read: u64,
-    /// UEI: transient-storage-error retries absorbed during this selection.
-    pub retries: u64,
-    /// UEI: candidate ranks skipped past storage-faulted cells before a
-    /// region loaded (the graceful-degradation ladder).
-    pub fallback_cells: u64,
-    /// UEI: the final degradation rung fired — every ranked candidate
-    /// failed with a storage fault, so the selection was served from the
-    /// resident pool `U` without a fresh region.
-    pub degraded: bool,
-    /// UEI: index points actually rescored this selection. Under
-    /// incremental rescoring this is the dirty-set size; under full
-    /// rescoring it equals the index-point count.
-    pub points_rescored: u64,
-    /// UEI: index-plane shards whose scores were touched this selection —
-    /// every shard on a full rescoring pass, only the dirty shards under
-    /// incremental rescoring (zero when the model did not change).
-    pub shards_touched: u64,
-    /// UEI: index points served verbatim from the per-session score cache
-    /// this selection (zero under full rescoring).
-    pub points_cached: u64,
+    /// The modeled per-selection observability counters (cache traffic,
+    /// degradation ladder, rescoring work), deltas over this selection.
+    /// See [`ObsCounters`] for per-field docs; `degraded` means the final
+    /// rung fired and the selection was served from the resident pool `U`.
+    pub counters: ObsCounters,
     /// Stamped by the session driver (never by backends): the selection
     /// happened in a session resumed from its journal after a crash.
     pub recovered: bool,
     /// DBMS: tuples examined by the exhaustive scan.
     pub examined: Option<u64>,
+    /// Wall/virtual phase-timing breakdown of this selection (empty when
+    /// telemetry is disabled — purely observational, never modeled).
+    pub phase_ms: Vec<PhaseMs>,
 }
 
 /// A storage scheme the exploration loop can run on.
@@ -107,7 +86,19 @@ pub trait ExplorationBackend {
     /// Final result retrieval (Algorithm 2 line 26): row ids the model
     /// classifies positive, ascending, via a full pass over the dataset.
     fn retrieve_results(&mut self, model: &dyn Classifier) -> Result<Vec<u64>>;
+
+    /// The backend's session telemetry handle, when it has one. The
+    /// exploration session records its own phase spans (model refit, eval,
+    /// journal appends) through this; backends without telemetry (DBMS)
+    /// return `None` and the session runs uninstrumented.
+    fn telemetry(&self) -> Option<&SessionTelemetry> {
+        None
+    }
 }
+
+/// Chunk evictions within a single selection at or above this count are
+/// logged to the flight recorder as an eviction storm.
+const EVICTION_STORM_THRESHOLD: u64 = 32;
 
 /// Rows per block in final-result retrieval. Retrieval streams the dataset
 /// and scores it block-at-a-time through [`Classifier::predict_proba_batch`],
@@ -276,6 +267,8 @@ impl ExplorationBackend for UeiBackend {
         let degrade_before = self.index.degrade_counters();
         let rescore_before = self.index.rescore_counters();
         let shards_before = self.index.shards_touched();
+        let tel = self.index.telemetry().clone();
+        let phase_before = tel.phase_snapshot();
         match model.training_len() {
             // The labeled entries between the previous and current training
             // lengths are exactly the examples the model gained since the
@@ -325,6 +318,20 @@ impl ExplorationBackend for UeiBackend {
             self.index.background_io().map_or(0, |s| s.bytes_read) - bg_before;
         let degrade = self.index.degrade_counters().since(&degrade_before);
 
+        let iteration = labeled.len() as u64;
+        if degraded {
+            tel.event(FlightEventKind::DegradedIteration, iteration, || {
+                "every ranked candidate failed; selection served from resident pool U".to_string()
+            });
+        }
+        // A burst of evictions within one selection means the working set
+        // outgrew the cache — worth a flight-recorder breadcrumb.
+        if cache_delta.evictions >= EVICTION_STORM_THRESHOLD {
+            tel.event(FlightEventKind::EvictionStorm, iteration, || {
+                format!("{} chunk evictions in one selection", cache_delta.evictions)
+            });
+        }
+
         // Line 21: uncertainty sampling over U.
         let candidates = self.pool.candidates();
         let info = SelectionInfo {
@@ -332,19 +339,22 @@ impl ExplorationBackend for UeiBackend {
             region_rows,
             prefetched,
             pool_size: Some(candidates.len()),
-            cache_hits: cache_delta.hits,
-            cache_misses: cache_delta.misses,
-            cache_evictions: cache_delta.evictions,
-            cache_bypasses: cache_delta.bypasses,
-            prefetch_bytes_read,
-            retries: degrade.retries,
-            fallback_cells: degrade.fallback_cells,
-            degraded,
-            points_rescored: rescore.points_rescored,
-            shards_touched,
-            points_cached: rescore.points_cached,
+            counters: ObsCounters {
+                cache_hits: cache_delta.hits,
+                cache_misses: cache_delta.misses,
+                cache_evictions: cache_delta.evictions,
+                cache_bypasses: cache_delta.bypasses,
+                prefetch_bytes_read,
+                retries: degrade.retries,
+                fallback_cells: degrade.fallback_cells,
+                degraded,
+                points_rescored: rescore.points_rescored,
+                shards_touched,
+                points_cached: rescore.points_cached,
+            },
             recovered: false,
             examined: None,
+            phase_ms: tel.breakdown_since(&phase_before),
         };
         match self.strategy.select(model, &candidates) {
             Some(idx) => {
@@ -365,6 +375,10 @@ impl ExplorationBackend for UeiBackend {
         // output is already ascending without a final sort.
         let store = self.index.store();
         retrieve_streaming(model, |emit| store.scan_all(emit))
+    }
+
+    fn telemetry(&self) -> Option<&SessionTelemetry> {
+        Some(self.index.telemetry())
     }
 }
 

@@ -57,6 +57,13 @@ pub struct SessionSpec {
     /// after a crash; `None` runs without durability. Give every session
     /// its own empty directory.
     pub journal_dir: Option<PathBuf>,
+    /// Where the supervisor dumps a flight-recorder postmortem
+    /// (`postmortem-<cause>-<seed>.json`) when this session panics,
+    /// errors, is recovered, or completes with degraded iterations.
+    /// Requires the engine's telemetry to be enabled
+    /// (`UeiConfig::telemetry`); `None` — or disabled telemetry — skips
+    /// the dump. Dumps are best-effort and never fail the supervisor.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 /// What became of one supervised session.
@@ -216,16 +223,47 @@ fn supervise_one(
 ) -> SessionOutcome {
     match catch_unwind(AssertUnwindSafe(|| runner(engine, oracle, spec))) {
         Ok(Ok(result)) => {
+            if result.traces.iter().any(|t| t.counters.degraded) {
+                write_postmortem(
+                    engine,
+                    spec,
+                    "degraded",
+                    "session completed but served degraded iterations from the resident pool",
+                );
+            }
             SessionOutcome { result: Some(result), recovered: false, aborted: false, error: None }
         }
-        Ok(Err(e)) => attempt_recovery(engine, oracle, spec, format!("session failed: {e}")),
+        Ok(Err(e)) => {
+            attempt_recovery(engine, oracle, spec, "error", format!("session failed: {e}"))
+        }
         Err(payload) => attempt_recovery(
             engine,
             oracle,
             spec,
+            "panic",
             format!("session panicked: {}", panic_message(payload.as_ref())),
         ),
     }
+}
+
+/// Dumps the engine's flight-recorder ring to
+/// [`SessionSpec::postmortem_dir`] as a pretty-printed
+/// [`uei_obs::Postmortem`]. Best effort: disabled telemetry, a missing
+/// directory, or an I/O error silently skips the dump — a postmortem must
+/// never be a second way for a session to fail.
+fn write_postmortem(engine: &EngineCore, spec: &SessionSpec, cause: &str, reason: &str) {
+    let Some(dir) = &spec.postmortem_dir else { return };
+    let telemetry = engine.telemetry();
+    if !telemetry.enabled() {
+        return;
+    }
+    let postmortem = telemetry.postmortem(cause, reason);
+    let Ok(json) = serde_json::to_string_pretty(&postmortem) else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ =
+        std::fs::write(dir.join(format!("postmortem-{cause}-{}.json", spec.session.seed)), json);
 }
 
 /// Tries to resume a dead session from its journal; reports it aborted if
@@ -236,9 +274,11 @@ fn attempt_recovery(
     engine: &EngineCore,
     oracle: &Oracle,
     spec: &SessionSpec,
+    kind: &str,
     cause: String,
 ) -> SessionOutcome {
     if spec.journal_dir.is_none() {
+        write_postmortem(engine, spec, kind, &cause);
         return SessionOutcome {
             result: None,
             recovered: false,
@@ -248,16 +288,18 @@ fn attempt_recovery(
     }
     let error = match catch_unwind(AssertUnwindSafe(|| recover_one_session(engine, oracle, spec))) {
         Ok(Ok(result)) => {
+            write_postmortem(engine, spec, "recovered", &cause);
             return SessionOutcome {
                 result: Some(result),
                 recovered: true,
                 aborted: false,
                 error: Some(cause),
-            }
+            };
         }
         Ok(Err(e)) => format!("{cause}; recovery failed: {e}"),
         Err(payload) => format!("{cause}; recovery panicked: {}", panic_message(payload.as_ref())),
     };
+    write_postmortem(engine, spec, kind, &error);
     SessionOutcome { result: None, recovered: false, aborted: true, error: Some(error) }
 }
 
@@ -296,6 +338,9 @@ pub fn summarize_outcomes(outcomes: &[SessionOutcome]) -> RunSummary {
             shards_touched_per_run: 0.0,
             aborted_runs: 0,
             recovered_runs: 0,
+            p95_response_wall_ms: 0.0,
+            replayed_traces: 0,
+            phase_ms: Vec::new(),
         }
     } else {
         average_traces(&results)
@@ -352,6 +397,7 @@ mod tests {
                 sample_seed: 200 + i,
                 gamma: 150,
                 journal_dir: None,
+                postmortem_dir: None,
             })
             .collect();
 

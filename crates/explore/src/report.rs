@@ -6,9 +6,10 @@
 //! time across runs.
 
 use serde::{Deserialize, Serialize};
+use uei_obs::PhaseMs;
 use uei_types::stats::Welford;
 
-use crate::session::SessionResult;
+use crate::session::{IterationTrace, SessionResult};
 
 /// One averaged point of a figure: all runs' measurements at a given
 /// number of labeled examples.
@@ -100,6 +101,40 @@ pub struct RunSummary {
     /// [`IterationTrace::recovered`]: crate::session::IterationTrace::recovered
     #[serde(default)]
     pub recovered_runs: usize,
+    /// 95th-percentile wall-clock response time (ms), pooled over every
+    /// iteration *measured in-process* — traces restored verbatim by a
+    /// journal replay ([`IterationTrace::wall_ms_replayed`]) are excluded,
+    /// since their wall times belong to the crashed process. Zero when
+    /// every trace was replayed.
+    ///
+    /// [`IterationTrace::wall_ms_replayed`]: crate::session::IterationTrace::wall_ms_replayed
+    #[serde(default)]
+    pub p95_response_wall_ms: f64,
+    /// Traces excluded from wall-time percentile pooling because they were
+    /// restored from a journal rather than measured.
+    #[serde(default)]
+    pub replayed_traces: usize,
+    /// Telemetry phase-timing totals summed over every iteration of every
+    /// run (empty when telemetry was disabled). Observational only.
+    #[serde(default)]
+    pub phase_ms: Vec<PhaseMs>,
+}
+
+/// Sums per-iteration phase breakdowns into one total per phase,
+/// preserving first-seen phase order.
+fn pool_phase_ms<'a>(traces: impl Iterator<Item = &'a IterationTrace>) -> Vec<PhaseMs> {
+    let mut out: Vec<PhaseMs> = Vec::new();
+    for pm in traces.flat_map(|t| t.phase_ms.iter()) {
+        match out.iter_mut().find(|o| o.phase == pm.phase) {
+            Some(o) => {
+                o.wall_ms += pm.wall_ms;
+                o.virtual_ms += pm.virtual_ms;
+                o.count += pm.count;
+            }
+            None => out.push(pm.clone()),
+        }
+    }
+    out
 }
 
 /// Averages repeated sessions into one series.
@@ -131,10 +166,11 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
                 virt.push(t.response_virtual_ms);
                 wall.push(t.response_wall_ms);
                 bytes.push(t.bytes_read as f64);
-                evictions.push(t.cache_evictions as f64);
-                prefetch_bytes.push(t.prefetch_bytes_read as f64);
-                hits += t.cache_hits;
-                lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
+                evictions.push(t.counters.cache_evictions as f64);
+                prefetch_bytes.push(t.counters.prefetch_bytes_read as f64);
+                hits += t.counters.cache_hits;
+                lookups +=
+                    t.counters.cache_hits + t.counters.cache_misses + t.counters.cache_bypasses;
                 if let Some(fm) = t.f_measure {
                     f.push(fm);
                 }
@@ -176,17 +212,35 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
     let (mut points_rescored, mut points_cached) = (0u64, 0u64);
     let mut shards_touched = 0u64;
     for t in results.iter().flat_map(|r| r.traces.iter()) {
-        hits += t.cache_hits;
-        lookups += t.cache_hits + t.cache_misses + t.cache_bypasses;
-        evictions += t.cache_evictions;
-        prefetch_bytes += t.prefetch_bytes_read;
-        retries += t.retries;
-        fallback_cells += t.fallback_cells;
-        degraded += u64::from(t.degraded);
-        points_rescored += t.points_rescored;
-        points_cached += t.points_cached;
-        shards_touched += t.shards_touched;
+        hits += t.counters.cache_hits;
+        lookups += t.counters.cache_hits + t.counters.cache_misses + t.counters.cache_bypasses;
+        evictions += t.counters.cache_evictions;
+        prefetch_bytes += t.counters.prefetch_bytes_read;
+        retries += t.counters.retries;
+        fallback_cells += t.counters.fallback_cells;
+        degraded += u64::from(t.counters.degraded);
+        points_rescored += t.counters.points_rescored;
+        points_cached += t.counters.points_cached;
+        shards_touched += t.counters.shards_touched;
     }
+
+    // Wall-time percentiles pool only iterations measured in this process:
+    // replayed traces carry the crashed run's wall clock, which would skew
+    // a percentile that claims to describe live responsiveness.
+    let mut measured_wall: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.traces.iter())
+        .filter(|t| !t.wall_ms_replayed)
+        .map(|t| t.response_wall_ms)
+        .collect();
+    measured_wall.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p95_wall = if measured_wall.is_empty() {
+        0.0
+    } else {
+        uei_types::stats::percentile_sorted(&measured_wall, 95.0)
+    };
+    let replayed_traces =
+        results.iter().flat_map(|r| r.traces.iter()).filter(|t| t.wall_ms_replayed).count();
 
     RunSummary {
         backend,
@@ -207,6 +261,9 @@ pub fn average_traces(results: &[SessionResult]) -> RunSummary {
         shards_touched_per_run: shards_touched as f64 / results.len() as f64,
         aborted_runs: 0,
         recovered_runs: results.iter().filter(|r| r.traces.iter().any(|t| t.recovered)).count(),
+        p95_response_wall_ms: p95_wall,
+        replayed_traces,
+        phase_ms: pool_phase_ms(results.iter().flat_map(|r| r.traces.iter())),
     }
 }
 
@@ -220,6 +277,7 @@ pub fn labels_to_reach(summary: &RunSummary, f_threshold: f64) -> Option<usize> 
 mod tests {
     use super::*;
     use crate::session::IterationTrace;
+    use uei_obs::ObsCounters;
 
     fn trace(labels: usize, f: Option<f64>, virt: f64) -> IterationTrace {
         IterationTrace {
@@ -233,19 +291,11 @@ mod tests {
             label_positive: true,
             region_rows: None,
             prefetched: false,
-            cache_hits: 0,
-            cache_misses: 0,
-            cache_evictions: 0,
-            cache_bypasses: 0,
-            prefetch_bytes_read: 0,
-            retries: 0,
-            fallback_cells: 0,
-            degraded: false,
-            points_rescored: 0,
-            shards_touched: 0,
-            points_cached: 0,
+            counters: ObsCounters::default(),
             recovered: false,
             examined: None,
+            wall_ms_replayed: false,
+            phase_ms: Vec::new(),
         }
     }
 
@@ -309,17 +359,17 @@ mod tests {
     #[test]
     fn cache_metrics_are_aggregated() {
         let mut a = trace(2, None, 1.0);
-        a.cache_hits = 6;
-        a.cache_misses = 2;
-        a.cache_bypasses = 0;
-        a.cache_evictions = 1;
-        a.prefetch_bytes_read = 4096;
+        a.counters.cache_hits = 6;
+        a.counters.cache_misses = 2;
+        a.counters.cache_bypasses = 0;
+        a.counters.cache_evictions = 1;
+        a.counters.prefetch_bytes_read = 4096;
         let mut b = trace(2, None, 1.0);
-        b.cache_hits = 2;
-        b.cache_misses = 5;
-        b.cache_bypasses = 1;
-        b.cache_evictions = 3;
-        b.prefetch_bytes_read = 0;
+        b.counters.cache_hits = 2;
+        b.counters.cache_misses = 5;
+        b.counters.cache_bypasses = 1;
+        b.counters.cache_evictions = 3;
+        b.counters.prefetch_bytes_read = 0;
         let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
 
         // Pooled ratio: (6 + 2) hits over (8 + 8) lookups.
@@ -343,15 +393,17 @@ mod tests {
             "region_rows": null, "prefetched": false, "examined": null
         }"#;
         let t: IterationTrace = serde_json::from_str(old).unwrap();
-        assert_eq!(t.cache_hits, 0);
-        assert_eq!(t.cache_evictions, 0);
-        assert_eq!(t.prefetch_bytes_read, 0);
-        assert_eq!(t.retries, 0);
-        assert_eq!(t.fallback_cells, 0);
-        assert!(!t.degraded);
-        assert_eq!(t.points_rescored, 0);
-        assert_eq!(t.points_cached, 0);
-        assert_eq!(t.shards_touched, 0);
+        assert_eq!(t.counters.cache_hits, 0);
+        assert_eq!(t.counters.cache_evictions, 0);
+        assert_eq!(t.counters.prefetch_bytes_read, 0);
+        assert_eq!(t.counters.retries, 0);
+        assert_eq!(t.counters.fallback_cells, 0);
+        assert!(!t.counters.degraded);
+        assert_eq!(t.counters.points_rescored, 0);
+        assert_eq!(t.counters.points_cached, 0);
+        assert_eq!(t.counters.shards_touched, 0);
+        assert!(!t.wall_ms_replayed);
+        assert!(t.phase_ms.is_empty());
     }
 
     #[test]
@@ -384,9 +436,9 @@ mod tests {
     #[test]
     fn shard_counters_are_aggregated_per_run() {
         let mut a = trace(2, None, 1.0);
-        a.shards_touched = 8;
+        a.counters.shards_touched = 8;
         let mut b = trace(2, None, 1.0);
-        b.shards_touched = 1;
+        b.counters.shards_touched = 1;
         let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
         assert!((summary.shards_touched_per_run - 4.5).abs() < 1e-12);
     }
@@ -394,11 +446,11 @@ mod tests {
     #[test]
     fn rescore_counters_are_aggregated_per_run() {
         let mut a = trace(2, None, 1.0);
-        a.points_rescored = 100;
-        a.points_cached = 3025;
+        a.counters.points_rescored = 100;
+        a.counters.points_cached = 3025;
         let mut b = trace(2, None, 1.0);
-        b.points_rescored = 3125;
-        b.points_cached = 0;
+        b.counters.points_rescored = 3125;
+        b.counters.points_cached = 0;
         let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
         assert!((summary.points_rescored_per_run - 1612.5).abs() < 1e-12);
         assert!((summary.points_cached_per_run - 1512.5).abs() < 1e-12);
@@ -407,15 +459,48 @@ mod tests {
     #[test]
     fn fault_counters_are_aggregated_per_run() {
         let mut a = trace(2, None, 1.0);
-        a.retries = 3;
-        a.fallback_cells = 2;
-        a.degraded = true;
+        a.counters.retries = 3;
+        a.counters.fallback_cells = 2;
+        a.counters.degraded = true;
         let mut b = trace(2, None, 1.0);
-        b.retries = 1;
+        b.counters.retries = 1;
         let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
         assert!((summary.retries_per_run - 2.0).abs() < 1e-12);
         assert!((summary.fallback_cells_per_run - 1.0).abs() < 1e-12);
         assert!((summary.degraded_iterations_per_run - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replayed_traces_excluded_from_wall_percentiles() {
+        let mut traces: Vec<IterationTrace> = (0..10).map(|i| trace(i + 2, None, 1.0)).collect();
+        // Measured traces all have wall = 2.0; give replayed ones absurd
+        // wall times to prove they never reach the pool.
+        for t in traces.iter_mut().take(5) {
+            t.wall_ms_replayed = true;
+            t.response_wall_ms = 10_000.0;
+        }
+        let summary = average_traces(&[result(traces, 0.0)]);
+        assert_eq!(summary.replayed_traces, 5);
+        assert!((summary.p95_response_wall_ms - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_breakdowns_pool_across_runs() {
+        let mut a = trace(2, None, 1.0);
+        a.phase_ms =
+            vec![PhaseMs { phase: "rescore".into(), wall_ms: 1.0, virtual_ms: 2.0, count: 1 }];
+        let mut b = trace(2, None, 1.0);
+        b.phase_ms = vec![
+            PhaseMs { phase: "rescore".into(), wall_ms: 3.0, virtual_ms: 4.0, count: 2 },
+            PhaseMs { phase: "eval".into(), wall_ms: 0.5, virtual_ms: 0.0, count: 1 },
+        ];
+        let summary = average_traces(&[result(vec![a], 0.0), result(vec![b], 0.0)]);
+        assert_eq!(summary.phase_ms.len(), 2);
+        let rescore = summary.phase_ms.iter().find(|p| p.phase == "rescore").unwrap();
+        assert!((rescore.wall_ms - 4.0).abs() < 1e-12);
+        assert!((rescore.virtual_ms - 6.0).abs() < 1e-12);
+        assert_eq!(rescore.count, 3);
+        assert_eq!(summary.phase_ms.iter().find(|p| p.phase == "eval").unwrap().count, 1);
     }
 
     #[test]

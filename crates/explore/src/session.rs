@@ -48,6 +48,7 @@ use uei_learn::dataset::LabeledSet;
 use uei_learn::metrics::set_f_measure;
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::{Classifier, EstimatorKind, MinMaxScaler, ScaledClassifier};
+use uei_obs::{FlightEventKind, ObsCounters, Phase, PhaseMs, PhaseSnapshot};
 use uei_storage::journal::{JournalConfig, SessionJournal};
 use uei_storage::DiskTracker;
 use uei_types::{DataPoint, Label, Result, Rng, UeiError};
@@ -119,47 +120,13 @@ pub struct IterationTrace {
     pub region_rows: Option<usize>,
     /// UEI: whether the region came from the prefetcher.
     pub prefetched: bool,
-    /// UEI: chunk-cache hits during the iteration.
-    #[serde(default)]
-    pub cache_hits: u64,
-    /// UEI: chunk-cache misses during the iteration.
-    #[serde(default)]
-    pub cache_misses: u64,
-    /// UEI: chunk-cache evictions during the iteration.
-    #[serde(default)]
-    pub cache_evictions: u64,
-    /// UEI: oversized-chunk cache bypasses during the iteration.
-    #[serde(default)]
-    pub cache_bypasses: u64,
-    /// UEI: bytes read by the background prefetcher during the iteration
-    /// (modeled I/O attributed to the background tracker, never to the
-    /// foreground response time).
-    #[serde(default)]
-    pub prefetch_bytes_read: u64,
-    /// UEI: transient-storage-error retries absorbed during the iteration.
-    #[serde(default)]
-    pub retries: u64,
-    /// UEI: candidate ranks skipped past storage-faulted cells before a
-    /// region loaded (graceful degradation).
-    #[serde(default)]
-    pub fallback_cells: u64,
-    /// UEI: the iteration was served from the resident pool `U` because
-    /// every ranked candidate region failed with a storage fault.
-    #[serde(default)]
-    pub degraded: bool,
-    /// UEI: index points actually rescored this iteration (the dirty set
-    /// under incremental rescoring; all of them under full rescoring).
-    #[serde(default)]
-    pub points_rescored: u64,
-    /// UEI: index-plane shards whose scores were touched this iteration —
-    /// every shard on a full rescoring pass, only the dirty shards under
-    /// incremental rescoring.
-    #[serde(default)]
-    pub shards_touched: u64,
-    /// UEI: index points served verbatim from the per-session score cache
-    /// this iteration.
-    #[serde(default)]
-    pub points_cached: u64,
+    /// The modeled observability counters of this iteration (chunk-cache
+    /// traffic, prefetch bytes, the degradation ladder, rescoring work).
+    /// Flattened: the JSON keys are exactly the historical loose fields
+    /// (`cache_hits`, …, `points_cached`), so pre-consolidation traces
+    /// parse unchanged and new traces serialize byte-identically.
+    #[serde(flatten)]
+    pub counters: ObsCounters,
     /// The iteration ran in a session resumed from its journal after a
     /// crash (replayed iterations keep the original `false`; only
     /// iterations executed *after* recovery are marked).
@@ -167,6 +134,17 @@ pub struct IterationTrace {
     pub recovered: bool,
     /// DBMS: tuples examined by the exhaustive scan, if applicable.
     pub examined: Option<u64>,
+    /// The wall-clock fields of this trace were restored verbatim from a
+    /// journal replay, not measured in this process — percentile pooling
+    /// over wall times must exclude such traces. Modeled (virtual) fields
+    /// are replay-exact and stay poolable.
+    #[serde(default)]
+    pub wall_ms_replayed: bool,
+    /// Optional telemetry phase breakdown of the iteration (empty when
+    /// telemetry is disabled). Purely observational — never part of the
+    /// modeled counters above.
+    #[serde(default)]
+    pub phase_ms: Vec<PhaseMs>,
 }
 
 /// Everything about a session that must match between the run that wrote
@@ -338,6 +316,12 @@ pub struct ExplorationSession<'a> {
     /// Set by [`ExplorationSession::recover`]: iterations executed from
     /// here on are stamped [`IterationTrace::recovered`].
     recovered: bool,
+    /// Telemetry window mark: where the previous iteration's phase
+    /// breakdown ended. Each trace's `phase_ms` covers mark→end-of-eval,
+    /// so post-trace journal appends land in the *next* iteration's
+    /// breakdown (the alternative — a second snapshot after the append —
+    /// would put the append outside every window).
+    phase_mark: Option<PhaseSnapshot>,
 }
 
 impl<'a> ExplorationSession<'a> {
@@ -351,7 +335,15 @@ impl<'a> ExplorationSession<'a> {
         config: SessionConfig,
         tracker: DiskTracker,
     ) -> ExplorationSession<'a> {
-        ExplorationSession { backend, oracle, config, tracker, journal: None, recovered: false }
+        ExplorationSession {
+            backend,
+            oracle,
+            config,
+            tracker,
+            journal: None,
+            recovered: false,
+            phase_mark: None,
+        }
     }
 
     /// Attaches a fresh write-ahead journal rooted at `dir` (which must
@@ -436,6 +428,11 @@ impl<'a> ExplorationSession<'a> {
     pub fn step(&mut self, state: &mut SessionState) -> Result<bool> {
         state.iteration += 1;
         let labels_at_train = state.labeled.len();
+        // Inert (zero-alloc, no clock reads) when telemetry is disabled or
+        // the backend has none; spans only *read* clocks, never charge
+        // them, so modeled traces are bit-identical either way.
+        let tel = self.backend.telemetry().cloned().unwrap_or_default();
+        let phase_mark = self.phase_mark.take().unwrap_or_else(|| tel.phase_snapshot());
 
         let wall_start = Instant::now();
         let io_before = self.tracker.snapshot();
@@ -445,6 +442,7 @@ impl<'a> ExplorationSession<'a> {
         if state.model.is_none()
             || state.labeled.len() - state.labels_at_last_train >= self.config.batch_size
         {
+            let _span = tel.span(Phase::ModelRefit);
             state.model = Some(ScaledClassifier::train(
                 self.config.estimator,
                 state.scaler.clone(),
@@ -476,11 +474,18 @@ impl<'a> ExplorationSession<'a> {
             && (state.iteration.is_multiple_of(self.config.eval_every)
                 || state.labeled.len() >= self.config.max_labels)
         {
+            let _span = tel.span(Phase::Eval);
             let model = state.model.as_ref().expect("trained above");
             Some(estimate_f(model, &state.eval_points, &state.eval_truth))
         } else {
             None
         };
+
+        // The iteration's phase window closes here: the journal append
+        // below is recorded under its own span but lands in the *next*
+        // iteration's breakdown (see `phase_mark`).
+        let phase_ms = tel.breakdown_since(&phase_mark);
+        self.phase_mark = Some(tel.phase_snapshot());
 
         state.traces.push(IterationTrace {
             iteration: state.iteration,
@@ -493,23 +498,35 @@ impl<'a> ExplorationSession<'a> {
             label_positive: label.is_positive(),
             region_rows: info.region_rows,
             prefetched: info.prefetched,
-            cache_hits: info.cache_hits,
-            cache_misses: info.cache_misses,
-            cache_evictions: info.cache_evictions,
-            cache_bypasses: info.cache_bypasses,
-            prefetch_bytes_read: info.prefetch_bytes_read,
-            retries: info.retries,
-            fallback_cells: info.fallback_cells,
-            degraded: info.degraded,
-            points_rescored: info.points_rescored,
-            shards_touched: info.shards_touched,
-            points_cached: info.points_cached,
+            counters: info.counters,
             recovered: info.recovered,
             examined: info.examined,
+            wall_ms_replayed: false,
+            phase_ms,
         });
         // Journal the acknowledged label — outside the measured window
         // above, so journaling never perturbs the iteration's trace.
-        self.journal_iteration(state, &point, label)?;
+        let journal_seqs = self.journal.as_ref().map(|j| (j.segment_seq(), j.snapshot_seq()));
+        {
+            let _span = tel.span(Phase::JournalAppend);
+            self.journal_iteration(state, &point, label)?;
+        }
+        if let (Some((seg_before, snap_before)), Some(journal)) =
+            (journal_seqs, self.journal.as_ref())
+        {
+            let iteration = state.iteration as u64;
+            let (seg, snap) = (journal.segment_seq(), journal.snapshot_seq());
+            if seg > seg_before {
+                tel.event(FlightEventKind::JournalRotation, iteration, || {
+                    format!("journal segment rotated to seq {seg}")
+                });
+            }
+            if snap > snap_before {
+                tel.event(FlightEventKind::JournalSnapshot, iteration, || {
+                    format!("session snapshot published at seq {snap}")
+                });
+            }
+        }
         Ok(true)
     }
 
@@ -589,6 +606,7 @@ impl<'a> ExplorationSession<'a> {
             tracker,
             journal: Some(journal),
             recovered: true,
+            phase_mark: None,
         };
         let state = session.replay(contents)?;
         Ok((session, state))
@@ -727,7 +745,7 @@ impl<'a> ExplorationSession<'a> {
         // Replay every journaled iteration: retrain-if-due + select_next
         // exactly as `step` would, but take the label and trace from the
         // journal instead of re-estimating.
-        for (entry, trace) in labels {
+        for (entry, mut trace) in labels {
             state.iteration += 1;
             if state.model.is_none()
                 || state.labeled.len() - state.labels_at_last_train >= self.config.batch_size
@@ -764,6 +782,11 @@ impl<'a> ExplorationSession<'a> {
             }
             state.labeled.add(point.clone(), label)?;
             self.backend.mark_labeled(point.id);
+            // The restored wall-clock figures were measured by the crashed
+            // process, not this one: mark them so wall-time percentile
+            // pooling can exclude replayed traces. Modeled fields stay
+            // replay-exact and unmarked.
+            trace.wall_ms_replayed = true;
             state.traces.push(trace);
         }
         Ok(state)
@@ -933,7 +956,7 @@ mod tests {
         // the region loads.
         assert!(result.traces.iter().all(|t| t.region_rows.is_some()));
         assert!(
-            result.traces.iter().any(|t| t.cache_hits + t.cache_misses > 0),
+            result.traces.iter().any(|t| t.counters.cache_hits + t.counters.cache_misses > 0),
             "region loads must register chunk-cache lookups"
         );
         std::fs::remove_dir_all(&dir).unwrap();

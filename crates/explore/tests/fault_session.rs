@@ -80,16 +80,16 @@ fn fifty_iterations_survive_transient_and_corrupt_faults() {
     assert!(stats.transient_errors > 0, "injector fired transients: {stats:?}");
     assert!(stats.corruptions > 0, "injector corrupted payloads: {stats:?}");
 
-    let retries: u64 = result.traces.iter().map(|t| t.retries).sum();
-    let fallbacks: u64 = result.traces.iter().map(|t| t.fallback_cells).sum();
-    let degraded = result.traces.iter().filter(|t| t.degraded).count();
+    let retries: u64 = result.traces.iter().map(|t| t.counters.retries).sum();
+    let fallbacks: u64 = result.traces.iter().map(|t| t.counters.fallback_cells).sum();
+    let degraded = result.traces.iter().filter(|t| t.counters.degraded).count();
     assert!(retries > 0, "some transient faults were absorbed by retries");
     assert!(fallbacks > 0, "some iterations fell through to lower-ranked cells");
     assert!(degraded > 0, "at least one iteration was served from the pool");
 
     // Degraded iterations still produced labels and traces like any other.
     for t in &result.traces {
-        if t.degraded {
+        if t.counters.degraded {
             assert!(t.region_rows.is_none(), "no region was loaded when degraded");
         } else {
             assert!(t.region_rows.is_some());
@@ -130,7 +130,7 @@ fn clean_session_reports_zero_fault_counters() {
         ..SessionConfig::default()
     };
     let result = ExplorationSession::new(&mut backend, &oracle, config, tracker).run().unwrap();
-    assert!(result.traces.iter().all(|t| t.retries == 0));
-    assert!(result.traces.iter().all(|t| t.fallback_cells == 0));
-    assert!(result.traces.iter().all(|t| !t.degraded));
+    assert!(result.traces.iter().all(|t| t.counters.retries == 0));
+    assert!(result.traces.iter().all(|t| t.counters.fallback_cells == 0));
+    assert!(result.traces.iter().all(|t| !t.counters.degraded));
 }

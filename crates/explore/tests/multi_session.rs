@@ -64,6 +64,7 @@ fn specs() -> Vec<SessionSpec> {
             sample_seed: 2000 + i,
             gamma: 150,
             journal_dir: None,
+            postmortem_dir: None,
         })
         .collect()
 }
@@ -84,14 +85,14 @@ fn modeled_fields(t: &IterationTrace) -> impl std::fmt::Debug + PartialEq {
         (
             t.region_rows,
             t.prefetched,
-            t.cache_hits,
-            t.cache_misses,
-            t.cache_evictions,
-            t.cache_bypasses,
-            t.prefetch_bytes_read,
-            t.retries,
-            t.fallback_cells,
-            t.degraded,
+            t.counters.cache_hits,
+            t.counters.cache_misses,
+            t.counters.cache_evictions,
+            t.counters.cache_bypasses,
+            t.counters.prefetch_bytes_read,
+            t.counters.retries,
+            t.counters.fallback_cells,
+            t.counters.degraded,
             t.examined,
         ),
     )

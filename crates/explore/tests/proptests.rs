@@ -246,7 +246,7 @@ mod incremental_vs_full {
                     it
                 );
                 prop_assert_eq!(
-                    ib.points_cached,
+                    ib.counters.points_cached,
                     0,
                     "{}: full mode must never serve cached scores",
                     name
@@ -317,7 +317,7 @@ mod shard_invariance {
     fn canon(t: &IterationTrace) -> String {
         let mut t = t.clone();
         t.response_wall_ms = 0.0;
-        t.shards_touched = 0;
+        t.counters.shards_touched = 0;
         serde_json::to_string(&t).expect("traces serialize")
     }
 

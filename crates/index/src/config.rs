@@ -1,5 +1,6 @@
 //! UEI configuration.
 
+use uei_obs::TelemetryConfig;
 use uei_storage::fault::RetryPolicy;
 use uei_storage::journal::JournalConfig;
 use uei_types::{Result, UeiError};
@@ -112,6 +113,11 @@ pub struct UeiConfig {
     /// default) sizes the shard count automatically from the cell count;
     /// explicit values are clamped to `[1, num_cells]`.
     pub shards: usize,
+    /// Telemetry gate (DESIGN.md §15): phase spans, the metrics registry,
+    /// and the per-session flight recorder. Off by default; modeled
+    /// counters and traces are bit-identical either way — telemetry only
+    /// *reads* the virtual clock, never charges it.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for UeiConfig {
@@ -134,6 +140,7 @@ impl Default for UeiConfig {
             full_rescore_every: 50,
             journal: JournalConfig::default(),
             shards: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -184,6 +191,7 @@ impl UeiConfig {
         }
         self.retry.validate()?;
         self.journal.validate()?;
+        self.telemetry.validate()?;
         Ok(())
     }
 
@@ -249,6 +257,12 @@ mod tests {
 
         let c = UeiConfig {
             journal: JournalConfig { segment_bytes: 0, ..JournalConfig::default() },
+            ..UeiConfig::default()
+        };
+        assert!(c.validate(5).is_err());
+
+        let c = UeiConfig {
+            telemetry: TelemetryConfig { enabled: true, flight_capacity: 0 },
             ..UeiConfig::default()
         };
         assert!(c.validate(5).is_err());

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use uei_learn::strategy::UncertaintyMeasure;
+use uei_obs::EngineTelemetry;
 use uei_storage::cache::{CacheStats, SessionChunkView, SharedChunkCache};
 use uei_storage::io::DiskTracker;
 use uei_storage::source::ChunkSource;
@@ -69,6 +70,10 @@ pub struct EngineCore {
     config: UeiConfig,
     measure: UncertaintyMeasure,
     sessions_opened: AtomicU64,
+    /// Engine-wide telemetry: one metrics registry shared by every
+    /// session handle plus the per-session flight recorders. Inert (and
+    /// near-free) unless [`UeiConfig::telemetry`] enables it.
+    telemetry: Arc<EngineTelemetry>,
 }
 
 impl std::fmt::Debug for EngineCore {
@@ -106,6 +111,7 @@ impl EngineCore {
         let cache = config.shared_cache.then(|| {
             Arc::new(SharedChunkCache::new(config.chunk_cache_bytes, config.cache_shards))
         });
+        let telemetry = Arc::new(EngineTelemetry::new(config.telemetry));
         Ok(EngineCore {
             store,
             physical,
@@ -116,6 +122,7 @@ impl EngineCore {
             config,
             measure,
             sessions_opened: AtomicU64::new(0),
+            telemetry,
         })
     }
 
@@ -163,6 +170,10 @@ impl EngineCore {
             None
         };
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        // The session's telemetry reads (never charges) the session's own
+        // virtual clock, so dual-duration spans stay per-session exact.
+        let telemetry =
+            self.telemetry.open_session(Some(session_store.tracker().as_virtual_clock()));
         Ok(UeiIndex::from_parts(
             session_store,
             Arc::clone(&self.grid),
@@ -175,6 +186,7 @@ impl EngineCore {
             None,
             self.config.clone(),
             self.measure,
+            telemetry,
         ))
     }
 
@@ -223,6 +235,13 @@ impl EngineCore {
     /// How many sessions have been opened over this core so far.
     pub fn sessions_opened(&self) -> u64 {
         self.sessions_opened.load(Ordering::Relaxed)
+    }
+
+    /// The engine-wide telemetry hub: metrics registry, per-session phase
+    /// breakdowns, and the merged flight-recorder view that
+    /// [`EngineTelemetry::postmortem`] dumps.
+    pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.telemetry
     }
 }
 

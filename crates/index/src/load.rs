@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use uei_obs::{FlightEventKind, Phase, SessionTelemetry};
 use uei_storage::merge::MergeStats;
 use uei_types::{DataPoint, Result};
 
@@ -65,6 +66,9 @@ pub struct RegionFetcher {
     sigma_deadline_misses: u64,
     /// Iterations where every ranked candidate failed.
     failed_selections: u64,
+    /// Phase spans + flight events for the select/load path (inert when
+    /// telemetry is disabled).
+    telemetry: SessionTelemetry,
 }
 
 impl RegionFetcher {
@@ -78,7 +82,14 @@ impl RegionFetcher {
             fallback_cells: 0,
             sigma_deadline_misses: 0,
             failed_selections: 0,
+            telemetry: SessionTelemetry::disabled(),
         }
+    }
+
+    /// Installs the session's telemetry handle here and on the loader.
+    pub fn set_telemetry(&mut self, telemetry: SessionTelemetry) {
+        self.loader.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Picks the most uncertain cell from `points` and loads its subspace,
@@ -106,7 +117,10 @@ impl RegionFetcher {
         points: &mut IndexPoints,
     ) -> Result<RegionLoad> {
         let want = config.fallback_candidates.min(points.len());
-        let candidates = points.ranked_top_cached(want)?;
+        let candidates = {
+            let _span = self.telemetry.span(Phase::ShardSelect);
+            points.ranked_top_cached(want)?
+        };
         let cell = candidates[0];
         if config.defer_swaps {
             if let Some(last) = self.last_cell {
@@ -117,6 +131,11 @@ impl RegionFetcher {
                         // Defer: the last-served region stays current; the
                         // caller already holds its rows, so no I/O at all.
                         self.deferred_swaps += 1;
+                        self.telemetry.event(
+                            FlightEventKind::DeferredSwap,
+                            self.loader.loads(),
+                            || format!("swap to cell {cell} deferred (τ = {tau:.3}s); cell {last} retained"),
+                        );
                         self.queue_prefetches(config, points, last)?;
                         return Ok(RegionLoad {
                             cell: last,
@@ -149,14 +168,33 @@ impl RegionFetcher {
             };
             load.fallback_rank = rank as u64;
             self.fallback_cells += rank as u64;
+            if rank > 0 {
+                self.telemetry.event(FlightEventKind::Fallback, self.loader.loads(), || {
+                    format!("cell {candidate} served at fallback rank {rank}")
+                });
+            }
             if load.stats.virtual_time.as_secs_f64() > config.latency_threshold_secs {
                 self.sigma_deadline_misses += 1;
+                self.telemetry.event(
+                    FlightEventKind::SigmaDeadlineMiss,
+                    self.loader.loads(),
+                    || {
+                        format!(
+                            "cell {candidate} load took {:.3}s > σ = {:.3}s",
+                            load.stats.virtual_time.as_secs_f64(),
+                            config.latency_threshold_secs
+                        )
+                    },
+                );
             }
             self.last_cell = Some(candidate);
             self.queue_prefetches(config, points, candidate)?;
             return Ok(load);
         }
         self.failed_selections += 1;
+        self.telemetry.event(FlightEventKind::Fallback, self.loader.loads(), || {
+            format!("selection exhausted: all {} ranked candidates failed", candidates.len())
+        });
         Err(last_err.unwrap_or_else(|| {
             uei_types::UeiError::invalid_state("no candidate cells to select from")
         }))
@@ -216,7 +254,10 @@ impl RegionFetcher {
         let theta = horizon(tau, config.latency_threshold_secs);
         // The likely next regions are the runners-up of the current
         // ranking (the boundary moves slowly between iterations).
-        let top = points.ranked_top_cached((theta + 1).min(points.len()))?;
+        let top = {
+            let _span = self.telemetry.span(Phase::ShardSelect);
+            points.ranked_top_cached((theta + 1).min(points.len()))?
+        };
         for cell in top {
             if cell != just_loaded {
                 pre.request(cell);

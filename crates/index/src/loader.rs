@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use uei_obs::{FlightEventKind, Phase, SessionTelemetry};
 use uei_storage::cache::{CacheStats, ChunkCache, SessionChunkView, SharedChunkCache};
 use uei_storage::fault::RetryPolicy;
 use uei_storage::merge::{
@@ -64,6 +65,9 @@ pub struct RegionLoader {
     recent_load: Ewma,
     retry: RetryPolicy,
     total_retries: u64,
+    /// Region-load / chunk-merge spans and retry flight events (inert
+    /// when telemetry is disabled).
+    telemetry: SessionTelemetry,
 }
 
 impl std::fmt::Debug for RegionLoader {
@@ -90,6 +94,7 @@ impl RegionLoader {
             recent_load: Ewma::default(),
             retry: RetryPolicy::default(),
             total_retries: 0,
+            telemetry: SessionTelemetry::disabled(),
         }
     }
 
@@ -109,6 +114,7 @@ impl RegionLoader {
             recent_load: Ewma::default(),
             retry: RetryPolicy::default(),
             total_retries: 0,
+            telemetry: SessionTelemetry::disabled(),
         }
     }
 
@@ -130,7 +136,13 @@ impl RegionLoader {
             recent_load: Ewma::default(),
             retry: RetryPolicy::default(),
             total_retries: 0,
+            telemetry: SessionTelemetry::disabled(),
         }
+    }
+
+    /// Installs the session's telemetry handle (disabled by default).
+    pub fn set_telemetry(&mut self, telemetry: SessionTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Sets the retry policy used for transient read failures during loads.
@@ -214,6 +226,7 @@ impl RegionLoader {
         mapping: &ChunkMapping,
         id: CellId,
     ) -> Result<(Vec<DataPoint>, LoadStats)> {
+        let _load_span = self.telemetry.span(Phase::RegionLoad);
         let region = grid.cell_region(id)?;
         let chunks = mapping.chunks_for_cell(grid, id)?;
         let wall_start = Instant::now();
@@ -229,6 +242,7 @@ impl RegionLoader {
         let policy = self.retry;
         let delta = self.delta;
         let source = self.source.as_ref();
+        let tel = self.telemetry.clone();
         let cache = &mut self.cache;
         // Transient read errors (flaky device, injected fault) are retried
         // with backoff charged to the virtual clock; corruption and hard
@@ -236,6 +250,8 @@ impl RegionLoader {
         // ladder. Reconstruction has no partial side effects — the merge
         // table is rebuilt per attempt — so a retry is a clean re-run.
         let ((rows, merge, set), retries) = policy.run(source.tracker(), || {
+            // One merge span per attempt: retried merges each count.
+            let _merge_span = tel.span(Phase::ChunkMerge);
             let fetch = match cache {
                 LoaderCache::Local(c) => ChunkFetch::Cached(c),
                 LoaderCache::Shared(c) => ChunkFetch::Shared(c),
@@ -255,6 +271,11 @@ impl RegionLoader {
             self.prev = set;
         }
         self.total_retries += retries;
+        if retries > 0 {
+            self.telemetry.event(FlightEventKind::Retry, self.load_times.count(), || {
+                format!("cell {id} needed {retries} transient-fault retries")
+            });
+        }
         let virtual_time = self.source.tracker().delta(&io_before).virtual_elapsed;
         let wall_time = wall_start.elapsed();
         self.load_times.push(virtual_time.as_secs_f64());

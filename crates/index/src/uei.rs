@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use uei_learn::strategy::UncertaintyMeasure;
 use uei_learn::Classifier;
+use uei_obs::{FlightEventKind, Phase, SessionTelemetry};
 use uei_storage::cache::SharedChunkCache;
 use uei_storage::io::IoStats;
 use uei_storage::merge::MergeStats;
@@ -55,6 +56,13 @@ pub struct UeiIndex {
     measure: UncertaintyMeasure,
     /// Cumulative rescoring work (model-scored vs cache-served points).
     rescore_stats: RescoreStats,
+    /// Phase spans + flight recorder for this session; inert unless
+    /// [`UeiConfig::telemetry`] enables it. Only ever *reads* the virtual
+    /// clock, so modeled traces stay bit-identical either way.
+    telemetry: SessionTelemetry,
+    /// Rescoring passes so far — the iteration stamp on rescore-side
+    /// flight events.
+    rescore_passes: u64,
 }
 
 impl UeiIndex {
@@ -103,16 +111,24 @@ impl UeiIndex {
         } else {
             None
         };
+        let telemetry = SessionTelemetry::standalone(
+            config.telemetry,
+            Some(store.tracker().as_virtual_clock()),
+        );
+        let mut fetcher = RegionFetcher::new(loader, prefetcher);
+        fetcher.set_telemetry(telemetry.clone());
         Ok(UeiIndex {
             store,
             grid,
             mapping,
             points,
-            fetcher: RegionFetcher::new(loader, prefetcher),
+            fetcher,
             shared_cache,
             config,
             measure,
             rescore_stats: RescoreStats::default(),
+            telemetry,
+            rescore_passes: 0,
         })
     }
 
@@ -136,17 +152,22 @@ impl UeiIndex {
         shared_cache: Option<Arc<SharedChunkCache>>,
         config: UeiConfig,
         measure: UncertaintyMeasure,
+        telemetry: SessionTelemetry,
     ) -> UeiIndex {
+        let mut fetcher = RegionFetcher::new(loader, prefetcher);
+        fetcher.set_telemetry(telemetry.clone());
         UeiIndex {
             store,
             grid,
             mapping,
             points,
-            fetcher: RegionFetcher::new(loader, prefetcher),
+            fetcher,
             shared_cache,
             config,
             measure,
             rescore_stats: RescoreStats::default(),
+            telemetry,
+            rescore_passes: 0,
         }
     }
 
@@ -193,6 +214,8 @@ impl UeiIndex {
     /// than the model — the ranking that justified them is gone; keeping
     /// them would serve regions chosen by a stale boundary.
     pub fn update_uncertainty(&mut self, model: &dyn Classifier) {
+        let _span = self.telemetry.span(Phase::Rescore);
+        self.rescore_passes += 1;
         let stats = if !self.config.parallel {
             self.points.update_sequential(model, self.measure);
             RescoreStats { points_rescored: self.points.len() as u64, points_cached: 0 }
@@ -224,6 +247,9 @@ impl UeiIndex {
             self.update_uncertainty(model);
             return;
         }
+        let _span = self.telemetry.span(Phase::Rescore);
+        self.rescore_passes += 1;
+        let pruned_before = self.points.shards_pruned();
         let stats = self.points.update_incremental(
             model,
             self.measure,
@@ -232,6 +258,12 @@ impl UeiIndex {
             self.config.full_rescore_every,
         );
         self.rescore_stats.accumulate(stats);
+        let pruned = self.points.shards_pruned() - pruned_before;
+        if pruned > 0 {
+            self.telemetry.event(FlightEventKind::ShardPrune, self.rescore_passes, || {
+                format!("{pruned} shards pruned, {} points served from cache", stats.points_cached)
+            });
+        }
     }
 
     /// Cumulative rescoring work counters: how many index points were
@@ -247,6 +279,13 @@ impl UeiIndex {
     /// and subtract for per-iteration deltas.
     pub fn shards_touched(&self) -> u64 {
         self.points.shards_touched()
+    }
+
+    /// This session's telemetry handle: phase spans, flight events, and
+    /// (when engine-opened) the shared metrics registry. Disabled-mode
+    /// handles are inert and free to clone.
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        &self.telemetry
     }
 
     /// Picks the most uncertain cell and loads its subspace (Algorithm 2

@@ -1,0 +1,113 @@
+//! [`ObsCounters`]: the per-iteration counter block shared by
+//! `SelectionInfo`, `IterationTrace`, and the report aggregation.
+//!
+//! Before this struct existed, every counter was threaded field-by-field
+//! through `backend.rs` → `session.rs` → `report.rs` — four edits per new
+//! counter. It is `#[serde(flatten)]`-ed into `IterationTrace` at exactly
+//! the position the loose fields used to occupy, so pre-existing trace
+//! JSON (including pre-shard fixtures without the newer fields) parses
+//! unchanged and serializes byte-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration observability counters, all modeled (deterministic)
+/// quantities. Field order is serialization order — do not reorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsCounters {
+    /// Chunk-cache hits during the iteration.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Chunk-cache misses during the iteration.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Chunk-cache evictions during the iteration.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Oversized chunks that bypassed the cache.
+    #[serde(default)]
+    pub cache_bypasses: u64,
+    /// Bytes the background prefetcher read during the iteration.
+    #[serde(default)]
+    pub prefetch_bytes_read: u64,
+    /// Transient-fault retries absorbed by the loader.
+    #[serde(default)]
+    pub retries: u64,
+    /// Candidate ranks skipped past failed cells (fallback ladder).
+    #[serde(default)]
+    pub fallback_cells: u64,
+    /// Whether the iteration ran degraded (retries or fallbacks fired).
+    #[serde(default)]
+    pub degraded: bool,
+    /// Index points rescored this iteration.
+    #[serde(default)]
+    pub points_rescored: u64,
+    /// Index-plane shards the rescore pass touched.
+    #[serde(default)]
+    pub shards_touched: u64,
+    /// Index points served from the incremental-rescore cache.
+    #[serde(default)]
+    pub points_cached: u64,
+}
+
+impl ObsCounters {
+    /// Adds `other` into `self` (used by per-run report sums).
+    pub fn accumulate(&mut self, other: &ObsCounters) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_bypasses += other.cache_bypasses;
+        self.prefetch_bytes_read += other.prefetch_bytes_read;
+        self.retries += other.retries;
+        self.fallback_cells += other.fallback_cells;
+        self.degraded |= other.degraded;
+        self.points_rescored += other.points_rescored;
+        self.shards_touched += other.shards_touched;
+        self.points_cached += other.points_cached;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_in_the_legacy_trace_field_order() {
+        let json = serde_json::to_string(&ObsCounters::default()).unwrap();
+        let keys: Vec<&str> = json.split('"').skip(1).step_by(2).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "cache_hits",
+                "cache_misses",
+                "cache_evictions",
+                "cache_bypasses",
+                "prefetch_bytes_read",
+                "retries",
+                "fallback_cells",
+                "degraded",
+                "points_rescored",
+                "shards_touched",
+                "points_cached"
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_fields_default_on_deserialize() {
+        let partial = r#"{"cache_hits": 3, "retries": 1}"#;
+        let c: ObsCounters = serde_json::from_str(partial).unwrap();
+        assert_eq!(c.cache_hits, 3);
+        assert_eq!(c.retries, 1);
+        assert_eq!(c.points_rescored, 0);
+        assert!(!c.degraded);
+    }
+
+    #[test]
+    fn accumulate_sums_and_ors() {
+        let mut a = ObsCounters { cache_hits: 1, degraded: false, ..ObsCounters::default() };
+        let b = ObsCounters { cache_hits: 2, degraded: true, ..ObsCounters::default() };
+        a.accumulate(&b);
+        assert_eq!(a.cache_hits, 3);
+        assert!(a.degraded);
+    }
+}

@@ -1,0 +1,519 @@
+//! The metrics registry: atomic counters, gauges, and log₂-bucket
+//! histograms with two exporters (Prometheus text, diffable JSON).
+//!
+//! All instruments are lock-free on the record path (relaxed atomics;
+//! per-instrument totals are exact, cross-instrument consistency is
+//! best-effort as in every metrics system). Histograms use fixed
+//! power-of-two buckets, so a quantile read from bucket counts is an
+//! upper bound within a factor of two of the exact sample quantile, and
+//! merging two histograms is a bucket-wise add — associative and
+//! commutative, which lets per-session histograms fold into engine-wide
+//! ones without coordination.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds `2^(i-1) ..= 2^i - 1`, and the last bucket absorbs the tail.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 { 0 } else { (u64::BITS - v.leading_zeros()) as usize }.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the tail bucket).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The `p`-th percentile (upper bucket bound) derived from bucket counts.
+///
+/// For a non-empty histogram the estimate `e` of the exact sample
+/// quantile `q` satisfies `q <= e <= 2 * max(q, 1)`: the rank-selected
+/// bucket contains the exact quantile sample, and every value in bucket
+/// `i ≥ 1` is at least half the bucket's upper bound.
+pub fn percentile_from_buckets(buckets: &[u64], p: f64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+    let rank = rank.min(count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A fixed-bucket log₂ histogram of `u64` samples.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The exact maximum sample seen.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `p`-th percentile from bucket counts, clamped to the exact
+    /// maximum (see [`percentile_from_buckets`] for the error bound).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let buckets = self.bucket_counts();
+        percentile_from_buckets(&buckets, p).min(self.max())
+    }
+
+    /// Folds `other` into `self` (bucket-wise add; associative and
+    /// commutative up to the relaxed-ordering caveat above).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// The raw bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    fn sample(&self, name: &str) -> HistogramSample {
+        let mut buckets = self.bucket_counts();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let max = self.max();
+        HistogramSample {
+            name: name.to_string(),
+            count: self.count(),
+            sum: self.sum(),
+            max,
+            p50: percentile_from_buckets(&buckets, 50.0).min(max),
+            p95: percentile_from_buckets(&buckets, 95.0).min(max),
+            p99: percentile_from_buckets(&buckets, 99.0).min(max),
+            buckets,
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Counter total at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram in a [`MetricsSnapshot`]. `buckets[i]` is the count of
+/// log₂ bucket `i` (trailing empty buckets trimmed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Median (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound, clamped to `max`).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound, clamped to `max`).
+    pub p99: u64,
+    /// Per-bucket counts, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time export of a [`MetricsRegistry`], sorted by metric name
+/// so serialization is deterministic; diffable between iterations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    #[serde(default)]
+    pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by name.
+    #[serde(default)]
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, sorted by name.
+    #[serde(default)]
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// The change since `earlier`: counters and histogram buckets are
+    /// subtracted (metrics absent earlier keep their full value), gauges
+    /// and histogram maxima keep the current reading (a max cannot be
+    /// un-seen), and histogram percentiles are recomputed from the
+    /// subtracted buckets.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                let before =
+                    earlier.counters.iter().find(|e| e.name == c.name).map_or(0, |e| e.value);
+                CounterSample { name: c.name.clone(), value: c.value.saturating_sub(before) }
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let empty: &[u64] = &[];
+                let before = earlier
+                    .histograms
+                    .iter()
+                    .find(|e| e.name == h.name)
+                    .map_or(empty, |e| e.buckets.as_slice());
+                let mut buckets: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b.saturating_sub(before.get(i).copied().unwrap_or(0)))
+                    .collect();
+                while buckets.last() == Some(&0) {
+                    buckets.pop();
+                }
+                let count: u64 = buckets.iter().sum();
+                let before_sum =
+                    earlier.histograms.iter().find(|e| e.name == h.name).map_or(0, |e| e.sum);
+                HistogramSample {
+                    name: h.name.clone(),
+                    count,
+                    sum: h.sum.saturating_sub(before_sum),
+                    max: h.max,
+                    p50: percentile_from_buckets(&buckets, 50.0).min(h.max),
+                    p95: percentile_from_buckets(&buckets, 95.0).min(h.max),
+                    p99: percentile_from_buckets(&buckets, 99.0).min(h.max),
+                    buckets,
+                }
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# TYPE` headers, cumulative `_bucket{le=...}` series).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n{} {}\n", c.name, c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n{} {}\n", g.name, g.name, g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let mut cumulative = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                cumulative += b;
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"}} {}\n",
+                    h.name,
+                    bucket_upper(i),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name, h.count));
+            out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        }
+        out
+    }
+}
+
+/// A named registry of instruments, shared engine-wide; get-or-register
+/// by name, export as a [`MetricsSnapshot`] or Prometheus text.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn get_or_insert<T: Default>(list: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut list = list.lock().expect("metrics registry poisoned");
+    if let Some((_, v)) = list.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    list.push((name.to_string(), Arc::clone(&v)));
+    v
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Exports every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSample> = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, c)| CounterSample { name: n.clone(), value: c.get() })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSample> = self
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, g)| GaugeSample { name: n.clone(), value: g.get() })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSample> = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(n, h)| h.sample(n))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+
+    /// Exports the registry in Prometheus text format.
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound stays in its bucket");
+            assert_eq!(bucket_index(bucket_upper(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_exact_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        // Exact p50 is 500; the bucket estimate must be in [500, 1000].
+        let p50 = h.percentile(50.0);
+        assert!((500..=1000).contains(&p50), "p50={p50}");
+        let p99 = h.percentile(99.0);
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 5, 9, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 1000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 1117);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn registry_snapshot_sorted_and_diffable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("uei_b_total").add(5);
+        reg.counter("uei_a_total").add(2);
+        reg.gauge("uei_pool").set(-3);
+        reg.histogram("uei_lat_us").record(7);
+        let s1 = reg.snapshot();
+        assert_eq!(s1.counters[0].name, "uei_a_total");
+        reg.counter("uei_b_total").add(10);
+        reg.histogram("uei_lat_us").record(9);
+        let s2 = reg.snapshot();
+        let d = s2.diff(&s1);
+        assert_eq!(d.counters.iter().find(|c| c.name == "uei_b_total").unwrap().value, 10);
+        assert_eq!(d.counters.iter().find(|c| c.name == "uei_a_total").unwrap().value, 0);
+        assert_eq!(d.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn prometheus_export_has_type_lines_and_inf_bucket() {
+        let reg = MetricsRegistry::new();
+        reg.counter("uei_iterations_total").add(3);
+        reg.histogram("uei_lat_us").record(5);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE uei_iterations_total counter"));
+        assert!(text.contains("uei_iterations_total 3"));
+        assert!(text.contains("# TYPE uei_lat_us histogram"));
+        assert!(text.contains("uei_lat_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("uei_lat_us_sum 5"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde() {
+        let reg = MetricsRegistry::new();
+        reg.counter("uei_a_total").add(1);
+        reg.gauge("uei_g").set(4);
+        reg.histogram("uei_h").record(3);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

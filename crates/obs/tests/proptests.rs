@@ -1,0 +1,131 @@
+//! Property tests for the metrics pillar: histogram percentile error
+//! bounds, merge associativity/commutativity, and exact concurrent
+//! counter accounting across 1/2/8 threads (mirroring the shared-cache
+//! concurrency tests in `uei-storage`).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uei_obs::{Counter, Histogram, MetricsRegistry};
+
+/// The exact `p`-th percentile of `samples` under the same rank rule the
+/// histogram uses (`ceil(p/100 * n)`-th smallest, 1-based).
+fn exact_percentile(samples: &mut [u64], p: f64) -> u64 {
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+fn filled(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn percentiles_stay_within_the_log2_bucket_error_bound(
+        mut samples in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+        p in 1.0f64..100.0,
+    ) {
+        let h = filled(&samples);
+        let estimate = h.percentile(p);
+        let exact = exact_percentile(&mut samples, p);
+        // The estimate is the upper bound of the bucket holding the exact
+        // rank sample, clamped to the true max: never below the exact
+        // quantile, never more than twice it (+1 for the 0/1 buckets).
+        prop_assert!(estimate >= exact, "estimate {estimate} < exact {exact}");
+        prop_assert!(
+            estimate <= exact.saturating_mul(2).max(1),
+            "estimate {estimate} breaks the 2x bound of exact {exact}"
+        );
+        prop_assert_eq!(h.max(), *samples.last().unwrap());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..120),
+        b in proptest::collection::vec(0u64..1_000_000, 0..120),
+        c in proptest::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) == b ⊔ (a ⊔ c): bucket counts,
+        // count, sum, and max all agree, so every derived percentile does.
+        let ab_c = filled(&a);
+        ab_c.merge(&filled(&b));
+        ab_c.merge(&filled(&c));
+
+        let a_bc = filled(&b);
+        a_bc.merge(&filled(&c));
+        let lhs = filled(&a);
+        lhs.merge(&a_bc);
+
+        let commuted = filled(&b);
+        commuted.merge(&filled(&a));
+        commuted.merge(&filled(&c));
+
+        for h in [&lhs, &commuted] {
+            prop_assert_eq!(h.bucket_counts(), ab_c.bucket_counts());
+            prop_assert_eq!(h.count(), ab_c.count());
+            prop_assert_eq!(h.sum(), ab_c.sum());
+            prop_assert_eq!(h.max(), ab_c.max());
+            for p in [50.0, 95.0, 99.0] {
+                prop_assert_eq!(h.percentile(p), ab_c.percentile(p));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_counters_account_exactly(
+        per_thread in 1u64..2_000,
+        increment in 1u64..5,
+    ) {
+        // The same total must be observed no matter how many threads
+        // split the work — counters lose nothing under contention.
+        for threads in [1usize, 2, 8] {
+            let counter = Arc::new(Counter::new());
+            let hist = Arc::new(Histogram::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let counter = Arc::clone(&counter);
+                    let hist = Arc::clone(&hist);
+                    scope.spawn(move || {
+                        for _ in 0..per_thread {
+                            counter.add(increment);
+                            hist.record(increment);
+                        }
+                    });
+                }
+            });
+            let n = threads as u64 * per_thread;
+            prop_assert_eq!(counter.get(), n * increment);
+            prop_assert_eq!(hist.count(), n);
+            prop_assert_eq!(hist.sum(), n * increment);
+        }
+    }
+
+    #[test]
+    fn registry_returns_the_same_instrument_across_threads(
+        adds in proptest::collection::vec(1u64..100, 8..32),
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for chunk in adds.chunks(4) {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for &v in chunk {
+                        registry.counter("uei_shared_total").add(v);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let total = snap.counters.iter().find(|c| c.name == "uei_shared_total").unwrap();
+        prop_assert_eq!(total.value, adds.iter().sum::<u64>());
+    }
+}

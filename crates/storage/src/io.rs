@@ -156,6 +156,12 @@ impl DiskTracker {
         self.state.lock().virtual_clock
     }
 
+    /// Boxes a clone of this tracker as a telemetry virtual-clock source
+    /// (phase spans report modeled I/O time next to wall time).
+    pub fn as_virtual_clock(&self) -> Arc<dyn uei_obs::VirtualClock> {
+        Arc::new(self.clone())
+    }
+
     /// Takes a snapshot for later interval measurement via [`Self::delta`].
     pub fn snapshot(&self) -> IoSnapshot {
         let s = self.state.lock();
@@ -288,6 +294,12 @@ impl DiskTracker {
 impl Default for DiskTracker {
     fn default() -> Self {
         DiskTracker::new(IoProfile::default())
+    }
+}
+
+impl uei_obs::VirtualClock for DiskTracker {
+    fn virtual_nanos(&self) -> u64 {
+        self.virtual_elapsed().as_nanos() as u64
     }
 }
 

@@ -321,6 +321,19 @@ impl SessionJournal {
         self.config
     }
 
+    /// Sequence number of the segment currently being appended to. Over
+    /// a journal's lifetime this equals the rotations performed (the
+    /// initial segment counts as the first), so observers can diff it to
+    /// detect rotations without touching the write path.
+    pub fn segment_seq(&self) -> u64 {
+        self.seg_seq
+    }
+
+    /// Sequence number of the newest published snapshot (0 = none yet).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snap_seq
+    }
+
     /// Appends one record, framing it with length and CRC-32. `Ok` means
     /// the whole frame reached the current segment file (and the device,
     /// per the [`FsyncPolicy`]): the record will survive recovery.

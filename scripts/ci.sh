@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lint, docs, tests, build, and smoke runs of the
 # scoring, region-load, fault-matrix, multi-session, rescore, kd-tree
-# layout, journal-recovery, and sharded-index-plane benches.
+# layout, journal-recovery, sharded-index-plane, and telemetry benches.
 #
 #   ./scripts/ci.sh          # full gate
 #   ./scripts/ci.sh --fast   # skip the release build (debug tests + lint only)
@@ -15,7 +15,7 @@ fast=0
 
 # Formatting gate covers the uei packages only: the vendor stand-ins keep
 # their upstream style and are not ours to reformat.
-uei_pkgs=(-p uei -p uei-types -p uei-storage -p uei-learn -p uei-index -p uei-dbms -p uei-explore -p uei-bench)
+uei_pkgs=(-p uei -p uei-types -p uei-obs -p uei-storage -p uei-learn -p uei-index -p uei-dbms -p uei-explore -p uei-bench)
 echo "==> cargo fmt --check (uei packages)"
 cargo fmt "${uei_pkgs[@]}" --check
 
@@ -98,5 +98,15 @@ test -s "$tmp/BENCH_recovery.json"
 echo "==> shard_bench --smoke"
 cargo run -p uei-bench --release --bin shard_bench -- --smoke --out "$tmp/BENCH_shard.json"
 test -s "$tmp/BENCH_shard.json"
+
+# Smoke-run the telemetry bench: one fixed-seed journaled session with
+# telemetry disabled vs. enabled, plus a micro-benchmark pricing the
+# disabled span() call. The binary asserts enabled overhead stays at or
+# under 3% of session wall time, the disabled-path estimate under 1%,
+# all seven phases are observed, and the modeled traces stay
+# bit-identical either way.
+echo "==> obs_bench --smoke"
+cargo run -p uei-bench --release --bin obs_bench -- --smoke --out "$tmp/BENCH_obs.json"
+test -s "$tmp/BENCH_obs.json"
 
 echo "CI gate passed."

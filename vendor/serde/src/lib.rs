@@ -331,6 +331,18 @@ pub mod __private {
     pub fn unknown_variant(ty: &str, got: &str) -> Error {
         Error::custom(format!("{ty}: unknown variant `{got}`"))
     }
+
+    /// Splices a `#[serde(flatten)]` field's object entries into the parent
+    /// object. `Serialize::to_value` is infallible, so a non-object flattened
+    /// value is a programming error and panics with the field's location.
+    pub fn flatten(value: Value, ty: &str, name: &str) -> Vec<(String, Value)> {
+        match value {
+            Value::Object(entries) => entries,
+            other => panic!(
+                "{ty}.{name}: #[serde(flatten)] requires an object field, got {other:?}"
+            ),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,9 +10,13 @@
 //! - enums of unit variants → variant-name string (external tagging);
 //! - enum newtype variants → single-key object `{"Variant": inner}`.
 //!
-//! The only supported attribute is `#[serde(default)]` on a named struct
-//! field: deserialization substitutes `Default::default()` when the key is
-//! absent (schema-evolution escape hatch for persisted traces). Generics,
+//! The supported attributes are `#[serde(default)]` and `#[serde(flatten)]`
+//! on a named struct field. `default` substitutes `Default::default()` when
+//! the key is absent (schema-evolution escape hatch for persisted traces).
+//! `flatten` splices the field's own object entries into the parent object
+//! at the field's position on serialization, and hands the whole parent
+//! object to the field's `from_value` on deserialization (so a flattened
+//! struct of `#[serde(default)]` fields is fully back-compatible). Generics,
 //! struct variants, and every other `#[serde(...)]` attribute are rejected
 //! with a panic at expansion time rather than silently mis-serialized.
 
@@ -34,10 +38,17 @@ enum Direction {
     Deserialize,
 }
 
+/// Per-field serde attributes of a named struct.
+#[derive(Clone, Copy, Default)]
+struct FieldAttrs {
+    default: bool,
+    flatten: bool,
+}
+
 enum Shape {
     /// `struct S { a: T, b: U }` — fields in declaration order, each with
-    /// its `#[serde(default)]` flag.
-    NamedStruct(Vec<(String, bool)>),
+    /// its `#[serde(...)]` attributes.
+    NamedStruct(Vec<(String, FieldAttrs)>),
     /// `struct S(T, U, ...);` — number of unnamed fields.
     TupleStruct(usize),
     /// `enum E { A, B(T), ... }` — `(variant, has_payload)`.
@@ -50,17 +61,29 @@ fn expand(input: TokenStream, dir: Direction) -> TokenStream {
         (Shape::NamedStruct(fields), Direction::Serialize) => {
             let entries: String = fields
                 .iter()
-                .map(|(f, _)| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f})),"
-                    )
+                .map(|(f, attrs)| {
+                    if attrs.flatten {
+                        format!(
+                            "entries.extend(::serde::__private::flatten(\
+                             ::serde::Serialize::to_value(&self.{f}), \
+                             \"{name}\", \"{f}\"));"
+                        )
+                    } else {
+                        format!(
+                            "entries.push((::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f})));"
+                        )
+                    }
                 })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                         let mut entries: ::std::vec::Vec<(\
+                             ::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {entries}\n\
+                         ::serde::Value::Object(entries)\n\
                      }}\n\
                  }}"
             )
@@ -68,8 +91,10 @@ fn expand(input: TokenStream, dir: Direction) -> TokenStream {
         (Shape::NamedStruct(fields), Direction::Deserialize) => {
             let entries: String = fields
                 .iter()
-                .map(|(f, default)| {
-                    if *default {
+                .map(|(f, attrs)| {
+                    if attrs.flatten {
+                        format!("{f}: ::serde::Deserialize::from_value(value)?,")
+                    } else if attrs.default {
                         format!(
                             "{f}: match ::serde::__private::opt_field(\
                                  value, \"{name}\", \"{f}\")? {{\n\
@@ -269,19 +294,21 @@ fn parse_item(input: TokenStream) -> (String, Shape) {
     (name, shape)
 }
 
-/// Extracts `(name, has_default)` pairs from the brace group of a named
-/// struct, honoring `#[serde(default)]` field attributes.
-fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
+/// Extracts `(name, attrs)` pairs from the brace group of a named struct,
+/// honoring `#[serde(default)]` and `#[serde(flatten)]` field attributes.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, FieldAttrs)> {
     let toks: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
-    let mut default = false;
+    let mut attrs = FieldAttrs::default();
     let mut i = 0;
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
-                    if parse_serde_attr(g) {
-                        default = true;
+                    match parse_serde_attr(g) {
+                        SerdeAttr::Default => attrs.default = true,
+                        SerdeAttr::Flatten => attrs.flatten = true,
+                        SerdeAttr::None => {}
                     }
                 }
                 i += 2; // field attribute / doc comment
@@ -295,8 +322,8 @@ fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
                 }
             }
             TokenTree::Ident(id) => {
-                fields.push((id.to_string(), default));
-                default = false;
+                fields.push((id.to_string(), attrs));
+                attrs = FieldAttrs::default();
                 i += 1;
                 match toks.get(i) {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -323,25 +350,37 @@ fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
     fields
 }
 
-/// Inspects one bracketed attribute body. Returns `true` for
-/// `#[serde(default)]`; panics on any other `#[serde(...)]` form (this
-/// stub would silently mis-serialize it); `false` for non-serde
-/// attributes (doc comments etc.).
-fn parse_serde_attr(attr: &proc_macro::Group) -> bool {
+/// A recognized `#[serde(...)]` field attribute (or the absence of one).
+enum SerdeAttr {
+    None,
+    Default,
+    Flatten,
+}
+
+/// Inspects one bracketed attribute body. Returns the recognized serde
+/// attribute; panics on any other `#[serde(...)]` form (this stub would
+/// silently mis-serialize it); `SerdeAttr::None` for non-serde attributes
+/// (doc comments etc.).
+fn parse_serde_attr(attr: &proc_macro::Group) -> SerdeAttr {
     let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
     match toks.first() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return SerdeAttr::None,
     }
     if let Some(TokenTree::Group(args)) = toks.get(1) {
         let inner: Vec<TokenTree> = args.stream().into_iter().collect();
         if let [TokenTree::Ident(id)] = inner.as_slice() {
-            if id.to_string() == "default" {
-                return true;
+            match id.to_string().as_str() {
+                "default" => return SerdeAttr::Default,
+                "flatten" => return SerdeAttr::Flatten,
+                _ => {}
             }
         }
     }
-    panic!("serde_derive stub: only #[serde(default)] is supported, got #[{attr}]");
+    panic!(
+        "serde_derive stub: only #[serde(default)] and #[serde(flatten)] \
+         are supported, got #[{attr}]"
+    );
 }
 
 /// Counts the unnamed fields of a tuple struct body.
